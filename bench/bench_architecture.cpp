@@ -1,0 +1,145 @@
+// Resource-level analysis of the paper's two architectures (Figures 7/8)
+// through the RBD engine: structural availabilities, minimal cut sets of
+// the internal infrastructure, physical-resource importance ranking, the
+// web farm summarized as an equivalent two-state component (MUT/MDT), and
+// the exact first-order sensitivities of eq. (10).
+
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "upa/markov/updown.hpp"
+#include "upa/rbd/paths.hpp"
+#include "upa/ta/architecture.hpp"
+#include "upa/ta/symbolic.hpp"
+
+namespace {
+
+namespace ut = upa::ta;
+namespace cm = upa::common;
+
+std::string set_to_string(const upa::rbd::ComponentSet& s) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& name : s) {
+    if (!first) os << ", ";
+    os << name;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+void print_architecture() {
+  upa::bench::print_header(
+      "Figures 7/8 resource level",
+      "Structural (RBD) view of the basic and redundant architectures.");
+
+  auto basic_params = upa::bench::paper_params(1);
+  basic_params.architecture = ut::Architecture::kBasic;
+  const auto basic = ut::basic_architecture_rbd(basic_params);
+  const auto redundant =
+      ut::redundant_architecture_rbd(upa::bench::paper_params(1));
+
+  cm::Table t({"block", "basic (Fig. 7)", "redundant (Fig. 8)"});
+  t.set_align(0, cm::Align::kLeft);
+  t.set_title("Structural availability (hardware/software failures only)");
+  t.add_row({"internal infrastructure",
+             cm::fmt(upa::rbd::availability(basic.internal,
+                                            basic.availabilities),
+                     8),
+             cm::fmt(upa::rbd::availability(redundant.internal,
+                                            redundant.availabilities),
+                     8)});
+  t.add_row({"full Search path (N=1)",
+             cm::fmt(upa::rbd::availability(basic.search_path,
+                                            basic.availabilities),
+                     8),
+             cm::fmt(upa::rbd::availability(redundant.search_path,
+                                            redundant.availabilities),
+                     8)});
+  std::cout << t << "\n";
+
+  const auto cuts = upa::rbd::minimal_cut_sets(redundant.internal);
+  cm::Table c({"minimal cut set (redundant internal)", "order"});
+  c.set_align(0, cm::Align::kLeft);
+  for (const auto& cut : cuts) {
+    c.add_row({set_to_string(cut), std::to_string(cut.size())});
+  }
+  std::cout << c << "\n";
+
+  cm::Table imp({"resource", "Birnbaum", "criticality", "RAW"});
+  imp.set_align(0, cm::Align::kLeft);
+  imp.set_title(
+      "Importance ranking, Search path, redundant architecture, N=1\n"
+      "(single-point externals dominate; N>=4 hands dominance to net/LAN)");
+  for (const auto& entry : ut::resource_importance_ranking(redundant)) {
+    imp.add_row({entry.component, cm::fmt(entry.birnbaum, 5),
+                 cm::fmt(entry.criticality, 5),
+                 cm::fmt(entry.risk_achievement_worth, 5)});
+  }
+  std::cout << imp << "\n";
+
+  // Web farm as an equivalent component.
+  upa::core::WebFarmParams farm{4, 1e-4, 1.0, 0.98, 12.0};
+  const auto chain = upa::core::imperfect_coverage_chain(farm);
+  std::vector<std::size_t> up;
+  for (std::size_t i = 1; i <= farm.servers; ++i) up.push_back(i);
+  const auto eq = upa::markov::up_down_measures(chain.chain, up);
+  cm::Table e({"equivalent-component measure", "value"});
+  e.set_align(0, cm::Align::kLeft);
+  e.set_title("The N_W=4 imperfect-coverage farm as one component");
+  e.add_row({"availability", cm::fmt(eq.availability, 10)});
+  e.add_row({"failure frequency [1/h]", cm::fmt_sci(eq.failure_frequency, 3)});
+  e.add_row({"mean up time [h]", cm::fmt_sci(eq.mean_up_time, 3)});
+  e.add_row({"mean down time [h]", cm::fmt(eq.mean_down_time, 4)});
+  e.add_row({"equivalent lambda [1/h]",
+             cm::fmt_sci(eq.equivalent_failure_rate, 3)});
+  e.add_row({"equivalent mu [1/h]", cm::fmt(eq.equivalent_repair_rate, 4)});
+  std::cout << e << "\n";
+
+  // Symbolic gradient of eq. (10).
+  const auto grad = ut::user_availability_gradient(
+      ut::UserClass::kB, upa::bench::paper_params(5));
+  cm::Table g({"service parameter", "dA(user)/dA(service)"});
+  g.set_align(0, cm::Align::kLeft);
+  g.set_title(
+      "Exact first-order sensitivities of eq. (10), class B, N=5\n"
+      "(the paper's 'net, LAN and web service are the most influential')");
+  for (const auto& [name, value] : grad) {
+    g.add_row({name, cm::fmt(value, 6)});
+  }
+  std::cout << g << "\n";
+}
+
+void bm_rbd_full_search_path(benchmark::State& state) {
+  const auto arch = ut::redundant_architecture_rbd(
+      upa::bench::paper_params(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        upa::rbd::availability(arch.search_path, arch.availabilities));
+  }
+}
+BENCHMARK(bm_rbd_full_search_path)->Arg(1)->Arg(4)->Arg(10);
+
+void bm_importance_ranking(benchmark::State& state) {
+  const auto arch =
+      ut::redundant_architecture_rbd(upa::bench::paper_params(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ut::resource_importance_ranking(arch));
+  }
+}
+BENCHMARK(bm_importance_ranking);
+
+void bm_symbolic_gradient(benchmark::State& state) {
+  const auto p = upa::bench::paper_params(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ut::user_availability_gradient(ut::UserClass::kB, p));
+  }
+}
+BENCHMARK(bm_symbolic_gradient);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_architecture)

@@ -1,0 +1,101 @@
+// Extension bench (the paper's stated future work, Section 6):
+// availability including response-time-threshold failures. Regenerates
+// the web-service availability and the user-perceived availability as a
+// function of the acceptable response-time threshold tau, for the
+// Figure 12 configurations -- the "figure the paper did not get to".
+
+#include "bench_util.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/queueing/response_time.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace {
+
+namespace uc = upa::core;
+namespace ut = upa::ta;
+namespace uq = upa::queueing;
+namespace cm = upa::common;
+
+void print_deadline() {
+  upa::bench::print_header(
+      "Future-work extension: response-time thresholds",
+      "A request now fails when it is rejected (buffer full) OR served\n"
+      "later than tau. tau in units of the mean service time 1/nu = 10ms.");
+
+  cm::Table t({"tau [ms]", "A(WS) N_W=2", "A(WS) N_W=4", "A(WS) N_W=8",
+               "P(T>tau) N_W=4"});
+  t.set_title(
+      "Deadline-extended web-service availability (imperfect coverage,\n"
+      "lambda=1e-4/h, alpha=nu=100/s, K=10)");
+  const uc::WebQueueParams queue{100.0, 100.0, 10};
+  for (double tau_ms : {10.0, 20.0, 30.0, 50.0, 100.0, 200.0, 1000.0}) {
+    const double tau = tau_ms / 1000.0;  // queue rates are per second
+    std::vector<std::string> row{cm::fmt(tau_ms, 4)};
+    for (std::size_t n : {2u, 4u, 8u}) {
+      uc::WebFarmParams farm{n, 1e-4, 1.0, 0.98, 12.0};
+      row.push_back(cm::fmt(
+          uc::web_service_availability_imperfect_with_deadline(farm, queue,
+                                                               tau),
+          8));
+    }
+    row.push_back(cm::fmt_sci(
+        uq::mmck_response_time_tail(100.0, 100.0, 4, 10, tau), 3));
+    t.add_row(std::move(row));
+  }
+  std::cout << t << "\n";
+
+  cm::Table q({"quantile", "response time [ms], N_W=2", "N_W=4", "N_W=8"});
+  q.set_title("Response-time quantiles of accepted requests (alpha=100/s)");
+  for (double eps : {0.5, 0.1, 0.01, 0.001}) {
+    std::vector<std::string> row{
+        cm::fmt((1.0 - eps) * 100.0, 4) + "%"};
+    for (std::size_t n : {2u, 4u, 8u}) {
+      row.push_back(cm::fmt(
+          uq::mmck_response_time_quantile(100.0, 100.0, n, 10, eps) *
+              1000.0,
+          4));
+    }
+    q.add_row(std::move(row));
+  }
+  std::cout << q << "\n";
+
+  std::cout
+      << "With tau = 30 ms the N_W=2 farm loses ~"
+      << cm::fmt(100.0 * uq::mmck_response_time_tail(100.0, 100.0, 2, 10,
+                                                     0.03),
+                 3)
+      << "% of served requests to deadline misses -- a failure mode the\n"
+         "buffer-loss-only measure (Figures 11/12) cannot see.\n\n";
+}
+
+void bm_response_time_tail(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        uq::mmck_response_time_tail(100.0, 100.0, 4, 10, 0.03));
+  }
+}
+BENCHMARK(bm_response_time_tail);
+
+void bm_response_time_quantile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        uq::mmck_response_time_quantile(100.0, 100.0, 4, 10, 0.01));
+  }
+}
+BENCHMARK(bm_response_time_quantile);
+
+void bm_deadline_availability(benchmark::State& state) {
+  const uc::WebFarmParams farm{4, 1e-4, 1.0, 0.98, 12.0};
+  const uc::WebQueueParams queue{100.0, 100.0, 10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        uc::web_service_availability_imperfect_with_deadline(farm, queue,
+                                                             0.03));
+  }
+}
+BENCHMARK(bm_deadline_availability);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_deadline)

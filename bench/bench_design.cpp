@@ -1,0 +1,87 @@
+// Regenerates the Section 5.1 design decisions: the minimum number of web
+// servers meeting an availability requirement ("unavailability lower than
+// 5 min/year <=> UA < 1e-5"), per (lambda, alpha), plus the feasible
+// design regions (non-contiguous under imperfect coverage!).
+
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/sensitivity/threshold.hpp"
+
+namespace {
+
+namespace uc = upa::core;
+namespace us = upa::sensitivity;
+namespace cm = upa::common;
+
+double ua(std::size_t n, double lambda, double alpha) {
+  uc::WebFarmParams farm{n, lambda, 1.0, 0.98, 12.0};
+  uc::WebQueueParams queue{alpha, 100.0, 10};
+  return 1.0 - uc::web_service_availability_imperfect(farm, queue);
+}
+
+std::string region_string(const std::vector<std::size_t>& region) {
+  if (region.empty()) return "infeasible";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < region.size(); ++i) {
+    if (i != 0) os << ",";
+    os << region[i];
+  }
+  return os.str();
+}
+
+void print_design() {
+  upa::bench::print_header(
+      "Section 5.1 design decisions",
+      "Minimum N_W meeting UA < 1e-5 (~5 min/year), imperfect coverage.\n"
+      "Paper: N_W=2 @ alpha=50/s and N_W=4 @ alpha=100/s for lambda=1e-3\n"
+      "and 1e-4/h; infeasible at lambda=1e-2/h. Exact: the lambda=1e-3,\n"
+      "alpha=100 case first qualifies at N_W=5 (and ONLY 5 -- the\n"
+      "coverage reversal closes the region above).");
+  cm::Table t({"lambda [1/h]", "alpha [1/s]", "min N_W", "feasible N_W set",
+               "UA at min"});
+  for (double lambda : {1e-2, 1e-3, 1e-4}) {
+    for (double alpha : {50.0, 100.0, 150.0}) {
+      const auto region = us::satisfying_set(1, 10, [&](std::size_t n) {
+        return ua(n, lambda, alpha) < 1e-5;
+      });
+      t.add_row({cm::fmt_sci(lambda, 0), cm::fmt(alpha, 3),
+                 region.empty() ? "-" : std::to_string(region.front()),
+                 region_string(region),
+                 region.empty() ? "-"
+                                : cm::fmt_sci(ua(region.front(), lambda,
+                                                 alpha),
+                                              2)});
+    }
+  }
+  std::cout << t << "\n";
+
+  cm::Table h({"lambda [1/h]", "alpha [1/s]", "UA(N_W=3)", "h/yr",
+               "< 1 h/yr?"});
+  h.set_title(
+      "\"Three servers keep downtime under 1 hour/year for load < 1\"");
+  for (double lambda : {1e-2, 1e-3, 1e-4}) {
+    for (double alpha : {50.0, 90.0}) {
+      const double u = ua(3, lambda, alpha);
+      h.add_row({cm::fmt_sci(lambda, 0), cm::fmt(alpha, 3),
+                 cm::fmt_sci(u, 2), cm::fmt_fixed(u * 8760.0, 2),
+                 u * 8760.0 < 1.0 ? "yes" : "NO"});
+    }
+  }
+  std::cout << h << "\n";
+}
+
+void bm_design_search(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto n = us::min_satisfying(1, 10, [](std::size_t k) {
+      return ua(k, 1e-4, 100.0) < 1e-5;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(bm_design_search);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_design)

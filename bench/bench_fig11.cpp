@@ -1,0 +1,73 @@
+// Regenerates Figure 11: web-service unavailability vs number of web
+// servers N_W = 1..10 under PERFECT coverage, one series per
+// (failure rate lambda, arrival rate alpha) combination
+// (lambda in {1e-2, 1e-3, 1e-4}/h, alpha in {50, 100, 150}/s,
+// nu = 100/s, mu = 1/h, K = 10).
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/sensitivity/sweep.hpp"
+
+namespace {
+
+namespace uc = upa::core;
+namespace cm = upa::common;
+
+double unavailability(std::size_t n, double lambda, double alpha) {
+  uc::WebFarmParams farm{n, lambda, 1.0, 1.0, 12.0};
+  uc::WebQueueParams queue{alpha, 100.0, 10};
+  return 1.0 - uc::web_service_availability_perfect(farm, queue);
+}
+
+void print_fig11() {
+  upa::bench::print_header(
+      "Figure 11",
+      "Web service unavailability (perfect coverage) vs N_W.\n"
+      "Expected shape: monotone decrease in N_W for every series; lambda\n"
+      "separates the curves only when the load alpha/nu < 1.");
+  for (double alpha : {50.0, 100.0, 150.0}) {
+    cm::Table t({"N_W", "lambda=1e-2/h", "lambda=1e-3/h", "lambda=1e-4/h"});
+    t.set_title("UA(Web service), alpha = " + cm::fmt(alpha, 3) +
+                " req/s (rho = " + cm::fmt(alpha / 100.0, 3) + ")");
+    for (std::size_t n = 1; n <= 10; ++n) {
+      t.add_row({std::to_string(n),
+                 cm::fmt_sci(unavailability(n, 1e-2, alpha), 3),
+                 cm::fmt_sci(unavailability(n, 1e-3, alpha), 3),
+                 cm::fmt_sci(unavailability(n, 1e-4, alpha), 3)});
+    }
+    std::cout << t << "\n";
+  }
+
+  // Shape check mirrored from the paper's reading of the figure.
+  std::vector<double> xs;
+  for (std::size_t n = 1; n <= 10; ++n) xs.push_back(double(n));
+  const auto series = upa::sensitivity::sweep(
+      "lambda=1e-3, alpha=100", xs, [](double n) {
+        return unavailability(static_cast<std::size_t>(n), 1e-3, 100.0);
+      });
+  std::cout << "monotone decreasing (no reversal expected): "
+            << (upa::sensitivity::first_increase(series) == -1 ? "yes"
+                                                               : "NO!")
+            << "\n\n";
+}
+
+void bm_fig11_full_grid(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double lambda : {1e-2, 1e-3, 1e-4}) {
+      for (double alpha : {50.0, 100.0, 150.0}) {
+        for (std::size_t n = 1; n <= 10; ++n) {
+          acc += unavailability(n, lambda, alpha);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_fig11_full_grid);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_fig11)

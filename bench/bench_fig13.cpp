@@ -1,0 +1,87 @@
+// Regenerates Figure 13 and the Section 5.2 business-impact example:
+// per-category unavailability contributions UA(SC1..SC4) in hours/year
+// for user classes A and B as the external replication N grows, plus the
+// lost-transaction / lost-revenue arithmetic.
+
+#include "bench_util.hpp"
+#include "upa/ta/revenue.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace {
+
+namespace ut = upa::ta;
+namespace cm = upa::common;
+
+void print_fig13() {
+  upa::bench::print_header(
+      "Figure 13 + Section 5.2",
+      "Per-category unavailability UA(SC_i) [hours/year] and the revenue\n"
+      "impact of SC4 (payment scenarios). Paper anchor: UA(SC4) ratio\n"
+      "B:A = 0.203/0.075 ~ 2.71 (the absolute hours in the paper imply\n"
+      "A(PS) ~ 0.99, inconsistent with Table 7's 0.9; see EXPERIMENTS.md).");
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    cm::Table t({"N", "UA(SC1) h/yr", "UA(SC2) h/yr", "UA(SC3) h/yr",
+                 "UA(SC4) h/yr", "total h/yr"});
+    t.set_title("UA(SC_i), " + ut::user_class_name(uclass));
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 10u}) {
+      const auto breakdown =
+          ut::category_breakdown(uclass, upa::bench::paper_params(n));
+      auto hours = [&](ut::ScenarioCategory c) {
+        return cm::fmt_fixed(breakdown.unavailability.at(c) * 8760.0, 1);
+      };
+      t.add_row({std::to_string(n), hours(ut::ScenarioCategory::kSC1),
+                 hours(ut::ScenarioCategory::kSC2),
+                 hours(ut::ScenarioCategory::kSC3),
+                 hours(ut::ScenarioCategory::kSC4),
+                 cm::fmt_fixed(breakdown.total_unavailability * 8760.0, 1)});
+    }
+    std::cout << t << "\n";
+  }
+
+  const auto a4 = ut::category_breakdown(ut::UserClass::kA,
+                                         upa::bench::paper_params(5));
+  const auto b4 = ut::category_breakdown(ut::UserClass::kB,
+                                         upa::bench::paper_params(5));
+  std::cout << "UA(SC4) ratio class B : class A = "
+            << cm::fmt(b4.unavailability.at(ut::ScenarioCategory::kSC4) /
+                           a4.unavailability.at(ut::ScenarioCategory::kSC4),
+                       4)
+            << "  (paper's 43h : 16h ~ 2.69; scenario-mass ratio "
+            << cm::fmt(0.203 / 0.075, 4) << ")\n\n";
+
+  cm::Table r({"class", "SC4 downtime h/yr", "lost transactions/yr",
+               "lost revenue $/yr"});
+  r.set_title(
+      "Section 5.2 revenue example (100 tx/s, $100 per transaction)");
+  r.set_align(0, cm::Align::kLeft);
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    const auto loss =
+        ut::revenue_loss(uclass, upa::bench::paper_params(5), {});
+    r.add_row({ut::user_class_name(uclass),
+               cm::fmt_fixed(loss.pay_downtime_hours_per_year, 1),
+               cm::fmt_sci(loss.lost_transactions_per_year, 3),
+               cm::fmt_sci(loss.lost_revenue_per_year, 3)});
+  }
+  std::cout << r << "\n";
+}
+
+void bm_category_breakdown(benchmark::State& state) {
+  const auto p = upa::bench::paper_params(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ut::category_breakdown(ut::UserClass::kB, p));
+  }
+}
+BENCHMARK(bm_category_breakdown);
+
+void bm_revenue_loss(benchmark::State& state) {
+  const auto p = upa::bench::paper_params(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ut::revenue_loss(ut::UserClass::kB, p, {}));
+  }
+}
+BENCHMARK(bm_revenue_loss);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_fig13)

@@ -1,0 +1,81 @@
+// Regenerates Table 1 (user scenario probabilities for classes A and B)
+// and demonstrates the user-level pipeline: a full p_ij session graph is
+// fitted to the table, and the exact visited-set analysis of that graph
+// recovers the twelve scenario-class probabilities.
+
+#include "bench_util.hpp"
+#include "upa/profile/scenario.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace {
+
+namespace ut = upa::ta;
+namespace up = upa::profile;
+namespace cm = upa::common;
+
+void print_table1() {
+  upa::bench::print_header(
+      "Table 1",
+      "User scenario probabilities (percent). 'recovered' = exact\n"
+      "visited-set probability of the fitted p_ij session graph\n"
+      "(inclusion-exclusion over absorbing-chain solves).");
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    const auto table = ut::scenario_table(uclass);
+    const auto profile = ut::fitted_session_graph(uclass);
+    cm::Table t({"scenario", "paper %", "recovered %", "diff"});
+    t.set_align(0, cm::Align::kLeft);
+    t.set_title("Table 1, " + ut::user_class_name(uclass));
+    for (const auto& scenario : table.scenarios()) {
+      const double recovered =
+          up::visited_exactly_probability(profile, scenario.functions);
+      t.add_row({scenario.label, cm::fmt_fixed(scenario.probability * 100, 1),
+                 cm::fmt_fixed(recovered * 100, 2),
+                 cm::fmt_fixed((recovered - scenario.probability) * 100, 2)});
+    }
+    std::cout << t << "\n";
+
+    cm::Table v({"function", "E[visits]/session", "P(invoked)"});
+    v.set_align(0, cm::Align::kLeft);
+    v.set_title("Derived profile statistics, " + ut::user_class_name(uclass));
+    for (std::size_t f = 0; f < profile.function_count(); ++f) {
+      v.add_row({profile.function_name(f),
+                 cm::fmt(profile.expected_visits(f), 4),
+                 cm::fmt(profile.invocation_probability(f), 4)});
+    }
+    v.add_row({"(session length)", cm::fmt(profile.mean_session_length(), 4),
+               "-"});
+    std::cout << v << "\n";
+  }
+}
+
+void bm_visited_set_analysis(benchmark::State& state) {
+  const auto profile = ut::fitted_session_graph(ut::UserClass::kA);
+  const auto table = ut::scenario_table(ut::UserClass::kA);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& scenario : table.scenarios()) {
+      acc += up::visited_exactly_probability(profile, scenario.functions);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_visited_set_analysis);
+
+void bm_scenario_class_enumeration(benchmark::State& state) {
+  const auto profile = ut::fitted_session_graph(ut::UserClass::kB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(up::scenario_classes(profile));
+  }
+}
+BENCHMARK(bm_scenario_class_enumeration);
+
+void bm_fit_session_graph(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ut::fitted_session_graph(ut::UserClass::kB));
+  }
+}
+BENCHMARK(bm_fit_session_graph);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_table1)

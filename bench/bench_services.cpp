@@ -1,0 +1,126 @@
+// Regenerates the paper's service- and function-level availabilities:
+// Table 3 (external services), Table 4 (application/database), Table 5 /
+// Table 7 anchor (web service, incl. A(WS) = 0.999995587), and Table 6
+// (function availabilities), for both architectures.
+
+#include "bench_util.hpp"
+#include "upa/common/table.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/ta/functions.hpp"
+#include "upa/ta/services.hpp"
+
+namespace {
+
+namespace ut = upa::ta;
+namespace uc = upa::common;
+
+void print_external_services() {
+  uc::Table t({"N (flight=hotel=car)", "A(Flight)=A(Hotel)=A(Car)",
+               "A(Payment)"});
+  t.set_title("Table 3 -- external service availability (a = 0.9 each)");
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 10u}) {
+    const auto p = upa::bench::paper_params(n);
+    t.add_row({std::to_string(n), uc::fmt(ut::flight_availability(p), 9),
+               uc::fmt(p.a_payment, 9)});
+  }
+  std::cout << t << "\n";
+}
+
+void print_internal_services() {
+  uc::Table t({"service", "basic architecture", "redundant architecture"});
+  t.set_title(
+      "Table 4 -- application/database service availability\n"
+      "(redundant pair formula 1-(1-A)^2; the paper's printed '1-2(1-A)' "
+      "is a typo, see DESIGN.md)");
+  auto basic = upa::bench::paper_params(1);
+  basic.architecture = ut::Architecture::kBasic;
+  const auto redundant = upa::bench::paper_params(1);
+  t.set_align(0, uc::Align::kLeft);
+  t.add_row({"A(AS)",
+             uc::fmt(ut::application_service_availability(basic), 9),
+             uc::fmt(ut::application_service_availability(redundant), 9)});
+  t.add_row({"A(DS)",
+             uc::fmt(ut::database_service_availability(basic), 9),
+             uc::fmt(ut::database_service_availability(redundant), 9)});
+  std::cout << t << "\n";
+}
+
+void print_web_service() {
+  uc::Table t({"configuration", "A(Web service)", "paper", "abs diff"});
+  t.set_align(0, uc::Align::kLeft);
+  t.set_title(
+      "Table 5 / Table 7 anchor -- web service availability\n"
+      "(N_W=4, c=0.98, lambda=1e-4/h, mu=1/h, beta=12/h, alpha=nu=100/s, "
+      "K=10)");
+  const auto p = upa::bench::paper_params(1);
+  const double anchor = ut::web_service_availability(p);
+  t.add_row({"redundant, imperfect coverage (paper)", uc::fmt(anchor, 10),
+             "0.999995587", uc::fmt_sci(std::abs(anchor - 0.999995587), 2)});
+  auto perfect = p;
+  perfect.coverage_model = ut::CoverageModel::kPerfect;
+  t.add_row({"redundant, perfect coverage",
+             uc::fmt(ut::web_service_availability(perfect), 10), "-", "-"});
+  auto basic = p;
+  basic.architecture = ut::Architecture::kBasic;
+  t.add_row({"basic (single server, eq. 2)",
+             uc::fmt(ut::web_service_availability(basic), 10), "-", "-"});
+  std::cout << t << "\n";
+}
+
+void print_functions() {
+  uc::Table t({"function", "basic architecture", "redundant architecture"});
+  t.set_align(0, uc::Align::kLeft);
+  t.set_title("Table 6 -- function availabilities (N_F=N_H=N_C=1)");
+  auto basic = upa::bench::paper_params(1);
+  basic.architecture = ut::Architecture::kBasic;
+  const auto redundant = upa::bench::paper_params(1);
+  const auto sb = ut::compute_services(basic);
+  const auto sr = ut::compute_services(redundant);
+  for (const auto f : ut::kAllFunctions) {
+    t.add_row({ut::function_name(f),
+               uc::fmt(ut::function_availability(f, sb, basic), 9),
+               uc::fmt(ut::function_availability(f, sr, redundant), 9)});
+  }
+  std::cout << t << "\n";
+}
+
+void print_all() {
+  upa::bench::print_header(
+      "Tables 3-6 + the A(WS) anchor",
+      "Service- and function-level availabilities of the travel agency.");
+  print_external_services();
+  print_internal_services();
+  print_web_service();
+  print_functions();
+}
+
+void bm_web_service_closed_form(benchmark::State& state) {
+  const auto p = upa::bench::paper_params(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ut::web_service_availability(p));
+  }
+}
+BENCHMARK(bm_web_service_closed_form);
+
+void bm_web_service_composite_ctmc(benchmark::State& state) {
+  const auto p = upa::bench::paper_params(1);
+  const auto farm = ut::web_farm_params(p);
+  const auto queue = ut::web_queue_params(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        upa::core::composite_imperfect(farm, queue).availability());
+  }
+}
+BENCHMARK(bm_web_service_composite_ctmc);
+
+void bm_compute_all_services(benchmark::State& state) {
+  const auto p = upa::bench::paper_params(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ut::compute_services(p));
+  }
+}
+BENCHMARK(bm_compute_all_services);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_all)

@@ -1,0 +1,82 @@
+// Extension bench: session dynamics. The paper's eq. (10) implicitly
+// freezes the resource state for the whole user session. This harness
+// measures the user-perceived availability with REAL time passing between
+// function invocations (end-to-end system simulation), quantifying how
+// optimistic the frozen-state assumption is as sessions get longer.
+
+#include "bench_util.hpp"
+#include "upa/ta/end_to_end_sim.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace {
+
+namespace ut = upa::ta;
+namespace cm = upa::common;
+
+void print_dynamics() {
+  upa::bench::print_header(
+      "Session dynamics (frozen-state assumption)",
+      "End-to-end simulation: resources evolve while the session runs.\n"
+      "think = mean time between function invocations. think = 0 is the\n"
+      "eq. (10) regime; the paper's analytic value is shown for reference.\n"
+      "N_F=N_H=N_C=2, black-box repair rate 1/h.");
+
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(2);
+
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    const double analytic = ut::user_availability_eq10(uclass, p);
+    cm::Table t({"think time", "A(user) measured", "95% CI half-width",
+                 "delta vs eq. (10)"});
+    t.set_align(0, cm::Align::kLeft);
+    t.set_title("A(user), " + ut::user_class_name(uclass) +
+                " (eq. 10 = " + cm::fmt(analytic, 6) + ")");
+    struct Row {
+      const char* label;
+      double think_hours;
+    };
+    for (const Row& row : {Row{"0 (frozen state)", 0.0},
+                           Row{"1 minute", 1.0 / 60.0},
+                           Row{"10 minutes", 1.0 / 6.0},
+                           Row{"1 hour", 1.0},
+                           Row{"4 hours (stress)", 4.0}}) {
+      ut::EndToEndOptions options;
+      options.horizon_hours = 30000.0;
+      options.think_time_hours = row.think_hours;
+      options.sessions_per_replication = 25000;
+      options.replications = 5;
+      options.seed = 4242;
+      const auto result = ut::simulate_end_to_end(uclass, p, options);
+      t.add_row({row.label,
+                 cm::fmt(result.perceived_availability.mean, 6),
+                 cm::fmt(result.perceived_availability.half_width, 4),
+                 cm::fmt(result.perceived_availability.mean - analytic, 5)});
+    }
+    std::cout << t << "\n";
+  }
+  std::cout
+      << "Within-snapshot failures are positively correlated across the\n"
+         "functions of one session (one LAN outage kills all of them at\n"
+         "once), which HELPS joint success; as think time grows the\n"
+         "snapshots decorrelate and the measured availability drops below\n"
+         "eq. (10). For minute-scale real sessions the frozen-state\n"
+         "assumption is accurate to well under one percentage point.\n\n";
+}
+
+void bm_end_to_end(benchmark::State& state) {
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(2);
+  ut::EndToEndOptions options;
+  options.horizon_hours = 5000.0;
+  options.sessions_per_replication = 5000;
+  options.replications = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ut::simulate_end_to_end(ut::UserClass::kB, p, options));
+  }
+}
+BENCHMARK(bm_end_to_end);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_dynamics)

@@ -1,0 +1,140 @@
+// Kernel timings: the numerical engines under the reproduction (dense LU
+// steady state vs iterative uniformized power iteration, birth-death
+// closed form, BDD compilation, GSPN reachability, absorbing-chain
+// analysis). No paper table here -- this bench characterizes the library
+// itself.
+
+#include "bench_util.hpp"
+#include "upa/faulttree/bdd.hpp"
+#include "upa/linalg/lu.hpp"
+#include "upa/markov/birth_death.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/markov/transient.hpp"
+#include "upa/profile/scenario.hpp"
+#include "upa/spn/net.hpp"
+#include "upa/spn/reachability.hpp"
+#include "upa/spn/to_ctmc.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace {
+
+namespace um = upa::markov;
+namespace ul = upa::linalg;
+
+void print_nothing() {
+  upa::bench::print_header(
+      "solver kernels",
+      "Timing-only bench: no paper artifact, see the counters below.");
+}
+
+/// Ring + shortcuts chain of n states (irreducible, sparse).
+um::Ctmc ring_chain(std::size_t n) {
+  um::Ctmc chain(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.add_rate(i, (i + 1) % n, 1.0 + 0.01 * static_cast<double>(i % 7));
+    if (i % 5 == 0) chain.add_rate(i, (i + 3) % n, 0.25);
+  }
+  return chain;
+}
+
+void bm_ctmc_steady_dense(benchmark::State& state) {
+  const um::Ctmc chain = ring_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.steady_state());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(bm_ctmc_steady_dense)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void bm_ctmc_steady_iterative(benchmark::State& state) {
+  const um::Ctmc chain = ring_chain(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.steady_state_iterative(1e-10));
+  }
+}
+BENCHMARK(bm_ctmc_steady_iterative)->Arg(16)->Arg(64)->Arg(256);
+
+void bm_birth_death_closed_form(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> birth(n, 2.0);
+  const std::vector<double> death(n, 3.0);
+  const um::BirthDeath bd(birth, death);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bd.steady_state());
+  }
+}
+BENCHMARK(bm_birth_death_closed_form)->Arg(16)->Arg(256)->Arg(4096);
+
+void bm_lu_solve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ul::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = (i == j) ? 4.0 : 1.0 / static_cast<double>(1 + i + j);
+    }
+  }
+  const ul::Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ul::solve(a, b));
+  }
+}
+BENCHMARK(bm_lu_solve)->Arg(32)->Arg(128)->Arg(512);
+
+void bm_transient_uniformization(benchmark::State& state) {
+  const um::Ctmc chain = ring_chain(64);
+  ul::Vector initial(64, 0.0);
+  initial[0] = 1.0;
+  const double t = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        um::transient_distribution(chain, initial, t));
+  }
+}
+BENCHMARK(bm_transient_uniformization)->Arg(1)->Arg(10)->Arg(100);
+
+void bm_bdd_majority(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    upa::faulttree::BddManager mgr(vars);
+    std::vector<upa::faulttree::BddRef> fns;
+    for (std::size_t v = 0; v < vars; ++v) fns.push_back(mgr.variable(v));
+    const auto top = mgr.at_least(vars / 2, fns);
+    const std::vector<double> p(vars, 0.01);
+    benchmark::DoNotOptimize(mgr.probability(top, p));
+  }
+}
+BENCHMARK(bm_bdd_majority)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_spn_reachability(benchmark::State& state) {
+  const int tokens = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    upa::spn::PetriNet net;
+    const auto up = net.add_place("up", tokens);
+    const auto down = net.add_place("down", 0);
+    const auto fail = net.add_timed_transition(
+        "fail", 1e-3, upa::spn::ServerSemantics::kInfiniteServer);
+    net.add_input_arc(fail, up);
+    net.add_output_arc(fail, down);
+    const auto repair = net.add_timed_transition("repair", 1.0);
+    net.add_input_arc(repair, down);
+    net.add_output_arc(repair, up);
+    const auto graph = upa::spn::explore(net);
+    benchmark::DoNotOptimize(upa::spn::to_ctmc(net, graph));
+  }
+}
+BENCHMARK(bm_spn_reachability)->Arg(10)->Arg(100)->Arg(1000);
+
+void bm_visited_set_probability(benchmark::State& state) {
+  const auto profile =
+      upa::ta::fitted_session_graph(upa::ta::UserClass::kA);
+  const std::set<std::size_t> all{0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        upa::profile::visited_exactly_probability(profile, all));
+  }
+}
+BENCHMARK(bm_visited_set_probability);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_nothing)

@@ -1,0 +1,105 @@
+// Regenerates Table 8: user-perceived availability for user classes A and
+// B as the number of reservation systems N_F = N_H = N_C grows, side by
+// side with the paper's published cells. The shape (monotone rise,
+// saturation beyond N ~ 4, class A above class B, step deltas) reproduces;
+// the class-B absolute cells are not derivable from Table 7 (see
+// EXPERIMENTS.md for the reverse-engineering).
+
+#include <array>
+
+#include "bench_util.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace {
+
+namespace ut = upa::ta;
+namespace cm = upa::common;
+
+constexpr std::array<std::size_t, 6> kN = {1, 2, 3, 4, 5, 10};
+constexpr std::array<double, 6> kPaperA = {0.84235, 0.96509, 0.97867,
+                                           0.98004, 0.98018, 0.98020};
+constexpr std::array<double, 6> kPaperB = {0.76875, 0.95529, 0.97593,
+                                           0.97802, 0.97822, 0.97825};
+
+void print_table8() {
+  upa::bench::print_header(
+      "Table 8",
+      "User-perceived availability vs N_F = N_H = N_C, classes A and B.\n"
+      "'ours' = eq. (10) with Table 7 parameters taken literally.");
+  cm::Table t({"N", "A(class A) ours", "paper", "diff", "A(class B) ours",
+               "paper", "diff"});
+  for (std::size_t i = 0; i < kN.size(); ++i) {
+    const auto p = upa::bench::paper_params(kN[i]);
+    const double a = ut::user_availability_eq10(ut::UserClass::kA, p);
+    const double b = ut::user_availability_eq10(ut::UserClass::kB, p);
+    t.add_row({std::to_string(kN[i]), cm::fmt_fixed(a, 5),
+               cm::fmt_fixed(kPaperA[i], 5), cm::fmt_fixed(a - kPaperA[i], 5),
+               cm::fmt_fixed(b, 5), cm::fmt_fixed(kPaperB[i], 5),
+               cm::fmt_fixed(b - kPaperB[i], 5)});
+  }
+  std::cout << t << "\n";
+
+  cm::Table d({"step", "delta A ours", "delta A paper", "delta B ours",
+               "delta B paper"});
+  d.set_title(
+      "Step deltas (isolate the N-dependent external-service term, which\n"
+      "IS consistent between Table 7 and Table 8)");
+  for (std::size_t i = 1; i < kN.size(); ++i) {
+    const auto lo = upa::bench::paper_params(kN[i - 1]);
+    const auto hi = upa::bench::paper_params(kN[i]);
+    const double da = ut::user_availability_eq10(ut::UserClass::kA, hi) -
+                      ut::user_availability_eq10(ut::UserClass::kA, lo);
+    const double db = ut::user_availability_eq10(ut::UserClass::kB, hi) -
+                      ut::user_availability_eq10(ut::UserClass::kB, lo);
+    d.add_row({std::to_string(kN[i - 1]) + "->" + std::to_string(kN[i]),
+               cm::fmt_sci(da, 3), cm::fmt_sci(kPaperA[i] - kPaperA[i - 1], 3),
+               cm::fmt_sci(db, 3),
+               cm::fmt_sci(kPaperB[i] - kPaperB[i - 1], 3)});
+  }
+  std::cout << d << "\n";
+
+  std::cout << "Hierarchical-model cross-check (must equal eq. 10):\n";
+  const auto p = upa::bench::paper_params(5);
+  std::cout << "  class A: eq10 = "
+            << cm::fmt(ut::user_availability_eq10(ut::UserClass::kA, p), 10)
+            << ", hierarchy = "
+            << cm::fmt(
+                   ut::user_availability_hierarchical(ut::UserClass::kA, p),
+                   10)
+            << "\n\n";
+}
+
+void bm_eq10(benchmark::State& state) {
+  const auto p = upa::bench::paper_params(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ut::user_availability_eq10(ut::UserClass::kB, p));
+  }
+}
+BENCHMARK(bm_eq10);
+
+void bm_hierarchical(benchmark::State& state) {
+  const auto p = upa::bench::paper_params(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ut::user_availability_hierarchical(ut::UserClass::kB, p));
+  }
+}
+BENCHMARK(bm_hierarchical);
+
+void bm_table8_full(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t n : kN) {
+      const auto p = upa::bench::paper_params(n);
+      acc += ut::user_availability_eq10(ut::UserClass::kA, p);
+      acc += ut::user_availability_eq10(ut::UserClass::kB, p);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_table8_full);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_table8)

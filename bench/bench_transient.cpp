@@ -1,0 +1,82 @@
+// Transient analysis supporting the paper's modeling assumption
+// (Section 4.1.2): the composite performance-availability approach
+// requires the failure/repair process to reach quasi-steady state between
+// performance events. This bench quantifies both sides: how fast the farm
+// chain converges to its steady state (hours) vs the request timescale
+// (milliseconds), and how the interval availability over a finite mission
+// approaches the steady value.
+
+#include "bench_util.hpp"
+#include "upa/core/performability.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/markov/reward.hpp"
+#include "upa/markov/transient.hpp"
+
+namespace {
+
+namespace uc = upa::core;
+namespace um = upa::markov;
+namespace cm = upa::common;
+
+void print_transient() {
+  upa::bench::print_header(
+      "Quasi-steady-state assumption (Section 4.1.2)",
+      "Transient behaviour of the Figure 10 farm chain (N_W=4, c=0.98,\n"
+      "lambda=1e-4/h, mu=1/h, beta=12/h), starting from all-servers-up.");
+
+  const uc::WebFarmParams farm{4, 1e-4, 1.0, 0.98, 12.0};
+  const uc::WebQueueParams queue{100.0, 100.0, 10};
+  const auto composite = uc::composite_imperfect(farm, queue);
+  const double steady = composite.availability();
+
+  const um::RewardModel reward(composite.chain(),
+                               composite.service_probability());
+  upa::linalg::Vector initial(composite.chain().state_count(), 0.0);
+  initial[4] = 1.0;  // all four servers up
+
+  cm::Table t({"t [hours]", "point availability A(t)",
+               "interval availability A_I(0,t)", "|A(t) - A_steady|"});
+  for (double t_h : {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0}) {
+    const double point = reward.transient_reward(initial, t_h);
+    const double interval = reward.interval_reward(initial, t_h, 100);
+    t.add_row({cm::fmt(t_h, 6), cm::fmt(point, 10), cm::fmt(interval, 10),
+               cm::fmt_sci(std::abs(point - steady), 2)});
+  }
+  std::cout << t << "\n";
+  std::cout << "steady-state composite availability = " << cm::fmt(steady, 10)
+            << "\n";
+  const double separation = uc::timescale_separation_ratio(
+      composite.chain(), /*performance rate*/ 100.0 * 3600.0);
+  std::cout << "timescale separation (failure dynamics / request rate) = "
+            << cm::fmt_sci(separation, 2)
+            << "  (<< 1: the composite approach is sound)\n\n";
+
+  // Mission-time view: short missions see better-than-steady service
+  // because the farm starts fully up.
+  cm::Table m({"mission length", "expected served fraction"});
+  m.set_align(0, cm::Align::kLeft);
+  for (double hours : {24.0, 24.0 * 7, 24.0 * 30, 24.0 * 365}) {
+    m.add_row({cm::fmt(hours / 24.0, 4) + " days",
+               cm::fmt(reward.interval_reward(initial, hours, 200), 10)});
+  }
+  std::cout << m << "\n";
+}
+
+void bm_transient_point(benchmark::State& state) {
+  const uc::WebFarmParams farm{4, 1e-4, 1.0, 0.98, 12.0};
+  const uc::WebQueueParams queue{100.0, 100.0, 10};
+  const auto composite = uc::composite_imperfect(farm, queue);
+  const um::RewardModel reward(composite.chain(),
+                               composite.service_probability());
+  upa::linalg::Vector initial(composite.chain().state_count(), 0.0);
+  initial[4] = 1.0;
+  const double t = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reward.transient_reward(initial, t));
+  }
+}
+BENCHMARK(bm_transient_point)->Arg(10)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+UPA_BENCH_MAIN(print_transient)

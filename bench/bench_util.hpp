@@ -1,0 +1,42 @@
+#pragma once
+// Shared plumbing for the reproduction harnesses. Every bench binary
+// first prints the paper artifact it regenerates (table rows / figure
+// series, paper value vs reproduced value where applicable), then runs
+// google-benchmark timings of the underlying kernels.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "upa/common/table.hpp"
+#include "upa/ta/params.hpp"
+
+namespace upa::bench {
+
+/// Paper configuration shortcuts.
+[[nodiscard]] inline ta::TaParameters paper_params(std::size_t n_reservation) {
+  return ta::TaParameters::paper_defaults().with_reservation_systems(
+      n_reservation);
+}
+
+inline void print_header(const char* artifact, const char* description) {
+  std::cout << "==============================================================="
+               "=\n"
+            << "Reproduction of " << artifact << "\n"
+            << description << "\n"
+            << "==============================================================="
+               "=\n\n";
+}
+
+}  // namespace upa::bench
+
+/// Prints the reproduction output, then runs registered benchmarks.
+#define UPA_BENCH_MAIN(print_fn)                      \
+  int main(int argc, char** argv) {                   \
+    print_fn();                                       \
+    benchmark::Initialize(&argc, argv);               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();              \
+    benchmark::Shutdown();                            \
+    return 0;                                         \
+  }

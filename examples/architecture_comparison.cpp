@@ -1,0 +1,80 @@
+// Architecture comparison (the paper's Figures 7/8 at the user level):
+// quantify what the redundant server-farm architecture buys each user
+// class, and decompose the web service's unavailability into performance
+// loss vs downtime (the composite-model view).
+//
+//   $ ./architecture_comparison
+
+#include <iostream>
+
+#include "upa/common/table.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace {
+
+namespace ta = upa::ta;
+namespace uc = upa::core;
+namespace cm = upa::common;
+
+}  // namespace
+
+int main() {
+  const auto base =
+      ta::TaParameters::paper_defaults().with_reservation_systems(4);
+
+  // 1. Architecture gap at every level of the hierarchy.
+  cm::Table t({"measure", "basic (Fig. 7)", "redundant (Fig. 8)"});
+  t.set_align(0, cm::Align::kLeft);
+  t.set_title("Availability by level: basic vs redundant architecture");
+  auto basic = base;
+  basic.architecture = ta::Architecture::kBasic;
+  const auto sb = ta::compute_services(basic);
+  const auto sr = ta::compute_services(base);
+  t.add_row({"A(Web service)", cm::fmt(sb.web, 8), cm::fmt(sr.web, 8)});
+  t.add_row({"A(Application service)", cm::fmt(sb.application, 8),
+             cm::fmt(sr.application, 8)});
+  t.add_row({"A(Database service)", cm::fmt(sb.database, 8),
+             cm::fmt(sr.database, 8)});
+  for (const auto f : {ta::TaFunction::kBrowse, ta::TaFunction::kSearch,
+                       ta::TaFunction::kPay}) {
+    t.add_row({"A(" + ta::function_name(f) + ")",
+               cm::fmt(ta::function_availability(f, sb, basic), 8),
+               cm::fmt(ta::function_availability(f, sr, base), 8)});
+  }
+  for (const auto uclass : {ta::UserClass::kA, ta::UserClass::kB}) {
+    t.add_row({"A(user, " + ta::user_class_name(uclass) + ")",
+               cm::fmt(ta::user_availability_eq10(uclass, basic), 8),
+               cm::fmt(ta::user_availability_eq10(uclass, base), 8)});
+  }
+  std::cout << t << "\n";
+
+  // 2. Composite-model decomposition of the web farm: how much of the
+  //    unavailability is requests bouncing off a full buffer vs the farm
+  //    being down?
+  cm::Table d({"alpha [req/s]", "UA total", "performance loss",
+               "downtime loss"});
+  d.set_title(
+      "Web-farm unavailability decomposition (redundant, imperfect\n"
+      "coverage, N_W=4): performance-related vs failure-related loss");
+  for (double alpha : {50.0, 100.0, 150.0}) {
+    auto p = base;
+    p.alpha = alpha;
+    const auto model = uc::composite_imperfect(ta::web_farm_params(p),
+                                               ta::web_queue_params(p));
+    const auto breakdown = model.breakdown();
+    d.add_row({cm::fmt(alpha, 3),
+               cm::fmt_sci(1.0 - breakdown.availability, 3),
+               cm::fmt_sci(breakdown.performance_loss, 3),
+               cm::fmt_sci(breakdown.downtime_loss, 3)});
+  }
+  std::cout << d << "\n";
+
+  std::cout
+      << "Two regimes: under overload (alpha >= nu) the buffer dominates\n"
+         "and redundancy pays for itself through capacity; under light\n"
+         "load the uncovered-failure downtime dominates and coverage\n"
+         "quality matters more than farm size.\n";
+  return 0;
+}

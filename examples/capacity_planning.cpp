@@ -1,0 +1,82 @@
+// Capacity planning (the paper's Section 5.1 use case): how many web
+// servers does a provider need to hit an availability target, given the
+// expected request rate and the quality of its fault handling?
+//
+//   $ ./capacity_planning
+//
+// Demonstrates: composite performance-availability models, threshold
+// search, and why imperfect coverage makes "just add servers" wrong.
+
+#include <iostream>
+#include <optional>
+
+#include "upa/common/table.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/sensitivity/threshold.hpp"
+
+namespace {
+
+namespace uc = upa::core;
+namespace us = upa::sensitivity;
+namespace cm = upa::common;
+
+double farm_unavailability(std::size_t servers, double lambda, double alpha,
+                           double coverage) {
+  uc::WebFarmParams farm;
+  farm.servers = servers;
+  farm.failure_rate = lambda;   // per hour
+  farm.repair_rate = 1.0;       // per hour
+  farm.coverage = coverage;
+  farm.reconfiguration_rate = 12.0;  // 5 min mean manual reconfiguration
+  uc::WebQueueParams queue;
+  queue.arrival_rate = alpha;  // per second
+  queue.service_rate = 100.0;
+  queue.buffer = 10;
+  return coverage < 1.0
+             ? 1.0 - uc::web_service_availability_imperfect(farm, queue)
+             : 1.0 - uc::web_service_availability_perfect(farm, queue);
+}
+
+}  // namespace
+
+int main() {
+  // Availability target: at most 5 minutes of downtime per year.
+  const double target_ua =
+      1.0 - us::availability_for_downtime_minutes_per_year(5.0);
+  std::cout << "Target: <= 5 min downtime/year (UA < "
+            << cm::fmt_sci(target_ua, 2) << ")\n\n";
+
+  cm::Table t({"failure rate [1/h]", "arrival rate [req/s]", "coverage",
+               "min servers", "feasible set (1..10)"});
+  for (double lambda : {1e-2, 1e-3, 1e-4}) {
+    for (double alpha : {50.0, 100.0, 150.0}) {
+      for (double coverage : {0.98, 1.0}) {
+        const auto region = us::satisfying_set(1, 10, [&](std::size_t n) {
+          return farm_unavailability(n, lambda, alpha, coverage) < target_ua;
+        });
+        std::string set;
+        for (std::size_t i = 0; i < region.size(); ++i) {
+          if (i != 0) set += ",";
+          set += std::to_string(region[i]);
+        }
+        t.add_row({cm::fmt_sci(lambda, 0), cm::fmt(alpha, 3),
+                   cm::fmt(coverage, 3),
+                   region.empty() ? "infeasible"
+                                  : std::to_string(region.front()),
+                   region.empty() ? "-" : set});
+      }
+    }
+  }
+  std::cout << t << "\n";
+
+  std::cout
+      << "Reading the table:\n"
+      << " * With perfect coverage, adding servers always helps -- the\n"
+      << "   feasible set is an up-closed interval.\n"
+      << " * With 98% coverage, every extra server adds uncovered-failure\n"
+      << "   exposure: feasible sets close from above (e.g. lambda=1e-3,\n"
+      << "   alpha=100 is feasible ONLY with exactly 5 servers).\n"
+      << " * At lambda=1e-2/h no farm size in 1..10 meets the target:\n"
+      << "   invest in component reliability, not replication.\n";
+  return 0;
+}

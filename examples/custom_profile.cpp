@@ -1,0 +1,129 @@
+// Custom operational profile: model your own application's session graph
+// and compute the user-perceived availability for it -- the framework is
+// not tied to the paper's travel agency.
+//
+//   $ ./custom_profile
+//
+// Scenario: a video-streaming service with functions Landing, Search,
+// Play and Rate. Two profiles ("lean-back" vs "binger") share one
+// infrastructure; the perceived availability differs because they
+// exercise different services.
+
+#include <iostream>
+
+#include "upa/common/numeric.hpp"
+#include "upa/common/table.hpp"
+#include "upa/core/hierarchy.hpp"
+#include "upa/profile/scenario.hpp"
+#include "upa/profile/session_graph.hpp"
+
+namespace {
+
+namespace up = upa::profile;
+namespace uc = upa::core;
+namespace cm = upa::common;
+
+up::OperationalProfile lean_back_profile() {
+  return up::SessionGraphBuilder()
+      .add_function("Landing")
+      .add_function("Search")
+      .add_function("Play")
+      .add_function("Rate")
+      .transition("Start", "Landing", 1.0)
+      .transition("Landing", "Play", 0.55)   // autoplay row
+      .transition("Landing", "Search", 0.25)
+      .transition("Landing", "Exit", 0.20)
+      .transition("Search", "Play", 0.70)
+      .transition("Search", "Exit", 0.30)
+      .transition("Play", "Play", 0.45)      // next episode
+      .transition("Play", "Rate", 0.05)
+      .transition("Play", "Exit", 0.50)
+      .transition("Rate", "Play", 0.60)
+      .transition("Rate", "Exit", 0.40)
+      .build();
+}
+
+up::OperationalProfile binger_profile() {
+  return up::SessionGraphBuilder()
+      .add_function("Landing")
+      .add_function("Search")
+      .add_function("Play")
+      .add_function("Rate")
+      .transition("Start", "Landing", 1.0)
+      .transition("Landing", "Play", 0.30)
+      .transition("Landing", "Search", 0.60)
+      .transition("Landing", "Exit", 0.10)
+      .transition("Search", "Play", 0.85)
+      .transition("Search", "Exit", 0.15)
+      .transition("Play", "Play", 0.75)
+      .transition("Play", "Rate", 0.10)
+      .transition("Play", "Exit", 0.15)
+      .transition("Rate", "Play", 0.80)
+      .transition("Rate", "Exit", 0.20)
+      .build();
+}
+
+/// Shared infrastructure: CDN edge, catalog service, playback backend,
+/// ratings store -- each used by different functions.
+uc::UserLevelModel build_model(const up::OperationalProfile& profile) {
+  uc::ServiceCatalog catalog;
+  const auto edge = catalog.add("cdn-edge", 0.9995);
+  const auto catalog_svc = catalog.add("catalog", 0.999);
+  const auto playback = catalog.add("playback", 0.998);
+  const auto ratings = catalog.add("ratings", 0.99);
+
+  std::vector<uc::FunctionModel> functions;
+  functions.push_back(uc::FunctionModel::all_of("Landing", {edge}));
+  functions.push_back(
+      uc::FunctionModel::all_of("Search", {edge, catalog_svc}));
+  // Play has a degraded path: 90% of plays go through the catalog for
+  // recommendations, 10% are direct-URL plays that skip it.
+  functions.push_back(uc::FunctionModel(
+      "Play", {uc::ExecutionPath{0.9, {edge, catalog_svc, playback}},
+               uc::ExecutionPath{0.1, {edge, playback}}}));
+  functions.push_back(
+      uc::FunctionModel::all_of("Rate", {edge, ratings}));
+
+  // Scenario classes straight from the graph: exact visited-set analysis.
+  up::ScenarioSet scenarios(
+      {"Landing", "Search", "Play", "Rate"});
+  for (const auto& sc : up::scenario_classes(profile, 1e-9)) {
+    scenarios.add(sc.label, sc.functions, sc.probability);
+  }
+  return uc::UserLevelModel(std::move(catalog), std::move(functions),
+                            std::move(scenarios));
+}
+
+void report(const char* name, const up::OperationalProfile& profile) {
+  const auto model = build_model(profile);
+  std::cout << "--- " << name << " ---\n";
+  cm::Table t({"scenario class", "probability", "availability"});
+  t.set_align(0, cm::Align::kLeft);
+  for (const auto& sc : model.scenarios().scenarios()) {
+    if (sc.probability < 0.01) continue;  // print the head of the list
+    t.add_row({sc.label, cm::fmt_fixed(sc.probability, 4),
+               cm::fmt(model.scenario_availability(sc), 6)});
+  }
+  std::cout << t;
+  const double a = model.user_availability();
+  std::cout << "user-perceived availability = " << cm::fmt(a, 6) << "  ("
+            << cm::fmt_fixed(cm::downtime_hours_per_year(a), 1)
+            << " h downtime/yr)\n"
+            << "mean functions invoked/session (analytic) = "
+            << cm::fmt(profile.mean_session_length(), 4) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "User-perceived availability of a streaming service under\n"
+               "two operational profiles sharing one infrastructure.\n\n";
+  report("lean-back profile", lean_back_profile());
+  report("binger profile", binger_profile());
+  std::cout
+      << "The binger profile chains many Play invocations through the\n"
+         "catalog and ratings services, so the same infrastructure looks\n"
+         "less available to it -- the paper's core observation, on a\n"
+         "different domain.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Measurement study: treat the modeled travel agency as if it were a
+// production system. Derive A_LAN from LAN component data (instead of
+// assuming Table 7's constant), then "measure" the user-perceived
+// availability by end-to-end simulation with realistic think times, and
+// compare against the analytic eq. (10) prediction.
+//
+//   $ ./measurement_study
+
+#include <iostream>
+
+#include "upa/common/table.hpp"
+#include "upa/ta/end_to_end_sim.hpp"
+#include "upa/ta/lan_model.hpp"
+#include "upa/ta/user_availability.hpp"
+
+int main() {
+  namespace ta = upa::ta;
+  namespace cm = upa::common;
+
+  // 1. Resource level: derive the LAN availability from component data
+  //    (dual bus, four taps) instead of assuming 0.9966.
+  ta::LanComponentParams lan;
+  lan.medium = 0.9992;
+  lan.tap = 0.9994;
+  lan.stations = 4;
+  lan.redundant_media = 2;
+  const double a_lan = ta::bus_lan_availability(lan);
+  std::cout << "derived A(LAN): dual bus = " << cm::fmt(a_lan, 6)
+            << " (vs ring of same parts = "
+            << cm::fmt(ta::ring_lan_availability(lan.medium, lan.tap,
+                                                 lan.stations),
+                       6)
+            << ", Table 7 assumed 0.9966)\n\n";
+
+  auto params =
+      ta::TaParameters::paper_defaults().with_reservation_systems(2);
+  params.a_lan = a_lan;
+
+  // 2. Analytic prediction.
+  const double predicted =
+      ta::user_availability_eq10(ta::UserClass::kB, params);
+  std::cout << "analytic prediction (eq. 10, class B): "
+            << cm::fmt(predicted, 6) << "\n\n";
+
+  // 3. "Measurement": end-to-end simulation with resources evolving
+  //    during the sessions.
+  cm::Table t({"mean think time", "measured A(user)", "95% CI",
+               "gap to prediction"});
+  t.set_align(0, cm::Align::kLeft);
+  for (double think_minutes : {0.0, 1.0, 5.0, 30.0}) {
+    ta::EndToEndOptions options;
+    options.horizon_hours = 20000.0;
+    options.think_time_hours = think_minutes / 60.0;
+    options.sessions_per_replication = 20000;
+    options.replications = 5;
+    options.seed = 123;
+    const auto result =
+        ta::simulate_end_to_end(ta::UserClass::kB, params, options);
+    t.add_row({think_minutes == 0.0
+                   ? std::string("0 (frozen state)")
+                   : cm::fmt(think_minutes, 3) + " min",
+               cm::fmt(result.perceived_availability.mean, 6),
+               "+-" + cm::fmt(result.perceived_availability.half_width, 3),
+               cm::fmt(result.perceived_availability.mean - predicted, 4)});
+  }
+  std::cout << t << "\n";
+
+  std::cout
+      << "Reading the study: the analytic model is exact for instantaneous\n"
+         "sessions and stays within a fraction of a percentage point for\n"
+         "minute-scale think times; the gap grows once sessions live long\n"
+         "enough for resources to change state mid-session.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Business-impact analysis (the paper's Section 5.2, extended): which
+// scenario categories cost the travel agency money, how much revenue is
+// at risk, and which single investment (payment provider SLA vs more
+// reservation partners vs web-farm quality) buys the most.
+//
+//   $ ./revenue_analysis
+
+#include <iostream>
+
+#include "upa/common/table.hpp"
+#include "upa/ta/revenue.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace {
+
+namespace ta = upa::ta;
+namespace cm = upa::common;
+
+void print_breakdown(ta::UserClass uclass, const ta::TaParameters& params) {
+  const auto breakdown = ta::category_breakdown(uclass, params);
+  cm::Table t({"category", "UA contribution", "hours/year"});
+  t.set_align(0, cm::Align::kLeft);
+  t.set_title("Unavailability by scenario category, " +
+              ta::user_class_name(uclass));
+  for (const auto& [category, ua] : breakdown.unavailability) {
+    t.add_row({ta::category_name(category), cm::fmt_sci(ua, 3),
+               cm::fmt_fixed(ua * 8760.0, 1)});
+  }
+  t.add_row({"total", cm::fmt_sci(breakdown.total_unavailability, 3),
+             cm::fmt_fixed(breakdown.total_unavailability * 8760.0, 1)});
+  std::cout << t << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto params =
+      ta::TaParameters::paper_defaults().with_reservation_systems(5);
+  const ta::RevenueParams biz;  // 100 tx/s, $100/transaction
+
+  std::cout << "Where does the travel agency lose user goodwill and "
+               "revenue?\n\n";
+  for (const auto uclass : {ta::UserClass::kA, ta::UserClass::kB}) {
+    print_breakdown(uclass, params);
+    const auto loss = ta::revenue_loss(uclass, params, biz);
+    std::cout << "  lost payment transactions/yr : "
+              << cm::fmt_sci(loss.lost_transactions_per_year, 3)
+              << "\n  lost revenue/yr              : $"
+              << cm::fmt_sci(loss.lost_revenue_per_year, 3) << "\n\n";
+  }
+
+  // Investment comparison: one upgrade at a time, measured in recovered
+  // class-B revenue.
+  const double base_loss =
+      ta::revenue_loss(ta::UserClass::kB, params, biz).lost_revenue_per_year;
+  cm::Table t({"single investment", "lost revenue $/yr", "saved vs base"});
+  t.set_align(0, cm::Align::kLeft);
+  t.set_title("Which upgrade recovers the most class-B revenue?");
+  t.add_row({"(baseline)", cm::fmt_sci(base_loss, 3), "-"});
+
+  auto evaluate = [&](const char* label, ta::TaParameters p) {
+    const double loss =
+        ta::revenue_loss(ta::UserClass::kB, p, biz).lost_revenue_per_year;
+    t.add_row({label, cm::fmt_sci(loss, 3),
+               "$" + cm::fmt_sci(base_loss - loss, 3)});
+  };
+  {
+    auto p = params;
+    p.a_payment = 0.99;
+    evaluate("payment SLA 0.9 -> 0.99", p);
+  }
+  {
+    auto p = params;
+    p.a_net = p.a_lan = 0.9999;
+    evaluate("net+LAN 0.9966 -> 0.9999", p);
+  }
+  {
+    auto p = params;
+    p.a_disk = 0.99;
+    evaluate("disks 0.9 -> 0.99", p);
+  }
+  {
+    auto p = params;
+    p.coverage = 0.999;
+    evaluate("fault coverage 0.98 -> 0.999", p);
+  }
+  std::cout << t << "\n";
+  std::cout << "The payment system is the single biggest lever for the\n"
+               "pay category -- exactly the argument the paper makes for\n"
+               "modeling the user-PERCEIVED measure: an infrastructure-only\n"
+               "view (net/LAN/web) would misdirect the investment.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "upa/cli/args.hpp"
+
+#include <cstdlib>
+
+#include "upa/common/error.hpp"
+
+namespace upa::cli {
+
+Args::Args(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+Args::Args(const std::vector<std::string>& tokens) { parse(tokens); }
+
+void Args::parse(const std::vector<std::string>& tokens) {
+  std::size_t i = 0;
+  if (!tokens.empty() && tokens[0].rfind("--", 0) != 0) {
+    command_ = tokens[0];
+    i = 1;
+  }
+  for (; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    UPA_REQUIRE(token.rfind("--", 0) == 0,
+                "expected an --option, got '" + token + "'");
+    const std::string name = token.substr(2);
+    UPA_REQUIRE(!name.empty(), "empty option name");
+    UPA_REQUIRE(!options_.contains(name), "duplicate option --" + name);
+    if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      options_[name] = tokens[i + 1];
+      ++i;
+    } else {
+      options_[name] = "";  // boolean flag
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  accessed_[name] = true;
+  return options_.contains(name);
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  accessed_[name] = true;
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  accessed_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  UPA_REQUIRE(!it->second.empty(), "--" + name + " needs a value");
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  UPA_REQUIRE(end != nullptr && *end == '\0',
+              "--" + name + " expects a number, got '" + it->second + "'");
+  return value;
+}
+
+std::size_t Args::get_size(const std::string& name,
+                           std::size_t fallback) const {
+  const double value =
+      get_double(name, static_cast<double>(fallback));
+  UPA_REQUIRE(value >= 0.0 && value == static_cast<std::size_t>(value),
+              "--" + name + " expects a non-negative integer");
+  return static_cast<std::size_t>(value);
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : options_) {
+    if (!accessed_.contains(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace upa::cli

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal command-line argument parsing for the upa tools: positional
+// command + "--name value" / "--flag" options. Deliberately dependency-
+// free and strict: unknown access patterns throw, so tools fail loudly on
+// typos.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace upa::cli {
+
+/// Parsed command line: one optional positional command followed by
+/// --key [value] options. A token starting with "--" is an option name;
+/// it consumes the next token as its value unless that token is also an
+/// option (then it is a boolean flag).
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+  explicit Args(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] const std::string& command() const noexcept {
+    return command_;
+  }
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String option with default.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+
+  /// Numeric options with defaults; throw ModelError on non-numeric text.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& name,
+                                     std::size_t fallback) const;
+
+  /// Names that were provided but never read (typo detection).
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+
+  std::string command_;
+  std::map<std::string, std::string> options_;  // name -> value ("" = flag)
+  mutable std::map<std::string, bool> accessed_;
+};
+
+}  // namespace upa::cli

@@ -1,0 +1,57 @@
+#include "upa/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "upa/common/error.hpp"
+
+namespace upa::common {
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void emit_row(std::ostringstream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) os << ',';
+    os << escape(row[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  UPA_REQUIRE(!headers_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  UPA_REQUIRE(cells.size() == headers_.size(),
+              "csv row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  emit_row(os, headers_);
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  UPA_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << str();
+  UPA_REQUIRE(out.good(), "write to " + path + " failed");
+}
+
+}  // namespace upa::common

@@ -1,0 +1,29 @@
+#pragma once
+// CSV emission so benchmark harness outputs can be post-processed (plots,
+// regression dashboards) without re-running the models.
+
+#include <string>
+#include <vector>
+
+namespace upa::common {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes cells containing
+/// separators/quotes/newlines). Used by bench binaries behind --csv flags.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the full document (header + rows).
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to a file; throws ModelError on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace upa::common

@@ -1,0 +1,21 @@
+#include "upa/common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace upa::common {
+
+void throw_model_error(const std::string& message, std::source_location loc) {
+  throw ModelError(std::string(loc.function_name()) + ": " + message);
+}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "upa internal invariant violated: %s (%s:%d)\n", expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace upa::common

@@ -1,0 +1,55 @@
+#pragma once
+// Error handling for the upa library.
+//
+// Policy (C++ Core Guidelines E.2/E.14): throw exceptions derived from
+// std::exception to signal errors that cannot be handled locally.
+// Precondition violations on the public API throw upa::common::ModelError
+// with a message naming the offending argument; internal invariant
+// violations use UPA_ASSERT which aborts in all build types (they indicate
+// library bugs, not user errors).
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace upa::common {
+
+/// Thrown when a model is ill-formed (bad probabilities, negative rates,
+/// inconsistent dimensions, ...) or when an algorithm cannot proceed
+/// (singular matrix, failed convergence, unbounded state space).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown specifically when an iterative algorithm fails to converge.
+class ConvergenceError : public ModelError {
+ public:
+  explicit ConvergenceError(const std::string& what) : ModelError(what) {}
+};
+
+[[noreturn]] void throw_model_error(
+    const std::string& message,
+    std::source_location loc = std::source_location::current());
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace upa::common
+
+/// Precondition check on public API boundaries: throws ModelError.
+#define UPA_REQUIRE(cond, message)                 \
+  do {                                             \
+    if (!(cond)) {                                 \
+      ::upa::common::throw_model_error((message)); \
+    }                                              \
+  } while (false)
+
+/// Internal invariant check: aborts (library bug if it fires).
+#define UPA_ASSERT(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::upa::common::detail::assert_fail(#cond, __FILE__, __LINE__); \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,62 @@
+#pragma once
+// Small numeric utilities shared by every module: tolerant comparisons,
+// probability validation, compensated summation, and log-domain
+// combinatorics (needed by the M/M/c/K and birth-death closed forms, whose
+// naive factorial evaluation overflows for moderate populations).
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace upa::common {
+
+/// Default absolute/relative tolerance used across the library when
+/// comparing probabilities and availabilities.
+inline constexpr double kDefaultTolerance = 1e-12;
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+[[nodiscard]] bool close(double a, double b, double rtol = 1e-9,
+                         double atol = 1e-12) noexcept;
+
+/// True when p is a valid probability within tolerance (clamps tiny
+/// negative round-off but rejects genuinely out-of-range values).
+[[nodiscard]] bool is_probability(double p, double tol = 1e-9) noexcept;
+
+/// Clamps a value known to be a probability up to round-off into [0, 1].
+/// Throws ModelError when the value is out of range beyond `tol`.
+[[nodiscard]] double clamp_probability(double p, double tol = 1e-9);
+
+/// Kahan-compensated sum of a range. Deterministic and accurate for the
+/// long weighted sums appearing in steady-state normalization.
+[[nodiscard]] double kahan_sum(std::span<const double> values) noexcept;
+
+/// ln(n!) via lgamma; exact-enough for all chain sizes we build.
+[[nodiscard]] double log_factorial(unsigned n) noexcept;
+
+/// n! as a double; throws ModelError when the result would overflow.
+[[nodiscard]] double factorial(unsigned n);
+
+/// Binomial coefficient C(n, k) as a double (log-domain internally).
+[[nodiscard]] double binomial(unsigned n, unsigned k) noexcept;
+
+/// Probability that at least k of n independent components, each available
+/// with probability p, are available (k-out-of-n:G structure).
+[[nodiscard]] double k_out_of_n(unsigned k, unsigned n, double p);
+
+/// Normalizes `weights` in place so they sum to one.
+/// Throws ModelError when the sum is not positive.
+void normalize(std::vector<double>& weights);
+
+/// Converts an availability into annual downtime hours (8760 h/year).
+[[nodiscard]] constexpr double downtime_hours_per_year(
+    double availability) noexcept {
+  return (1.0 - availability) * 8760.0;
+}
+
+/// Converts an availability into annual downtime minutes.
+[[nodiscard]] constexpr double downtime_minutes_per_year(
+    double availability) noexcept {
+  return (1.0 - availability) * 8760.0 * 60.0;
+}
+
+}  // namespace upa::common

@@ -1,0 +1,100 @@
+#include "upa/common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "upa/common/error.hpp"
+
+namespace upa::common {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  UPA_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  UPA_REQUIRE(cells.size() == headers_.size(),
+              "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  UPA_REQUIRE(column < aligns_.size(), "column index out of range");
+  aligns_[column] = align;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t w, Align a) {
+    std::string out;
+    const std::size_t missing = w > s.size() ? w - s.size() : 0;
+    if (a == Align::kRight) out.append(missing, ' ');
+    out += s;
+    if (a == Align::kLeft) out.append(missing, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  rule();
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "| " << pad(headers_[c], widths[c], Align::kLeft) << ' ';
+  }
+  os << "|\n";
+  rule();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << pad(row[c], widths[c], aligns_[c]) << ' ';
+    }
+    os << "|\n";
+  }
+  rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.str();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+std::string fmt_sci(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+}  // namespace upa::common

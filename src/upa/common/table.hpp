@@ -1,0 +1,55 @@
+#pragma once
+// ASCII table rendering used by the benchmark harnesses and examples to
+// print paper tables/figure series side by side with reproduced values.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace upa::common {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, add rows of strings (helpers
+/// format doubles), then stream it. No wrapping; cells are padded to the
+/// widest entry of their column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets the alignment for one column (default: right).
+  void set_align(std::size_t column, Align align);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+
+  /// Renders to a string (also available via operator<<).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+/// Formats a double with `digits` significant digits (general format).
+[[nodiscard]] std::string fmt(double value, int digits = 6);
+
+/// Formats a double with fixed `decimals` decimal places.
+[[nodiscard]] std::string fmt_fixed(double value, int decimals);
+
+/// Formats a double in scientific notation with `decimals` digits.
+[[nodiscard]] std::string fmt_sci(double value, int decimals = 3);
+
+}  // namespace upa::common

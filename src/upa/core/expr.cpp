@@ -1,0 +1,169 @@
+#include "upa/core/expr.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "upa/common/error.hpp"
+
+namespace upa::core {
+
+enum class ExprKind { kConst, kParam, kSum, kProduct };
+
+struct Expr::Node {
+  ExprKind kind = ExprKind::kConst;
+  double value = 0.0;      // kConst
+  std::string name;        // kParam
+  std::vector<Expr> children;
+};
+
+Expr Expr::constant(double value) {
+  return make(static_cast<int>(ExprKind::kConst), value, {}, {});
+}
+
+Expr Expr::param(std::string name) {
+  UPA_REQUIRE(!name.empty(), "parameter name must not be empty");
+  return make(static_cast<int>(ExprKind::kParam), 0.0, std::move(name), {});
+}
+
+Expr Expr::product(std::vector<Expr> children) {
+  UPA_REQUIRE(!children.empty(), "product needs at least one factor");
+  if (children.size() == 1) return children[0];
+  return make(static_cast<int>(ExprKind::kProduct), 0.0, {}, std::move(children));
+}
+
+Expr Expr::sum(std::vector<Expr> children) {
+  UPA_REQUIRE(!children.empty(), "sum needs at least one term");
+  if (children.size() == 1) return children[0];
+  return make(static_cast<int>(ExprKind::kSum), 0.0, {}, std::move(children));
+}
+
+Expr Expr::complement(const Expr& e) {
+  return sum({constant(1.0), product({constant(-1.0), e})});
+}
+
+Expr Expr::parallel(std::vector<Expr> children) {
+  UPA_REQUIRE(!children.empty(), "parallel needs at least one child");
+  std::vector<Expr> complements;
+  complements.reserve(children.size());
+  for (const Expr& c : children) complements.push_back(complement(c));
+  return complement(product(std::move(complements)));
+}
+
+Expr Expr::make(int kind, double value, std::string name,
+                std::vector<Expr> children) {
+  auto node = std::make_shared<Node>();
+  node->kind = static_cast<ExprKind>(kind);
+  node->value = value;
+  node->name = std::move(name);
+  node->children = std::move(children);
+  return Expr(std::move(node));
+}
+
+double Expr::evaluate(const Params& params) const {
+  switch (node_->kind) {
+    case ExprKind::kConst:
+      return node_->value;
+    case ExprKind::kParam: {
+      const auto it = params.find(node_->name);
+      UPA_REQUIRE(it != params.end(), "missing parameter " + node_->name);
+      return it->second;
+    }
+    case ExprKind::kSum: {
+      double s = 0.0;
+      for (const Expr& c : node_->children) s += c.evaluate(params);
+      return s;
+    }
+    case ExprKind::kProduct: {
+      double p = 1.0;
+      for (const Expr& c : node_->children) {
+        p *= c.evaluate(params);
+        if (p == 0.0) break;
+      }
+      return p;
+    }
+  }
+  UPA_ASSERT(false);
+  return 0.0;
+}
+
+Expr Expr::derivative(const std::string& param) const {
+  switch (node_->kind) {
+    case ExprKind::kConst:
+      return constant(0.0);
+    case ExprKind::kParam:
+      return constant(node_->name == param ? 1.0 : 0.0);
+    case ExprKind::kSum: {
+      std::vector<Expr> terms;
+      terms.reserve(node_->children.size());
+      for (const Expr& c : node_->children) {
+        terms.push_back(c.derivative(param));
+      }
+      return sum(std::move(terms));
+    }
+    case ExprKind::kProduct: {
+      // Product rule: sum over i of (d child_i) * prod of others.
+      std::vector<Expr> terms;
+      for (std::size_t i = 0; i < node_->children.size(); ++i) {
+        std::vector<Expr> factors;
+        factors.push_back(node_->children[i].derivative(param));
+        for (std::size_t j = 0; j < node_->children.size(); ++j) {
+          if (j != i) factors.push_back(node_->children[j]);
+        }
+        terms.push_back(product(std::move(factors)));
+      }
+      return sum(std::move(terms));
+    }
+  }
+  UPA_ASSERT(false);
+  return constant(0.0);
+}
+
+std::vector<std::string> Expr::parameters() const {
+  std::vector<std::string> names;
+  std::vector<const Expr*> stack{this};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (e->node_->kind == ExprKind::kParam) {
+      names.push_back(e->node_->name);
+    }
+    for (const Expr& c : e->node_->children) stack.push_back(&c);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::string Expr::to_string() const {
+  switch (node_->kind) {
+    case ExprKind::kConst: {
+      std::ostringstream os;
+      os << node_->value;
+      return os.str();
+    }
+    case ExprKind::kParam:
+      return node_->name;
+    case ExprKind::kSum:
+    case ExprKind::kProduct: {
+      const char* op = node_->kind == ExprKind::kSum ? " + " : " * ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < node_->children.size(); ++i) {
+        if (i != 0) out += op;
+        out += node_->children[i].to_string();
+      }
+      return out + ")";
+    }
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+std::map<std::string, double> gradient(const Expr& expr, const Params& at) {
+  std::map<std::string, double> g;
+  for (const std::string& name : expr.parameters()) {
+    g[name] = expr.derivative(name).evaluate(at);
+  }
+  return g;
+}
+
+}  // namespace upa::core

@@ -1,0 +1,69 @@
+#pragma once
+// Availability expressions: a small symbolic AST over named parameters
+// with exact evaluation and symbolic partial derivatives. Table 6 of the
+// paper and eq. (10) are such expressions; derivatives give first-order
+// sensitivity/importance of each availability parameter for free.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace upa::core {
+
+/// Parameter valuation by name.
+using Params = std::map<std::string, double>;
+
+/// Immutable expression handle (value semantics; cheap to copy).
+class Expr {
+ public:
+  [[nodiscard]] static Expr constant(double value);
+  [[nodiscard]] static Expr param(std::string name);
+
+  /// prod of children (series structure in availability terms).
+  [[nodiscard]] static Expr product(std::vector<Expr> children);
+
+  /// sum of children.
+  [[nodiscard]] static Expr sum(std::vector<Expr> children);
+
+  /// 1 - e.
+  [[nodiscard]] static Expr complement(const Expr& e);
+
+  /// 1 - prod(1 - e_i): parallel/redundant structure.
+  [[nodiscard]] static Expr parallel(std::vector<Expr> children);
+
+  friend Expr operator*(const Expr& a, const Expr& b) {
+    return product({a, b});
+  }
+  friend Expr operator+(const Expr& a, const Expr& b) { return sum({a, b}); }
+  friend Expr operator*(double k, const Expr& e) {
+    return product({constant(k), e});
+  }
+
+  /// Evaluates with the given parameter values; throws ModelError when a
+  /// referenced parameter is missing.
+  [[nodiscard]] double evaluate(const Params& params) const;
+
+  /// Symbolic partial derivative with respect to `param`.
+  [[nodiscard]] Expr derivative(const std::string& param) const;
+
+  /// Distinct parameter names appearing in the expression.
+  [[nodiscard]] std::vector<std::string> parameters() const;
+
+  /// Rendering such as "(1 - (1 - as) * (1 - as'))".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Node;
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  [[nodiscard]] static Expr make(int kind, double value, std::string name,
+                                 std::vector<Expr> children);
+  std::shared_ptr<const Node> node_;
+};
+
+/// First-order sensitivities of `expr` at `at`: parameter -> d expr / d p,
+/// sorted map (deterministic iteration for reports).
+[[nodiscard]] std::map<std::string, double> gradient(const Expr& expr,
+                                                     const Params& at);
+
+}  // namespace upa::core

@@ -1,0 +1,189 @@
+#include "upa/core/hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::core {
+
+ServiceId ServiceCatalog::add(std::string name, double availability) {
+  UPA_REQUIRE(!name.empty(), "service name must not be empty");
+  for (const std::string& existing : names_) {
+    UPA_REQUIRE(existing != name, "duplicate service " + name);
+  }
+  names_.push_back(std::move(name));
+  availability_.push_back(upa::common::clamp_probability(availability));
+  return names_.size() - 1;
+}
+
+const std::string& ServiceCatalog::name(ServiceId id) const {
+  UPA_REQUIRE(id < names_.size(), "service id out of range");
+  return names_[id];
+}
+
+double ServiceCatalog::availability(ServiceId id) const {
+  UPA_REQUIRE(id < availability_.size(), "service id out of range");
+  return availability_[id];
+}
+
+ServiceId ServiceCatalog::id_of(const std::string& name) const {
+  for (ServiceId id = 0; id < names_.size(); ++id) {
+    if (names_[id] == name) return id;
+  }
+  throw upa::common::ModelError("unknown service " + name);
+}
+
+void ServiceCatalog::set_availability(ServiceId id, double availability) {
+  UPA_REQUIRE(id < availability_.size(), "service id out of range");
+  availability_[id] = upa::common::clamp_probability(availability);
+}
+
+FunctionModel::FunctionModel(std::string name,
+                             std::vector<ExecutionPath> paths)
+    : name_(std::move(name)), paths_(std::move(paths)) {
+  UPA_REQUIRE(!name_.empty(), "function name must not be empty");
+  UPA_REQUIRE(!paths_.empty(), "function needs at least one execution path");
+  double total = 0.0;
+  for (const ExecutionPath& path : paths_) {
+    UPA_REQUIRE(upa::common::is_probability(path.probability),
+                "path probability out of range in function " + name_);
+    total += path.probability;
+    for (ServiceId s : path.services) involved_.push_back(s);
+  }
+  UPA_REQUIRE(std::abs(total - 1.0) <= 1e-9,
+              "path probabilities of function " + name_ + " sum to " +
+                  std::to_string(total));
+  std::sort(involved_.begin(), involved_.end());
+  involved_.erase(std::unique(involved_.begin(), involved_.end()),
+                  involved_.end());
+}
+
+FunctionModel FunctionModel::all_of(std::string name,
+                                    std::vector<ServiceId> services) {
+  return FunctionModel(std::move(name),
+                       {ExecutionPath{1.0, std::move(services)}});
+}
+
+double FunctionModel::success_given(
+    const std::vector<bool>& service_up) const {
+  double success = 0.0;
+  for (const ExecutionPath& path : paths_) {
+    bool all_up = true;
+    for (ServiceId s : path.services) {
+      UPA_REQUIRE(s < service_up.size(), "service id out of range");
+      if (!service_up[s]) {
+        all_up = false;
+        break;
+      }
+    }
+    if (all_up) success += path.probability;
+  }
+  return success;
+}
+
+double FunctionModel::availability(const ServiceCatalog& catalog) const {
+  // Paths may share services, so compute the expectation by conditioning
+  // on the involved services' joint state (independent services).
+  double total = 0.0;
+  const std::size_t m = involved_.size();
+  UPA_REQUIRE(m <= 20, "too many services for exact enumeration");
+  std::vector<bool> state(catalog.size(), false);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    double weight = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool up = mask & (std::size_t{1} << i);
+      const double a = catalog.availability(involved_[i]);
+      weight *= up ? a : 1.0 - a;
+      state[involved_[i]] = up;
+    }
+    if (weight == 0.0) continue;
+    total += weight * success_given(state);
+  }
+  return total;
+}
+
+UserLevelModel::UserLevelModel(ServiceCatalog catalog,
+                               std::vector<FunctionModel> functions,
+                               profile::ScenarioSet scenarios)
+    : catalog_(std::move(catalog)),
+      functions_(std::move(functions)),
+      scenarios_(std::move(scenarios)) {
+  UPA_REQUIRE(functions_.size() == scenarios_.function_names().size(),
+              "one FunctionModel per scenario-set function required");
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    UPA_REQUIRE(functions_[i].name() == scenarios_.function_names()[i],
+                "function model '" + functions_[i].name() +
+                    "' does not match scenario function '" +
+                    scenarios_.function_names()[i] + "'");
+  }
+}
+
+const FunctionModel& UserLevelModel::function(std::size_t i) const {
+  UPA_REQUIRE(i < functions_.size(), "function index out of range");
+  return functions_[i];
+}
+
+double UserLevelModel::joint_success(
+    const std::set<std::size_t>& functions) const {
+  UPA_REQUIRE(!functions.empty(), "need at least one function");
+  // Union of involved services across the invoked functions.
+  std::vector<ServiceId> involved;
+  for (std::size_t f : functions) {
+    UPA_REQUIRE(f < functions_.size(), "function index out of range");
+    const auto& services = functions_[f].involved_services();
+    involved.insert(involved.end(), services.begin(), services.end());
+  }
+  std::sort(involved.begin(), involved.end());
+  involved.erase(std::unique(involved.begin(), involved.end()),
+                 involved.end());
+  const std::size_t m = involved.size();
+  UPA_REQUIRE(m <= 20, "too many services for exact enumeration");
+
+  double total = 0.0;
+  std::vector<bool> state(catalog_.size(), false);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    double weight = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool up = mask & (std::size_t{1} << i);
+      const double a = catalog_.availability(involved[i]);
+      weight *= up ? a : 1.0 - a;
+      state[involved[i]] = up;
+    }
+    if (weight == 0.0) continue;
+    double joint = 1.0;
+    for (std::size_t f : functions) {
+      joint *= functions_[f].success_given(state);
+      if (joint == 0.0) break;
+    }
+    total += weight * joint;
+  }
+  return total;
+}
+
+double UserLevelModel::scenario_availability(
+    const profile::ScenarioClass& scenario) const {
+  return joint_success(scenario.functions);
+}
+
+double UserLevelModel::user_availability() const {
+  scenarios_.validate_complete();
+  double total = 0.0;
+  for (const profile::ScenarioClass& scenario : scenarios_.scenarios()) {
+    total += scenario.probability * scenario_availability(scenario);
+  }
+  return total;
+}
+
+std::vector<double> UserLevelModel::unavailability_contributions() const {
+  std::vector<double> contributions;
+  contributions.reserve(scenarios_.scenarios().size());
+  for (const profile::ScenarioClass& scenario : scenarios_.scenarios()) {
+    contributions.push_back(scenario.probability *
+                            (1.0 - scenario_availability(scenario)));
+  }
+  return contributions;
+}
+
+}  // namespace upa::core

@@ -1,0 +1,51 @@
+#include "upa/core/performability.hpp"
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::core {
+
+CompositeAvailabilityModel::CompositeAvailabilityModel(
+    markov::Ctmc chain, std::vector<double> service_probability)
+    : chain_(std::move(chain)),
+      service_probability_(std::move(service_probability)) {
+  UPA_REQUIRE(service_probability_.size() == chain_.state_count(),
+              "one service probability per state required");
+  for (double p : service_probability_) {
+    UPA_REQUIRE(upa::common::is_probability(p),
+                "service probabilities must lie in [0, 1]");
+  }
+}
+
+double CompositeAvailabilityModel::availability() const {
+  const linalg::Vector pi = chain_.steady_state();
+  double a = 0.0;
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    a += pi[s] * service_probability_[s];
+  }
+  return a;
+}
+
+CompositeAvailabilityModel::Breakdown CompositeAvailabilityModel::breakdown()
+    const {
+  const linalg::Vector pi = chain_.steady_state();
+  Breakdown b;
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    const double r = service_probability_[s];
+    b.availability += pi[s] * r;
+    if (r == 0.0) {
+      b.downtime_loss += pi[s];
+    } else {
+      b.performance_loss += pi[s] * (1.0 - r);
+    }
+  }
+  return b;
+}
+
+double timescale_separation_ratio(const markov::Ctmc& chain,
+                                  double performance_rate) {
+  UPA_REQUIRE(performance_rate > 0.0, "performance rate must be positive");
+  return chain.max_exit_rate() / performance_rate;
+}
+
+}  // namespace upa::core

@@ -1,0 +1,56 @@
+#pragma once
+// Composite performance-availability evaluation (Meyer-style
+// performability, the paper's Section 4.1.2): combine a pure availability
+// model (a CTMC over failure/repair states) with a pure performance model
+// (per-state service success probability), assuming the performance
+// process reaches quasi-steady state between failure events.
+
+#include <functional>
+#include <vector>
+
+#include "upa/markov/ctmc.hpp"
+
+namespace upa::markov {
+class Ctmc;
+}
+
+namespace upa::core {
+
+/// A CTMC whose states carry a "probability a request is served" reward.
+class CompositeAvailabilityModel {
+ public:
+  /// `service_probability[s]` = P(an arriving request is served | state s).
+  CompositeAvailabilityModel(markov::Ctmc chain,
+                             std::vector<double> service_probability);
+
+  [[nodiscard]] const markov::Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] const std::vector<double>& service_probability()
+      const noexcept {
+    return service_probability_;
+  }
+
+  /// The composite availability: sum_s pi_s * service_probability[s].
+  [[nodiscard]] double availability() const;
+
+  /// Decomposition of the unavailability into the part caused by
+  /// performance loss in operational states and the part caused by being
+  /// in fully-down states (service probability == 0).
+  struct Breakdown {
+    double performance_loss = 0.0;  ///< sum over states with 0 < r < 1 etc.
+    double downtime_loss = 0.0;     ///< mass of states with r == 0
+    double availability = 0.0;
+  };
+  [[nodiscard]] Breakdown breakdown() const;
+
+ private:
+  markov::Ctmc chain_;
+  std::vector<double> service_probability_;
+};
+
+/// Validates the quasi-steady-state assumption behind composite models:
+/// returns the ratio (largest failure/repair exit rate) / (performance
+/// event rate); the composite approach is sound when this is << 1.
+[[nodiscard]] double timescale_separation_ratio(const markov::Ctmc& chain,
+                                                double performance_rate);
+
+}  // namespace upa::core

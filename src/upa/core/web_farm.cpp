@@ -1,0 +1,234 @@
+#include "upa/core/web_farm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+#include "upa/queueing/mmck.hpp"
+#include "upa/queueing/response_time.hpp"
+
+namespace upa::core {
+namespace {
+
+void check_farm(const WebFarmParams& farm, bool imperfect) {
+  UPA_REQUIRE(farm.servers >= 1, "farm needs at least one server");
+  UPA_REQUIRE(farm.failure_rate > 0.0 && farm.repair_rate > 0.0,
+              "failure and repair rates must be positive");
+  if (imperfect) {
+    UPA_REQUIRE(farm.coverage >= 0.0 && farm.coverage <= 1.0,
+                "coverage must be a probability");
+    UPA_REQUIRE(farm.reconfiguration_rate > 0.0,
+                "reconfiguration rate must be positive");
+  }
+}
+
+void check_queue(const WebQueueParams& queue) {
+  UPA_REQUIRE(queue.arrival_rate > 0.0 && queue.service_rate > 0.0,
+              "queue rates must be positive");
+  UPA_REQUIRE(queue.buffer >= 1, "buffer must hold at least one request");
+}
+
+/// p_K(i) per operational-server count i = 1..N_W (paper eqs. 1/3).
+std::vector<double> loss_by_servers(const WebFarmParams& farm,
+                                    const WebQueueParams& queue) {
+  std::vector<double> pk(farm.servers + 1, 1.0);  // pk[0] unused (down)
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    // The shared buffer never shrinks below the server count in the
+    // M/M/i/K formula; the paper keeps K fixed, so cap i at K.
+    UPA_REQUIRE(i <= queue.buffer,
+                "more operational servers than buffer slots (K < N_W)");
+    pk[i] = queueing::mmck_loss_probability(queue.arrival_rate,
+                                            queue.service_rate, i,
+                                            queue.buffer);
+  }
+  return pk;
+}
+
+}  // namespace
+
+std::vector<double> perfect_coverage_distribution(const WebFarmParams& farm) {
+  check_farm(farm, false);
+  // pi_i = (1/i!) (mu/lambda)^i pi_0, computed in log domain.
+  const double log_ratio = std::log(farm.repair_rate / farm.failure_rate);
+  std::vector<double> log_pi(farm.servers + 1, 0.0);
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    log_pi[i] = static_cast<double>(i) * log_ratio -
+                upa::common::log_factorial(static_cast<unsigned>(i));
+  }
+  const double max_log = *std::max_element(log_pi.begin(), log_pi.end());
+  std::vector<double> pi(farm.servers + 1);
+  for (std::size_t i = 0; i <= farm.servers; ++i) {
+    pi[i] = std::exp(log_pi[i] - max_log);
+  }
+  upa::common::normalize(pi);
+  return pi;
+}
+
+ImperfectDistribution imperfect_coverage_distribution(
+    const WebFarmParams& farm) {
+  check_farm(farm, true);
+  // Operational states keep the perfect-coverage product form (the cut
+  // between {>= i} and {< i} is crossed only by the total failure flow
+  // i*lambda*pi_i and the repair flow mu*pi_{i-1}); manual states obey
+  // pi_{y_i} = i (1-c) lambda pi_i / beta. Normalize over all states.
+  const double log_ratio = std::log(farm.repair_rate / farm.failure_rate);
+  std::vector<double> log_pi(farm.servers + 1, 0.0);
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    log_pi[i] = static_cast<double>(i) * log_ratio -
+                upa::common::log_factorial(static_cast<unsigned>(i));
+  }
+  const double max_log = *std::max_element(log_pi.begin(), log_pi.end());
+
+  ImperfectDistribution dist;
+  dist.operational.resize(farm.servers + 1);
+  dist.manual.assign(farm.servers + 1, 0.0);
+  std::vector<double> all;
+  for (std::size_t i = 0; i <= farm.servers; ++i) {
+    dist.operational[i] = std::exp(log_pi[i] - max_log);
+  }
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    dist.manual[i] = static_cast<double>(i) * (1.0 - farm.coverage) *
+                     farm.failure_rate * dist.operational[i] /
+                     farm.reconfiguration_rate;
+  }
+  double total = 0.0;
+  for (double p : dist.operational) total += p;
+  for (double p : dist.manual) total += p;
+  for (double& p : dist.operational) p /= total;
+  for (double& p : dist.manual) p /= total;
+  return dist;
+}
+
+markov::Ctmc perfect_coverage_chain(const WebFarmParams& farm) {
+  check_farm(farm, false);
+  markov::Ctmc chain(farm.servers + 1);
+  for (std::size_t i = 0; i <= farm.servers; ++i) {
+    chain.set_label(i, std::to_string(i) + "up");
+  }
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    chain.add_rate(i, i - 1, static_cast<double>(i) * farm.failure_rate);
+    chain.add_rate(i - 1, i, farm.repair_rate);
+  }
+  return chain;
+}
+
+ImperfectChain imperfect_coverage_chain(const WebFarmParams& farm) {
+  check_farm(farm, true);
+  const std::size_t n = farm.servers;
+  ImperfectChain result{markov::Ctmc(2 * n + 1), n};
+  markov::Ctmc& chain = result.chain;
+  for (std::size_t i = 0; i <= n; ++i) {
+    chain.set_label(i, std::to_string(i) + "up");
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    chain.set_label(n + i, "y" + std::to_string(i));
+  }
+  const double c = farm.coverage;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double total_failure = static_cast<double>(i) * farm.failure_rate;
+    if (c > 0.0) chain.add_rate(i, i - 1, c * total_failure);
+    if (c < 1.0) {
+      chain.add_rate(i, n + i, (1.0 - c) * total_failure);
+      chain.add_rate(n + i, i - 1, farm.reconfiguration_rate);
+    }
+    chain.add_rate(i - 1, i, farm.repair_rate);
+  }
+  return result;
+}
+
+double web_service_availability_perfect(const WebFarmParams& farm,
+                                        const WebQueueParams& queue) {
+  check_queue(queue);
+  const std::vector<double> pi = perfect_coverage_distribution(farm);
+  const std::vector<double> pk = loss_by_servers(farm, queue);
+  double unavailability = pi[0];
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    unavailability += pi[i] * pk[i];
+  }
+  return 1.0 - unavailability;
+}
+
+double web_service_availability_imperfect(const WebFarmParams& farm,
+                                          const WebQueueParams& queue) {
+  check_queue(queue);
+  const ImperfectDistribution dist = imperfect_coverage_distribution(farm);
+  const std::vector<double> pk = loss_by_servers(farm, queue);
+  double unavailability = dist.operational[0];
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    unavailability += dist.operational[i] * pk[i] + dist.manual[i];
+  }
+  return 1.0 - unavailability;
+}
+
+namespace {
+
+/// Per-operational-state probability that a request is accepted and
+/// completes within the deadline.
+std::vector<double> served_within_by_servers(const WebFarmParams& farm,
+                                             const WebQueueParams& queue,
+                                             double deadline) {
+  std::vector<double> served(farm.servers + 1, 0.0);
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    UPA_REQUIRE(i <= queue.buffer,
+                "more operational servers than buffer slots (K < N_W)");
+    served[i] = queueing::mmck_served_within(
+        queue.arrival_rate, queue.service_rate, i, queue.buffer, deadline);
+  }
+  return served;
+}
+
+}  // namespace
+
+double web_service_availability_perfect_with_deadline(
+    const WebFarmParams& farm, const WebQueueParams& queue,
+    double deadline) {
+  check_queue(queue);
+  const std::vector<double> pi = perfect_coverage_distribution(farm);
+  const std::vector<double> served =
+      served_within_by_servers(farm, queue, deadline);
+  double availability = 0.0;
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    availability += pi[i] * served[i];
+  }
+  return availability;
+}
+
+double web_service_availability_imperfect_with_deadline(
+    const WebFarmParams& farm, const WebQueueParams& queue,
+    double deadline) {
+  check_queue(queue);
+  const ImperfectDistribution dist = imperfect_coverage_distribution(farm);
+  const std::vector<double> served =
+      served_within_by_servers(farm, queue, deadline);
+  double availability = 0.0;
+  for (std::size_t i = 1; i <= farm.servers; ++i) {
+    availability += dist.operational[i] * served[i];
+  }
+  return availability;
+}
+
+CompositeAvailabilityModel composite_perfect(const WebFarmParams& farm,
+                                             const WebQueueParams& queue) {
+  check_queue(queue);
+  const std::vector<double> pk = loss_by_servers(farm, queue);
+  std::vector<double> served(farm.servers + 1, 0.0);
+  for (std::size_t i = 1; i <= farm.servers; ++i) served[i] = 1.0 - pk[i];
+  return {perfect_coverage_chain(farm), std::move(served)};
+}
+
+CompositeAvailabilityModel composite_imperfect(const WebFarmParams& farm,
+                                               const WebQueueParams& queue) {
+  check_queue(queue);
+  UPA_REQUIRE(farm.coverage < 1.0,
+              "composite_imperfect requires coverage < 1 (the y-states "
+              "would be unreachable); use composite_perfect instead");
+  const std::vector<double> pk = loss_by_servers(farm, queue);
+  std::vector<double> served(2 * farm.servers + 1, 0.0);
+  for (std::size_t i = 1; i <= farm.servers; ++i) served[i] = 1.0 - pk[i];
+  // y-states (indices N_W+1 .. 2N_W) serve nothing.
+  return {imperfect_coverage_chain(farm).chain, std::move(served)};
+}
+
+}  // namespace upa::core

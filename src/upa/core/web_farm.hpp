@@ -1,0 +1,108 @@
+#pragma once
+// The paper's web-service resource model (Section 4.1.2): a farm of N_W
+// identical web servers behind one bounded buffer, failing with rate
+// lambda, repaired by a shared facility with rate mu. Two coverage
+// variants:
+//   perfect   (Figure 9): every failure is detected and the farm
+//                         reconfigures instantly;
+//   imperfect (Figure 10): with probability 1-c a failure is uncovered and
+//                         the whole service is down for an exponential
+//                         manual reconfiguration of rate beta.
+//
+// The performance side is an M/M/i/K queue (i = operational servers,
+// buffer K); the composite availability is
+//   A = 1 - [ sum_i pi_i p_K(i) + sum_i pi_{y_i} + pi_0 ]   (eqs. 5 / 9).
+//
+// NOTE on the paper's eqs. (7)-(9): the printed sums run over
+// i = 1..N_W-2, but the exact chain solution requires the manual-
+// reconfiguration states y_i to exist for i = 1..N_W. Only the corrected
+// bounds reproduce the paper's own anchor A(WS) = 0.999995587; we
+// implement the corrected form and expose the exact CTMC for comparison.
+
+#include <cstddef>
+#include <vector>
+
+#include "upa/core/performability.hpp"
+#include "upa/markov/ctmc.hpp"
+
+namespace upa::core {
+
+/// Failure/repair side of the farm. Rates share one time unit (the paper
+/// uses per-hour; any unit works as long as it is consistent).
+struct WebFarmParams {
+  std::size_t servers = 1;            ///< N_W
+  double failure_rate = 1e-4;         ///< lambda
+  double repair_rate = 1.0;           ///< mu (shared repair facility)
+  double coverage = 1.0;              ///< c (imperfect model only)
+  double reconfiguration_rate = 12.0; ///< beta (imperfect model only)
+};
+
+/// Performance side: M/M/i/K request handling. Rates share one time unit
+/// (per-second in the paper); only their ratio rho = alpha/nu and the
+/// buffer size matter.
+struct WebQueueParams {
+  double arrival_rate = 100.0;  ///< alpha
+  double service_rate = 100.0;  ///< nu per server
+  std::size_t buffer = 10;      ///< K (total capacity)
+};
+
+/// Steady distribution over operational-server counts, perfect coverage
+/// (paper eq. 4): element i = pi_i, i = 0..N_W.
+[[nodiscard]] std::vector<double> perfect_coverage_distribution(
+    const WebFarmParams& farm);
+
+/// Steady distribution for the imperfect-coverage model (corrected
+/// eqs. 6-8): `operational[i]` = pi_i for i = 0..N_W and `manual[i]` =
+/// pi_{y_i} for i = 1..N_W (index 0 unused, kept for alignment).
+struct ImperfectDistribution {
+  std::vector<double> operational;
+  std::vector<double> manual;
+};
+[[nodiscard]] ImperfectDistribution imperfect_coverage_distribution(
+    const WebFarmParams& farm);
+
+/// Explicit Figure 9 CTMC; state i = i operational servers.
+[[nodiscard]] markov::Ctmc perfect_coverage_chain(const WebFarmParams& farm);
+
+/// Explicit Figure 10 CTMC and its state layout: states 0..N_W are the
+/// operational-server counts; state N_W + i is y_i (i = 1..N_W).
+struct ImperfectChain {
+  markov::Ctmc chain;
+  [[nodiscard]] std::size_t operational_state(std::size_t servers_up) const {
+    return servers_up;
+  }
+  [[nodiscard]] std::size_t manual_state(std::size_t i) const {
+    return server_count + i;
+  }
+  std::size_t server_count = 0;
+};
+[[nodiscard]] ImperfectChain imperfect_coverage_chain(
+    const WebFarmParams& farm);
+
+/// Web service availability, perfect coverage (paper eq. 5), closed form.
+[[nodiscard]] double web_service_availability_perfect(
+    const WebFarmParams& farm, const WebQueueParams& queue);
+
+/// Web service availability, imperfect coverage (corrected eq. 9),
+/// closed form.
+[[nodiscard]] double web_service_availability_imperfect(
+    const WebFarmParams& farm, const WebQueueParams& queue);
+
+/// The same measures obtained by solving the explicit CTMC and weighting
+/// with 1 - p_K(i) through CompositeAvailabilityModel — an independent
+/// cross-check of the closed forms.
+[[nodiscard]] CompositeAvailabilityModel composite_perfect(
+    const WebFarmParams& farm, const WebQueueParams& queue);
+[[nodiscard]] CompositeAvailabilityModel composite_imperfect(
+    const WebFarmParams& farm, const WebQueueParams& queue);
+
+/// Deadline-extended measure (the paper's stated future work): a request
+/// is served only when it is accepted AND completes within `deadline`
+/// time units (same unit as 1/nu). Setting deadline = +infinity recovers
+/// the buffer-loss-only measures above.
+[[nodiscard]] double web_service_availability_perfect_with_deadline(
+    const WebFarmParams& farm, const WebQueueParams& queue, double deadline);
+[[nodiscard]] double web_service_availability_imperfect_with_deadline(
+    const WebFarmParams& farm, const WebQueueParams& queue, double deadline);
+
+}  // namespace upa::core

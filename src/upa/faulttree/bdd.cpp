@@ -1,0 +1,208 @@
+#include "upa/faulttree/bdd.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::faulttree {
+namespace {
+
+std::uint64_t pair_key(BddRef a, BddRef b) {
+  // Commutative operations: normalize the pair order.
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+BddManager::BddManager(std::size_t variable_count)
+    : variable_count_(variable_count) {
+  UPA_REQUIRE(variable_count >= 1, "need at least one variable");
+  UPA_REQUIRE(variable_count < (1u << 24), "too many variables");
+  // Terminals: index 0 = FALSE, index 1 = TRUE.
+  nodes_.push_back({static_cast<std::uint32_t>(variable_count_), 0, 0});
+  nodes_.push_back({static_cast<std::uint32_t>(variable_count_), 1, 1});
+}
+
+BddRef BddManager::make_node(std::uint32_t var, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  const NodeKey key{var, low, high};
+  if (const auto it = unique_.find(key); it != unique_.end()) {
+    return it->second;
+  }
+  nodes_.push_back({var, low, high});
+  const auto ref = static_cast<BddRef>(nodes_.size() - 1);
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::variable(std::size_t var) {
+  UPA_REQUIRE(var < variable_count_, "variable index out of range");
+  return make_node(static_cast<std::uint32_t>(var), zero(), one());
+}
+
+BddRef BddManager::apply(BddRef a, BddRef b, bool is_and) {
+  // Terminal short-circuits.
+  if (is_and) {
+    if (a == zero() || b == zero()) return zero();
+    if (a == one()) return b;
+    if (b == one()) return a;
+    if (a == b) return a;
+  } else {
+    if (a == one() || b == one()) return one();
+    if (a == zero()) return b;
+    if (b == zero()) return a;
+    if (a == b) return a;
+  }
+  auto& cache = is_and ? and_cache_ : or_cache_;
+  const std::uint64_t key = pair_key(a, b);
+  if (const auto it = cache.find(key); it != cache.end()) return it->second;
+
+  const Node na = nodes_[a];
+  const Node nb = nodes_[b];
+  const std::uint32_t var = std::min(na.var, nb.var);
+  const BddRef a_low = na.var == var ? na.low : a;
+  const BddRef a_high = na.var == var ? na.high : a;
+  const BddRef b_low = nb.var == var ? nb.low : b;
+  const BddRef b_high = nb.var == var ? nb.high : b;
+
+  const BddRef low = apply(a_low, b_low, is_and);
+  const BddRef high = apply(a_high, b_high, is_and);
+  const BddRef result = make_node(var, low, high);
+  cache.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::apply_and(BddRef a, BddRef b) { return apply(a, b, true); }
+
+BddRef BddManager::apply_or(BddRef a, BddRef b) { return apply(a, b, false); }
+
+BddRef BddManager::negate(BddRef a) {
+  if (a == zero()) return one();
+  if (a == one()) return zero();
+  if (const auto it = not_cache_.find(a); it != not_cache_.end()) {
+    return it->second;
+  }
+  const Node n = nodes_[a];
+  const BddRef result = make_node(n.var, negate(n.low), negate(n.high));
+  not_cache_.emplace(a, result);
+  return result;
+}
+
+BddRef BddManager::at_least(std::size_t k, const std::vector<BddRef>& fns) {
+  UPA_REQUIRE(k >= 1 && k <= fns.size(), "at_least requires 1 <= k <= n");
+  // dp[j] = BDD of "at least j of the functions seen so far are true",
+  // updated one function at a time; dp[0] = TRUE.
+  std::vector<BddRef> dp(k + 1, zero());
+  dp[0] = one();
+  for (const BddRef f : fns) {
+    // Update from high j to low so each f is counted once.
+    for (std::size_t j = k; j >= 1; --j) {
+      dp[j] = apply_or(dp[j], apply_and(dp[j - 1], f));
+    }
+  }
+  return dp[k];
+}
+
+double BddManager::probability(BddRef f,
+                               const std::vector<double>& var_probability) {
+  UPA_REQUIRE(var_probability.size() == variable_count_,
+              "one probability per variable required");
+  std::unordered_map<BddRef, double> memo;
+  memo.emplace(zero(), 0.0);
+  memo.emplace(one(), 1.0);
+
+  // Iterative post-order to avoid recursion depth limits.
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef cur = stack.back();
+    if (memo.contains(cur)) {
+      stack.pop_back();
+      continue;
+    }
+    const Node n = nodes_[cur];
+    const bool low_done = memo.contains(n.low);
+    const bool high_done = memo.contains(n.high);
+    if (low_done && high_done) {
+      const double p = var_probability[n.var];
+      memo.emplace(cur, (1.0 - p) * memo.at(n.low) + p * memo.at(n.high));
+      stack.pop_back();
+    } else {
+      if (!low_done) stack.push_back(n.low);
+      if (!high_done) stack.push_back(n.high);
+    }
+  }
+  return memo.at(f);
+}
+
+double BddManager::satisfying_count(BddRef f) {
+  const std::vector<double> half(variable_count_, 0.5);
+  return probability(f, half) *
+         std::pow(2.0, static_cast<double>(variable_count_));
+}
+
+CompiledTree compile_to_bdd(const FaultTree& tree) {
+  CompiledTree compiled{BddManager(tree.basic_event_count()), 0};
+  BddManager& mgr = compiled.manager;
+
+  // Memoized bottom-up compilation over the DAG of tree nodes.
+  std::unordered_map<NodeId, BddRef> memo;
+  struct Compile {
+    const FaultTree& tree;
+    BddManager& mgr;
+    std::unordered_map<NodeId, BddRef>& memo;
+
+    BddRef operator()(NodeId node) const {
+      if (const auto it = memo.find(node); it != memo.end()) {
+        return it->second;
+      }
+      BddRef result;
+      if (tree.is_basic(node)) {
+        // Variable index = position among basic events.
+        std::size_t index = 0;
+        for (NodeId e : tree.basic_events()) {
+          if (e == node) break;
+          ++index;
+        }
+        result = mgr.variable(index);
+      } else {
+        std::vector<BddRef> children;
+        children.reserve(tree.gate_children(node).size());
+        for (NodeId c : tree.gate_children(node)) {
+          children.push_back((*this)(c));
+        }
+        switch (tree.gate_kind(node)) {
+          case GateKind::kAnd: {
+            result = mgr.one();
+            for (BddRef c : children) result = mgr.apply_and(result, c);
+            break;
+          }
+          case GateKind::kOr: {
+            result = mgr.zero();
+            for (BddRef c : children) result = mgr.apply_or(result, c);
+            break;
+          }
+          case GateKind::kKofN:
+            result = mgr.at_least(tree.gate_threshold(node), children);
+            break;
+        }
+      }
+      memo.emplace(node, result);
+      return result;
+    }
+  };
+  compiled.top = Compile{tree, mgr, memo}(tree.top());
+  return compiled;
+}
+
+double top_event_probability(const FaultTree& tree) {
+  CompiledTree compiled = compile_to_bdd(tree);
+  std::vector<double> probabilities;
+  probabilities.reserve(tree.basic_event_count());
+  for (NodeId e : tree.basic_events()) {
+    probabilities.push_back(tree.event_probability(e));
+  }
+  return compiled.manager.probability(compiled.top, probabilities);
+}
+
+}  // namespace upa::faulttree

@@ -1,0 +1,96 @@
+#pragma once
+// Reduced ordered binary decision diagrams with hash consing, built from
+// scratch. Variables are fault-tree basic events in creation order; the
+// `high` branch is "event occurred". Exact probability evaluation is a
+// single memoized traversal, making shared events and replicated
+// subsystems exact where structural methods are not.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "upa/faulttree/tree.hpp"
+
+namespace upa::faulttree {
+
+/// Handle to a BDD node within one BddManager (0 and 1 are the terminals).
+using BddRef = std::uint32_t;
+
+/// Hash-consed ROBDD node store with apply-style AND/OR/NOT and a
+/// probability evaluator.
+class BddManager {
+ public:
+  explicit BddManager(std::size_t variable_count);
+
+  [[nodiscard]] BddRef zero() const noexcept { return 0; }
+  [[nodiscard]] BddRef one() const noexcept { return 1; }
+
+  /// The single-variable BDD "var is true".
+  [[nodiscard]] BddRef variable(std::size_t var);
+
+  [[nodiscard]] BddRef apply_and(BddRef a, BddRef b);
+  [[nodiscard]] BddRef apply_or(BddRef a, BddRef b);
+  [[nodiscard]] BddRef negate(BddRef a);
+
+  /// At-least-k-of over a list of functions.
+  [[nodiscard]] BddRef at_least(std::size_t k, const std::vector<BddRef>& fns);
+
+  /// P(f = 1) where variable v is true with probability p[v], variables
+  /// independent.
+  [[nodiscard]] double probability(BddRef f,
+                                   const std::vector<double>& var_probability);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t variable_count() const noexcept {
+    return variable_count_;
+  }
+
+  /// Number of satisfying assignments (over all variables), as a double.
+  [[nodiscard]] double satisfying_count(BddRef f);
+
+ private:
+  struct Node {
+    std::uint32_t var;  // terminal nodes use var = variable_count_
+    BddRef low;
+    BddRef high;
+  };
+
+  struct NodeKey {
+    std::uint32_t var;
+    BddRef low;
+    BddRef high;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const noexcept {
+      std::size_t h = k.var;
+      h = h * 1000003u ^ k.low;
+      h = h * 1000003u ^ k.high;
+      return h;
+    }
+  };
+
+  [[nodiscard]] BddRef make_node(std::uint32_t var, BddRef low, BddRef high);
+  [[nodiscard]] BddRef apply(BddRef a, BddRef b, bool is_and);
+
+  std::size_t variable_count_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<std::uint64_t, BddRef> and_cache_;
+  std::unordered_map<std::uint64_t, BddRef> or_cache_;
+  std::unordered_map<BddRef, BddRef> not_cache_;
+};
+
+/// Compiles a fault tree into a BDD over its basic events (creation
+/// order); returns the manager and the root of the top event.
+struct CompiledTree {
+  BddManager manager;
+  BddRef top;
+};
+
+[[nodiscard]] CompiledTree compile_to_bdd(const FaultTree& tree);
+
+}  // namespace upa::faulttree

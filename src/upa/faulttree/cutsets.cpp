@@ -1,0 +1,158 @@
+#include "upa/faulttree/cutsets.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "upa/common/error.hpp"
+
+namespace upa::faulttree {
+namespace {
+
+std::vector<CutSet> minimize(std::vector<CutSet> sets) {
+  std::sort(sets.begin(), sets.end(), [](const CutSet& a, const CutSet& b) {
+    return a.size() != b.size() ? a.size() < b.size() : a < b;
+  });
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  std::vector<CutSet> kept;
+  for (const CutSet& candidate : sets) {
+    const bool absorbed =
+        std::any_of(kept.begin(), kept.end(), [&](const CutSet& smaller) {
+          return std::includes(candidate.begin(), candidate.end(),
+                               smaller.begin(), smaller.end());
+        });
+    if (!absorbed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+std::vector<CutSet> cross(const std::vector<CutSet>& a,
+                          const std::vector<CutSet>& b) {
+  std::vector<CutSet> out;
+  out.reserve(a.size() * b.size());
+  for (const CutSet& x : a) {
+    for (const CutSet& y : b) {
+      CutSet u = x;
+      u.insert(y.begin(), y.end());
+      out.push_back(std::move(u));
+    }
+  }
+  UPA_REQUIRE(out.size() <= 200000, "cut-set expansion too large");
+  return out;
+}
+
+std::vector<CutSet> cuts_of(const FaultTree& tree, NodeId node) {
+  if (tree.is_basic(node)) {
+    return {CutSet{tree.event_name(node)}};
+  }
+  const auto& children = tree.gate_children(node);
+  switch (tree.gate_kind(node)) {
+    case GateKind::kOr: {
+      std::vector<CutSet> acc;
+      for (NodeId c : children) {
+        auto sub = cuts_of(tree, c);
+        acc.insert(acc.end(), std::make_move_iterator(sub.begin()),
+                   std::make_move_iterator(sub.end()));
+      }
+      return minimize(std::move(acc));
+    }
+    case GateKind::kAnd: {
+      std::vector<CutSet> acc{CutSet{}};
+      for (NodeId c : children) {
+        acc = minimize(cross(acc, cuts_of(tree, c)));
+      }
+      return acc;
+    }
+    case GateKind::kKofN: {
+      // The top fails when any k children fail: OR over k-subsets of ANDs.
+      const std::size_t k = tree.gate_threshold(node);
+      const std::size_t n = children.size();
+      std::vector<std::vector<CutSet>> child_cuts;
+      child_cuts.reserve(n);
+      for (NodeId c : children) child_cuts.push_back(cuts_of(tree, c));
+
+      std::vector<CutSet> acc;
+      std::vector<std::size_t> idx(k);
+      for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+      while (true) {
+        std::vector<CutSet> combo{CutSet{}};
+        for (std::size_t i : idx) combo = cross(combo, child_cuts[i]);
+        acc.insert(acc.end(), std::make_move_iterator(combo.begin()),
+                   std::make_move_iterator(combo.end()));
+        std::size_t i = k;
+        bool advanced = false;
+        while (i-- > 0) {
+          if (idx[i] != i + n - k) {
+            ++idx[i];
+            for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+            advanced = true;
+            break;
+          }
+        }
+        if (!advanced) break;
+      }
+      return minimize(std::move(acc));
+    }
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+std::map<std::string, double> event_probabilities(const FaultTree& tree) {
+  std::map<std::string, double> p;
+  for (NodeId e : tree.basic_events()) {
+    p[tree.event_name(e)] = tree.event_probability(e);
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<CutSet> minimal_cut_sets(const FaultTree& tree) {
+  return cuts_of(tree, tree.top());
+}
+
+double rare_event_bound(const FaultTree& tree,
+                        const std::vector<CutSet>& cut_sets) {
+  const auto probs = event_probabilities(tree);
+  double bound = 0.0;
+  for (const CutSet& cut : cut_sets) {
+    double p = 1.0;
+    for (const std::string& name : cut) {
+      const auto it = probs.find(name);
+      UPA_REQUIRE(it != probs.end(), "unknown event " + name);
+      p *= it->second;
+    }
+    bound += p;
+  }
+  return std::min(bound, 1.0);
+}
+
+double probability_from_cut_sets(const FaultTree& tree,
+                                 const std::vector<CutSet>& cut_sets) {
+  UPA_REQUIRE(!cut_sets.empty(), "need at least one cut set");
+  UPA_REQUIRE(cut_sets.size() <= 22,
+              "too many cut sets for inclusion-exclusion");
+  const auto probs = event_probabilities(tree);
+  const std::size_t n = cut_sets.size();
+  double total = 0.0;
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    CutSet unioned;
+    int bits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        unioned.insert(cut_sets[i].begin(), cut_sets[i].end());
+        ++bits;
+      }
+    }
+    double product = 1.0;
+    for (const std::string& name : unioned) {
+      const auto it = probs.find(name);
+      UPA_REQUIRE(it != probs.end(), "unknown event " + name);
+      product *= it->second;
+    }
+    total += (bits % 2 == 1 ? 1.0 : -1.0) * product;
+  }
+  return total;
+}
+
+}  // namespace upa::faulttree

@@ -1,0 +1,28 @@
+#pragma once
+// Minimal cut sets of a fault tree (MOCUS-style top-down expansion with
+// absorption) and rare-event / inclusion-exclusion bounds computed from
+// them. Cut sets are reported as sets of basic-event names.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "upa/faulttree/tree.hpp"
+
+namespace upa::faulttree {
+
+using CutSet = std::set<std::string>;
+
+/// All minimal cut sets of the tree's top event.
+[[nodiscard]] std::vector<CutSet> minimal_cut_sets(const FaultTree& tree);
+
+/// Rare-event upper bound: sum over cut sets of their probability.
+[[nodiscard]] double rare_event_bound(const FaultTree& tree,
+                                      const std::vector<CutSet>& cut_sets);
+
+/// Exact top probability from cut sets via inclusion-exclusion (small
+/// numbers of cut sets only); cross-checks the BDD engine.
+[[nodiscard]] double probability_from_cut_sets(
+    const FaultTree& tree, const std::vector<CutSet>& cut_sets);
+
+}  // namespace upa::faulttree

@@ -1,0 +1,47 @@
+#include "upa/faulttree/importance.hpp"
+
+#include <algorithm>
+
+#include "upa/common/error.hpp"
+#include "upa/faulttree/bdd.hpp"
+
+namespace upa::faulttree {
+
+std::vector<EventImportance> event_importance_ranking(
+    const FaultTree& tree) {
+  CompiledTree compiled = compile_to_bdd(tree);
+  BddManager& mgr = compiled.manager;
+
+  std::vector<double> probabilities;
+  probabilities.reserve(tree.basic_event_count());
+  for (NodeId e : tree.basic_events()) {
+    probabilities.push_back(tree.event_probability(e));
+  }
+  const double p_top = mgr.probability(compiled.top, probabilities);
+
+  std::vector<EventImportance> result;
+  for (std::size_t v = 0; v < tree.basic_event_count(); ++v) {
+    const NodeId event = tree.basic_events()[v];
+    EventImportance imp;
+    imp.event = tree.event_name(event);
+
+    std::vector<double> conditioned = probabilities;
+    conditioned[v] = 1.0;
+    const double with_event = mgr.probability(compiled.top, conditioned);
+    conditioned[v] = 0.0;
+    const double without_event = mgr.probability(compiled.top, conditioned);
+
+    imp.birnbaum = with_event - without_event;
+    imp.criticality =
+        p_top > 0.0 ? imp.birnbaum * probabilities[v] / p_top : 0.0;
+    imp.fussell_vesely = p_top > 0.0 ? 1.0 - without_event / p_top : 0.0;
+    result.push_back(imp);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const EventImportance& a, const EventImportance& b) {
+              return a.birnbaum > b.birnbaum;
+            });
+  return result;
+}
+
+}  // namespace upa::faulttree

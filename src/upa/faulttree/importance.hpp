@@ -1,0 +1,30 @@
+#pragma once
+// Importance measures on fault trees, computed exactly through the BDD:
+// conditioning a basic event up/down is one probability evaluation each,
+// so shared events are handled exactly (unlike series/parallel formulas).
+
+#include <string>
+#include <vector>
+
+#include "upa/faulttree/tree.hpp"
+
+namespace upa::faulttree {
+
+/// Importance of one basic event for the top event.
+struct EventImportance {
+  std::string event;
+  /// Birnbaum: P(top | event occurred) - P(top | event not occurred).
+  double birnbaum = 0.0;
+  /// Criticality: birnbaum * P(event) / P(top).
+  double criticality = 0.0;
+  /// Fussell-Vesely: P(event contributes to top) approximated as
+  /// P(top with event forced) ... computed exactly as
+  /// 1 - P(top | event not occurred) / P(top).
+  double fussell_vesely = 0.0;
+};
+
+/// Importance of every basic event, sorted by descending Birnbaum.
+[[nodiscard]] std::vector<EventImportance> event_importance_ranking(
+    const FaultTree& tree);
+
+}  // namespace upa::faulttree

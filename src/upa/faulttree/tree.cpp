@@ -1,0 +1,171 @@
+#include "upa/faulttree/tree.hpp"
+
+#include <set>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::faulttree {
+
+void FaultTree::check_node(NodeId node) const {
+  UPA_REQUIRE(node < nodes_.size(), "node id out of range");
+}
+
+NodeId FaultTree::add_basic_event(std::string name, double probability) {
+  UPA_REQUIRE(!name.empty(), "event name must not be empty");
+  Node n;
+  n.basic = true;
+  n.name = std::move(name);
+  n.probability = upa::common::clamp_probability(probability);
+  n.event_index = basic_events_.size();
+  nodes_.push_back(std::move(n));
+  basic_events_.push_back(nodes_.size() - 1);
+  return nodes_.size() - 1;
+}
+
+NodeId FaultTree::add_gate(GateKind kind, std::vector<NodeId> children,
+                           std::size_t k) {
+  UPA_REQUIRE(!children.empty(), "gate needs at least one child");
+  for (NodeId c : children) check_node(c);
+  if (kind == GateKind::kKofN) {
+    UPA_REQUIRE(k >= 1 && k <= children.size(),
+                "k-of-n gate requires 1 <= k <= n");
+  }
+  Node n;
+  n.basic = false;
+  n.kind = kind;
+  n.k = kind == GateKind::kKofN ? k : 0;
+  n.children = std::move(children);
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+void FaultTree::set_top(NodeId node) {
+  check_node(node);
+  top_ = node;
+  top_set_ = true;
+}
+
+NodeId FaultTree::top() const {
+  UPA_REQUIRE(!nodes_.empty(), "empty fault tree");
+  return top_set_ ? top_ : nodes_.size() - 1;
+}
+
+bool FaultTree::is_basic(NodeId node) const {
+  check_node(node);
+  return nodes_[node].basic;
+}
+
+const std::string& FaultTree::event_name(NodeId node) const {
+  UPA_REQUIRE(is_basic(node), "not a basic event");
+  return nodes_[node].name;
+}
+
+double FaultTree::event_probability(NodeId node) const {
+  UPA_REQUIRE(is_basic(node), "not a basic event");
+  return nodes_[node].probability;
+}
+
+GateKind FaultTree::gate_kind(NodeId node) const {
+  UPA_REQUIRE(!is_basic(node), "not a gate");
+  return nodes_[node].kind;
+}
+
+std::size_t FaultTree::gate_threshold(NodeId node) const {
+  UPA_REQUIRE(!is_basic(node), "not a gate");
+  return nodes_[node].kind == GateKind::kKofN ? nodes_[node].k
+                                              : nodes_[node].children.size();
+}
+
+const std::vector<NodeId>& FaultTree::gate_children(NodeId node) const {
+  UPA_REQUIRE(!is_basic(node), "not a gate");
+  return nodes_[node].children;
+}
+
+void FaultTree::set_event_probability(NodeId node, double probability) {
+  UPA_REQUIRE(is_basic(node), "not a basic event");
+  nodes_[node].probability = upa::common::clamp_probability(probability);
+}
+
+bool FaultTree::evaluate(const std::vector<bool>& event_failed,
+                         NodeId node) const {
+  check_node(node);
+  UPA_REQUIRE(event_failed.size() == basic_events_.size(),
+              "one state per basic event required");
+  const Node& n = nodes_[node];
+  if (n.basic) return event_failed[n.event_index];
+  std::size_t failed = 0;
+  for (NodeId c : n.children) {
+    if (evaluate(event_failed, c)) ++failed;
+  }
+  switch (n.kind) {
+    case GateKind::kAnd:
+      return failed == n.children.size();
+    case GateKind::kOr:
+      return failed >= 1;
+    case GateKind::kKofN:
+      return failed >= n.k;
+  }
+  UPA_ASSERT(false);
+  return false;
+}
+
+double top_event_probability_structural(const FaultTree& tree) {
+  // Verify no event is referenced twice anywhere in the tree.
+  std::set<NodeId> seen;
+  std::vector<NodeId> stack{tree.top()};
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    if (tree.is_basic(node)) {
+      UPA_REQUIRE(seen.insert(node).second,
+                  "structural evaluation requires unshared events; use "
+                  "top_event_probability (BDD) instead");
+      continue;
+    }
+    for (NodeId c : tree.gate_children(node)) stack.push_back(c);
+  }
+
+  // Bottom-up probability computation; children independent by the check.
+  struct Eval {
+    const FaultTree& tree;
+    double operator()(NodeId node) const {
+      if (tree.is_basic(node)) return tree.event_probability(node);
+      const auto& children = tree.gate_children(node);
+      switch (tree.gate_kind(node)) {
+        case GateKind::kAnd: {
+          double p = 1.0;
+          for (NodeId c : children) p *= (*this)(c);
+          return p;
+        }
+        case GateKind::kOr: {
+          double none = 1.0;
+          for (NodeId c : children) none *= 1.0 - (*this)(c);
+          return 1.0 - none;
+        }
+        case GateKind::kKofN: {
+          std::vector<double> dp{1.0};
+          for (NodeId c : children) {
+            const double p = (*this)(c);
+            std::vector<double> next(dp.size() + 1, 0.0);
+            for (std::size_t j = 0; j < dp.size(); ++j) {
+              next[j] += dp[j] * (1.0 - p);
+              next[j + 1] += dp[j] * p;
+            }
+            dp = std::move(next);
+          }
+          double at_least = 0.0;
+          for (std::size_t j = tree.gate_threshold(node); j < dp.size(); ++j) {
+            at_least += dp[j];
+          }
+          return at_least;
+        }
+      }
+      UPA_ASSERT(false);
+      return 0.0;
+    }
+  };
+  return Eval{tree}(tree.top());
+}
+
+}  // namespace upa::faulttree

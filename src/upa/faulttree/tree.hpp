@@ -1,0 +1,99 @@
+#pragma once
+// Static fault trees: basic events combined through AND / OR / k-of-n
+// gates. Top-event probability is evaluated exactly through the BDD engine
+// (correct under shared subtrees / repeated events), with a structural
+// evaluator as a cross-check for trees without repetition.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace upa::faulttree {
+
+/// Identifier of a node (basic event or gate) within one FaultTree.
+using NodeId = std::size_t;
+
+enum class GateKind { kAnd, kOr, kKofN };
+
+/// A fault tree under construction. Nodes are added bottom-up; the last
+/// added node is the default top event (override with set_top).
+class FaultTree {
+ public:
+  /// Adds a basic event with the given failure probability.
+  NodeId add_basic_event(std::string name, double probability);
+
+  /// Adds a gate over existing nodes. For k-of-n gates the output fails
+  /// when at least k children fail.
+  NodeId add_gate(GateKind kind, std::vector<NodeId> children,
+                  std::size_t k = 0);
+
+  NodeId add_and(std::vector<NodeId> children) {
+    return add_gate(GateKind::kAnd, std::move(children));
+  }
+  NodeId add_or(std::vector<NodeId> children) {
+    return add_gate(GateKind::kOr, std::move(children));
+  }
+  NodeId add_k_of_n(std::size_t k, std::vector<NodeId> children) {
+    return add_gate(GateKind::kKofN, std::move(children), k);
+  }
+
+  void set_top(NodeId node);
+  [[nodiscard]] NodeId top() const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t basic_event_count() const noexcept {
+    return basic_events_.size();
+  }
+
+  [[nodiscard]] bool is_basic(NodeId node) const;
+  [[nodiscard]] const std::string& event_name(NodeId node) const;
+  [[nodiscard]] double event_probability(NodeId node) const;
+  [[nodiscard]] GateKind gate_kind(NodeId node) const;
+  [[nodiscard]] std::size_t gate_threshold(NodeId node) const;
+  [[nodiscard]] const std::vector<NodeId>& gate_children(NodeId node) const;
+
+  /// Basic events in creation order (the BDD variable order).
+  [[nodiscard]] const std::vector<NodeId>& basic_events() const noexcept {
+    return basic_events_;
+  }
+
+  /// Updates a basic event's probability (for sensitivity sweeps).
+  void set_event_probability(NodeId node, double probability);
+
+  /// Evaluates the structure function for given basic-event failure states
+  /// (indexed in creation order of basic events).
+  [[nodiscard]] bool evaluate(const std::vector<bool>& event_failed,
+                              NodeId node) const;
+  [[nodiscard]] bool evaluate_top(const std::vector<bool>& event_failed) const {
+    return evaluate(event_failed, top());
+  }
+
+ private:
+  struct Node {
+    bool basic = false;
+    std::string name;        // basic only
+    double probability = 0;  // basic only
+    std::size_t event_index = 0;  // basic only: index among basic events
+    GateKind kind = GateKind::kAnd;
+    std::size_t k = 0;
+    std::vector<NodeId> children;
+  };
+
+  void check_node(NodeId node) const;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> basic_events_;
+  NodeId top_ = 0;
+  bool top_set_ = false;
+};
+
+/// Exact top-event probability via the BDD engine.
+[[nodiscard]] double top_event_probability(const FaultTree& tree);
+
+/// Structural bottom-up evaluation assuming all basic events are distinct
+/// and appear exactly once. Throws ModelError when events are shared.
+[[nodiscard]] double top_event_probability_structural(const FaultTree& tree);
+
+}  // namespace upa::faulttree

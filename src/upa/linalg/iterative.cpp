@@ -1,0 +1,115 @@
+#include "upa/linalg/iterative.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::linalg {
+namespace {
+
+double update_norm(const Vector& a, const Vector& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+[[noreturn]] void fail(const char* algo, std::size_t iters, double residual) {
+  throw upa::common::ConvergenceError(
+      std::string(algo) + " did not converge after " + std::to_string(iters) +
+      " iterations (residual " + std::to_string(residual) + ")");
+}
+
+}  // namespace
+
+IterativeResult power_iteration(const SparseMatrix& p,
+                                const IterativeOptions& options) {
+  UPA_REQUIRE(p.rows() == p.cols(), "power iteration needs a square matrix");
+  const std::size_t n = p.rows();
+  Vector pi(n, 1.0 / static_cast<double>(n));
+  double residual = 0.0;
+  for (std::size_t it = 1; it <= options.max_iterations; ++it) {
+    Vector next = p.left_multiply(pi);
+    upa::common::normalize(next);
+    residual = update_norm(next, pi);
+    pi = std::move(next);
+    if (residual <= options.tolerance) {
+      return {std::move(pi), it, residual};
+    }
+  }
+  fail("power_iteration", options.max_iterations, residual);
+}
+
+IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
+                             const IterativeOptions& options) {
+  UPA_REQUIRE(a.rows() == a.cols(), "gauss_seidel needs a square matrix");
+  UPA_REQUIRE(b.size() == a.rows(), "rhs size mismatch");
+  const std::size_t n = a.rows();
+  Vector x(n, 0.0);
+  double residual = 0.0;
+  for (std::size_t it = 1; it <= options.max_iterations; ++it) {
+    double max_update = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_values(r);
+      double sum = b[r];
+      double diag = 0.0;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == r) {
+          diag = vals[k];
+        } else {
+          sum -= vals[k] * x[cols[k]];
+        }
+      }
+      UPA_REQUIRE(diag != 0.0,
+                  "gauss_seidel: zero diagonal at row " + std::to_string(r));
+      const double next = sum / diag;
+      max_update = std::max(max_update, std::abs(next - x[r]));
+      x[r] = next;
+    }
+    residual = max_update;
+    if (residual <= options.tolerance) {
+      return {std::move(x), it, residual};
+    }
+  }
+  fail("gauss_seidel", options.max_iterations, residual);
+}
+
+IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
+                       const IterativeOptions& options) {
+  UPA_REQUIRE(a.rows() == a.cols(), "jacobi needs a square matrix");
+  UPA_REQUIRE(b.size() == a.rows(), "rhs size mismatch");
+  const std::size_t n = a.rows();
+  Vector x(n, 0.0);
+  Vector next(n, 0.0);
+  double residual = 0.0;
+  for (std::size_t it = 1; it <= options.max_iterations; ++it) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_values(r);
+      double sum = b[r];
+      double diag = 0.0;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == r) {
+          diag = vals[k];
+        } else {
+          sum -= vals[k] * x[cols[k]];
+        }
+      }
+      UPA_REQUIRE(diag != 0.0,
+                  "jacobi: zero diagonal at row " + std::to_string(r));
+      next[r] = sum / diag;
+    }
+    residual = update_norm(next, x);
+    x.swap(next);
+    if (residual <= options.tolerance) {
+      return {std::move(x), it, residual};
+    }
+  }
+  fail("jacobi", options.max_iterations, residual);
+}
+
+}  // namespace upa::linalg

@@ -1,0 +1,42 @@
+#pragma once
+// Iterative kernels for chains too large for dense LU: power iteration for
+// stochastic matrices and Gauss-Seidel / Jacobi for linear systems.
+
+#include <cstddef>
+
+#include "upa/linalg/matrix.hpp"
+#include "upa/linalg/sparse.hpp"
+
+namespace upa::linalg {
+
+/// Options shared by the iterative solvers.
+struct IterativeOptions {
+  std::size_t max_iterations = 200000;
+  double tolerance = 1e-13;  // infinity-norm of the update
+};
+
+/// Result of an iterative run (solution plus convergence diagnostics).
+struct IterativeResult {
+  Vector solution;
+  std::size_t iterations = 0;
+  double residual = 0.0;
+};
+
+/// Fixed point of pi = pi P for a row-stochastic sparse matrix P, starting
+/// from the uniform distribution; renormalizes each sweep. Throws
+/// ConvergenceError when the update norm stalls above tolerance.
+[[nodiscard]] IterativeResult power_iteration(
+    const SparseMatrix& p, const IterativeOptions& options = {});
+
+/// Gauss-Seidel for A x = b (square sparse A with non-zero diagonal).
+/// Throws ConvergenceError when not converged within the budget.
+[[nodiscard]] IterativeResult gauss_seidel(
+    const SparseMatrix& a, const Vector& b,
+    const IterativeOptions& options = {});
+
+/// Jacobi iteration for A x = b; slower than Gauss-Seidel but embarrassingly
+/// order-independent (useful as a cross-check).
+[[nodiscard]] IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
+                                     const IterativeOptions& options = {});
+
+}  // namespace upa::linalg

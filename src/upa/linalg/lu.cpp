@@ -1,0 +1,97 @@
+#include "upa/linalg/lu.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "upa/common/error.hpp"
+
+namespace upa::linalg {
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  UPA_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  piv_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    UPA_REQUIRE(pivot_mag > 0.0 && std::isfinite(pivot_mag),
+                "singular matrix at column " + std::to_string(k));
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+      std::swap(piv_[k], piv_[pivot_row]);
+      pivot_sign_ = -pivot_sign_;
+    }
+
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) / pivot;
+      lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(i, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = size();
+  UPA_REQUIRE(b.size() == n, "rhs size mismatch in LU solve");
+
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[piv_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  UPA_REQUIRE(b.rows() == size(), "rhs rows mismatch in LU solve");
+  Matrix x(b.rows(), b.cols());
+  Vector column(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) column[r] = b(r, c);
+    const Vector sol = solve(column);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const noexcept {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(Matrix a, const Vector& b) {
+  return LuDecomposition(std::move(a)).solve(b);
+}
+
+Matrix inverse(Matrix a) {
+  const std::size_t n = a.rows();
+  return LuDecomposition(std::move(a)).solve(Matrix::identity(n));
+}
+
+}  // namespace upa::linalg

@@ -1,0 +1,39 @@
+#pragma once
+// Direct linear solver: LU factorization with partial pivoting. This is
+// the workhorse behind CTMC steady-state solutions and absorbing-DTMC
+// fundamental matrices (systems are dense and modest in size).
+
+#include "upa/linalg/matrix.hpp"
+
+namespace upa::linalg {
+
+/// LU factorization with partial pivoting (PA = LU). Throws ModelError on
+/// singular (to working precision) input.
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix a);
+
+  /// Solves A x = b for one right-hand side.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column by column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// det(A), including pivot sign.
+  [[nodiscard]] double determinant() const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                     // packed L (unit diagonal) and U
+  std::vector<std::size_t> piv_;  // row permutation
+  int pivot_sign_ = 1;
+};
+
+/// Convenience one-shot solve of A x = b.
+[[nodiscard]] Vector solve(Matrix a, const Vector& b);
+
+/// Matrix inverse via LU; prefer solve() when you only need A^{-1} b.
+[[nodiscard]] Matrix inverse(Matrix a);
+
+}  // namespace upa::linalg

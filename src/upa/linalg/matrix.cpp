@@ -1,0 +1,142 @@
+#include "upa/linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  UPA_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  UPA_REQUIRE(rows.size() > 0, "matrix needs at least one row");
+  rows_ = rows.size();
+  cols_ = rows.begin()->size();
+  UPA_REQUIRE(cols_ > 0, "matrix needs at least one column");
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    UPA_REQUIRE(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  UPA_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  UPA_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  UPA_REQUIRE(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  UPA_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "matrix shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  UPA_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+              "matrix shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  UPA_REQUIRE(a.cols() == b.rows(), "matrix shape mismatch in product");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  UPA_REQUIRE(a.cols() == x.size(), "shape mismatch in matrix*vector");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    y[i] = dot(a.row(i), x);
+  }
+  return y;
+}
+
+Vector left_multiply(const Vector& x, const Matrix& a) {
+  UPA_REQUIRE(a.rows() == x.size(), "shape mismatch in vector*matrix");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  UPA_REQUIRE(a.size() == b.size(), "shape mismatch in dot product");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm_inf(std::span<const double> v) noexcept {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double norm_1(std::span<const double> v) noexcept {
+  double s = 0.0;
+  for (double x : v) s += std::abs(x);
+  return s;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  UPA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+              "matrix shape mismatch in max_abs_diff");
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      m = std::max(m, std::abs(a(r, c) - b(r, c)));
+    }
+  }
+  return m;
+}
+
+}  // namespace upa::linalg

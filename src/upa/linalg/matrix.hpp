@@ -1,0 +1,92 @@
+#pragma once
+// Dense row-major matrix / vector algebra. Built from scratch (the target
+// environment has no Eigen); sized for dependability models, i.e. matrices
+// up to a few thousand states solved by direct LU and vector arithmetic.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace upa::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. Regular value type: copyable,
+/// movable, equality-comparable; throws ModelError on shape mismatches.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Checked element access; throws ModelError when out of range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scalar) noexcept;
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend Matrix operator*(Matrix lhs, double scalar) noexcept {
+    lhs *= scalar;
+    return lhs;
+  }
+  friend Matrix operator*(double scalar, Matrix rhs) noexcept {
+    rhs *= scalar;
+    return rhs;
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Matrix product; throws ModelError on incompatible shapes.
+[[nodiscard]] Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// y = A x (matrix * column vector).
+[[nodiscard]] Vector operator*(const Matrix& a, const Vector& x);
+
+/// y = x^T A (row vector * matrix) — the natural operation for
+/// probability-vector iteration pi' = pi P.
+[[nodiscard]] Vector left_multiply(const Vector& x, const Matrix& a);
+
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double norm_inf(std::span<const double> v) noexcept;
+[[nodiscard]] double norm_1(std::span<const double> v) noexcept;
+
+/// Largest |a_ij - b_ij|; throws on shape mismatch.
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace upa::linalg

@@ -1,0 +1,100 @@
+#include "upa/linalg/sparse.hpp"
+
+#include <algorithm>
+
+#include "upa/common/error.hpp"
+
+namespace upa::linalg {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  UPA_REQUIRE(rows > 0 && cols > 0, "sparse dimensions must be positive");
+  for (const Triplet& t : triplets) {
+    UPA_REQUIRE(t.row < rows && t.col < cols,
+                "sparse triplet index out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  row_start_.assign(rows_ + 1, 0);
+  col_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (sum != 0.0) {
+      col_.push_back(triplets[i].col);
+      values_.push_back(sum);
+      ++row_start_[triplets[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    row_start_[r + 1] += row_start_[r];
+  }
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  UPA_REQUIRE(x.size() == cols_, "shape mismatch in sparse multiply");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      s += values_[k] * x[col_[k]];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector SparseMatrix::left_multiply(const Vector& x) const {
+  UPA_REQUIRE(x.size() == rows_, "shape mismatch in sparse left_multiply");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      y[col_[k]] += xr * values_[k];
+    }
+  }
+  return y;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  UPA_REQUIRE(r < rows_ && c < cols_, "sparse index out of range");
+  const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_start_[r]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_start_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_.begin())];
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      m(r, col_[k]) = values_[k];
+    }
+  }
+  return m;
+}
+
+std::span<const std::size_t> SparseMatrix::row_cols(std::size_t r) const {
+  UPA_REQUIRE(r < rows_, "row index out of range");
+  return {col_.data() + row_start_[r], row_start_[r + 1] - row_start_[r]};
+}
+
+std::span<const double> SparseMatrix::row_values(std::size_t r) const {
+  UPA_REQUIRE(r < rows_, "row index out of range");
+  return {values_.data() + row_start_[r], row_start_[r + 1] - row_start_[r]};
+}
+
+}  // namespace upa::linalg

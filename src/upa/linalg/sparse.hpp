@@ -1,0 +1,55 @@
+#pragma once
+// Compressed-sparse-row matrix for large Markov chains (e.g. GSPN
+// reachability graphs), built from coordinate triplets.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "upa/linalg/matrix.hpp"
+
+namespace upa::linalg {
+
+/// One (row, col, value) entry used while assembling a sparse matrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR matrix. Duplicate triplets are summed during assembly.
+class SparseMatrix {
+ public:
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               std::vector<Triplet> triplets);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// y = A x.
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+  /// y = x^T A (row-vector product; the DTMC/CTMC iteration primitive).
+  [[nodiscard]] Vector left_multiply(const Vector& x) const;
+
+  /// Element lookup (binary search within the row); zero when absent.
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Densifies; intended for tests and small systems only.
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Row access for solver kernels: parallel spans of column indices and
+  /// values for row r.
+  [[nodiscard]] std::span<const std::size_t> row_cols(std::size_t r) const;
+  [[nodiscard]] std::span<const double> row_values(std::size_t r) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_start_;  // size rows_ + 1
+  std::vector<std::size_t> col_;
+  std::vector<double> values_;
+};
+
+}  // namespace upa::linalg

@@ -1,0 +1,50 @@
+#include "upa/markov/birth_death.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::markov {
+
+BirthDeath::BirthDeath(std::vector<double> birth_rates,
+                       std::vector<double> death_rates)
+    : birth_(std::move(birth_rates)), death_(std::move(death_rates)) {
+  UPA_REQUIRE(!birth_.empty(), "birth-death chain needs at least two states");
+  UPA_REQUIRE(birth_.size() == death_.size(),
+              "birth and death rate vectors must have equal length");
+  for (double b : birth_) {
+    UPA_REQUIRE(std::isfinite(b) && b > 0.0, "birth rates must be positive");
+  }
+  for (double d : death_) {
+    UPA_REQUIRE(std::isfinite(d) && d > 0.0, "death rates must be positive");
+  }
+}
+
+linalg::Vector BirthDeath::steady_state() const {
+  const std::size_t n = state_count();
+  // log pi[i] (unnormalized); log-domain keeps mu/lambda ~ 1e4 ratios over
+  // ten states well inside double range.
+  std::vector<double> log_pi(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    log_pi[i] = log_pi[i - 1] + std::log(birth_[i - 1]) -
+                std::log(death_[i - 1]);
+  }
+  const double max_log = *std::max_element(log_pi.begin(), log_pi.end());
+  linalg::Vector pi(n);
+  for (std::size_t i = 0; i < n; ++i) pi[i] = std::exp(log_pi[i] - max_log);
+  upa::common::normalize(pi);
+  return pi;
+}
+
+Ctmc BirthDeath::to_ctmc() const {
+  Ctmc chain(state_count());
+  for (std::size_t i = 0; i + 1 < state_count(); ++i) {
+    chain.add_rate(i, i + 1, birth_[i]);
+    chain.add_rate(i + 1, i, death_[i]);
+  }
+  return chain;
+}
+
+}  // namespace upa::markov

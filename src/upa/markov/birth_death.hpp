@@ -1,0 +1,38 @@
+#pragma once
+// Birth-death processes in closed form. Both the paper's web-farm
+// availability chains (Figures 9/10 restricted to operational states) and
+// every M/M/c/K queue are birth-death chains, so this module provides the
+// product-form steady state once and the other modules specialize it.
+
+#include <cstddef>
+#include <vector>
+
+#include "upa/linalg/matrix.hpp"
+#include "upa/markov/ctmc.hpp"
+
+namespace upa::markov {
+
+/// A finite birth-death chain on states 0..n with per-state birth rates
+/// b[i] (i -> i+1, size n) and death rates d[i] (i+1 -> i, size n).
+class BirthDeath {
+ public:
+  BirthDeath(std::vector<double> birth_rates, std::vector<double> death_rates);
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return birth_.size() + 1;
+  }
+
+  /// Product-form steady state: pi[i] proportional to
+  /// prod_{k<i} b[k]/d[k], normalized (computed in log domain for
+  /// robustness against the huge rate ratios of availability models).
+  [[nodiscard]] linalg::Vector steady_state() const;
+
+  /// The same chain as an explicit CTMC (for cross-checking solvers).
+  [[nodiscard]] Ctmc to_ctmc() const;
+
+ private:
+  std::vector<double> birth_;
+  std::vector<double> death_;
+};
+
+}  // namespace upa::markov

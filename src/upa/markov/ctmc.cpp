@@ -1,0 +1,176 @@
+#include "upa/markov/ctmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+#include "upa/linalg/iterative.hpp"
+#include "upa/linalg/lu.hpp"
+
+namespace upa::markov {
+
+Ctmc::Ctmc(std::size_t state_count) : n_(state_count), labels_(state_count) {
+  UPA_REQUIRE(state_count >= 1, "CTMC needs at least one state");
+  for (std::size_t i = 0; i < n_; ++i) {
+    labels_[i] = "s" + std::to_string(i);
+  }
+}
+
+void Ctmc::check_state(std::size_t s) const {
+  UPA_REQUIRE(s < n_, "state index " + std::to_string(s) + " out of range");
+}
+
+void Ctmc::add_rate(std::size_t from, std::size_t to, double rate) {
+  check_state(from);
+  check_state(to);
+  UPA_REQUIRE(from != to, "self-loop rates are not allowed in a CTMC");
+  UPA_REQUIRE(std::isfinite(rate) && rate > 0.0,
+              "transition rate must be positive and finite");
+  rates_.push_back({from, to, rate});
+}
+
+void Ctmc::set_label(std::size_t state, std::string label) {
+  check_state(state);
+  labels_[state] = std::move(label);
+}
+
+const std::string& Ctmc::label(std::size_t state) const {
+  check_state(state);
+  return labels_[state];
+}
+
+linalg::Matrix Ctmc::generator() const {
+  linalg::Matrix q(n_, n_);
+  for (const auto& t : rates_) {
+    q(t.row, t.col) += t.value;
+    q(t.row, t.row) -= t.value;
+  }
+  return q;
+}
+
+linalg::SparseMatrix Ctmc::sparse_generator() const {
+  std::vector<linalg::Triplet> triplets = rates_;
+  std::vector<double> exit(n_, 0.0);
+  for (const auto& t : rates_) exit[t.row] += t.value;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (exit[i] != 0.0) triplets.push_back({i, i, -exit[i]});
+  }
+  return {n_, n_, std::move(triplets)};
+}
+
+double Ctmc::exit_rate(std::size_t state) const {
+  check_state(state);
+  double sum = 0.0;
+  for (const auto& t : rates_) {
+    if (t.row == state) sum += t.value;
+  }
+  return sum;
+}
+
+double Ctmc::max_exit_rate() const {
+  std::vector<double> exit(n_, 0.0);
+  for (const auto& t : rates_) exit[t.row] += t.value;
+  return *std::max_element(exit.begin(), exit.end());
+}
+
+linalg::Vector Ctmc::steady_state() const {
+  // Solve pi Q = 0 with normalization: transpose to Q^T pi^T = 0 and
+  // replace the last balance equation by sum(pi) = 1.
+  linalg::Matrix a = generator().transposed();
+  for (std::size_t c = 0; c < n_; ++c) a(n_ - 1, c) = 1.0;
+  linalg::Vector b(n_, 0.0);
+  b[n_ - 1] = 1.0;
+  linalg::Vector pi = linalg::solve(std::move(a), b);
+  for (double& p : pi) {
+    UPA_REQUIRE(p > -1e-9, "steady state produced a negative probability; "
+                           "the chain is likely reducible");
+    p = std::max(p, 0.0);
+  }
+  upa::common::normalize(pi);
+  return pi;
+}
+
+linalg::Vector Ctmc::steady_state_iterative(double tolerance) const {
+  // Uniformize: P = I + Q / Lambda with Lambda slightly above the largest
+  // exit rate so every diagonal stays positive (aperiodic DTMC).
+  const double lambda = max_exit_rate() * 1.02 + 1e-300;
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(rates_.size() + n_);
+  std::vector<double> exit(n_, 0.0);
+  for (const auto& t : rates_) {
+    exit[t.row] += t.value;
+    triplets.push_back({t.row, t.col, t.value / lambda});
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    triplets.push_back({i, i, 1.0 - exit[i] / lambda});
+  }
+  linalg::SparseMatrix p(n_, n_, std::move(triplets));
+  linalg::IterativeOptions options;
+  options.tolerance = tolerance;
+  return linalg::power_iteration(p, options).solution;
+}
+
+double Ctmc::mean_time_to_absorption(
+    std::size_t from, const std::vector<std::size_t>& absorbing) const {
+  check_state(from);
+  UPA_REQUIRE(!absorbing.empty(), "need at least one absorbing state");
+  std::vector<bool> is_absorbing(n_, false);
+  for (std::size_t s : absorbing) {
+    check_state(s);
+    is_absorbing[s] = true;
+  }
+  UPA_REQUIRE(!is_absorbing[from], "start state is absorbing; MTTA is 0");
+
+  // Index the transient states and solve (-Q_TT) tau = 1.
+  std::vector<std::size_t> transient_index(n_, SIZE_MAX);
+  std::vector<std::size_t> transient_states;
+  for (std::size_t s = 0; s < n_; ++s) {
+    if (!is_absorbing[s]) {
+      transient_index[s] = transient_states.size();
+      transient_states.push_back(s);
+    }
+  }
+  const std::size_t m = transient_states.size();
+  linalg::Matrix neg_qtt(m, m);
+  std::vector<double> exit(n_, 0.0);
+  for (const auto& t : rates_) exit[t.row] += t.value;
+  for (std::size_t i = 0; i < m; ++i) {
+    neg_qtt(i, i) = exit[transient_states[i]];
+  }
+  for (const auto& t : rates_) {
+    if (is_absorbing[t.row] || is_absorbing[t.col]) continue;
+    neg_qtt(transient_index[t.row], transient_index[t.col]) -= t.value;
+  }
+  const linalg::Vector ones(m, 1.0);
+  const linalg::Vector tau = linalg::solve(std::move(neg_qtt), ones);
+  return tau[transient_index[from]];
+}
+
+double Ctmc::steady_state_mass(const std::vector<std::size_t>& states) const {
+  const linalg::Vector pi = steady_state();
+  double mass = 0.0;
+  for (std::size_t s : states) {
+    check_state(s);
+    mass += pi[s];
+  }
+  return mass;
+}
+
+Ctmc two_state_availability(double lambda, double mu) {
+  UPA_REQUIRE(lambda > 0.0 && mu > 0.0, "rates must be positive");
+  Ctmc chain(2);
+  chain.set_label(0, "up");
+  chain.set_label(1, "down");
+  chain.add_rate(0, 1, lambda);
+  chain.add_rate(1, 0, mu);
+  return chain;
+}
+
+double two_state_steady_availability(double lambda, double mu) {
+  UPA_REQUIRE(lambda > 0.0 && mu > 0.0, "rates must be positive");
+  return mu / (lambda + mu);
+}
+
+}  // namespace upa::markov

@@ -1,0 +1,84 @@
+#pragma once
+// Continuous-time Markov chains: generator assembly, steady-state solution
+// (dense direct and sparse iterative), and absorption-time analysis. This
+// is the engine behind the paper's Figure 9 / Figure 10 availability models
+// and the GSPN backend.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "upa/linalg/matrix.hpp"
+#include "upa/linalg/sparse.hpp"
+
+namespace upa::markov {
+
+/// A CTMC under construction: add transition rates between states, then
+/// query steady-state or transient measures. States are dense indices
+/// [0, n); optional labels improve diagnostics. Value type; evaluation
+/// methods are const and pure.
+class Ctmc {
+ public:
+  explicit Ctmc(std::size_t state_count);
+
+  /// Adds `rate` from state `from` to state `to` (accumulates when called
+  /// twice for the same pair). Rates must be positive and finite;
+  /// self-loops are rejected (meaningless in a CTMC).
+  void add_rate(std::size_t from, std::size_t to, double rate);
+
+  void set_label(std::size_t state, std::string label);
+  [[nodiscard]] const std::string& label(std::size_t state) const;
+
+  [[nodiscard]] std::size_t state_count() const noexcept { return n_; }
+
+  /// Infinitesimal generator Q as a dense matrix (row sums are zero).
+  [[nodiscard]] linalg::Matrix generator() const;
+
+  /// Q in CSR form, including the diagonal.
+  [[nodiscard]] linalg::SparseMatrix sparse_generator() const;
+
+  /// Total exit rate of a state.
+  [[nodiscard]] double exit_rate(std::size_t state) const;
+
+  /// Largest exit rate (the uniformization constant Lambda).
+  [[nodiscard]] double max_exit_rate() const;
+
+  /// Steady-state distribution pi with pi Q = 0, sum(pi) = 1, solved by
+  /// dense LU on the transposed balance equations. Requires an irreducible
+  /// chain (singular otherwise -> ModelError).
+  [[nodiscard]] linalg::Vector steady_state() const;
+
+  /// Steady state via power iteration on the uniformized DTMC
+  /// P = I + Q / Lambda. Cross-checks steady_state() and scales to the
+  /// sparse chains produced by the GSPN module.
+  [[nodiscard]] linalg::Vector steady_state_iterative(
+      double tolerance = 1e-13) const;
+
+  /// Expected time to hit any state in `absorbing`, starting from `from`
+  /// (mean time to absorption via the fundamental system). Used for MTTF:
+  /// absorbing = failure states.
+  [[nodiscard]] double mean_time_to_absorption(
+      std::size_t from, const std::vector<std::size_t>& absorbing) const;
+
+  /// Steady-state probability mass of a set of states.
+  [[nodiscard]] double steady_state_mass(
+      const std::vector<std::size_t>& states) const;
+
+ private:
+  void check_state(std::size_t s) const;
+
+  std::size_t n_;
+  std::vector<linalg::Triplet> rates_;  // off-diagonal entries only
+  std::vector<std::string> labels_;
+};
+
+/// Builds the two-state repairable-component chain (up=0, down=1) with
+/// failure rate lambda and repair rate mu; its steady availability is
+/// mu / (lambda + mu).
+[[nodiscard]] Ctmc two_state_availability(double lambda, double mu);
+
+/// Steady availability of the two-state model in closed form.
+[[nodiscard]] double two_state_steady_availability(double lambda, double mu);
+
+}  // namespace upa::markov

@@ -1,0 +1,149 @@
+#include "upa/markov/dtmc.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+#include "upa/linalg/lu.hpp"
+
+namespace upa::markov {
+
+Dtmc::Dtmc(linalg::Matrix transition, double tol) : p_(std::move(transition)) {
+  UPA_REQUIRE(p_.rows() == p_.cols(), "DTMC matrix must be square");
+  for (std::size_t r = 0; r < p_.rows(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < p_.cols(); ++c) {
+      UPA_REQUIRE(upa::common::is_probability(p_(r, c), tol),
+                  "P[" + std::to_string(r) + "][" + std::to_string(c) +
+                      "] is not a probability");
+      row_sum += p_(r, c);
+    }
+    UPA_REQUIRE(std::abs(row_sum - 1.0) <= tol,
+                "row " + std::to_string(r) + " sums to " +
+                    std::to_string(row_sum) + ", expected 1");
+    for (std::size_t c = 0; c < p_.cols(); ++c) p_(r, c) /= row_sum;
+  }
+}
+
+linalg::Vector Dtmc::stationary_distribution() const {
+  // Solve pi (P - I) = 0 with normalization, as a transposed linear system.
+  const std::size_t n = state_count();
+  linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = p_(c, r) - (r == c ? 1.0 : 0.0);
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) a(n - 1, c) = 1.0;
+  linalg::Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  linalg::Vector pi = linalg::solve(std::move(a), b);
+  for (double& p : pi) {
+    UPA_REQUIRE(p > -1e-9,
+                "stationary solve produced a negative probability; "
+                "the chain is likely reducible or periodic");
+    p = std::max(p, 0.0);
+  }
+  upa::common::normalize(pi);
+  return pi;
+}
+
+linalg::Vector Dtmc::distribution_after(linalg::Vector initial,
+                                        std::size_t steps) const {
+  UPA_REQUIRE(initial.size() == state_count(),
+              "initial distribution size mismatch");
+  for (std::size_t k = 0; k < steps; ++k) {
+    initial = linalg::left_multiply(initial, p_);
+  }
+  return initial;
+}
+
+bool Dtmc::is_absorbing(std::size_t state) const {
+  UPA_REQUIRE(state < state_count(), "state index out of range");
+  return p_(state, state) == 1.0;
+}
+
+AbsorbingChainAnalysis::AbsorbingChainAnalysis(
+    const Dtmc& chain, std::vector<std::size_t> absorbing_states)
+    : absorbing_states_(std::move(absorbing_states)),
+      index_of_state_(chain.state_count(), SIZE_MAX),
+      is_absorbing_(chain.state_count(), false) {
+  const std::size_t n = chain.state_count();
+  UPA_REQUIRE(!absorbing_states_.empty(),
+              "need at least one absorbing state");
+  for (std::size_t s : absorbing_states_) {
+    UPA_REQUIRE(s < n, "absorbing state index out of range");
+    UPA_REQUIRE(chain.is_absorbing(s),
+                "state " + std::to_string(s) + " is not absorbing");
+    is_absorbing_[s] = true;
+  }
+  for (std::size_t i = 0; i < absorbing_states_.size(); ++i) {
+    index_of_state_[absorbing_states_[i]] = i;
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!is_absorbing_[s]) {
+      index_of_state_[s] = transient_states_.size();
+      transient_states_.push_back(s);
+    }
+  }
+  UPA_REQUIRE(!transient_states_.empty(), "chain has no transient states");
+
+  const std::size_t m = transient_states_.size();
+  const auto& p = chain.transition_matrix();
+
+  // I - Q over transient states, then N = (I - Q)^{-1}.
+  linalg::Matrix i_minus_q(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double q = p(transient_states_[i], transient_states_[j]);
+      i_minus_q(i, j) = (i == j ? 1.0 : 0.0) - q;
+    }
+  }
+  fundamental_ = linalg::inverse(std::move(i_minus_q));
+
+  // R: transient -> absorbing one-step probabilities; B = N R.
+  linalg::Matrix r(m, absorbing_states_.size());
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < absorbing_states_.size(); ++j) {
+      r(i, j) = p(transient_states_[i], absorbing_states_[j]);
+    }
+  }
+  absorption_ = fundamental_ * r;
+}
+
+std::size_t AbsorbingChainAnalysis::transient_index(std::size_t state) const {
+  UPA_REQUIRE(state < is_absorbing_.size(), "state index out of range");
+  UPA_REQUIRE(!is_absorbing_[state],
+              "state " + std::to_string(state) + " is absorbing");
+  return index_of_state_[state];
+}
+
+std::size_t AbsorbingChainAnalysis::absorbing_index(std::size_t state) const {
+  UPA_REQUIRE(state < is_absorbing_.size(), "state index out of range");
+  UPA_REQUIRE(is_absorbing_[state],
+              "state " + std::to_string(state) + " is not absorbing");
+  return index_of_state_[state];
+}
+
+double AbsorbingChainAnalysis::expected_visits(std::size_t from,
+                                               std::size_t to) const {
+  return fundamental_(transient_index(from), transient_index(to));
+}
+
+double AbsorbingChainAnalysis::expected_steps_to_absorption(
+    std::size_t from) const {
+  const std::size_t i = transient_index(from);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < transient_states_.size(); ++j) {
+    sum += fundamental_(i, j);
+  }
+  return sum;
+}
+
+double AbsorbingChainAnalysis::absorption_probability(
+    std::size_t from, std::size_t target) const {
+  return absorption_(transient_index(from), absorbing_index(target));
+}
+
+}  // namespace upa::markov

@@ -1,0 +1,82 @@
+#pragma once
+// Discrete-time Markov chains: stationary distributions and absorbing-chain
+// analysis (fundamental matrix, expected visit counts, absorption
+// probabilities). The operational-profile module derives the paper's
+// Table 1 scenario probabilities from a session DTMC through this API.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "upa/linalg/matrix.hpp"
+
+namespace upa::markov {
+
+/// Immutable row-stochastic DTMC over dense state indices.
+class Dtmc {
+ public:
+  /// Validates row-stochasticity to `tol` (throws ModelError otherwise)
+  /// and renormalizes each row exactly.
+  explicit Dtmc(linalg::Matrix transition, double tol = 1e-9);
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return p_.rows();
+  }
+  [[nodiscard]] const linalg::Matrix& transition_matrix() const noexcept {
+    return p_;
+  }
+  [[nodiscard]] double probability(std::size_t from, std::size_t to) const {
+    return p_.at(from, to);
+  }
+
+  /// Stationary pi = pi P (dense LU; requires irreducibility).
+  [[nodiscard]] linalg::Vector stationary_distribution() const;
+
+  /// n-step distribution from an initial distribution.
+  [[nodiscard]] linalg::Vector distribution_after(
+      linalg::Vector initial, std::size_t steps) const;
+
+  /// True when `state` is absorbing (P[s][s] == 1).
+  [[nodiscard]] bool is_absorbing(std::size_t state) const;
+
+ private:
+  linalg::Matrix p_;
+};
+
+/// Analysis of a DTMC with one or more absorbing states.
+/// Exposes the textbook quantities built on the fundamental matrix
+/// N = (I - Q)^{-1} over transient states.
+class AbsorbingChainAnalysis {
+ public:
+  AbsorbingChainAnalysis(const Dtmc& chain,
+                         std::vector<std::size_t> absorbing_states);
+
+  /// Expected number of visits to transient state `to` before absorption,
+  /// starting in transient state `from` (entry N[from][to]).
+  [[nodiscard]] double expected_visits(std::size_t from, std::size_t to) const;
+
+  /// Expected number of steps before absorption starting from `from`.
+  [[nodiscard]] double expected_steps_to_absorption(std::size_t from) const;
+
+  /// Probability of eventually being absorbed in `target` starting from
+  /// transient state `from` (entry of B = N R).
+  [[nodiscard]] double absorption_probability(std::size_t from,
+                                              std::size_t target) const;
+
+  [[nodiscard]] const std::vector<std::size_t>& transient_states() const {
+    return transient_states_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t transient_index(std::size_t state) const;
+  [[nodiscard]] std::size_t absorbing_index(std::size_t state) const;
+
+  std::vector<std::size_t> transient_states_;
+  std::vector<std::size_t> absorbing_states_;
+  std::vector<std::size_t> index_of_state_;  // into whichever list
+  std::vector<bool> is_absorbing_;
+  linalg::Matrix fundamental_;  // N
+  linalg::Matrix absorption_;   // B = N R
+};
+
+}  // namespace upa::markov

@@ -1,0 +1,56 @@
+#include "upa/markov/reward.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/markov/transient.hpp"
+
+namespace upa::markov {
+
+RewardModel::RewardModel(Ctmc chain, std::vector<double> rewards)
+    : chain_(std::move(chain)), rewards_(std::move(rewards)) {
+  UPA_REQUIRE(rewards_.size() == chain_.state_count(),
+              "one reward per state required");
+  for (double r : rewards_) {
+    UPA_REQUIRE(std::isfinite(r), "rewards must be finite");
+  }
+}
+
+double RewardModel::steady_state_reward() const {
+  const linalg::Vector pi = chain_.steady_state();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) sum += pi[i] * rewards_[i];
+  return sum;
+}
+
+double RewardModel::transient_reward(linalg::Vector initial, double t) const {
+  const linalg::Vector pi =
+      transient_distribution(chain_, std::move(initial), t);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) sum += pi[i] * rewards_[i];
+  return sum;
+}
+
+double RewardModel::interval_reward(linalg::Vector initial, double t,
+                                    std::size_t steps) const {
+  UPA_REQUIRE(steps >= 1, "need at least one integration step");
+  UPA_REQUIRE(std::isfinite(t) && t > 0.0, "horizon must be positive");
+  const double dt = t / static_cast<double>(steps);
+  linalg::Vector current = std::move(initial);
+  auto reward_of = [this](const linalg::Vector& pi) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < pi.size(); ++i) sum += pi[i] * rewards_[i];
+    return sum;
+  };
+  double integral = 0.0;
+  double previous = reward_of(current);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    current = transient_distribution(chain_, std::move(current), dt);
+    const double value = reward_of(current);
+    integral += 0.5 * (previous + value) * dt;
+    previous = value;
+  }
+  return integral / t;
+}
+
+}  // namespace upa::markov

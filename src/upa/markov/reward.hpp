@@ -1,0 +1,40 @@
+#pragma once
+// Markov reward models. The paper's composite performance-availability
+// measure (eqs. 5/9: availability = 1 - sum_i pi_i * loss_i - pi_down) is a
+// steady-state expected reward with reward(state) = service probability in
+// that state; this module provides that evaluation generically.
+
+#include <vector>
+
+#include "upa/markov/ctmc.hpp"
+
+namespace upa::markov {
+
+/// A CTMC plus a per-state reward rate.
+class RewardModel {
+ public:
+  RewardModel(Ctmc chain, std::vector<double> rewards);
+
+  [[nodiscard]] const Ctmc& chain() const noexcept { return chain_; }
+  [[nodiscard]] const std::vector<double>& rewards() const noexcept {
+    return rewards_;
+  }
+
+  /// Steady-state expected reward rate: sum_i pi_i r_i.
+  [[nodiscard]] double steady_state_reward() const;
+
+  /// Expected reward rate at time t starting from `initial`.
+  [[nodiscard]] double transient_reward(linalg::Vector initial,
+                                        double t) const;
+
+  /// Expected accumulated reward over [0, t] divided by t (time-averaged),
+  /// the Meyer performability measure for an interval.
+  [[nodiscard]] double interval_reward(linalg::Vector initial, double t,
+                                       std::size_t steps = 200) const;
+
+ private:
+  Ctmc chain_;
+  std::vector<double> rewards_;
+};
+
+}  // namespace upa::markov

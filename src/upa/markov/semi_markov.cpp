@@ -1,0 +1,67 @@
+#include "upa/markov/semi_markov.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::markov {
+
+SemiMarkovProcess::SemiMarkovProcess(linalg::Matrix embedded_transitions,
+                                     std::vector<double> mean_sojourns)
+    : embedded_(std::move(embedded_transitions)),
+      sojourns_(std::move(mean_sojourns)) {
+  UPA_REQUIRE(sojourns_.size() == embedded_.state_count(),
+              "one mean sojourn per state required");
+  for (double m : sojourns_) {
+    UPA_REQUIRE(std::isfinite(m) && m > 0.0,
+                "mean sojourn times must be positive");
+  }
+}
+
+linalg::Vector SemiMarkovProcess::embedded_stationary() const {
+  return embedded_.stationary_distribution();
+}
+
+linalg::Vector SemiMarkovProcess::steady_state_occupancy() const {
+  const linalg::Vector nu = embedded_stationary();
+  linalg::Vector pi(nu.size());
+  for (std::size_t i = 0; i < nu.size(); ++i) {
+    pi[i] = nu[i] * sojourns_[i];
+  }
+  upa::common::normalize(pi);
+  return pi;
+}
+
+double SemiMarkovProcess::occupancy_mass(
+    const std::vector<std::size_t>& states) const {
+  const linalg::Vector pi = steady_state_occupancy();
+  double mass = 0.0;
+  for (std::size_t s : states) {
+    UPA_REQUIRE(s < pi.size(), "state index out of range");
+    mass += pi[s];
+  }
+  return mass;
+}
+
+SemiMarkovProcess to_semi_markov(const Ctmc& chain) {
+  const std::size_t n = chain.state_count();
+  const linalg::SparseMatrix q = chain.sparse_generator();
+  linalg::Matrix p(n, n);
+  std::vector<double> sojourns(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exit = chain.exit_rate(i);
+    UPA_REQUIRE(exit > 0.0,
+                "absorbing state has no semi-Markov representation");
+    sojourns[i] = 1.0 / exit;
+    const auto cols = q.row_cols(i);
+    const auto vals = q.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) continue;
+      p(i, cols[k]) = vals[k] / exit;
+    }
+  }
+  return SemiMarkovProcess(std::move(p), std::move(sojourns));
+}
+
+}  // namespace upa::markov

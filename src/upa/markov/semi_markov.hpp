@@ -1,0 +1,52 @@
+#pragma once
+// Semi-Markov processes: an embedded jump chain plus arbitrary mean
+// sojourn times per state. Steady-state occupancy depends on the sojourn
+// distributions only through their means,
+//   pi_i = nu_i m_i / sum_j nu_j m_j,
+// which proves an insensitivity result relevant to the paper: the
+// web-farm availability does not change if the manual reconfiguration
+// time (1/beta) is deterministic, Erlang, or anything else with the same
+// mean. This module computes SMP occupancies and converts CTMCs to their
+// semi-Markov form for cross-checking.
+
+#include <vector>
+
+#include "upa/linalg/matrix.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/markov/dtmc.hpp"
+
+namespace upa::markov {
+
+/// A semi-Markov process: embedded transition probabilities (row-
+/// stochastic) and mean sojourn time per state.
+class SemiMarkovProcess {
+ public:
+  SemiMarkovProcess(linalg::Matrix embedded_transitions,
+                    std::vector<double> mean_sojourns);
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return embedded_.state_count();
+  }
+
+  /// Long-run fraction of time in each state (requires an irreducible
+  /// embedded chain).
+  [[nodiscard]] linalg::Vector steady_state_occupancy() const;
+
+  /// The embedded chain's stationary distribution nu.
+  [[nodiscard]] linalg::Vector embedded_stationary() const;
+
+  /// Occupancy mass of a set of states.
+  [[nodiscard]] double occupancy_mass(
+      const std::vector<std::size_t>& states) const;
+
+ private:
+  Dtmc embedded_;
+  std::vector<double> sojourns_;
+};
+
+/// The semi-Markov view of a CTMC: embedded jump probabilities
+/// q_ij / q_i and mean sojourns 1 / q_i. Its occupancy equals the CTMC
+/// steady state (cross-check used in tests).
+[[nodiscard]] SemiMarkovProcess to_semi_markov(const Ctmc& chain);
+
+}  // namespace upa::markov

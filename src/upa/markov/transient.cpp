@@ -1,0 +1,131 @@
+#include "upa/markov/transient.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::markov {
+namespace {
+
+/// Uniformized DTMC P = I + Q/Lambda as a sparse matrix plus the Lambda
+/// actually used.
+struct Uniformized {
+  linalg::SparseMatrix p;
+  double lambda;
+};
+
+Uniformized uniformize(const Ctmc& chain) {
+  const double lambda = std::max(chain.max_exit_rate(), 1e-300) * 1.02;
+  const linalg::SparseMatrix q = chain.sparse_generator();
+  std::vector<linalg::Triplet> triplets;
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    const auto cols = q.row_cols(r);
+    const auto vals = q.row_values(r);
+    double diag = 1.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r) {
+        diag += vals[k] / lambda;
+      } else {
+        triplets.push_back({r, cols[k], vals[k] / lambda});
+      }
+    }
+    triplets.push_back({r, r, diag});
+  }
+  return {linalg::SparseMatrix(q.rows(), q.cols(), std::move(triplets)),
+          lambda};
+}
+
+void check_initial(const Ctmc& chain, const linalg::Vector& initial) {
+  UPA_REQUIRE(initial.size() == chain.state_count(),
+              "initial distribution size mismatch");
+  double sum = 0.0;
+  for (double p : initial) {
+    UPA_REQUIRE(upa::common::is_probability(p), "bad initial probability");
+    sum += p;
+  }
+  UPA_REQUIRE(std::abs(sum - 1.0) <= 1e-9,
+              "initial distribution must sum to 1");
+}
+
+}  // namespace
+
+linalg::Vector transient_distribution(const Ctmc& chain,
+                                      linalg::Vector initial, double t,
+                                      const UniformizationOptions& options) {
+  check_initial(chain, initial);
+  UPA_REQUIRE(std::isfinite(t) && t >= 0.0, "time must be non-negative");
+  if (t == 0.0) return initial;
+
+  const Uniformized u = uniformize(chain);
+  const double rate = u.lambda * t;
+
+  // Accumulate sum_k pmf(k) v_k with v_{k+1} = v_k P, stopping when the
+  // remaining Poisson tail is below epsilon. pmf computed iteratively in
+  // log-safe fashion starting from e^{-rate}.
+  linalg::Vector result(initial.size(), 0.0);
+  linalg::Vector v = std::move(initial);
+  double log_pmf = -rate;  // log pmf(0)
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < options.max_terms; ++k) {
+    const double pmf = std::exp(log_pmf);
+    if (pmf > 0.0) {
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        result[i] += pmf * v[i];
+      }
+      cumulative += pmf;
+    }
+    // Truncate once the remaining Poisson tail is negligible: either the
+    // accumulated mass says so, or (for very large rates, where the
+    // cumulative sum saturates in floating point) the per-term mass has
+    // fallen far below epsilon past the mode.
+    const bool past_mode = static_cast<double>(k) >= rate;
+    if (past_mode && (1.0 - cumulative <= options.epsilon ||
+                      pmf < options.epsilon * 1e-3)) {
+      upa::common::normalize(result);
+      return result;
+    }
+    v = u.p.left_multiply(v);
+    log_pmf += std::log(rate) - std::log(static_cast<double>(k + 1));
+  }
+  throw upa::common::ConvergenceError(
+      "uniformization: Poisson series not truncated within max_terms");
+}
+
+double point_availability(const Ctmc& chain, linalg::Vector initial, double t,
+                          const std::vector<std::size_t>& up_states,
+                          const UniformizationOptions& options) {
+  const linalg::Vector pi =
+      transient_distribution(chain, std::move(initial), t, options);
+  double mass = 0.0;
+  for (std::size_t s : up_states) {
+    UPA_REQUIRE(s < pi.size(), "up-state index out of range");
+    mass += pi[s];
+  }
+  return mass;
+}
+
+double interval_availability(const Ctmc& chain, linalg::Vector initial,
+                             double t,
+                             const std::vector<std::size_t>& up_states,
+                             std::size_t steps,
+                             const UniformizationOptions& options) {
+  UPA_REQUIRE(steps >= 1, "need at least one integration step");
+  UPA_REQUIRE(std::isfinite(t) && t > 0.0, "horizon must be positive");
+  // Trapezoidal rule over point availabilities. Re-propagating from the
+  // previous grid point keeps total work linear in `steps`.
+  const double dt = t / static_cast<double>(steps);
+  double integral = 0.0;
+  linalg::Vector current = std::move(initial);
+  double previous = point_availability(chain, current, 0.0, up_states);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    current = transient_distribution(chain, std::move(current), dt, options);
+    double mass = 0.0;
+    for (std::size_t s : up_states) mass += current[s];
+    integral += 0.5 * (previous + mass) * dt;
+    previous = mass;
+  }
+  return integral / t;
+}
+
+}  // namespace upa::markov

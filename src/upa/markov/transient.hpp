@@ -1,0 +1,42 @@
+#pragma once
+// Transient CTMC solutions via uniformization (Jensen's method), plus
+// interval availability. Used to study how quickly the web-farm model
+// approaches the steady state assumed by the paper's composite
+// performance-availability approach (the "quasi steady state" assumption).
+
+#include <cstddef>
+
+#include "upa/linalg/matrix.hpp"
+#include "upa/markov/ctmc.hpp"
+
+namespace upa::markov {
+
+/// Options for the uniformization algorithm.
+struct UniformizationOptions {
+  /// Truncation error bound on the Poisson tail.
+  double epsilon = 1e-12;
+  /// Safety cap on the number of Poisson terms.
+  std::size_t max_terms = 2'000'000;
+};
+
+/// Distribution at time t from `initial`, via uniformization:
+/// pi(t) = sum_k PoissonPmf(Lambda t, k) * initial * P^k.
+[[nodiscard]] linalg::Vector transient_distribution(
+    const Ctmc& chain, linalg::Vector initial, double t,
+    const UniformizationOptions& options = {});
+
+/// Point availability at time t: probability mass on `up_states`.
+[[nodiscard]] double point_availability(
+    const Ctmc& chain, linalg::Vector initial, double t,
+    const std::vector<std::size_t>& up_states,
+    const UniformizationOptions& options = {});
+
+/// Expected interval availability over [0, t]: time-average probability of
+/// being in `up_states`, integrated with the trapezoidal rule over
+/// `steps` sub-intervals of the uniformized chain.
+[[nodiscard]] double interval_availability(
+    const Ctmc& chain, linalg::Vector initial, double t,
+    const std::vector<std::size_t>& up_states, std::size_t steps = 200,
+    const UniformizationOptions& options = {});
+
+}  // namespace upa::markov

@@ -1,0 +1,51 @@
+#include "upa/markov/updown.hpp"
+
+#include <vector>
+
+#include "upa/common/error.hpp"
+
+namespace upa::markov {
+
+UpDownMeasures up_down_measures(const Ctmc& chain,
+                                const std::vector<std::size_t>& up_states) {
+  const std::size_t n = chain.state_count();
+  UPA_REQUIRE(!up_states.empty(), "need at least one up state");
+  std::vector<bool> is_up(n, false);
+  for (std::size_t s : up_states) {
+    UPA_REQUIRE(s < n, "up-state index out of range");
+    is_up[s] = true;
+  }
+  bool has_down = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!is_up[s]) has_down = true;
+  }
+  UPA_REQUIRE(has_down, "every state is up; the partition is trivial");
+
+  const linalg::Vector pi = chain.steady_state();
+  const linalg::SparseMatrix q = chain.sparse_generator();
+
+  UpDownMeasures m;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (is_up[s]) m.availability += pi[s];
+  }
+  // Crossing rate of the cut: sum over up states of pi_s * rate(s -> down).
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!is_up[s]) continue;
+    const auto cols = q.row_cols(s);
+    const auto vals = q.row_values(s);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != s && !is_up[cols[k]]) {
+        m.failure_frequency += pi[s] * vals[k];
+      }
+    }
+  }
+  UPA_REQUIRE(m.failure_frequency > 0.0,
+              "no up->down transitions are reachable at steady state");
+  m.mean_up_time = m.availability / m.failure_frequency;
+  m.mean_down_time = (1.0 - m.availability) / m.failure_frequency;
+  m.equivalent_failure_rate = 1.0 / m.mean_up_time;
+  m.equivalent_repair_rate = 1.0 / m.mean_down_time;
+  return m;
+}
+
+}  // namespace upa::markov

@@ -1,0 +1,32 @@
+#pragma once
+// Up/down analysis of a CTMC partitioned into up and down states:
+// steady availability, failure frequency (crossing rate of the up->down
+// cut), and the equivalent mean up time (MUT) / mean down time (MDT) of
+// the aggregate two-state model. These are the standard quantities used
+// to summarize a redundant architecture as an "equivalent component".
+
+#include <vector>
+
+#include "upa/markov/ctmc.hpp"
+
+namespace upa::markov {
+
+/// Aggregate up/down measures of a partitioned chain.
+struct UpDownMeasures {
+  double availability = 0.0;        ///< steady P(up)
+  double failure_frequency = 0.0;   ///< expected up->down crossings / time
+  double mean_up_time = 0.0;        ///< MUT = A / frequency
+  double mean_down_time = 0.0;      ///< MDT = (1 - A) / frequency
+  /// Failure/repair rates of the equivalent two-state component whose
+  /// steady behaviour matches (lambda_eq = 1/MUT, mu_eq = 1/MDT).
+  double equivalent_failure_rate = 0.0;
+  double equivalent_repair_rate = 0.0;
+};
+
+/// Computes the measures for the given chain and up-state set. The chain
+/// must be irreducible and the partition non-trivial (both sides
+/// reachable), otherwise frequencies degenerate -> ModelError.
+[[nodiscard]] UpDownMeasures up_down_measures(
+    const Ctmc& chain, const std::vector<std::size_t>& up_states);
+
+}  // namespace upa::markov

@@ -1,0 +1,95 @@
+#include "upa/profile/operational_profile.hpp"
+
+#include <sstream>
+
+#include "upa/common/error.hpp"
+
+namespace upa::profile {
+namespace {
+
+markov::Dtmc validate_and_build(const std::vector<std::string>& names,
+                                const linalg::Matrix& p) {
+  const std::size_t n = names.size();
+  UPA_REQUIRE(n >= 1, "profile needs at least one function");
+  UPA_REQUIRE(p.rows() == n + 2 && p.cols() == n + 2,
+              "transition matrix must be (n+2)x(n+2) over "
+              "[Start, functions..., Exit]");
+  const std::size_t exit = n + 1;
+  UPA_REQUIRE(p(exit, exit) == 1.0, "Exit must be absorbing");
+  for (std::size_t r = 0; r < n + 2; ++r) {
+    UPA_REQUIRE(p(r, NodeIndex::kStart) == 0.0,
+                "sessions must never return to Start");
+  }
+  for (const std::string& name : names) {
+    UPA_REQUIRE(!name.empty(), "function names must not be empty");
+  }
+  return markov::Dtmc(p);
+}
+
+}  // namespace
+
+OperationalProfile::OperationalProfile(std::vector<std::string> function_names,
+                                       linalg::Matrix transition)
+    : names_(std::move(function_names)),
+      p_(std::move(transition)),
+      dtmc_(validate_and_build(names_, p_)) {}
+
+const std::string& OperationalProfile::function_name(std::size_t i) const {
+  UPA_REQUIRE(i < names_.size(), "function index out of range");
+  return names_[i];
+}
+
+std::size_t OperationalProfile::function_index(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw upa::common::ModelError("unknown function " + name);
+}
+
+double OperationalProfile::expected_visits(std::size_t function) const {
+  UPA_REQUIRE(function < names_.size(), "function index out of range");
+  const markov::AbsorbingChainAnalysis analysis(dtmc_, {exit_state()});
+  return analysis.expected_visits(NodeIndex::kStart,
+                                  NodeIndex::function(function));
+}
+
+double OperationalProfile::mean_session_length() const {
+  const markov::AbsorbingChainAnalysis analysis(dtmc_, {exit_state()});
+  // Steps before absorption minus the visit to Start itself.
+  return analysis.expected_steps_to_absorption(NodeIndex::kStart) - 1.0;
+}
+
+double OperationalProfile::invocation_probability(std::size_t function) const {
+  UPA_REQUIRE(function < names_.size(), "function index out of range");
+  // Make the function absorbing; probability of hitting it before Exit.
+  linalg::Matrix p = p_;
+  const std::size_t f = NodeIndex::function(function);
+  for (std::size_t c = 0; c < p.cols(); ++c) p(f, c) = 0.0;
+  p(f, f) = 1.0;
+  const markov::Dtmc chain(p);
+  const markov::AbsorbingChainAnalysis analysis(chain, {f, exit_state()});
+  return analysis.absorption_probability(NodeIndex::kStart, f);
+}
+
+std::string OperationalProfile::to_dot() const {
+  std::ostringstream os;
+  os << "digraph profile {\n  rankdir=LR;\n";
+  auto name_of = [&](std::size_t s) -> std::string {
+    if (s == NodeIndex::kStart) return "Start";
+    if (s == exit_state()) return "Exit";
+    return names_[s - 1];
+  };
+  for (std::size_t r = 0; r < state_count(); ++r) {
+    for (std::size_t c = 0; c < state_count(); ++c) {
+      if (r == exit_state()) continue;
+      if (p_(r, c) > 0.0) {
+        os << "  \"" << name_of(r) << "\" -> \"" << name_of(c)
+           << "\" [label=\"" << p_(r, c) << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace upa::profile

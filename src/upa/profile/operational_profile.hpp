@@ -1,0 +1,71 @@
+#pragma once
+// User operational profiles (the paper's Figure 2): a session graph with
+// Start and Exit nodes and one node per user-visible function, annotated
+// with transition probabilities p_ij. Provides the DTMC analyses the
+// user level needs: expected visits, session length, and (in scenario.hpp)
+// exact visited-set probabilities.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "upa/linalg/matrix.hpp"
+#include "upa/markov/dtmc.hpp"
+
+namespace upa::profile {
+
+/// Special node indices within an OperationalProfile's state space:
+/// state 0 = Start, states 1..n = functions, state n+1 = Exit.
+struct NodeIndex {
+  static constexpr std::size_t kStart = 0;
+  [[nodiscard]] static constexpr std::size_t function(std::size_t i) {
+    return i + 1;
+  }
+};
+
+/// Immutable validated operational profile.
+class OperationalProfile {
+ public:
+  /// `function_names` names functions 1..n; `transition` is a
+  /// (n+2)x(n+2) row-stochastic matrix over [Start, f1..fn, Exit] whose
+  /// Exit row is absorbing and whose Start column is all zero (sessions
+  /// never return to Start).
+  OperationalProfile(std::vector<std::string> function_names,
+                     linalg::Matrix transition);
+
+  [[nodiscard]] std::size_t function_count() const noexcept {
+    return names_.size();
+  }
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return names_.size() + 2;
+  }
+  [[nodiscard]] std::size_t exit_state() const noexcept {
+    return names_.size() + 1;
+  }
+  [[nodiscard]] const std::string& function_name(std::size_t i) const;
+  [[nodiscard]] std::size_t function_index(const std::string& name) const;
+
+  [[nodiscard]] const linalg::Matrix& transition_matrix() const noexcept {
+    return p_;
+  }
+  [[nodiscard]] const markov::Dtmc& dtmc() const noexcept { return dtmc_; }
+
+  /// Expected number of invocations of function i per session.
+  [[nodiscard]] double expected_visits(std::size_t function) const;
+
+  /// Expected number of function invocations per session (all functions).
+  [[nodiscard]] double mean_session_length() const;
+
+  /// Probability that function i is invoked at least once in a session.
+  [[nodiscard]] double invocation_probability(std::size_t function) const;
+
+  /// Graphviz dot rendering (documentation/debugging aid).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  std::vector<std::string> names_;
+  linalg::Matrix p_;
+  markov::Dtmc dtmc_;
+};
+
+}  // namespace upa::profile

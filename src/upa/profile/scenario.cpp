@@ -1,0 +1,125 @@
+#include "upa/profile/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::profile {
+namespace {
+
+/// P(session reaches Exit while visiting only functions inside `allowed`).
+/// Computed on a modified chain where every function outside `allowed`
+/// becomes an absorbing "reject" state.
+double stay_inside_probability(const OperationalProfile& profile,
+                               const std::set<std::size_t>& allowed) {
+  const std::size_t exit = profile.exit_state();
+  linalg::Matrix p = profile.transition_matrix();
+  for (std::size_t f = 0; f < profile.function_count(); ++f) {
+    if (allowed.contains(f)) continue;
+    const std::size_t s = NodeIndex::function(f);
+    for (std::size_t c = 0; c < p.cols(); ++c) p(s, c) = 0.0;
+    p(s, s) = 1.0;
+  }
+  const markov::Dtmc chain(p);
+  std::vector<std::size_t> absorbing{exit};
+  for (std::size_t f = 0; f < profile.function_count(); ++f) {
+    if (!allowed.contains(f)) absorbing.push_back(NodeIndex::function(f));
+  }
+  const markov::AbsorbingChainAnalysis analysis(chain, absorbing);
+  return analysis.absorption_probability(NodeIndex::kStart, exit);
+}
+
+}  // namespace
+
+double visited_exactly_probability(const OperationalProfile& profile,
+                                   const std::set<std::size_t>& functions) {
+  for (std::size_t f : functions) {
+    UPA_REQUIRE(f < profile.function_count(), "function index out of range");
+  }
+  // Inclusion-exclusion over subsets U of the target set V:
+  // P(visited == V) = sum_U (-1)^{|V|-|U|} P(visited subseteq U).
+  const std::vector<std::size_t> v(functions.begin(), functions.end());
+  UPA_REQUIRE(v.size() <= 20, "too many functions for subset enumeration");
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << v.size()); ++mask) {
+    std::set<std::size_t> subset;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) subset.insert(v[i]);
+    }
+    const double sign =
+        ((v.size() - subset.size()) % 2 == 0) ? 1.0 : -1.0;
+    total += sign * stay_inside_probability(profile, subset);
+  }
+  // Tiny negatives arise from round-off in the alternating sum.
+  return std::max(total, 0.0);
+}
+
+std::vector<ScenarioClass> scenario_classes(const OperationalProfile& profile,
+                                            double threshold) {
+  const std::size_t n = profile.function_count();
+  UPA_REQUIRE(n <= 16, "too many functions for exhaustive scenario classes");
+  std::vector<ScenarioClass> classes;
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    std::set<std::size_t> functions;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (mask & (std::size_t{1} << f)) functions.insert(f);
+    }
+    const double p = visited_exactly_probability(profile, functions);
+    if (p <= threshold) continue;
+    ScenarioClass sc;
+    sc.probability = p;
+    std::string label = "St";
+    for (std::size_t f : functions) {
+      label += "-" + profile.function_name(f);
+    }
+    sc.label = label + "-Ex";
+    sc.functions = std::move(functions);
+    classes.push_back(std::move(sc));
+  }
+  std::sort(classes.begin(), classes.end(),
+            [](const ScenarioClass& a, const ScenarioClass& b) {
+              return a.probability > b.probability;
+            });
+  return classes;
+}
+
+ScenarioSet::ScenarioSet(std::vector<std::string> function_names)
+    : names_(std::move(function_names)) {
+  UPA_REQUIRE(!names_.empty(), "scenario set needs at least one function");
+}
+
+void ScenarioSet::add(std::string label, std::set<std::size_t> functions,
+                      double probability) {
+  UPA_REQUIRE(!functions.empty(), "scenario must invoke some function");
+  for (std::size_t f : functions) {
+    UPA_REQUIRE(f < names_.size(), "function index out of range");
+  }
+  scenarios_.push_back({std::move(functions),
+                        upa::common::clamp_probability(probability),
+                        std::move(label)});
+}
+
+double ScenarioSet::total_probability() const noexcept {
+  double sum = 0.0;
+  for (const ScenarioClass& s : scenarios_) sum += s.probability;
+  return sum;
+}
+
+void ScenarioSet::validate_complete(double tol) const {
+  const double total = total_probability();
+  UPA_REQUIRE(std::abs(total - 1.0) <= tol,
+              "scenario probabilities sum to " + std::to_string(total));
+}
+
+double ScenarioSet::invocation_probability(std::size_t function) const {
+  UPA_REQUIRE(function < names_.size(), "function index out of range");
+  double sum = 0.0;
+  for (const ScenarioClass& s : scenarios_) {
+    if (s.functions.contains(function)) sum += s.probability;
+  }
+  return sum;
+}
+
+}  // namespace upa::profile

@@ -1,0 +1,68 @@
+#pragma once
+// User execution scenarios (the paper's Table 1). A *scenario class* is
+// identified by the exact set of functions invoked during a session
+// (cycles collapse: St-{Ho-Br}*-Ex and St-Ho-Br-Ex belong to the same
+// class). This module computes exact class probabilities from a profile's
+// p_ij graph, and evaluates scenario-set data supplied directly as tables.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "upa/profile/operational_profile.hpp"
+
+namespace upa::profile {
+
+/// One scenario class: the set of functions invoked (by function index)
+/// and its activation probability pi_i.
+struct ScenarioClass {
+  std::set<std::size_t> functions;
+  double probability = 0.0;
+  std::string label;  ///< e.g. "St-{Ho-Br}*-Se-Ex"
+};
+
+/// Exact probability that a session visits *exactly* the given set of
+/// functions, via inclusion-exclusion over "stay inside subset" absorption
+/// probabilities. Cost: one linear solve per subset of `functions`.
+[[nodiscard]] double visited_exactly_probability(
+    const OperationalProfile& profile, const std::set<std::size_t>& functions);
+
+/// All scenario classes with non-negligible probability (> threshold),
+/// sorted by descending probability. Requires <= 16 functions.
+[[nodiscard]] std::vector<ScenarioClass> scenario_classes(
+    const OperationalProfile& profile, double threshold = 1e-12);
+
+/// A scenario table supplied as data (the paper's Table 1 route), with
+/// probability validation.
+class ScenarioSet {
+ public:
+  /// `function_names` gives the universe of functions; scenarios refer to
+  /// them by index.
+  explicit ScenarioSet(std::vector<std::string> function_names);
+
+  void add(std::string label, std::set<std::size_t> functions,
+           double probability);
+
+  [[nodiscard]] const std::vector<ScenarioClass>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  [[nodiscard]] const std::vector<std::string>& function_names()
+      const noexcept {
+    return names_;
+  }
+
+  /// Sum of scenario probabilities (should be ~1 for a complete table).
+  [[nodiscard]] double total_probability() const noexcept;
+
+  /// Throws unless total probability is 1 within `tol`.
+  void validate_complete(double tol = 1e-6) const;
+
+  /// Probability-weighted share of scenarios that invoke function i.
+  [[nodiscard]] double invocation_probability(std::size_t function) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ScenarioClass> scenarios_;
+};
+
+}  // namespace upa::profile

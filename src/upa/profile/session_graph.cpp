@@ -1,0 +1,63 @@
+#include "upa/profile/session_graph.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::profile {
+
+SessionGraphBuilder& SessionGraphBuilder::add_function(
+    const std::string& name) {
+  UPA_REQUIRE(!name.empty(), "function name must not be empty");
+  UPA_REQUIRE(name != "Start" && name != "Exit",
+              "Start/Exit are reserved node names");
+  UPA_REQUIRE(!index_.contains(name), "duplicate function " + name);
+  index_.emplace(name, functions_.size());
+  functions_.push_back(name);
+  return *this;
+}
+
+std::size_t SessionGraphBuilder::state_of(const std::string& name) const {
+  if (name == "Start") return NodeIndex::kStart;
+  if (name == "Exit") return functions_.size() + 1;
+  const auto it = index_.find(name);
+  UPA_REQUIRE(it != index_.end(), "unknown node " + name);
+  return NodeIndex::function(it->second);
+}
+
+SessionGraphBuilder& SessionGraphBuilder::transition(const std::string& from,
+                                                     const std::string& to,
+                                                     double probability) {
+  UPA_REQUIRE(from != "Exit", "Exit has no outgoing transitions");
+  UPA_REQUIRE(to != "Start", "sessions never return to Start");
+  transitions_.emplace_back(from, to,
+                            upa::common::clamp_probability(probability));
+  return *this;
+}
+
+OperationalProfile SessionGraphBuilder::build() const {
+  UPA_REQUIRE(!functions_.empty(), "add at least one function first");
+  const std::size_t n = functions_.size();
+  linalg::Matrix p(n + 2, n + 2);
+  for (const auto& [from, to, probability] : transitions_) {
+    const std::size_t r = state_of(from);
+    const std::size_t c = state_of(to);
+    UPA_REQUIRE(p(r, c) == 0.0,
+                "transition " + from + " -> " + to + " set twice");
+    p(r, c) = probability;
+  }
+  p(n + 1, n + 1) = 1.0;  // Exit absorbing
+  for (std::size_t r = 0; r <= n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n + 2; ++c) sum += p(r, c);
+    const std::string name =
+        r == NodeIndex::kStart ? "Start" : functions_[r - 1];
+    UPA_REQUIRE(std::abs(sum - 1.0) <= 1e-9,
+                "outgoing probabilities of " + name + " sum to " +
+                    std::to_string(sum));
+  }
+  return OperationalProfile(functions_, std::move(p));
+}
+
+}  // namespace upa::profile

@@ -1,0 +1,34 @@
+#pragma once
+// Fluent builder for operational profiles using node names instead of raw
+// matrix indices. "Start" and "Exit" are implicit nodes.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "upa/profile/operational_profile.hpp"
+
+namespace upa::profile {
+
+/// Builder: add functions, set transition probabilities by name, build.
+/// Rows that do not sum to one are rejected at build time with a message
+/// naming the offending node.
+class SessionGraphBuilder {
+ public:
+  SessionGraphBuilder& add_function(const std::string& name);
+
+  /// Sets P(from -> to); `from` may be "Start", `to` may be "Exit".
+  SessionGraphBuilder& transition(const std::string& from,
+                                  const std::string& to, double probability);
+
+  [[nodiscard]] OperationalProfile build() const;
+
+ private:
+  [[nodiscard]] std::size_t state_of(const std::string& name) const;
+
+  std::vector<std::string> functions_;
+  std::map<std::string, std::size_t> index_;  // function name -> index
+  std::vector<std::tuple<std::string, std::string, double>> transitions_;
+};
+
+}  // namespace upa::profile

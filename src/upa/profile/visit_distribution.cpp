@@ -1,0 +1,70 @@
+#include "upa/profile/visit_distribution.hpp"
+
+#include "upa/common/error.hpp"
+#include "upa/markov/dtmc.hpp"
+
+namespace upa::profile {
+namespace {
+
+/// P(hit `target` before Exit | start one step after `from_state` under
+/// the original transition row of `from_state`). Used with
+/// from_state == target to get the return probability.
+double hit_before_exit_after_leaving(const OperationalProfile& profile,
+                                     std::size_t target_state) {
+  const std::size_t exit = profile.exit_state();
+  linalg::Matrix p = profile.transition_matrix();
+  // Make the target absorbing (hitting it = success).
+  linalg::Matrix modified = p;
+  for (std::size_t c = 0; c < modified.cols(); ++c) {
+    modified(target_state, c) = 0.0;
+  }
+  modified(target_state, target_state) = 1.0;
+  const markov::Dtmc chain(modified);
+  const markov::AbsorbingChainAnalysis analysis(chain,
+                                                {target_state, exit});
+  // One-step distribution out of the ORIGINAL target row, then absorb.
+  double probability = 0.0;
+  for (std::size_t c = 0; c < p.cols(); ++c) {
+    const double step = p(target_state, c);
+    if (step == 0.0) continue;
+    if (c == target_state) {
+      probability += step;  // self-loop: immediate revisit
+    } else if (c == exit) {
+      // contributes nothing
+    } else {
+      probability += step * analysis.absorption_probability(c, target_state);
+    }
+  }
+  return probability;
+}
+
+}  // namespace
+
+VisitLaw visit_law(const OperationalProfile& profile, std::size_t function) {
+  UPA_REQUIRE(function < profile.function_count(),
+              "function index out of range");
+  VisitLaw law;
+  law.reach_probability = profile.invocation_probability(function);
+  law.return_probability = hit_before_exit_after_leaving(
+      profile, NodeIndex::function(function));
+  UPA_REQUIRE(law.return_probability < 1.0,
+              "function is revisited with probability 1; the profile "
+              "cannot terminate");
+  return law;
+}
+
+std::vector<double> visit_count_distribution(
+    const OperationalProfile& profile, std::size_t function,
+    std::size_t max_count) {
+  const VisitLaw law = visit_law(profile, function);
+  std::vector<double> pmf(max_count + 1, 0.0);
+  pmf[0] = 1.0 - law.reach_probability;
+  double mass = law.reach_probability * (1.0 - law.return_probability);
+  for (std::size_t k = 1; k <= max_count; ++k) {
+    pmf[k] = mass;
+    mass *= law.return_probability;
+  }
+  return pmf;
+}
+
+}  // namespace upa::profile

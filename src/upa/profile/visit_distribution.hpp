@@ -1,0 +1,34 @@
+#pragma once
+// Distribution of the number of invocations of one function per session.
+// Under a Markovian profile the count is zero-modified geometric:
+//   P(N = 0) = 1 - f,   P(N = k) = f r^{k-1} (1 - r)   (k >= 1)
+// where f = P(reach the function) and r = P(return to it before Exit).
+// Both are absorbing-chain quantities; expected_visits = f / (1 - r)
+// cross-checks OperationalProfile::expected_visits.
+
+#include <vector>
+
+#include "upa/profile/operational_profile.hpp"
+
+namespace upa::profile {
+
+/// Parameters of the zero-modified geometric invocation-count law.
+struct VisitLaw {
+  double reach_probability = 0.0;   ///< f
+  double return_probability = 0.0;  ///< r
+  [[nodiscard]] double expected_visits() const {
+    return reach_probability / (1.0 - return_probability);
+  }
+};
+
+/// Computes f and r for one function.
+[[nodiscard]] VisitLaw visit_law(const OperationalProfile& profile,
+                                 std::size_t function);
+
+/// P(N = k) for k = 0..max_count (the tail beyond max_count is whatever
+/// mass remains; entries sum to <= 1).
+[[nodiscard]] std::vector<double> visit_count_distribution(
+    const OperationalProfile& profile, std::size_t function,
+    std::size_t max_count);
+
+}  // namespace upa::profile

@@ -1,0 +1,42 @@
+#include "upa/queueing/birth_death_queue.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::queueing {
+
+BirthDeathQueueMetrics solve_birth_death_queue(
+    std::size_t capacity,
+    const std::function<double(std::size_t)>& arrival_rate,
+    const std::function<double(std::size_t)>& service_rate) {
+  UPA_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
+  UPA_REQUIRE(arrival_rate != nullptr && service_rate != nullptr,
+              "rate functions must be provided");
+
+  // Product form: w_j = w_{j-1} * lambda(j-1) / mu(j).
+  std::vector<double> w(capacity + 1);
+  w[0] = 1.0;
+  for (std::size_t j = 1; j <= capacity; ++j) {
+    const double lambda = arrival_rate(j - 1);
+    const double mu = service_rate(j);
+    UPA_REQUIRE(std::isfinite(lambda) && lambda > 0.0,
+                "arrival rate must be positive below capacity");
+    UPA_REQUIRE(std::isfinite(mu) && mu > 0.0,
+                "service rate must be positive above zero");
+    w[j] = w[j - 1] * lambda / mu;
+  }
+  upa::common::normalize(w);
+
+  BirthDeathQueueMetrics m;
+  m.state_probabilities = w;
+  m.blocking = w[capacity];
+  for (std::size_t j = 0; j <= capacity; ++j) {
+    m.mean_in_system += static_cast<double>(j) * w[j];
+    if (j < capacity) m.throughput += arrival_rate(j) * w[j];
+  }
+  return m;
+}
+
+}  // namespace upa::queueing

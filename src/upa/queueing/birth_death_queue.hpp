@@ -1,0 +1,30 @@
+#pragma once
+// Generic finite birth-death queue: arbitrary state-dependent arrival and
+// service rates. Every Markovian queue in this library (M/M/1/K, M/M/c/K,
+// Erlang loss) is a special case, which the tests exploit to cross-check
+// the closed forms against a single generic solver.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace upa::queueing {
+
+/// Steady-state description of a generic finite birth-death queue on
+/// states 0..capacity.
+struct BirthDeathQueueMetrics {
+  std::vector<double> state_probabilities;
+  double blocking = 0.0;       ///< probability of the full state
+  double mean_in_system = 0.0;
+  double throughput = 0.0;     ///< sum_j lambda(j) p_j over non-full states
+};
+
+/// Solves a finite birth-death queue where `arrival_rate(j)` is the rate
+/// from state j to j+1 (j < capacity) and `service_rate(j)` the rate from
+/// state j to j-1 (j >= 1). Rates must be positive.
+[[nodiscard]] BirthDeathQueueMetrics solve_birth_death_queue(
+    std::size_t capacity,
+    const std::function<double(std::size_t)>& arrival_rate,
+    const std::function<double(std::size_t)>& service_rate);
+
+}  // namespace upa::queueing

@@ -1,0 +1,48 @@
+#include "upa/queueing/erlang.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::queueing {
+
+double erlang_b(double offered_load, std::size_t servers) {
+  UPA_REQUIRE(std::isfinite(offered_load) && offered_load > 0.0,
+              "offered load must be positive");
+  UPA_REQUIRE(servers >= 1, "need at least one server");
+  // B(0) = 1; B(c) = a B(c-1) / (c + a B(c-1)).
+  double b = 1.0;
+  for (std::size_t c = 1; c <= servers; ++c) {
+    b = offered_load * b / (static_cast<double>(c) + offered_load * b);
+  }
+  return b;
+}
+
+double erlang_c(double offered_load, std::size_t servers) {
+  UPA_REQUIRE(offered_load < static_cast<double>(servers),
+              "Erlang C requires offered load below the server count");
+  const double b = erlang_b(offered_load, servers);
+  const double rho = offered_load / static_cast<double>(servers);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+MmcMetrics mmc_metrics(double alpha, double nu, std::size_t servers) {
+  UPA_REQUIRE(std::isfinite(alpha) && alpha > 0.0,
+              "arrival rate must be positive");
+  UPA_REQUIRE(std::isfinite(nu) && nu > 0.0, "service rate must be positive");
+  UPA_REQUIRE(servers >= 1, "need at least one server");
+  const double a = alpha / nu;
+  const double c = static_cast<double>(servers);
+  UPA_REQUIRE(a < c, "M/M/c requires alpha < c * nu for stability");
+
+  MmcMetrics m;
+  m.utilization = a / c;
+  m.wait_probability = erlang_c(a, servers);
+  m.mean_in_queue = m.wait_probability * m.utilization / (1.0 - m.utilization);
+  m.mean_in_system = m.mean_in_queue + a;
+  m.mean_wait = m.mean_in_queue / alpha;      // Little's law
+  m.mean_response = m.mean_wait + 1.0 / nu;
+  return m;
+}
+
+}  // namespace upa::queueing

@@ -1,0 +1,31 @@
+#pragma once
+// Erlang loss/delay formulas and infinite-buffer M/M/c metrics. These are
+// the limiting cases of M/M/c/K (K = c and K -> infinity) and are used as
+// independent cross-checks of the mmck module.
+
+#include <cstddef>
+
+namespace upa::queueing {
+
+/// Erlang B: blocking probability of M/M/c/c with offered load
+/// a = alpha/nu erlangs. Evaluated by the standard stable recurrence.
+[[nodiscard]] double erlang_b(double offered_load, std::size_t servers);
+
+/// Erlang C: probability an arrival must wait in M/M/c (requires
+/// offered_load < servers). Derived from Erlang B.
+[[nodiscard]] double erlang_c(double offered_load, std::size_t servers);
+
+/// Steady-state metrics of the infinite-buffer M/M/c queue.
+struct MmcMetrics {
+  double utilization = 0.0;  ///< rho = alpha / (c nu) < 1
+  double wait_probability = 0.0;
+  double mean_in_queue = 0.0;
+  double mean_in_system = 0.0;
+  double mean_wait = 0.0;
+  double mean_response = 0.0;
+};
+
+[[nodiscard]] MmcMetrics mmc_metrics(double alpha, double nu,
+                                     std::size_t servers);
+
+}  // namespace upa::queueing

@@ -1,0 +1,44 @@
+#include "upa/queueing/mg1.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::queueing {
+
+Mg1Metrics mg1_metrics(double alpha, const ServiceMoments& service) {
+  UPA_REQUIRE(std::isfinite(alpha) && alpha > 0.0,
+              "arrival rate must be positive");
+  UPA_REQUIRE(std::isfinite(service.mean) && service.mean > 0.0,
+              "mean service time must be positive");
+  UPA_REQUIRE(std::isfinite(service.scv) && service.scv >= 0.0,
+              "squared coefficient of variation must be non-negative");
+  Mg1Metrics m;
+  m.rho = alpha * service.mean;
+  UPA_REQUIRE(m.rho < 1.0, "M/G/1 requires rho < 1 for stability");
+  // Pollaczek-Khinchine.
+  m.mean_in_queue =
+      m.rho * m.rho * (1.0 + service.scv) / (2.0 * (1.0 - m.rho));
+  m.mean_in_system = m.mean_in_queue + m.rho;
+  m.mean_wait = m.mean_in_queue / alpha;
+  m.mean_response = m.mean_wait + service.mean;
+  return m;
+}
+
+ServiceMoments exponential_service(double rate) {
+  UPA_REQUIRE(rate > 0.0, "service rate must be positive");
+  return {1.0 / rate, 1.0};
+}
+
+ServiceMoments deterministic_service(double time) {
+  UPA_REQUIRE(time > 0.0, "service time must be positive");
+  return {time, 0.0};
+}
+
+ServiceMoments erlang_service(unsigned phases, double rate) {
+  UPA_REQUIRE(phases >= 1, "Erlang needs at least one phase");
+  UPA_REQUIRE(rate > 0.0, "phase rate must be positive");
+  return {static_cast<double>(phases) / rate, 1.0 / phases};
+}
+
+}  // namespace upa::queueing

@@ -1,0 +1,33 @@
+#pragma once
+// M/G/1 queue via the Pollaczek-Khinchine formulas: mean metrics for
+// Poisson arrivals and a general service law described by its first two
+// moments. Complements bench_assumptions by giving the analytic
+// counterpart of the simulated service-variability sweeps (infinite
+// buffer, single server).
+
+namespace upa::queueing {
+
+/// Service-time description by moments.
+struct ServiceMoments {
+  double mean = 0.0;   ///< E[S]
+  double scv = 1.0;    ///< squared coefficient of variation Var[S]/E[S]^2
+};
+
+/// Mean steady-state metrics of M/G/1 (requires rho = alpha E[S] < 1).
+struct Mg1Metrics {
+  double rho = 0.0;
+  double mean_in_queue = 0.0;   ///< Lq = rho^2 (1 + scv) / (2 (1 - rho))
+  double mean_in_system = 0.0;  ///< L = Lq + rho
+  double mean_wait = 0.0;       ///< Wq (Little)
+  double mean_response = 0.0;   ///< W = Wq + E[S]
+};
+
+[[nodiscard]] Mg1Metrics mg1_metrics(double alpha,
+                                     const ServiceMoments& service);
+
+/// Convenience service moment constructors.
+[[nodiscard]] ServiceMoments exponential_service(double rate);
+[[nodiscard]] ServiceMoments deterministic_service(double time);
+[[nodiscard]] ServiceMoments erlang_service(unsigned phases, double rate);
+
+}  // namespace upa::queueing

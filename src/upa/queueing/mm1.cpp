@@ -1,0 +1,70 @@
+#include "upa/queueing/mm1.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::queueing {
+namespace {
+
+void check_rates(double alpha, double nu) {
+  UPA_REQUIRE(std::isfinite(alpha) && alpha > 0.0,
+              "arrival rate must be positive");
+  UPA_REQUIRE(std::isfinite(nu) && nu > 0.0, "service rate must be positive");
+}
+
+}  // namespace
+
+Mm1Metrics mm1_metrics(double alpha, double nu) {
+  check_rates(alpha, nu);
+  const double rho = alpha / nu;
+  UPA_REQUIRE(rho < 1.0, "M/M/1 requires rho < 1 for stability");
+  Mm1Metrics m;
+  m.rho = rho;
+  m.mean_in_system = rho / (1.0 - rho);
+  m.mean_in_queue = rho * rho / (1.0 - rho);
+  m.mean_response = 1.0 / (nu - alpha);
+  m.mean_wait = m.mean_response - 1.0 / nu;
+  return m;
+}
+
+double mm1k_loss_probability(double alpha, double nu, std::size_t capacity) {
+  check_rates(alpha, nu);
+  UPA_REQUIRE(capacity >= 1, "capacity must be at least 1");
+  const double rho = alpha / nu;
+  const auto k = static_cast<double>(capacity);
+  if (std::abs(rho - 1.0) < 1e-12) {
+    // Limit of rho^K (1-rho) / (1 - rho^{K+1}) as rho -> 1.
+    return 1.0 / (k + 1.0);
+  }
+  return std::pow(rho, k) * (1.0 - rho) / (1.0 - std::pow(rho, k + 1.0));
+}
+
+Mm1kMetrics mm1k_metrics(double alpha, double nu, std::size_t capacity) {
+  check_rates(alpha, nu);
+  UPA_REQUIRE(capacity >= 1, "capacity must be at least 1");
+  const double rho = alpha / nu;
+  Mm1kMetrics m;
+  m.rho = rho;
+  m.state_probabilities.resize(capacity + 1);
+  if (std::abs(rho - 1.0) < 1e-12) {
+    const double uniform = 1.0 / static_cast<double>(capacity + 1);
+    for (double& p : m.state_probabilities) p = uniform;
+  } else {
+    const double p0 =
+        (1.0 - rho) / (1.0 - std::pow(rho, static_cast<double>(capacity) + 1));
+    for (std::size_t j = 0; j <= capacity; ++j) {
+      m.state_probabilities[j] = p0 * std::pow(rho, static_cast<double>(j));
+    }
+  }
+  m.blocking = m.state_probabilities[capacity];
+  for (std::size_t j = 0; j <= capacity; ++j) {
+    m.mean_in_system += static_cast<double>(j) * m.state_probabilities[j];
+  }
+  m.throughput = alpha * (1.0 - m.blocking);
+  m.mean_response = m.mean_in_system / m.throughput;  // Little's law
+  return m;
+}
+
+}  // namespace upa::queueing

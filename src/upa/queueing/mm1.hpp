@@ -1,0 +1,41 @@
+#pragma once
+// M/M/1 and M/M/1/K queues in closed form (the paper's eq. 1 is the
+// M/M/1/K loss probability). Conventions: arrival rate `alpha`, service
+// rate `nu`, offered load rho = alpha / nu.
+
+#include <cstddef>
+#include <vector>
+
+namespace upa::queueing {
+
+/// Steady-state metrics of an infinite-buffer M/M/1 (requires rho < 1).
+struct Mm1Metrics {
+  double rho = 0.0;              ///< utilization alpha/nu
+  double mean_in_system = 0.0;   ///< L
+  double mean_in_queue = 0.0;    ///< Lq
+  double mean_response = 0.0;    ///< W (time in system)
+  double mean_wait = 0.0;        ///< Wq (time in queue)
+};
+
+[[nodiscard]] Mm1Metrics mm1_metrics(double alpha, double nu);
+
+/// Steady-state metrics of a finite M/M/1/K system (K = total capacity,
+/// including the job in service). Stable for any rho >= 0.
+struct Mm1kMetrics {
+  double rho = 0.0;
+  double blocking = 0.0;          ///< p_K: arriving request lost
+  double mean_in_system = 0.0;    ///< L
+  double throughput = 0.0;        ///< alpha (1 - p_K)
+  double mean_response = 0.0;     ///< W for accepted requests (Little)
+  std::vector<double> state_probabilities;  ///< p_0 .. p_K
+};
+
+[[nodiscard]] Mm1kMetrics mm1k_metrics(double alpha, double nu,
+                                       std::size_t capacity);
+
+/// The paper's eq. (1): probability an arriving request finds the buffer
+/// full in an M/M/1/K queue, rho = alpha/nu (handles rho == 1 exactly).
+[[nodiscard]] double mm1k_loss_probability(double alpha, double nu,
+                                           std::size_t capacity);
+
+}  // namespace upa::queueing

@@ -1,0 +1,72 @@
+#include "upa/queueing/mmck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::queueing {
+namespace {
+
+void check_args(double alpha, double nu, std::size_t servers,
+                std::size_t capacity) {
+  UPA_REQUIRE(std::isfinite(alpha) && alpha > 0.0,
+              "arrival rate must be positive");
+  UPA_REQUIRE(std::isfinite(nu) && nu > 0.0, "service rate must be positive");
+  UPA_REQUIRE(servers >= 1, "need at least one server");
+  UPA_REQUIRE(capacity >= servers,
+              "capacity must be at least the number of servers");
+}
+
+/// Unnormalized birth-death weights w_j with w_0 = 1:
+/// w_j = w_{j-1} * rho / min(j, c). Stable (no factorials/powers).
+std::vector<double> weights(double rho, std::size_t servers,
+                            std::size_t capacity) {
+  std::vector<double> w(capacity + 1);
+  w[0] = 1.0;
+  for (std::size_t j = 1; j <= capacity; ++j) {
+    w[j] = w[j - 1] * rho / static_cast<double>(std::min(j, servers));
+  }
+  return w;
+}
+
+}  // namespace
+
+double mmck_loss_probability(double alpha, double nu, std::size_t servers,
+                             std::size_t capacity) {
+  check_args(alpha, nu, servers, capacity);
+  const double rho = alpha / nu;
+  const std::vector<double> w = weights(rho, servers, capacity);
+  const double total = upa::common::kahan_sum(w);
+  return w[capacity] / total;
+}
+
+MmckMetrics mmck_metrics(double alpha, double nu, std::size_t servers,
+                         std::size_t capacity) {
+  check_args(alpha, nu, servers, capacity);
+  MmckMetrics m;
+  m.rho = alpha / nu;
+  std::vector<double> w = weights(m.rho, servers, capacity);
+  upa::common::normalize(w);
+  m.state_probabilities = w;
+  m.blocking = w[capacity];
+  for (std::size_t j = 0; j <= capacity; ++j) {
+    m.mean_in_system += static_cast<double>(j) * w[j];
+    m.mean_busy_servers +=
+        static_cast<double>(std::min(j, servers)) * w[j];
+    if (j > servers) {
+      m.mean_in_queue += static_cast<double>(j - servers) * w[j];
+    }
+  }
+  m.throughput = alpha * (1.0 - m.blocking);
+  m.mean_response = m.mean_in_system / m.throughput;  // Little's law
+  return m;
+}
+
+double paper_pk(double alpha, double nu, std::size_t operational_servers,
+                std::size_t buffer_size) {
+  return mmck_loss_probability(alpha, nu, operational_servers, buffer_size);
+}
+
+}  // namespace upa::queueing

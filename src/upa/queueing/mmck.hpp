@@ -1,0 +1,44 @@
+#pragma once
+// M/M/c/K multi-server finite-capacity queue — the paper's eq. (3):
+// p_K(i) is the probability an arriving request is lost when i servers are
+// operational and the total capacity is K. Conventions: `alpha` arrival
+// rate, `nu` per-server service rate, rho = alpha / nu (NOT per-server
+// utilization), c servers, capacity K >= c.
+
+#include <cstddef>
+#include <vector>
+
+namespace upa::queueing {
+
+/// Full steady-state description of an M/M/c/K queue.
+struct MmckMetrics {
+  double rho = 0.0;       ///< alpha / nu
+  double blocking = 0.0;  ///< p_K
+  double mean_in_system = 0.0;
+  double mean_in_queue = 0.0;
+  double throughput = 0.0;      ///< alpha (1 - p_K)
+  double mean_response = 0.0;   ///< W for accepted requests
+  double mean_busy_servers = 0.0;
+  std::vector<double> state_probabilities;  ///< p_0 .. p_K
+};
+
+/// Loss probability p_K(c) of M/M/c/K (paper eq. 3; reduces to eq. 1 for
+/// c = 1). Stable for any rho; computed in a normalized product form that
+/// does not overflow for large K.
+[[nodiscard]] double mmck_loss_probability(double alpha, double nu,
+                                           std::size_t servers,
+                                           std::size_t capacity);
+
+/// All steady-state metrics of M/M/c/K.
+[[nodiscard]] MmckMetrics mmck_metrics(double alpha, double nu,
+                                       std::size_t servers,
+                                       std::size_t capacity);
+
+/// The paper's web-farm usage: loss probability with `operational` servers
+/// sharing one buffer of size K (capacity = K in the paper's notation).
+/// Thin name-preserving wrapper so call sites read like the paper.
+[[nodiscard]] double paper_pk(double alpha, double nu,
+                              std::size_t operational_servers,
+                              std::size_t buffer_size);
+
+}  // namespace upa::queueing

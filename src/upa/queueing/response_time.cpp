@@ -1,0 +1,133 @@
+#include "upa/queueing/response_time.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/queueing/mmck.hpp"
+
+namespace upa::queueing {
+namespace {
+
+/// Regularized upper incomplete gamma of integer shape:
+/// Q(m, x) = P(Poisson(x) < m) = e^{-x} sum_{k<m} x^k / k!.
+double upper_gamma_q(std::size_t m, double x) {
+  UPA_ASSERT(m >= 1);
+  if (x <= 0.0) return 1.0;
+  double term = std::exp(-x);
+  double sum = term;
+  for (std::size_t k = 1; k < m; ++k) {
+    term *= x / static_cast<double>(k);
+    sum += term;
+  }
+  return std::min(sum, 1.0);
+}
+
+/// Tail of Erlang(m, a) + Exp(nu), for a = c*nu >= nu (m >= 1):
+///   a == nu : Erlang(m+1, nu) tail;
+///   a >  nu : Q(m, a tau) + e^{-nu tau} (a/(a-nu))^m P(m, (a-nu) tau).
+double wait_plus_service_tail(std::size_t m, double a, double nu,
+                              double tau) {
+  if (tau <= 0.0) return 1.0;
+  const double b = a - nu;
+  if (b <= 1e-12 * nu) {
+    return upper_gamma_q(m + 1, nu * tau);
+  }
+  const double ratio_pow =
+      std::pow(a / b, static_cast<double>(m));
+  const double lower_p = 1.0 - upper_gamma_q(m, b * tau);
+  const double tail =
+      upper_gamma_q(m, a * tau) + std::exp(-nu * tau) * ratio_pow * lower_p;
+  // ratio_pow can be large while lower_p is tiny; clamp round-off.
+  return std::clamp(tail, 0.0, 1.0);
+}
+
+void check(double alpha, double nu, std::size_t servers,
+           std::size_t capacity, double tau) {
+  UPA_REQUIRE(std::isfinite(tau) && tau >= 0.0,
+              "deadline must be non-negative");
+  UPA_REQUIRE(std::isfinite(alpha) && alpha > 0.0 && std::isfinite(nu) &&
+                  nu > 0.0,
+              "rates must be positive");
+  UPA_REQUIRE(servers >= 1 && capacity >= servers,
+              "need 1 <= servers <= capacity");
+}
+
+}  // namespace
+
+double mmck_response_time_tail(double alpha, double nu, std::size_t servers,
+                               std::size_t capacity, double tau) {
+  check(alpha, nu, servers, capacity, tau);
+  const MmckMetrics m = mmck_metrics(alpha, nu, servers, capacity);
+  const double accepted = 1.0 - m.blocking;
+  UPA_ASSERT(accepted > 0.0);
+
+  double tail = 0.0;
+  for (std::size_t j = 0; j < capacity; ++j) {  // j = K would be blocked
+    const double weight = m.state_probabilities[j] / accepted;
+    if (j < servers) {
+      tail += weight * std::exp(-nu * tau);
+    } else {
+      tail += weight * wait_plus_service_tail(
+                           j - servers + 1,
+                           static_cast<double>(servers) * nu, nu, tau);
+    }
+  }
+  return std::clamp(tail, 0.0, 1.0);
+}
+
+double mmck_mean_response_time(double alpha, double nu, std::size_t servers,
+                               std::size_t capacity) {
+  check(alpha, nu, servers, capacity, 0.0);
+  const MmckMetrics m = mmck_metrics(alpha, nu, servers, capacity);
+  const double accepted = 1.0 - m.blocking;
+  double mean = 0.0;
+  for (std::size_t j = 0; j < capacity; ++j) {
+    const double weight = m.state_probabilities[j] / accepted;
+    double t = 1.0 / nu;  // own service
+    if (j >= servers) {
+      t += static_cast<double>(j - servers + 1) /
+           (static_cast<double>(servers) * nu);
+    }
+    mean += weight * t;
+  }
+  return mean;
+}
+
+double mmck_response_time_quantile(double alpha, double nu,
+                                   std::size_t servers, std::size_t capacity,
+                                   double epsilon) {
+  check(alpha, nu, servers, capacity, 0.0);
+  UPA_REQUIRE(epsilon > 0.0 && epsilon < 1.0,
+              "epsilon must lie strictly in (0, 1)");
+  // Bracket: the tail at tau = 0 is 1; grow until below epsilon.
+  double hi = 1.0 / nu;
+  while (mmck_response_time_tail(alpha, nu, servers, capacity, hi) >
+         epsilon) {
+    hi *= 2.0;
+    UPA_REQUIRE(hi < 1e12 / nu, "quantile bracket failed to close");
+  }
+  double lo = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mmck_response_time_tail(alpha, nu, servers, capacity, mid) >
+        epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * hi) break;
+  }
+  return hi;
+}
+
+double mmck_served_within(double alpha, double nu, std::size_t servers,
+                          std::size_t capacity, double tau) {
+  const double blocking =
+      mmck_loss_probability(alpha, nu, servers, capacity);
+  const double on_time =
+      1.0 - mmck_response_time_tail(alpha, nu, servers, capacity, tau);
+  return (1.0 - blocking) * on_time;
+}
+
+}  // namespace upa::queueing

@@ -1,0 +1,45 @@
+#pragma once
+// Response-time distribution of accepted requests in an M/M/c/K FIFO
+// queue. This implements the paper's stated future work: "extend the
+// measure to include failures that occur when the response time exceeds
+// an acceptable threshold".
+//
+// An accepted arrival that finds j customers in the system (PASTA,
+// conditioned on acceptance) experiences
+//   j <  c : T = Exp(nu)                        (immediate service)
+//   j >= c : T = Erlang(j-c+1, c*nu) + Exp(nu)  (wait + service)
+// so the tail is a mixture of hypoexponential tails, evaluated in closed
+// form through regularized incomplete gamma functions of integer shape
+// (finite Poisson sums).
+
+#include <cstddef>
+
+namespace upa::queueing {
+
+/// P(T > tau) for an accepted request in M/M/c/K FIFO.
+[[nodiscard]] double mmck_response_time_tail(double alpha, double nu,
+                                             std::size_t servers,
+                                             std::size_t capacity,
+                                             double tau);
+
+/// Mean response time of accepted requests from the stage representation;
+/// equals mmck_metrics().mean_response (Little's law) and cross-checks it.
+[[nodiscard]] double mmck_mean_response_time(double alpha, double nu,
+                                             std::size_t servers,
+                                             std::size_t capacity);
+
+/// Smallest tau with P(T > tau) <= epsilon, by bisection on the tail
+/// (the (1-epsilon)-quantile of the response time).
+[[nodiscard]] double mmck_response_time_quantile(double alpha, double nu,
+                                                 std::size_t servers,
+                                                 std::size_t capacity,
+                                                 double epsilon);
+
+/// Probability a request is served within `tau`: accepted AND on time.
+/// This is the per-state service probability of the deadline-extended
+/// composite model: (1 - p_K) * P(T <= tau).
+[[nodiscard]] double mmck_served_within(double alpha, double nu,
+                                        std::size_t servers,
+                                        std::size_t capacity, double tau);
+
+}  // namespace upa::queueing

@@ -1,0 +1,153 @@
+#include "upa/rbd/block.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "upa/common/error.hpp"
+#include "upa/rbd/block_node.hpp"
+
+namespace upa::rbd {
+
+Block BlockAccess::create(BlockKind kind, std::string name, std::size_t k,
+                          std::vector<Block> children) {
+  auto node = std::make_shared<Block::Node>();
+  node->kind = kind;
+  node->name = std::move(name);
+  node->k = k;
+  node->children = std::move(children);
+  return BlockAccess::make(std::move(node));
+}
+
+namespace {
+
+Block make_node(BlockKind kind, std::string name, std::size_t k,
+                std::vector<Block> children) {
+  return BlockAccess::create(kind, std::move(name), k, std::move(children));
+}
+
+void collect_names(const Block& block, std::vector<std::string>& out) {
+  const auto& node = BlockAccess::node(block);
+  if (node.kind == BlockKind::kComponent) {
+    out.push_back(node.name);
+    return;
+  }
+  for (const Block& child : node.children) collect_names(child, out);
+}
+
+}  // namespace
+
+Block Block::component(std::string name) {
+  UPA_REQUIRE(!name.empty(), "component name must not be empty");
+  return make_node(BlockKind::kComponent, std::move(name), 0, {});
+}
+
+Block Block::series(std::vector<Block> children) {
+  UPA_REQUIRE(!children.empty(), "series needs at least one child");
+  return make_node(BlockKind::kSeries, {}, 0, std::move(children));
+}
+
+Block Block::parallel(std::vector<Block> children) {
+  UPA_REQUIRE(!children.empty(), "parallel needs at least one child");
+  return make_node(BlockKind::kParallel, {}, 0, std::move(children));
+}
+
+Block Block::k_of_n(std::size_t k, std::vector<Block> children) {
+  UPA_REQUIRE(k >= 1 && k <= children.size(),
+              "k-of-n requires 1 <= k <= n children");
+  return make_node(BlockKind::kKofN, {}, k, std::move(children));
+}
+
+Block Block::replicated(const std::string& name, std::size_t count) {
+  UPA_REQUIRE(count >= 1, "replication count must be at least 1");
+  std::vector<Block> replicas;
+  replicas.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    replicas.push_back(component(name + "#" + std::to_string(i)));
+  }
+  return parallel(std::move(replicas));
+}
+
+BlockKind Block::kind() const noexcept { return node_->kind; }
+
+const std::string& Block::component_name() const {
+  UPA_REQUIRE(node_->kind == BlockKind::kComponent,
+              "component_name on a non-leaf block");
+  return node_->name;
+}
+
+std::size_t Block::threshold() const {
+  UPA_REQUIRE(node_->kind == BlockKind::kKofN, "threshold on a non-k-of-n");
+  return node_->k;
+}
+
+const std::vector<Block>& Block::children() const { return node_->children; }
+
+std::vector<std::string> Block::component_names() const {
+  std::vector<std::string> names;
+  collect_names(*this, names);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+bool Block::has_repeated_components() const {
+  std::vector<std::string> names;
+  collect_names(*this, names);
+  std::set<std::string> distinct(names.begin(), names.end());
+  return distinct.size() != names.size();
+}
+
+bool Block::evaluate_states(const std::map<std::string, bool>& states) const {
+  const auto& node = BlockAccess::node(*this);
+  switch (node.kind) {
+    case BlockKind::kComponent: {
+      const auto it = states.find(node.name);
+      UPA_REQUIRE(it != states.end(),
+                  "no state provided for component " + node.name);
+      return it->second;
+    }
+    case BlockKind::kSeries:
+      return std::all_of(node.children.begin(), node.children.end(),
+                         [&](const Block& child) {
+                           return child.evaluate_states(states);
+                         });
+    case BlockKind::kParallel:
+      return std::any_of(node.children.begin(), node.children.end(),
+                         [&](const Block& child) {
+                           return child.evaluate_states(states);
+                         });
+    case BlockKind::kKofN: {
+      std::size_t up = 0;
+      for (const Block& child : node.children) {
+        if (child.evaluate_states(states)) ++up;
+      }
+      return up >= node.k;
+    }
+  }
+  UPA_ASSERT(false);
+  return false;
+}
+
+std::string Block::to_string() const {
+  const auto& node = BlockAccess::node(*this);
+  switch (node.kind) {
+    case BlockKind::kComponent:
+      return node.name;
+    case BlockKind::kSeries:
+    case BlockKind::kParallel:
+    case BlockKind::kKofN: {
+      std::string out = node.kind == BlockKind::kSeries     ? "series("
+                        : node.kind == BlockKind::kParallel ? "parallel("
+                        : std::to_string(node.k) + "-of-n(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += node.children[i].to_string();
+      }
+      return out + ")";
+    }
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+}  // namespace upa::rbd

@@ -1,0 +1,83 @@
+#pragma once
+// Reliability block diagrams. A Block is an immutable expression tree over
+// named components composed with series / parallel / k-of-n operators.
+// Evaluation is exact even when a component appears in several places
+// (Shannon factoring on repeated components).
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace upa::rbd {
+
+/// Component availabilities by name, supplied at evaluation time.
+using ParamMap = std::map<std::string, double>;
+
+enum class BlockKind { kComponent, kSeries, kParallel, kKofN };
+
+/// Value-semantic handle to an immutable block-diagram node.
+class Block {
+ public:
+  /// Leaf referring to a named component whose availability comes from the
+  /// ParamMap at evaluation time.
+  [[nodiscard]] static Block component(std::string name);
+
+  /// Series composition: up iff all children are up.
+  [[nodiscard]] static Block series(std::vector<Block> children);
+
+  /// Parallel composition: up iff at least one child is up.
+  [[nodiscard]] static Block parallel(std::vector<Block> children);
+
+  /// k-out-of-n:G composition: up iff at least k children are up.
+  [[nodiscard]] static Block k_of_n(std::size_t k, std::vector<Block> children);
+
+  /// n identical components named `name` in parallel.
+  [[nodiscard]] static Block replicated(const std::string& name,
+                                        std::size_t count);
+
+  [[nodiscard]] BlockKind kind() const noexcept;
+  [[nodiscard]] const std::string& component_name() const;
+  [[nodiscard]] std::size_t threshold() const;  // k for kKofN
+  [[nodiscard]] const std::vector<Block>& children() const;
+
+  /// All distinct component names appearing in the diagram.
+  [[nodiscard]] std::vector<std::string> component_names() const;
+
+  /// True when some component name appears more than once (structural
+  /// evaluation would then be wrong; evaluation falls back to factoring).
+  [[nodiscard]] bool has_repeated_components() const;
+
+  /// Structure function: is the system up for the given component states?
+  [[nodiscard]] bool evaluate_states(
+      const std::map<std::string, bool>& states) const;
+
+  /// Human-readable rendering, e.g. "series(ws, parallel(as, as))".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Node;
+  explicit Block(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+  friend class BlockAccess;
+};
+
+/// Internal accessor used by the evaluation/path modules (keeps the node
+/// layout private to the rbd library).
+class BlockAccess;
+
+/// Exact system availability. Components are assumed mutually independent;
+/// their availabilities come from `params` (every referenced name must be
+/// present and be a probability). Repeated components are handled by
+/// Shannon factoring, so sharing a component across branches is exact.
+[[nodiscard]] double availability(const Block& block, const ParamMap& params);
+
+/// Availability with one component pinned up/down (used by the importance
+/// measures and by factoring itself).
+[[nodiscard]] double availability_given(const Block& block,
+                                        const ParamMap& params,
+                                        const std::string& component,
+                                        bool component_up);
+
+}  // namespace upa::rbd

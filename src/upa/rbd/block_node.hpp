@@ -1,0 +1,33 @@
+#pragma once
+// Internal node layout of rbd::Block, shared between the block, eval and
+// paths translation units. Not part of the public API.
+
+#include <string>
+#include <vector>
+
+#include "upa/rbd/block.hpp"
+
+namespace upa::rbd {
+
+struct Block::Node {
+  BlockKind kind = BlockKind::kComponent;
+  std::string name;           // kComponent only
+  std::size_t k = 0;          // kKofN only
+  std::vector<Block> children;
+};
+
+class BlockAccess {
+ public:
+  [[nodiscard]] static const Block::Node& node(const Block& b) {
+    return *b.node_;
+  }
+  [[nodiscard]] static Block make(std::shared_ptr<const Block::Node> node) {
+    return Block(std::move(node));
+  }
+
+  /// Builds a node of any kind (factory used by block.cpp helpers).
+  [[nodiscard]] static Block create(BlockKind kind, std::string name,
+                                    std::size_t k, std::vector<Block> children);
+};
+
+}  // namespace upa::rbd

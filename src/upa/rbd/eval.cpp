@@ -1,0 +1,126 @@
+// Exact RBD availability evaluation. Strategy: Shannon-factor every
+// component that appears more than once (conditioning makes the remaining
+// leaves independent), then evaluate the tree structurally bottom-up.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+#include "upa/rbd/block.hpp"
+#include "upa/rbd/block_node.hpp"
+
+namespace upa::rbd {
+namespace {
+
+/// Structural evaluation assuming all unpinned leaves are distinct
+/// (i.e. independent). `pinned` maps component names to a fixed state.
+double structural(const Block& block, const ParamMap& params,
+                  const std::map<std::string, bool>& pinned) {
+  const auto& node = BlockAccess::node(block);
+  switch (node.kind) {
+    case BlockKind::kComponent: {
+      if (const auto it = pinned.find(node.name); it != pinned.end()) {
+        return it->second ? 1.0 : 0.0;
+      }
+      const auto it = params.find(node.name);
+      UPA_REQUIRE(it != params.end(),
+                  "no availability provided for component " + node.name);
+      return upa::common::clamp_probability(it->second);
+    }
+    case BlockKind::kSeries: {
+      double a = 1.0;
+      for (const Block& child : node.children) {
+        a *= structural(child, params, pinned);
+      }
+      return a;
+    }
+    case BlockKind::kParallel: {
+      double all_down = 1.0;
+      for (const Block& child : node.children) {
+        all_down *= 1.0 - structural(child, params, pinned);
+      }
+      return 1.0 - all_down;
+    }
+    case BlockKind::kKofN: {
+      // dp[j] = P(exactly j of the children examined so far are up).
+      std::vector<double> dp{1.0};
+      for (const Block& child : node.children) {
+        const double a = structural(child, params, pinned);
+        std::vector<double> next(dp.size() + 1, 0.0);
+        for (std::size_t j = 0; j < dp.size(); ++j) {
+          next[j] += dp[j] * (1.0 - a);
+          next[j + 1] += dp[j] * a;
+        }
+        dp = std::move(next);
+      }
+      double at_least_k = 0.0;
+      for (std::size_t j = node.k; j < dp.size(); ++j) at_least_k += dp[j];
+      return at_least_k;
+    }
+  }
+  UPA_ASSERT(false);
+  return 0.0;
+}
+
+/// Names appearing more than once in the diagram.
+std::vector<std::string> repeated_names(const Block& block) {
+  std::map<std::string, int> counts;
+  // component_names() deduplicates, so count occurrences by walking.
+  std::vector<const Block*> stack{&block};
+  while (!stack.empty()) {
+    const Block* current = stack.back();
+    stack.pop_back();
+    const auto& node = BlockAccess::node(*current);
+    if (node.kind == BlockKind::kComponent) {
+      ++counts[node.name];
+    } else {
+      for (const Block& child : node.children) stack.push_back(&child);
+    }
+  }
+  std::vector<std::string> repeated;
+  for (const auto& [name, count] : counts) {
+    if (count > 1) repeated.push_back(name);
+  }
+  return repeated;
+}
+
+double factored(const Block& block, const ParamMap& params,
+                const std::vector<std::string>& repeated,
+                std::map<std::string, bool>& pinned, std::size_t next) {
+  if (next == repeated.size()) {
+    return structural(block, params, pinned);
+  }
+  const std::string& name = repeated[next];
+  const auto it = params.find(name);
+  UPA_REQUIRE(it != params.end(),
+              "no availability provided for component " + name);
+  const double p = upa::common::clamp_probability(it->second);
+
+  pinned[name] = true;
+  const double up = factored(block, params, repeated, pinned, next + 1);
+  pinned[name] = false;
+  const double down = factored(block, params, repeated, pinned, next + 1);
+  pinned.erase(name);
+  return p * up + (1.0 - p) * down;
+}
+
+}  // namespace
+
+double availability(const Block& block, const ParamMap& params) {
+  const std::vector<std::string> repeated = repeated_names(block);
+  UPA_REQUIRE(repeated.size() <= 24,
+              "too many repeated components for exact factoring");
+  std::map<std::string, bool> pinned;
+  return factored(block, params, repeated, pinned, 0);
+}
+
+double availability_given(const Block& block, const ParamMap& params,
+                          const std::string& component, bool component_up) {
+  ParamMap pinned_params = params;
+  pinned_params[component] = component_up ? 1.0 : 0.0;
+  return availability(block, pinned_params);
+}
+
+}  // namespace upa::rbd

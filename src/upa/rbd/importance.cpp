@@ -1,0 +1,45 @@
+#include "upa/rbd/importance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::rbd {
+
+std::vector<ComponentImportance> importance_ranking(const Block& block,
+                                                    const ParamMap& params) {
+  const double a_sys = availability(block, params);
+  const double ua_sys = 1.0 - a_sys;
+
+  std::vector<ComponentImportance> result;
+  for (const std::string& name : block.component_names()) {
+    const auto it = params.find(name);
+    UPA_REQUIRE(it != params.end(),
+                "no availability provided for component " + name);
+    const double a_c = upa::common::clamp_probability(it->second);
+
+    ComponentImportance imp;
+    imp.component = name;
+    const double up = availability_given(block, params, name, true);
+    const double down = availability_given(block, params, name, false);
+    imp.birnbaum = up - down;
+    imp.criticality =
+        ua_sys > 0.0 ? imp.birnbaum * (1.0 - a_c) / ua_sys : 0.0;
+    imp.risk_achievement_worth =
+        ua_sys > 0.0 ? (1.0 - down) / ua_sys
+                     : std::numeric_limits<double>::infinity();
+    imp.risk_reduction_worth =
+        (1.0 - up) > 0.0 ? ua_sys / (1.0 - up)
+                         : std::numeric_limits<double>::infinity();
+    result.push_back(imp);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ComponentImportance& a, const ComponentImportance& b) {
+              return a.birnbaum > b.birnbaum;
+            });
+  return result;
+}
+
+}  // namespace upa::rbd

@@ -1,0 +1,31 @@
+#pragma once
+// Component importance measures: which component's availability matters
+// most to the system? These quantify the paper's qualitative remark that
+// LAN / Internet access / web service dominate the user-perceived measure.
+
+#include <string>
+#include <vector>
+
+#include "upa/rbd/block.hpp"
+
+namespace upa::rbd {
+
+/// Importance measures of one component within a diagram.
+struct ComponentImportance {
+  std::string component;
+  /// Birnbaum: dA_sys / dA_c = A(sys | c up) - A(sys | c down).
+  double birnbaum = 0.0;
+  /// Criticality: birnbaum * (1 - A_c) / (1 - A_sys); probability that the
+  /// component is "responsible" for system failure.
+  double criticality = 0.0;
+  /// Risk achievement worth: UA(sys | c down) / UA(sys).
+  double risk_achievement_worth = 0.0;
+  /// Risk reduction worth: UA(sys) / UA(sys | c up).
+  double risk_reduction_worth = 0.0;
+};
+
+/// Importance of every component, sorted by descending Birnbaum measure.
+[[nodiscard]] std::vector<ComponentImportance> importance_ranking(
+    const Block& block, const ParamMap& params);
+
+}  // namespace upa::rbd

@@ -1,0 +1,202 @@
+#include "upa/rbd/paths.hpp"
+
+#include <algorithm>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+#include "upa/rbd/block_node.hpp"
+
+namespace upa::rbd {
+namespace {
+
+/// Removes every set that is a (non-strict) superset of another set.
+std::vector<ComponentSet> minimize(std::vector<ComponentSet> sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const ComponentSet& a, const ComponentSet& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  std::vector<ComponentSet> kept;
+  for (const ComponentSet& candidate : sets) {
+    const bool absorbed = std::any_of(
+        kept.begin(), kept.end(), [&](const ComponentSet& smaller) {
+          return std::includes(candidate.begin(), candidate.end(),
+                               smaller.begin(), smaller.end());
+        });
+    if (!absorbed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+/// Cross product: every union of one set from `a` with one set from `b`.
+std::vector<ComponentSet> cross(const std::vector<ComponentSet>& a,
+                                const std::vector<ComponentSet>& b) {
+  std::vector<ComponentSet> out;
+  out.reserve(a.size() * b.size());
+  for (const ComponentSet& x : a) {
+    for (const ComponentSet& y : b) {
+      ComponentSet u = x;
+      u.insert(y.begin(), y.end());
+      out.push_back(std::move(u));
+    }
+  }
+  UPA_REQUIRE(out.size() <= 200000,
+              "path/cut set expansion too large for exact enumeration");
+  return out;
+}
+
+std::vector<ComponentSet> append(std::vector<ComponentSet> a,
+                                 std::vector<ComponentSet> b) {
+  a.insert(a.end(), std::make_move_iterator(b.begin()),
+           std::make_move_iterator(b.end()));
+  return a;
+}
+
+/// Enumerates all size-`r` subsets of indices [0, n) and applies `fn`.
+template <typename Fn>
+void for_each_subset(std::size_t n, std::size_t r, const Fn& fn) {
+  std::vector<std::size_t> idx(r);
+  for (std::size_t i = 0; i < r; ++i) idx[i] = i;
+  while (true) {
+    fn(idx);
+    // Advance to the next combination.
+    std::size_t i = r;
+    while (i-- > 0) {
+      if (idx[i] != i + n - r) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < r; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (r == 0) return;
+  }
+}
+
+std::vector<ComponentSet> paths_of(const Block& block);
+std::vector<ComponentSet> cuts_of(const Block& block);
+
+std::vector<ComponentSet> paths_of(const Block& block) {
+  const auto& node = BlockAccess::node(block);
+  switch (node.kind) {
+    case BlockKind::kComponent:
+      return {ComponentSet{node.name}};
+    case BlockKind::kSeries: {
+      std::vector<ComponentSet> acc{ComponentSet{}};
+      for (const Block& child : node.children) {
+        acc = minimize(cross(acc, paths_of(child)));
+      }
+      return acc;
+    }
+    case BlockKind::kParallel: {
+      std::vector<ComponentSet> acc;
+      for (const Block& child : node.children) {
+        acc = append(std::move(acc), paths_of(child));
+      }
+      return minimize(std::move(acc));
+    }
+    case BlockKind::kKofN: {
+      // A path: pick k children and take a path through each.
+      std::vector<std::vector<ComponentSet>> child_paths;
+      child_paths.reserve(node.children.size());
+      for (const Block& child : node.children) {
+        child_paths.push_back(paths_of(child));
+      }
+      std::vector<ComponentSet> acc;
+      for_each_subset(node.children.size(), node.k,
+                      [&](const std::vector<std::size_t>& subset) {
+                        std::vector<ComponentSet> combo{ComponentSet{}};
+                        for (std::size_t c : subset) {
+                          combo = cross(combo, child_paths[c]);
+                        }
+                        acc = append(std::move(acc), std::move(combo));
+                      });
+      return minimize(std::move(acc));
+    }
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+std::vector<ComponentSet> cuts_of(const Block& block) {
+  const auto& node = BlockAccess::node(block);
+  switch (node.kind) {
+    case BlockKind::kComponent:
+      return {ComponentSet{node.name}};
+    case BlockKind::kSeries: {
+      std::vector<ComponentSet> acc;
+      for (const Block& child : node.children) {
+        acc = append(std::move(acc), cuts_of(child));
+      }
+      return minimize(std::move(acc));
+    }
+    case BlockKind::kParallel: {
+      std::vector<ComponentSet> acc{ComponentSet{}};
+      for (const Block& child : node.children) {
+        acc = minimize(cross(acc, cuts_of(child)));
+      }
+      return acc;
+    }
+    case BlockKind::kKofN: {
+      // A cut: bring down n-k+1 children.
+      const std::size_t need_down = node.children.size() - node.k + 1;
+      std::vector<std::vector<ComponentSet>> child_cuts;
+      child_cuts.reserve(node.children.size());
+      for (const Block& child : node.children) {
+        child_cuts.push_back(cuts_of(child));
+      }
+      std::vector<ComponentSet> acc;
+      for_each_subset(node.children.size(), need_down,
+                      [&](const std::vector<std::size_t>& subset) {
+                        std::vector<ComponentSet> combo{ComponentSet{}};
+                        for (std::size_t c : subset) {
+                          combo = cross(combo, child_cuts[c]);
+                        }
+                        acc = append(std::move(acc), std::move(combo));
+                      });
+      return minimize(std::move(acc));
+    }
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+}  // namespace
+
+std::vector<ComponentSet> minimal_path_sets(const Block& block) {
+  return paths_of(block);
+}
+
+std::vector<ComponentSet> minimal_cut_sets(const Block& block) {
+  return cuts_of(block);
+}
+
+double availability_from_path_sets(
+    const std::vector<ComponentSet>& path_sets, const ParamMap& params) {
+  UPA_REQUIRE(!path_sets.empty(), "need at least one path set");
+  UPA_REQUIRE(path_sets.size() <= 22,
+              "too many path sets for inclusion-exclusion");
+  const std::size_t n = path_sets.size();
+  double total = 0.0;
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    ComponentSet unioned;
+    int bits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        unioned.insert(path_sets[i].begin(), path_sets[i].end());
+        ++bits;
+      }
+    }
+    double product = 1.0;
+    for (const std::string& name : unioned) {
+      const auto it = params.find(name);
+      UPA_REQUIRE(it != params.end(),
+                  "no availability provided for component " + name);
+      product *= upa::common::clamp_probability(it->second);
+    }
+    total += (bits % 2 == 1 ? 1.0 : -1.0) * product;
+  }
+  return total;
+}
+
+}  // namespace upa::rbd

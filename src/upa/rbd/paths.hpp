@@ -1,0 +1,31 @@
+#pragma once
+// Minimal path sets and minimal cut sets of a block diagram, derived from
+// the structure function. Path/cut sets explain *why* a system is up or
+// down and feed the Fussell-Vesely importance measure.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "upa/rbd/block.hpp"
+
+namespace upa::rbd {
+
+/// A set of component names; the system is up when every component of some
+/// minimal path set is up, and down when every component of some minimal
+/// cut set is down.
+using ComponentSet = std::set<std::string>;
+
+/// Minimal path sets of the diagram (exact, via monotone expansion with
+/// absorption). Component count must stay small enough for exact work.
+[[nodiscard]] std::vector<ComponentSet> minimal_path_sets(const Block& block);
+
+/// Minimal cut sets of the diagram (dual expansion).
+[[nodiscard]] std::vector<ComponentSet> minimal_cut_sets(const Block& block);
+
+/// Inclusion-exclusion system availability from the minimal path sets —
+/// an independent cross-check of rbd::availability for small diagrams.
+[[nodiscard]] double availability_from_path_sets(
+    const std::vector<ComponentSet>& path_sets, const ParamMap& params);
+
+}  // namespace upa::rbd

@@ -1,0 +1,56 @@
+#include "upa/sensitivity/sweep.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::sensitivity {
+
+Series sweep(std::string label, const std::vector<double>& xs,
+             const std::function<double(double)>& measure) {
+  UPA_REQUIRE(measure != nullptr, "measure must be provided");
+  UPA_REQUIRE(!xs.empty(), "sweep needs at least one point");
+  Series s;
+  s.label = std::move(label);
+  s.x = xs;
+  s.y.reserve(xs.size());
+  for (double x : xs) s.y.push_back(measure(x));
+  return s;
+}
+
+std::vector<Series> sweep_family(
+    const std::vector<double>& xs, const std::vector<double>& series_params,
+    const std::vector<std::string>& series_labels,
+    const std::function<double(double, double)>& measure) {
+  UPA_REQUIRE(measure != nullptr, "measure must be provided");
+  UPA_REQUIRE(series_params.size() == series_labels.size(),
+              "one label per series parameter required");
+  std::vector<Series> family;
+  family.reserve(series_params.size());
+  for (std::size_t i = 0; i < series_params.size(); ++i) {
+    const double p = series_params[i];
+    family.push_back(sweep(series_labels[i], xs,
+                           [&measure, p](double x) { return measure(x, p); }));
+  }
+  return family;
+}
+
+double derivative_at(const std::function<double(double)>& measure, double x,
+                     double relative_step) {
+  UPA_REQUIRE(measure != nullptr, "measure must be provided");
+  UPA_REQUIRE(relative_step > 0.0, "step must be positive");
+  const double h = std::abs(x) > 0.0 ? std::abs(x) * relative_step
+                                     : relative_step;
+  return (measure(x + h) - measure(x - h)) / (2.0 * h);
+}
+
+std::ptrdiff_t first_increase(const Series& series) {
+  for (std::size_t i = 1; i < series.y.size(); ++i) {
+    if (series.y[i] > series.y[i - 1]) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace upa::sensitivity

@@ -1,0 +1,39 @@
+#pragma once
+// Parameter sweeps: evaluate a measure over a grid of one or two
+// parameters and collect the series. This is the engine behind the
+// paper's Figures 11/12 (N_W x lambda x alpha) and Table 8 (N_F sweep).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace upa::sensitivity {
+
+/// One swept series: a label plus (x, y) points.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Evaluates `measure` at each x value.
+[[nodiscard]] Series sweep(std::string label, const std::vector<double>& xs,
+                           const std::function<double(double)>& measure);
+
+/// Evaluates `measure(x, s)` for each series parameter s, producing one
+/// Series per s (labels come from `series_labels`).
+[[nodiscard]] std::vector<Series> sweep_family(
+    const std::vector<double>& xs, const std::vector<double>& series_params,
+    const std::vector<std::string>& series_labels,
+    const std::function<double(double, double)>& measure);
+
+/// Finite-difference derivative of `measure` at x (central difference).
+[[nodiscard]] double derivative_at(const std::function<double(double)>& measure,
+                                   double x, double relative_step = 1e-6);
+
+/// Checks a series for monotone decrease; returns the first index where
+/// it increases, or -1 when monotone (used to locate the Figure 12
+/// coverage-induced reversal).
+[[nodiscard]] std::ptrdiff_t first_increase(const Series& series);
+
+}  // namespace upa::sensitivity

@@ -1,0 +1,37 @@
+#include "upa/sensitivity/threshold.hpp"
+
+#include <vector>
+
+#include "upa/common/error.hpp"
+
+namespace upa::sensitivity {
+
+std::optional<std::size_t> min_satisfying(
+    std::size_t lo, std::size_t hi,
+    const std::function<bool(std::size_t)>& predicate) {
+  UPA_REQUIRE(predicate != nullptr, "predicate must be provided");
+  UPA_REQUIRE(lo <= hi, "empty search range");
+  for (std::size_t n = lo; n <= hi; ++n) {
+    if (predicate(n)) return n;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> satisfying_set(
+    std::size_t lo, std::size_t hi,
+    const std::function<bool(std::size_t)>& predicate) {
+  UPA_REQUIRE(predicate != nullptr, "predicate must be provided");
+  UPA_REQUIRE(lo <= hi, "empty search range");
+  std::vector<std::size_t> result;
+  for (std::size_t n = lo; n <= hi; ++n) {
+    if (predicate(n)) result.push_back(n);
+  }
+  return result;
+}
+
+double availability_for_downtime_minutes_per_year(double minutes) {
+  UPA_REQUIRE(minutes >= 0.0, "downtime must be non-negative");
+  return 1.0 - minutes / (8760.0 * 60.0);
+}
+
+}  // namespace upa::sensitivity

@@ -1,0 +1,28 @@
+#pragma once
+// Design-decision helpers (the paper's Section 5.1): smallest integer
+// design parameter (e.g. number of web servers) meeting an availability
+// requirement, and requirement <-> downtime conversions.
+
+#include <functional>
+#include <optional>
+
+namespace upa::sensitivity {
+
+/// Smallest n in [lo, hi] with predicate(n) true, scanning upward
+/// (no monotonicity assumed — imperfect coverage makes availability
+/// non-monotone in the server count). nullopt when no n qualifies.
+[[nodiscard]] std::optional<std::size_t> min_satisfying(
+    std::size_t lo, std::size_t hi,
+    const std::function<bool(std::size_t)>& predicate);
+
+/// All n in [lo, hi] satisfying the predicate (for reporting feasible
+/// design regions).
+[[nodiscard]] std::vector<std::size_t> satisfying_set(
+    std::size_t lo, std::size_t hi,
+    const std::function<bool(std::size_t)>& predicate);
+
+/// Availability required to keep annual downtime below `minutes` min/yr.
+[[nodiscard]] double availability_for_downtime_minutes_per_year(
+    double minutes);
+
+}  // namespace upa::sensitivity

@@ -1,0 +1,42 @@
+#include "upa/sensitivity/tornado.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::sensitivity {
+
+std::vector<TornadoEntry> tornado(
+    const std::map<std::string, double>& base,
+    const std::map<std::string, ParameterRange>& ranges,
+    const std::function<double(const std::map<std::string, double>&)>&
+        measure) {
+  UPA_REQUIRE(measure != nullptr, "measure must be provided");
+  UPA_REQUIRE(!ranges.empty(), "tornado needs at least one parameter range");
+  for (const auto& [name, range] : ranges) {
+    UPA_REQUIRE(base.contains(name),
+                "range given for unknown parameter " + name);
+    UPA_REQUIRE(range.low <= range.high,
+                "range of " + name + " has low > high");
+  }
+
+  std::vector<TornadoEntry> entries;
+  entries.reserve(ranges.size());
+  for (const auto& [name, range] : ranges) {
+    std::map<std::string, double> point = base;
+    point[name] = range.low;
+    const double at_low = measure(point);
+    point[name] = range.high;
+    const double at_high = measure(point);
+    entries.push_back(
+        {name, at_low, at_high, std::abs(at_high - at_low)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const TornadoEntry& a, const TornadoEntry& b) {
+              return a.swing > b.swing;
+            });
+  return entries;
+}
+
+}  // namespace upa::sensitivity

@@ -1,0 +1,36 @@
+#pragma once
+// Tornado analysis: vary one parameter at a time between pessimistic and
+// optimistic bounds, rank parameters by the induced swing of the measure.
+// Quantifies the paper's observation that A_net, A_LAN and A(WS) dominate
+// the user-perceived availability.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace upa::sensitivity {
+
+/// Bounds for one parameter.
+struct ParameterRange {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// One tornado bar.
+struct TornadoEntry {
+  std::string parameter;
+  double measure_at_low = 0.0;
+  double measure_at_high = 0.0;
+  double swing = 0.0;  ///< |high - low| of the measure
+};
+
+/// Evaluates `measure` at the base point with each parameter individually
+/// set to its bounds; returns entries sorted by descending swing.
+[[nodiscard]] std::vector<TornadoEntry> tornado(
+    const std::map<std::string, double>& base,
+    const std::map<std::string, ParameterRange>& ranges,
+    const std::function<double(const std::map<std::string, double>&)>&
+        measure);
+
+}  // namespace upa::sensitivity

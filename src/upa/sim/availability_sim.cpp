@@ -1,0 +1,159 @@
+#include "upa/sim/availability_sim.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/sim/distributions.hpp"
+#include "upa/sim/engine.hpp"
+#include "upa/sim/rng.hpp"
+
+namespace upa::sim {
+namespace {
+
+void check_options(const MonteCarloOptions& options) {
+  UPA_REQUIRE(options.horizon > 0.0, "horizon must be positive");
+  UPA_REQUIRE(options.warmup >= 0.0 && options.warmup < options.horizon,
+              "warmup must lie inside the horizon");
+  UPA_REQUIRE(options.replications >= 2,
+              "need at least two replications for a confidence interval");
+}
+
+MonteCarloEstimate finish(std::vector<double> values, double level) {
+  MonteCarloEstimate estimate;
+  estimate.interval = confidence_interval(values, level);
+  estimate.replication_values = std::move(values);
+  return estimate;
+}
+
+}  // namespace
+
+MonteCarloEstimate simulate_system_availability(
+    const std::vector<ComponentSpec>& components,
+    const std::function<bool(const std::vector<bool>&)>& system_up,
+    const MonteCarloOptions& options) {
+  UPA_REQUIRE(!components.empty(), "need at least one component");
+  UPA_REQUIRE(system_up != nullptr, "structure function must be provided");
+  for (const ComponentSpec& c : components) {
+    UPA_REQUIRE(c.failure_rate > 0.0 && c.repair_rate > 0.0,
+                "component " + c.name + " needs positive rates");
+  }
+  check_options(options);
+
+  Xoshiro256 master(options.seed);
+  std::vector<double> replication_values;
+  replication_values.reserve(options.replications);
+
+  for (std::size_t rep = 0; rep < options.replications; ++rep) {
+    Xoshiro256 rng = master.split();
+    Engine engine;
+    std::vector<bool> up(components.size(), true);
+    bool system_state = true;
+    double last_change = 0.0;
+    double up_time = 0.0;  // observed up-time within [warmup, horizon]
+
+    // Adds the elapsed segment [last_change, now] clipped to the
+    // observation window when the system was up during it.
+    auto account = [&](double now) {
+      if (system_state) {
+        const double from = std::max(last_change, options.warmup);
+        const double to = std::min(now, options.horizon);
+        if (to > from) up_time += to - from;
+      }
+      last_change = now;
+    };
+
+    // One alternating-renewal process per component; the system indicator
+    // is re-evaluated at every component state change.
+    std::function<void(std::size_t)> toggle = [&](std::size_t i) {
+      up[i] = !up[i];
+      const bool new_state = system_up(up);
+      if (new_state != system_state) {
+        account(engine.now());
+        system_state = new_state;
+      }
+      const double rate = up[i] ? components[i].failure_rate
+                                : components[i].repair_rate;
+      engine.schedule_in(-std::log(rng.uniform01_open_left()) / rate,
+                         [&toggle, i] { toggle(i); });
+    };
+    for (std::size_t i = 0; i < components.size(); ++i) {
+      engine.schedule_in(
+          -std::log(rng.uniform01_open_left()) / components[i].failure_rate,
+          [&toggle, i] { toggle(i); });
+    }
+    engine.run_until(options.horizon);
+    account(options.horizon);
+    replication_values.push_back(up_time /
+                                 (options.horizon - options.warmup));
+  }
+  return finish(std::move(replication_values), options.confidence_level);
+}
+
+MonteCarloEstimate simulate_ctmc_reward(const markov::Ctmc& chain,
+                                        const std::vector<double>& state_rewards,
+                                        std::size_t initial_state,
+                                        const MonteCarloOptions& options) {
+  UPA_REQUIRE(state_rewards.size() == chain.state_count(),
+              "one reward per state required");
+  UPA_REQUIRE(initial_state < chain.state_count(),
+              "initial state out of range");
+  check_options(options);
+
+  // Precompute per-state exit rates and successor distributions from the
+  // sparse generator (off-diagonal entries).
+  const linalg::SparseMatrix q = chain.sparse_generator();
+  const std::size_t n = chain.state_count();
+  std::vector<std::vector<std::pair<std::size_t, double>>> successors(n);
+  std::vector<double> exit(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto cols = q.row_cols(r);
+    const auto vals = q.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r) continue;
+      successors[r].emplace_back(cols[k], vals[k]);
+      exit[r] += vals[k];
+    }
+  }
+
+  Xoshiro256 master(options.seed);
+  std::vector<double> replication_values;
+  replication_values.reserve(options.replications);
+
+  for (std::size_t rep = 0; rep < options.replications; ++rep) {
+    Xoshiro256 rng = master.split();
+    double t = 0.0;
+    std::size_t state = initial_state;
+    double weighted = 0.0;
+    double observed = 0.0;
+    while (t < options.horizon) {
+      UPA_REQUIRE(exit[state] > 0.0,
+                  "absorbing state reached during trajectory simulation");
+      const double sojourn =
+          -std::log(rng.uniform01_open_left()) / exit[state];
+      const double leave = std::min(t + sojourn, options.horizon);
+      const double from = std::max(t, options.warmup);
+      if (leave > from) {
+        weighted += state_rewards[state] * (leave - from);
+        observed += leave - from;
+      }
+      t += sojourn;
+      if (t >= options.horizon) break;
+      // Draw the successor proportionally to its rate.
+      double u = rng.uniform01() * exit[state];
+      std::size_t next = successors[state].back().first;
+      for (const auto& [candidate, rate] : successors[state]) {
+        if (u < rate) {
+          next = candidate;
+          break;
+        }
+        u -= rate;
+      }
+      state = next;
+    }
+    UPA_REQUIRE(observed > 0.0, "no observation time after warmup");
+    replication_values.push_back(weighted / observed);
+  }
+  return finish(std::move(replication_values), options.confidence_level);
+}
+
+}  // namespace upa::sim

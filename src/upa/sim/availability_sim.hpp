@@ -1,0 +1,56 @@
+#pragma once
+// Monte-Carlo availability estimation, the library's third evaluation
+// path (after closed forms and numeric chain solutions):
+//  * independent repairable components + a structure function (validates
+//    the RBD engine), and
+//  * trajectory simulation of an arbitrary CTMC with per-state rewards
+//    (validates the web-farm performability models and the GSPN chains).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "upa/markov/ctmc.hpp"
+#include "upa/sim/stats.hpp"
+
+namespace upa::sim {
+
+/// A repairable component with exponential failure/repair times.
+struct ComponentSpec {
+  std::string name;
+  double failure_rate = 0.0;
+  double repair_rate = 0.0;
+};
+
+/// Common Monte-Carlo controls.
+struct MonteCarloOptions {
+  double horizon = 10000.0;       ///< observation span per replication
+  double warmup = 0.0;            ///< discarded initial span
+  std::size_t replications = 20;  ///< independent replications
+  std::uint64_t seed = 42;
+  double confidence_level = 0.95;
+};
+
+/// Point estimate + confidence interval of a steady-state quantity.
+struct MonteCarloEstimate {
+  ConfidenceInterval interval;
+  std::vector<double> replication_values;
+};
+
+/// Steady availability of a system of independently failing/repairing
+/// components under a boolean structure function (true = system up, given
+/// per-component up/down states in spec order).
+[[nodiscard]] MonteCarloEstimate simulate_system_availability(
+    const std::vector<ComponentSpec>& components,
+    const std::function<bool(const std::vector<bool>&)>& system_up,
+    const MonteCarloOptions& options = {});
+
+/// Long-run time-average reward of a CTMC trajectory (reward = 1 for up
+/// states and 0 otherwise gives steady availability; reward = 1 - p_K(i)
+/// gives the paper's composite performance-availability measure).
+[[nodiscard]] MonteCarloEstimate simulate_ctmc_reward(
+    const markov::Ctmc& chain, const std::vector<double>& state_rewards,
+    std::size_t initial_state, const MonteCarloOptions& options = {});
+
+}  // namespace upa::sim

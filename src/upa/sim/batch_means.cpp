@@ -1,0 +1,49 @@
+#include "upa/sim/batch_means.hpp"
+
+#include "upa/common/error.hpp"
+
+namespace upa::sim {
+
+BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
+  UPA_REQUIRE(batch_size >= 1, "batch size must be positive");
+}
+
+void BatchMeans::add(double value) {
+  current_sum_ += value;
+  if (++in_current_ == batch_size_) {
+    batch_averages_.push_back(current_sum_ /
+                              static_cast<double>(batch_size_));
+    current_sum_ = 0.0;
+    in_current_ = 0;
+  }
+}
+
+double BatchMeans::mean() const {
+  UPA_REQUIRE(!batch_averages_.empty(), "no completed batches yet");
+  double sum = 0.0;
+  for (double b : batch_averages_) sum += b;
+  return sum / static_cast<double>(batch_averages_.size());
+}
+
+ConfidenceInterval BatchMeans::interval(double level) const {
+  return confidence_interval(batch_averages_, level);
+}
+
+double BatchMeans::lag1_autocorrelation() const {
+  UPA_REQUIRE(batch_averages_.size() >= 3,
+              "need at least three batches for autocorrelation");
+  const double m = mean();
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 0; i < batch_averages_.size(); ++i) {
+    const double d = batch_averages_[i] - m;
+    denominator += d * d;
+    if (i + 1 < batch_averages_.size()) {
+      numerator += d * (batch_averages_[i + 1] - m);
+    }
+  }
+  UPA_REQUIRE(denominator > 0.0, "batch averages are constant");
+  return numerator / denominator;
+}
+
+}  // namespace upa::sim

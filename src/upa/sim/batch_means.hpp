@@ -1,0 +1,48 @@
+#pragma once
+// Batch-means confidence intervals: output analysis from a SINGLE long
+// simulation run (complementing the independent-replications route in
+// stats.hpp). The observation stream is split into contiguous batches;
+// batch averages are approximately independent when batches are long
+// relative to the autocorrelation time.
+
+#include <cstddef>
+#include <vector>
+
+#include "upa/sim/stats.hpp"
+
+namespace upa::sim {
+
+/// Accumulates a stream of observations and produces a batch-means CI.
+class BatchMeans {
+ public:
+  /// `batch_size` observations per batch (fixed-size batching).
+  explicit BatchMeans(std::size_t batch_size);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t completed_batches() const noexcept {
+    return batch_averages_.size();
+  }
+  [[nodiscard]] const std::vector<double>& batch_averages() const noexcept {
+    return batch_averages_;
+  }
+
+  /// Overall mean of all completed batches.
+  [[nodiscard]] double mean() const;
+
+  /// CI over the batch averages; requires >= 2 completed batches.
+  [[nodiscard]] ConfidenceInterval interval(double level = 0.95) const;
+
+  /// Lag-1 autocorrelation of the batch averages — a diagnostic: values
+  /// near 0 indicate the batches are long enough to be treated as
+  /// independent. Requires >= 3 completed batches.
+  [[nodiscard]] double lag1_autocorrelation() const;
+
+ private:
+  std::size_t batch_size_;
+  std::size_t in_current_ = 0;
+  double current_sum_ = 0.0;
+  std::vector<double> batch_averages_;
+};
+
+}  // namespace upa::sim

@@ -1,0 +1,135 @@
+#include "upa/sim/distributions.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::sim {
+namespace {
+
+double sample_exponential(double rate, Xoshiro256& rng) {
+  return -std::log(rng.uniform01_open_left()) / rate;
+}
+
+/// Standard normal via Box-Muller (one value per call; simple and
+/// state-free, which keeps replications independent).
+double sample_standard_normal(Xoshiro256& rng) {
+  const double u1 = rng.uniform01_open_left();
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+struct Validator {
+  void operator()(const Exponential& d) const {
+    UPA_REQUIRE(std::isfinite(d.rate) && d.rate > 0.0,
+                "Exponential rate must be positive");
+  }
+  void operator()(const Deterministic& d) const {
+    UPA_REQUIRE(std::isfinite(d.value) && d.value >= 0.0,
+                "Deterministic value must be non-negative");
+  }
+  void operator()(const UniformReal& d) const {
+    UPA_REQUIRE(std::isfinite(d.low) && std::isfinite(d.high) &&
+                    d.low <= d.high,
+                "UniformReal requires low <= high");
+  }
+  void operator()(const Erlang& d) const {
+    UPA_REQUIRE(d.k >= 1, "Erlang needs at least one phase");
+    UPA_REQUIRE(std::isfinite(d.rate) && d.rate > 0.0,
+                "Erlang rate must be positive");
+  }
+  void operator()(const HyperExponential& d) const {
+    UPA_REQUIRE(d.p >= 0.0 && d.p <= 1.0,
+                "HyperExponential mixing probability out of range");
+    UPA_REQUIRE(d.rate1 > 0.0 && d.rate2 > 0.0,
+                "HyperExponential rates must be positive");
+  }
+  void operator()(const LogNormal& d) const {
+    UPA_REQUIRE(std::isfinite(d.mu) && std::isfinite(d.sigma) &&
+                    d.sigma >= 0.0,
+                "LogNormal requires finite mu and sigma >= 0");
+  }
+};
+
+struct Sampler {
+  Xoshiro256& rng;
+  double operator()(const Exponential& d) const {
+    return sample_exponential(d.rate, rng);
+  }
+  double operator()(const Deterministic& d) const { return d.value; }
+  double operator()(const UniformReal& d) const {
+    return d.low + (d.high - d.low) * rng.uniform01();
+  }
+  double operator()(const Erlang& d) const {
+    double sum = 0.0;
+    for (unsigned i = 0; i < d.k; ++i) sum += sample_exponential(d.rate, rng);
+    return sum;
+  }
+  double operator()(const HyperExponential& d) const {
+    const double rate = rng.uniform01() < d.p ? d.rate1 : d.rate2;
+    return sample_exponential(rate, rng);
+  }
+  double operator()(const LogNormal& d) const {
+    return std::exp(d.mu + d.sigma * sample_standard_normal(rng));
+  }
+};
+
+struct Mean {
+  double operator()(const Exponential& d) const { return 1.0 / d.rate; }
+  double operator()(const Deterministic& d) const { return d.value; }
+  double operator()(const UniformReal& d) const {
+    return 0.5 * (d.low + d.high);
+  }
+  double operator()(const Erlang& d) const { return d.k / d.rate; }
+  double operator()(const HyperExponential& d) const {
+    return d.p / d.rate1 + (1.0 - d.p) / d.rate2;
+  }
+  double operator()(const LogNormal& d) const {
+    return std::exp(d.mu + 0.5 * d.sigma * d.sigma);
+  }
+};
+
+struct Variance {
+  double operator()(const Exponential& d) const {
+    return 1.0 / (d.rate * d.rate);
+  }
+  double operator()(const Deterministic&) const { return 0.0; }
+  double operator()(const UniformReal& d) const {
+    const double w = d.high - d.low;
+    return w * w / 12.0;
+  }
+  double operator()(const Erlang& d) const {
+    return d.k / (d.rate * d.rate);
+  }
+  double operator()(const HyperExponential& d) const {
+    const double m = Mean{}(d);
+    const double m2 =
+        2.0 * (d.p / (d.rate1 * d.rate1) + (1.0 - d.p) / (d.rate2 * d.rate2));
+    return m2 - m * m;
+  }
+  double operator()(const LogNormal& d) const {
+    const double s2 = d.sigma * d.sigma;
+    return (std::exp(s2) - 1.0) * std::exp(2.0 * d.mu + s2);
+  }
+};
+
+}  // namespace
+
+void validate(const Distribution& d) { std::visit(Validator{}, d); }
+
+double sample(const Distribution& d, Xoshiro256& rng) {
+  validate(d);
+  return std::visit(Sampler{rng}, d);
+}
+
+double mean(const Distribution& d) {
+  validate(d);
+  return std::visit(Mean{}, d);
+}
+
+double variance(const Distribution& d) {
+  validate(d);
+  return std::visit(Variance{}, d);
+}
+
+}  // namespace upa::sim

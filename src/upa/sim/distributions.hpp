@@ -1,0 +1,64 @@
+#pragma once
+// Sampling distributions for the discrete-event simulator. A small closed
+// set (variant) rather than virtual dispatch: values are copyable, cheap,
+// and exhaustively testable.
+
+#include <variant>
+#include <vector>
+
+#include "upa/sim/rng.hpp"
+
+namespace upa::sim {
+
+/// Exponential(rate): mean 1/rate.
+struct Exponential {
+  double rate;
+};
+
+/// Always returns `value` (degenerate distribution).
+struct Deterministic {
+  double value;
+};
+
+/// Uniform(low, high).
+struct UniformReal {
+  double low;
+  double high;
+};
+
+/// Erlang(k, rate): sum of k Exponential(rate) phases; mean k/rate.
+struct Erlang {
+  unsigned k;
+  double rate;
+};
+
+/// Two-phase hyperexponential: Exponential(rate1) w.p. p, else
+/// Exponential(rate2). Coefficient of variation > 1.
+struct HyperExponential {
+  double p;
+  double rate1;
+  double rate2;
+};
+
+/// Lognormal with the underlying normal's mu/sigma.
+struct LogNormal {
+  double mu;
+  double sigma;
+};
+
+using Distribution = std::variant<Exponential, Deterministic, UniformReal,
+                                  Erlang, HyperExponential, LogNormal>;
+
+/// Validates parameters; throws ModelError on invalid ones.
+void validate(const Distribution& d);
+
+/// Draws one sample.
+[[nodiscard]] double sample(const Distribution& d, Xoshiro256& rng);
+
+/// Analytic mean of the distribution.
+[[nodiscard]] double mean(const Distribution& d);
+
+/// Analytic variance of the distribution.
+[[nodiscard]] double variance(const Distribution& d);
+
+}  // namespace upa::sim

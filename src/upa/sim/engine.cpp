@@ -1,0 +1,64 @@
+#include "upa/sim/engine.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "upa/common/error.hpp"
+
+namespace upa::sim {
+
+EventId Engine::schedule_at(double at, std::function<void()> handler) {
+  UPA_REQUIRE(std::isfinite(at) && at >= now_,
+              "events must be scheduled at or after the current time");
+  UPA_REQUIRE(handler != nullptr, "event handler must be callable");
+  const EventId id = next_id_++;
+  calendar_.push({at, id});
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+EventId Engine::schedule_in(double delay, std::function<void()> handler) {
+  UPA_REQUIRE(std::isfinite(delay) && delay >= 0.0,
+              "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+void Engine::run_until(double horizon) {
+  UPA_REQUIRE(std::isfinite(horizon) && horizon >= now_,
+              "horizon must be at or after the current time");
+  while (!calendar_.empty()) {
+    const Entry entry = calendar_.top();
+    if (entry.time > horizon) break;
+    calendar_.pop();
+    const auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    now_ = entry.time;
+    std::function<void()> handler = std::move(it->second);
+    handlers_.erase(it);
+    ++processed_;
+    handler();
+  }
+  now_ = horizon;
+}
+
+void Engine::run_all() {
+  while (!calendar_.empty()) {
+    const Entry entry = calendar_.top();
+    calendar_.pop();
+    const auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;
+    now_ = entry.time;
+    std::function<void()> handler = std::move(it->second);
+    handlers_.erase(it);
+    ++processed_;
+    handler();
+  }
+}
+
+std::size_t Engine::pending_count() const noexcept {
+  return handlers_.size();
+}
+
+}  // namespace upa::sim

@@ -1,0 +1,66 @@
+#pragma once
+// Discrete-event simulation core: a future-event calendar with stable
+// FIFO tie-breaking, cancellation, and a bounded run loop.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace upa::sim {
+
+/// Handle to a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Event calendar + clock. Handlers are void() callables that may schedule
+/// further events; time never moves backwards.
+class Engine {
+ public:
+  Engine() = default;
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedules `handler` at absolute time `at` (>= now). Returns an id
+  /// that can be cancelled.
+  EventId schedule_at(double at, std::function<void()> handler);
+
+  /// Schedules after a delay (>= 0) from the current time.
+  EventId schedule_in(double delay, std::function<void()> handler);
+
+  /// Cancels a pending event; false when already fired/cancelled/unknown.
+  bool cancel(EventId id);
+
+  /// Runs until the calendar is empty or the clock passes `horizon`.
+  /// Events scheduled beyond the horizon stay unprocessed; the clock is
+  /// left clamped at the horizon.
+  void run_until(double horizon);
+
+  /// Runs until the calendar empties (caller must guarantee termination).
+  void run_all();
+
+  /// Events processed so far (diagnostics, regression tests).
+  [[nodiscard]] std::uint64_t processed_count() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::size_t pending_count() const noexcept;
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;  // also the FIFO tie-breaker
+    bool operator>(const Entry& other) const noexcept {
+      return time != other.time ? time > other.time : id > other.id;
+    }
+  };
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> calendar_;
+  // id -> handler; erased on fire/cancel (cancelled ids become tombstones
+  // in the priority queue and are skipped when popped).
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace upa::sim

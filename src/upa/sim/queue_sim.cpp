@@ -1,0 +1,143 @@
+#include "upa/sim/queue_sim.hpp"
+
+#include <deque>
+
+#include "upa/common/error.hpp"
+#include "upa/sim/engine.hpp"
+#include "upa/sim/rng.hpp"
+
+namespace upa::sim {
+namespace {
+
+struct Replication {
+  double loss = 0.0;
+  double mean_l = 0.0;
+  double mean_response = 0.0;
+  double deadline_miss = 0.0;
+};
+
+Replication run_once(const QueueSpec& spec, const QueueSimOptions& options,
+                     Xoshiro256 rng) {
+  Engine engine;
+  std::size_t in_system = 0;
+  std::size_t busy = 0;
+  std::deque<double> waiting;  // admission times of queued jobs
+
+  std::uint64_t arrived = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t lost = 0;
+  double response_sum = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t missed_deadline = 0;
+
+  TimeWeightedStats l_stats(0.0, 0.0);
+  double observe_from = -1.0;  // set when warmup ends
+
+  std::function<void(double)> depart;
+  auto start_service = [&](double admit_time) {
+    ++busy;
+    engine.schedule_in(sample(spec.service, rng),
+                       [&, admit_time] { depart(admit_time); });
+  };
+  depart = [&](double admit_time) {
+    --busy;
+    --in_system;
+    if (observe_from >= 0.0) {
+      l_stats.update(engine.now(), static_cast<double>(in_system));
+      if (admit_time >= observe_from) {
+        const double sojourn = engine.now() - admit_time;
+        response_sum += sojourn;
+        ++completed;
+        if (options.deadline > 0.0 && sojourn > options.deadline) {
+          ++missed_deadline;
+        }
+      }
+    }
+    if (!waiting.empty()) {
+      const double next_admit = waiting.front();
+      waiting.pop_front();
+      start_service(next_admit);
+    }
+  };
+
+  std::function<void()> arrive = [&] {
+    ++arrived;
+    const bool in_observation = arrived > options.warmup_arrivals;
+    if (in_observation && observe_from < 0.0) {
+      observe_from = engine.now();
+      l_stats = TimeWeightedStats(engine.now(),
+                                  static_cast<double>(in_system));
+    }
+    if (in_system >= spec.capacity) {
+      if (in_observation) ++lost;
+    } else {
+      ++in_system;
+      if (observe_from >= 0.0) {
+        l_stats.update(engine.now(), static_cast<double>(in_system));
+      }
+      if (in_observation) ++accepted;
+      if (busy < spec.servers) {
+        start_service(engine.now());
+      } else {
+        waiting.push_back(engine.now());
+      }
+    }
+    if (arrived <
+        options.warmup_arrivals + options.arrivals_per_replication) {
+      engine.schedule_in(sample(spec.interarrival, rng), arrive);
+    }
+  };
+  engine.schedule_in(sample(spec.interarrival, rng), arrive);
+  engine.run_all();
+
+  Replication rep;
+  const std::uint64_t observed = accepted + lost;
+  UPA_ASSERT(observed > 0);
+  rep.loss = static_cast<double>(lost) / static_cast<double>(observed);
+  rep.mean_l = l_stats.time_average(engine.now());
+  rep.mean_response =
+      completed > 0 ? response_sum / static_cast<double>(completed) : 0.0;
+  rep.deadline_miss = completed > 0 ? static_cast<double>(missed_deadline) /
+                                          static_cast<double>(completed)
+                                    : 0.0;
+  return rep;
+}
+
+}  // namespace
+
+QueueSimResult simulate_queue(const QueueSpec& spec,
+                              const QueueSimOptions& options) {
+  validate(spec.interarrival);
+  validate(spec.service);
+  UPA_REQUIRE(spec.servers >= 1, "need at least one server");
+  UPA_REQUIRE(spec.capacity >= spec.servers,
+              "capacity must be at least the number of servers");
+  UPA_REQUIRE(options.replications >= 2, "need at least two replications");
+  UPA_REQUIRE(options.arrivals_per_replication > 0,
+              "need at least one observed arrival");
+
+  Xoshiro256 master(options.seed);
+  std::vector<double> loss;
+  std::vector<double> mean_l;
+  std::vector<double> response;
+  std::vector<double> miss;
+  for (std::size_t r = 0; r < options.replications; ++r) {
+    const Replication rep = run_once(spec, options, master.split());
+    loss.push_back(rep.loss);
+    mean_l.push_back(rep.mean_l);
+    response.push_back(rep.mean_response);
+    miss.push_back(rep.deadline_miss);
+  }
+  QueueSimResult result;
+  result.loss_probability =
+      confidence_interval(loss, options.confidence_level);
+  result.mean_in_system =
+      confidence_interval(mean_l, options.confidence_level);
+  result.mean_response =
+      confidence_interval(response, options.confidence_level);
+  result.deadline_miss =
+      confidence_interval(miss, options.confidence_level);
+  return result;
+}
+
+}  // namespace upa::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Discrete-event simulation of a G/G/c/K queue (FIFO, homogeneous
+// servers). With exponential interarrival/service times this validates the
+// M/M/c/K closed forms; with other distributions it quantifies how far the
+// paper's Poisson assumptions can be stretched.
+
+#include <cstdint>
+
+#include "upa/sim/distributions.hpp"
+#include "upa/sim/stats.hpp"
+
+namespace upa::sim {
+
+/// Queue description: `capacity` counts waiting room + in-service jobs.
+struct QueueSpec {
+  Distribution interarrival;
+  Distribution service;
+  std::size_t servers = 1;
+  std::size_t capacity = 1;
+};
+
+/// Controls for the queue simulation.
+struct QueueSimOptions {
+  std::uint64_t arrivals_per_replication = 200000;
+  std::uint64_t warmup_arrivals = 10000;
+  std::size_t replications = 10;
+  std::uint64_t seed = 42;
+  double confidence_level = 0.95;
+  /// When > 0, the fraction of accepted jobs whose sojourn time exceeds
+  /// this deadline is also estimated (deadline_miss in the result).
+  double deadline = 0.0;
+};
+
+/// Simulation outputs with confidence intervals over replications.
+struct QueueSimResult {
+  ConfidenceInterval loss_probability;
+  ConfidenceInterval mean_in_system;     ///< time-averaged L
+  ConfidenceInterval mean_response;      ///< accepted jobs' sojourn time
+  /// Fraction of accepted jobs missing options.deadline (all-zero when
+  /// the deadline feature is disabled).
+  ConfidenceInterval deadline_miss;
+};
+
+[[nodiscard]] QueueSimResult simulate_queue(const QueueSpec& spec,
+                                            const QueueSimOptions& options = {});
+
+}  // namespace upa::sim

@@ -1,0 +1,57 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation built from
+// scratch: SplitMix64 for seeding and xoshiro256** as the workhorse.
+// Simulations must be reproducible across runs and platforms, so we do
+// not rely on implementation-defined std:: distributions.
+
+#include <array>
+#include <cstdint>
+
+namespace upa::sim {
+
+/// SplitMix64: used to expand a single seed into xoshiro state and to
+/// derive independent streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in (0, 1] — safe as an argument to log().
+  [[nodiscard]] double uniform01_open_left() noexcept;
+
+  /// Derives an independent generator (seeded from this stream).
+  [[nodiscard]] Xoshiro256 split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace upa::sim

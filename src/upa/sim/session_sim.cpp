@@ -1,0 +1,90 @@
+#include "upa/sim/session_sim.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+#include "upa/sim/rng.hpp"
+
+namespace upa::sim {
+
+SessionSimResult simulate_sessions(const linalg::Matrix& transition,
+                                   std::size_t start, std::size_t exit,
+                                   const WorldSampler& world,
+                                   const SessionSimOptions& options) {
+  const std::size_t n = transition.rows();
+  UPA_REQUIRE(transition.cols() == n, "transition matrix must be square");
+  UPA_REQUIRE(start < n && exit < n && start != exit,
+              "invalid start/exit states");
+  UPA_REQUIRE(world != nullptr, "world sampler must be provided");
+  UPA_REQUIRE(options.sessions > 0 && options.replications >= 2,
+              "need sessions and at least two replications");
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r == exit) continue;  // exit row may be absorbing or anything
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) sum += transition(r, c);
+    UPA_REQUIRE(std::abs(sum - 1.0) <= 1e-9,
+                "transition row " + std::to_string(r) + " must sum to 1");
+  }
+
+  Xoshiro256 master(options.seed);
+  std::vector<double> replication_availability;
+  replication_availability.reserve(options.replications);
+  std::vector<double> total_visits(n, 0.0);
+  double total_function_count = 0.0;
+
+  for (std::size_t rep = 0; rep < options.replications; ++rep) {
+    Xoshiro256 rng = master.split();
+    double success_sum = 0.0;
+    for (std::uint64_t s = 0; s < options.sessions; ++s) {
+      const std::vector<double> availability = world(rng);
+      UPA_REQUIRE(availability.size() == n,
+                  "world must return one availability per state");
+      std::vector<bool> visited(n, false);
+      std::size_t state = start;
+      double success = 1.0;
+      std::uint64_t steps = 0;
+      while (state != exit) {
+        UPA_REQUIRE(++steps <= options.max_steps_per_session,
+                    "session did not reach Exit; profile may be absorbing");
+        // Move to the next state.
+        double u = rng.uniform01();
+        std::size_t next = exit;
+        for (std::size_t c = 0; c < n; ++c) {
+          const double p = transition(state, c);
+          if (u < p) {
+            next = c;
+            break;
+          }
+          u -= p;
+        }
+        state = next;
+        if (state == exit) break;
+        total_visits[state] += 1.0;
+        if (!visited[state]) {
+          visited[state] = true;
+          total_function_count += 1.0;
+          success *= availability[state];  // conditional expectation
+        }
+      }
+      success_sum += success;
+    }
+    replication_availability.push_back(
+        success_sum / static_cast<double>(options.sessions));
+  }
+
+  SessionSimResult result;
+  result.perceived_availability = confidence_interval(
+      replication_availability, options.confidence_level);
+  const double total_sessions =
+      static_cast<double>(options.sessions) *
+      static_cast<double>(options.replications);
+  result.mean_functions_per_session = total_function_count / total_sessions;
+  result.mean_visits.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.mean_visits[i] = total_visits[i] / total_sessions;
+  }
+  return result;
+}
+
+}  // namespace upa::sim

@@ -1,0 +1,47 @@
+#pragma once
+// User-session simulation: walks the operational-profile DTMC from Start
+// to Exit, drawing one "world" (service/function availabilities) per
+// session. Estimates the user-perceived availability exactly as the paper
+// defines it — the probability that every function invoked during a visit
+// is available — including the dependence induced by shared services.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "upa/linalg/matrix.hpp"
+#include "upa/sim/rng.hpp"
+#include "upa/sim/stats.hpp"
+
+namespace upa::sim {
+
+/// Per-session world: availability of each profile function in [0, 1]
+/// (may be 0/1 for hard failures or fractional for branch mixtures).
+using WorldSampler = std::function<std::vector<double>(Xoshiro256&)>;
+
+/// Controls for the session simulation.
+struct SessionSimOptions {
+  std::uint64_t sessions = 200000;
+  std::size_t replications = 10;
+  std::uint64_t seed = 42;
+  double confidence_level = 0.95;
+  std::uint64_t max_steps_per_session = 100000;
+};
+
+/// Aggregated results.
+struct SessionSimResult {
+  ConfidenceInterval perceived_availability;
+  double mean_functions_per_session = 0.0;
+  std::vector<double> mean_visits;  ///< per state, visits per session
+};
+
+/// Simulates sessions over a row-stochastic `transition` matrix. `start`
+/// and `exit` are state indices; every other state is a function. Per
+/// session a world is drawn and the session "succeeds" with probability
+/// prod over *distinct* visited functions of their availability in that
+/// world (conditional expectation, for variance reduction).
+[[nodiscard]] SessionSimResult simulate_sessions(
+    const linalg::Matrix& transition, std::size_t start, std::size_t exit,
+    const WorldSampler& world, const SessionSimOptions& options = {});
+
+}  // namespace upa::sim

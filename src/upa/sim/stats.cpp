@@ -1,0 +1,110 @@
+#include "upa/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::sim {
+
+void RunningStats::add(double value) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++n_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+TimeWeightedStats::TimeWeightedStats(double start_time, double initial_value)
+    : last_time_(start_time), value_(initial_value), start_time_(start_time) {}
+
+void TimeWeightedStats::update(double t, double value) {
+  UPA_REQUIRE(t >= last_time_, "time must not decrease");
+  integral_ += value_ * (t - last_time_);
+  last_time_ = t;
+  value_ = value;
+}
+
+double TimeWeightedStats::time_average(double end_time) const {
+  UPA_REQUIRE(end_time > start_time_, "empty observation window");
+  UPA_REQUIRE(end_time >= last_time_, "end time before last update");
+  const double total =
+      integral_ + value_ * (end_time - last_time_);
+  return total / (end_time - start_time_);
+}
+
+double student_t_critical(std::size_t dof, double level) {
+  UPA_REQUIRE(dof >= 1, "degrees of freedom must be positive");
+  struct Row {
+    std::size_t dof;
+    double t90, t95, t99;
+  };
+  // Two-sided critical values.
+  static constexpr Row kTable[] = {
+      {1, 6.314, 12.706, 63.657}, {2, 2.920, 4.303, 9.925},
+      {3, 2.353, 3.182, 5.841},   {4, 2.132, 2.776, 4.604},
+      {5, 2.015, 2.571, 4.032},   {6, 1.943, 2.447, 3.707},
+      {7, 1.895, 2.365, 3.499},   {8, 1.860, 2.306, 3.355},
+      {9, 1.833, 2.262, 3.250},   {10, 1.812, 2.228, 3.169},
+      {12, 1.782, 2.179, 3.055},  {15, 1.753, 2.131, 2.947},
+      {20, 1.725, 2.086, 2.845},  {25, 1.708, 2.060, 2.787},
+      {30, 1.697, 2.042, 2.750},  {40, 1.684, 2.021, 2.704},
+      {60, 1.671, 2.000, 2.660},  {120, 1.658, 1.980, 2.617},
+  };
+  auto pick = [&](const Row& row) {
+    if (level >= 0.985) return row.t99;
+    if (level >= 0.925) return row.t95;
+    return row.t90;
+  };
+  UPA_REQUIRE(level >= 0.85 && level < 1.0,
+              "supported confidence levels: 0.90, 0.95, 0.99");
+  const Row* below = &kTable[0];
+  for (const Row& row : kTable) {
+    if (row.dof == dof) return pick(row);
+    if (row.dof < dof) below = &row;
+    if (row.dof > dof) {
+      // Linear interpolation in 1/dof between bracketing table rows.
+      const double x = 1.0 / static_cast<double>(dof);
+      const double x0 = 1.0 / static_cast<double>(below->dof);
+      const double x1 = 1.0 / static_cast<double>(row.dof);
+      const double y0 = pick(*below);
+      const double y1 = pick(row);
+      return y1 + (y0 - y1) * (x - x1) / (x0 - x1);
+    }
+  }
+  // Beyond the table: normal quantiles.
+  if (level >= 0.985) return 2.576;
+  if (level >= 0.925) return 1.960;
+  return 1.645;
+}
+
+ConfidenceInterval confidence_interval(const std::vector<double>& replications,
+                                       double level) {
+  UPA_REQUIRE(replications.size() >= 2,
+              "need at least two replications for an interval");
+  RunningStats stats;
+  for (double r : replications) stats.add(r);
+  ConfidenceInterval ci;
+  ci.mean = stats.mean();
+  const double se =
+      stats.stddev() / std::sqrt(static_cast<double>(replications.size()));
+  ci.half_width = student_t_critical(replications.size() - 1, level) * se;
+  ci.low = ci.mean - ci.half_width;
+  ci.high = ci.mean + ci.half_width;
+  return ci;
+}
+
+}  // namespace upa::sim

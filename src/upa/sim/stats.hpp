@@ -1,0 +1,74 @@
+#pragma once
+// Output analysis for simulations: Welford online moments, time-weighted
+// averages (for availability = fraction of time up), and replication
+// statistics with Student-t confidence intervals.
+
+#include <cstddef>
+#include <vector>
+
+namespace upa::sim {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Integrates a piecewise-constant signal over time; time_average() is the
+/// integral divided by the observation span (e.g. availability when the
+/// signal is the 0/1 "system up" indicator).
+class TimeWeightedStats {
+ public:
+  explicit TimeWeightedStats(double start_time = 0.0,
+                             double initial_value = 0.0);
+
+  /// Records that the signal changed to `value` at time `t` (>= last t).
+  void update(double t, double value);
+
+  /// Closes the observation window at time `t` and returns the average.
+  [[nodiscard]] double time_average(double end_time) const;
+
+ private:
+  double last_time_;
+  double value_;
+  double integral_ = 0.0;
+  double start_time_;
+};
+
+/// A (low, high) confidence interval.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+
+  [[nodiscard]] bool contains(double value) const noexcept {
+    return value >= low && value <= high;
+  }
+};
+
+/// Two-sided Student-t critical value for the given degrees of freedom at
+/// confidence `level` in {0.90, 0.95, 0.99} (interpolated table; normal
+/// approximation beyond 120 dof).
+[[nodiscard]] double student_t_critical(std::size_t dof, double level);
+
+/// Confidence interval over independent replications.
+[[nodiscard]] ConfidenceInterval confidence_interval(
+    const std::vector<double>& replications, double level = 0.95);
+
+}  // namespace upa::sim

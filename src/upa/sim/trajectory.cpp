@@ -1,0 +1,97 @@
+#include "upa/sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::sim {
+
+CtmcTrajectory::CtmcTrajectory(const markov::Ctmc& chain, std::size_t initial,
+                               double horizon, Xoshiro256& rng)
+    : horizon_(horizon) {
+  UPA_REQUIRE(initial < chain.state_count(), "initial state out of range");
+  UPA_REQUIRE(std::isfinite(horizon) && horizon > 0.0,
+              "horizon must be positive");
+
+  // Successor lists from the sparse generator.
+  const linalg::SparseMatrix q = chain.sparse_generator();
+  const std::size_t n = chain.state_count();
+  std::vector<std::vector<std::pair<std::size_t, double>>> successors(n);
+  std::vector<double> exit(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto cols = q.row_cols(r);
+    const auto vals = q.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == r) continue;
+      successors[r].emplace_back(cols[k], vals[k]);
+      exit[r] += vals[k];
+    }
+  }
+
+  times_.push_back(0.0);
+  states_.push_back(initial);
+  double t = 0.0;
+  std::size_t state = initial;
+  while (t < horizon_) {
+    if (exit[state] <= 0.0) break;  // absorbing: persists to horizon
+    t += -std::log(rng.uniform01_open_left()) / exit[state];
+    if (t >= horizon_) break;
+    double u = rng.uniform01() * exit[state];
+    std::size_t next = successors[state].back().first;
+    for (const auto& [candidate, rate] : successors[state]) {
+      if (u < rate) {
+        next = candidate;
+        break;
+      }
+      u -= rate;
+    }
+    state = next;
+    times_.push_back(t);
+    states_.push_back(state);
+  }
+}
+
+std::size_t CtmcTrajectory::state_at(double t) const {
+  UPA_REQUIRE(t >= 0.0 && t <= horizon_, "query time outside the horizon");
+  // Last jump instant <= t.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t index =
+      static_cast<std::size_t>(it - times_.begin()) - 1;
+  return states_[index];
+}
+
+double CtmcTrajectory::occupancy(const std::vector<std::size_t>& set) const {
+  std::vector<bool> in_set;
+  for (std::size_t s : set) {
+    if (s >= in_set.size()) in_set.resize(s + 1, false);
+    in_set[s] = true;
+  }
+  auto contains = [&](std::size_t s) {
+    return s < in_set.size() && in_set[s];
+  };
+  double total = 0.0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    const double end = i + 1 < times_.size() ? times_[i + 1] : horizon_;
+    if (contains(states_[i])) total += end - times_[i];
+  }
+  return total / horizon_;
+}
+
+CtmcTrajectory sample_component_trajectory(double failure_rate,
+                                           double repair_rate, double horizon,
+                                           Xoshiro256& rng) {
+  return CtmcTrajectory(
+      markov::two_state_availability(failure_rate, repair_rate), 0, horizon,
+      rng);
+}
+
+double failure_rate_for_availability(double availability,
+                                     double repair_rate) {
+  UPA_REQUIRE(availability > 0.0 && availability < 1.0,
+              "availability must lie strictly in (0, 1)");
+  UPA_REQUIRE(repair_rate > 0.0, "repair rate must be positive");
+  return repair_rate * (1.0 - availability) / availability;
+}
+
+}  // namespace upa::sim

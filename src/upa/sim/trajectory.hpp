@@ -1,0 +1,51 @@
+#pragma once
+// Pre-sampled CTMC trajectories: one draw of the chain's piecewise-
+// constant path over a horizon, queryable at arbitrary times. Used by the
+// end-to-end system simulation, where many user sessions probe the same
+// resource history at different instants.
+
+#include <cstddef>
+#include <vector>
+
+#include "upa/markov/ctmc.hpp"
+#include "upa/sim/rng.hpp"
+
+namespace upa::sim {
+
+/// One sampled path of a CTMC over [0, horizon].
+class CtmcTrajectory {
+ public:
+  /// Samples the embedded jump chain with exponential sojourns starting
+  /// from `initial`. Absorbing states simply persist to the horizon.
+  CtmcTrajectory(const markov::Ctmc& chain, std::size_t initial,
+                 double horizon, Xoshiro256& rng);
+
+  /// State occupied at time t (0 <= t <= horizon).
+  [[nodiscard]] std::size_t state_at(double t) const;
+
+  /// Fraction of [0, horizon] spent in states of `set`.
+  [[nodiscard]] double occupancy(const std::vector<std::size_t>& set) const;
+
+  [[nodiscard]] double horizon() const noexcept { return horizon_; }
+  [[nodiscard]] std::size_t jump_count() const noexcept {
+    return times_.size() - 1;
+  }
+
+ private:
+  double horizon_;
+  std::vector<double> times_;        // jump instants, times_[0] == 0
+  std::vector<std::size_t> states_;  // state entered at times_[i]
+};
+
+/// Convenience: a two-state (0 = up, 1 = down) component trajectory with
+/// exponential failure/repair, starting up.
+[[nodiscard]] CtmcTrajectory sample_component_trajectory(
+    double failure_rate, double repair_rate, double horizon,
+    Xoshiro256& rng);
+
+/// Failure rate that yields steady availability `a` for a component with
+/// the given repair rate: lambda = mu (1 - a) / a.
+[[nodiscard]] double failure_rate_for_availability(double availability,
+                                                   double repair_rate);
+
+}  // namespace upa::sim

@@ -1,0 +1,159 @@
+#include "upa/spn/net.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "upa/common/error.hpp"
+
+namespace upa::spn {
+
+void PetriNet::check_place(PlaceId p) const {
+  UPA_REQUIRE(p < places_.size(), "place id out of range");
+}
+
+void PetriNet::check_transition(TransitionId t) const {
+  UPA_REQUIRE(t < transitions_.size(), "transition id out of range");
+}
+
+PlaceId PetriNet::add_place(std::string name, int initial_tokens) {
+  UPA_REQUIRE(!name.empty(), "place name must not be empty");
+  UPA_REQUIRE(initial_tokens >= 0, "initial tokens must be non-negative");
+  places_.push_back({std::move(name), initial_tokens});
+  return places_.size() - 1;
+}
+
+TransitionId PetriNet::add_timed_transition(std::string name, double rate,
+                                            ServerSemantics semantics) {
+  UPA_REQUIRE(!name.empty(), "transition name must not be empty");
+  UPA_REQUIRE(std::isfinite(rate) && rate > 0.0, "rate must be positive");
+  transitions_.push_back(
+      {std::move(name), TransitionKind::kTimed, rate, semantics, {}, {}, {}});
+  return transitions_.size() - 1;
+}
+
+TransitionId PetriNet::add_immediate_transition(std::string name,
+                                                double weight) {
+  UPA_REQUIRE(!name.empty(), "transition name must not be empty");
+  UPA_REQUIRE(std::isfinite(weight) && weight > 0.0,
+              "weight must be positive");
+  transitions_.push_back({std::move(name), TransitionKind::kImmediate, weight,
+                          ServerSemantics::kSingleServer, {}, {}, {}});
+  return transitions_.size() - 1;
+}
+
+void PetriNet::add_input_arc(TransitionId t, PlaceId p, int multiplicity) {
+  check_transition(t);
+  check_place(p);
+  UPA_REQUIRE(multiplicity >= 1, "arc multiplicity must be positive");
+  transitions_[t].inputs.push_back({p, multiplicity});
+}
+
+void PetriNet::add_output_arc(TransitionId t, PlaceId p, int multiplicity) {
+  check_transition(t);
+  check_place(p);
+  UPA_REQUIRE(multiplicity >= 1, "arc multiplicity must be positive");
+  transitions_[t].outputs.push_back({p, multiplicity});
+}
+
+void PetriNet::add_inhibitor_arc(TransitionId t, PlaceId p, int multiplicity) {
+  check_transition(t);
+  check_place(p);
+  UPA_REQUIRE(multiplicity >= 1, "inhibitor threshold must be positive");
+  transitions_[t].inhibitors.push_back({p, multiplicity});
+}
+
+const std::string& PetriNet::place_name(PlaceId p) const {
+  check_place(p);
+  return places_[p].name;
+}
+
+const std::string& PetriNet::transition_name(TransitionId t) const {
+  check_transition(t);
+  return transitions_[t].name;
+}
+
+TransitionKind PetriNet::transition_kind(TransitionId t) const {
+  check_transition(t);
+  return transitions_[t].kind;
+}
+
+Marking PetriNet::initial_marking() const {
+  Marking m(places_.size());
+  for (std::size_t p = 0; p < places_.size(); ++p) {
+    m[p] = places_[p].initial;
+  }
+  return m;
+}
+
+bool PetriNet::is_enabled(TransitionId t, const Marking& m) const {
+  check_transition(t);
+  UPA_REQUIRE(m.size() == places_.size(), "marking size mismatch");
+  const Transition& tr = transitions_[t];
+  for (const Arc& arc : tr.inputs) {
+    if (m[arc.place] < arc.multiplicity) return false;
+  }
+  for (const Arc& arc : tr.inhibitors) {
+    if (m[arc.place] >= arc.multiplicity) return false;
+  }
+  return true;
+}
+
+int PetriNet::enabling_degree(TransitionId t, const Marking& m) const {
+  if (!is_enabled(t, m)) return 0;
+  const Transition& tr = transitions_[t];
+  int degree = std::numeric_limits<int>::max();
+  for (const Arc& arc : tr.inputs) {
+    degree = std::min(degree, m[arc.place] / arc.multiplicity);
+  }
+  return tr.inputs.empty() ? 1 : degree;
+}
+
+double PetriNet::effective_rate(TransitionId t, const Marking& m) const {
+  UPA_REQUIRE(is_enabled(t, m),
+              "effective_rate on a disabled transition " +
+                  transitions_[t].name);
+  const Transition& tr = transitions_[t];
+  if (tr.kind == TransitionKind::kImmediate) return tr.rate_or_weight;
+  if (tr.semantics == ServerSemantics::kInfiniteServer) {
+    return tr.rate_or_weight * enabling_degree(t, m);
+  }
+  return tr.rate_or_weight;
+}
+
+Marking PetriNet::fire(TransitionId t, const Marking& m) const {
+  UPA_REQUIRE(is_enabled(t, m),
+              "firing a disabled transition " + transitions_[t].name);
+  Marking next = m;
+  const Transition& tr = transitions_[t];
+  for (const Arc& arc : tr.inputs) next[arc.place] -= arc.multiplicity;
+  for (const Arc& arc : tr.outputs) next[arc.place] += arc.multiplicity;
+  return next;
+}
+
+std::vector<TransitionId> PetriNet::eligible_transitions(
+    const Marking& m) const {
+  std::vector<TransitionId> timed;
+  std::vector<TransitionId> immediate;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (!is_enabled(t, m)) continue;
+    if (transitions_[t].kind == TransitionKind::kImmediate) {
+      immediate.push_back(t);
+    } else {
+      timed.push_back(t);
+    }
+  }
+  return immediate.empty() ? timed : immediate;
+}
+
+bool PetriNet::is_vanishing(const Marking& m) const {
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].kind == TransitionKind::kImmediate &&
+        is_enabled(t, m)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace upa::spn

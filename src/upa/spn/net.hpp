@@ -1,0 +1,108 @@
+#pragma once
+// Generalized stochastic Petri nets: places, timed (exponential) and
+// immediate transitions, input/output/inhibitor arcs. A GSPN gives a
+// second, structurally different specification of the paper's web-farm
+// failure/repair/coverage process; the reachability module converts it to
+// a CTMC so both routes must agree.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace upa::spn {
+
+/// A marking: token count per place, indexed by place id.
+using Marking = std::vector<int>;
+
+using PlaceId = std::size_t;
+using TransitionId = std::size_t;
+
+enum class TransitionKind { kTimed, kImmediate };
+
+/// Firing-rate semantics for timed transitions.
+enum class ServerSemantics {
+  kSingleServer,    ///< rate is constant while enabled
+  kInfiniteServer,  ///< rate scales with the enabling degree
+};
+
+/// A GSPN under construction; immutable once analysis starts (analysis
+/// functions take it by const&).
+class PetriNet {
+ public:
+  PlaceId add_place(std::string name, int initial_tokens = 0);
+
+  TransitionId add_timed_transition(
+      std::string name, double rate,
+      ServerSemantics semantics = ServerSemantics::kSingleServer);
+
+  /// Immediate transitions fire in zero time; among enabled immediates the
+  /// choice is probabilistic by weight.
+  TransitionId add_immediate_transition(std::string name, double weight = 1.0);
+
+  void add_input_arc(TransitionId t, PlaceId p, int multiplicity = 1);
+  void add_output_arc(TransitionId t, PlaceId p, int multiplicity = 1);
+  /// Inhibitor arc: transition disabled when the place holds at least
+  /// `multiplicity` tokens.
+  void add_inhibitor_arc(TransitionId t, PlaceId p, int multiplicity = 1);
+
+  [[nodiscard]] std::size_t place_count() const noexcept {
+    return places_.size();
+  }
+  [[nodiscard]] std::size_t transition_count() const noexcept {
+    return transitions_.size();
+  }
+  [[nodiscard]] const std::string& place_name(PlaceId p) const;
+  [[nodiscard]] const std::string& transition_name(TransitionId t) const;
+  [[nodiscard]] TransitionKind transition_kind(TransitionId t) const;
+
+  [[nodiscard]] Marking initial_marking() const;
+
+  [[nodiscard]] bool is_enabled(TransitionId t, const Marking& m) const;
+
+  /// Enabling degree: how many times t could fire back-to-back from m
+  /// (infinite-server semantics multiplies the rate by this).
+  [[nodiscard]] int enabling_degree(TransitionId t, const Marking& m) const;
+
+  /// Effective firing rate (timed) or weight (immediate) in marking m;
+  /// transition must be enabled.
+  [[nodiscard]] double effective_rate(TransitionId t, const Marking& m) const;
+
+  /// Marking after firing t from m (t must be enabled).
+  [[nodiscard]] Marking fire(TransitionId t, const Marking& m) const;
+
+  /// Transitions eligible to fire from m: when any immediate transition is
+  /// enabled, only immediates are returned (vanishing marking), otherwise
+  /// the enabled timed transitions.
+  [[nodiscard]] std::vector<TransitionId> eligible_transitions(
+      const Marking& m) const;
+
+  /// True when some enabled transition in m is immediate.
+  [[nodiscard]] bool is_vanishing(const Marking& m) const;
+
+ private:
+  struct Arc {
+    PlaceId place;
+    int multiplicity;
+  };
+  struct Transition {
+    std::string name;
+    TransitionKind kind;
+    double rate_or_weight;
+    ServerSemantics semantics;
+    std::vector<Arc> inputs;
+    std::vector<Arc> outputs;
+    std::vector<Arc> inhibitors;
+  };
+  struct Place {
+    std::string name;
+    int initial;
+  };
+
+  void check_place(PlaceId p) const;
+  void check_transition(TransitionId t) const;
+
+  std::vector<Place> places_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace upa::spn

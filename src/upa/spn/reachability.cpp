@@ -1,0 +1,57 @@
+#include "upa/spn/reachability.hpp"
+
+#include <deque>
+
+#include "upa/common/error.hpp"
+
+namespace upa::spn {
+
+std::size_t ReachabilityGraph::tangible_count() const {
+  std::size_t n = 0;
+  for (bool v : vanishing) {
+    if (!v) ++n;
+  }
+  return n;
+}
+
+ReachabilityGraph explore(const PetriNet& net,
+                          const ReachabilityOptions& options) {
+  ReachabilityGraph graph;
+  std::map<Marking, std::size_t> index_of;
+
+  const Marking initial = net.initial_marking();
+  graph.markings.push_back(initial);
+  graph.vanishing.push_back(net.is_vanishing(initial));
+  index_of.emplace(initial, 0);
+  graph.initial = 0;
+
+  std::deque<std::size_t> frontier{0};
+  while (!frontier.empty()) {
+    const std::size_t current = frontier.front();
+    frontier.pop_front();
+    const Marking marking = graph.markings[current];
+
+    for (TransitionId t : net.eligible_transitions(marking)) {
+      Marking next = net.fire(t, marking);
+      std::size_t next_index;
+      if (const auto it = index_of.find(next); it != index_of.end()) {
+        next_index = it->second;
+      } else {
+        UPA_REQUIRE(graph.markings.size() < options.max_markings,
+                    "reachability exploration exceeded max_markings; "
+                    "the net may be unbounded");
+        next_index = graph.markings.size();
+        graph.vanishing.push_back(net.is_vanishing(next));
+        graph.markings.push_back(std::move(next));
+        index_of.emplace(graph.markings.back(), next_index);
+        frontier.push_back(next_index);
+      }
+      graph.edges.push_back(
+          {current, next_index, t, net.effective_rate(t, marking),
+           net.transition_kind(t) == TransitionKind::kImmediate});
+    }
+  }
+  return graph;
+}
+
+}  // namespace upa::spn

@@ -1,0 +1,45 @@
+#pragma once
+// Reachability-graph generation for GSPNs: breadth-first exploration from
+// the initial marking, recording every (marking, transition, successor)
+// edge and classifying markings as tangible or vanishing.
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "upa/spn/net.hpp"
+
+namespace upa::spn {
+
+/// One edge of the reachability graph.
+struct ReachabilityEdge {
+  std::size_t from = 0;  ///< marking index
+  std::size_t to = 0;    ///< marking index
+  TransitionId transition = 0;
+  double rate_or_weight = 0.0;  ///< effective rate (timed) or weight
+  bool immediate = false;
+};
+
+/// The explored state space of a bounded GSPN.
+struct ReachabilityGraph {
+  std::vector<Marking> markings;
+  std::vector<bool> vanishing;  ///< per marking
+  std::vector<ReachabilityEdge> edges;
+  std::size_t initial = 0;
+
+  [[nodiscard]] std::size_t tangible_count() const;
+};
+
+/// Options bounding the exploration.
+struct ReachabilityOptions {
+  std::size_t max_markings = 200000;
+};
+
+/// Explores the state space; throws ModelError when the bound is exceeded
+/// (unbounded net or bound too small) or when a dead marking is reached
+/// that has no enabled transitions at all (the CTMC conversion treats such
+/// markings as absorbing, which steady-state analysis then rejects).
+[[nodiscard]] ReachabilityGraph explore(const PetriNet& net,
+                                        const ReachabilityOptions& options = {});
+
+}  // namespace upa::spn

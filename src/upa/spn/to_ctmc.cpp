@@ -1,0 +1,133 @@
+#include "upa/spn/to_ctmc.hpp"
+
+#include <map>
+#include <string>
+
+#include "upa/common/error.hpp"
+
+namespace upa::spn {
+namespace {
+
+/// Distribution over tangible marking indices (reachability indices).
+using TangibleDistribution = std::map<std::size_t, double>;
+
+class VanishingResolver {
+ public:
+  VanishingResolver(const ReachabilityGraph& graph)
+      : graph_(graph), out_edges_(graph.markings.size()) {
+    for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+      out_edges_[graph.edges[e].from].push_back(e);
+    }
+    memo_.resize(graph.markings.size());
+    state_.resize(graph.markings.size(), State::kUntouched);
+  }
+
+  /// Distribution over tangible markings eventually reached from `m`
+  /// through immediate firings only (identity when m is tangible).
+  const TangibleDistribution& resolve(std::size_t m) {
+    if (state_[m] == State::kDone) return memo_[m];
+    UPA_REQUIRE(state_[m] != State::kInProgress,
+                "cycle of vanishing markings (zero-time loop) at marking " +
+                    std::to_string(m));
+    state_[m] = State::kInProgress;
+
+    TangibleDistribution dist;
+    if (!graph_.vanishing[m]) {
+      dist[m] = 1.0;
+    } else {
+      double total_weight = 0.0;
+      for (std::size_t e : out_edges_[m]) {
+        total_weight += graph_.edges[e].rate_or_weight;
+      }
+      UPA_REQUIRE(total_weight > 0.0,
+                  "vanishing marking with no enabled immediate transition");
+      for (std::size_t e : out_edges_[m]) {
+        const double p = graph_.edges[e].rate_or_weight / total_weight;
+        for (const auto& [tangible, q] : resolve(graph_.edges[e].to)) {
+          dist[tangible] += p * q;
+        }
+      }
+    }
+    memo_[m] = std::move(dist);
+    state_[m] = State::kDone;
+    return memo_[m];
+  }
+
+ private:
+  enum class State { kUntouched, kInProgress, kDone };
+  const ReachabilityGraph& graph_;
+  std::vector<std::vector<std::size_t>> out_edges_;
+  std::vector<TangibleDistribution> memo_;
+  std::vector<State> state_;
+};
+
+}  // namespace
+
+TangibleChain to_ctmc(const PetriNet& net, const ReachabilityGraph& graph) {
+  // Index tangible markings as chain states.
+  std::vector<std::size_t> chain_state(graph.markings.size(), SIZE_MAX);
+  std::vector<Marking> tangible_markings;
+  for (std::size_t m = 0; m < graph.markings.size(); ++m) {
+    if (!graph.vanishing[m]) {
+      chain_state[m] = tangible_markings.size();
+      tangible_markings.push_back(graph.markings[m]);
+    }
+  }
+  UPA_REQUIRE(!tangible_markings.empty(), "net has no tangible markings");
+
+  VanishingResolver resolver(graph);
+  markov::Ctmc chain(tangible_markings.size());
+
+  // Label chain states by their markings for diagnostics.
+  for (std::size_t s = 0; s < tangible_markings.size(); ++s) {
+    std::string label = "(";
+    for (std::size_t p = 0; p < tangible_markings[s].size(); ++p) {
+      if (p != 0) label += ",";
+      label += std::to_string(tangible_markings[s][p]);
+    }
+    chain.set_label(s, label + ")");
+  }
+
+  // Accumulate rates (merging parallel transitions) before adding, so the
+  // chain sees one rate per (from, to) pair.
+  std::map<std::pair<std::size_t, std::size_t>, double> rates;
+  for (const ReachabilityEdge& edge : graph.edges) {
+    if (edge.immediate) continue;  // handled through the resolver
+    UPA_ASSERT(!graph.vanishing[edge.from]);
+    const std::size_t from = chain_state[edge.from];
+    for (const auto& [tangible, p] : resolver.resolve(edge.to)) {
+      const std::size_t to = chain_state[tangible];
+      if (to == from) continue;  // immediate path returned to the source
+      rates[{from, to}] += edge.rate_or_weight * p;
+    }
+  }
+  for (const auto& [pair, rate] : rates) {
+    chain.add_rate(pair.first, pair.second, rate);
+  }
+
+  (void)net;
+  return {std::move(chain), std::move(tangible_markings)};
+}
+
+double steady_state_probability(
+    const TangibleChain& tc, const std::function<bool(const Marking&)>& pred) {
+  UPA_REQUIRE(pred != nullptr, "predicate must be provided");
+  const linalg::Vector pi = tc.chain.steady_state();
+  double mass = 0.0;
+  for (std::size_t s = 0; s < tc.markings.size(); ++s) {
+    if (pred(tc.markings[s])) mass += pi[s];
+  }
+  return mass;
+}
+
+double expected_tokens(const TangibleChain& tc, PlaceId place) {
+  const linalg::Vector pi = tc.chain.steady_state();
+  double mean = 0.0;
+  for (std::size_t s = 0; s < tc.markings.size(); ++s) {
+    UPA_REQUIRE(place < tc.markings[s].size(), "place id out of range");
+    mean += pi[s] * tc.markings[s][place];
+  }
+  return mean;
+}
+
+}  // namespace upa::spn

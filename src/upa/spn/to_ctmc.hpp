@@ -1,0 +1,35 @@
+#pragma once
+// GSPN -> CTMC conversion: eliminates vanishing markings (zero sojourn
+// time) by redistributing their immediate-firing probabilities onto
+// tangible successors, then assembles the tangible-marking CTMC.
+
+#include <functional>
+#include <vector>
+
+#include "upa/markov/ctmc.hpp"
+#include "upa/spn/net.hpp"
+#include "upa/spn/reachability.hpp"
+
+namespace upa::spn {
+
+/// The CTMC over tangible markings plus the marking of each chain state.
+struct TangibleChain {
+  markov::Ctmc chain;
+  std::vector<Marking> markings;  ///< chain state -> marking
+};
+
+/// Converts an explored reachability graph to its tangible CTMC. Throws
+/// ModelError on cycles of vanishing markings (zero-time loops) and on
+/// nets whose initial tangible set is empty.
+[[nodiscard]] TangibleChain to_ctmc(const PetriNet& net,
+                                    const ReachabilityGraph& graph);
+
+/// Steady-state probability that the tangible marking satisfies a
+/// predicate (e.g. "place up has >= 1 token").
+[[nodiscard]] double steady_state_probability(
+    const TangibleChain& tc, const std::function<bool(const Marking&)>& pred);
+
+/// Steady-state expected token count of one place.
+[[nodiscard]] double expected_tokens(const TangibleChain& tc, PlaceId place);
+
+}  // namespace upa::spn

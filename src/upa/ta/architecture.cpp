@@ -1,0 +1,96 @@
+#include "upa/ta/architecture.hpp"
+
+#include <string>
+
+#include "upa/markov/ctmc.hpp"
+
+namespace upa::ta {
+namespace {
+
+using rbd::Block;
+
+/// N named replicas ("prefix#0".."#N-1") in parallel, with availability
+/// `a` each recorded into `params`.
+Block replicated(const std::string& prefix, std::size_t count, double a,
+                 rbd::ParamMap& params) {
+  std::vector<Block> replicas;
+  replicas.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string name = prefix + "#" + std::to_string(i);
+    params[name] = a;
+    replicas.push_back(Block::component(name));
+  }
+  return count == 1 ? replicas[0] : Block::parallel(std::move(replicas));
+}
+
+Block external_blocks(const TaParameters& p, rbd::ParamMap& params,
+                      std::vector<Block>& into) {
+  into.push_back(replicated("flight", p.n_flight, p.a_reservation, params));
+  into.push_back(replicated("hotel", p.n_hotel, p.a_reservation, params));
+  into.push_back(replicated("car", p.n_car, p.a_reservation, params));
+  return Block::series(into);
+}
+
+double web_host_availability(const TaParameters& p) {
+  return markov::two_state_steady_availability(p.lambda_web, p.mu_web);
+}
+
+}  // namespace
+
+ArchitectureRbd basic_architecture_rbd(const TaParameters& p) {
+  p.validate();
+  ArchitectureRbd arch{Block::component("net"), Block::component("net"), {}};
+  rbd::ParamMap& params = arch.availabilities;
+  params["net"] = p.a_net;
+  params["lan"] = p.a_lan;
+
+  std::vector<Block> internal;
+  internal.push_back(Block::component("net"));
+  internal.push_back(Block::component("lan"));
+  internal.push_back(replicated("ws", 1, web_host_availability(p), params));
+  internal.push_back(replicated("cas", 1, p.a_cas, params));
+  // Database host in series with its single disk.
+  params["cds#0"] = p.a_cds;
+  params["disk#0"] = p.a_disk;
+  internal.push_back(Block::series(
+      {Block::component("cds#0"), Block::component("disk#0")}));
+  arch.internal = Block::series(internal);
+
+  std::vector<Block> search = internal;
+  external_blocks(p, params, search);
+  arch.search_path = Block::series(std::move(search));
+  return arch;
+}
+
+ArchitectureRbd redundant_architecture_rbd(const TaParameters& p) {
+  p.validate();
+  ArchitectureRbd arch{Block::component("net"), Block::component("net"), {}};
+  rbd::ParamMap& params = arch.availabilities;
+  params["net"] = p.a_net;
+  params["lan"] = p.a_lan;
+
+  std::vector<Block> internal;
+  internal.push_back(Block::component("net"));
+  internal.push_back(Block::component("lan"));
+  internal.push_back(
+      replicated("ws", p.n_web, web_host_availability(p), params));
+  internal.push_back(replicated("cas", 2, p.a_cas, params));
+  // Two database hosts in parallel, two mirrored disks in parallel
+  // (shared storage, matching Table 4's factorized formula).
+  internal.push_back(replicated("cds", 2, p.a_cds, params));
+  internal.push_back(replicated("disk", 2, p.a_disk, params));
+  arch.internal = Block::series(internal);
+
+  std::vector<Block> search = internal;
+  external_blocks(p, params, search);
+  arch.search_path = Block::series(std::move(search));
+  return arch;
+}
+
+std::vector<rbd::ComponentImportance> resource_importance_ranking(
+    const ArchitectureRbd& architecture) {
+  return rbd::importance_ranking(architecture.search_path,
+                                 architecture.availabilities);
+}
+
+}  // namespace upa::ta

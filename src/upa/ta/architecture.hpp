@@ -1,0 +1,44 @@
+#pragma once
+// Explicit resource-level reliability block diagrams of the paper's two
+// architectures (Figures 7 and 8). These give a second, structural route
+// to the internal-service availabilities of Tables 4/5 (cross-checked in
+// tests) and enable component-importance analysis on the physical
+// resources ("which box should the TA provider upgrade first?").
+
+#include "upa/rbd/block.hpp"
+#include "upa/rbd/importance.hpp"
+#include "upa/ta/params.hpp"
+
+namespace upa::ta {
+
+/// Component names used in the architecture diagrams (keys of the
+/// ParamMap below): "net", "lan", "ws#i", "cas#i", "cds#i", "disk#i",
+/// "flight#i", "hotel#i", "car#i", "payment".
+struct ArchitectureRbd {
+  /// Full structure: every internal and external resource required for
+  /// the *Search* function (the paper's most resource-hungry function,
+  /// minus performance effects which RBDs cannot express).
+  rbd::Block search_path;
+  /// Internal infrastructure only: net, LAN, web farm, AS, DS.
+  rbd::Block internal;
+  /// Availability of every component, per the parameters.
+  rbd::ParamMap availabilities;
+};
+
+/// Builds the basic (Figure 7) diagram: one host per server, single
+/// disks, N_F/N_H/N_C external systems in parallel per trip item.
+[[nodiscard]] ArchitectureRbd basic_architecture_rbd(const TaParameters& p);
+
+/// Builds the redundant (Figure 8) diagram: N_W web servers in parallel,
+/// 2 application servers, 2 database servers with 2 mirrored disks.
+/// NOTE: web-server hosts appear with their steady availability
+/// mu/(mu+lambda); queueing losses are outside RBD semantics, so the
+/// web-farm block here reflects only hardware/software failures.
+[[nodiscard]] ArchitectureRbd redundant_architecture_rbd(
+    const TaParameters& p);
+
+/// Importance ranking of the physical resources for the Search path.
+[[nodiscard]] std::vector<rbd::ComponentImportance>
+resource_importance_ranking(const ArchitectureRbd& architecture);
+
+}  // namespace upa::ta

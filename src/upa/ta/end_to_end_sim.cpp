@@ -1,0 +1,232 @@
+#include "upa/ta/end_to_end_sim.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "upa/common/error.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/queueing/mmck.hpp"
+#include "upa/sim/trajectory.hpp"
+#include "upa/ta/services.hpp"
+
+namespace upa::ta {
+namespace {
+
+using sim::CtmcTrajectory;
+using sim::Xoshiro256;
+
+/// All resource trajectories of one replication.
+struct World {
+  CtmcTrajectory net;
+  CtmcTrajectory lan;
+  CtmcTrajectory farm;  // imperfect-coverage chain (states 0..N_W, y_i)
+  std::vector<CtmcTrajectory> as_hosts;
+  std::vector<CtmcTrajectory> ds_hosts;
+  std::vector<CtmcTrajectory> disks;
+  std::vector<CtmcTrajectory> flights;
+  std::vector<CtmcTrajectory> hotels;
+  std::vector<CtmcTrajectory> cars;
+  CtmcTrajectory payment;
+  std::size_t n_web = 0;
+};
+
+CtmcTrajectory black_box(double availability, double mu, double horizon,
+                         Xoshiro256& rng) {
+  return sim::sample_component_trajectory(
+      sim::failure_rate_for_availability(availability, mu), mu, horizon,
+      rng);
+}
+
+World sample_world(const TaParameters& p, const EndToEndOptions& o,
+                   Xoshiro256& rng) {
+  const double h = o.horizon_hours;
+  const double mu = o.black_box_repair_rate;
+  const core::WebFarmParams farm_params = web_farm_params(p);
+  const auto chain = core::imperfect_coverage_chain(farm_params);
+
+  auto replicate = [&](std::size_t count, double availability) {
+    std::vector<CtmcTrajectory> components;
+    components.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      components.push_back(black_box(availability, mu, h, rng));
+    }
+    return components;
+  };
+
+  const bool redundant = p.architecture == Architecture::kRedundant;
+  World world{
+      black_box(p.a_net, mu, h, rng),
+      black_box(p.a_lan, mu, h, rng),
+      CtmcTrajectory(chain.chain, /*all up*/ farm_params.servers, h, rng),
+      replicate(redundant ? 2 : 1, p.a_cas),
+      replicate(redundant ? 2 : 1, p.a_cds),
+      replicate(redundant ? 2 : 1, p.a_disk),
+      replicate(p.n_flight, p.a_reservation),
+      replicate(p.n_hotel, p.a_reservation),
+      replicate(p.n_car, p.a_reservation),
+      black_box(p.a_payment, mu, h, rng),
+      farm_params.servers,
+  };
+  return world;
+}
+
+bool any_up(const std::vector<CtmcTrajectory>& components, double t) {
+  for (const CtmcTrajectory& c : components) {
+    if (c.state_at(t) == 0) return true;  // two-state: 0 = up
+  }
+  return false;
+}
+
+/// Per-session cached randomness, matching eq. (10)'s semantics: the web
+/// service is available (or not) once per session -- A(WS) multiplies the
+/// whole scenario -- and Browse takes one execution path per session.
+struct SessionDraws {
+  double web;
+  double browse_branch;
+};
+
+class FunctionEvaluator {
+ public:
+  FunctionEvaluator(const World& world, const TaParameters& p)
+      : world_(world), p_(p) {
+    // 1 - p_K(i) per operational-server count.
+    serve_.assign(world.n_web + 1, 0.0);
+    for (std::size_t i = 1; i <= world.n_web; ++i) {
+      serve_[i] = 1.0 - queueing::mmck_loss_probability(p.alpha, p.nu, i,
+                                                        p.buffer);
+    }
+  }
+
+  [[nodiscard]] bool evaluate(TaFunction f, double t,
+                              const SessionDraws& draws) const {
+    if (world_.net.state_at(t) != 0 || world_.lan.state_at(t) != 0) {
+      return false;
+    }
+    // Web service: farm must be in an operational state i >= 1 and the
+    // request must clear the buffer.
+    const std::size_t farm_state = world_.farm.state_at(t);
+    if (farm_state == 0 || farm_state > world_.n_web) return false;  // y_i
+    if (draws.web >= serve_[farm_state]) return false;
+    const bool as_up = any_up(world_.as_hosts, t);
+    const bool ds_up = any_up(world_.ds_hosts, t) && any_up(world_.disks, t);
+    switch (f) {
+      case TaFunction::kHome:
+        return true;
+      case TaFunction::kBrowse: {
+        if (draws.browse_branch < p_.q23) return true;  // cache hit
+        if (!as_up) return false;
+        if (draws.browse_branch < p_.q23 + p_.q24 * p_.q45) return true;
+        return ds_up;
+      }
+      case TaFunction::kSearch:
+      case TaFunction::kBook:
+        return as_up && ds_up && any_up(world_.flights, t) &&
+               any_up(world_.hotels, t) && any_up(world_.cars, t);
+      case TaFunction::kPay:
+        return as_up && ds_up && world_.payment.state_at(t) == 0;
+    }
+    UPA_ASSERT(false);
+    return false;
+  }
+
+ private:
+  const World& world_;
+  const TaParameters& p_;
+  std::vector<double> serve_;
+};
+
+}  // namespace
+
+EndToEndResult simulate_end_to_end(UserClass uclass,
+                                   const TaParameters& params,
+                                   const EndToEndOptions& options) {
+  params.validate();
+  UPA_REQUIRE(options.horizon_hours > 0.0 && options.think_time_hours >= 0.0,
+              "horizon must be positive, think time non-negative");
+  UPA_REQUIRE(options.replications >= 2 &&
+                  options.sessions_per_replication > 0,
+              "need sessions and at least two replications");
+
+  const auto profile = fitted_session_graph(uclass);
+  const auto& transition = profile.transition_matrix();
+  const std::size_t exit_state = profile.exit_state();
+
+  Xoshiro256 master(options.seed);
+  std::vector<double> replication_availability;
+  double web_occupancy_sum = 0.0;
+  double duration_sum = 0.0;
+  std::uint64_t duration_count = 0;
+
+  for (std::size_t rep = 0; rep < options.replications; ++rep) {
+    Xoshiro256 rng = master.split();
+    const World world = sample_world(params, options, rng);
+    const FunctionEvaluator evaluator(world, params);
+
+    // Diagnostic: time-average web-service "serving probability".
+    {
+      std::vector<std::size_t> single(1);
+      double weighted = 0.0;
+      for (std::size_t i = 1; i <= world.n_web; ++i) {
+        single[0] = i;
+        weighted +=
+            world.farm.occupancy(single) *
+            (1.0 - queueing::mmck_loss_probability(params.alpha, params.nu,
+                                                   i, params.buffer));
+      }
+      web_occupancy_sum += weighted;
+    }
+
+    std::uint64_t successes = 0;
+    for (std::uint64_t s = 0; s < options.sessions_per_replication; ++s) {
+      // Uniform session start, with headroom so long sessions fit.
+      double t = rng.uniform01() * options.horizon_hours * 0.8;
+      SessionDraws draws{rng.uniform01(), rng.uniform01()};
+
+      std::size_t state = upa::profile::NodeIndex::kStart;
+      bool ok = true;
+      double start = t;
+      while (state != exit_state) {
+        // Next node.
+        double u = rng.uniform01();
+        std::size_t next = exit_state;
+        for (std::size_t c = 0; c < transition.cols(); ++c) {
+          const double pr = transition(state, c);
+          if (u < pr) {
+            next = c;
+            break;
+          }
+          u -= pr;
+        }
+        state = next;
+        if (state == exit_state) break;
+        if (options.think_time_hours > 0.0 &&
+            state != upa::profile::NodeIndex::kStart) {
+          t += -std::log(rng.uniform01_open_left()) *
+               options.think_time_hours;
+          UPA_REQUIRE(t < options.horizon_hours,
+                      "session ran past the horizon; shorten think time "
+                      "or lengthen the horizon");
+        }
+        const auto f = static_cast<TaFunction>(state - 1);
+        if (ok && !evaluator.evaluate(f, t, draws)) ok = false;
+      }
+      if (ok) ++successes;
+      duration_sum += t - start;
+      ++duration_count;
+    }
+    replication_availability.push_back(
+        static_cast<double>(successes) /
+        static_cast<double>(options.sessions_per_replication));
+  }
+
+  EndToEndResult result;
+  result.perceived_availability = sim::confidence_interval(
+      replication_availability, options.confidence_level);
+  result.observed_web_service_availability =
+      web_occupancy_sum / static_cast<double>(options.replications);
+  result.mean_session_duration_hours =
+      duration_sum / static_cast<double>(duration_count);
+  return result;
+}
+
+}  // namespace upa::ta

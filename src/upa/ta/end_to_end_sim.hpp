@@ -1,0 +1,49 @@
+#pragma once
+// End-to-end "measurement" of the travel agency: simulate the physical
+// resources (two-state components, the coverage-aware web farm) over a
+// long horizon, then run user sessions through the operational profile at
+// real timestamps with think times between function invocations.
+//
+// With instantaneous sessions this reproduces eq. (10) (every invocation
+// sees the same resource snapshot). With realistic think times the
+// invocations decorrelate, testing the paper's implicit frozen-state-per-
+// session assumption -- an experiment the analytic model cannot run.
+
+#include <cstdint>
+
+#include "upa/sim/stats.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace upa::ta {
+
+/// Controls for the end-to-end simulation. Time unit: hours.
+struct EndToEndOptions {
+  double horizon_hours = 50000.0;
+  /// Mean think time between consecutive function invocations within a
+  /// session (exponential); 0 = instantaneous sessions (eq. 10 regime).
+  double think_time_hours = 0.0;
+  /// Repair rate assumed for the black-box resources whose availability
+  /// (not dynamics) Table 7 specifies; their failure rate is derived as
+  /// mu (1 - A) / A.
+  double black_box_repair_rate = 1.0;
+  std::uint64_t sessions_per_replication = 40000;
+  std::size_t replications = 6;
+  std::uint64_t seed = 42;
+  double confidence_level = 0.95;
+};
+
+/// Results of the end-to-end measurement.
+struct EndToEndResult {
+  sim::ConfidenceInterval perceived_availability;
+  /// Observed time-average availability of the web farm trajectory
+  /// (diagnostic: should approach the analytic A(WS)).
+  double observed_web_service_availability = 0.0;
+  double mean_session_duration_hours = 0.0;
+};
+
+/// Runs the measurement for one user class under the given parameters.
+[[nodiscard]] EndToEndResult simulate_end_to_end(
+    UserClass uclass, const TaParameters& params,
+    const EndToEndOptions& options = {});
+
+}  // namespace upa::ta

@@ -1,0 +1,79 @@
+#include "upa/ta/functions.hpp"
+
+#include "upa/common/error.hpp"
+
+namespace upa::ta {
+
+std::string function_name(TaFunction f) {
+  switch (f) {
+    case TaFunction::kHome:
+      return "Home";
+    case TaFunction::kBrowse:
+      return "Browse";
+    case TaFunction::kSearch:
+      return "Search";
+    case TaFunction::kBook:
+      return "Book";
+    case TaFunction::kPay:
+      return "Pay";
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+double function_availability(TaFunction f, const ServiceAvailabilities& s,
+                             const TaParameters& p) {
+  const double front = s.net * s.lan * s.web;
+  switch (f) {
+    case TaFunction::kHome:
+      return front;
+    case TaFunction::kBrowse:
+      return front * (p.q23 + s.application * (p.q24 * p.q45 +
+                                               p.q24 * p.q47 * s.database));
+    case TaFunction::kSearch:
+    case TaFunction::kBook:
+      // Book succeeds whenever Search does (it uses a subset of the
+      // resources and is only reachable after a successful Search).
+      return front * s.application * s.database * s.flight * s.hotel * s.car;
+    case TaFunction::kPay:
+      return front * s.application * s.database * s.payment;
+  }
+  UPA_ASSERT(false);
+  return 0.0;
+}
+
+core::Expr function_expr(TaFunction f, const TaParameters& p) {
+  using core::Expr;
+  const Expr front = Expr::param("Anet") * Expr::param("ALAN") *
+                     Expr::param("AWS");
+  const Expr as = Expr::param("AAS");
+  const Expr ds = Expr::param("ADS");
+  switch (f) {
+    case TaFunction::kHome:
+      return front;
+    case TaFunction::kBrowse:
+      return front *
+             (Expr::constant(p.q23) +
+              as * (Expr::constant(p.q24 * p.q45) +
+                    Expr::constant(p.q24 * p.q47) * ds));
+    case TaFunction::kSearch:
+    case TaFunction::kBook:
+      return front * as * ds * Expr::param("AFlight") *
+             Expr::param("AHotel") * Expr::param("ACar");
+    case TaFunction::kPay:
+      return front * as * ds * Expr::param("APS");
+  }
+  UPA_ASSERT(false);
+  return Expr::constant(0.0);
+}
+
+core::Params service_params(const ServiceAvailabilities& s) {
+  return {
+      {"Anet", s.net},     {"ALAN", s.lan},       {"AWS", s.web},
+      {"AAS", s.application}, {"ADS", s.database},
+      {"AFlight", s.flight},  {"AHotel", s.hotel}, {"ACar", s.car},
+      {"APS", s.payment},
+  };
+}
+
+}  // namespace upa::ta

@@ -1,0 +1,36 @@
+#pragma once
+// Function-level availabilities (paper Table 6) in two forms: direct
+// numeric formulas and symbolic core::Expr equations over named service
+// parameters (for gradients / sensitivity reports).
+
+#include <array>
+#include <string>
+
+#include "upa/core/expr.hpp"
+#include "upa/ta/services.hpp"
+
+namespace upa::ta {
+
+/// The five user-visible functions of the travel agency.
+enum class TaFunction { kHome, kBrowse, kSearch, kBook, kPay };
+
+inline constexpr std::array<TaFunction, 5> kAllFunctions = {
+    TaFunction::kHome, TaFunction::kBrowse, TaFunction::kSearch,
+    TaFunction::kBook, TaFunction::kPay};
+
+[[nodiscard]] std::string function_name(TaFunction f);
+
+/// Table 6 numeric evaluation with the given service availabilities.
+[[nodiscard]] double function_availability(TaFunction f,
+                                           const ServiceAvailabilities& s,
+                                           const TaParameters& p);
+
+/// Symbolic Table 6 equation over parameters named
+/// "Anet","ALAN","AWS","AAS","ADS","AFlight","AHotel","ACar","APS"
+/// (branch probabilities are baked in as constants from `p`).
+[[nodiscard]] core::Expr function_expr(TaFunction f, const TaParameters& p);
+
+/// Parameter valuation matching function_expr's names.
+[[nodiscard]] core::Params service_params(const ServiceAvailabilities& s);
+
+}  // namespace upa::ta

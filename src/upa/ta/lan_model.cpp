@@ -1,0 +1,65 @@
+#include "upa/ta/lan_model.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::ta {
+namespace {
+
+void check(const LanComponentParams& p) {
+  UPA_REQUIRE(upa::common::is_probability(p.medium) &&
+                  upa::common::is_probability(p.tap),
+              "component availabilities must lie in [0, 1]");
+  UPA_REQUIRE(p.stations >= 2, "a LAN needs at least two stations");
+  UPA_REQUIRE(p.redundant_media >= 1, "need at least one medium");
+}
+
+}  // namespace
+
+double bus_lan_availability(const LanComponentParams& p) {
+  check(p);
+  const double media_group =
+      1.0 - std::pow(1.0 - p.medium, static_cast<double>(p.redundant_media));
+  return media_group * std::pow(p.tap, static_cast<double>(p.stations));
+}
+
+double ring_lan_availability(double link_availability,
+                             double adapter_availability,
+                             std::size_t stations) {
+  UPA_REQUIRE(upa::common::is_probability(link_availability) &&
+                  upa::common::is_probability(adapter_availability),
+              "availabilities must lie in [0, 1]");
+  UPA_REQUIRE(stations >= 2, "a ring needs at least two stations");
+  // All adapters up; links form an (n-1)-out-of-n:G group thanks to the
+  // wrap capability.
+  const double adapters =
+      std::pow(adapter_availability, static_cast<double>(stations));
+  const double links = upa::common::k_out_of_n(
+      static_cast<unsigned>(stations - 1), static_cast<unsigned>(stations),
+      link_availability);
+  return adapters * links;
+}
+
+rbd::Block bus_lan_rbd(const LanComponentParams& p,
+                       rbd::ParamMap& availabilities) {
+  check(p);
+  std::vector<rbd::Block> media;
+  for (std::size_t m = 0; m < p.redundant_media; ++m) {
+    const std::string name = "medium#" + std::to_string(m);
+    availabilities[name] = p.medium;
+    media.push_back(rbd::Block::component(name));
+  }
+  std::vector<rbd::Block> series;
+  series.push_back(rbd::Block::parallel(std::move(media)));
+  for (std::size_t t = 0; t < p.stations; ++t) {
+    const std::string name = "tap#" + std::to_string(t);
+    availabilities[name] = p.tap;
+    series.push_back(rbd::Block::component(name));
+  }
+  return rbd::Block::series(std::move(series));
+}
+
+}  // namespace upa::ta

@@ -1,0 +1,44 @@
+#pragma once
+// Resource-level LAN availability models. The paper treats A_LAN as a
+// given constant and points to hierarchical LAN models (Hariri/Mutlu
+// 1991; Kanoun/Powell 1991, the Delta-4 bus/ring study) for computing
+// it. This module provides those models so A_LAN can be *derived* from
+// component data instead of assumed:
+//
+//   bus topology : every station taps one shared medium; the network
+//                  serves the TA servers when the medium and all the
+//                  required taps are up. Redundant media are parallel.
+//   ring topology: stations are connected in a cycle of links; the ring
+//                  (with a wrap capability, as in FDDI/Delta-4) tolerates
+//                  any single link failure, i.e. it is up when at most
+//                  one link is down and all station adapters are up.
+
+#include <cstddef>
+
+#include "upa/rbd/block.hpp"
+
+namespace upa::ta {
+
+/// Component data for the LAN models.
+struct LanComponentParams {
+  double medium = 0.9999;   ///< availability of one bus medium / cable
+  double tap = 0.9995;      ///< availability of one bus tap / adapter
+  std::size_t stations = 4; ///< servers attached (web, app, db, gateway)
+  std::size_t redundant_media = 2;  ///< parallel buses (bus model)
+};
+
+/// Availability of a (possibly redundant) bus LAN: all station taps in
+/// series with the parallel media group.
+[[nodiscard]] double bus_lan_availability(const LanComponentParams& p);
+
+/// Availability of a single-wrap ring of `stations` links and adapters:
+/// all adapters up AND at most one link down.
+[[nodiscard]] double ring_lan_availability(double link_availability,
+                                           double adapter_availability,
+                                           std::size_t stations);
+
+/// The bus model as an explicit RBD (for cut sets / importance).
+[[nodiscard]] rbd::Block bus_lan_rbd(const LanComponentParams& p,
+                                     rbd::ParamMap& availabilities);
+
+}  // namespace upa::ta

@@ -1,0 +1,66 @@
+#include "upa/ta/model_builder.hpp"
+
+#include "upa/ta/services.hpp"
+
+namespace upa::ta {
+
+std::pair<core::ServiceCatalog, TaServiceIds> build_service_catalog(
+    const TaParameters& p) {
+  const ServiceAvailabilities s = compute_services(p);
+  core::ServiceCatalog catalog;
+  TaServiceIds ids;
+  ids.net = catalog.add("Internet access", s.net);
+  ids.lan = catalog.add("LAN", s.lan);
+  ids.web = catalog.add("Web service", s.web);
+  ids.application = catalog.add("Application service", s.application);
+  ids.database = catalog.add("Database service", s.database);
+  ids.flight = catalog.add("Flight reservation", s.flight);
+  ids.hotel = catalog.add("Hotel reservation", s.hotel);
+  ids.car = catalog.add("Car reservation", s.car);
+  ids.payment = catalog.add("Payment", s.payment);
+  return {std::move(catalog), ids};
+}
+
+std::vector<core::FunctionModel> build_function_models(const TaServiceIds& ids,
+                                                       const TaParameters& p) {
+  using core::ExecutionPath;
+  using core::FunctionModel;
+  const std::vector<core::ServiceId> front{ids.net, ids.lan, ids.web};
+
+  std::vector<core::FunctionModel> functions;
+  functions.push_back(FunctionModel::all_of("Home", front));
+
+  // Browse (Figure 3): cache hit (q23), application-only (q24*q45),
+  // application + database (q24*q47).
+  functions.push_back(FunctionModel(
+      "Browse",
+      {
+          ExecutionPath{p.q23, front},
+          ExecutionPath{p.q24 * p.q45,
+                        {ids.net, ids.lan, ids.web, ids.application}},
+          ExecutionPath{p.q24 * p.q47,
+                        {ids.net, ids.lan, ids.web, ids.application,
+                         ids.database}},
+      }));
+
+  const std::vector<core::ServiceId> search_services{
+      ids.net,    ids.lan,   ids.web, ids.application,
+      ids.database, ids.flight, ids.hotel, ids.car};
+  functions.push_back(FunctionModel::all_of("Search", search_services));
+  // Book uses a subset of Search's resources (paper Section 4.2).
+  functions.push_back(FunctionModel::all_of("Book", search_services));
+  functions.push_back(FunctionModel::all_of(
+      "Pay",
+      {ids.net, ids.lan, ids.web, ids.application, ids.database,
+       ids.payment}));
+  return functions;
+}
+
+core::UserLevelModel build_user_model(UserClass uc, const TaParameters& p) {
+  auto [catalog, ids] = build_service_catalog(p);
+  std::vector<core::FunctionModel> functions = build_function_models(ids, p);
+  return core::UserLevelModel(std::move(catalog), std::move(functions),
+                              scenario_table(uc));
+}
+
+}  // namespace upa::ta

@@ -1,0 +1,38 @@
+#pragma once
+// Assembles the full four-level hierarchical model of the travel agency:
+// resource level (web farm, redundancy) -> service catalog -> function
+// models (interaction diagrams, Figures 3-6) -> user-level scenario set
+// (Table 1). The result is a core::UserLevelModel whose
+// user_availability() reproduces eq. (10).
+
+#include "upa/core/hierarchy.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace upa::ta {
+
+/// Service ids within the TA catalog, in insertion order.
+struct TaServiceIds {
+  core::ServiceId net = 0;
+  core::ServiceId lan = 0;
+  core::ServiceId web = 0;
+  core::ServiceId application = 0;
+  core::ServiceId database = 0;
+  core::ServiceId flight = 0;
+  core::ServiceId hotel = 0;
+  core::ServiceId car = 0;
+  core::ServiceId payment = 0;
+};
+
+/// Builds the service catalog (availabilities from compute_services).
+[[nodiscard]] std::pair<core::ServiceCatalog, TaServiceIds>
+build_service_catalog(const TaParameters& p);
+
+/// Builds the five TA function models over a catalog's service ids.
+[[nodiscard]] std::vector<core::FunctionModel> build_function_models(
+    const TaServiceIds& ids, const TaParameters& p);
+
+/// The complete user-level model for a user class.
+[[nodiscard]] core::UserLevelModel build_user_model(UserClass uc,
+                                                    const TaParameters& p);
+
+}  // namespace upa::ta

@@ -1,0 +1,42 @@
+#include "upa/ta/params.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+
+namespace upa::ta {
+
+TaParameters TaParameters::with_reservation_systems(std::size_t n) const {
+  TaParameters p = *this;
+  p.n_flight = p.n_hotel = p.n_car = n;
+  return p;
+}
+
+void TaParameters::validate() const {
+  using upa::common::is_probability;
+  UPA_REQUIRE(is_probability(a_net) && is_probability(a_lan) &&
+                  is_probability(a_cas) && is_probability(a_cds) &&
+                  is_probability(a_disk) && is_probability(a_payment) &&
+                  is_probability(a_reservation),
+              "availabilities must lie in [0, 1]");
+  UPA_REQUIRE(n_flight >= 1 && n_hotel >= 1 && n_car >= 1,
+              "need at least one reservation system per trip item");
+  UPA_REQUIRE(n_web >= 1, "need at least one web server");
+  UPA_REQUIRE(lambda_web > 0.0 && mu_web > 0.0,
+              "web failure/repair rates must be positive");
+  UPA_REQUIRE(is_probability(coverage), "coverage must be a probability");
+  UPA_REQUIRE(beta > 0.0, "reconfiguration rate must be positive");
+  UPA_REQUIRE(alpha > 0.0 && nu > 0.0, "request rates must be positive");
+  UPA_REQUIRE(buffer >= n_web,
+              "buffer K must be at least the number of web servers");
+  UPA_REQUIRE(is_probability(q23) && is_probability(q24) &&
+                  is_probability(q45) && is_probability(q47),
+              "branch probabilities must lie in [0, 1]");
+  UPA_REQUIRE(std::abs(q23 + q24 - 1.0) <= 1e-9,
+              "q23 + q24 must equal 1 (web-server branch)");
+  UPA_REQUIRE(std::abs(q45 + q47 - 1.0) <= 1e-9,
+              "q45 + q47 must equal 1 (application-server branch)");
+}
+
+}  // namespace upa::ta

@@ -1,0 +1,72 @@
+#pragma once
+// Travel-agency model parameters. Defaults are exactly the paper's
+// Table 7 plus the rate assumptions of Section 5.1 (nu = 100/s,
+// mu = 1/h, beta = 12/h, K = 10, N_W = 4, c = 0.98, lambda = 1e-4/h,
+// alpha = 100/s).
+
+#include <cstddef>
+
+namespace upa::ta {
+
+/// Resource-level architecture of the internal services (Figures 7/8).
+enum class Architecture {
+  kBasic,      ///< one host per server, no redundancy (Figure 7)
+  kRedundant,  ///< web farm + duplicated AS/DS + mirrored disks (Figure 8)
+};
+
+/// Web-farm fault-coverage model (Figures 9/10).
+enum class CoverageModel {
+  kPerfect,
+  kImperfect,
+};
+
+/// All model parameters in one value type. Time units: failure/repair/
+/// reconfiguration rates are per hour; request arrival/service rates are
+/// per second (they only interact through dimensionless probabilities).
+struct TaParameters {
+  // --- resource-level availabilities (Table 7) ---
+  double a_net = 0.9966;   ///< TA connectivity to the Internet
+  double a_lan = 0.9966;   ///< internal LAN
+  double a_cas = 0.996;    ///< application-server host
+  double a_cds = 0.996;    ///< database-server host
+  double a_disk = 0.9;     ///< one database disk
+  double a_payment = 0.9;  ///< external payment system
+  double a_reservation = 0.9;  ///< one flight/hotel/car reservation system
+
+  // --- external-supplier replication (Table 8 sweep dimension) ---
+  std::size_t n_flight = 1;
+  std::size_t n_hotel = 1;
+  std::size_t n_car = 1;
+
+  // --- web farm (Figures 9-12) ---
+  std::size_t n_web = 4;     ///< N_W
+  double lambda_web = 1e-4;  ///< per-server failure rate [1/h]
+  double mu_web = 1.0;       ///< shared repair rate [1/h]
+  double coverage = 0.98;    ///< c
+  double beta = 12.0;        ///< manual reconfiguration rate [1/h]
+
+  // --- web request handling (M/M/i/K) ---
+  double alpha = 100.0;      ///< request arrival rate [1/s]
+  double nu = 100.0;         ///< per-server service rate [1/s]
+  std::size_t buffer = 10;   ///< K
+
+  // --- Browse interaction diagram branch probabilities (Figure 3) ---
+  double q23 = 0.2;  ///< answered from web-server cache
+  double q24 = 0.8;  ///< forwarded to the application server
+  double q45 = 0.4;  ///< answered without the database
+  double q47 = 0.6;  ///< requires the database
+
+  Architecture architecture = Architecture::kRedundant;
+  CoverageModel coverage_model = CoverageModel::kImperfect;
+
+  /// The paper's configuration (== default member values).
+  [[nodiscard]] static TaParameters paper_defaults() { return {}; }
+
+  /// Convenience: sets N_F = N_H = N_C = n (the Table 8 sweep).
+  [[nodiscard]] TaParameters with_reservation_systems(std::size_t n) const;
+
+  /// Throws ModelError when any parameter is out of its domain.
+  void validate() const;
+};
+
+}  // namespace upa::ta

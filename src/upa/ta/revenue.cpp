@@ -1,0 +1,27 @@
+#include "upa/ta/revenue.hpp"
+
+#include "upa/common/error.hpp"
+
+namespace upa::ta {
+
+RevenueLoss revenue_loss(UserClass uc, const TaParameters& p,
+                         const RevenueParams& biz) {
+  UPA_REQUIRE(biz.transactions_per_second > 0.0 &&
+                  biz.revenue_per_transaction >= 0.0,
+              "business parameters out of range");
+  const CategoryBreakdown breakdown = category_breakdown(uc, p);
+  const double ua_sc4 =
+      breakdown.unavailability.at(ScenarioCategory::kSC4);
+
+  RevenueLoss loss;
+  loss.pay_downtime_hours_per_year = ua_sc4 * 8760.0;
+  // The paper converts SC4 downtime directly into lost transactions at the
+  // overall transaction rate.
+  loss.lost_transactions_per_year = biz.transactions_per_second * 3600.0 *
+                                    loss.pay_downtime_hours_per_year;
+  loss.lost_revenue_per_year =
+      loss.lost_transactions_per_year * biz.revenue_per_transaction;
+  return loss;
+}
+
+}  // namespace upa::ta

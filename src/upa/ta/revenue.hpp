@@ -1,0 +1,25 @@
+#pragma once
+// Business-impact model (paper Section 5.2): transactions lost to
+// pay-scenario unavailability and the implied revenue loss.
+
+#include "upa/ta/user_availability.hpp"
+
+namespace upa::ta {
+
+/// Business parameters of the Section 5.2 example.
+struct RevenueParams {
+  double transactions_per_second = 100.0;
+  double revenue_per_transaction = 100.0;  ///< dollars
+};
+
+/// Annualized impact of SC4 (payment) unavailability.
+struct RevenueLoss {
+  double pay_downtime_hours_per_year = 0.0;  ///< UA(SC4) * 8760
+  double lost_transactions_per_year = 0.0;
+  double lost_revenue_per_year = 0.0;  ///< dollars
+};
+
+[[nodiscard]] RevenueLoss revenue_loss(UserClass uc, const TaParameters& p,
+                                       const RevenueParams& biz = {});
+
+}  // namespace upa::ta

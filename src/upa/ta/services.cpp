@@ -1,0 +1,86 @@
+#include "upa/ta/services.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::ta {
+
+double external_service_availability(double per_system, std::size_t systems) {
+  UPA_REQUIRE(systems >= 1, "need at least one system");
+  return 1.0 - std::pow(1.0 - per_system, static_cast<double>(systems));
+}
+
+double flight_availability(const TaParameters& p) {
+  return external_service_availability(p.a_reservation, p.n_flight);
+}
+
+double hotel_availability(const TaParameters& p) {
+  return external_service_availability(p.a_reservation, p.n_hotel);
+}
+
+double car_availability(const TaParameters& p) {
+  return external_service_availability(p.a_reservation, p.n_car);
+}
+
+double application_service_availability(const TaParameters& p) {
+  if (p.architecture == Architecture::kBasic) return p.a_cas;
+  const double q = 1.0 - p.a_cas;
+  return 1.0 - q * q;
+}
+
+double database_service_availability(const TaParameters& p) {
+  if (p.architecture == Architecture::kBasic) return p.a_cds * p.a_disk;
+  const double host_pair = 1.0 - (1.0 - p.a_cds) * (1.0 - p.a_cds);
+  const double disk_pair = 1.0 - (1.0 - p.a_disk) * (1.0 - p.a_disk);
+  return host_pair * disk_pair;
+}
+
+core::WebFarmParams web_farm_params(const TaParameters& p) {
+  core::WebFarmParams farm;
+  farm.servers = p.architecture == Architecture::kBasic ? 1 : p.n_web;
+  farm.failure_rate = p.lambda_web;
+  farm.repair_rate = p.mu_web;
+  farm.coverage = p.coverage;
+  farm.reconfiguration_rate = p.beta;
+  return farm;
+}
+
+core::WebQueueParams web_queue_params(const TaParameters& p) {
+  core::WebQueueParams queue;
+  queue.arrival_rate = p.alpha;
+  queue.service_rate = p.nu;
+  queue.buffer = p.buffer;
+  return queue;
+}
+
+double web_service_availability(const TaParameters& p) {
+  const core::WebFarmParams farm = web_farm_params(p);
+  const core::WebQueueParams queue = web_queue_params(p);
+  // The basic architecture has a single server, for which perfect and
+  // imperfect coverage coincide only when every failure leads to the
+  // same down state; eq. 2 of the paper uses the two-state model, i.e.
+  // the perfect-coverage chain with N_W = 1.
+  if (p.architecture == Architecture::kBasic ||
+      p.coverage_model == CoverageModel::kPerfect) {
+    return core::web_service_availability_perfect(farm, queue);
+  }
+  return core::web_service_availability_imperfect(farm, queue);
+}
+
+ServiceAvailabilities compute_services(const TaParameters& p) {
+  p.validate();
+  ServiceAvailabilities s;
+  s.net = p.a_net;
+  s.lan = p.a_lan;
+  s.web = web_service_availability(p);
+  s.application = application_service_availability(p);
+  s.database = database_service_availability(p);
+  s.flight = flight_availability(p);
+  s.hotel = hotel_availability(p);
+  s.car = car_availability(p);
+  s.payment = p.a_payment;
+  return s;
+}
+
+}  // namespace upa::ta

@@ -1,0 +1,55 @@
+#pragma once
+// Service-level availabilities of the travel agency (paper Tables 3-5).
+// External services are black boxes replicated N times; internal services
+// depend on the chosen architecture; the web service is the composite
+// performance-availability model from core/web_farm.
+
+#include "upa/core/web_farm.hpp"
+#include "upa/ta/params.hpp"
+
+namespace upa::ta {
+
+/// Availabilities of every service the functions consume.
+struct ServiceAvailabilities {
+  double net = 0.0;
+  double lan = 0.0;
+  double web = 0.0;
+  double application = 0.0;
+  double database = 0.0;
+  double flight = 0.0;
+  double hotel = 0.0;
+  double car = 0.0;
+  double payment = 0.0;
+};
+
+/// Table 3: A = 1 - (1 - a)^N for each external reservation service.
+[[nodiscard]] double external_service_availability(double per_system,
+                                                   std::size_t systems);
+
+[[nodiscard]] double flight_availability(const TaParameters& p);
+[[nodiscard]] double hotel_availability(const TaParameters& p);
+[[nodiscard]] double car_availability(const TaParameters& p);
+
+/// Table 4. Basic: A(C_AS); redundant: 1 - (1 - A(C_AS))^2. (The paper
+/// prints "1 - 2(1-A)", which is below a single component's availability;
+/// we implement the parallel-pair formula — see DESIGN.md.)
+[[nodiscard]] double application_service_availability(const TaParameters& p);
+
+/// Table 4. Basic: A(C_DS) A(Disk); redundant:
+/// [1-(1-A(C_DS))^2][1-(1-A(Disk))^2] (duplicated servers + mirrored
+/// disks).
+[[nodiscard]] double database_service_availability(const TaParameters& p);
+
+/// Table 5: web service availability for the configured architecture and
+/// coverage model. Basic architecture = one server (eq. 2); redundant =
+/// eq. 5 (perfect) or corrected eq. 9 (imperfect).
+[[nodiscard]] double web_service_availability(const TaParameters& p);
+
+/// Web farm / queue parameter adapters for the core models.
+[[nodiscard]] core::WebFarmParams web_farm_params(const TaParameters& p);
+[[nodiscard]] core::WebQueueParams web_queue_params(const TaParameters& p);
+
+/// Everything at once (one validated pass).
+[[nodiscard]] ServiceAvailabilities compute_services(const TaParameters& p);
+
+}  // namespace upa::ta

@@ -1,0 +1,60 @@
+#include "upa/ta/symbolic.hpp"
+
+#include "upa/common/error.hpp"
+#include "upa/ta/functions.hpp"
+#include "upa/ta/services.hpp"
+
+namespace upa::ta {
+
+core::Expr user_availability_expr(UserClass uc, const TaParameters& p) {
+  using core::Expr;
+  const profile::ScenarioSet table = scenario_table(uc);
+
+  // Accumulate the scenario masses exactly as user_availability_eq10.
+  double pi_home_only = 0.0;
+  double pi_browse = 0.0;
+  double pi_search_no_pay = 0.0;
+  double pi_pay = 0.0;
+  for (const profile::ScenarioClass& sc : table.scenarios()) {
+    switch (category_of(sc)) {
+      case ScenarioCategory::kSC1:
+        if (sc.functions.contains(function_index(TaFunction::kBrowse))) {
+          pi_browse += sc.probability;
+        } else {
+          pi_home_only += sc.probability;
+        }
+        break;
+      case ScenarioCategory::kSC2:
+      case ScenarioCategory::kSC3:
+        pi_search_no_pay += sc.probability;
+        break;
+      case ScenarioCategory::kSC4:
+        pi_pay += sc.probability;
+        break;
+    }
+  }
+
+  const Expr browse_bracket =
+      Expr::constant(p.q23) +
+      Expr::param("AAS") *
+          (Expr::constant(p.q24 * p.q45) +
+           Expr::constant(p.q24 * p.q47) * Expr::param("ADS"));
+  const Expr search_factor =
+      Expr::param("AAS") * Expr::param("ADS") * Expr::param("AFlight") *
+      Expr::param("AHotel") * Expr::param("ACar");
+
+  return Expr::param("Anet") * Expr::param("ALAN") * Expr::param("AWS") *
+         (Expr::constant(pi_home_only) +
+          Expr::constant(pi_browse) * browse_bracket +
+          search_factor * (Expr::constant(pi_search_no_pay) +
+                           Expr::constant(pi_pay) * Expr::param("APS")));
+}
+
+std::map<std::string, double> user_availability_gradient(
+    UserClass uc, const TaParameters& p) {
+  const core::Expr expr = user_availability_expr(uc, p);
+  const core::Params at = service_params(compute_services(p));
+  return core::gradient(expr, at);
+}
+
+}  // namespace upa::ta

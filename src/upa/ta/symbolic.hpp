@@ -1,0 +1,28 @@
+#pragma once
+// Symbolic form of the paper's eq. (10): the user-perceived availability
+// as a core::Expr over the nine named service availabilities. Evaluating
+// it reproduces user_availability_eq10; differentiating it yields the
+// exact first-order sensitivities behind the paper's remark that
+// "the availabilities of the LAN, the net and the web service are the
+// most influential ones".
+
+#include <map>
+#include <string>
+
+#include "upa/core/expr.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace upa::ta {
+
+/// eq. (10) as an expression over parameters
+/// "Anet","ALAN","AWS","AAS","ADS","AFlight","AHotel","ACar","APS"
+/// (scenario probabilities and q_ij baked in as constants).
+[[nodiscard]] core::Expr user_availability_expr(UserClass uc,
+                                                const TaParameters& p);
+
+/// Exact gradient of eq. (10) at the configured service availabilities:
+/// service parameter name -> dA(user)/dA(service).
+[[nodiscard]] std::map<std::string, double> user_availability_gradient(
+    UserClass uc, const TaParameters& p);
+
+}  // namespace upa::ta

@@ -1,0 +1,71 @@
+#include "upa/ta/user_availability.hpp"
+
+#include "upa/common/error.hpp"
+#include "upa/ta/model_builder.hpp"
+#include "upa/ta/services.hpp"
+
+namespace upa::ta {
+
+double user_availability_eq10(UserClass uc, const TaParameters& p) {
+  const ServiceAvailabilities s = compute_services(p);
+  const profile::ScenarioSet table = scenario_table(uc);
+
+  // Accumulate the per-category scenario masses of Table 1.
+  double pi_sc1_home_only = 0.0;   // pi_1
+  double pi_sc1_browse = 0.0;      // pi_2 + pi_3 (Browse invoked)
+  double pi_search_no_pay = 0.0;   // pi_4..pi_9
+  double pi_pay = 0.0;             // pi_10..pi_12
+  for (const profile::ScenarioClass& sc : table.scenarios()) {
+    switch (category_of(sc)) {
+      case ScenarioCategory::kSC1:
+        if (sc.functions.contains(function_index(TaFunction::kBrowse))) {
+          pi_sc1_browse += sc.probability;
+        } else {
+          pi_sc1_home_only += sc.probability;
+        }
+        break;
+      case ScenarioCategory::kSC2:
+      case ScenarioCategory::kSC3:
+        pi_search_no_pay += sc.probability;
+        break;
+      case ScenarioCategory::kSC4:
+        pi_pay += sc.probability;
+        break;
+    }
+  }
+
+  const double browse_bracket =
+      p.q23 + s.application * (p.q24 * p.q45 + p.q24 * p.q47 * s.database);
+  const double search_factor =
+      s.application * s.database * s.flight * s.hotel * s.car;
+  return s.net * s.lan * s.web *
+         (pi_sc1_home_only + pi_sc1_browse * browse_bracket +
+          search_factor * (pi_search_no_pay + pi_pay * s.payment));
+}
+
+double user_availability_hierarchical(UserClass uc, const TaParameters& p) {
+  return build_user_model(uc, p).user_availability();
+}
+
+CategoryBreakdown category_breakdown(UserClass uc, const TaParameters& p) {
+  const core::UserLevelModel model = build_user_model(uc, p);
+  const std::vector<double> contributions =
+      model.unavailability_contributions();
+  const auto& scenarios = model.scenarios().scenarios();
+  UPA_ASSERT(contributions.size() == scenarios.size());
+
+  CategoryBreakdown breakdown;
+  breakdown.unavailability = {
+      {ScenarioCategory::kSC1, 0.0},
+      {ScenarioCategory::kSC2, 0.0},
+      {ScenarioCategory::kSC3, 0.0},
+      {ScenarioCategory::kSC4, 0.0},
+  };
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    breakdown.unavailability[category_of(scenarios[i])] += contributions[i];
+    breakdown.total_unavailability += contributions[i];
+  }
+  return breakdown;
+}
+
+}  // namespace upa::ta

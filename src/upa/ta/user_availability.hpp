@@ -1,0 +1,34 @@
+#pragma once
+// User-level availability of the travel agency: the paper's eq. (10)
+// closed form, the hierarchical-model evaluation (which must agree), and
+// the Section 5.2 scenario-category breakdown behind Figure 13.
+
+#include <map>
+
+#include "upa/core/hierarchy.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace upa::ta {
+
+/// Paper eq. (10): closed-form user-perceived availability for a user
+/// class under the given parameters.
+[[nodiscard]] double user_availability_eq10(UserClass uc,
+                                            const TaParameters& p);
+
+/// The same measure evaluated through the generic four-level hierarchy
+/// (core::UserLevelModel) — service-sharing across functions handled by
+/// exact conditioning. Equals eq. (10) to floating-point accuracy; kept
+/// separate as a structural cross-check.
+[[nodiscard]] double user_availability_hierarchical(UserClass uc,
+                                                    const TaParameters& p);
+
+/// Per-category unavailability contributions UA(SC_i) (probability units;
+/// multiply by 8760 for hours/year) plus the total.
+struct CategoryBreakdown {
+  std::map<ScenarioCategory, double> unavailability;
+  double total_unavailability = 0.0;
+};
+[[nodiscard]] CategoryBreakdown category_breakdown(UserClass uc,
+                                                   const TaParameters& p);
+
+}  // namespace upa::ta

@@ -1,0 +1,160 @@
+#include "upa/ta/user_classes.hpp"
+
+#include <array>
+
+#include "upa/common/error.hpp"
+#include "upa/profile/session_graph.hpp"
+
+namespace upa::ta {
+namespace {
+
+constexpr std::size_t kHome = 0;
+constexpr std::size_t kBrowse = 1;
+constexpr std::size_t kSearch = 2;
+constexpr std::size_t kBook = 3;
+constexpr std::size_t kPay = 4;
+
+/// Table 1 probabilities (percent), scenario order 1..12.
+constexpr std::array<double, 12> kClassA = {10.0, 26.7, 11.3, 18.4, 12.2, 7.6,
+                                            3.0,  2.0,  1.3,  3.6,  2.4,  1.5};
+constexpr std::array<double, 12> kClassB = {10.0, 6.6, 4.2, 13.9, 20.4, 9.7,
+                                            4.7,  6.9, 3.3, 6.4,  9.4,  4.5};
+
+const std::array<double, 12>& table_of(UserClass uc) {
+  return uc == UserClass::kA ? kClassA : kClassB;
+}
+
+}  // namespace
+
+std::string user_class_name(UserClass uc) {
+  return uc == UserClass::kA ? "class A" : "class B";
+}
+
+std::size_t function_index(TaFunction f) {
+  return static_cast<std::size_t>(f);
+}
+
+std::string category_name(ScenarioCategory c) {
+  switch (c) {
+    case ScenarioCategory::kSC1:
+      return "SC1 (Home/Browse only)";
+    case ScenarioCategory::kSC2:
+      return "SC2 (Search, no Book)";
+    case ScenarioCategory::kSC3:
+      return "SC3 (Book, no Pay)";
+    case ScenarioCategory::kSC4:
+      return "SC4 (Pay)";
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+ScenarioCategory category_of(const profile::ScenarioClass& scenario) {
+  if (scenario.functions.contains(kPay)) return ScenarioCategory::kSC4;
+  if (scenario.functions.contains(kBook)) return ScenarioCategory::kSC3;
+  if (scenario.functions.contains(kSearch)) return ScenarioCategory::kSC2;
+  return ScenarioCategory::kSC1;
+}
+
+profile::ScenarioSet scenario_table(UserClass uc) {
+  const auto& pi = table_of(uc);
+  profile::ScenarioSet set({"Home", "Browse", "Search", "Book", "Pay"});
+
+  using S = std::set<std::size_t>;
+  struct Row {
+    const char* label;
+    S functions;
+  };
+  const std::array<Row, 12> rows = {{
+      {"St-Ho-Ex", {kHome}},
+      {"St-Br-Ex", {kBrowse}},
+      {"St-{Ho-Br}*-Ex", {kHome, kBrowse}},
+      {"St-Ho-Se-Ex", {kHome, kSearch}},
+      {"St-Br-Se-Ex", {kBrowse, kSearch}},
+      {"St-{Ho-Br}*-Se-Ex", {kHome, kBrowse, kSearch}},
+      {"St-Ho-{Se-Bo}*-Ex", {kHome, kSearch, kBook}},
+      {"St-Br-{Se-Bo}*-Ex", {kBrowse, kSearch, kBook}},
+      {"St-{Ho-Br}*-{Se-Bo}*-Ex", {kHome, kBrowse, kSearch, kBook}},
+      {"St-Ho-{Se-Bo}*-Pa-Ex", {kHome, kSearch, kBook, kPay}},
+      {"St-Br-{Se-Bo}*-Pa-Ex", {kBrowse, kSearch, kBook, kPay}},
+      {"St-{Ho-Br}*-{Se-Bo}*-Pa-Ex",
+       {kHome, kBrowse, kSearch, kBook, kPay}},
+  }};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    set.add(rows[i].label, rows[i].functions, pi[i] / 100.0);
+  }
+  set.validate_complete(1e-9);
+  return set;
+}
+
+profile::OperationalProfile fitted_session_graph(UserClass uc,
+                                                 double start_home,
+                                                 double book_back_to_search) {
+  UPA_REQUIRE(start_home > 0.0 && start_home < 1.0,
+              "start_home must lie strictly inside (0, 1)");
+  UPA_REQUIRE(book_back_to_search >= 0.0 && book_back_to_search < 1.0,
+              "book_back_to_search must lie in [0, 1)");
+  const auto& pi = table_of(uc);
+  auto pct = [&](int i) { return pi[static_cast<std::size_t>(i - 1)] / 100.0; };
+
+  // Closed-form identification (see DESIGN.md): the 12 scenario classes
+  // factor into a browsing part (which of Home/Browse is visited) and a
+  // transaction part (how deep the Search-Book-Pay funnel goes), so the
+  // p_ij are recovered from marginal ratios.
+  const double u = start_home;
+  const double ho_only = pct(1) + pct(4) + pct(7) + pct(10);
+  const double br_only = pct(2) + pct(5) + pct(8) + pct(11);
+  // Home row: split exit vs search by pi_1 : (pi_4 + pi_7 + pi_10).
+  const double eh_plus_sh = ho_only / u;
+  UPA_REQUIRE(eh_plus_sh < 1.0 + 1e-9,
+              "start_home too small for this profile");
+  const double e_h = eh_plus_sh * pct(1) / ho_only;
+  const double s_h = eh_plus_sh - e_h;
+  const double t_h = 1.0 - eh_plus_sh;
+  // Browse row, analogously.
+  const double eb_plus_sb = br_only / (1.0 - u);
+  UPA_REQUIRE(eb_plus_sb < 1.0 + 1e-9,
+              "start_home too large for this profile");
+  const double e_b = eb_plus_sb * pct(2) / br_only;
+  const double s_b = eb_plus_sb - e_b;
+  const double t_b = 1.0 - eb_plus_sb;
+
+  // Transaction funnel: given Search is reached, exit directly with x_e,
+  // book with x_b; from Book, return to Search (r), pay (p_p) or exit.
+  const double reach_search = pct(4) + pct(5) + pct(6) + pct(7) + pct(8) +
+                              pct(9) + pct(10) + pct(11) + pct(12);
+  const double q_none =
+      (pct(4) + pct(5) + pct(6)) / reach_search;  // Search only
+  const double q_pay = (pct(10) + pct(11) + pct(12)) / reach_search;
+  const double x_e = q_none;
+  const double x_b = 1.0 - x_e;
+  const double r = book_back_to_search;
+  const double p_p = q_pay * (1.0 - x_b * r) / x_b;
+  const double b_e = 1.0 - r - p_p;
+  UPA_REQUIRE(p_p >= 0.0 && b_e >= -1e-9,
+              "book_back_to_search too large for this profile");
+
+  profile::SessionGraphBuilder builder;
+  builder.add_function("Home")
+      .add_function("Browse")
+      .add_function("Search")
+      .add_function("Book")
+      .add_function("Pay");
+  builder.transition("Start", "Home", u)
+      .transition("Start", "Browse", 1.0 - u)
+      .transition("Home", "Exit", e_h)
+      .transition("Home", "Search", s_h)
+      .transition("Home", "Browse", t_h)
+      .transition("Browse", "Exit", e_b)
+      .transition("Browse", "Search", s_b)
+      .transition("Browse", "Home", t_b)
+      .transition("Search", "Exit", x_e)
+      .transition("Search", "Book", x_b)
+      .transition("Book", "Pay", p_p)
+      .transition("Book", "Exit", std::max(b_e, 0.0))
+      .transition("Pay", "Exit", 1.0);
+  if (r > 0.0) builder.transition("Book", "Search", r);
+  return builder.build();
+}
+
+}  // namespace upa::ta

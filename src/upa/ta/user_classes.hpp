@@ -1,0 +1,52 @@
+#pragma once
+// User operational profiles (paper Table 1): the twelve scenario classes
+// and their activation probabilities for customer classes A (browsers)
+// and B (buyers), plus the reconstruction of a full p_ij session graph
+// whose exact visited-set analysis reproduces Table 1.
+
+#include "upa/profile/operational_profile.hpp"
+#include "upa/profile/scenario.hpp"
+#include "upa/ta/functions.hpp"
+
+namespace upa::ta {
+
+/// The two customer profiles of Table 1.
+enum class UserClass { kA, kB };
+
+[[nodiscard]] std::string user_class_name(UserClass uc);
+
+/// Function indices within TA scenario sets (Home=0 ... Pay=4), matching
+/// TaFunction order.
+[[nodiscard]] std::size_t function_index(TaFunction f);
+
+/// The scenario-category grouping of Section 5.2.
+enum class ScenarioCategory {
+  kSC1,  ///< Home/Browse only (scenarios 1-3)
+  kSC2,  ///< reaches Search but not Book (scenarios 4-6)
+  kSC3,  ///< reaches Book but not Pay (scenarios 7-9)
+  kSC4,  ///< reaches Pay (scenarios 10-12)
+};
+
+[[nodiscard]] std::string category_name(ScenarioCategory c);
+
+/// Category of a scenario class by the functions it invokes.
+[[nodiscard]] ScenarioCategory category_of(
+    const profile::ScenarioClass& scenario);
+
+/// Table 1 as data: twelve scenario classes with the paper's labels and
+/// probabilities (percent values divided by 100; they sum to 1).
+[[nodiscard]] profile::ScenarioSet scenario_table(UserClass uc);
+
+/// Reconstructs a full operational-profile graph (Figure 2 shape: Start ->
+/// {Home, Browse}; Home <-> Browse; {Home, Browse} -> Search; Search <->
+/// Book; Book -> Pay -> Exit; exits from Home/Browse/Search/Book) whose
+/// p_ij are fitted in closed form to the Table 1 probabilities.
+/// `book_back_to_search` = P(Book -> Search) is not identified by Table 1
+/// (it only moves mass within the {Se-Bo}* cycle classes) and may be
+/// chosen freely in [0, 1). `start_home` = P(Start -> Home) is *almost*
+/// free: Table 1's cycle-exit/cycle-search split pins it near 0.5, the
+/// default. The fit is exact up to Table 1's rounding.
+[[nodiscard]] profile::OperationalProfile fitted_session_graph(
+    UserClass uc, double start_home = 0.5, double book_back_to_search = 0.2);
+
+}  // namespace upa::ta

@@ -1,0 +1,184 @@
+// API-coverage tests: exercises corners of the public interfaces that the
+// thematic suites do not reach (error paths, small helpers, defaults).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "upa/common/csv.hpp"
+#include "upa/common/error.hpp"
+#include "upa/common/table.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/markov/transient.hpp"
+#include "upa/queueing/erlang.hpp"
+#include "upa/rbd/block.hpp"
+#include "upa/sim/distributions.hpp"
+#include "upa/sim/engine.hpp"
+#include "upa/sim/session_sim.hpp"
+#include "upa/ta/revenue.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/user_classes.hpp"
+
+using upa::common::ModelError;
+
+TEST(ApiCoverage, CsvWriteFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "upa_csv_test.csv").string();
+  upa::common::CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  csv.write_file(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(ApiCoverage, CsvWriteFileFailsOnBadPath) {
+  upa::common::CsvWriter csv({"x"});
+  EXPECT_THROW(csv.write_file("/nonexistent-dir/x/y.csv"), ModelError);
+}
+
+TEST(ApiCoverage, TableAlignmentOutOfRange) {
+  upa::common::Table t({"a"});
+  EXPECT_THROW(t.set_align(5, upa::common::Align::kLeft), ModelError);
+}
+
+TEST(ApiCoverage, ErlangBRejectsBadInput) {
+  EXPECT_THROW((void)upa::queueing::erlang_b(-1.0, 2), ModelError);
+  EXPECT_THROW((void)upa::queueing::erlang_b(1.0, 0), ModelError);
+}
+
+TEST(ApiCoverage, RbdAvailabilityGivenPinsComponent) {
+  const auto block = upa::rbd::Block::series(
+      {upa::rbd::Block::component("a"), upa::rbd::Block::component("b")});
+  const upa::rbd::ParamMap params{{"a", 0.9}, {"b", 0.8}};
+  EXPECT_NEAR(upa::rbd::availability_given(block, params, "a", true), 0.8,
+              1e-15);
+  EXPECT_NEAR(upa::rbd::availability_given(block, params, "a", false), 0.0,
+              1e-15);
+}
+
+TEST(ApiCoverage, ReplicatedSingleIsJustOneComponent) {
+  const auto block = upa::rbd::Block::replicated("x", 1);
+  EXPECT_NEAR(upa::rbd::availability(block, {{"x#0", 0.7}}), 0.7, 1e-15);
+}
+
+TEST(ApiCoverage, EngineCancelAfterFire) {
+  upa::sim::Engine engine;
+  const auto id = engine.schedule_at(1.0, [] {});
+  engine.run_all();
+  EXPECT_FALSE(engine.cancel(id));
+  EXPECT_EQ(engine.pending_count(), 0u);
+}
+
+TEST(ApiCoverage, EngineRejectsNullHandler) {
+  upa::sim::Engine engine;
+  EXPECT_THROW((void)engine.schedule_at(1.0, nullptr), ModelError);
+}
+
+TEST(ApiCoverage, LogNormalMedianMatchesMu) {
+  upa::sim::Xoshiro256 rng(42);
+  const upa::sim::Distribution d = upa::sim::LogNormal{1.0, 0.25};
+  int below = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (upa::sim::sample(d, rng) < std::exp(1.0)) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(ApiCoverage, SessionSimValidatesInputs) {
+  upa::linalg::Matrix p(3, 3);
+  p(0, 1) = 1.0;
+  p(1, 2) = 1.0;
+  p(2, 2) = 1.0;
+  const auto world = [](upa::sim::Xoshiro256&) {
+    return std::vector<double>(3, 1.0);
+  };
+  upa::sim::SessionSimOptions options;
+  options.sessions = 10;
+  options.replications = 2;
+  EXPECT_THROW((void)upa::sim::simulate_sessions(p, 0, 0, world, options),
+               ModelError);  // start == exit
+  EXPECT_THROW((void)upa::sim::simulate_sessions(p, 0, 2, nullptr, options),
+               ModelError);
+  EXPECT_NO_THROW(
+      (void)upa::sim::simulate_sessions(p, 0, 2, world, options));
+}
+
+TEST(ApiCoverage, TransientRejectsNegativeTime) {
+  const auto chain = upa::markov::two_state_availability(1.0, 1.0);
+  EXPECT_THROW(
+      (void)upa::markov::transient_distribution(chain, {1.0, 0.0}, -1.0),
+      ModelError);
+  EXPECT_THROW((void)upa::markov::interval_availability(chain, {1.0, 0.0},
+                                                        0.0, {0}),
+               ModelError);
+}
+
+TEST(ApiCoverage, BasicArchitectureIgnoresCoverageModel) {
+  // The basic architecture has one server; its availability follows the
+  // two-state model regardless of the coverage setting.
+  auto imperfect = upa::ta::TaParameters::paper_defaults();
+  imperfect.architecture = upa::ta::Architecture::kBasic;
+  imperfect.coverage_model = upa::ta::CoverageModel::kImperfect;
+  auto perfect = imperfect;
+  perfect.coverage_model = upa::ta::CoverageModel::kPerfect;
+  EXPECT_NEAR(upa::ta::web_service_availability(imperfect),
+              upa::ta::web_service_availability(perfect), 1e-15);
+}
+
+TEST(ApiCoverage, FittedGraphRejectsBadFreeParameters) {
+  EXPECT_THROW(
+      (void)upa::ta::fitted_session_graph(upa::ta::UserClass::kA, 0.0, 0.2),
+      ModelError);
+  EXPECT_THROW(
+      (void)upa::ta::fitted_session_graph(upa::ta::UserClass::kA, 1.0, 0.2),
+      ModelError);
+  EXPECT_THROW(
+      (void)upa::ta::fitted_session_graph(upa::ta::UserClass::kA, 0.5, 0.99),
+      ModelError);
+}
+
+TEST(ApiCoverage, RevenueRejectsBadBusinessParams) {
+  upa::ta::RevenueParams biz;
+  biz.transactions_per_second = 0.0;
+  EXPECT_THROW((void)upa::ta::revenue_loss(
+                   upa::ta::UserClass::kA,
+                   upa::ta::TaParameters::paper_defaults(), biz),
+               ModelError);
+}
+
+TEST(ApiCoverage, ImperfectDistributionNormalizesAcrossParams) {
+  for (std::size_t n : {1u, 3u, 8u}) {
+    for (double c : {0.0, 0.5, 0.98, 1.0}) {
+      upa::core::WebFarmParams farm{n, 1e-3, 1.0, c, 12.0};
+      const auto dist = upa::core::imperfect_coverage_distribution(farm);
+      double sum = 0.0;
+      for (double p : dist.operational) sum += p;
+      for (double p : dist.manual) sum += p;
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "n=" << n << " c=" << c;
+    }
+  }
+}
+
+TEST(ApiCoverage, ImperfectChainLabelsAreMeaningful) {
+  upa::core::WebFarmParams farm{2, 1e-3, 1.0, 0.9, 12.0};
+  const auto chain = upa::core::imperfect_coverage_chain(farm);
+  EXPECT_EQ(chain.chain.label(chain.operational_state(2)), "2up");
+  EXPECT_EQ(chain.chain.label(chain.manual_state(1)), "y1");
+}
+
+TEST(ApiCoverage, UserClassNames) {
+  EXPECT_EQ(upa::ta::user_class_name(upa::ta::UserClass::kA), "class A");
+  EXPECT_EQ(upa::ta::category_name(upa::ta::ScenarioCategory::kSC4),
+            "SC4 (Pay)");
+  EXPECT_EQ(upa::ta::function_name(upa::ta::TaFunction::kBrowse), "Browse");
+}

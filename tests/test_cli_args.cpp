@@ -1,0 +1,71 @@
+// Tests for the CLI argument parser used by tools/upa_cli.
+
+#include <gtest/gtest.h>
+
+#include "upa/cli/args.hpp"
+#include "upa/common/error.hpp"
+
+using upa::cli::Args;
+using upa::common::ModelError;
+
+TEST(CliArgs, CommandAndOptions) {
+  const Args args({"user", "--class", "B", "--n", "5"});
+  EXPECT_EQ(args.command(), "user");
+  EXPECT_EQ(args.get("class", "A"), "B");
+  EXPECT_EQ(args.get_size("n", 1), 5u);
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const Args args({"farm"});
+  EXPECT_EQ(args.get("class", "A"), "A");
+  EXPECT_DOUBLE_EQ(args.get_double("lambda", 1e-4), 1e-4);
+  EXPECT_FALSE(args.has("basic"));
+}
+
+TEST(CliArgs, BooleanFlags) {
+  const Args args({"user", "--basic", "--n", "3", "--perfect"});
+  EXPECT_TRUE(args.has("basic"));
+  EXPECT_TRUE(args.has("perfect"));
+  EXPECT_EQ(args.get_size("n", 1), 3u);
+}
+
+TEST(CliArgs, NoCommandOnlyOptions) {
+  const Args args({"--x", "1"});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 1.0);
+}
+
+TEST(CliArgs, ScientificNumbers) {
+  const Args args({"farm", "--lambda", "1e-3"});
+  EXPECT_DOUBLE_EQ(args.get_double("lambda", 0.0), 1e-3);
+}
+
+TEST(CliArgs, RejectsNonNumeric) {
+  const Args args({"farm", "--lambda", "fast"});
+  EXPECT_THROW((void)args.get_double("lambda", 0.0), ModelError);
+}
+
+TEST(CliArgs, RejectsNonIntegerSize) {
+  const Args args({"farm", "--nw", "2.5"});
+  EXPECT_THROW((void)args.get_size("nw", 1), ModelError);
+}
+
+TEST(CliArgs, RejectsDuplicatesAndStray) {
+  EXPECT_THROW(Args({"x", "--a", "1", "--a", "2"}), ModelError);
+  EXPECT_THROW(Args({"cmd", "stray"}), ModelError);
+}
+
+TEST(CliArgs, UnusedDetection) {
+  const Args args({"user", "--class", "B", "--typo", "1"});
+  (void)args.get("class", "A");
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CliArgs, ArgvConstructor) {
+  const char* argv[] = {"prog", "design", "--target-minutes", "10"};
+  const Args args(4, argv);
+  EXPECT_EQ(args.command(), "design");
+  EXPECT_DOUBLE_EQ(args.get_double("target-minutes", 5.0), 10.0);
+}

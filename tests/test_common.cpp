@@ -1,0 +1,165 @@
+// Unit tests for upa::common: numeric helpers, table/CSV rendering, and
+// the error-reporting contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "upa/common/csv.hpp"
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+#include "upa/common/table.hpp"
+
+namespace uc = upa::common;
+
+TEST(Numeric, CloseHandlesRelativeAndAbsolute) {
+  EXPECT_TRUE(uc::close(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(uc::close(1e9, 1e9 * (1 + 1e-10)));
+  EXPECT_FALSE(uc::close(1.0, 1.001));
+  EXPECT_FALSE(uc::close(0.0, 1e-9));
+  EXPECT_TRUE(uc::close(0.0, 1e-13));
+}
+
+TEST(Numeric, IsProbabilityBoundaries) {
+  EXPECT_TRUE(uc::is_probability(0.0));
+  EXPECT_TRUE(uc::is_probability(1.0));
+  EXPECT_TRUE(uc::is_probability(0.5));
+  EXPECT_TRUE(uc::is_probability(-1e-12));   // round-off tolerated
+  EXPECT_TRUE(uc::is_probability(1.0 + 1e-12));
+  EXPECT_FALSE(uc::is_probability(-0.01));
+  EXPECT_FALSE(uc::is_probability(1.01));
+  EXPECT_FALSE(uc::is_probability(std::nan("")));
+}
+
+TEST(Numeric, ClampProbabilityClampsRoundoff) {
+  EXPECT_EQ(uc::clamp_probability(-1e-12), 0.0);
+  EXPECT_EQ(uc::clamp_probability(1.0 + 1e-12), 1.0);
+  EXPECT_DOUBLE_EQ(uc::clamp_probability(0.25), 0.25);
+}
+
+TEST(Numeric, ClampProbabilityRejectsOutOfRange) {
+  EXPECT_THROW((void)uc::clamp_probability(1.5), uc::ModelError);
+  EXPECT_THROW((void)uc::clamp_probability(-0.5), uc::ModelError);
+}
+
+TEST(Numeric, KahanSumBeatsNaiveOnSmallAddends) {
+  std::vector<double> values{1e16};
+  for (int i = 0; i < 10; ++i) values.push_back(1.0);
+  const double kahan = uc::kahan_sum(values);
+  EXPECT_DOUBLE_EQ(kahan, 1e16 + 10.0);
+}
+
+TEST(Numeric, FactorialMatchesKnownValues) {
+  EXPECT_DOUBLE_EQ(uc::factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(uc::factorial(1), 1.0);
+  EXPECT_DOUBLE_EQ(uc::factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(uc::factorial(10), 3628800.0);
+  EXPECT_THROW((void)uc::factorial(171), uc::ModelError);
+}
+
+TEST(Numeric, LogFactorialConsistentWithFactorial) {
+  for (unsigned n : {0u, 1u, 5u, 20u, 100u}) {
+    EXPECT_NEAR(std::exp(uc::log_factorial(n) - uc::log_factorial(n)), 1.0,
+                1e-12);
+  }
+  EXPECT_NEAR(uc::log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(Numeric, BinomialMatchesPascal) {
+  EXPECT_NEAR(uc::binomial(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(uc::binomial(10, 5), 252.0, 1e-6);
+  EXPECT_DOUBLE_EQ(uc::binomial(3, 5), 0.0);
+  EXPECT_NEAR(uc::binomial(0, 0), 1.0, 1e-12);
+}
+
+TEST(Numeric, KOutOfNMatchesHandComputation) {
+  // 2-of-3 with p = 0.9: 3 p^2 (1-p) + p^3 = 0.972.
+  EXPECT_NEAR(uc::k_out_of_n(2, 3, 0.9), 0.972, 1e-12);
+  // 1-of-2 = parallel: 1 - (1-p)^2.
+  EXPECT_NEAR(uc::k_out_of_n(1, 2, 0.9), 0.99, 1e-12);
+  // n-of-n = series: p^n.
+  EXPECT_NEAR(uc::k_out_of_n(3, 3, 0.9), 0.729, 1e-12);
+}
+
+TEST(Numeric, KOutOfNRejectsBadK) {
+  EXPECT_THROW((void)uc::k_out_of_n(0, 3, 0.9), uc::ModelError);
+  EXPECT_THROW((void)uc::k_out_of_n(4, 3, 0.9), uc::ModelError);
+}
+
+TEST(Numeric, NormalizeMakesUnitSum) {
+  std::vector<double> w{1.0, 2.0, 7.0};
+  uc::normalize(w);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-15);
+  EXPECT_NEAR(w[2], 0.7, 1e-15);
+}
+
+TEST(Numeric, NormalizeRejectsZeroSum) {
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(uc::normalize(w), uc::ModelError);
+}
+
+TEST(Numeric, DowntimeConversions) {
+  EXPECT_NEAR(uc::downtime_hours_per_year(1.0), 0.0, 1e-15);
+  EXPECT_NEAR(uc::downtime_hours_per_year(0.0), 8760.0, 1e-12);
+  // "five nines" is about 5.26 minutes per year.
+  EXPECT_NEAR(uc::downtime_minutes_per_year(0.99999), 5.256, 1e-3);
+}
+
+TEST(Error, ThrowModelErrorMentionsFunction) {
+  try {
+    uc::throw_model_error("boom");
+    FAIL() << "expected throw";
+  } catch (const uc::ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Error, ConvergenceErrorIsAModelError) {
+  EXPECT_THROW(throw uc::ConvergenceError("x"), uc::ModelError);
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  uc::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  uc::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), uc::ModelError);
+}
+
+TEST(Table, TitleAppearsAboveTable) {
+  uc::Table t({"x"});
+  t.set_title("My Title");
+  EXPECT_EQ(t.str().rfind("My Title", 0), 0u);
+}
+
+TEST(Table, FormattersProduceExpectedShapes) {
+  EXPECT_EQ(uc::fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(uc::fmt_fixed(1.0, 0), "1");
+  const std::string sci = uc::fmt_sci(0.000123, 2);
+  EXPECT_NE(sci.find('e'), std::string::npos);
+  EXPECT_FALSE(uc::fmt(1234.5678, 4).empty());
+}
+
+TEST(Csv, EmitsHeaderAndEscapes) {
+  uc::CsvWriter csv({"a", "b"});
+  csv.add_row({"plain", "has,comma"});
+  csv.add_row({"quote\"inside", "multi\nline"});
+  const std::string s = csv.str();
+  EXPECT_EQ(s.rfind("a,b\n", 0), 0u);
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  uc::CsvWriter csv({"a"});
+  EXPECT_THROW(csv.add_row({"1", "2"}), uc::ModelError);
+}

@@ -1,0 +1,116 @@
+// Tests for the availability-expression AST: evaluation, structure
+// helpers (series/parallel/complement), symbolic derivatives, and
+// gradients used for sensitivity ranking.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/core/expr.hpp"
+
+using upa::common::ModelError;
+using upa::core::Expr;
+using upa::core::Params;
+
+TEST(Expr, ConstantsAndParams) {
+  EXPECT_DOUBLE_EQ(Expr::constant(2.5).evaluate({}), 2.5);
+  EXPECT_DOUBLE_EQ(Expr::param("x").evaluate({{"x", 0.7}}), 0.7);
+  EXPECT_THROW((void)Expr::param("x").evaluate({}), ModelError);
+}
+
+TEST(Expr, ArithmeticComposition) {
+  const Expr e = Expr::param("a") * Expr::param("b") + Expr::constant(1.0);
+  EXPECT_DOUBLE_EQ(e.evaluate({{"a", 2.0}, {"b", 3.0}}), 7.0);
+}
+
+TEST(Expr, ComplementAndParallel) {
+  const Expr c = Expr::complement(Expr::param("a"));
+  EXPECT_NEAR(c.evaluate({{"a", 0.9}}), 0.1, 1e-15);
+  const Expr p = Expr::parallel({Expr::param("a"), Expr::param("b")});
+  EXPECT_NEAR(p.evaluate({{"a", 0.9}, {"b", 0.8}}), 0.98, 1e-15);
+}
+
+TEST(Expr, ParallelOfThree) {
+  const Expr p = Expr::parallel(
+      {Expr::param("a"), Expr::param("a"), Expr::param("a")});
+  // Note: same parameter three times = three independent uses of its
+  // VALUE (expressions are algebraic, not probabilistic).
+  EXPECT_NEAR(p.evaluate({{"a", 0.9}}), 1.0 - 1e-3, 1e-12);
+}
+
+TEST(Expr, ProductDerivative) {
+  const Expr e = Expr::param("x") * Expr::param("y");
+  const Params at{{"x", 3.0}, {"y", 5.0}};
+  EXPECT_DOUBLE_EQ(e.derivative("x").evaluate(at), 5.0);
+  EXPECT_DOUBLE_EQ(e.derivative("y").evaluate(at), 3.0);
+  EXPECT_DOUBLE_EQ(e.derivative("z").evaluate(at), 0.0);
+}
+
+TEST(Expr, SumDerivative) {
+  const Expr e = Expr::param("x") + Expr::param("x") + Expr::constant(4.0);
+  EXPECT_DOUBLE_EQ(e.derivative("x").evaluate({{"x", 1.0}}), 2.0);
+}
+
+TEST(Expr, ChainOfStructures) {
+  // A = x * (1 - (1-y)(1-z)); dA/dy = x (1-z).
+  const Expr e = Expr::param("x") *
+                 Expr::parallel({Expr::param("y"), Expr::param("z")});
+  const Params at{{"x", 0.95}, {"y", 0.9}, {"z", 0.8}};
+  EXPECT_NEAR(e.derivative("y").evaluate(at), 0.95 * 0.2, 1e-12);
+  EXPECT_NEAR(e.derivative("z").evaluate(at), 0.95 * 0.1, 1e-12);
+}
+
+TEST(Expr, DerivativeMatchesFiniteDifference) {
+  const Expr e = Expr::parallel(
+      {Expr::param("a") * Expr::param("b"),
+       Expr::param("c") * Expr::complement(Expr::param("a"))});
+  Params at{{"a", 0.6}, {"b", 0.7}, {"c", 0.5}};
+  for (const std::string name : {"a", "b", "c"}) {
+    const double h = 1e-7;
+    Params up = at;
+    Params down = at;
+    up[name] += h;
+    down[name] -= h;
+    const double fd = (e.evaluate(up) - e.evaluate(down)) / (2 * h);
+    EXPECT_NEAR(e.derivative(name).evaluate(at), fd, 1e-6) << name;
+  }
+}
+
+TEST(Expr, ParametersCollectedSortedUnique) {
+  const Expr e = Expr::param("z") * Expr::param("a") + Expr::param("a");
+  const auto names = e.parameters();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "z");
+}
+
+TEST(Expr, GradientRanksFirstOrderFactors) {
+  // user availability ~ net * lan * ws * deep-stuff: the gradient wrt the
+  // always-required factors exceeds second-order ones.
+  const Expr e = Expr::param("net") * Expr::param("lan") *
+                 (Expr::constant(0.5) +
+                  Expr::constant(0.5) * Expr::param("ext"));
+  const Params at{{"net", 0.9966}, {"lan", 0.9966}, {"ext", 0.9}};
+  const auto g = upa::core::gradient(e, at);
+  EXPECT_GT(g.at("net"), g.at("ext"));
+  EXPECT_GT(g.at("lan"), g.at("ext"));
+}
+
+TEST(Expr, ToStringRenders) {
+  const Expr e = Expr::param("a") * Expr::constant(2.0);
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find('a'), std::string::npos);
+  EXPECT_NE(s.find('2'), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(Expr, SingleChildCollapses) {
+  const Expr e = Expr::product({Expr::param("only")});
+  EXPECT_EQ(e.to_string(), "only");
+}
+
+TEST(Expr, EmptyCompositionRejected) {
+  EXPECT_THROW((void)Expr::product({}), ModelError);
+  EXPECT_THROW((void)Expr::sum({}), ModelError);
+  EXPECT_THROW((void)Expr::parallel({}), ModelError);
+  EXPECT_THROW((void)Expr::param(""), ModelError);
+}

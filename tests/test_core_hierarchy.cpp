@@ -1,0 +1,184 @@
+// Tests for the four-level hierarchical framework: service catalog,
+// function models over execution paths, and user-level joint availability
+// with shared-service dependence.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/core/hierarchy.hpp"
+#include "upa/core/performability.hpp"
+
+namespace uc = upa::core;
+namespace up = upa::profile;
+using upa::common::ModelError;
+
+TEST(ServiceCatalog, AddLookupUpdate) {
+  uc::ServiceCatalog catalog;
+  const auto web = catalog.add("web", 0.99);
+  const auto db = catalog.add("db", 0.95);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.name(web), "web");
+  EXPECT_DOUBLE_EQ(catalog.availability(db), 0.95);
+  EXPECT_EQ(catalog.id_of("db"), db);
+  catalog.set_availability(db, 0.97);
+  EXPECT_DOUBLE_EQ(catalog.availability(db), 0.97);
+  EXPECT_THROW((void)catalog.id_of("nope"), ModelError);
+  EXPECT_THROW((void)catalog.add("web", 0.5), ModelError);
+}
+
+TEST(FunctionModel, AllOfIsProductOfAvailabilities) {
+  uc::ServiceCatalog catalog;
+  const auto a = catalog.add("a", 0.9);
+  const auto b = catalog.add("b", 0.8);
+  const auto f = uc::FunctionModel::all_of("F", {a, b});
+  EXPECT_NEAR(f.availability(catalog), 0.72, 1e-12);
+}
+
+TEST(FunctionModel, MixtureOfPathsMatchesBrowseFormula) {
+  // Browse-like: q1 needs {ws}, q2 needs {ws, as}, q3 needs {ws, as, ds}.
+  uc::ServiceCatalog catalog;
+  const auto ws = catalog.add("ws", 0.99);
+  const auto as = catalog.add("as", 0.95);
+  const auto ds = catalog.add("ds", 0.90);
+  const uc::FunctionModel browse(
+      "Browse", {uc::ExecutionPath{0.2, {ws}},
+                 uc::ExecutionPath{0.32, {ws, as}},
+                 uc::ExecutionPath{0.48, {ws, as, ds}}});
+  const double expected =
+      0.99 * (0.2 + 0.95 * (0.32 + 0.48 * 0.90));
+  EXPECT_NEAR(browse.availability(catalog), expected, 1e-12);
+}
+
+TEST(FunctionModel, PathProbabilitiesMustSumToOne) {
+  uc::ServiceCatalog catalog;
+  const auto a = catalog.add("a", 0.9);
+  EXPECT_THROW(uc::FunctionModel("bad", {uc::ExecutionPath{0.5, {a}}}),
+               ModelError);
+}
+
+TEST(FunctionModel, SuccessGivenStates) {
+  uc::ServiceCatalog catalog;
+  const auto a = catalog.add("a", 0.9);
+  const auto b = catalog.add("b", 0.9);
+  const uc::FunctionModel f(
+      "F", {uc::ExecutionPath{0.6, {a}}, uc::ExecutionPath{0.4, {a, b}}});
+  EXPECT_DOUBLE_EQ(f.success_given({true, true}), 1.0);
+  EXPECT_DOUBLE_EQ(f.success_given({true, false}), 0.6);
+  EXPECT_DOUBLE_EQ(f.success_given({false, true}), 0.0);
+}
+
+TEST(FunctionModel, InvolvedServicesDeduplicated) {
+  uc::ServiceCatalog catalog;
+  const auto a = catalog.add("a", 0.9);
+  const auto b = catalog.add("b", 0.9);
+  const uc::FunctionModel f(
+      "F", {uc::ExecutionPath{0.5, {a, b}}, uc::ExecutionPath{0.5, {b}}});
+  EXPECT_EQ(f.involved_services().size(), 2u);
+}
+
+namespace {
+
+/// Two functions sharing service "shared"; scenario invokes both.
+uc::UserLevelModel shared_service_model(double a_shared, double a_own1,
+                                        double a_own2) {
+  uc::ServiceCatalog catalog;
+  const auto shared = catalog.add("shared", a_shared);
+  const auto own1 = catalog.add("own1", a_own1);
+  const auto own2 = catalog.add("own2", a_own2);
+  std::vector<uc::FunctionModel> functions;
+  functions.push_back(uc::FunctionModel::all_of("F", {shared, own1}));
+  functions.push_back(uc::FunctionModel::all_of("G", {shared, own2}));
+  up::ScenarioSet scenarios({"F", "G"});
+  scenarios.add("St-F-Ex", {0}, 0.3);
+  scenarios.add("St-G-Ex", {1}, 0.3);
+  scenarios.add("St-F-G-Ex", {0, 1}, 0.4);
+  return uc::UserLevelModel(std::move(catalog), std::move(functions),
+                            std::move(scenarios));
+}
+
+}  // namespace
+
+TEST(UserLevel, SharedServiceCountedOnce) {
+  const auto model = shared_service_model(0.9, 0.8, 0.7);
+  // Joint(F, G) = a_shared * a_own1 * a_own2, NOT a_shared^2 * ...
+  EXPECT_NEAR(model.joint_success({0, 1}), 0.9 * 0.8 * 0.7, 1e-12);
+  EXPECT_NEAR(model.joint_success({0}), 0.9 * 0.8, 1e-12);
+}
+
+TEST(UserLevel, UserAvailabilityIsScenarioWeighted) {
+  const auto model = shared_service_model(0.9, 0.8, 0.7);
+  const double expected = 0.3 * (0.9 * 0.8) + 0.3 * (0.9 * 0.7) +
+                          0.4 * (0.9 * 0.8 * 0.7);
+  EXPECT_NEAR(model.user_availability(), expected, 1e-12);
+}
+
+TEST(UserLevel, UnavailabilityContributionsSumToComplement) {
+  const auto model = shared_service_model(0.95, 0.9, 0.85);
+  const auto contributions = model.unavailability_contributions();
+  double total = 0.0;
+  for (double c : contributions) total += c;
+  EXPECT_NEAR(total, 1.0 - model.user_availability(), 1e-12);
+}
+
+TEST(UserLevel, FunctionNameMismatchRejected) {
+  uc::ServiceCatalog catalog;
+  const auto s = catalog.add("s", 0.9);
+  std::vector<uc::FunctionModel> functions;
+  functions.push_back(uc::FunctionModel::all_of("WrongName", {s}));
+  up::ScenarioSet scenarios({"F"});
+  scenarios.add("St-F-Ex", {0}, 1.0);
+  EXPECT_THROW(uc::UserLevelModel(std::move(catalog), std::move(functions),
+                                  std::move(scenarios)),
+               ModelError);
+}
+
+TEST(UserLevel, MixturePathsInteractExactly) {
+  // F is a mixture over {s1} and {s1, s2}; G requires {s2}. In a joint
+  // scenario the s2-dependence of F and G is correlated through s2.
+  uc::ServiceCatalog catalog;
+  const auto s1 = catalog.add("s1", 0.9);
+  const auto s2 = catalog.add("s2", 0.5);
+  std::vector<uc::FunctionModel> functions;
+  functions.push_back(uc::FunctionModel(
+      "F", {uc::ExecutionPath{0.5, {s1}}, uc::ExecutionPath{0.5, {s1, s2}}}));
+  functions.push_back(uc::FunctionModel::all_of("G", {s2}));
+  up::ScenarioSet scenarios({"F", "G"});
+  scenarios.add("St-F-G-Ex", {0, 1}, 1.0);
+  const uc::UserLevelModel model(std::move(catalog), std::move(functions),
+                                 std::move(scenarios));
+  // Exact: E[F G] = P(s1 up) * P(s2 up) * 1 (given s2 up, F succeeds w.p.
+  // 1 since both paths work) = 0.9 * 0.5. Naive independent-product would
+  // give A(F) * A(G) = 0.9*0.75 * 0.5 = 0.3375.
+  EXPECT_NEAR(model.user_availability(), 0.45, 1e-12);
+  EXPECT_NEAR(model.function(0).availability(model.catalog()), 0.675,
+              1e-12);
+}
+
+TEST(Performability, BreakdownSumsCorrectly) {
+  upa::markov::Ctmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 1.0);
+  chain.add_rate(2, 0, 1.0);
+  const uc::CompositeAvailabilityModel model(std::move(chain),
+                                             {1.0, 0.5, 0.0});
+  const auto b = model.breakdown();
+  EXPECT_NEAR(b.availability, model.availability(), 1e-12);
+  EXPECT_NEAR(b.availability + b.performance_loss + b.downtime_loss, 1.0,
+              1e-12);
+  // Uniform steady state by symmetry: availability = (1 + 0.5)/3.
+  EXPECT_NEAR(model.availability(), 0.5, 1e-12);
+}
+
+TEST(Performability, RejectsBadRewards) {
+  upa::markov::Ctmc chain = upa::markov::two_state_availability(1.0, 1.0);
+  EXPECT_THROW(
+      uc::CompositeAvailabilityModel(std::move(chain), {1.0, 1.5}),
+      ModelError);
+}
+
+TEST(Performability, TimescaleSeparation) {
+  upa::markov::Ctmc chain = upa::markov::two_state_availability(1e-4, 1.0);
+  EXPECT_NEAR(uc::timescale_separation_ratio(chain, 3.6e5), 1.0 / 3.6e5,
+              1e-12);
+  EXPECT_THROW((void)uc::timescale_separation_ratio(chain, 0.0), ModelError);
+}

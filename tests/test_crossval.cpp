@@ -1,0 +1,240 @@
+// Cross-engine validation: the same quantity computed through genuinely
+// different machinery must agree. This is the library's strongest defense
+// against formula transcription errors:
+//   eq. (10)  ==  hierarchical conditioning  ==  session simulation
+//   web-farm closed form  ==  explicit CTMC  ==  GSPN -> CTMC  ==  MC sim
+//   RBD evaluation  ==  dual fault tree via BDD
+
+#include <gtest/gtest.h>
+
+#include "upa/faulttree/bdd.hpp"
+#include "upa/rbd/block.hpp"
+#include "upa/sim/availability_sim.hpp"
+#include "upa/sim/session_sim.hpp"
+#include "upa/spn/net.hpp"
+#include "upa/spn/reachability.hpp"
+#include "upa/spn/to_ctmc.hpp"
+#include "upa/ta/model_builder.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace ut = upa::ta;
+namespace uc = upa::core;
+namespace usim = upa::sim;
+namespace uspn = upa::spn;
+
+TEST(CrossVal, Eq10EqualsHierarchicalModel) {
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    for (std::size_t n : {1u, 2u, 5u}) {
+      const auto p =
+          ut::TaParameters::paper_defaults().with_reservation_systems(n);
+      EXPECT_NEAR(ut::user_availability_eq10(uclass, p),
+                  ut::user_availability_hierarchical(uclass, p), 1e-12)
+          << ut::user_class_name(uclass) << " N=" << n;
+    }
+  }
+}
+
+TEST(CrossVal, Eq10EqualsHierarchicalOnBasicArchitecture) {
+  auto p = ut::TaParameters::paper_defaults().with_reservation_systems(3);
+  p.architecture = ut::Architecture::kBasic;
+  p.coverage_model = ut::CoverageModel::kPerfect;
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    EXPECT_NEAR(ut::user_availability_eq10(uclass, p),
+                ut::user_availability_hierarchical(uclass, p), 1e-12);
+  }
+}
+
+TEST(CrossVal, SessionSimulationMatchesHierarchicalModel) {
+  // Monte-Carlo over sessions walking the fitted p_ij graph, with one
+  // service-world draw per session: must land on the analytic
+  // user-perceived availability (fitted-graph rounding ~2e-3 + CI).
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(2);
+  const auto uclass = ut::UserClass::kB;
+  const auto model = ut::build_user_model(uclass, p);
+  const auto profile = ut::fitted_session_graph(uclass);
+  const double analytic = model.user_availability();
+
+  const std::size_t service_count = model.catalog().size();
+  const auto world = [&model, &profile, service_count](
+                         usim::Xoshiro256& rng) -> std::vector<double> {
+    std::vector<bool> up(service_count);
+    for (std::size_t s = 0; s < service_count; ++s) {
+      up[s] = rng.uniform01() < model.catalog().availability(s);
+    }
+    // Per-function success probability in this world (branch mixtures
+    // stay fractional; hard service outages give 0).
+    std::vector<double> result(profile.state_count(), 1.0);
+    for (std::size_t f = 0; f < 5; ++f) {
+      result[upa::profile::NodeIndex::function(f)] =
+          model.function(f).success_given(up);
+    }
+    return result;
+  };
+
+  usim::SessionSimOptions options;
+  options.sessions = 60000;
+  options.replications = 6;
+  options.seed = 20260705;
+  const auto result = usim::simulate_sessions(
+      profile.transition_matrix(), upa::profile::NodeIndex::kStart,
+      profile.exit_state(), world, options);
+  EXPECT_NEAR(result.perceived_availability.mean, analytic,
+              result.perceived_availability.half_width + 4e-3);
+}
+
+TEST(CrossVal, SessionSimulationVisitCountsMatchAbsorbingChain) {
+  const auto profile = ut::fitted_session_graph(ut::UserClass::kA);
+  const auto world = [&profile](usim::Xoshiro256&) {
+    return std::vector<double>(profile.state_count(), 1.0);
+  };
+  usim::SessionSimOptions options;
+  options.sessions = 50000;
+  options.replications = 4;
+  options.seed = 7;
+  const auto result = usim::simulate_sessions(
+      profile.transition_matrix(), upa::profile::NodeIndex::kStart,
+      profile.exit_state(), world, options);
+  for (std::size_t f = 0; f < profile.function_count(); ++f) {
+    EXPECT_NEAR(
+        result.mean_visits[upa::profile::NodeIndex::function(f)],
+        profile.expected_visits(f), 0.01)
+        << profile.function_name(f);
+  }
+}
+
+namespace {
+
+/// GSPN formulation of the Figure 10 web farm. While a manual
+/// reconfiguration is pending the whole service freezes (matching the
+/// paper's chain, where y_i's only transition is beta), enforced through
+/// inhibitor arcs.
+uspn::PetriNet imperfect_farm_net(std::size_t servers, double lambda,
+                                  double mu, double coverage, double beta) {
+  uspn::PetriNet net;
+  const auto up = net.add_place("up", static_cast<int>(servers));
+  const auto down = net.add_place("down", 0);
+  const auto choice = net.add_place("choice", 0);
+  const auto manual = net.add_place("manual", 0);
+
+  const auto fail = net.add_timed_transition(
+      "fail", lambda, uspn::ServerSemantics::kInfiniteServer);
+  net.add_input_arc(fail, up);
+  net.add_output_arc(fail, choice);
+  net.add_inhibitor_arc(fail, manual);
+
+  const auto covered = net.add_immediate_transition("covered", coverage);
+  net.add_input_arc(covered, choice);
+  net.add_output_arc(covered, down);
+
+  const auto uncovered =
+      net.add_immediate_transition("uncovered", 1.0 - coverage);
+  net.add_input_arc(uncovered, choice);
+  net.add_output_arc(uncovered, manual);
+
+  const auto reconfig = net.add_timed_transition("reconfig", beta);
+  net.add_input_arc(reconfig, manual);
+  net.add_output_arc(reconfig, down);
+
+  const auto repair = net.add_timed_transition("repair", mu);
+  net.add_input_arc(repair, down);
+  net.add_output_arc(repair, up);
+  net.add_inhibitor_arc(repair, manual);
+  return net;
+}
+
+}  // namespace
+
+TEST(CrossVal, GspnReproducesImperfectCoverageDistribution) {
+  const std::size_t servers = 4;
+  const double lambda = 1e-3;
+  const double mu = 1.0;
+  const double coverage = 0.9;
+  const double beta = 12.0;
+
+  const auto net =
+      imperfect_farm_net(servers, lambda, mu, coverage, beta);
+  const auto tc = uspn::to_ctmc(net, uspn::explore(net));
+
+  uc::WebFarmParams farm{servers, lambda, mu, coverage, beta};
+  const auto closed = uc::imperfect_coverage_distribution(farm);
+
+  // P(i operational, no manual pending) == pi_i.
+  for (std::size_t i = 0; i <= servers; ++i) {
+    const double spn = uspn::steady_state_probability(
+        tc, [&](const uspn::Marking& m) {
+          return m[0] == static_cast<int>(i) && m[3] == 0;
+        });
+    EXPECT_NEAR(spn, closed.operational[i], 1e-10) << "state " << i;
+  }
+  // P(manual pending with i-1 still up) == pi_{y_i}.
+  for (std::size_t i = 1; i <= servers; ++i) {
+    const double spn = uspn::steady_state_probability(
+        tc, [&](const uspn::Marking& m) {
+          return m[0] == static_cast<int>(i - 1) && m[3] == 1;
+        });
+    EXPECT_NEAR(spn, closed.manual[i], 1e-10) << "y" << i;
+  }
+}
+
+TEST(CrossVal, MonteCarloConfirmsImperfectFarmAvailability) {
+  uc::WebFarmParams farm{3, 5e-3, 1.0, 0.95, 12.0};
+  uc::WebQueueParams queue{100.0, 100.0, 10};
+  const double analytic =
+      uc::web_service_availability_imperfect(farm, queue);
+  const auto composite = uc::composite_imperfect(farm, queue);
+
+  usim::MonteCarloOptions options;
+  options.horizon = 400000.0;  // hours; failures are rare events
+  options.replications = 8;
+  options.seed = 424242;
+  const auto estimate = usim::simulate_ctmc_reward(
+      composite.chain(), composite.service_probability(),
+      /*initial_state=*/3, options);
+  EXPECT_NEAR(estimate.interval.mean, analytic,
+              estimate.interval.half_width + 5e-4);
+}
+
+TEST(CrossVal, RbdAgreesWithDualFaultTree) {
+  // TA-like internal structure: series(net, lan, parallel(ws1, ws2),
+  // parallel(as1, as2), db). Dual fault tree: OR over series elements,
+  // AND over parallel pairs.
+  namespace ur = upa::rbd;
+  namespace uf = upa::faulttree;
+  const auto block = ur::Block::series(
+      {ur::Block::component("net"), ur::Block::component("lan"),
+       ur::Block::parallel(
+           {ur::Block::component("ws1"), ur::Block::component("ws2")}),
+       ur::Block::parallel(
+           {ur::Block::component("as1"), ur::Block::component("as2")}),
+       ur::Block::component("db")});
+  const ur::ParamMap avail{{"net", 0.9966}, {"lan", 0.9966}, {"ws1", 0.99},
+                           {"ws2", 0.99},   {"as1", 0.996},  {"as2", 0.996},
+                           {"db", 0.92}};
+
+  uf::FaultTree tree;
+  const auto net_f = tree.add_basic_event("net", 1 - 0.9966);
+  const auto lan_f = tree.add_basic_event("lan", 1 - 0.9966);
+  const auto ws1_f = tree.add_basic_event("ws1", 1 - 0.99);
+  const auto ws2_f = tree.add_basic_event("ws2", 1 - 0.99);
+  const auto as1_f = tree.add_basic_event("as1", 1 - 0.996);
+  const auto as2_f = tree.add_basic_event("as2", 1 - 0.996);
+  const auto db_f = tree.add_basic_event("db", 1 - 0.92);
+  const auto ws_pair = tree.add_and({ws1_f, ws2_f});
+  const auto as_pair = tree.add_and({as1_f, as2_f});
+  tree.add_or({net_f, lan_f, ws_pair, as_pair, db_f});
+
+  EXPECT_NEAR(ur::availability(block, avail),
+              1.0 - uf::top_event_probability(tree), 1e-12);
+}
+
+TEST(CrossVal, SteadyStateSolversAgreeOnImperfectChain) {
+  uc::WebFarmParams farm{5, 2e-3, 1.0, 0.93, 10.0};
+  const auto chain = uc::imperfect_coverage_chain(farm);
+  const auto direct = chain.chain.steady_state();
+  const auto iterative = chain.chain.steady_state_iterative(1e-14);
+  for (std::size_t s = 0; s < direct.size(); ++s) {
+    EXPECT_NEAR(direct[s], iterative[s], 1e-9) << "state " << s;
+  }
+}

@@ -1,0 +1,176 @@
+// Boundary-condition tests across modules: minimal sizes, degenerate
+// parameters, and extreme rate regimes that stress numerical robustness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/faulttree/importance.hpp"
+#include "upa/profile/session_graph.hpp"
+#include "upa/queueing/mm1.hpp"
+#include "upa/queueing/mmck.hpp"
+#include "upa/rbd/block.hpp"
+#include "upa/rbd/paths.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace uc = upa::core;
+namespace uq = upa::queueing;
+namespace ut = upa::ta;
+using upa::common::ModelError;
+
+TEST(EdgeCases, QueueWithCapacityOne) {
+  // M/M/1/1 = Erlang loss with one server: p_1 = rho / (1 + rho).
+  const double rho = 0.7;
+  EXPECT_NEAR(uq::mm1k_loss_probability(70.0, 100.0, 1), rho / (1.0 + rho),
+              1e-12);
+  const auto m = uq::mm1k_metrics(70.0, 100.0, 1);
+  EXPECT_NEAR(m.mean_in_system, rho / (1.0 + rho), 1e-12);
+}
+
+TEST(EdgeCases, ExtremeLoads) {
+  // rho -> 0: loss vanishes; rho -> infinity: loss -> 1 - nu*c/alpha.
+  EXPECT_LT(uq::mmck_loss_probability(1e-3, 100.0, 2, 10), 1e-20);
+  const double heavy = uq::mmck_loss_probability(1e5, 100.0, 2, 10);
+  EXPECT_NEAR(heavy, 1.0 - 200.0 / 1e5, 1e-6);
+}
+
+TEST(EdgeCases, FarmWithOneServerImperfect) {
+  // N_W = 1 with imperfect coverage: an uncovered failure detours through
+  // y_1 (mean 1/beta) instead of direct repair (mean 1/mu).
+  uc::WebFarmParams farm{1, 1e-2, 1.0, 0.9, 12.0};
+  uc::WebQueueParams queue{50.0, 100.0, 10};
+  const double a_imp = uc::web_service_availability_imperfect(farm, queue);
+  const double a_perf = uc::web_service_availability_perfect(farm, queue);
+  EXPECT_LT(a_imp, a_perf);
+  // Both close to the two-state bound times (1 - p_K).
+  EXPECT_GT(a_imp, 0.97);
+}
+
+TEST(EdgeCases, ZeroCoverageFarm) {
+  // c = 0: every failure requires manual reconfiguration.
+  uc::WebFarmParams farm{3, 1e-3, 1.0, 0.0, 12.0};
+  const auto dist = uc::imperfect_coverage_distribution(farm);
+  // Chain structure: transitions into i-1 only via y_i. Distribution
+  // still normalizes and availability is below the perfect variant.
+  double sum = 0.0;
+  for (double p : dist.operational) sum += p;
+  for (double p : dist.manual) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  uc::WebQueueParams queue{100.0, 100.0, 10};
+  EXPECT_LT(uc::web_service_availability_imperfect(farm, queue),
+            uc::web_service_availability_perfect(farm, queue));
+}
+
+TEST(EdgeCases, TinyFailureRates) {
+  // lambda = 1e-12/h: availability indistinguishable from the queue-only
+  // bound; no numerical blowup in the log-domain product form.
+  uc::WebFarmParams farm{10, 1e-12, 1.0, 0.98, 12.0};
+  uc::WebQueueParams queue{100.0, 100.0, 10};
+  const double a = uc::web_service_availability_imperfect(farm, queue);
+  const double queue_only =
+      1.0 - uq::mmck_loss_probability(100.0, 100.0, 10, 10);
+  EXPECT_NEAR(a, queue_only, 1e-9);
+}
+
+TEST(EdgeCases, HugeFarm) {
+  // 100 servers, buffer 100: still stable numerically.
+  uc::WebFarmParams farm{100, 1e-4, 1.0, 0.98, 12.0};
+  uc::WebQueueParams queue{100.0, 100.0, 100};
+  const double a = uc::web_service_availability_imperfect(farm, queue);
+  EXPECT_GT(a, 0.99);
+  EXPECT_LE(a, 1.0);
+}
+
+TEST(EdgeCases, SingleFunctionProfile) {
+  const auto profile = upa::profile::SessionGraphBuilder()
+                           .add_function("Only")
+                           .transition("Start", "Only", 1.0)
+                           .transition("Only", "Exit", 1.0)
+                           .build();
+  EXPECT_NEAR(profile.expected_visits(0), 1.0, 1e-12);
+  EXPECT_NEAR(profile.mean_session_length(), 1.0, 1e-12);
+  EXPECT_NEAR(upa::profile::visited_exactly_probability(profile, {0}), 1.0,
+              1e-12);
+}
+
+TEST(EdgeCases, DegenerateAvailabilities) {
+  // A service with availability 0 or 1 propagates exactly.
+  auto p = ut::TaParameters::paper_defaults();
+  p.a_payment = 0.0;
+  const auto breakdown = ut::category_breakdown(ut::UserClass::kB, p);
+  // Every pay scenario fails: UA(SC4) = full pay mass.
+  EXPECT_NEAR(breakdown.unavailability.at(ut::ScenarioCategory::kSC4),
+              0.203, 1e-12);
+  p.a_payment = 1.0;
+  const auto perfect = ut::category_breakdown(ut::UserClass::kB, p);
+  // SC4 and SC3 now fail identically (payment no longer matters).
+  const double sc3_rate =
+      perfect.unavailability.at(ut::ScenarioCategory::kSC3) / 0.149;
+  const double sc4_rate =
+      perfect.unavailability.at(ut::ScenarioCategory::kSC4) / 0.203;
+  EXPECT_NEAR(sc3_rate, sc4_rate, 1e-12);
+}
+
+TEST(EdgeCases, RbdSingleComponent) {
+  const auto block = upa::rbd::Block::component("x");
+  EXPECT_NEAR(upa::rbd::availability(block, {{"x", 0.42}}), 0.42, 1e-15);
+  EXPECT_EQ(upa::rbd::minimal_path_sets(block).size(), 1u);
+  EXPECT_EQ(upa::rbd::minimal_cut_sets(block).size(), 1u);
+}
+
+TEST(EdgeCases, KofNExtremes) {
+  using upa::rbd::Block;
+  std::vector<Block> parts{Block::component("a"), Block::component("b"),
+                           Block::component("c")};
+  const upa::rbd::ParamMap params{{"a", 0.9}, {"b", 0.8}, {"c", 0.7}};
+  // 1-of-n == parallel, n-of-n == series.
+  EXPECT_NEAR(upa::rbd::availability(Block::k_of_n(1, parts), params),
+              upa::rbd::availability(Block::parallel(parts), params),
+              1e-15);
+  EXPECT_NEAR(upa::rbd::availability(Block::k_of_n(3, parts), params),
+              upa::rbd::availability(Block::series(parts), params), 1e-15);
+}
+
+TEST(EdgeCases, FaultTreeImportanceRanking) {
+  // top = OR(shared, AND(x, y)): the shared single-event cut dominates.
+  upa::faulttree::FaultTree tree;
+  const auto shared = tree.add_basic_event("shared", 0.01);
+  const auto x = tree.add_basic_event("x", 0.2);
+  const auto y = tree.add_basic_event("y", 0.2);
+  const auto pair = tree.add_and({x, y});
+  tree.add_or({shared, pair});
+  const auto ranking = upa::faulttree::event_importance_ranking(tree);
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].event, "shared");
+  // Birnbaum of "shared": 1 - P(AND) = 1 - 0.04.
+  EXPECT_NEAR(ranking[0].birnbaum, 0.96, 1e-12);
+  // FV of x == FV of y by symmetry.
+  double fv_x = 0.0;
+  double fv_y = 0.0;
+  for (const auto& imp : ranking) {
+    if (imp.event == "x") fv_x = imp.fussell_vesely;
+    if (imp.event == "y") fv_y = imp.fussell_vesely;
+  }
+  EXPECT_NEAR(fv_x, fv_y, 1e-12);
+  EXPECT_GT(fv_x, 0.0);
+}
+
+TEST(EdgeCases, BufferEqualsServerCount) {
+  // K = N_W: no waiting room at all (pure loss farm).
+  uc::WebFarmParams farm{4, 1e-4, 1.0, 0.98, 12.0};
+  uc::WebQueueParams queue{100.0, 100.0, 4};
+  const double a = uc::web_service_availability_imperfect(farm, queue);
+  // Erlang-B blocking at a = 1 erlang, 4 servers ~ 0.0154.
+  EXPECT_NEAR(1.0 - a, 0.01538, 5e-4);
+}
+
+TEST(EdgeCases, UserAvailabilityDegradesGracefullyAtNetZero) {
+  auto p = ut::TaParameters::paper_defaults();
+  p.a_net = 0.0;
+  EXPECT_NEAR(ut::user_availability_eq10(ut::UserClass::kA, p), 0.0, 1e-15);
+  EXPECT_NEAR(ut::user_availability_hierarchical(ut::UserClass::kA, p), 0.0,
+              1e-15);
+}

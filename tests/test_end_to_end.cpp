@@ -1,0 +1,115 @@
+// Tests for the end-to-end system simulation: trajectory sampler
+// correctness and agreement of the instantaneous-session regime with the
+// analytic eq. (10).
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/sim/trajectory.hpp"
+#include "upa/ta/end_to_end_sim.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace usim = upa::sim;
+namespace ut = upa::ta;
+namespace um = upa::markov;
+using upa::common::ModelError;
+
+TEST(Trajectory, TwoStateOccupancyApproachesAvailability) {
+  const double lambda = 0.2;
+  const double mu = 1.0;
+  usim::Xoshiro256 rng(7);
+  double total = 0.0;
+  const int reps = 40;
+  for (int r = 0; r < reps; ++r) {
+    const auto traj =
+        usim::sample_component_trajectory(lambda, mu, 5000.0, rng);
+    total += traj.occupancy({0});
+  }
+  EXPECT_NEAR(total / reps, mu / (lambda + mu), 0.01);
+}
+
+TEST(Trajectory, StateAtIsPiecewiseConstant) {
+  usim::Xoshiro256 rng(3);
+  const auto traj = usim::sample_component_trajectory(0.5, 0.5, 100.0, rng);
+  EXPECT_EQ(traj.state_at(0.0), 0u);  // starts up
+  // Occupancies of the two states partition the horizon.
+  EXPECT_NEAR(traj.occupancy({0}) + traj.occupancy({1}), 1.0, 1e-12);
+  EXPECT_THROW((void)traj.state_at(101.0), ModelError);
+}
+
+TEST(Trajectory, AbsorbingStatePersists) {
+  um::Ctmc chain(2);
+  chain.add_rate(0, 1, 10.0);  // state 1 absorbing
+  usim::Xoshiro256 rng(5);
+  const usim::CtmcTrajectory traj(chain, 0, 50.0, rng);
+  EXPECT_EQ(traj.state_at(49.9), 1u);
+  EXPECT_GT(traj.occupancy({1}), 0.9);
+}
+
+TEST(Trajectory, FailureRateForAvailability) {
+  EXPECT_NEAR(usim::failure_rate_for_availability(0.9, 1.0), 1.0 / 9.0,
+              1e-12);
+  const double lambda = usim::failure_rate_for_availability(0.9966, 1.0);
+  EXPECT_NEAR(um::two_state_steady_availability(lambda, 1.0), 0.9966,
+              1e-12);
+  EXPECT_THROW((void)usim::failure_rate_for_availability(1.0, 1.0),
+               ModelError);
+}
+
+TEST(EndToEnd, InstantSessionsReproduceEq10) {
+  // think = 0: every invocation sees one resource snapshot, which is
+  // exactly eq. (10)'s regime. Moderate external replication so the
+  // availabilities are far from 1 (more sensitive test).
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(2);
+  ut::EndToEndOptions options;
+  options.horizon_hours = 20000.0;
+  options.think_time_hours = 0.0;
+  options.sessions_per_replication = 30000;
+  options.replications = 6;
+  options.seed = 2026;
+  const auto result =
+      ut::simulate_end_to_end(ut::UserClass::kB, p, options);
+  const double analytic = ut::user_availability_eq10(ut::UserClass::kB, p);
+  // Finite-horizon resource sampling adds bias beyond the CI; allow a
+  // small extra band.
+  EXPECT_NEAR(result.perceived_availability.mean, analytic,
+              result.perceived_availability.half_width + 0.01);
+  EXPECT_GT(result.observed_web_service_availability, 0.999);
+  EXPECT_DOUBLE_EQ(result.mean_session_duration_hours, 0.0);
+}
+
+TEST(EndToEnd, ThinkTimeLowersPerceivedAvailability) {
+  // Long think times decorrelate the invocations: a session must now
+  // survive several independent-ish snapshots, so fewer sessions see
+  // every function available (failures are positively correlated within
+  // a snapshot, which HELPS joint success).
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(1);
+  ut::EndToEndOptions options;
+  options.horizon_hours = 30000.0;
+  options.sessions_per_replication = 30000;
+  options.replications = 6;
+  options.seed = 99;
+
+  options.think_time_hours = 0.0;
+  const auto instant = ut::simulate_end_to_end(ut::UserClass::kB, p, options);
+  options.think_time_hours = 2.0;  // extreme, to force decorrelation
+  const auto slow = ut::simulate_end_to_end(ut::UserClass::kB, p, options);
+  EXPECT_LT(slow.perceived_availability.mean,
+            instant.perceived_availability.mean);
+  EXPECT_GT(slow.mean_session_duration_hours, 0.5);
+}
+
+TEST(EndToEnd, RejectsBadOptions) {
+  const auto p = ut::TaParameters::paper_defaults();
+  ut::EndToEndOptions options;
+  options.horizon_hours = -1.0;
+  EXPECT_THROW((void)ut::simulate_end_to_end(ut::UserClass::kA, p, options),
+               ModelError);
+  options.horizon_hours = 100.0;
+  options.replications = 1;
+  EXPECT_THROW((void)ut::simulate_end_to_end(ut::UserClass::kA, p, options),
+               ModelError);
+}

@@ -1,0 +1,264 @@
+// Tests for the extension modules: explicit architecture RBDs (Figures
+// 7/8), up/down equivalent-component analysis, symbolic eq. (10), and
+// visit-count distributions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/markov/updown.hpp"
+#include "upa/profile/visit_distribution.hpp"
+#include "upa/profile/session_graph.hpp"
+#include "upa/ta/architecture.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/symbolic.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace ut = upa::ta;
+namespace um = upa::markov;
+namespace up = upa::profile;
+using upa::common::ModelError;
+
+// ---------------------------------------------------------------- RBDs
+
+TEST(ArchitectureRbd, BasicInternalMatchesTable4Formulas) {
+  auto p = ut::TaParameters::paper_defaults();
+  p.architecture = ut::Architecture::kBasic;
+  const auto arch = ut::basic_architecture_rbd(p);
+  const double rbd_a =
+      upa::rbd::availability(arch.internal, arch.availabilities);
+  // Table 4 route: net * lan * ws_host * A(AS) * A(DS).
+  const double ws_host = um::two_state_steady_availability(p.lambda_web,
+                                                           p.mu_web);
+  const double expected = p.a_net * p.a_lan * ws_host *
+                          ut::application_service_availability(p) *
+                          ut::database_service_availability(p);
+  EXPECT_NEAR(rbd_a, expected, 1e-12);
+}
+
+TEST(ArchitectureRbd, RedundantInternalMatchesTable4Formulas) {
+  const auto p = ut::TaParameters::paper_defaults();
+  const auto arch = ut::redundant_architecture_rbd(p);
+  const double rbd_a =
+      upa::rbd::availability(arch.internal, arch.availabilities);
+  const double ws_host = um::two_state_steady_availability(p.lambda_web,
+                                                           p.mu_web);
+  const double ws_farm = 1.0 - std::pow(1.0 - ws_host, double(p.n_web));
+  const double expected = p.a_net * p.a_lan * ws_farm *
+                          ut::application_service_availability(p) *
+                          ut::database_service_availability(p);
+  EXPECT_NEAR(rbd_a, expected, 1e-12);
+}
+
+TEST(ArchitectureRbd, SearchPathIncludesExternals) {
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(2);
+  const auto arch = ut::redundant_architecture_rbd(p);
+  const double internal =
+      upa::rbd::availability(arch.internal, arch.availabilities);
+  const double search =
+      upa::rbd::availability(arch.search_path, arch.availabilities);
+  const double ext = ut::flight_availability(p) * ut::hotel_availability(p) *
+                     ut::car_availability(p);
+  EXPECT_NEAR(search, internal * ext, 1e-12);
+}
+
+TEST(ArchitectureRbd, SinglePointsOfFailureDominateImportance) {
+  // With N = 1 the external reservation systems are weak (0.9) series
+  // singletons: their Birnbaum importance tops the Search path, above
+  // net/LAN (0.9966) -- the structural argument for Table 8's N sweep.
+  const auto arch =
+      ut::redundant_architecture_rbd(ut::TaParameters::paper_defaults());
+  const auto ranking = ut::resource_importance_ranking(arch);
+  ASSERT_GE(ranking.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ranking[i].component.starts_with("flight") ||
+                ranking[i].component.starts_with("hotel") ||
+                ranking[i].component.starts_with("car"))
+        << ranking[i].component;
+  }
+  // Every series singleton outranks every replicated internal part.
+  auto birnbaum_of = [&](const std::string& name) {
+    for (const auto& imp : ranking) {
+      if (imp.component == name) return imp.birnbaum;
+    }
+    ADD_FAILURE() << "missing " << name;
+    return 0.0;
+  };
+  for (const auto& imp : ranking) {
+    if (imp.component.starts_with("cas#") ||
+        imp.component.starts_with("ws#") ||
+        imp.component.starts_with("disk#")) {
+      EXPECT_LT(imp.birnbaum, birnbaum_of("net"));
+      EXPECT_LT(imp.birnbaum, birnbaum_of("lan"));
+    }
+  }
+  // Replicating the externals (N = 4) hands dominance back to net/LAN.
+  const auto arch4 = ut::redundant_architecture_rbd(
+      ut::TaParameters::paper_defaults().with_reservation_systems(4));
+  const auto ranking4 = ut::resource_importance_ranking(arch4);
+  EXPECT_TRUE(ranking4[0].component == "net" ||
+              ranking4[0].component == "lan");
+  EXPECT_TRUE(ranking4[1].component == "net" ||
+              ranking4[1].component == "lan");
+}
+
+TEST(ArchitectureRbd, RedundancyBeatsBasicStructurally) {
+  auto basic_params = ut::TaParameters::paper_defaults();
+  basic_params.architecture = ut::Architecture::kBasic;
+  const auto basic = ut::basic_architecture_rbd(basic_params);
+  const auto redundant =
+      ut::redundant_architecture_rbd(ut::TaParameters::paper_defaults());
+  EXPECT_GT(
+      upa::rbd::availability(redundant.internal, redundant.availabilities),
+      upa::rbd::availability(basic.internal, basic.availabilities));
+}
+
+// ------------------------------------------------------------- up/down
+
+TEST(UpDown, TwoStateRecoversItsOwnRates) {
+  const double lambda = 0.01;
+  const double mu = 2.0;
+  const auto m = um::up_down_measures(
+      um::two_state_availability(lambda, mu), {0});
+  EXPECT_NEAR(m.availability, mu / (lambda + mu), 1e-12);
+  EXPECT_NEAR(m.equivalent_failure_rate, lambda, 1e-12);
+  EXPECT_NEAR(m.equivalent_repair_rate, mu, 1e-12);
+  EXPECT_NEAR(m.mean_up_time, 1.0 / lambda, 1e-9);
+}
+
+TEST(UpDown, ParallelPairEquivalentComponent) {
+  // Two independent units (lambda, mu), system up when >= 1 up.
+  // Chain over #up: 2 -> 1 (2*lambda), 1 -> 0 (lambda), repairs mu each
+  // (independent repair: 0 -> 1 at 2*mu, 1 -> 2 at mu).
+  const double lambda = 0.1;
+  const double mu = 1.0;
+  um::Ctmc chain(3);  // state = number up
+  chain.add_rate(2, 1, 2 * lambda);
+  chain.add_rate(1, 0, lambda);
+  chain.add_rate(0, 1, 2 * mu);
+  chain.add_rate(1, 2, mu);
+  const auto m = um::up_down_measures(chain, {1, 2});
+  const double a_unit = mu / (lambda + mu);
+  EXPECT_NEAR(m.availability, 1.0 - (1.0 - a_unit) * (1.0 - a_unit),
+              1e-12);
+  // MDT of a parallel pair with independent repair = 1/(2 mu).
+  EXPECT_NEAR(m.mean_down_time, 1.0 / (2.0 * mu), 1e-12);
+  // Frequency consistency: A + UA = 1 splits via MUT/MDT.
+  EXPECT_NEAR(m.mean_up_time * m.failure_frequency, m.availability, 1e-12);
+}
+
+TEST(UpDown, WebFarmEquivalentComponent) {
+  // The redundant web farm summarized as one equivalent component.
+  upa::core::WebFarmParams farm{4, 1e-3, 1.0, 0.98, 12.0};
+  const auto chain = upa::core::imperfect_coverage_chain(farm);
+  std::vector<std::size_t> up;
+  for (std::size_t i = 1; i <= 4; ++i) up.push_back(i);
+  const auto m = um::up_down_measures(chain.chain, up);
+  EXPECT_GT(m.availability, 0.9999);
+  // The farm fails mostly through uncovered failures: MDT close to the
+  // manual reconfiguration time 1/beta = 5 minutes, far below 1/mu.
+  EXPECT_LT(m.mean_down_time, 0.2);
+  EXPECT_GT(m.mean_down_time, 1.0 / 12.0 * 0.5);
+  EXPECT_NEAR(m.availability,
+              m.mean_up_time / (m.mean_up_time + m.mean_down_time), 1e-9);
+}
+
+TEST(UpDown, RejectsTrivialPartitions) {
+  const auto chain = um::two_state_availability(1.0, 1.0);
+  EXPECT_THROW((void)um::up_down_measures(chain, {0, 1}), ModelError);
+  EXPECT_THROW((void)um::up_down_measures(chain, {}), ModelError);
+}
+
+// ------------------------------------------------------------ symbolic
+
+TEST(SymbolicEq10, EvaluatesToNumericEq10) {
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    for (std::size_t n : {1u, 3u, 5u}) {
+      const auto p =
+          ut::TaParameters::paper_defaults().with_reservation_systems(n);
+      const auto expr = ut::user_availability_expr(uclass, p);
+      const auto params = ut::service_params(ut::compute_services(p));
+      EXPECT_NEAR(expr.evaluate(params),
+                  ut::user_availability_eq10(uclass, p), 1e-12)
+          << ut::user_class_name(uclass) << " N=" << n;
+    }
+  }
+}
+
+TEST(SymbolicEq10, GradientRanksFirstOrderServices) {
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(5);
+  const auto grad = ut::user_availability_gradient(ut::UserClass::kB, p);
+  // The paper: net, LAN and web service have FIRST-order impact.
+  for (const std::string first : {"Anet", "ALAN", "AWS"}) {
+    for (const std::string second :
+         {"AAS", "ADS", "AFlight", "AHotel", "ACar", "APS"}) {
+      EXPECT_GT(grad.at(first), grad.at(second))
+          << first << " vs " << second;
+    }
+  }
+}
+
+TEST(SymbolicEq10, GradientMatchesFiniteDifference) {
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(3);
+  const auto expr = ut::user_availability_expr(ut::UserClass::kA, p);
+  auto params = ut::service_params(ut::compute_services(p));
+  const auto grad = upa::core::gradient(expr, params);
+  for (const auto& [name, value] : grad) {
+    const double h = 1e-7;
+    auto up = params;
+    auto down = params;
+    up[name] += h;
+    down[name] -= h;
+    const double fd = (expr.evaluate(up) - expr.evaluate(down)) / (2 * h);
+    EXPECT_NEAR(value, fd, 1e-6) << name;
+  }
+}
+
+// --------------------------------------------------- visit distribution
+
+TEST(VisitDistribution, GeometricSelfLoopCase) {
+  // A -> A with 0.5, A -> Exit 0.5: N ~ Geometric(0.5) starting at 1.
+  const auto profile = up::SessionGraphBuilder()
+                           .add_function("A")
+                           .transition("Start", "A", 1.0)
+                           .transition("A", "A", 0.5)
+                           .transition("A", "Exit", 0.5)
+                           .build();
+  const auto law = up::visit_law(profile, 0);
+  EXPECT_NEAR(law.reach_probability, 1.0, 1e-12);
+  EXPECT_NEAR(law.return_probability, 0.5, 1e-12);
+  const auto pmf = up::visit_count_distribution(profile, 0, 5);
+  EXPECT_NEAR(pmf[0], 0.0, 1e-12);
+  EXPECT_NEAR(pmf[1], 0.5, 1e-12);
+  EXPECT_NEAR(pmf[3], 0.125, 1e-12);
+}
+
+TEST(VisitDistribution, ExpectedVisitsConsistent) {
+  const auto profile = ut::fitted_session_graph(ut::UserClass::kB);
+  for (std::size_t f = 0; f < profile.function_count(); ++f) {
+    const auto law = up::visit_law(profile, f);
+    EXPECT_NEAR(law.expected_visits(), profile.expected_visits(f), 1e-9)
+        << profile.function_name(f);
+  }
+}
+
+TEST(VisitDistribution, PmfSumsToOneInTheLimit) {
+  const auto profile = ut::fitted_session_graph(ut::UserClass::kA);
+  const auto pmf = up::visit_count_distribution(profile, 2, 200);
+  double sum = 0.0;
+  for (double p : pmf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(VisitDistribution, NoReturnFunctionIsBernoulli) {
+  // Pay in the TA graph is never revisited.
+  const auto profile = ut::fitted_session_graph(ut::UserClass::kA);
+  const auto law =
+      up::visit_law(profile, profile.function_index("Pay"));
+  EXPECT_NEAR(law.return_probability, 0.0, 1e-12);
+  EXPECT_NEAR(law.reach_probability, 0.075, 3e-3);  // Table 1 SC4 mass
+}

@@ -1,0 +1,208 @@
+// Tests for the fault-tree engine and the from-scratch BDD: gate
+// semantics, exact probabilities under shared events, minimal cut sets,
+// and structural-vs-BDD agreement.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/faulttree/bdd.hpp"
+#include "upa/faulttree/cutsets.hpp"
+#include "upa/faulttree/tree.hpp"
+
+namespace uf = upa::faulttree;
+using upa::common::ModelError;
+
+TEST(FaultTree, AndGateProbability) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  const auto b = tree.add_basic_event("b", 0.2);
+  tree.add_and({a, b});
+  EXPECT_NEAR(uf::top_event_probability(tree), 0.02, 1e-12);
+  EXPECT_NEAR(uf::top_event_probability_structural(tree), 0.02, 1e-12);
+}
+
+TEST(FaultTree, OrGateProbability) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  const auto b = tree.add_basic_event("b", 0.2);
+  tree.add_or({a, b});
+  EXPECT_NEAR(uf::top_event_probability(tree), 1.0 - 0.9 * 0.8, 1e-12);
+}
+
+TEST(FaultTree, KofNGateProbability) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  const auto b = tree.add_basic_event("b", 0.1);
+  const auto c = tree.add_basic_event("c", 0.1);
+  tree.add_k_of_n(2, {a, b, c});
+  // P(at least 2 of 3 fail) = 3*0.01*0.9 + 0.001 = 0.028.
+  EXPECT_NEAR(uf::top_event_probability(tree), 0.028, 1e-12);
+}
+
+TEST(FaultTree, SharedEventHandledExactly) {
+  // top = OR(AND(a, b), AND(a, c)): P = P(a (b or c)) = 0.1 * 0.36...
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  const auto b = tree.add_basic_event("b", 0.2);
+  const auto c = tree.add_basic_event("c", 0.3);
+  const auto g1 = tree.add_and({a, b});
+  const auto g2 = tree.add_and({a, c});
+  tree.add_or({g1, g2});
+  const double exact = 0.1 * (1.0 - 0.8 * 0.7);
+  EXPECT_NEAR(uf::top_event_probability(tree), exact, 1e-12);
+  // Structural evaluation must refuse (event a is shared).
+  EXPECT_THROW((void)uf::top_event_probability_structural(tree),
+               ModelError);
+}
+
+TEST(FaultTree, StructuralMatchesBddOnTreeShapedSystems) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.05);
+  const auto b = tree.add_basic_event("b", 0.10);
+  const auto c = tree.add_basic_event("c", 0.15);
+  const auto d = tree.add_basic_event("d", 0.20);
+  const auto g1 = tree.add_and({a, b});
+  const auto g2 = tree.add_or({c, d});
+  tree.add_or({g1, g2});
+  EXPECT_NEAR(uf::top_event_probability(tree),
+              uf::top_event_probability_structural(tree), 1e-12);
+}
+
+TEST(FaultTree, EvaluateStructureFunction) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  const auto b = tree.add_basic_event("b", 0.1);
+  tree.add_and({a, b});
+  EXPECT_TRUE(tree.evaluate_top({true, true}));
+  EXPECT_FALSE(tree.evaluate_top({true, false}));
+}
+
+TEST(FaultTree, SetEventProbabilityUpdates) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  tree.add_or({a});
+  EXPECT_NEAR(uf::top_event_probability(tree), 0.1, 1e-15);
+  tree.set_event_probability(a, 0.4);
+  EXPECT_NEAR(uf::top_event_probability(tree), 0.4, 1e-15);
+}
+
+TEST(FaultTree, TopDefaultsToLastGate) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.25);
+  EXPECT_EQ(tree.top(), a);  // single node
+  const auto g = tree.add_or({a});
+  EXPECT_EQ(tree.top(), g);
+  tree.set_top(a);
+  EXPECT_EQ(tree.top(), a);
+}
+
+TEST(FaultTree, RejectsInvalidGates) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  EXPECT_THROW((void)tree.add_and({}), ModelError);
+  EXPECT_THROW((void)tree.add_k_of_n(0, {a}), ModelError);
+  EXPECT_THROW((void)tree.add_k_of_n(2, {a}), ModelError);
+  EXPECT_THROW((void)tree.add_basic_event("bad", 1.5), ModelError);
+}
+
+TEST(Bdd, TerminalAndVariableBasics) {
+  uf::BddManager mgr(2);
+  EXPECT_EQ(mgr.apply_and(mgr.one(), mgr.zero()), mgr.zero());
+  EXPECT_EQ(mgr.apply_or(mgr.one(), mgr.zero()), mgr.one());
+  const auto x = mgr.variable(0);
+  EXPECT_EQ(mgr.apply_and(x, x), x);
+  EXPECT_EQ(mgr.apply_or(x, mgr.negate(x)), mgr.one());
+  EXPECT_EQ(mgr.apply_and(x, mgr.negate(x)), mgr.zero());
+}
+
+TEST(Bdd, HashConsingReusesNodes) {
+  uf::BddManager mgr(2);
+  const auto a1 = mgr.variable(0);
+  const auto a2 = mgr.variable(0);
+  EXPECT_EQ(a1, a2);
+  const std::size_t before = mgr.node_count();
+  (void)mgr.variable(0);
+  EXPECT_EQ(mgr.node_count(), before);
+}
+
+TEST(Bdd, ProbabilityOfMajorityFunction) {
+  uf::BddManager mgr(3);
+  const std::vector<uf::BddRef> vars{mgr.variable(0), mgr.variable(1),
+                                     mgr.variable(2)};
+  const auto maj = mgr.at_least(2, vars);
+  const double p = mgr.probability(maj, {0.5, 0.5, 0.5});
+  EXPECT_NEAR(p, 0.5, 1e-12);
+  EXPECT_NEAR(mgr.satisfying_count(maj), 4.0, 1e-9);
+}
+
+TEST(Bdd, NegationProbabilityComplement) {
+  uf::BddManager mgr(2);
+  const auto f = mgr.apply_and(mgr.variable(0), mgr.variable(1));
+  const auto nf = mgr.negate(f);
+  const std::vector<double> p{0.3, 0.7};
+  uf::BddManager& m = mgr;
+  EXPECT_NEAR(m.probability(f, p) + m.probability(nf, p), 1.0, 1e-12);
+}
+
+TEST(CutSets, SimpleAndOrStructure) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  const auto b = tree.add_basic_event("b", 0.1);
+  const auto c = tree.add_basic_event("c", 0.1);
+  const auto g = tree.add_and({b, c});
+  tree.add_or({a, g});
+  const auto cuts = uf::minimal_cut_sets(tree);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_TRUE(std::find(cuts.begin(), cuts.end(), uf::CutSet{"a"}) !=
+              cuts.end());
+  EXPECT_TRUE(std::find(cuts.begin(), cuts.end(), uf::CutSet{"b", "c"}) !=
+              cuts.end());
+}
+
+TEST(CutSets, AbsorptionRemovesSupersets) {
+  // top = OR(a, AND(a, b)): minimal cut sets = {{a}} only.
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  const auto b = tree.add_basic_event("b", 0.1);
+  const auto g = tree.add_and({a, b});
+  tree.add_or({a, g});
+  const auto cuts = uf::minimal_cut_sets(tree);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(*cuts.begin(), uf::CutSet{"a"});
+}
+
+TEST(CutSets, InclusionExclusionMatchesBdd) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.12);
+  const auto b = tree.add_basic_event("b", 0.2);
+  const auto c = tree.add_basic_event("c", 0.35);
+  const auto g1 = tree.add_and({a, b});
+  const auto g2 = tree.add_and({b, c});
+  tree.add_or({g1, g2});
+  const auto cuts = uf::minimal_cut_sets(tree);
+  EXPECT_NEAR(uf::probability_from_cut_sets(tree, cuts),
+              uf::top_event_probability(tree), 1e-12);
+}
+
+TEST(CutSets, RareEventBoundIsUpperBound) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.01);
+  const auto b = tree.add_basic_event("b", 0.02);
+  tree.add_or({a, b});
+  const auto cuts = uf::minimal_cut_sets(tree);
+  const double bound = uf::rare_event_bound(tree, cuts);
+  const double exact = uf::top_event_probability(tree);
+  EXPECT_GE(bound, exact);
+  EXPECT_NEAR(bound, 0.03, 1e-12);
+}
+
+TEST(CutSets, KofNCutSets) {
+  uf::FaultTree tree;
+  const auto a = tree.add_basic_event("a", 0.1);
+  const auto b = tree.add_basic_event("b", 0.1);
+  const auto c = tree.add_basic_event("c", 0.1);
+  const auto d = tree.add_basic_event("d", 0.1);
+  tree.add_k_of_n(3, {a, b, c, d});
+  // Cut sets = all 3-subsets: C(4,3) = 4.
+  EXPECT_EQ(uf::minimal_cut_sets(tree).size(), 4u);
+}

@@ -1,0 +1,201 @@
+// Unit tests for upa::linalg: dense matrices, LU solves, sparse CSR, and
+// the iterative kernels.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/linalg/iterative.hpp"
+#include "upa/linalg/lu.hpp"
+#include "upa/linalg/matrix.hpp"
+#include "upa/linalg/sparse.hpp"
+
+namespace ul = upa::linalg;
+using upa::common::ModelError;
+
+TEST(Matrix, ConstructAndIndex) {
+  ul::Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+  EXPECT_THROW((void)m.at(2, 0), ModelError);
+}
+
+TEST(Matrix, InitializerListAndEquality) {
+  ul::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  ul::Matrix same{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m, same);
+  EXPECT_THROW((ul::Matrix{{1.0}, {1.0, 2.0}}), ModelError);
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  const ul::Matrix i = ul::Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  ul::Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const ul::Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  ul::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  ul::Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  const ul::Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const ul::Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 0.0);
+  const ul::Matrix scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  ul::Matrix wrong(3, 3);
+  EXPECT_THROW(a += wrong, ModelError);
+}
+
+TEST(Matrix, ProductMatchesHandComputation) {
+  ul::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  ul::Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const ul::Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, VectorProducts) {
+  ul::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const ul::Vector x{1.0, 1.0};
+  const ul::Vector ax = a * x;
+  EXPECT_DOUBLE_EQ(ax[0], 3.0);
+  EXPECT_DOUBLE_EQ(ax[1], 7.0);
+  const ul::Vector xa = ul::left_multiply(x, a);
+  EXPECT_DOUBLE_EQ(xa[0], 4.0);
+  EXPECT_DOUBLE_EQ(xa[1], 6.0);
+}
+
+TEST(Matrix, Norms) {
+  const ul::Vector v{-3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(ul::norm_inf(v), 3.0);
+  EXPECT_DOUBLE_EQ(ul::norm_1(v), 6.0);
+  EXPECT_DOUBLE_EQ(ul::dot(v, v), 14.0);
+}
+
+TEST(Lu, SolvesWellConditionedSystem) {
+  ul::Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const ul::Vector b{1.0, 2.0};
+  const ul::Vector x = ul::solve(a, b);
+  EXPECT_NEAR(4.0 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  ul::Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const ul::Vector x = ul::solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  ul::Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW((void)ul::solve(a, {1.0, 1.0}), ModelError);
+}
+
+TEST(Lu, DeterminantWithSign) {
+  ul::LuDecomposition lu(ul::Matrix{{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+  ul::LuDecomposition lu2(ul::Matrix{{2.0, 0.0}, {0.0, 3.0}});
+  EXPECT_NEAR(lu2.determinant(), 6.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  ul::Matrix a{{4.0, 7.0, 2.0}, {3.0, 5.0, 1.0}, {2.0, 1.0, 6.0}};
+  const ul::Matrix inv = ul::inverse(a);
+  const ul::Matrix prod = a * inv;
+  EXPECT_LT(ul::max_abs_diff(prod, ul::Matrix::identity(3)), 1e-10);
+}
+
+TEST(Lu, MultiRhsSolveMatchesSingle) {
+  ul::Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  ul::LuDecomposition lu(a);
+  ul::Matrix b{{1.0, 0.0}, {2.0, 1.0}};
+  const ul::Matrix x = lu.solve(b);
+  const ul::Vector x0 = lu.solve(ul::Vector{1.0, 2.0});
+  EXPECT_NEAR(x(0, 0), x0[0], 1e-14);
+  EXPECT_NEAR(x(1, 0), x0[1], 1e-14);
+}
+
+TEST(Sparse, AssemblySumsDuplicatesAndSkipsZeros) {
+  std::vector<ul::Triplet> t{{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 0.5},
+                             {1, 0, 1.0}, {1, 0, -1.0}};
+  ul::SparseMatrix m(2, 2, t);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);  // cancelled out
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  std::vector<ul::Triplet> t{{0, 1, 2.0}, {1, 0, 3.0}, {1, 2, 1.0},
+                             {2, 2, 4.0}};
+  ul::SparseMatrix s(3, 3, t);
+  const ul::Matrix d = s.to_dense();
+  const ul::Vector x{1.0, 2.0, 3.0};
+  const ul::Vector ys = s.multiply(x);
+  const ul::Vector yd = d * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-14);
+  const ul::Vector ls = s.left_multiply(x);
+  const ul::Vector ld = ul::left_multiply(x, d);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ls[i], ld[i], 1e-14);
+}
+
+TEST(Sparse, RejectsOutOfRangeTriplets) {
+  std::vector<ul::Triplet> t{{5, 0, 1.0}};
+  EXPECT_THROW(ul::SparseMatrix(2, 2, t), ModelError);
+}
+
+TEST(Iterative, PowerIterationFindsStationary) {
+  // Two-state chain: P = [[0.9, 0.1], [0.5, 0.5]]; pi = (5/6, 1/6).
+  std::vector<ul::Triplet> t{{0, 0, 0.9}, {0, 1, 0.1}, {1, 0, 0.5},
+                             {1, 1, 0.5}};
+  ul::SparseMatrix p(2, 2, t);
+  const auto result = ul::power_iteration(p);
+  EXPECT_NEAR(result.solution[0], 5.0 / 6.0, 1e-10);
+  EXPECT_NEAR(result.solution[1], 1.0 / 6.0, 1e-10);
+}
+
+TEST(Iterative, GaussSeidelSolvesDiagonallyDominant) {
+  std::vector<ul::Triplet> t{{0, 0, 4.0}, {0, 1, 1.0}, {1, 0, 1.0},
+                             {1, 1, 3.0}};
+  ul::SparseMatrix a(2, 2, t);
+  const auto result = ul::gauss_seidel(a, {1.0, 2.0});
+  EXPECT_NEAR(4.0 * result.solution[0] + result.solution[1], 1.0, 1e-10);
+  EXPECT_NEAR(result.solution[0] + 3.0 * result.solution[1], 2.0, 1e-10);
+}
+
+TEST(Iterative, JacobiAgreesWithGaussSeidel) {
+  std::vector<ul::Triplet> t{{0, 0, 5.0}, {0, 1, 2.0}, {1, 0, 1.0},
+                             {1, 1, 4.0}};
+  ul::SparseMatrix a(2, 2, t);
+  const auto gs = ul::gauss_seidel(a, {3.0, 4.0});
+  const auto j = ul::jacobi(a, {3.0, 4.0});
+  EXPECT_NEAR(gs.solution[0], j.solution[0], 1e-9);
+  EXPECT_NEAR(gs.solution[1], j.solution[1], 1e-9);
+}
+
+TEST(Iterative, ReportsConvergenceFailure) {
+  // Not diagonally dominant; Jacobi diverges.
+  std::vector<ul::Triplet> t{{0, 0, 1.0}, {0, 1, 5.0}, {1, 0, 5.0},
+                             {1, 1, 1.0}};
+  ul::SparseMatrix a(2, 2, t);
+  ul::IterativeOptions options;
+  options.max_iterations = 200;
+  EXPECT_THROW((void)ul::jacobi(a, {1.0, 1.0}, options),
+               upa::common::ConvergenceError);
+}
+
+TEST(Iterative, GaussSeidelRequiresNonZeroDiagonal) {
+  std::vector<ul::Triplet> t{{0, 1, 1.0}, {1, 0, 1.0}};
+  ul::SparseMatrix a(2, 2, t);
+  EXPECT_THROW((void)ul::gauss_seidel(a, {1.0, 1.0}), ModelError);
+}

@@ -1,0 +1,208 @@
+// Unit tests for upa::markov: CTMC construction/steady state, DTMC
+// stationary + absorbing-chain analysis, and birth-death closed forms.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/markov/birth_death.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/markov/dtmc.hpp"
+
+namespace um = upa::markov;
+namespace ul = upa::linalg;
+using upa::common::ModelError;
+
+TEST(Ctmc, TwoStateAvailabilityClosedForm) {
+  const double lambda = 1e-3;
+  const double mu = 0.5;
+  const um::Ctmc chain = um::two_state_availability(lambda, mu);
+  const ul::Vector pi = chain.steady_state();
+  EXPECT_NEAR(pi[0], um::two_state_steady_availability(lambda, mu), 1e-14);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-14);
+  EXPECT_NEAR(pi[0], mu / (lambda + mu), 1e-14);
+}
+
+TEST(Ctmc, GeneratorRowsSumToZero) {
+  um::Ctmc chain(3);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 2, 3.0);
+  chain.add_rate(2, 0, 4.0);
+  const ul::Matrix q = chain.generator();
+  for (std::size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += q(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(q(0, 0), -2.0);
+}
+
+TEST(Ctmc, SparseGeneratorMatchesDense) {
+  um::Ctmc chain(3);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.add_rate(1, 2, 3.0);
+  chain.add_rate(2, 1, 5.0);
+  EXPECT_LT(ul::max_abs_diff(chain.sparse_generator().to_dense(),
+                             chain.generator()),
+            1e-15);
+}
+
+TEST(Ctmc, RejectsBadRates) {
+  um::Ctmc chain(2);
+  EXPECT_THROW(chain.add_rate(0, 0, 1.0), ModelError);  // self loop
+  EXPECT_THROW(chain.add_rate(0, 1, -1.0), ModelError);
+  EXPECT_THROW(chain.add_rate(0, 1, 0.0), ModelError);
+  EXPECT_THROW(chain.add_rate(0, 5, 1.0), ModelError);
+}
+
+TEST(Ctmc, AccumulatesParallelRates) {
+  um::Ctmc chain(2);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 0, 6.0);
+  const ul::Vector pi = chain.steady_state();
+  // Effective 0->1 rate 3, 1->0 rate 6: pi = (2/3, 1/3).
+  EXPECT_NEAR(pi[0], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Ctmc, SteadyStateIterativeAgreesWithDirect) {
+  um::Ctmc chain(4);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 2.0);
+  chain.add_rate(2, 3, 3.0);
+  chain.add_rate(3, 0, 4.0);
+  chain.add_rate(2, 0, 0.5);
+  const ul::Vector direct = chain.steady_state();
+  const ul::Vector iterative = chain.steady_state_iterative();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(direct[i], iterative[i], 1e-9);
+  }
+}
+
+TEST(Ctmc, ExitRatesAndUniformizationConstant) {
+  um::Ctmc chain(3);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(0, 2, 3.0);
+  chain.add_rate(1, 0, 1.0);
+  chain.add_rate(2, 0, 1.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 5.0);
+  EXPECT_DOUBLE_EQ(chain.max_exit_rate(), 5.0);
+}
+
+TEST(Ctmc, MeanTimeToAbsorptionTwoState) {
+  // Pure death chain 1 -> 0 with rate lambda: MTTA = 1/lambda.
+  um::Ctmc chain(2);
+  chain.add_rate(1, 0, 0.25);
+  EXPECT_NEAR(chain.mean_time_to_absorption(1, {0}), 4.0, 1e-12);
+}
+
+TEST(Ctmc, MttfOfParallelPairWithRepair) {
+  // Classic 2-component parallel system, failure rate l each, repair m,
+  // absorbing when both failed. States: 2 up, 1 up, 0 up (absorbing).
+  // MTTF = (3l + m) / (2 l^2).
+  const double l = 0.01;
+  const double m = 1.0;
+  um::Ctmc chain(3);
+  chain.add_rate(0, 1, 2 * l);  // state 0 = both up
+  chain.add_rate(1, 0, m);
+  chain.add_rate(1, 2, l);
+  const double expected = (3 * l + m) / (2 * l * l);
+  EXPECT_NEAR(chain.mean_time_to_absorption(0, {2}) / expected, 1.0, 1e-12);
+}
+
+TEST(Ctmc, SteadyStateMassOfSubset) {
+  um::Ctmc chain = um::two_state_availability(1.0, 3.0);
+  EXPECT_NEAR(chain.steady_state_mass({0}), 0.75, 1e-12);
+  EXPECT_NEAR(chain.steady_state_mass({0, 1}), 1.0, 1e-12);
+}
+
+TEST(Ctmc, LabelsRoundTrip) {
+  um::Ctmc chain(2);
+  chain.set_label(0, "operational");
+  EXPECT_EQ(chain.label(0), "operational");
+  EXPECT_EQ(chain.label(1), "s1");
+}
+
+TEST(Dtmc, ValidatesStochasticRows) {
+  EXPECT_THROW(um::Dtmc(ul::Matrix{{0.5, 0.4}, {0.0, 1.0}}), ModelError);
+  EXPECT_THROW(um::Dtmc(ul::Matrix{{1.2, -0.2}, {0.0, 1.0}}), ModelError);
+  EXPECT_NO_THROW(um::Dtmc(ul::Matrix{{0.5, 0.5}, {0.25, 0.75}}));
+}
+
+TEST(Dtmc, StationaryDistributionTwoState) {
+  um::Dtmc chain(ul::Matrix{{0.9, 0.1}, {0.3, 0.7}});
+  const ul::Vector pi = chain.stationary_distribution();
+  EXPECT_NEAR(pi[0], 0.75, 1e-12);
+  EXPECT_NEAR(pi[1], 0.25, 1e-12);
+  // Verify fixed point.
+  const ul::Vector next = chain.distribution_after(pi, 1);
+  EXPECT_NEAR(next[0], pi[0], 1e-12);
+}
+
+TEST(Dtmc, DistributionAfterSteps) {
+  um::Dtmc chain(ul::Matrix{{0.0, 1.0}, {1.0, 0.0}});
+  const ul::Vector after3 = chain.distribution_after({1.0, 0.0}, 3);
+  EXPECT_NEAR(after3[1], 1.0, 1e-14);
+}
+
+TEST(Absorbing, GamblersRuinProbabilities) {
+  // States 0..4; 0 and 4 absorbing; fair coin moves +-1.
+  ul::Matrix p(5, 5);
+  p(0, 0) = 1.0;
+  p(4, 4) = 1.0;
+  for (std::size_t s = 1; s <= 3; ++s) {
+    p(s, s - 1) = 0.5;
+    p(s, s + 1) = 0.5;
+  }
+  um::Dtmc chain(p);
+  um::AbsorbingChainAnalysis analysis(chain, {0, 4});
+  EXPECT_NEAR(analysis.absorption_probability(1, 4), 0.25, 1e-12);
+  EXPECT_NEAR(analysis.absorption_probability(2, 4), 0.50, 1e-12);
+  EXPECT_NEAR(analysis.absorption_probability(3, 4), 0.75, 1e-12);
+  // Expected duration from the middle: i(N-i) = 4.
+  EXPECT_NEAR(analysis.expected_steps_to_absorption(2), 4.0, 1e-12);
+}
+
+TEST(Absorbing, ExpectedVisitsGeometric) {
+  // State 0 self-loops with 0.5, else absorbs: visits ~ geometric mean 2.
+  ul::Matrix p(2, 2);
+  p(0, 0) = 0.5;
+  p(0, 1) = 0.5;
+  p(1, 1) = 1.0;
+  um::Dtmc chain(p);
+  um::AbsorbingChainAnalysis analysis(chain, {1});
+  EXPECT_NEAR(analysis.expected_visits(0, 0), 2.0, 1e-12);
+}
+
+TEST(Absorbing, RejectsNonAbsorbingTarget) {
+  um::Dtmc chain(ul::Matrix{{0.5, 0.5}, {0.5, 0.5}});
+  EXPECT_THROW(um::AbsorbingChainAnalysis(chain, {1}), ModelError);
+}
+
+TEST(BirthDeath, MatchesExplicitCtmc) {
+  um::BirthDeath bd({2.0, 1.0, 0.5}, {1.0, 1.0, 2.0});
+  const ul::Vector closed = bd.steady_state();
+  const ul::Vector numeric = bd.to_ctmc().steady_state();
+  ASSERT_EQ(closed.size(), numeric.size());
+  for (std::size_t i = 0; i < closed.size(); ++i) {
+    EXPECT_NEAR(closed[i], numeric[i], 1e-12);
+  }
+}
+
+TEST(BirthDeath, HandlesExtremeRateRatios) {
+  // mu/lambda = 1e8 over 6 states: must not overflow or lose normalization.
+  std::vector<double> birth(6, 1e4);
+  std::vector<double> death(6, 1e-4);
+  um::BirthDeath bd(birth, death);
+  const ul::Vector pi = bd.steady_state();
+  double sum = 0.0;
+  for (double p : pi) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(pi.back(), 0.99);
+}
+
+TEST(BirthDeath, RejectsBadInput) {
+  EXPECT_THROW(um::BirthDeath({}, {}), ModelError);
+  EXPECT_THROW(um::BirthDeath({1.0}, {1.0, 2.0}), ModelError);
+  EXPECT_THROW(um::BirthDeath({-1.0}, {1.0}), ModelError);
+}

@@ -1,0 +1,142 @@
+// Tests for transient CTMC solutions (uniformization) and reward models,
+// including the quasi-steady-state behaviour the paper's composite
+// performance-availability approach relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/markov/reward.hpp"
+#include "upa/markov/transient.hpp"
+
+namespace um = upa::markov;
+namespace ul = upa::linalg;
+
+namespace {
+
+um::Ctmc two_state(double lambda, double mu) {
+  return um::two_state_availability(lambda, mu);
+}
+
+/// Closed-form point availability of the two-state model.
+double two_state_point_availability(double lambda, double mu, double t) {
+  const double s = lambda + mu;
+  return mu / s + (lambda / s) * std::exp(-s * t);
+}
+
+}  // namespace
+
+TEST(Transient, TimeZeroReturnsInitial) {
+  const um::Ctmc chain = two_state(0.2, 1.0);
+  const ul::Vector pi =
+      um::transient_distribution(chain, {0.3, 0.7}, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.3);
+  EXPECT_DOUBLE_EQ(pi[1], 0.7);
+}
+
+TEST(Transient, MatchesTwoStateClosedForm) {
+  const double lambda = 0.2;
+  const double mu = 1.0;
+  const um::Ctmc chain = two_state(lambda, mu);
+  for (double t : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    const double numeric =
+        um::point_availability(chain, {1.0, 0.0}, t, {0});
+    const double exact = two_state_point_availability(lambda, mu, t);
+    EXPECT_NEAR(numeric, exact, 1e-10) << "t = " << t;
+  }
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+  um::Ctmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 0.5);
+  chain.add_rate(2, 0, 0.25);
+  const ul::Vector steady = chain.steady_state();
+  const ul::Vector late =
+      um::transient_distribution(chain, {1.0, 0.0, 0.0}, 500.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(late[i], steady[i], 1e-8);
+  }
+}
+
+TEST(Transient, DistributionStaysNormalized) {
+  um::Ctmc chain(4);
+  chain.add_rate(0, 1, 3.0);
+  chain.add_rate(1, 2, 2.0);
+  chain.add_rate(2, 3, 1.0);
+  chain.add_rate(3, 0, 0.5);
+  const ul::Vector pi =
+      um::transient_distribution(chain, {0.25, 0.25, 0.25, 0.25}, 7.0);
+  double sum = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Transient, RejectsBadInitialDistribution) {
+  const um::Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(
+      (void)um::transient_distribution(chain, {0.6, 0.6}, 1.0),
+      upa::common::ModelError);
+  EXPECT_THROW((void)um::transient_distribution(chain, {1.0}, 1.0),
+               upa::common::ModelError);
+}
+
+TEST(Transient, IntervalAvailabilityBetweenPointExtremes) {
+  const double lambda = 0.5;
+  const double mu = 2.0;
+  const um::Ctmc chain = two_state(lambda, mu);
+  const double t = 2.0;
+  const double interval =
+      um::interval_availability(chain, {1.0, 0.0}, t, {0}, 400);
+  const double at_end = two_state_point_availability(lambda, mu, t);
+  // Starting up, availability decays monotonically: the time average lies
+  // between the end-point and the initial value 1.
+  EXPECT_GT(interval, at_end);
+  EXPECT_LT(interval, 1.0);
+  // Exact integral: A_I(t) = mu/s + lambda/s^2 (1 - e^{-s t}) / t.
+  const double s = lambda + mu;
+  const double exact =
+      mu / s + lambda / (s * s) * (1.0 - std::exp(-s * t)) / t;
+  EXPECT_NEAR(interval, exact, 1e-6);
+}
+
+TEST(Reward, SteadyStateRewardIsWeightedAverage) {
+  um::RewardModel model(two_state(1.0, 3.0), {1.0, 0.25});
+  // pi = (0.75, 0.25): reward = 0.75 + 0.25 * 0.25.
+  EXPECT_NEAR(model.steady_state_reward(), 0.8125, 1e-12);
+}
+
+TEST(Reward, TransientRewardMatchesAvailabilityWhenIndicator) {
+  const double lambda = 0.3;
+  const double mu = 1.5;
+  um::RewardModel model(two_state(lambda, mu), {1.0, 0.0});
+  const double t = 0.8;
+  EXPECT_NEAR(model.transient_reward({1.0, 0.0}, t),
+              two_state_point_availability(lambda, mu, t), 1e-10);
+}
+
+TEST(Reward, IntervalRewardApproachesSteadyForLongHorizons) {
+  um::RewardModel model(two_state(0.4, 2.0), {1.0, 0.0});
+  const double steady = model.steady_state_reward();
+  EXPECT_NEAR(model.interval_reward({1.0, 0.0}, 400.0, 400), steady, 1e-3);
+}
+
+TEST(Reward, RejectsMismatchedRewardVector) {
+  EXPECT_THROW(um::RewardModel(two_state(1.0, 1.0), {1.0}),
+               upa::common::ModelError);
+}
+
+TEST(QuasiSteadyState, WebFarmTimescaleSeparationHolds) {
+  // Failure/repair rates are per hour; request service is 100/s =
+  // 360000/h. The composite approach needs exit_rate << service rate.
+  um::Ctmc chain(2);
+  chain.add_rate(0, 1, 4e-4);  // 4 servers failing at 1e-4/h
+  chain.add_rate(1, 0, 1.0);   // repair 1/h
+  const double service_rate_per_hour = 100.0 * 3600.0;
+  EXPECT_LT(chain.max_exit_rate() / service_rate_per_hour, 1e-5);
+}

@@ -1,0 +1,288 @@
+// Integration tests pinning the paper's published results (DSN'03):
+// the A(WS) anchor, Table 8's values and shape, the Figure 11/12
+// monotonicity properties, the Figure 13 category breakdown, the
+// Section 5.1 design decisions, and the Section 5.2 revenue example.
+// Known paper inconsistencies are documented in EXPERIMENTS.md; tests
+// below encode what IS reproducible and the agreed-on tolerances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/core/web_farm.hpp"
+#include "upa/sensitivity/threshold.hpp"
+#include "upa/ta/revenue.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace ut = upa::ta;
+namespace uc = upa::core;
+namespace us = upa::sensitivity;
+
+namespace {
+
+ut::TaParameters paper(std::size_t n_reservation) {
+  return ut::TaParameters::paper_defaults().with_reservation_systems(
+      n_reservation);
+}
+
+double ua_imperfect(std::size_t n_web, double lambda, double alpha) {
+  uc::WebFarmParams farm;
+  farm.servers = n_web;
+  farm.failure_rate = lambda;
+  farm.repair_rate = 1.0;
+  farm.coverage = 0.98;
+  farm.reconfiguration_rate = 12.0;
+  uc::WebQueueParams queue;
+  queue.arrival_rate = alpha;
+  queue.service_rate = 100.0;
+  queue.buffer = 10;
+  return 1.0 - uc::web_service_availability_imperfect(farm, queue);
+}
+
+}  // namespace
+
+TEST(PaperAnchors, WebServiceAvailabilityTable7) {
+  // Table 7: A(WS) = 0.999995587 (N_W=4, c=0.98, alpha=100/s,
+  // lambda=1e-4/h). Exact reproduction (this anchor also settles the
+  // eq. 7-9 index-bound typo; see DESIGN.md).
+  const double aws = ut::web_service_availability(paper(1));
+  EXPECT_NEAR(aws, 0.999995587, 5e-10);
+}
+
+TEST(PaperTable8, ClassAFirstRowMatchesClosely) {
+  // Paper: A(class A, N=1) = 0.84235. With Table 7 parameters taken
+  // literally we compute 0.84227 (8e-5 off; the remaining Table 8 cells
+  // are not derivable from Table 7 -- see EXPERIMENTS.md).
+  const double a = ut::user_availability_eq10(ut::UserClass::kA, paper(1));
+  EXPECT_NEAR(a, 0.84235, 2.5e-4);
+  EXPECT_NEAR(a, 0.8422672, 1e-5);  // regression pin of our exact value
+}
+
+TEST(PaperTable8, MonotoneIncreasingAndSaturating) {
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    std::vector<double> a;
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 10u}) {
+      a.push_back(ut::user_availability_eq10(uclass, paper(n)));
+    }
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      EXPECT_GT(a[i], a[i - 1]);
+    }
+    // Saturation: the N=5 -> N=10 gain is tiny (paper: 2e-5 / 3e-5).
+    EXPECT_LT(a[5] - a[4], 1e-4);
+    // Early steps dominate: N=1 -> 2 gains over 0.1.
+    EXPECT_GT(a[1] - a[0], 0.1);
+  }
+}
+
+TEST(PaperTable8, ClassAAlwaysAboveClassB) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 10u}) {
+    EXPECT_GT(ut::user_availability_eq10(ut::UserClass::kA, paper(n)),
+              ut::user_availability_eq10(ut::UserClass::kB, paper(n)))
+        << "N = " << n;
+  }
+}
+
+TEST(PaperTable8, StepDeltasMatchPaperWithinFivePercent) {
+  // The N-dependence isolates the external-service term, which IS
+  // consistent between Table 7 and Table 8. Paper deltas:
+  //   class A: A(3)-A(2) = 0.01358, A(4)-A(3) = 0.00137
+  //   class B: A(3)-A(2) = 0.02064, A(4)-A(3) = 0.00209
+  const double a2 = ut::user_availability_eq10(ut::UserClass::kA, paper(2));
+  const double a3 = ut::user_availability_eq10(ut::UserClass::kA, paper(3));
+  const double a4 = ut::user_availability_eq10(ut::UserClass::kA, paper(4));
+  EXPECT_NEAR((a3 - a2) / 0.01358, 1.0, 0.05);
+  EXPECT_NEAR((a4 - a3) / 0.00137, 1.0, 0.05);
+  const double b2 = ut::user_availability_eq10(ut::UserClass::kB, paper(2));
+  const double b3 = ut::user_availability_eq10(ut::UserClass::kB, paper(3));
+  const double b4 = ut::user_availability_eq10(ut::UserClass::kB, paper(4));
+  EXPECT_NEAR((b3 - b2) / 0.02064, 1.0, 0.05);
+  EXPECT_NEAR((b4 - b3) / 0.00209, 1.0, 0.05);
+}
+
+TEST(PaperFigure11, PerfectCoverageMonotoneDecreasing) {
+  // Fig. 11: with perfect coverage, unavailability decreases in N_W for
+  // every (lambda, alpha) combination shown.
+  for (double lambda : {1e-2, 1e-3, 1e-4}) {
+    for (double alpha : {50.0, 100.0, 150.0}) {
+      uc::WebQueueParams queue{alpha, 100.0, 10};
+      double previous = 2.0;
+      for (std::size_t n = 1; n <= 10; ++n) {
+        uc::WebFarmParams farm{n, lambda, 1.0, 1.0, 12.0};
+        const double ua =
+            1.0 - uc::web_service_availability_perfect(farm, queue);
+        EXPECT_LE(ua, previous * (1.0 + 1e-12))
+            << "lambda=" << lambda << " alpha=" << alpha << " n=" << n;
+        previous = ua;
+      }
+    }
+  }
+}
+
+TEST(PaperFigure11, FailureRateMattersOnlyBelowSaturation) {
+  // "the web servers failure rate has a significant impact on
+  // availability only when the system load (alpha/nu) is lower than 1".
+  // At alpha = 150 (load 1.5), the queue loss dominates: lambda barely
+  // changes UA. At alpha = 50, lambda changes UA by orders of magnitude.
+  const std::size_t n = 3;
+  uc::WebQueueParams loaded{150.0, 100.0, 10};
+  uc::WebQueueParams light{50.0, 100.0, 10};
+  auto ua = [&](double lambda, const uc::WebQueueParams& q) {
+    uc::WebFarmParams farm{n, lambda, 1.0, 1.0, 12.0};
+    return 1.0 - uc::web_service_availability_perfect(farm, q);
+  };
+  // Overload (rho = 1.5): queue loss dominates, lambda changes UA < 2x.
+  EXPECT_LT(ua(1e-2, loaded) / ua(1e-4, loaded), 2.5);
+  // Light load (rho = 0.5): lambda changes UA by two orders of magnitude.
+  EXPECT_GT(ua(1e-2, light) / ua(1e-4, light), 50.0);
+}
+
+TEST(PaperFigure12, ImperfectCoverageReversesTrend) {
+  // Fig. 12: "the trend is reversed ... for N_W values higher than 4".
+  // Exactly: the unavailability valley bottoms out between N_W = 3 and 7
+  // depending on (lambda, alpha), then the uncovered-failure mass makes
+  // it rise again. The rising tail is the paper's headline effect.
+  for (double lambda : {1e-4, 1e-3}) {
+    for (double alpha : {50.0, 100.0}) {
+      std::vector<double> ua;
+      for (std::size_t n = 1; n <= 10; ++n) {
+        ua.push_back(ua_imperfect(n, lambda, alpha));
+      }
+      const auto min_it = std::min_element(ua.begin(), ua.end());
+      const std::size_t best_n =
+          static_cast<std::size_t>(min_it - ua.begin()) + 1;
+      EXPECT_GE(best_n, 2u);
+      EXPECT_LE(best_n, 7u);
+      EXPECT_GT(ua[9], *min_it * 1.05);  // rising tail
+    }
+  }
+  // The configuration closest to the paper's narrative: lambda = 1e-3,
+  // alpha = 100 bottoms out at N_W = 5 (the paper reads 4 off the plot).
+  std::vector<double> ua;
+  for (std::size_t n = 1; n <= 10; ++n) {
+    ua.push_back(ua_imperfect(n, 1e-3, 100.0));
+  }
+  const auto min_it = std::min_element(ua.begin(), ua.end());
+  EXPECT_EQ(min_it - ua.begin() + 1, 5);
+}
+
+TEST(PaperFigure12, HighFailureRateCannotReachFiveMinutesPerYear) {
+  // "such a requirement cannot be satisfied with a failure rate of
+  // 1e-2 per hour".
+  const auto feasible = us::satisfying_set(1, 10, [](std::size_t n) {
+    return ua_imperfect(n, 1e-2, 50.0) < 1e-5;
+  });
+  EXPECT_TRUE(feasible.empty());
+}
+
+TEST(PaperSection51, MinimumServersForFiveMinutesPerYear) {
+  // lambda = 1e-4/h: N_W = 2 at alpha = 50/s and N_W = 4 at alpha =
+  // 100/s (paper). Exact computation confirms both.
+  const auto n50 = us::min_satisfying(1, 10, [](std::size_t n) {
+    return ua_imperfect(n, 1e-4, 50.0) < 1e-5;
+  });
+  ASSERT_TRUE(n50.has_value());
+  EXPECT_EQ(*n50, 2u);
+  const auto n100 = us::min_satisfying(1, 10, [](std::size_t n) {
+    return ua_imperfect(n, 1e-4, 100.0) < 1e-5;
+  });
+  ASSERT_TRUE(n100.has_value());
+  EXPECT_EQ(*n100, 4u);
+}
+
+TEST(PaperSection51, BorderlineLambdaCase) {
+  // The paper reads N_W = 4 off Figure 12 for lambda = 1e-3/h,
+  // alpha = 100/s; the exact solution is marginally above 1e-5 at
+  // N_W = 4 and first satisfies the requirement at N_W = 5 -- and, due
+  // to the coverage reversal, ONLY at N_W = 5.
+  const auto feasible = us::satisfying_set(1, 10, [](std::size_t n) {
+    return ua_imperfect(n, 1e-3, 100.0) < 1e-5;
+  });
+  EXPECT_EQ(feasible, (std::vector<std::size_t>{5}));
+  EXPECT_LT(ua_imperfect(4, 1e-3, 100.0), 1.2e-5);  // borderline, not far
+}
+
+TEST(PaperSection51, ThreeServersKeepUnderOneHourPerYearBelowLoadOne) {
+  // "if we decide to employ three servers ... unavailability lower than
+  // 1 hour per year, when the failure rate varies from 1e-2 to 1e-4 and
+  // the system load is less than 1".
+  const double one_hour_per_year = 1.0 / 8760.0;
+  for (double lambda : {1e-2, 1e-3, 1e-4}) {
+    for (double alpha : {50.0, 90.0}) {
+      EXPECT_LT(ua_imperfect(3, lambda, alpha), one_hour_per_year)
+          << "lambda=" << lambda << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(PaperFigure13, CategoryContributionsSumToTotal) {
+  for (const auto uclass : {ut::UserClass::kA, ut::UserClass::kB}) {
+    const auto breakdown = ut::category_breakdown(uclass, paper(5));
+    double sum = 0.0;
+    for (const auto& [cat, ua] : breakdown.unavailability) sum += ua;
+    EXPECT_NEAR(sum, breakdown.total_unavailability, 1e-12);
+    EXPECT_NEAR(
+        breakdown.total_unavailability,
+        1.0 - ut::user_availability_eq10(uclass, paper(5)), 1e-12);
+  }
+}
+
+TEST(PaperFigure13, PayCategoryRatioMatchesScenarioMasses) {
+  // Paper: 43 h/yr (class B) vs 16 h/yr (class A) for SC4, ratio ~2.7 =
+  // the pay-scenario mass ratio 0.203 / 0.075. The ratio is exactly
+  // reproducible (the absolute hours are not derivable from Table 7;
+  // see EXPERIMENTS.md).
+  const auto a = ut::category_breakdown(ut::UserClass::kA, paper(5));
+  const auto b = ut::category_breakdown(ut::UserClass::kB, paper(5));
+  const double ratio =
+      b.unavailability.at(ut::ScenarioCategory::kSC4) /
+      a.unavailability.at(ut::ScenarioCategory::kSC4);
+  EXPECT_NEAR(ratio, 0.203 / 0.075, 0.01);
+}
+
+TEST(PaperFigure13, ClassBSuffersMoreInTransactionCategories) {
+  const auto a = ut::category_breakdown(ut::UserClass::kA, paper(5));
+  const auto b = ut::category_breakdown(ut::UserClass::kB, paper(5));
+  for (const auto cat : {ut::ScenarioCategory::kSC2, ut::ScenarioCategory::kSC3,
+                         ut::ScenarioCategory::kSC4}) {
+    EXPECT_GT(b.unavailability.at(cat), a.unavailability.at(cat));
+  }
+  // Class A browses more, so SC1 hits it harder.
+  EXPECT_GT(a.unavailability.at(ut::ScenarioCategory::kSC1),
+            b.unavailability.at(ut::ScenarioCategory::kSC1));
+}
+
+TEST(PaperSection52, RevenueLossArithmetic) {
+  // The paper's arithmetic: lost transactions = rate * SC4 downtime;
+  // revenue = $100 each. Verify the pipeline end to end and the B:A
+  // ratio ~2.7 the paper's 15.5M vs 5.7M implies.
+  const ut::RevenueParams biz;  // 100 tx/s, $100
+  const auto loss_a = ut::revenue_loss(ut::UserClass::kA, paper(5), biz);
+  const auto loss_b = ut::revenue_loss(ut::UserClass::kB, paper(5), biz);
+  EXPECT_NEAR(loss_a.lost_transactions_per_year,
+              100.0 * 3600.0 * loss_a.pay_downtime_hours_per_year, 1e-6);
+  EXPECT_NEAR(loss_a.lost_revenue_per_year,
+              100.0 * loss_a.lost_transactions_per_year, 1e-3);
+  EXPECT_NEAR(loss_b.lost_transactions_per_year /
+                  loss_a.lost_transactions_per_year,
+              0.203 / 0.075, 0.01);
+  EXPECT_GT(loss_b.lost_revenue_per_year, loss_a.lost_revenue_per_year);
+}
+
+TEST(PaperQualitative, FirstOrderServicesDominateUserAvailability) {
+  // "the availabilities of the LAN, the net and the web service are the
+  // most influential ones": numerically differentiate eq. 10 wrt each
+  // service availability through parameter perturbation.
+  const auto p = paper(5);
+  const double base = ut::user_availability_eq10(ut::UserClass::kB, p);
+  auto bump_net = p;
+  bump_net.a_net += 1e-4;
+  auto bump_payment = p;
+  bump_payment.a_payment += 1e-4;
+  const double d_net =
+      ut::user_availability_eq10(ut::UserClass::kB, bump_net) - base;
+  const double d_payment =
+      ut::user_availability_eq10(ut::UserClass::kB, bump_payment) - base;
+  EXPECT_GT(d_net, d_payment * 2.0);
+}

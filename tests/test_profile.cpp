@@ -1,0 +1,170 @@
+// Tests for the operational-profile module: builder validation, DTMC
+// analyses (visits, session length, invocation probability), and exact
+// visited-set scenario probabilities.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/profile/operational_profile.hpp"
+#include "upa/profile/scenario.hpp"
+#include "upa/profile/session_graph.hpp"
+
+namespace up = upa::profile;
+using upa::common::ModelError;
+
+namespace {
+
+/// Start -> A (always); A -> Exit 0.5, A -> B 0.5; B -> Exit.
+up::OperationalProfile simple_two_function() {
+  return up::SessionGraphBuilder()
+      .add_function("A")
+      .add_function("B")
+      .transition("Start", "A", 1.0)
+      .transition("A", "Exit", 0.5)
+      .transition("A", "B", 0.5)
+      .transition("B", "Exit", 1.0)
+      .build();
+}
+
+}  // namespace
+
+TEST(SessionGraph, BuildValidatesRowSums) {
+  up::SessionGraphBuilder builder;
+  builder.add_function("A");
+  builder.transition("Start", "A", 1.0).transition("A", "Exit", 0.6);
+  EXPECT_THROW((void)builder.build(), ModelError);  // A row sums to 0.6
+}
+
+TEST(SessionGraph, RejectsReservedAndDuplicateNames) {
+  up::SessionGraphBuilder builder;
+  EXPECT_THROW(builder.add_function("Start"), ModelError);
+  builder.add_function("A");
+  EXPECT_THROW(builder.add_function("A"), ModelError);
+  EXPECT_THROW(builder.transition("Exit", "A", 1.0), ModelError);
+  EXPECT_THROW(builder.transition("A", "Start", 1.0), ModelError);
+}
+
+TEST(SessionGraph, RejectsUnknownNodes) {
+  up::SessionGraphBuilder builder;
+  builder.add_function("A");
+  builder.transition("Start", "A", 1.0)
+      .transition("A", "Nowhere", 1.0);
+  EXPECT_THROW((void)builder.build(), ModelError);
+}
+
+TEST(Profile, FunctionLookupByName) {
+  const auto profile = simple_two_function();
+  EXPECT_EQ(profile.function_count(), 2u);
+  EXPECT_EQ(profile.function_index("B"), 1u);
+  EXPECT_EQ(profile.function_name(0), "A");
+  EXPECT_THROW((void)profile.function_index("C"), ModelError);
+}
+
+TEST(Profile, ExpectedVisitsSimpleChain) {
+  const auto profile = simple_two_function();
+  EXPECT_NEAR(profile.expected_visits(0), 1.0, 1e-12);   // A always once
+  EXPECT_NEAR(profile.expected_visits(1), 0.5, 1e-12);   // B half the time
+  EXPECT_NEAR(profile.mean_session_length(), 1.5, 1e-12);
+}
+
+TEST(Profile, ExpectedVisitsWithCycle) {
+  // A -> A with 0.5 (self loop via revisits): visits geometric, mean 2.
+  const auto profile = up::SessionGraphBuilder()
+                           .add_function("A")
+                           .transition("Start", "A", 1.0)
+                           .transition("A", "A", 0.5)
+                           .transition("A", "Exit", 0.5)
+                           .build();
+  EXPECT_NEAR(profile.expected_visits(0), 2.0, 1e-12);
+}
+
+TEST(Profile, InvocationProbability) {
+  const auto profile = simple_two_function();
+  EXPECT_NEAR(profile.invocation_probability(0), 1.0, 1e-12);
+  EXPECT_NEAR(profile.invocation_probability(1), 0.5, 1e-12);
+}
+
+TEST(Profile, DotExportMentionsAllNodes) {
+  const std::string dot = simple_two_function().to_dot();
+  EXPECT_NE(dot.find("Start"), std::string::npos);
+  EXPECT_NE(dot.find("Exit"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\""), std::string::npos);
+}
+
+TEST(Scenario, VisitedExactlySimpleSplit) {
+  const auto profile = simple_two_function();
+  // Visited {A} = 0.5; visited {A, B} = 0.5.
+  EXPECT_NEAR(up::visited_exactly_probability(profile, {0}), 0.5, 1e-12);
+  EXPECT_NEAR(up::visited_exactly_probability(profile, {0, 1}), 0.5, 1e-12);
+  // Visiting only B is impossible.
+  EXPECT_NEAR(up::visited_exactly_probability(profile, {1}), 0.0, 1e-12);
+}
+
+TEST(Scenario, ClassesSumToOne) {
+  const auto profile = up::SessionGraphBuilder()
+                           .add_function("X")
+                           .add_function("Y")
+                           .transition("Start", "X", 0.7)
+                           .transition("Start", "Y", 0.3)
+                           .transition("X", "Y", 0.4)
+                           .transition("X", "Exit", 0.6)
+                           .transition("Y", "X", 0.2)
+                           .transition("Y", "Exit", 0.8)
+                           .build();
+  const auto classes = up::scenario_classes(profile);
+  double total = 0.0;
+  for (const auto& c : classes) total += c.probability;
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  // Sorted descending.
+  for (std::size_t i = 1; i < classes.size(); ++i) {
+    EXPECT_GE(classes[i - 1].probability, classes[i].probability);
+  }
+}
+
+TEST(Scenario, CycleCollapsedIntoOneClass) {
+  // X <-> Y cycle: any alternation maps to class {X, Y}.
+  const auto profile = up::SessionGraphBuilder()
+                           .add_function("X")
+                           .add_function("Y")
+                           .transition("Start", "X", 1.0)
+                           .transition("X", "Y", 0.5)
+                           .transition("X", "Exit", 0.5)
+                           .transition("Y", "X", 0.5)
+                           .transition("Y", "Exit", 0.5)
+                           .build();
+  const double both = up::visited_exactly_probability(profile, {0, 1});
+  EXPECT_NEAR(both, 0.5, 1e-12);  // leaves X immediately with 0.5
+  EXPECT_NEAR(up::visited_exactly_probability(profile, {0}), 0.5, 1e-12);
+}
+
+TEST(ScenarioSet, ValidationAndInvocation) {
+  up::ScenarioSet set({"F", "G"});
+  set.add("St-F-Ex", {0}, 0.6);
+  set.add("St-F-G-Ex", {0, 1}, 0.4);
+  set.validate_complete();
+  EXPECT_NEAR(set.invocation_probability(0), 1.0, 1e-12);
+  EXPECT_NEAR(set.invocation_probability(1), 0.4, 1e-12);
+  EXPECT_EQ(set.scenarios().size(), 2u);
+}
+
+TEST(ScenarioSet, IncompleteTableRejected) {
+  up::ScenarioSet set({"F"});
+  set.add("St-F-Ex", {0}, 0.5);
+  EXPECT_THROW(set.validate_complete(), ModelError);
+}
+
+TEST(ScenarioSet, RejectsBadScenario) {
+  up::ScenarioSet set({"F"});
+  EXPECT_THROW(set.add("bad", {}, 0.1), ModelError);
+  EXPECT_THROW(set.add("bad", {7}, 0.1), ModelError);
+  EXPECT_THROW(set.add("bad", {0}, 1.5), ModelError);
+}
+
+TEST(Profile, RejectsMalformedMatrices) {
+  // Exit not absorbing.
+  upa::linalg::Matrix p(3, 3);
+  p(0, 1) = 1.0;
+  p(1, 2) = 1.0;
+  p(2, 1) = 1.0;  // Exit -> function: invalid
+  EXPECT_THROW(up::OperationalProfile({"A"}, p), ModelError);
+}

@@ -1,0 +1,272 @@
+// Randomized property tests (seeded, fully deterministic): generate
+// random model structures and check that independent engines agree on
+// them. This catches errors that hand-picked examples miss.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "upa/faulttree/bdd.hpp"
+#include "upa/faulttree/cutsets.hpp"
+#include "upa/linalg/lu.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/profile/scenario.hpp"
+#include "upa/profile/visit_distribution.hpp"
+#include "upa/queueing/birth_death_queue.hpp"
+#include "upa/queueing/mmck.hpp"
+#include "upa/rbd/block.hpp"
+#include "upa/rbd/paths.hpp"
+#include "upa/sim/rng.hpp"
+
+namespace ur = upa::rbd;
+namespace uf = upa::faulttree;
+namespace um = upa::markov;
+namespace up = upa::profile;
+
+namespace {
+
+/// Random series/parallel/k-of-n block over a small component pool
+/// (components repeat across branches, stressing the factoring path).
+ur::Block random_block(upa::sim::Xoshiro256& rng, int depth) {
+  const std::size_t pool = 6;
+  if (depth <= 0 || rng.uniform01() < 0.35) {
+    return ur::Block::component(
+        "c" + std::to_string(static_cast<std::size_t>(rng() % pool)));
+  }
+  const std::size_t arity = 2 + rng() % 3;
+  std::vector<ur::Block> children;
+  for (std::size_t i = 0; i < arity; ++i) {
+    children.push_back(random_block(rng, depth - 1));
+  }
+  const double pick = rng.uniform01();
+  if (pick < 0.4) return ur::Block::series(std::move(children));
+  if (pick < 0.8) return ur::Block::parallel(std::move(children));
+  const std::size_t k = 1 + rng() % children.size();
+  return ur::Block::k_of_n(k, std::move(children));
+}
+
+ur::ParamMap random_params(upa::sim::Xoshiro256& rng) {
+  ur::ParamMap params;
+  for (std::size_t i = 0; i < 6; ++i) {
+    params["c" + std::to_string(i)] = 0.5 + 0.5 * rng.uniform01();
+  }
+  return params;
+}
+
+/// Brute-force availability: enumerate all component states.
+double brute_force_availability(const ur::Block& block,
+                                const ur::ParamMap& params) {
+  const auto names = block.component_names();
+  const std::size_t n = names.size();
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::map<std::string, bool> states;
+    double weight = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool uprob = mask & (std::size_t{1} << i);
+      states[names[i]] = uprob;
+      const double a = params.at(names[i]);
+      weight *= uprob ? a : 1.0 - a;
+    }
+    if (block.evaluate_states(states)) total += weight;
+  }
+  return total;
+}
+
+}  // namespace
+
+class RandomSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSeed, RbdFactoringMatchesBruteForce) {
+  upa::sim::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const ur::Block block = random_block(rng, 3);
+    const ur::ParamMap params = random_params(rng);
+    EXPECT_NEAR(ur::availability(block, params),
+                brute_force_availability(block, params), 1e-10)
+        << block.to_string();
+  }
+}
+
+TEST_P(RandomSeed, RbdPathSetInclusionExclusionMatches) {
+  upa::sim::Xoshiro256 rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 6; ++trial) {
+    const ur::Block block = random_block(rng, 2);
+    const ur::ParamMap params = random_params(rng);
+    const auto paths = ur::minimal_path_sets(block);
+    if (paths.size() > 20) continue;  // inclusion-exclusion bound
+    EXPECT_NEAR(ur::availability_from_path_sets(paths, params),
+                ur::availability(block, params), 1e-9)
+        << block.to_string();
+  }
+}
+
+TEST_P(RandomSeed, FaultTreeBddMatchesEnumeration) {
+  upa::sim::Xoshiro256 rng(GetParam() ^ 0x1234);
+  for (int trial = 0; trial < 8; ++trial) {
+    uf::FaultTree tree;
+    const std::size_t n_events = 3 + rng() % 4;
+    std::vector<uf::NodeId> nodes;
+    for (std::size_t i = 0; i < n_events; ++i) {
+      nodes.push_back(tree.add_basic_event("e" + std::to_string(i),
+                                           0.05 + 0.4 * rng.uniform01()));
+    }
+    // Random gates over random (possibly shared) children.
+    for (int g = 0; g < 4; ++g) {
+      const std::size_t arity = 2 + rng() % 3;
+      std::vector<uf::NodeId> children;
+      for (std::size_t i = 0; i < arity; ++i) {
+        children.push_back(nodes[rng() % nodes.size()]);
+      }
+      std::set<uf::NodeId> unique(children.begin(), children.end());
+      children.assign(unique.begin(), unique.end());
+      const double pick = rng.uniform01();
+      if (children.size() == 1) {
+        nodes.push_back(tree.add_or(children));
+      } else if (pick < 0.45) {
+        nodes.push_back(tree.add_and(children));
+      } else if (pick < 0.9) {
+        nodes.push_back(tree.add_or(children));
+      } else {
+        nodes.push_back(
+            tree.add_k_of_n(1 + rng() % children.size(), children));
+      }
+    }
+    tree.set_top(nodes.back());
+
+    // Enumerate all event-state combinations.
+    double expected = 0.0;
+    for (std::size_t mask = 0; mask < (std::size_t{1} << n_events);
+         ++mask) {
+      std::vector<bool> failed(n_events);
+      double weight = 1.0;
+      for (std::size_t i = 0; i < n_events; ++i) {
+        failed[i] = mask & (std::size_t{1} << i);
+        const double p = tree.event_probability(tree.basic_events()[i]);
+        weight *= failed[i] ? p : 1.0 - p;
+      }
+      if (tree.evaluate_top(failed)) expected += weight;
+    }
+    EXPECT_NEAR(uf::top_event_probability(tree), expected, 1e-10);
+  }
+}
+
+TEST_P(RandomSeed, CtmcDirectAndIterativeSolversAgree) {
+  upa::sim::Xoshiro256 rng(GetParam() ^ 0x777);
+  const std::size_t n = 5 + rng() % 10;
+  um::Ctmc chain(n);
+  // Ring backbone guarantees irreducibility; add random extra edges.
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.add_rate(i, (i + 1) % n, 0.1 + rng.uniform01());
+  }
+  for (std::size_t e = 0; e < n; ++e) {
+    const std::size_t from = rng() % n;
+    const std::size_t to = rng() % n;
+    if (from != to) chain.add_rate(from, to, 0.01 + rng.uniform01());
+  }
+  const auto direct = chain.steady_state();
+  const auto iterative = chain.steady_state_iterative(1e-13);
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_NEAR(direct[s], iterative[s], 1e-8);
+  }
+}
+
+TEST_P(RandomSeed, MmckAgreesWithGenericBirthDeath) {
+  upa::sim::Xoshiro256 rng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double alpha = 10.0 + 200.0 * rng.uniform01();
+    const double nu = 20.0 + 150.0 * rng.uniform01();
+    const std::size_t servers = 1 + rng() % 6;
+    const std::size_t capacity = servers + rng() % 10;
+    const double closed = upa::queueing::mmck_loss_probability(
+        alpha, nu, servers, capacity);
+    const auto generic = upa::queueing::solve_birth_death_queue(
+        capacity, [&](std::size_t) { return alpha; },
+        [&](std::size_t j) {
+          return nu * static_cast<double>(std::min(j, servers));
+        });
+    EXPECT_NEAR(closed, generic.blocking, 1e-11);
+  }
+}
+
+TEST_P(RandomSeed, RandomProfileInvariants) {
+  upa::sim::Xoshiro256 rng(GetParam() ^ 0xf00d);
+  // Random profile over 3 functions with guaranteed exit mass.
+  const std::size_t n = 3;
+  upa::linalg::Matrix p(n + 2, n + 2);
+  auto random_row = [&](std::size_t row) {
+    std::vector<double> weights(n + 1);  // functions + Exit
+    double sum = 0.0;
+    for (double& w : weights) {
+      w = 0.05 + rng.uniform01();
+      sum += w;
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      p(row, c + 1) = weights[c] / sum;
+    }
+    p(row, n + 1) = weights[n] / sum;
+  };
+  // Start row: no direct exit (visits at least one function).
+  {
+    std::vector<double> weights(n);
+    double sum = 0.0;
+    for (double& w : weights) {
+      w = 0.05 + rng.uniform01();
+      sum += w;
+    }
+    for (std::size_t c = 0; c < n; ++c) p(0, c + 1) = weights[c] / sum;
+  }
+  for (std::size_t f = 0; f < n; ++f) random_row(f + 1);
+  p(n + 1, n + 1) = 1.0;
+  const up::OperationalProfile profile({"F0", "F1", "F2"}, p);
+
+  // 1. Scenario-class probabilities sum to 1.
+  const auto classes = up::scenario_classes(profile, 0.0);
+  double total = 0.0;
+  for (const auto& c : classes) total += c.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // 2. Invocation probability == sum of classes containing the function.
+  for (std::size_t f = 0; f < n; ++f) {
+    double by_classes = 0.0;
+    for (const auto& c : classes) {
+      if (c.functions.contains(f)) by_classes += c.probability;
+    }
+    EXPECT_NEAR(by_classes, profile.invocation_probability(f), 1e-9);
+  }
+
+  // 3. Visit law reproduces expected visits.
+  for (std::size_t f = 0; f < n; ++f) {
+    EXPECT_NEAR(up::visit_law(profile, f).expected_visits(),
+                profile.expected_visits(f), 1e-9);
+  }
+
+  // 4. Session length = sum of per-function expected visits.
+  double visits = 0.0;
+  for (std::size_t f = 0; f < n; ++f) visits += profile.expected_visits(f);
+  EXPECT_NEAR(visits, profile.mean_session_length(), 1e-9);
+}
+
+TEST_P(RandomSeed, LuSolveResidualSmall) {
+  upa::sim::Xoshiro256 rng(GetParam() ^ 0x5151);
+  const std::size_t n = 4 + rng() % 20;
+  upa::linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform01() - 0.5;
+    }
+    a(i, i) += static_cast<double>(n);  // diagonally dominant
+  }
+  upa::linalg::Vector b(n);
+  for (double& x : b) x = rng.uniform01();
+  const auto x = upa::linalg::solve(a, b);
+  const auto ax = a * x;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeed,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));

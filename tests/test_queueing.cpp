@@ -1,0 +1,212 @@
+// Tests for upa::queueing: M/M/1, M/M/1/K, M/M/c/K, Erlang B/C, and the
+// generic birth-death queue, with parameterized cross-checks tying all of
+// them together.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "upa/common/error.hpp"
+#include "upa/queueing/birth_death_queue.hpp"
+#include "upa/queueing/erlang.hpp"
+#include "upa/queueing/mm1.hpp"
+#include "upa/queueing/mmck.hpp"
+
+namespace uq = upa::queueing;
+using upa::common::ModelError;
+
+TEST(Mm1, TextbookMetrics) {
+  // rho = 0.5: L = 1, Lq = 0.5, W = 1/(nu - alpha).
+  const auto m = uq::mm1_metrics(5.0, 10.0);
+  EXPECT_NEAR(m.rho, 0.5, 1e-15);
+  EXPECT_NEAR(m.mean_in_system, 1.0, 1e-12);
+  EXPECT_NEAR(m.mean_in_queue, 0.5, 1e-12);
+  EXPECT_NEAR(m.mean_response, 0.2, 1e-12);
+  EXPECT_NEAR(m.mean_wait, 0.1, 1e-12);
+}
+
+TEST(Mm1, RejectsUnstableLoad) {
+  EXPECT_THROW((void)uq::mm1_metrics(10.0, 10.0), ModelError);
+  EXPECT_THROW((void)uq::mm1_metrics(11.0, 10.0), ModelError);
+}
+
+TEST(Mm1k, LossProbabilityPaperEquationOne) {
+  // rho = 1 limit: p_K = 1 / (K + 1); the paper uses K = 10.
+  EXPECT_NEAR(uq::mm1k_loss_probability(100.0, 100.0, 10), 1.0 / 11.0,
+              1e-12);
+  // Explicit small case rho = 0.5, K = 2: p = rho^2(1-rho)/(1-rho^3).
+  EXPECT_NEAR(uq::mm1k_loss_probability(1.0, 2.0, 2),
+              0.25 * 0.5 / (1.0 - 0.125), 1e-12);
+}
+
+TEST(Mm1k, MetricsInternallyConsistent) {
+  const auto m = uq::mm1k_metrics(3.0, 4.0, 5);
+  double sum = 0.0;
+  for (double p : m.state_probabilities) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(m.blocking, m.state_probabilities.back(), 1e-15);
+  EXPECT_NEAR(m.throughput, 3.0 * (1.0 - m.blocking), 1e-12);
+  // Little's law: L = throughput * W.
+  EXPECT_NEAR(m.mean_in_system, m.throughput * m.mean_response, 1e-12);
+}
+
+TEST(Mm1k, ApproachesMm1ForLargeBuffers) {
+  const auto finite = uq::mm1k_metrics(5.0, 10.0, 200);
+  const auto infinite = uq::mm1_metrics(5.0, 10.0);
+  EXPECT_NEAR(finite.mean_in_system, infinite.mean_in_system, 1e-9);
+  EXPECT_LT(finite.blocking, 1e-30);
+}
+
+TEST(Mmck, ReducesToMm1kForOneServer) {
+  for (double alpha : {20.0, 100.0, 170.0}) {
+    EXPECT_NEAR(uq::mmck_loss_probability(alpha, 100.0, 1, 10),
+                uq::mm1k_loss_probability(alpha, 100.0, 10), 1e-13)
+        << "alpha = " << alpha;
+  }
+}
+
+TEST(Mmck, PaperEquationThreeAtRhoOne) {
+  // Values computed independently (Python, exact formula) for rho = 1,
+  // K = 10 -- the Fig. 11/12 configuration at alpha = nu = 100/s.
+  EXPECT_NEAR(uq::mmck_loss_probability(100.0, 100.0, 1, 10), 0.0909090909,
+              1e-9);
+  EXPECT_NEAR(uq::mmck_loss_probability(100.0, 100.0, 2, 10),
+              6.5146580e-4, 1e-9);
+  EXPECT_NEAR(uq::mmck_loss_probability(100.0, 100.0, 3, 10),
+              2.7712346e-5, 1e-10);
+  EXPECT_NEAR(uq::mmck_loss_probability(100.0, 100.0, 4, 10),
+              3.7368510e-6, 1e-11);
+}
+
+TEST(Mmck, ErlangBWhenCapacityEqualsServers) {
+  // M/M/c/c: blocking equals Erlang B.
+  const double alpha = 30.0;
+  const double nu = 10.0;
+  for (std::size_t c : {1u, 2u, 4u, 8u}) {
+    EXPECT_NEAR(uq::mmck_loss_probability(alpha, nu, c, c),
+                uq::erlang_b(alpha / nu, c), 1e-12)
+        << "c = " << c;
+  }
+}
+
+TEST(Mmck, MetricsConsistency) {
+  const auto m = uq::mmck_metrics(150.0, 100.0, 3, 12);
+  double sum = 0.0;
+  for (double p : m.state_probabilities) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(m.mean_in_system, m.mean_in_queue + m.mean_busy_servers,
+              1e-12);
+  EXPECT_NEAR(m.mean_in_system, m.throughput * m.mean_response, 1e-12);
+  // Flow balance: accepted work equals served work.
+  EXPECT_NEAR(m.throughput, 100.0 * m.mean_busy_servers, 1e-9);
+}
+
+TEST(Mmck, RejectsCapacityBelowServers) {
+  EXPECT_THROW((void)uq::mmck_loss_probability(1.0, 1.0, 4, 3), ModelError);
+}
+
+TEST(Mmck, MoreServersNeverIncreaseLoss) {
+  for (std::size_t i = 1; i < 10; ++i) {
+    EXPECT_GE(uq::mmck_loss_probability(120.0, 100.0, i, 10),
+              uq::mmck_loss_probability(120.0, 100.0, i + 1, 10));
+  }
+}
+
+TEST(Erlang, KnownTableValues) {
+  // Classic telephony values: B(a=2, c=2) = 0.4, B(a=1, c=1) = 0.5.
+  EXPECT_NEAR(uq::erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(uq::erlang_b(2.0, 2), 0.4, 1e-12);
+  // Erlang C at a=2, c=3: known ~0.44444.
+  EXPECT_NEAR(uq::erlang_c(2.0, 3), 4.0 / 9.0, 1e-9);
+}
+
+TEST(Erlang, CRequiresStability) {
+  EXPECT_THROW((void)uq::erlang_c(3.0, 3), ModelError);
+}
+
+TEST(Erlang, MmcMetricsSatisfyLittle) {
+  const auto m = uq::mmc_metrics(25.0, 10.0, 4);
+  EXPECT_NEAR(m.mean_in_queue, 25.0 * m.mean_wait, 1e-12);
+  EXPECT_NEAR(m.mean_in_system, 25.0 * m.mean_response, 1e-12);
+  EXPECT_NEAR(m.mean_in_system - m.mean_in_queue, 2.5, 1e-12);
+}
+
+TEST(BirthDeathQueue, ReproducesMm1k) {
+  const double alpha = 3.0;
+  const double nu = 4.0;
+  const auto generic = uq::solve_birth_death_queue(
+      6, [&](std::size_t) { return alpha; }, [&](std::size_t) { return nu; });
+  const auto closed = uq::mm1k_metrics(alpha, nu, 6);
+  for (std::size_t j = 0; j <= 6; ++j) {
+    EXPECT_NEAR(generic.state_probabilities[j],
+                closed.state_probabilities[j], 1e-12);
+  }
+  EXPECT_NEAR(generic.blocking, closed.blocking, 1e-12);
+  EXPECT_NEAR(generic.throughput, closed.throughput, 1e-12);
+}
+
+TEST(BirthDeathQueue, ReproducesMmck) {
+  const double alpha = 180.0;
+  const double nu = 100.0;
+  const std::size_t c = 3;
+  const auto generic = uq::solve_birth_death_queue(
+      10, [&](std::size_t) { return alpha; },
+      [&](std::size_t j) {
+        return nu * static_cast<double>(std::min(j, c));
+      });
+  EXPECT_NEAR(generic.blocking, uq::mmck_loss_probability(alpha, nu, c, 10),
+              1e-12);
+}
+
+TEST(BirthDeathQueue, DiscouragedArrivalsExample) {
+  // lambda(j) = 2/(j+1), mu = 1, capacity 3: balking queue sanity checks.
+  const auto m = uq::solve_birth_death_queue(
+      3, [](std::size_t j) { return 2.0 / static_cast<double>(j + 1); },
+      [](std::size_t) { return 1.0; });
+  double sum = 0.0;
+  for (double p : m.state_probabilities) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // w = {1, 2, 2, 4/3} -> p0 = 3/19.
+  EXPECT_NEAR(m.state_probabilities[0], 3.0 / 19.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: for every (rho, c) combination, M/M/c/K must agree with
+// the generic birth-death solver, and the loss probability must decrease
+// monotonically in the buffer size.
+class MmckConsistency
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(MmckConsistency, AgreesWithGenericBirthDeath) {
+  const auto [rho, servers] = GetParam();
+  const double nu = 100.0;
+  const double alpha = rho * nu;
+  const std::size_t capacity = 12;
+  const double closed =
+      uq::mmck_loss_probability(alpha, nu, servers, capacity);
+  const auto generic = uq::solve_birth_death_queue(
+      capacity, [&](std::size_t) { return alpha; },
+      [&](std::size_t j) {
+        return nu * static_cast<double>(std::min(j, servers));
+      });
+  EXPECT_NEAR(closed, generic.blocking, 1e-12);
+}
+
+TEST_P(MmckConsistency, LossDecreasesWithBuffer) {
+  const auto [rho, servers] = GetParam();
+  const double nu = 100.0;
+  const double alpha = rho * nu;
+  double previous = 1.0;
+  for (std::size_t k = servers; k <= servers + 8; ++k) {
+    const double loss = uq::mmck_loss_probability(alpha, nu, servers, k);
+    EXPECT_LE(loss, previous + 1e-15);
+    previous = loss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadAndServers, MmckConsistency,
+    ::testing::Combine(::testing::Values(0.25, 0.5, 0.9, 1.0, 1.1, 1.5, 2.5),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{8})));

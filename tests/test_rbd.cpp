@@ -1,0 +1,220 @@
+// Tests for the reliability-block-diagram engine: structural evaluation,
+// Shannon factoring with repeated components, path/cut sets, and the
+// importance measures.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/rbd/block.hpp"
+#include "upa/rbd/importance.hpp"
+#include "upa/rbd/paths.hpp"
+
+namespace ur = upa::rbd;
+using upa::common::ModelError;
+
+namespace {
+
+ur::ParamMap abc(double a, double b, double c) {
+  return {{"a", a}, {"b", b}, {"c", c}};
+}
+
+}  // namespace
+
+TEST(Block, SeriesAvailabilityIsProduct) {
+  const auto block = ur::Block::series(
+      {ur::Block::component("a"), ur::Block::component("b")});
+  EXPECT_NEAR(ur::availability(block, abc(0.9, 0.8, 1.0)), 0.72, 1e-12);
+}
+
+TEST(Block, ParallelAvailability) {
+  const auto block = ur::Block::parallel(
+      {ur::Block::component("a"), ur::Block::component("b")});
+  EXPECT_NEAR(ur::availability(block, abc(0.9, 0.8, 1.0)),
+              1.0 - 0.1 * 0.2, 1e-12);
+}
+
+TEST(Block, KofNWithHeterogeneousComponents) {
+  // 2-of-3 with availabilities 0.9, 0.8, 0.7:
+  // = .9*.8*.7 + .9*.8*.3 + .9*.2*.7 + .1*.8*.7 = 0.902
+  const auto block = ur::Block::k_of_n(
+      2, {ur::Block::component("a"), ur::Block::component("b"),
+          ur::Block::component("c")});
+  EXPECT_NEAR(ur::availability(block, abc(0.9, 0.8, 0.7)), 0.902, 1e-12);
+}
+
+TEST(Block, ReplicatedParallelMatchesClosedForm) {
+  const auto block = ur::Block::replicated("ws", 3);
+  ur::ParamMap params{{"ws#0", 0.9}, {"ws#1", 0.9}, {"ws#2", 0.9}};
+  EXPECT_NEAR(ur::availability(block, params), 1.0 - 0.001, 1e-12);
+}
+
+TEST(Block, NestedStructureMatchesHandComputation) {
+  // series(a, parallel(b, c)) with a=.95 b=.9 c=.8 -> .95 * .98 = .931
+  const auto block = ur::Block::series(
+      {ur::Block::component("a"),
+       ur::Block::parallel(
+           {ur::Block::component("b"), ur::Block::component("c")})});
+  EXPECT_NEAR(ur::availability(block, abc(0.95, 0.9, 0.8)), 0.931, 1e-12);
+}
+
+TEST(Block, RepeatedComponentExactViaFactoring) {
+  // parallel(series(a, b), series(a, c)): naive structural evaluation
+  // would square P(a). Exact: a * (1 - (1-b)(1-c)).
+  const auto block = ur::Block::parallel(
+      {ur::Block::series(
+           {ur::Block::component("a"), ur::Block::component("b")}),
+       ur::Block::series(
+           {ur::Block::component("a"), ur::Block::component("c")})});
+  EXPECT_TRUE(block.has_repeated_components());
+  const double a = 0.9;
+  const double b = 0.8;
+  const double c = 0.7;
+  const double exact = a * (1.0 - (1.0 - b) * (1.0 - c));
+  EXPECT_NEAR(ur::availability(block, abc(a, b, c)), exact, 1e-12);
+}
+
+TEST(Block, BridgeNetworkViaSharedComponent) {
+  // Classic 5-component bridge, factored on the bridge element e:
+  // P = e*P(parallel(a,b) series parallel(c,d)-ish) -- validate against
+  // the textbook closed form with all components at p.
+  // Bridge: paths {a,c}, {b,d}, {a,e,d}, {b,e,c}.
+  const auto ac = ur::Block::series(
+      {ur::Block::component("a"), ur::Block::component("c")});
+  const auto bd = ur::Block::series(
+      {ur::Block::component("b"), ur::Block::component("d")});
+  const auto aed = ur::Block::series(
+      {ur::Block::component("a"), ur::Block::component("e"),
+       ur::Block::component("d")});
+  const auto bec = ur::Block::series(
+      {ur::Block::component("b"), ur::Block::component("e"),
+       ur::Block::component("c")});
+  const auto bridge = ur::Block::parallel({ac, bd, aed, bec});
+  const double p = 0.9;
+  ur::ParamMap params{{"a", p}, {"b", p}, {"c", p}, {"d", p}, {"e", p}};
+  // Textbook: R = 2p^2 + 2p^3 - 5p^4 + 2p^5.
+  const double exact = 2 * p * p + 2 * p * p * p - 5 * p * p * p * p +
+                       2 * p * p * p * p * p;
+  EXPECT_NEAR(ur::availability(bridge, params), exact, 1e-12);
+}
+
+TEST(Block, EvaluateStatesStructureFunction) {
+  const auto block = ur::Block::k_of_n(
+      2, {ur::Block::component("a"), ur::Block::component("b"),
+          ur::Block::component("c")});
+  EXPECT_TRUE(block.evaluate_states(
+      {{"a", true}, {"b", true}, {"c", false}}));
+  EXPECT_FALSE(block.evaluate_states(
+      {{"a", true}, {"b", false}, {"c", false}}));
+}
+
+TEST(Block, MissingParameterThrows) {
+  const auto block = ur::Block::component("missing");
+  EXPECT_THROW((void)ur::availability(block, {}), ModelError);
+}
+
+TEST(Block, ComponentNamesDeduplicated) {
+  const auto block = ur::Block::series(
+      {ur::Block::component("x"), ur::Block::component("x"),
+       ur::Block::component("y")});
+  const auto names = block.component_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "x");
+  EXPECT_EQ(names[1], "y");
+}
+
+TEST(Block, ToStringReflectsStructure) {
+  const auto block = ur::Block::series(
+      {ur::Block::component("a"),
+       ur::Block::parallel(
+           {ur::Block::component("b"), ur::Block::component("c")})});
+  const std::string s = block.to_string();
+  EXPECT_NE(s.find("series("), std::string::npos);
+  EXPECT_NE(s.find("parallel("), std::string::npos);
+}
+
+TEST(Paths, SeriesParallelPathAndCutSets) {
+  const auto block = ur::Block::series(
+      {ur::Block::component("a"),
+       ur::Block::parallel(
+           {ur::Block::component("b"), ur::Block::component("c")})});
+  const auto paths = ur::minimal_path_sets(block);
+  ASSERT_EQ(paths.size(), 2u);  // {a,b}, {a,c}
+  const auto cuts = ur::minimal_cut_sets(block);
+  ASSERT_EQ(cuts.size(), 2u);  // {a}, {b,c}
+  EXPECT_TRUE(std::find(cuts.begin(), cuts.end(),
+                        ur::ComponentSet{"a"}) != cuts.end());
+  EXPECT_TRUE(std::find(cuts.begin(), cuts.end(),
+                        ur::ComponentSet{"b", "c"}) != cuts.end());
+}
+
+TEST(Paths, KofNPathSetsAreKSubsets) {
+  const auto block = ur::Block::k_of_n(
+      2, {ur::Block::component("a"), ur::Block::component("b"),
+          ur::Block::component("c")});
+  EXPECT_EQ(ur::minimal_path_sets(block).size(), 3u);  // C(3,2)
+  EXPECT_EQ(ur::minimal_cut_sets(block).size(), 3u);   // C(3,2) duals
+}
+
+TEST(Paths, InclusionExclusionMatchesFactoring) {
+  const auto block = ur::Block::parallel(
+      {ur::Block::series(
+           {ur::Block::component("a"), ur::Block::component("b")}),
+       ur::Block::series(
+           {ur::Block::component("b"), ur::Block::component("c")})});
+  const auto params = abc(0.9, 0.8, 0.7);
+  const auto paths = ur::minimal_path_sets(block);
+  EXPECT_NEAR(ur::availability_from_path_sets(paths, params),
+              ur::availability(block, params), 1e-12);
+}
+
+TEST(Importance, SeriesWeakestComponentHasHighestBirnbaum) {
+  const auto block = ur::Block::series(
+      {ur::Block::component("a"), ur::Block::component("b"),
+       ur::Block::component("c")});
+  const auto ranking =
+      ur::importance_ranking(block, abc(0.99, 0.90, 0.95));
+  // Birnbaum for series = product of the *other* availabilities, so the
+  // component with the LOWEST availability has the highest ranking of the
+  // others' product... check exact values instead.
+  for (const auto& imp : ranking) {
+    if (imp.component == "a") {
+      EXPECT_NEAR(imp.birnbaum, 0.90 * 0.95, 1e-12);
+    }
+    if (imp.component == "b") {
+      EXPECT_NEAR(imp.birnbaum, 0.99 * 0.95, 1e-12);
+    }
+  }
+  EXPECT_EQ(ranking.front().component, "b");  // largest others-product
+}
+
+TEST(Importance, ParallelComponentBirnbaum) {
+  const auto block = ur::Block::parallel(
+      {ur::Block::component("a"), ur::Block::component("b")});
+  const auto ranking = ur::importance_ranking(block, abc(0.9, 0.8, 1.0));
+  for (const auto& imp : ranking) {
+    if (imp.component == "a") {
+      EXPECT_NEAR(imp.birnbaum, 0.2, 1e-12);
+    }
+    if (imp.component == "b") {
+      EXPECT_NEAR(imp.birnbaum, 0.1, 1e-12);
+    }
+  }
+}
+
+TEST(Importance, CriticalityAndWorthsConsistent) {
+  const auto block = ur::Block::series(
+      {ur::Block::component("a"),
+       ur::Block::parallel(
+           {ur::Block::component("b"), ur::Block::component("c")})});
+  const auto params = abc(0.95, 0.9, 0.8);
+  const double a_sys = ur::availability(block, params);
+  for (const auto& imp : ur::importance_ranking(block, params)) {
+    // RAW >= 1 and RRW >= 1 for coherent systems.
+    EXPECT_GE(imp.risk_achievement_worth, 1.0 - 1e-12);
+    EXPECT_GE(imp.risk_reduction_worth, 1.0 - 1e-12);
+    EXPECT_GE(imp.birnbaum, -1e-12);
+    // criticality = birnbaum * (1-A_c) / UA_sys, all within [0, 1].
+    EXPECT_LE(imp.criticality, 1.0 + 1e-9);
+  }
+  EXPECT_GT(a_sys, 0.9);
+}

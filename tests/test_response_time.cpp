@@ -1,0 +1,191 @@
+// Tests for the response-time-threshold extension (the paper's stated
+// future work): M/M/c/K sojourn-time tails, quantiles, the deadline-aware
+// web-service availability, and validation against the DES queue.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/queueing/mmck.hpp"
+#include "upa/queueing/response_time.hpp"
+#include "upa/sim/queue_sim.hpp"
+
+namespace uq = upa::queueing;
+namespace uc = upa::core;
+namespace usim = upa::sim;
+using upa::common::ModelError;
+
+TEST(ResponseTime, TailIsOneAtZeroAndDecreases) {
+  EXPECT_DOUBLE_EQ(uq::mmck_response_time_tail(90.0, 100.0, 2, 10, 0.0),
+                   1.0);
+  double previous = 1.0;
+  for (double tau : {0.005, 0.01, 0.02, 0.05, 0.1, 0.5}) {
+    const double tail =
+        uq::mmck_response_time_tail(90.0, 100.0, 2, 10, tau);
+    EXPECT_LT(tail, previous);
+    previous = tail;
+  }
+  EXPECT_LT(previous, 1e-15);  // far beyond the mean
+}
+
+TEST(ResponseTime, LightTrafficReducesToServiceTime) {
+  // alpha -> 0: an arrival almost always finds an empty system, so
+  // P(T > tau) -> e^{-nu tau}.
+  const double nu = 100.0;
+  const double tau = 0.02;
+  const double tail =
+      uq::mmck_response_time_tail(1e-6, nu, 4, 10, tau);
+  EXPECT_NEAR(tail, std::exp(-nu * tau), 1e-8);
+}
+
+TEST(ResponseTime, SingleServerErlangForm) {
+  // c = 1: an accepted arrival seeing j has T = Erlang(j+1, nu). With
+  // alpha very small only j = 0 matters -> exponential tail.
+  const double tail = uq::mmck_response_time_tail(1e-9, 50.0, 1, 5, 0.01);
+  EXPECT_NEAR(tail, std::exp(-0.5), 1e-6);
+}
+
+TEST(ResponseTime, MeanMatchesLittlesLaw) {
+  for (double alpha : {30.0, 90.0, 100.0, 150.0}) {
+    for (std::size_t c : {1u, 2u, 4u}) {
+      const double direct =
+          uq::mmck_mean_response_time(alpha, 100.0, c, 10);
+      const double little =
+          uq::mmck_metrics(alpha, 100.0, c, 10).mean_response;
+      EXPECT_NEAR(direct, little, 1e-12)
+          << "alpha=" << alpha << " c=" << c;
+    }
+  }
+}
+
+TEST(ResponseTime, MeanEqualsIntegralOfTail) {
+  // E[T] = int_0^inf P(T > t) dt; trapezoid over a fine grid.
+  const double alpha = 120.0;
+  const double nu = 100.0;
+  const std::size_t c = 2;
+  const std::size_t k = 10;
+  double integral = 0.0;
+  const double dt = 2e-4;
+  double prev = 1.0;
+  for (double t = dt; t < 2.0; t += dt) {
+    const double tail = uq::mmck_response_time_tail(alpha, nu, c, k, t);
+    integral += 0.5 * (prev + tail) * dt;
+    prev = tail;
+    if (tail < 1e-12) break;
+  }
+  EXPECT_NEAR(integral, uq::mmck_mean_response_time(alpha, nu, c, k),
+              1e-4);
+}
+
+TEST(ResponseTime, QuantileInvertsTail) {
+  const double q =
+      uq::mmck_response_time_quantile(100.0, 100.0, 4, 10, 0.01);
+  EXPECT_NEAR(uq::mmck_response_time_tail(100.0, 100.0, 4, 10, q), 0.01,
+              1e-6);
+  // 99th percentile beyond the mean.
+  EXPECT_GT(q, uq::mmck_mean_response_time(100.0, 100.0, 4, 10));
+}
+
+TEST(ResponseTime, ServedWithinCombinesLossAndDeadline) {
+  const double alpha = 100.0;
+  const double nu = 100.0;
+  const double tau = 0.05;
+  const double served = uq::mmck_served_within(alpha, nu, 4, 10, tau);
+  const double blocking = uq::mmck_loss_probability(alpha, nu, 4, 10);
+  const double tail = uq::mmck_response_time_tail(alpha, nu, 4, 10, tau);
+  EXPECT_NEAR(served, (1.0 - blocking) * (1.0 - tail), 1e-15);
+  EXPECT_LT(served, 1.0 - blocking);
+}
+
+TEST(ResponseTime, RejectsBadArguments) {
+  EXPECT_THROW((void)uq::mmck_response_time_tail(1.0, 1.0, 1, 1, -1.0),
+               ModelError);
+  EXPECT_THROW((void)uq::mmck_response_time_quantile(1.0, 1.0, 1, 1, 1.5),
+               ModelError);
+}
+
+TEST(ResponseTimeSim, TailMatchesDesQueue) {
+  // M/M/2/10, rho = 0.9 overall: measure P(T > tau) by simulation.
+  const double alpha = 180.0;
+  const double nu = 100.0;
+  const double tau = 0.03;
+  usim::QueueSpec spec;
+  spec.interarrival = usim::Exponential{alpha};
+  spec.service = usim::Exponential{nu};
+  spec.servers = 2;
+  spec.capacity = 10;
+  usim::QueueSimOptions options;
+  options.arrivals_per_replication = 120000;
+  options.warmup_arrivals = 5000;
+  options.replications = 8;
+  options.seed = 20260705;
+  options.deadline = tau;
+  const auto result = usim::simulate_queue(spec, options);
+  const double analytic =
+      uq::mmck_response_time_tail(alpha, nu, 2, 10, tau);
+  EXPECT_NEAR(result.deadline_miss.mean, analytic,
+              result.deadline_miss.half_width + 0.003);
+}
+
+TEST(ResponseTimeSim, MeanResponseMatchesFormula) {
+  const double alpha = 150.0;
+  const double nu = 100.0;
+  usim::QueueSpec spec;
+  spec.interarrival = usim::Exponential{alpha};
+  spec.service = usim::Exponential{nu};
+  spec.servers = 2;
+  spec.capacity = 8;
+  usim::QueueSimOptions options;
+  options.arrivals_per_replication = 100000;
+  options.warmup_arrivals = 5000;
+  options.replications = 6;
+  options.seed = 777;
+  const auto result = usim::simulate_queue(spec, options);
+  EXPECT_NEAR(result.mean_response.mean,
+              uq::mmck_mean_response_time(alpha, nu, 2, 8),
+              result.mean_response.half_width + 5e-4);
+}
+
+TEST(DeadlineAvailability, RecoversPlainMeasureForLargeDeadline) {
+  uc::WebFarmParams farm{4, 1e-4, 1.0, 0.98, 12.0};
+  uc::WebQueueParams queue{100.0, 100.0, 10};
+  EXPECT_NEAR(uc::web_service_availability_imperfect_with_deadline(
+                  farm, queue, 1e6),
+              uc::web_service_availability_imperfect(farm, queue), 1e-12);
+  EXPECT_NEAR(uc::web_service_availability_perfect_with_deadline(farm, queue,
+                                                                 1e6),
+              uc::web_service_availability_perfect(farm, queue), 1e-12);
+}
+
+TEST(DeadlineAvailability, TightDeadlineLowersAvailability) {
+  uc::WebFarmParams farm{4, 1e-4, 1.0, 0.98, 12.0};
+  uc::WebQueueParams queue{100.0, 100.0, 10};
+  const double plain = uc::web_service_availability_imperfect(farm, queue);
+  double previous = plain;
+  for (double tau : {1.0, 0.1, 0.05, 0.02, 0.01}) {
+    const double a = uc::web_service_availability_imperfect_with_deadline(
+        farm, queue, tau);
+    EXPECT_LE(a, previous + 1e-15) << "tau = " << tau;
+    previous = a;
+  }
+  // At tau = 10 ms (= mean service time), a large share of requests are
+  // "failed" despite the farm being up.
+  EXPECT_LT(previous, 0.7);
+}
+
+TEST(DeadlineAvailability, MoreServersHelpUnderTightDeadlines) {
+  // Deadline pressure comes from queueing delay, which extra servers
+  // remove: the deadline measure rises with N_W (until coverage bites).
+  uc::WebQueueParams queue{100.0, 100.0, 10};
+  const double tau = 0.03;
+  double previous = 0.0;
+  for (std::size_t n : {1u, 2u, 3u, 4u}) {
+    uc::WebFarmParams farm{n, 1e-4, 1.0, 0.98, 12.0};
+    const double a = uc::web_service_availability_imperfect_with_deadline(
+        farm, queue, tau);
+    EXPECT_GT(a, previous) << "n = " << n;
+    previous = a;
+  }
+}

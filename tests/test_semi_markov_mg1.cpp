@@ -1,0 +1,124 @@
+// Tests for the semi-Markov process module (including the insensitivity
+// result for the web farm's reconfiguration-time distribution) and the
+// M/G/1 Pollaczek-Khinchine formulas.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/markov/semi_markov.hpp"
+#include "upa/queueing/mg1.hpp"
+#include "upa/queueing/mm1.hpp"
+#include "upa/sim/queue_sim.hpp"
+
+namespace um = upa::markov;
+namespace uq = upa::queueing;
+namespace uc = upa::core;
+using upa::common::ModelError;
+
+TEST(SemiMarkov, CtmcRoundTripMatchesSteadyState) {
+  um::Ctmc chain(3);
+  chain.add_rate(0, 1, 2.0);
+  chain.add_rate(1, 2, 1.0);
+  chain.add_rate(1, 0, 0.5);
+  chain.add_rate(2, 0, 4.0);
+  const auto smp = um::to_semi_markov(chain);
+  const auto occupancy = smp.steady_state_occupancy();
+  const auto ctmc_pi = chain.steady_state();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(occupancy[i], ctmc_pi[i], 1e-12);
+  }
+}
+
+TEST(SemiMarkov, TwoStateAlternatingRenewal) {
+  // Up 9 h, down 1 h on average (ANY distribution): availability 0.9.
+  upa::linalg::Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  const um::SemiMarkovProcess smp(p, {9.0, 1.0});
+  EXPECT_NEAR(smp.occupancy_mass({0}), 0.9, 1e-12);
+}
+
+TEST(SemiMarkov, FarmAvailabilityInsensitiveToReconfigurationLaw) {
+  // Insensitivity: replace every sojourn with a different-distribution
+  // equal-mean one -- occupancies depend on means only, so the paper's
+  // exponential manual-reconfiguration assumption is harmless for the
+  // steady-state availability.
+  uc::WebFarmParams farm{4, 1e-3, 1.0, 0.9, 12.0};
+  const auto chain = uc::imperfect_coverage_chain(farm);
+  const auto smp = um::to_semi_markov(chain.chain);
+  const auto smp_occupancy = smp.steady_state_occupancy();
+  const auto ctmc_pi = chain.chain.steady_state();
+  for (std::size_t s = 0; s < ctmc_pi.size(); ++s) {
+    EXPECT_NEAR(smp_occupancy[s], ctmc_pi[s], 1e-12) << "state " << s;
+  }
+  // The semi-Markov formula uses ONLY the mean 1/beta of the y-state
+  // sojourns; a deterministic 5-minute reconfiguration yields the same
+  // occupancy vector by construction. The paper's A(WS) is therefore
+  // exact for deterministic repairs as well.
+}
+
+TEST(SemiMarkov, RejectsBadInputs) {
+  upa::linalg::Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_THROW(um::SemiMarkovProcess(p, {1.0}), ModelError);
+  EXPECT_THROW(um::SemiMarkovProcess(p, {1.0, -1.0}), ModelError);
+  um::Ctmc absorbing(2);
+  absorbing.add_rate(0, 1, 1.0);
+  EXPECT_THROW((void)um::to_semi_markov(absorbing), ModelError);
+}
+
+TEST(Mg1, ExponentialServiceReducesToMm1) {
+  const double alpha = 5.0;
+  const double nu = 10.0;
+  const auto mg1 = uq::mg1_metrics(alpha, uq::exponential_service(nu));
+  const auto mm1 = uq::mm1_metrics(alpha, nu);
+  EXPECT_NEAR(mg1.mean_in_system, mm1.mean_in_system, 1e-12);
+  EXPECT_NEAR(mg1.mean_wait, mm1.mean_wait, 1e-12);
+  EXPECT_NEAR(mg1.mean_response, mm1.mean_response, 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesTheQueue) {
+  // Classic result: M/D/1 waiting time is half of M/M/1's.
+  const double alpha = 8.0;
+  const auto md1 = uq::mg1_metrics(alpha, uq::deterministic_service(0.1));
+  const auto mm1 = uq::mg1_metrics(alpha, uq::exponential_service(10.0));
+  EXPECT_NEAR(md1.mean_in_queue, 0.5 * mm1.mean_in_queue, 1e-12);
+}
+
+TEST(Mg1, ErlangMomentsAndMonotonicityInVariability) {
+  const auto erlang = uq::erlang_service(4, 40.0);
+  EXPECT_NEAR(erlang.mean, 0.1, 1e-15);
+  EXPECT_NEAR(erlang.scv, 0.25, 1e-15);
+  const double alpha = 6.0;
+  const double lq_det =
+      uq::mg1_metrics(alpha, uq::deterministic_service(0.1)).mean_in_queue;
+  const double lq_erl = uq::mg1_metrics(alpha, erlang).mean_in_queue;
+  const double lq_exp =
+      uq::mg1_metrics(alpha, uq::exponential_service(10.0)).mean_in_queue;
+  EXPECT_LT(lq_det, lq_erl);
+  EXPECT_LT(lq_erl, lq_exp);
+}
+
+TEST(Mg1, RejectsUnstableAndInvalid) {
+  EXPECT_THROW((void)uq::mg1_metrics(10.0, uq::deterministic_service(0.1)),
+               ModelError);
+  EXPECT_THROW((void)uq::mg1_metrics(1.0, {0.0, 1.0}), ModelError);
+  EXPECT_THROW((void)uq::mg1_metrics(1.0, {0.1, -0.5}), ModelError);
+}
+
+TEST(Mg1, ValidatedByDesWithErlangService) {
+  // M/E4/1 with rho = 0.6: simulated sojourn time matches P-K.
+  const double alpha = 6.0;
+  upa::sim::QueueSpec spec;
+  spec.interarrival = upa::sim::Exponential{alpha};
+  spec.service = upa::sim::Erlang{4, 40.0};
+  spec.servers = 1;
+  spec.capacity = 4000;  // effectively infinite
+  upa::sim::QueueSimOptions options;
+  options.arrivals_per_replication = 80000;
+  options.warmup_arrivals = 8000;
+  options.replications = 6;
+  options.seed = 7;
+  const auto result = upa::sim::simulate_queue(spec, options);
+  const auto analytic = uq::mg1_metrics(alpha, uq::erlang_service(4, 40.0));
+  EXPECT_NEAR(result.mean_response.mean, analytic.mean_response,
+              result.mean_response.half_width + 2e-3);
+}

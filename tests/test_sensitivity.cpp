@@ -1,0 +1,106 @@
+// Tests for the sensitivity toolkit: sweeps, tornado ranking, and the
+// design-threshold search used for the paper's Section 5.1 decisions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/sensitivity/sweep.hpp"
+#include "upa/sensitivity/threshold.hpp"
+#include "upa/sensitivity/tornado.hpp"
+
+namespace us = upa::sensitivity;
+using upa::common::ModelError;
+
+TEST(Sweep, EvaluatesAllPoints) {
+  const auto series =
+      us::sweep("square", {1.0, 2.0, 3.0}, [](double x) { return x * x; });
+  ASSERT_EQ(series.y.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.y[1], 4.0);
+  EXPECT_EQ(series.label, "square");
+}
+
+TEST(Sweep, FamilyProducesOneSeriesPerParameter) {
+  const auto family = us::sweep_family(
+      {1.0, 2.0}, {10.0, 20.0}, {"k=10", "k=20"},
+      [](double x, double k) { return k * x; });
+  ASSERT_EQ(family.size(), 2u);
+  EXPECT_DOUBLE_EQ(family[0].y[1], 20.0);
+  EXPECT_DOUBLE_EQ(family[1].y[0], 20.0);
+  EXPECT_EQ(family[1].label, "k=20");
+}
+
+TEST(Sweep, FamilyRejectsLabelMismatch) {
+  EXPECT_THROW((void)us::sweep_family({1.0}, {1.0, 2.0}, {"only-one"},
+                                      [](double, double) { return 0.0; }),
+               ModelError);
+}
+
+TEST(Sweep, DerivativeMatchesAnalytic) {
+  EXPECT_NEAR(us::derivative_at([](double x) { return x * x * x; }, 2.0),
+              12.0, 1e-5);
+  EXPECT_NEAR(us::derivative_at([](double x) { return std::exp(x); }, 0.0),
+              1.0, 1e-6);
+}
+
+TEST(Sweep, FirstIncreaseDetectsReversal) {
+  us::Series monotone{"m", {1, 2, 3}, {3.0, 2.0, 1.0}};
+  EXPECT_EQ(us::first_increase(monotone), -1);
+  us::Series valley{"v", {1, 2, 3, 4}, {3.0, 1.0, 2.0, 4.0}};
+  EXPECT_EQ(us::first_increase(valley), 2);
+}
+
+TEST(Tornado, RanksDominantParameterFirst) {
+  const std::map<std::string, double> base{{"big", 1.0}, {"small", 1.0}};
+  const std::map<std::string, us::ParameterRange> ranges{
+      {"big", {0.5, 1.5}}, {"small", {0.95, 1.05}}};
+  const auto entries = us::tornado(
+      base, ranges, [](const std::map<std::string, double>& p) {
+        return p.at("big") * 2.0 + p.at("small");
+      });
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].parameter, "big");
+  EXPECT_NEAR(entries[0].swing, 2.0, 1e-12);
+  EXPECT_NEAR(entries[1].swing, 0.1, 1e-12);
+}
+
+TEST(Tornado, RejectsUnknownParameter) {
+  const std::map<std::string, double> base{{"x", 1.0}};
+  const std::map<std::string, us::ParameterRange> ranges{
+      {"y", {0.0, 1.0}}};
+  EXPECT_THROW(
+      (void)us::tornado(base, ranges,
+                        [](const std::map<std::string, double>&) {
+                          return 0.0;
+                        }),
+      ModelError);
+}
+
+TEST(Threshold, FindsMinimumSatisfying) {
+  const auto n =
+      us::min_satisfying(1, 10, [](std::size_t k) { return k * k >= 10; });
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 4u);
+}
+
+TEST(Threshold, ReturnsNulloptWhenInfeasible) {
+  EXPECT_FALSE(
+      us::min_satisfying(1, 5, [](std::size_t) { return false; }).has_value());
+}
+
+TEST(Threshold, SatisfyingSetHandlesNonMonotonePredicates) {
+  // Predicate true only in the middle (like imperfect-coverage designs).
+  const auto set = us::satisfying_set(
+      1, 8, [](std::size_t k) { return k >= 3 && k <= 5; });
+  EXPECT_EQ(set, (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(Threshold, DowntimeConversion) {
+  // 5 minutes/year -> about "five nines".
+  const double a = us::availability_for_downtime_minutes_per_year(5.0);
+  EXPECT_NEAR(a, 1.0 - 5.0 / 525600.0, 1e-12);
+  EXPECT_GT(a, 0.99999);
+  EXPECT_THROW((void)us::availability_for_downtime_minutes_per_year(-1.0),
+               ModelError);
+}

@@ -1,0 +1,206 @@
+// Tests for the simulation substrate: RNG determinism, distribution
+// moments, the event calendar, and the statistics toolkit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/sim/distributions.hpp"
+#include "upa/sim/engine.hpp"
+#include "upa/sim/rng.hpp"
+#include "upa/sim/stats.hpp"
+
+namespace usim = upa::sim;
+using upa::common::ModelError;
+
+TEST(Rng, DeterministicForSameSeed) {
+  usim::Xoshiro256 a(123);
+  usim::Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  usim::Xoshiro256 a(1);
+  usim::Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  usim::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform01_open_left();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  usim::Xoshiro256 rng(99);
+  usim::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform01());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.003);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  usim::Xoshiro256 a(5);
+  usim::Xoshiro256 b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Distributions, MomentsMatchSamples) {
+  usim::Xoshiro256 rng(11);
+  const std::vector<usim::Distribution> dists{
+      usim::Exponential{2.0},
+      usim::UniformReal{1.0, 3.0},
+      usim::Erlang{3, 1.5},
+      usim::HyperExponential{0.3, 5.0, 0.5},
+      usim::LogNormal{0.0, 0.5},
+  };
+  for (const auto& d : dists) {
+    usim::RunningStats stats;
+    for (int i = 0; i < 300000; ++i) stats.add(usim::sample(d, rng));
+    const double m = usim::mean(d);
+    const double v = usim::variance(d);
+    EXPECT_NEAR(stats.mean(), m, 0.02 * std::max(1.0, m));
+    EXPECT_NEAR(stats.variance(), v, 0.06 * std::max(1.0, v));
+  }
+}
+
+TEST(Distributions, DeterministicIsExact) {
+  usim::Xoshiro256 rng(1);
+  const usim::Distribution d = usim::Deterministic{4.2};
+  EXPECT_DOUBLE_EQ(usim::sample(d, rng), 4.2);
+  EXPECT_DOUBLE_EQ(usim::mean(d), 4.2);
+  EXPECT_DOUBLE_EQ(usim::variance(d), 0.0);
+}
+
+TEST(Distributions, ValidationRejectsBadParameters) {
+  usim::Xoshiro256 rng(1);
+  EXPECT_THROW((void)usim::sample(usim::Exponential{-1.0}, rng), ModelError);
+  EXPECT_THROW((void)usim::sample(usim::UniformReal{3.0, 1.0}, rng),
+               ModelError);
+  EXPECT_THROW((void)usim::sample(usim::Erlang{0, 1.0}, rng), ModelError);
+  EXPECT_THROW((void)usim::sample(usim::HyperExponential{1.5, 1.0, 1.0}, rng),
+               ModelError);
+}
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  usim::Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.processed_count(), 3u);
+}
+
+TEST(Engine, FifoTieBreakAtSameTime) {
+  usim::Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  usim::Engine engine;
+  bool fired = false;
+  const auto id = engine.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id));  // already cancelled
+  engine.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, RunUntilRespectsHorizon) {
+  usim::Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(5.0, [&] { ++count; });
+  engine.run_until(2.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  EXPECT_EQ(engine.pending_count(), 1u);
+}
+
+TEST(Engine, HandlersCanScheduleMoreEvents) {
+  usim::Engine engine;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) engine.schedule_in(1.0, step);
+  };
+  engine.schedule_in(1.0, step);
+  engine.run_all();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  usim::Engine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.run_until(2.0);
+  EXPECT_THROW((void)engine.schedule_at(1.0, [] {}), ModelError);
+  EXPECT_THROW((void)engine.schedule_in(-1.0, [] {}), ModelError);
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  usim::RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.count(), 8u);
+}
+
+TEST(Stats, TimeWeightedAverage) {
+  usim::TimeWeightedStats tw(0.0, 1.0);
+  tw.update(4.0, 0.0);  // up for 4
+  tw.update(6.0, 1.0);  // down for 2
+  EXPECT_NEAR(tw.time_average(10.0), (4.0 + 4.0) / 10.0, 1e-12);
+}
+
+TEST(Stats, TimeWeightedRejectsBackwardsTime) {
+  usim::TimeWeightedStats tw(0.0, 0.0);
+  tw.update(2.0, 1.0);
+  EXPECT_THROW(tw.update(1.0, 0.0), ModelError);
+}
+
+TEST(Stats, StudentTCriticalValues) {
+  EXPECT_NEAR(usim::student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(usim::student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(usim::student_t_critical(10, 0.99), 3.169, 1e-3);
+  EXPECT_NEAR(usim::student_t_critical(1000, 0.95), 1.96, 2e-2);
+  // Interpolated between table rows.
+  const double t17 = usim::student_t_critical(17, 0.95);
+  EXPECT_GT(t17, usim::student_t_critical(20, 0.95));
+  EXPECT_LT(t17, usim::student_t_critical(15, 0.95));
+}
+
+TEST(Stats, ConfidenceIntervalCoversMean) {
+  const std::vector<double> reps{9.8, 10.1, 10.0, 9.9, 10.2};
+  const auto ci = usim::confidence_interval(reps, 0.95);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_NEAR(ci.mean, 10.0, 1e-12);
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_LT(ci.half_width, 0.5);
+}
+
+TEST(Stats, ConfidenceIntervalNeedsTwoReps) {
+  EXPECT_THROW((void)usim::confidence_interval({1.0}), ModelError);
+}

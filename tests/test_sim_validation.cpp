@@ -1,0 +1,155 @@
+// Monte-Carlo validation: the simulators must reproduce the analytic
+// results of the queueing, RBD and Markov engines within their confidence
+// intervals. These are the slowest tests in the suite.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+
+#include "upa/markov/ctmc.hpp"
+#include "upa/queueing/mm1.hpp"
+#include "upa/queueing/mmck.hpp"
+#include "upa/rbd/block.hpp"
+#include "upa/sim/availability_sim.hpp"
+#include "upa/sim/queue_sim.hpp"
+
+namespace usim = upa::sim;
+namespace uq = upa::queueing;
+namespace ur = upa::rbd;
+namespace um = upa::markov;
+
+namespace {
+
+/// Widened acceptance band: CI half-width plus a safety margin, so the
+/// suite stays deterministic-pass under the fixed seeds.
+void expect_in_band(const usim::ConfidenceInterval& ci, double analytic,
+                    double extra) {
+  EXPECT_NEAR(ci.mean, analytic, ci.half_width + extra)
+      << "CI [" << ci.low << ", " << ci.high << "] vs analytic "
+      << analytic;
+}
+
+}  // namespace
+
+TEST(QueueSimValidation, Mm1kLossMatchesClosedForm) {
+  usim::QueueSpec spec;
+  spec.interarrival = usim::Exponential{90.0};
+  spec.service = usim::Exponential{100.0};
+  spec.servers = 1;
+  spec.capacity = 10;
+  usim::QueueSimOptions options;
+  options.arrivals_per_replication = 120000;
+  options.warmup_arrivals = 5000;
+  options.replications = 8;
+  options.seed = 1234;
+  const auto result = usim::simulate_queue(spec, options);
+  const double analytic = uq::mm1k_loss_probability(90.0, 100.0, 10);
+  expect_in_band(result.loss_probability, analytic, 0.002);
+}
+
+TEST(QueueSimValidation, MmckLossMatchesClosedForm) {
+  usim::QueueSpec spec;
+  spec.interarrival = usim::Exponential{100.0};
+  spec.service = usim::Exponential{50.0};  // 2 servers needed at rho=2
+  spec.servers = 3;
+  spec.capacity = 10;
+  usim::QueueSimOptions options;
+  options.arrivals_per_replication = 120000;
+  options.warmup_arrivals = 5000;
+  options.replications = 8;
+  options.seed = 77;
+  const auto result = usim::simulate_queue(spec, options);
+  const double analytic = uq::mmck_loss_probability(100.0, 50.0, 3, 10);
+  expect_in_band(result.loss_probability, analytic, 0.003);
+}
+
+TEST(QueueSimValidation, Mm1MeanInSystemMatches) {
+  usim::QueueSpec spec;
+  spec.interarrival = usim::Exponential{50.0};
+  spec.service = usim::Exponential{100.0};
+  spec.servers = 1;
+  spec.capacity = 500;  // effectively infinite
+  usim::QueueSimOptions options;
+  options.arrivals_per_replication = 100000;
+  options.warmup_arrivals = 10000;
+  options.replications = 6;
+  options.seed = 99;
+  const auto result = usim::simulate_queue(spec, options);
+  expect_in_band(result.mean_in_system,
+                 uq::mm1_metrics(50.0, 100.0).mean_in_system, 0.05);
+  expect_in_band(result.mean_response,
+                 uq::mm1_metrics(50.0, 100.0).mean_response, 0.002);
+}
+
+TEST(AvailabilitySimValidation, SeriesSystemMatchesRbd) {
+  // Two components in series; availability = prod of mu/(lambda+mu).
+  const std::vector<usim::ComponentSpec> components{
+      {"a", 0.02, 1.0}, {"b", 0.05, 0.5}};
+  const auto block = ur::Block::series(
+      {ur::Block::component("a"), ur::Block::component("b")});
+  const ur::ParamMap params{
+      {"a", 1.0 / (1.0 + 0.02)}, {"b", 0.5 / (0.5 + 0.05)}};
+  const double analytic = ur::availability(block, params);
+
+  usim::MonteCarloOptions options;
+  options.horizon = 30000.0;
+  options.warmup = 500.0;
+  options.replications = 10;
+  options.seed = 321;
+  const auto estimate = usim::simulate_system_availability(
+      components,
+      [](const std::vector<bool>& up) { return up[0] && up[1]; }, options);
+  expect_in_band(estimate.interval, analytic, 0.002);
+}
+
+TEST(AvailabilitySimValidation, ParallelSystemMatchesRbd) {
+  const std::vector<usim::ComponentSpec> components{
+      {"a", 0.1, 1.0}, {"b", 0.1, 1.0}};
+  const double a = 1.0 / 1.1;
+  const double analytic = 1.0 - (1.0 - a) * (1.0 - a);
+  usim::MonteCarloOptions options;
+  options.horizon = 20000.0;
+  options.replications = 10;
+  options.seed = 555;
+  const auto estimate = usim::simulate_system_availability(
+      components,
+      [](const std::vector<bool>& up) { return up[0] || up[1]; }, options);
+  expect_in_band(estimate.interval, analytic, 0.002);
+}
+
+TEST(CtmcRewardSimValidation, TwoStateAvailability) {
+  const um::Ctmc chain = um::two_state_availability(0.05, 1.0);
+  usim::MonteCarloOptions options;
+  options.horizon = 20000.0;
+  options.replications = 10;
+  options.seed = 2024;
+  const auto estimate =
+      usim::simulate_ctmc_reward(chain, {1.0, 0.0}, 0, options);
+  expect_in_band(estimate.interval, 1.0 / 1.05, 0.002);
+}
+
+TEST(CtmcRewardSimValidation, WeightedRewardChain) {
+  um::Ctmc chain(3);
+  chain.add_rate(0, 1, 1.0);
+  chain.add_rate(1, 2, 2.0);
+  chain.add_rate(2, 0, 3.0);
+  const std::vector<double> rewards{1.0, 0.5, 0.0};
+  const auto pi = chain.steady_state();
+  const double analytic = pi[0] * 1.0 + pi[1] * 0.5;
+  usim::MonteCarloOptions options;
+  options.horizon = 30000.0;
+  options.replications = 8;
+  options.seed = 31337;
+  const auto estimate = usim::simulate_ctmc_reward(chain, rewards, 0, options);
+  expect_in_band(estimate.interval, analytic, 0.005);
+}
+
+TEST(CtmcRewardSimValidation, RejectsAbsorbingState) {
+  um::Ctmc chain(2);
+  chain.add_rate(0, 1, 1.0);  // state 1 absorbing
+  usim::MonteCarloOptions options;
+  options.horizon = 100.0;
+  options.replications = 2;
+  EXPECT_THROW((void)usim::simulate_ctmc_reward(chain, {1.0, 0.0}, 0, options),
+               upa::common::ModelError);
+}

@@ -1,0 +1,185 @@
+// Tests for the GSPN engine: enabling/firing semantics, reachability
+// exploration, vanishing-marking elimination, and agreement between a
+// Petri-net model of a repairable system and its direct CTMC.
+
+#include <gtest/gtest.h>
+
+#include "upa/common/error.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/spn/net.hpp"
+#include "upa/spn/reachability.hpp"
+#include "upa/spn/to_ctmc.hpp"
+
+namespace us = upa::spn;
+namespace um = upa::markov;
+using upa::common::ModelError;
+
+namespace {
+
+/// Single repairable component: up -(fail)-> down -(repair)-> up.
+us::PetriNet repairable_component(double lambda, double mu) {
+  us::PetriNet net;
+  const auto up = net.add_place("up", 1);
+  const auto down = net.add_place("down", 0);
+  const auto fail = net.add_timed_transition("fail", lambda);
+  net.add_input_arc(fail, up);
+  net.add_output_arc(fail, down);
+  const auto repair = net.add_timed_transition("repair", mu);
+  net.add_input_arc(repair, down);
+  net.add_output_arc(repair, up);
+  return net;
+}
+
+}  // namespace
+
+TEST(PetriNet, EnablingAndFiring) {
+  us::PetriNet net;
+  const auto p = net.add_place("p", 2);
+  const auto q = net.add_place("q", 0);
+  const auto t = net.add_timed_transition("t", 1.0);
+  net.add_input_arc(t, p, 2);
+  net.add_output_arc(t, q, 1);
+  const us::Marking m0 = net.initial_marking();
+  EXPECT_TRUE(net.is_enabled(t, m0));
+  const us::Marking m1 = net.fire(t, m0);
+  EXPECT_EQ(m1[p], 0);
+  EXPECT_EQ(m1[q], 1);
+  EXPECT_FALSE(net.is_enabled(t, m1));
+  EXPECT_THROW((void)net.fire(t, m1), ModelError);
+}
+
+TEST(PetriNet, InhibitorArcDisables) {
+  us::PetriNet net;
+  const auto p = net.add_place("p", 1);
+  const auto guard = net.add_place("guard", 1);
+  const auto t = net.add_timed_transition("t", 1.0);
+  net.add_input_arc(t, p);
+  net.add_inhibitor_arc(t, guard);
+  EXPECT_FALSE(net.is_enabled(t, net.initial_marking()));
+}
+
+TEST(PetriNet, InfiniteServerSemanticsScalesRate) {
+  us::PetriNet net;
+  const auto p = net.add_place("p", 3);
+  const auto t = net.add_timed_transition("t", 2.0,
+                                          us::ServerSemantics::kInfiniteServer);
+  net.add_input_arc(t, p);
+  EXPECT_EQ(net.enabling_degree(t, net.initial_marking()), 3);
+  EXPECT_DOUBLE_EQ(net.effective_rate(t, net.initial_marking()), 6.0);
+}
+
+TEST(PetriNet, ImmediatePriorityOverTimed) {
+  us::PetriNet net;
+  const auto p = net.add_place("p", 1);
+  const auto timed = net.add_timed_transition("timed", 1.0);
+  net.add_input_arc(timed, p);
+  const auto imm = net.add_immediate_transition("imm", 2.0);
+  net.add_input_arc(imm, p);
+  const auto eligible = net.eligible_transitions(net.initial_marking());
+  ASSERT_EQ(eligible.size(), 1u);
+  EXPECT_EQ(eligible[0], imm);
+  EXPECT_TRUE(net.is_vanishing(net.initial_marking()));
+}
+
+TEST(Reachability, RepairableComponentHasTwoMarkings) {
+  const us::PetriNet net = repairable_component(0.1, 1.0);
+  const us::ReachabilityGraph graph = us::explore(net);
+  EXPECT_EQ(graph.markings.size(), 2u);
+  EXPECT_EQ(graph.edges.size(), 2u);
+  EXPECT_EQ(graph.tangible_count(), 2u);
+}
+
+TEST(Reachability, BoundedExplorationThrowsOnUnboundedNet) {
+  us::PetriNet net;
+  const auto p = net.add_place("p", 0);
+  const auto t = net.add_timed_transition("source", 1.0);
+  net.add_output_arc(t, p);  // no input: fires forever, unbounded
+  us::ReachabilityOptions options;
+  options.max_markings = 50;
+  EXPECT_THROW((void)us::explore(net, options), ModelError);
+}
+
+TEST(ToCtmc, RepairableComponentAvailability) {
+  const double lambda = 0.02;
+  const double mu = 0.8;
+  const us::PetriNet net = repairable_component(lambda, mu);
+  const us::TangibleChain tc = us::to_ctmc(net, us::explore(net));
+  const double availability = us::steady_state_probability(
+      tc, [](const us::Marking& m) { return m[0] >= 1; });
+  EXPECT_NEAR(availability, mu / (lambda + mu), 1e-12);
+}
+
+TEST(ToCtmc, VanishingMarkingRedistribution) {
+  // up -(fail)-> choice -(imm covered w=9)-> down_auto -(repair)-> up
+  //                      -(imm uncovered w=1)-> down_manual -(slow)-> up
+  us::PetriNet net;
+  const auto up = net.add_place("up", 1);
+  const auto choice = net.add_place("choice", 0);
+  const auto down_a = net.add_place("down_auto", 0);
+  const auto down_m = net.add_place("down_manual", 0);
+  const auto fail = net.add_timed_transition("fail", 1.0);
+  net.add_input_arc(fail, up);
+  net.add_output_arc(fail, choice);
+  const auto cov = net.add_immediate_transition("covered", 9.0);
+  net.add_input_arc(cov, choice);
+  net.add_output_arc(cov, down_a);
+  const auto unc = net.add_immediate_transition("uncovered", 1.0);
+  net.add_input_arc(unc, choice);
+  net.add_output_arc(unc, down_m);
+  const auto repair = net.add_timed_transition("repair", 10.0);
+  net.add_input_arc(repair, down_a);
+  net.add_output_arc(repair, up);
+  const auto manual = net.add_timed_transition("manual", 0.5);
+  net.add_input_arc(manual, down_m);
+  net.add_output_arc(manual, up);
+
+  const us::ReachabilityGraph graph = us::explore(net);
+  EXPECT_EQ(graph.tangible_count(), 3u);  // up, down_auto, down_manual
+  const us::TangibleChain tc = us::to_ctmc(net, graph);
+
+  // Equivalent CTMC built by hand: up -> down_a at 0.9, up -> down_m 0.1.
+  um::Ctmc direct(3);
+  direct.add_rate(0, 1, 0.9);
+  direct.add_rate(0, 2, 0.1);
+  direct.add_rate(1, 0, 10.0);
+  direct.add_rate(2, 0, 0.5);
+  const auto direct_pi = direct.steady_state();
+  const double up_spn = us::steady_state_probability(
+      tc, [up](const us::Marking& m) { return m[up] >= 1; });
+  EXPECT_NEAR(up_spn, direct_pi[0], 1e-12);
+}
+
+TEST(ToCtmc, DetectsImmediateCycle) {
+  us::PetriNet net;
+  const auto a = net.add_place("a", 1);
+  const auto b = net.add_place("b", 0);
+  const auto t1 = net.add_immediate_transition("ab");
+  net.add_input_arc(t1, a);
+  net.add_output_arc(t1, b);
+  const auto t2 = net.add_immediate_transition("ba");
+  net.add_input_arc(t2, b);
+  net.add_output_arc(t2, a);
+  const us::ReachabilityGraph graph = us::explore(net);
+  EXPECT_THROW((void)us::to_ctmc(net, graph), ModelError);
+}
+
+TEST(ToCtmc, ExpectedTokensMachineRepair) {
+  // Two machines, one repairman (M/M/1-like machine-repair model).
+  us::PetriNet net;
+  const auto working = net.add_place("working", 2);
+  const auto broken = net.add_place("broken", 0);
+  const auto fail = net.add_timed_transition(
+      "fail", 0.5, us::ServerSemantics::kInfiniteServer);
+  net.add_input_arc(fail, working);
+  net.add_output_arc(fail, broken);
+  const auto repair = net.add_timed_transition("repair", 2.0);
+  net.add_input_arc(repair, broken);
+  net.add_output_arc(repair, working);
+
+  const us::TangibleChain tc = us::to_ctmc(net, us::explore(net));
+  ASSERT_EQ(tc.markings.size(), 3u);
+  // Birth-death on broken count: rates 2*0.5, 1*0.5 up, repair 2 down.
+  // w = {1, 1/2, 1/8} -> E[broken] = (0*1 + 1*.5 + 2*.125)/1.625.
+  const double expected = (0.5 + 0.25) / 1.625;
+  EXPECT_NEAR(us::expected_tokens(tc, broken), expected, 1e-12);
+}

@@ -1,0 +1,227 @@
+// Tests for the travel-agency instantiation: parameters, Tables 3-6
+// service/function availabilities, Table 1 scenario data, and the fitted
+// session graphs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/profile/scenario.hpp"
+#include "upa/ta/functions.hpp"
+#include "upa/ta/model_builder.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace ut = upa::ta;
+namespace up = upa::profile;
+using upa::common::ModelError;
+
+TEST(Params, PaperDefaultsValidate) {
+  const ut::TaParameters p = ut::TaParameters::paper_defaults();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_DOUBLE_EQ(p.a_net, 0.9966);
+  EXPECT_EQ(p.n_web, 4u);
+  EXPECT_DOUBLE_EQ(p.coverage, 0.98);
+}
+
+TEST(Params, WithReservationSystems) {
+  const auto p = ut::TaParameters::paper_defaults().with_reservation_systems(5);
+  EXPECT_EQ(p.n_flight, 5u);
+  EXPECT_EQ(p.n_hotel, 5u);
+  EXPECT_EQ(p.n_car, 5u);
+}
+
+TEST(Params, ValidationCatchesBadBranchProbabilities) {
+  auto p = ut::TaParameters::paper_defaults();
+  p.q23 = 0.5;  // q23 + q24 != 1
+  EXPECT_THROW(p.validate(), ModelError);
+}
+
+TEST(Services, ExternalAvailabilityTable3) {
+  // 1 - (1 - 0.9)^N.
+  EXPECT_NEAR(ut::external_service_availability(0.9, 1), 0.9, 1e-15);
+  EXPECT_NEAR(ut::external_service_availability(0.9, 2), 0.99, 1e-12);
+  EXPECT_NEAR(ut::external_service_availability(0.9, 5), 1.0 - 1e-5, 1e-12);
+}
+
+TEST(Services, Table4BasicArchitecture) {
+  auto p = ut::TaParameters::paper_defaults();
+  p.architecture = ut::Architecture::kBasic;
+  EXPECT_NEAR(ut::application_service_availability(p), 0.996, 1e-15);
+  EXPECT_NEAR(ut::database_service_availability(p), 0.996 * 0.9, 1e-15);
+}
+
+TEST(Services, Table4RedundantArchitecture) {
+  const auto p = ut::TaParameters::paper_defaults();
+  EXPECT_NEAR(ut::application_service_availability(p),
+              1.0 - 0.004 * 0.004, 1e-15);
+  EXPECT_NEAR(ut::database_service_availability(p),
+              (1.0 - 0.004 * 0.004) * (1.0 - 0.01), 1e-12);
+}
+
+TEST(Services, RedundancyHelps) {
+  auto basic = ut::TaParameters::paper_defaults();
+  basic.architecture = ut::Architecture::kBasic;
+  const auto redundant = ut::TaParameters::paper_defaults();
+  EXPECT_GT(ut::application_service_availability(redundant),
+            ut::application_service_availability(basic));
+  EXPECT_GT(ut::database_service_availability(redundant),
+            ut::database_service_availability(basic));
+  EXPECT_GT(ut::web_service_availability(redundant),
+            ut::web_service_availability(basic));
+}
+
+TEST(Services, ComputeServicesBundlesEverything) {
+  const auto s = ut::compute_services(ut::TaParameters::paper_defaults());
+  EXPECT_DOUBLE_EQ(s.net, 0.9966);
+  EXPECT_DOUBLE_EQ(s.lan, 0.9966);
+  EXPECT_NEAR(s.web, 0.999995587, 5e-9);
+  EXPECT_DOUBLE_EQ(s.payment, 0.9);
+  EXPECT_DOUBLE_EQ(s.flight, 0.9);  // N = 1 default
+}
+
+TEST(Functions, Table6Formulas) {
+  const auto p = ut::TaParameters::paper_defaults();
+  const auto s = ut::compute_services(p);
+  const double front = s.net * s.lan * s.web;
+  EXPECT_NEAR(ut::function_availability(ut::TaFunction::kHome, s, p), front,
+              1e-15);
+  EXPECT_NEAR(
+      ut::function_availability(ut::TaFunction::kSearch, s, p),
+      front * s.application * s.database * s.flight * s.hotel * s.car,
+      1e-15);
+  EXPECT_NEAR(ut::function_availability(ut::TaFunction::kBook, s, p),
+              ut::function_availability(ut::TaFunction::kSearch, s, p),
+              1e-15);
+  EXPECT_NEAR(ut::function_availability(ut::TaFunction::kPay, s, p),
+              front * s.application * s.database * s.payment, 1e-15);
+  const double browse =
+      front * (p.q23 + s.application *
+                           (p.q24 * p.q45 + p.q24 * p.q47 * s.database));
+  EXPECT_NEAR(ut::function_availability(ut::TaFunction::kBrowse, s, p),
+              browse, 1e-15);
+}
+
+TEST(Functions, BrowseBetweenHomeAndSearch) {
+  const auto p = ut::TaParameters::paper_defaults();
+  const auto s = ut::compute_services(p);
+  const double home = ut::function_availability(ut::TaFunction::kHome, s, p);
+  const double browse =
+      ut::function_availability(ut::TaFunction::kBrowse, s, p);
+  const double search =
+      ut::function_availability(ut::TaFunction::kSearch, s, p);
+  EXPECT_LT(browse, home);
+  EXPECT_GT(browse, search);
+}
+
+TEST(Functions, SymbolicExprMatchesNumeric) {
+  const auto p = ut::TaParameters::paper_defaults();
+  const auto s = ut::compute_services(p);
+  const auto params = ut::service_params(s);
+  for (const auto f : ut::kAllFunctions) {
+    EXPECT_NEAR(ut::function_expr(f, p).evaluate(params),
+                ut::function_availability(f, s, p), 1e-12)
+        << ut::function_name(f);
+  }
+}
+
+TEST(Functions, GradientIdentifiesFirstOrderServices) {
+  // The paper: Anet, ALAN, AWS have first-order impact on Search.
+  const auto p = ut::TaParameters::paper_defaults();
+  const auto s = ut::compute_services(p);
+  const auto grad = upa::core::gradient(
+      ut::function_expr(ut::TaFunction::kSearch, p), ut::service_params(s));
+  EXPECT_GT(grad.at("Anet"), 0.5);
+  EXPECT_GT(grad.at("ALAN"), 0.5);
+  EXPECT_GT(grad.at("AWS"), 0.5);
+}
+
+TEST(UserClasses, Table1SumsToOne) {
+  for (const auto uc : {ut::UserClass::kA, ut::UserClass::kB}) {
+    const auto table = ut::scenario_table(uc);
+    EXPECT_NEAR(table.total_probability(), 1.0, 1e-12);
+    EXPECT_EQ(table.scenarios().size(), 12u);
+  }
+}
+
+TEST(UserClasses, ClassBBuysMore) {
+  const auto a = ut::scenario_table(ut::UserClass::kA);
+  const auto b = ut::scenario_table(ut::UserClass::kB);
+  const std::size_t pay = ut::function_index(ut::TaFunction::kPay);
+  EXPECT_NEAR(a.invocation_probability(pay), 0.075, 1e-12);
+  EXPECT_NEAR(b.invocation_probability(pay), 0.203, 1e-12);
+  // The paper: ~80% of class B sessions invoke Search/Book/Pay vs ~50%
+  // for class A.
+  const std::size_t search = ut::function_index(ut::TaFunction::kSearch);
+  EXPECT_NEAR(b.invocation_probability(search), 0.792, 1e-12);
+  EXPECT_NEAR(a.invocation_probability(search), 0.52, 1e-12);
+}
+
+TEST(UserClasses, CategoryMapping) {
+  const auto table = ut::scenario_table(ut::UserClass::kA);
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& sc : table.scenarios()) {
+    counts[static_cast<int>(ut::category_of(sc))]++;
+  }
+  EXPECT_EQ(counts[0], 3);  // SC1: scenarios 1-3
+  EXPECT_EQ(counts[1], 3);  // SC2: 4-6
+  EXPECT_EQ(counts[2], 3);  // SC3: 7-9
+  EXPECT_EQ(counts[3], 3);  // SC4: 10-12
+}
+
+TEST(FittedGraph, ReproducesTable1WithinRounding) {
+  for (const auto uc : {ut::UserClass::kA, ut::UserClass::kB}) {
+    const auto profile = ut::fitted_session_graph(uc);
+    const auto table = ut::scenario_table(uc);
+    for (const auto& scenario : table.scenarios()) {
+      const double computed =
+          up::visited_exactly_probability(profile, scenario.functions);
+      // Table 1 is printed to 0.1%; allow a little slack on top.
+      EXPECT_NEAR(computed, scenario.probability, 2.5e-3)
+          << ut::user_class_name(uc) << " scenario " << scenario.label;
+    }
+  }
+}
+
+TEST(FittedGraph, BookReturnProbabilityDoesNotChangeClassProbabilities) {
+  // book_back_to_search only redistributes mass among paths *within* the
+  // {Se-Bo}* cycle classes, so the visited-set probabilities are exactly
+  // invariant to it. (start_home, by contrast, is pinned by the
+  // cycle-exit/cycle-search split of Table 1.)
+  const auto p1 = ut::fitted_session_graph(ut::UserClass::kA, 0.5, 0.0);
+  const auto p2 = ut::fitted_session_graph(ut::UserClass::kA, 0.5, 0.4);
+  const auto table = ut::scenario_table(ut::UserClass::kA);
+  for (const auto& scenario : table.scenarios()) {
+    EXPECT_NEAR(up::visited_exactly_probability(p1, scenario.functions),
+                up::visited_exactly_probability(p2, scenario.functions),
+                1e-9)
+        << scenario.label;
+  }
+}
+
+TEST(FittedGraph, MeanSessionLengthReasonable) {
+  const auto profile = ut::fitted_session_graph(ut::UserClass::kB);
+  const double length = profile.mean_session_length();
+  EXPECT_GT(length, 1.0);
+  EXPECT_LT(length, 10.0);
+}
+
+TEST(ModelBuilder, CatalogHasNineServices) {
+  const auto [catalog, ids] =
+      ut::build_service_catalog(ut::TaParameters::paper_defaults());
+  EXPECT_EQ(catalog.size(), 9u);
+  EXPECT_EQ(catalog.name(ids.web), "Web service");
+  EXPECT_NEAR(catalog.availability(ids.web), 0.999995587, 5e-9);
+}
+
+TEST(ModelBuilder, FunctionAvailabilitiesMatchTable6) {
+  const auto p = ut::TaParameters::paper_defaults();
+  const auto model = ut::build_user_model(ut::UserClass::kA, p);
+  const auto s = ut::compute_services(p);
+  for (std::size_t i = 0; i < ut::kAllFunctions.size(); ++i) {
+    EXPECT_NEAR(model.function(i).availability(model.catalog()),
+                ut::function_availability(ut::kAllFunctions[i], s, p), 1e-12)
+        << ut::function_name(ut::kAllFunctions[i]);
+  }
+}

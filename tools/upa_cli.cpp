@@ -1,0 +1,255 @@
+// upa_cli: command-line front end to the travel-agency models.
+//
+//   upa_cli services [overrides]         service-level availabilities
+//   upa_cli user     [overrides]         user-perceived availability
+//   upa_cli farm     [overrides]         web-farm analysis
+//   upa_cli profile  --class A|B         operational-profile statistics
+//   upa_cli design   [overrides]         min servers per requirement
+//   upa_cli help
+//
+// Common overrides (defaults = the paper's Table 7):
+//   --class A|B        user class                (user/profile)
+//   --n N              reservation systems per trip item
+//   --nw N             web servers
+//   --lambda X         web-server failure rate [1/h]
+//   --mu X             repair rate [1/h]
+//   --coverage X       fault coverage c
+//   --beta X           manual reconfiguration rate [1/h]
+//   --alpha X          request arrival rate [1/s]
+//   --nu X             per-server service rate [1/s]
+//   --buffer K         request buffer size
+//   --deadline T       response-time threshold [s] (farm)
+//   --basic            basic architecture (Figure 7)
+//   --perfect          perfect fault coverage
+//   --target-minutes M design target downtime minutes/year (design)
+
+#include <iostream>
+
+#include "upa/cli/args.hpp"
+#include "upa/common/error.hpp"
+#include "upa/common/numeric.hpp"
+#include "upa/common/table.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/markov/updown.hpp"
+#include "upa/profile/visit_distribution.hpp"
+#include "upa/queueing/response_time.hpp"
+#include "upa/sensitivity/threshold.hpp"
+#include "upa/ta/revenue.hpp"
+#include "upa/ta/services.hpp"
+#include "upa/ta/symbolic.hpp"
+#include "upa/ta/user_availability.hpp"
+
+namespace {
+
+namespace ta = upa::ta;
+namespace cm = upa::common;
+
+ta::TaParameters params_from(const upa::cli::Args& args) {
+  ta::TaParameters p = ta::TaParameters::paper_defaults();
+  p = p.with_reservation_systems(args.get_size("n", 1));
+  p.n_web = args.get_size("nw", p.n_web);
+  p.lambda_web = args.get_double("lambda", p.lambda_web);
+  p.mu_web = args.get_double("mu", p.mu_web);
+  p.coverage = args.get_double("coverage", p.coverage);
+  p.beta = args.get_double("beta", p.beta);
+  p.alpha = args.get_double("alpha", p.alpha);
+  p.nu = args.get_double("nu", p.nu);
+  p.buffer = args.get_size("buffer", p.buffer);
+  if (args.has("basic")) p.architecture = ta::Architecture::kBasic;
+  if (args.has("perfect")) p.coverage_model = ta::CoverageModel::kPerfect;
+  p.validate();
+  return p;
+}
+
+ta::UserClass class_from(const upa::cli::Args& args) {
+  const std::string name = args.get("class", "B");
+  if (name == "A" || name == "a") return ta::UserClass::kA;
+  if (name == "B" || name == "b") return ta::UserClass::kB;
+  throw upa::common::ModelError("--class must be A or B, got " + name);
+}
+
+int cmd_services(const upa::cli::Args& args) {
+  const auto p = params_from(args);
+  const auto s = ta::compute_services(p);
+  cm::Table t({"service", "availability", "downtime h/yr"});
+  t.set_align(0, cm::Align::kLeft);
+  auto row = [&](const char* name, double a) {
+    t.add_row({name, cm::fmt(a, 9),
+               cm::fmt_fixed(cm::downtime_hours_per_year(a), 2)});
+  };
+  row("Internet access", s.net);
+  row("LAN", s.lan);
+  row("Web service", s.web);
+  row("Application service", s.application);
+  row("Database service", s.database);
+  row("Flight reservation", s.flight);
+  row("Hotel reservation", s.hotel);
+  row("Car reservation", s.car);
+  row("Payment", s.payment);
+  std::cout << t;
+  return 0;
+}
+
+int cmd_user(const upa::cli::Args& args) {
+  const auto p = params_from(args);
+  const auto uclass = class_from(args);
+  const double a = ta::user_availability_eq10(uclass, p);
+  std::cout << "user-perceived availability (" << ta::user_class_name(uclass)
+            << ") = " << cm::fmt(a, 8) << "\n"
+            << "downtime: " << cm::fmt_fixed(cm::downtime_hours_per_year(a), 2)
+            << " hours/year\n\n";
+  const auto breakdown = ta::category_breakdown(uclass, p);
+  cm::Table t({"scenario category", "UA contribution", "hours/yr"});
+  t.set_align(0, cm::Align::kLeft);
+  for (const auto& [category, ua] : breakdown.unavailability) {
+    t.add_row({ta::category_name(category), cm::fmt_sci(ua, 3),
+               cm::fmt_fixed(ua * 8760.0, 1)});
+  }
+  std::cout << t << "\n";
+  const auto grad = ta::user_availability_gradient(uclass, p);
+  cm::Table g({"service", "dA(user)/dA(service)"});
+  g.set_align(0, cm::Align::kLeft);
+  for (const auto& [name, value] : grad) g.add_row({name, cm::fmt(value, 5)});
+  std::cout << g;
+  return 0;
+}
+
+int cmd_farm(const upa::cli::Args& args) {
+  const auto p = params_from(args);
+  const auto farm = ta::web_farm_params(p);
+  const auto queue = ta::web_queue_params(p);
+  const bool perfect = p.coverage_model == ta::CoverageModel::kPerfect ||
+                       p.architecture == ta::Architecture::kBasic;
+  const double a = perfect
+                       ? upa::core::web_service_availability_perfect(farm,
+                                                                     queue)
+                       : upa::core::web_service_availability_imperfect(
+                             farm, queue);
+  std::cout << "web service availability = " << cm::fmt(a, 10) << "  ("
+            << cm::fmt_fixed(cm::downtime_minutes_per_year(a), 2)
+            << " min downtime/yr)\n";
+  if (args.has("deadline")) {
+    const double tau = args.get_double("deadline", 0.1);
+    const double ad =
+        perfect ? upa::core::web_service_availability_perfect_with_deadline(
+                      farm, queue, tau)
+                : upa::core::web_service_availability_imperfect_with_deadline(
+                      farm, queue, tau);
+    std::cout << "with " << cm::fmt(tau * 1000.0, 4)
+              << " ms deadline          = " << cm::fmt(ad, 10) << "\n"
+              << "P(T > deadline | served)   = "
+              << cm::fmt_sci(upa::queueing::mmck_response_time_tail(
+                                 p.alpha, p.nu, farm.servers, p.buffer, tau),
+                             3)
+              << "\n";
+  }
+  if (!perfect) {
+    const auto chain = upa::core::imperfect_coverage_chain(farm);
+    std::vector<std::size_t> up;
+    for (std::size_t i = 1; i <= farm.servers; ++i) up.push_back(i);
+    const auto eq = upa::markov::up_down_measures(chain.chain, up);
+    std::cout << "equivalent component: MUT = " << cm::fmt_sci(eq.mean_up_time, 3)
+              << " h, MDT = " << cm::fmt(eq.mean_down_time, 4) << " h\n";
+  }
+  return 0;
+}
+
+int cmd_profile(const upa::cli::Args& args) {
+  const auto uclass = class_from(args);
+  const auto profile = ta::fitted_session_graph(uclass);
+  std::cout << "fitted session graph, " << ta::user_class_name(uclass)
+            << " (dot below)\n\n";
+  cm::Table t({"function", "E[visits]", "P(invoked)", "P(revisit)"});
+  t.set_align(0, cm::Align::kLeft);
+  for (std::size_t f = 0; f < profile.function_count(); ++f) {
+    const auto law = upa::profile::visit_law(profile, f);
+    t.add_row({profile.function_name(f),
+               cm::fmt(profile.expected_visits(f), 4),
+               cm::fmt(law.reach_probability, 4),
+               cm::fmt(law.return_probability, 4)});
+  }
+  std::cout << t << "\nmean session length = "
+            << cm::fmt(profile.mean_session_length(), 4) << " functions\n\n"
+            << profile.to_dot();
+  return 0;
+}
+
+int cmd_design(const upa::cli::Args& args) {
+  const auto base = params_from(args);
+  const double minutes = args.get_double("target-minutes", 5.0);
+  const double target_a =
+      upa::sensitivity::availability_for_downtime_minutes_per_year(minutes);
+  const auto region =
+      upa::sensitivity::satisfying_set(1, 16, [&](std::size_t n) {
+        auto p = base;
+        p.n_web = n;
+        p.buffer = std::max(p.buffer, n);
+        return ta::web_service_availability(p) >= target_a;
+      });
+  std::cout << "target: <= " << cm::fmt(minutes, 4)
+            << " min downtime/yr (A >= " << cm::fmt(target_a, 8) << ")\n";
+  if (region.empty()) {
+    std::cout << "infeasible with 1..16 web servers; reduce lambda or the "
+                 "load.\n";
+    return 1;
+  }
+  std::cout << "feasible web-server counts:";
+  for (std::size_t n : region) std::cout << " " << n;
+  std::cout << "\nminimum: " << region.front() << " servers\n";
+  return 0;
+}
+
+int cmd_help() {
+  std::cout <<
+      R"(upa_cli -- user-perceived availability models of the DSN'03 travel agency
+
+usage: upa_cli <command> [--option value ...]
+
+commands:
+  services   service-level availabilities (Tables 3-5)
+  user       user-perceived availability + category breakdown + gradient
+  farm       web-farm composite availability (+ --deadline tau)
+  profile    operational-profile statistics and dot graph
+  design     minimum web servers for a downtime target
+  help       this text
+
+common options (defaults = paper Table 7):
+  --class A|B  --n N  --nw N  --lambda X  --mu X  --coverage X  --beta X
+  --alpha X  --nu X  --buffer K  --deadline T  --basic  --perfect
+  --target-minutes M
+)";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const upa::cli::Args args(argc, argv);
+    int status = 0;
+    if (args.command().empty() || args.command() == "help") {
+      status = cmd_help();
+    } else if (args.command() == "services") {
+      status = cmd_services(args);
+    } else if (args.command() == "user") {
+      status = cmd_user(args);
+    } else if (args.command() == "farm") {
+      status = cmd_farm(args);
+    } else if (args.command() == "profile") {
+      status = cmd_profile(args);
+    } else if (args.command() == "design") {
+      status = cmd_design(args);
+    } else {
+      std::cerr << "unknown command '" << args.command()
+                << "' (try: upa_cli help)\n";
+      return 2;
+    }
+    for (const std::string& name : args.unused()) {
+      std::cerr << "warning: unused option --" << name << "\n";
+    }
+    return status;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
