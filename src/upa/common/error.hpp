@@ -8,6 +8,7 @@
 // violations use UPA_ASSERT which aborts in all build types (they indicate
 // library bugs, not user errors).
 
+#include <cstddef>
 #include <source_location>
 #include <stdexcept>
 #include <string>
@@ -23,9 +24,29 @@ class ModelError : public std::runtime_error {
 };
 
 /// Thrown specifically when an iterative algorithm fails to converge.
+/// Carries the iteration count and final residual so callers (e.g. solver
+/// fallback chains) can report actionable per-stage diagnostics.
 class ConvergenceError : public ModelError {
  public:
   explicit ConvergenceError(const std::string& what) : ModelError(what) {}
+  ConvergenceError(const std::string& what, std::size_t iterations,
+                   double final_residual)
+      : ModelError(what),
+        iterations_(iterations),
+        final_residual_(final_residual) {}
+
+  /// Iterations performed before giving up (0 when unknown).
+  [[nodiscard]] std::size_t iterations() const noexcept {
+    return iterations_;
+  }
+  /// Infinity-norm residual at the last iteration (0 when unknown).
+  [[nodiscard]] double final_residual() const noexcept {
+    return final_residual_;
+  }
+
+ private:
+  std::size_t iterations_ = 0;
+  double final_residual_ = 0.0;
 };
 
 [[noreturn]] void throw_model_error(

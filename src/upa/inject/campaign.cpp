@@ -1,0 +1,74 @@
+#include "upa/inject/campaign.hpp"
+
+#include <utility>
+
+#include "upa/common/csv.hpp"
+#include "upa/common/table.hpp"
+
+namespace upa::inject {
+namespace {
+
+common::CsvWriter build_csv(const std::vector<CampaignEntry>& entries) {
+  common::CsvWriter writer({"plan", "availability_mean", "ci_half_width",
+                            "ci_low", "ci_high", "delta_vs_baseline",
+                            "observed_web_availability",
+                            "mean_retries_per_session",
+                            "abandonment_fraction"});
+  for (const CampaignEntry& e : entries) {
+    writer.add_row({e.name, common::fmt(e.perceived_availability.mean, 10),
+                    common::fmt(e.perceived_availability.half_width, 10),
+                    common::fmt(e.perceived_availability.low, 10),
+                    common::fmt(e.perceived_availability.high, 10),
+                    common::fmt(e.delta_vs_baseline, 10),
+                    common::fmt(e.observed_web_service_availability, 10),
+                    common::fmt(e.mean_retries_per_session, 10),
+                    common::fmt(e.abandonment_fraction, 10)});
+  }
+  return writer;
+}
+
+CampaignEntry measure(std::string name, ta::UserClass uclass,
+                      const ta::TaParameters& params,
+                      ta::EndToEndOptions options, FaultPlan plan) {
+  options.faults = std::move(plan);
+  const ta::EndToEndResult r =
+      ta::simulate_end_to_end(uclass, params, options);
+  CampaignEntry entry;
+  entry.name = std::move(name);
+  entry.perceived_availability = r.perceived_availability;
+  entry.observed_web_service_availability =
+      r.observed_web_service_availability;
+  entry.mean_retries_per_session = r.mean_retries_per_session;
+  entry.abandonment_fraction = r.abandonment_fraction;
+  return entry;
+}
+
+}  // namespace
+
+std::string CampaignResult::csv() const { return build_csv(entries).str(); }
+
+void CampaignResult::write_csv(const std::string& path) const {
+  build_csv(entries).write_file(path);
+}
+
+CampaignResult run_campaign(ta::UserClass uclass,
+                            const ta::TaParameters& params,
+                            const ta::EndToEndOptions& base_options,
+                            const std::vector<CampaignPlan>& plans) {
+  CampaignResult result;
+  result.entries.reserve(plans.size() + 1);
+  result.entries.push_back(
+      measure("baseline", uclass, params, base_options, FaultPlan{}));
+  const double baseline_mean =
+      result.entries.front().perceived_availability.mean;
+  for (const CampaignPlan& p : plans) {
+    CampaignEntry entry =
+        measure(p.name, uclass, params, base_options, p.plan);
+    entry.delta_vs_baseline =
+        entry.perceived_availability.mean - baseline_mean;
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace upa::inject

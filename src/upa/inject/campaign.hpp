@@ -1,0 +1,56 @@
+#pragma once
+// Fault-injection campaigns: replay a batch of fault plans against the
+// end-to-end travel-agency simulator at a common seed and report, per
+// plan, the perceived availability with its confidence interval and the
+// delta against the no-fault baseline. The baseline run IS the plain
+// simulator (empty plan), so campaign results at the same seed reproduce
+// `ta::simulate_end_to_end` bit for bit.
+
+#include <string>
+#include <vector>
+
+#include "upa/inject/fault_plan.hpp"
+#include "upa/ta/end_to_end_sim.hpp"
+
+namespace upa::inject {
+
+/// One named what-if scenario of a campaign.
+struct CampaignPlan {
+  std::string name;
+  FaultPlan plan;
+};
+
+/// Measurement of one plan (the baseline entry has an empty plan and a
+/// zero delta by construction).
+struct CampaignEntry {
+  std::string name;
+  sim::ConfidenceInterval perceived_availability;
+  double delta_vs_baseline = 0.0;
+  double observed_web_service_availability = 0.0;
+  double mean_retries_per_session = 0.0;
+  double abandonment_fraction = 0.0;
+};
+
+struct CampaignResult {
+  /// Baseline first, then one entry per plan in input order.
+  std::vector<CampaignEntry> entries;
+
+  [[nodiscard]] const CampaignEntry& baseline() const { return entries.at(0); }
+
+  /// RFC-4180-ish CSV (header + one row per entry) for post-processing.
+  [[nodiscard]] std::string csv() const;
+
+  /// Writes csv() to a file; throws ModelError on I/O failure.
+  void write_csv(const std::string& path) const;
+};
+
+/// Runs the baseline plus every plan through `ta::simulate_end_to_end`
+/// with identical options and seed. Any fault plan already present in
+/// `base_options` is ignored (each campaign plan replaces it); the retry
+/// policy in `base_options` applies to every run.
+[[nodiscard]] CampaignResult run_campaign(
+    ta::UserClass uclass, const ta::TaParameters& params,
+    const ta::EndToEndOptions& base_options,
+    const std::vector<CampaignPlan>& plans);
+
+}  // namespace upa::inject

@@ -1,0 +1,109 @@
+#include "upa/inject/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::inject {
+
+std::string fault_target_name(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::kInternet: return "internet";
+    case FaultTarget::kLan: return "lan";
+    case FaultTarget::kWebFarm: return "web-farm";
+    case FaultTarget::kApplication: return "application";
+    case FaultTarget::kDatabase: return "database";
+    case FaultTarget::kDisks: return "disks";
+    case FaultTarget::kFlight: return "flight";
+    case FaultTarget::kHotel: return "hotel";
+    case FaultTarget::kCar: return "car";
+    case FaultTarget::kPayment: return "payment";
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+FaultTarget fault_target_from_name(const std::string& name) {
+  for (FaultTarget t : kAllFaultTargets) {
+    if (fault_target_name(t) == name) return t;
+  }
+  std::string valid;
+  for (FaultTarget t : kAllFaultTargets) {
+    if (!valid.empty()) valid += ", ";
+    valid += fault_target_name(t);
+  }
+  throw upa::common::ModelError("unknown fault target '" + name +
+                                "' (valid: " + valid + ")");
+}
+
+FaultPlan& FaultPlan::add(FaultTarget target, double start_hours,
+                          double duration_hours) {
+  return add(FaultWindow{target, start_hours, duration_hours});
+}
+
+FaultPlan& FaultPlan::add(const FaultWindow& window) {
+  UPA_REQUIRE(std::isfinite(window.start_hours) && window.start_hours >= 0.0,
+              "fault window start must be finite and non-negative");
+  UPA_REQUIRE(
+      std::isfinite(window.duration_hours) && window.duration_hours > 0.0,
+      "fault window duration must be finite and positive");
+  windows_.push_back(window);
+  return *this;
+}
+
+void FaultPlan::validate(double horizon_hours) const {
+  UPA_REQUIRE(std::isfinite(horizon_hours) && horizon_hours > 0.0,
+              "fault plan horizon must be positive");
+  for (const FaultWindow& w : windows_) {
+    UPA_REQUIRE(w.end_hours() <= horizon_hours,
+                "fault window on " + fault_target_name(w.target) +
+                    " ends at " + std::to_string(w.end_hours()) +
+                    " h, past the horizon " + std::to_string(horizon_hours) +
+                    " h");
+  }
+}
+
+bool FaultPlan::forced_down(FaultTarget target, double t) const {
+  for (const FaultWindow& w : windows_) {
+    if (w.target == target && t >= w.start_hours && t < w.end_hours()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<double, double>> FaultPlan::merged_windows(
+    FaultTarget target) const {
+  std::vector<std::pair<double, double>> intervals;
+  for (const FaultWindow& w : windows_) {
+    if (w.target == target) {
+      intervals.emplace_back(w.start_hours, w.end_hours());
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& [start, end] : intervals) {
+    if (!merged.empty() && start <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, end);
+    } else {
+      merged.emplace_back(start, end);
+    }
+  }
+  return merged;
+}
+
+double FaultPlan::down_fraction(FaultTarget target,
+                                double horizon_hours) const {
+  UPA_REQUIRE(std::isfinite(horizon_hours) && horizon_hours > 0.0,
+              "fault plan horizon must be positive");
+  double down = 0.0;
+  for (const auto& [start, end] : merged_windows(target)) {
+    const double lo = std::min(start, horizon_hours);
+    const double hi = std::min(end, horizon_hours);
+    down += hi - lo;
+  }
+  return down / horizon_hours;
+}
+
+}  // namespace upa::inject

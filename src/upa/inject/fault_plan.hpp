@@ -1,0 +1,92 @@
+#pragma once
+// Scripted fault injection: a FaultPlan is a set of deterministic outage
+// windows overlaid on the sampled resource trajectories of the end-to-end
+// simulation. During a window the targeted resource class is forced down
+// regardless of what its stochastic availability model says, so what-if
+// campaigns ("the web farm loses power for two hours") can be replayed
+// against the same resource history and compared at identical seeds.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace upa::inject {
+
+/// Resource classes of the travel agency that an outage window can force
+/// down. A target covers the whole class (every replica): scripted faults
+/// model common-cause events the per-component stochastic models cannot.
+enum class FaultTarget {
+  kInternet,
+  kLan,
+  kWebFarm,
+  kApplication,
+  kDatabase,
+  kDisks,
+  kFlight,
+  kHotel,
+  kCar,
+  kPayment,
+};
+
+inline constexpr std::array<FaultTarget, 10> kAllFaultTargets = {
+    FaultTarget::kInternet, FaultTarget::kLan,      FaultTarget::kWebFarm,
+    FaultTarget::kApplication, FaultTarget::kDatabase, FaultTarget::kDisks,
+    FaultTarget::kFlight,   FaultTarget::kHotel,    FaultTarget::kCar,
+    FaultTarget::kPayment,
+};
+
+[[nodiscard]] std::string fault_target_name(FaultTarget t);
+
+/// Parses the names printed by fault_target_name ("web-farm", "lan", ...);
+/// throws ModelError on unknown names (with the valid list in the message).
+[[nodiscard]] FaultTarget fault_target_from_name(const std::string& name);
+
+/// One scripted outage: `target` is down on [start, start + duration).
+struct FaultWindow {
+  FaultTarget target = FaultTarget::kWebFarm;
+  double start_hours = 0.0;
+  double duration_hours = 0.0;
+
+  [[nodiscard]] double end_hours() const noexcept {
+    return start_hours + duration_hours;
+  }
+};
+
+/// An ordered collection of outage windows. Windows may overlap (they
+/// merge naturally: a resource is down when any covering window is open).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultTarget target, double start_hours,
+                 double duration_hours);
+  FaultPlan& add(const FaultWindow& window);
+
+  [[nodiscard]] bool empty() const noexcept { return windows_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return windows_.size(); }
+  [[nodiscard]] const std::vector<FaultWindow>& windows() const noexcept {
+    return windows_;
+  }
+
+  /// Throws ModelError unless every window is finite, has positive
+  /// duration, starts at >= 0, and ends within the horizon.
+  void validate(double horizon_hours) const;
+
+  /// True when `target` is inside an open outage window at time `t`.
+  [[nodiscard]] bool forced_down(FaultTarget target, double t) const;
+
+  /// Merged outage intervals of one target, sorted by start time.
+  [[nodiscard]] std::vector<std::pair<double, double>> merged_windows(
+      FaultTarget target) const;
+
+  /// Fraction of [0, horizon] the target spends forced down (windows
+  /// merged and clipped to the horizon).
+  [[nodiscard]] double down_fraction(FaultTarget target,
+                                     double horizon_hours) const;
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace upa::inject

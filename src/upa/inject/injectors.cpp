@@ -1,0 +1,65 @@
+#include "upa/inject/injectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::inject {
+
+void OutageProcess::validate() const {
+  UPA_REQUIRE(!targets.empty(), "outage process needs at least one target");
+  UPA_REQUIRE(std::isfinite(events_per_hour) && events_per_hour > 0.0,
+              "outage event rate must be positive and finite");
+  UPA_REQUIRE(
+      std::isfinite(mean_duration_hours) && mean_duration_hours > 0.0,
+      "mean outage duration must be positive and finite");
+  UPA_REQUIRE(common_cause_probability >= 0.0 &&
+                  common_cause_probability <= 1.0,
+              "common-cause probability must lie in [0, 1]");
+}
+
+FaultPlan sample_outage_plan(const OutageProcess& process,
+                             double horizon_hours, sim::Xoshiro256& rng) {
+  process.validate();
+  UPA_REQUIRE(std::isfinite(horizon_hours) && horizon_hours > 0.0,
+              "horizon must be positive and finite");
+  FaultPlan plan;
+  double t = 0.0;
+  while (true) {
+    t += -std::log(rng.uniform01_open_left()) / process.events_per_hour;
+    if (t >= horizon_hours) break;
+    const double duration = std::min(
+        -std::log(rng.uniform01_open_left()) * process.mean_duration_hours,
+        horizon_hours - t);
+    if (duration <= 0.0) continue;
+    const bool common_cause =
+        rng.uniform01() < process.common_cause_probability;
+    if (common_cause) {
+      for (FaultTarget target : process.targets) {
+        plan.add(target, t, duration);
+      }
+    } else {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform01() * static_cast<double>(process.targets.size()));
+      plan.add(process.targets[std::min(pick, process.targets.size() - 1)],
+               t, duration);
+    }
+  }
+  return plan;
+}
+
+FaultPlan scripted_outage(FaultTarget target, double start_hours,
+                          double duration_hours, double horizon_hours) {
+  UPA_REQUIRE(std::isfinite(horizon_hours) && horizon_hours > 0.0,
+              "horizon must be positive and finite");
+  UPA_REQUIRE(std::isfinite(start_hours) && start_hours >= 0.0 &&
+                  start_hours < horizon_hours,
+              "outage start must lie within [0, horizon)");
+  FaultPlan plan;
+  plan.add(target, start_hours,
+           std::min(duration_hours, horizon_hours - start_hours));
+  return plan;
+}
+
+}  // namespace upa::inject

@@ -1,0 +1,42 @@
+#pragma once
+// Stochastic fault-plan generators: sample FaultPlans from outage-process
+// models the per-component availability models cannot express — Poisson
+// outage arrivals with exponential durations, optionally hitting several
+// resource classes at once (common cause), plus a deterministic
+// total-outage helper for calibration campaigns.
+
+#include <vector>
+
+#include "upa/inject/fault_plan.hpp"
+#include "upa/sim/rng.hpp"
+
+namespace upa::inject {
+
+/// A Poisson process of outage events over the horizon. Each event forces
+/// one uniformly chosen target down for an exponential duration — or, with
+/// probability `common_cause_probability`, forces EVERY listed target down
+/// simultaneously (a correlated shock: power loss, fire, operator error).
+struct OutageProcess {
+  std::vector<FaultTarget> targets = {FaultTarget::kWebFarm};
+  double events_per_hour = 1e-4;
+  double mean_duration_hours = 2.0;
+  double common_cause_probability = 0.0;
+
+  /// Throws ModelError when any field is out of its domain.
+  void validate() const;
+};
+
+/// Samples one fault plan from the outage process over [0, horizon].
+/// Durations are truncated at the horizon so plans always validate.
+[[nodiscard]] FaultPlan sample_outage_plan(const OutageProcess& process,
+                                           double horizon_hours,
+                                           sim::Xoshiro256& rng);
+
+/// A single scripted total outage of one target (the "inject a 2 h
+/// web-farm outage" experiment), clipped to the horizon.
+[[nodiscard]] FaultPlan scripted_outage(FaultTarget target,
+                                        double start_hours,
+                                        double duration_hours,
+                                        double horizon_hours);
+
+}  // namespace upa::inject

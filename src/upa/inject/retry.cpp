@@ -1,0 +1,28 @@
+#include "upa/inject/retry.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::inject {
+
+double RetryPolicy::backoff_hours(std::size_t retry_index) const {
+  return backoff_base_hours *
+         std::pow(backoff_multiplier, static_cast<double>(retry_index));
+}
+
+void RetryPolicy::validate() const {
+  UPA_REQUIRE(
+      std::isfinite(backoff_base_hours) && backoff_base_hours >= 0.0,
+      "retry backoff base must be finite and non-negative");
+  UPA_REQUIRE(std::isfinite(backoff_multiplier) && backoff_multiplier >= 1.0,
+              "retry backoff multiplier must be >= 1");
+  UPA_REQUIRE(std::isfinite(response_timeout_seconds) &&
+                  response_timeout_seconds >= 0.0,
+              "response timeout must be finite and non-negative");
+  UPA_REQUIRE(abandonment_probability >= 0.0 &&
+                  abandonment_probability <= 1.0,
+              "abandonment probability must lie in [0, 1]");
+}
+
+}  // namespace upa::inject

@@ -1,0 +1,42 @@
+#pragma once
+// User resilience semantics for the end-to-end simulation: what a real
+// user does when a function invocation fails. The paper's eq. (10) user
+// gives up immediately; this policy retries up to `max_retries` times with
+// exponential backoff, perceives over-deadline responses as failures, and
+// abandons the session with a fixed probability before each retry.
+
+#include <cstddef>
+
+namespace upa::inject {
+
+/// Retry / timeout / abandonment policy for one function invocation.
+/// The default-constructed policy (no retries, no deadline) reproduces the
+/// paper's fail-fast user exactly, draw for draw.
+struct RetryPolicy {
+  /// Extra attempts after the first failure; 0 = the eq. (10) user.
+  std::size_t max_retries = 0;
+  /// Wall-clock wait before retry k (0-based): base * multiplier^k hours.
+  double backoff_base_hours = 0.25;
+  double backoff_multiplier = 2.0;
+  /// Response-time deadline per request; a served request that takes
+  /// longer is perceived as failed (retryable). 0 disables the deadline.
+  /// Unit: seconds, matching the M/M/i/K rates alpha and nu.
+  double response_timeout_seconds = 0.0;
+  /// Probability that the user walks away before each retry instead of
+  /// waiting out the backoff. Abandoned sessions count as failed.
+  double abandonment_probability = 0.0;
+
+  /// True when this policy changes anything relative to the fail-fast
+  /// user (and hence may consume additional random draws).
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_retries > 0 || response_timeout_seconds > 0.0;
+  }
+
+  /// Backoff before the (retry_index + 1)-th re-attempt, in hours.
+  [[nodiscard]] double backoff_hours(std::size_t retry_index) const;
+
+  /// Throws ModelError when any field is out of its domain.
+  void validate() const;
+};
+
+}  // namespace upa::inject

@@ -17,10 +17,15 @@ double update_norm(const Vector& a, const Vector& b) {
   return m;
 }
 
-[[noreturn]] void fail(const char* algo, std::size_t iters, double residual) {
+[[noreturn]] void fail(const char* algo, std::size_t iters, double residual,
+                       const IterativeOptions& options, std::size_t unknowns) {
   throw upa::common::ConvergenceError(
       std::string(algo) + " did not converge after " + std::to_string(iters) +
-      " iterations (residual " + std::to_string(residual) + ")");
+          " iterations on " + std::to_string(unknowns) +
+          " unknowns: final update norm " + std::to_string(residual) +
+          " is above the tolerance " + std::to_string(options.tolerance) +
+          " (raise max_iterations or loosen the tolerance)",
+      iters, residual);
 }
 
 }  // namespace
@@ -40,7 +45,7 @@ IterativeResult power_iteration(const SparseMatrix& p,
       return {std::move(pi), it, residual};
     }
   }
-  fail("power_iteration", options.max_iterations, residual);
+  fail("power_iteration", options.max_iterations, residual, options, n);
 }
 
 IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
@@ -75,7 +80,7 @@ IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
       return {std::move(x), it, residual};
     }
   }
-  fail("gauss_seidel", options.max_iterations, residual);
+  fail("gauss_seidel", options.max_iterations, residual, options, n);
 }
 
 IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
@@ -109,7 +114,7 @@ IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
       return {std::move(x), it, residual};
     }
   }
-  fail("jacobi", options.max_iterations, residual);
+  fail("jacobi", options.max_iterations, residual, options, n);
 }
 
 }  // namespace upa::linalg

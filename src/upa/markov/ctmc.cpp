@@ -92,7 +92,7 @@ linalg::Vector Ctmc::steady_state() const {
   return pi;
 }
 
-linalg::Vector Ctmc::steady_state_iterative(double tolerance) const {
+linalg::SparseMatrix Ctmc::uniformized_transition() const {
   // Uniformize: P = I + Q / Lambda with Lambda slightly above the largest
   // exit rate so every diagonal stays positive (aperiodic DTMC).
   const double lambda = max_exit_rate() * 1.02 + 1e-300;
@@ -106,10 +106,144 @@ linalg::Vector Ctmc::steady_state_iterative(double tolerance) const {
   for (std::size_t i = 0; i < n_; ++i) {
     triplets.push_back({i, i, 1.0 - exit[i] / lambda});
   }
-  linalg::SparseMatrix p(n_, n_, std::move(triplets));
+  return {n_, n_, std::move(triplets)};
+}
+
+linalg::Vector Ctmc::steady_state_iterative(double tolerance) const {
   linalg::IterativeOptions options;
   options.tolerance = tolerance;
-  return linalg::power_iteration(p, options).solution;
+  return linalg::power_iteration(uniformized_transition(), options).solution;
+}
+
+std::string stationary_method_name(StationaryMethod m) {
+  switch (m) {
+    case StationaryMethod::kDenseLu: return "dense-lu";
+    case StationaryMethod::kGaussSeidel: return "gauss-seidel";
+    case StationaryMethod::kPowerIteration: return "power-iteration";
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+StationaryReport Ctmc::steady_state_robust(
+    const StationaryOptions& options) const {
+  const linalg::SparseMatrix q = sparse_generator();
+  StationaryReport report;
+
+  auto balance_residual = [&](const linalg::Vector& pi) {
+    const linalg::Vector r = q.left_multiply(pi);
+    double norm = 0.0;
+    for (double v : r) norm = std::max(norm, std::abs(v));
+    return norm;
+  };
+
+  // Validates a candidate: clamp tiny negatives, renormalize, and accept
+  // only when the balance equations actually hold.
+  auto accept = [&](linalg::Vector pi, StationaryMethod method,
+                    const std::string& note) {
+    const char* name = nullptr;
+    switch (method) {
+      case StationaryMethod::kDenseLu: name = "dense-lu"; break;
+      case StationaryMethod::kGaussSeidel: name = "gauss-seidel"; break;
+      case StationaryMethod::kPowerIteration: name = "power-iteration"; break;
+    }
+    for (double& p : pi) {
+      if (p < -1e-9) {
+        report.diagnostics.push_back(
+            std::string(name) +
+            ": rejected, solution has negative probabilities");
+        return false;
+      }
+      p = std::max(p, 0.0);
+    }
+    upa::common::normalize(pi);
+    const double residual = balance_residual(pi);
+    if (residual > options.residual_tolerance) {
+      report.diagnostics.push_back(
+          std::string(name) + ": rejected, balance residual " +
+          std::to_string(residual) + " exceeds " +
+          std::to_string(options.residual_tolerance));
+      return false;
+    }
+    report.distribution = std::move(pi);
+    report.method = method;
+    report.residual = residual;
+    report.diagnostics.push_back(std::string(name) + ": ok, " + note +
+                                 ", balance residual " +
+                                 std::to_string(residual));
+    return true;
+  };
+
+  // Stage 1: dense LU on the transposed balance equations.
+  if (n_ > options.max_dense_states) {
+    report.diagnostics.push_back(
+        "dense-lu: skipped, " + std::to_string(n_) + " states exceed " +
+        std::to_string(options.max_dense_states));
+  } else {
+    try {
+      if (accept(steady_state(), StationaryMethod::kDenseLu, "direct solve")) {
+        return report;
+      }
+    } catch (const upa::common::ModelError& e) {
+      report.diagnostics.push_back(std::string("dense-lu: failed, ") +
+                                   e.what());
+    }
+  }
+
+  // Stage 2: Gauss-Seidel on Q^T pi = 0 with the last balance equation
+  // replaced by the normalization sum(pi) = 1.
+  try {
+    std::vector<linalg::Triplet> triplets;
+    triplets.reserve(rates_.size() + 2 * n_);
+    std::vector<double> exit(n_, 0.0);
+    for (const auto& t : rates_) exit[t.row] += t.value;
+    for (const auto& t : rates_) {
+      if (t.col != n_ - 1) triplets.push_back({t.col, t.row, t.value});
+    }
+    for (std::size_t i = 0; i + 1 < n_; ++i) {
+      if (exit[i] != 0.0) triplets.push_back({i, i, -exit[i]});
+    }
+    for (std::size_t c = 0; c < n_; ++c) triplets.push_back({n_ - 1, c, 1.0});
+    const linalg::SparseMatrix a(n_, n_, std::move(triplets));
+    linalg::Vector b(n_, 0.0);
+    b[n_ - 1] = 1.0;
+    const linalg::IterativeResult gs =
+        linalg::gauss_seidel(a, b, options.iterative);
+    if (accept(gs.solution, StationaryMethod::kGaussSeidel,
+               std::to_string(gs.iterations) + " iterations")) {
+      return report;
+    }
+  } catch (const upa::common::ConvergenceError& e) {
+    report.diagnostics.push_back(
+        "gauss-seidel: failed after " + std::to_string(e.iterations()) +
+        " iterations, final residual " + std::to_string(e.final_residual()));
+  } catch (const upa::common::ModelError& e) {
+    report.diagnostics.push_back(std::string("gauss-seidel: failed, ") +
+                                 e.what());
+  }
+
+  // Stage 3: power iteration on the uniformized chain.
+  try {
+    const linalg::IterativeResult pw =
+        linalg::power_iteration(uniformized_transition(), options.iterative);
+    if (accept(pw.solution, StationaryMethod::kPowerIteration,
+               std::to_string(pw.iterations) + " iterations")) {
+      return report;
+    }
+  } catch (const upa::common::ConvergenceError& e) {
+    report.diagnostics.push_back(
+        "power-iteration: failed after " + std::to_string(e.iterations()) +
+        " iterations, final residual " + std::to_string(e.final_residual()));
+  } catch (const upa::common::ModelError& e) {
+    report.diagnostics.push_back(std::string("power-iteration: failed, ") +
+                                 e.what());
+  }
+
+  std::string summary =
+      "steady_state_robust: every stage failed on a " + std::to_string(n_) +
+      "-state chain:";
+  for (const std::string& d : report.diagnostics) summary += "\n  " + d;
+  throw upa::common::ModelError(summary);
 }
 
 double Ctmc::mean_time_to_absorption(

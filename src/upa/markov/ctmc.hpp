@@ -9,10 +9,37 @@
 #include <string>
 #include <vector>
 
+#include "upa/linalg/iterative.hpp"
 #include "upa/linalg/matrix.hpp"
 #include "upa/linalg/sparse.hpp"
 
 namespace upa::markov {
+
+/// Stage of the robust stationary-solve fallback chain.
+enum class StationaryMethod { kDenseLu, kGaussSeidel, kPowerIteration };
+
+[[nodiscard]] std::string stationary_method_name(StationaryMethod m);
+
+/// Controls for Ctmc::steady_state_robust.
+struct StationaryOptions {
+  /// Dense LU is O(n^3) in time and O(n^2) in memory; chains larger than
+  /// this skip straight to the iterative stages.
+  std::size_t max_dense_states = 2048;
+  /// Iteration budget and tolerance shared by the iterative stages.
+  linalg::IterativeOptions iterative;
+  /// A candidate solution is accepted when ||pi Q||_inf is at most this.
+  double residual_tolerance = 1e-8;
+};
+
+/// Result of a robust stationary solve: the distribution, the stage that
+/// produced it, its balance residual, and one diagnostic line per stage
+/// attempted (including the failures that triggered the fallbacks).
+struct StationaryReport {
+  linalg::Vector distribution;
+  StationaryMethod method = StationaryMethod::kDenseLu;
+  double residual = 0.0;  ///< ||pi Q||_inf of the returned distribution
+  std::vector<std::string> diagnostics;
+};
 
 /// A CTMC under construction: add transition rates between states, then
 /// query steady-state or transient measures. States are dense indices
@@ -55,6 +82,17 @@ class Ctmc {
   [[nodiscard]] linalg::Vector steady_state_iterative(
       double tolerance = 1e-13) const;
 
+  /// Stationary distribution through a fallback chain -- dense LU, then
+  /// Gauss-Seidel on the normalized balance equations, then power
+  /// iteration on the uniformized chain -- accepting the first stage whose
+  /// solution satisfies ||pi Q||_inf <= residual_tolerance. Large or
+  /// ill-conditioned chains (e.g. injected-failure state spaces) degrade
+  /// gracefully instead of throwing on the first solver. Throws ModelError
+  /// carrying every stage diagnostic when no stage produces a valid
+  /// stationary vector.
+  [[nodiscard]] StationaryReport steady_state_robust(
+      const StationaryOptions& options = {}) const;
+
   /// Expected time to hit any state in `absorbing`, starting from `from`
   /// (mean time to absorption via the fundamental system). Used for MTTF:
   /// absorbing = failure states.
@@ -67,6 +105,10 @@ class Ctmc {
 
  private:
   void check_state(std::size_t s) const;
+
+  /// Uniformized DTMC P = I + Q / Lambda (Lambda slightly above the
+  /// largest exit rate so every diagonal stays positive).
+  [[nodiscard]] linalg::SparseMatrix uniformized_transition() const;
 
   std::size_t n_;
   std::vector<linalg::Triplet> rates_;  // off-diagonal entries only

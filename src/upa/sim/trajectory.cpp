@@ -62,6 +62,13 @@ std::size_t CtmcTrajectory::state_at(double t) const {
 }
 
 double CtmcTrajectory::occupancy(const std::vector<std::size_t>& set) const {
+  return occupancy_in(set, 0.0, horizon_);
+}
+
+double CtmcTrajectory::occupancy_in(const std::vector<std::size_t>& set,
+                                    double from, double to) const {
+  UPA_REQUIRE(from >= 0.0 && to <= horizon_ && from < to,
+              "occupancy window must satisfy 0 <= from < to <= horizon");
   std::vector<bool> in_set;
   for (std::size_t s : set) {
     if (s >= in_set.size()) in_set.resize(s + 1, false);
@@ -72,10 +79,12 @@ double CtmcTrajectory::occupancy(const std::vector<std::size_t>& set) const {
   };
   double total = 0.0;
   for (std::size_t i = 0; i < times_.size(); ++i) {
-    const double end = i + 1 < times_.size() ? times_[i + 1] : horizon_;
-    if (contains(states_[i])) total += end - times_[i];
+    const double seg_end = i + 1 < times_.size() ? times_[i + 1] : horizon_;
+    const double lo = std::max(times_[i], from);
+    const double hi = std::min(seg_end, to);
+    if (hi > lo && contains(states_[i])) total += hi - lo;
   }
-  return total / horizon_;
+  return total / (to - from);
 }
 
 CtmcTrajectory sample_component_trajectory(double failure_rate,

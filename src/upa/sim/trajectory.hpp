@@ -26,6 +26,12 @@ class CtmcTrajectory {
   /// Fraction of [0, horizon] spent in states of `set`.
   [[nodiscard]] double occupancy(const std::vector<std::size_t>& set) const;
 
+  /// Fraction of the window [from, to] spent in states of `set`
+  /// (0 <= from < to <= horizon). Used by the fault-injection layer to
+  /// integrate a trajectory over scripted outage windows exactly.
+  [[nodiscard]] double occupancy_in(const std::vector<std::size_t>& set,
+                                    double from, double to) const;
+
   [[nodiscard]] double horizon() const noexcept { return horizon_; }
   [[nodiscard]] std::size_t jump_count() const noexcept {
     return times_.size() - 1;

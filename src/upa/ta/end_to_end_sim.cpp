@@ -6,12 +6,14 @@
 #include "upa/common/error.hpp"
 #include "upa/core/web_farm.hpp"
 #include "upa/queueing/mmck.hpp"
+#include "upa/queueing/response_time.hpp"
 #include "upa/sim/trajectory.hpp"
 #include "upa/ta/services.hpp"
 
 namespace upa::ta {
 namespace {
 
+using inject::FaultTarget;
 using sim::CtmcTrajectory;
 using sim::Xoshiro256;
 
@@ -80,6 +82,7 @@ bool any_up(const std::vector<CtmcTrajectory>& components, double t) {
 /// Per-session cached randomness, matching eq. (10)'s semantics: the web
 /// service is available (or not) once per session -- A(WS) multiplies the
 /// whole scenario -- and Browse takes one execution path per session.
+/// A retry is a fresh request, so `web` is re-drawn per retry attempt.
 struct SessionDraws {
   double web;
   double browse_branch;
@@ -87,28 +90,51 @@ struct SessionDraws {
 
 class FunctionEvaluator {
  public:
-  FunctionEvaluator(const World& world, const TaParameters& p)
-      : world_(world), p_(p) {
-    // 1 - p_K(i) per operational-server count.
+  FunctionEvaluator(const World& world, const TaParameters& p,
+                    const EndToEndOptions& o)
+      : world_(world), p_(p), faults_(o.faults) {
+    // 1 - p_K(i) per operational-server count, and -- when a response
+    // deadline is set -- P(T > deadline | served) per server count.
     serve_.assign(world.n_web + 1, 0.0);
+    slow_.assign(world.n_web + 1, 0.0);
     for (std::size_t i = 1; i <= world.n_web; ++i) {
       serve_[i] = 1.0 - queueing::mmck_loss_probability(p.alpha, p.nu, i,
                                                         p.buffer);
+      if (o.retry.response_timeout_seconds > 0.0) {
+        slow_[i] = queueing::mmck_response_time_tail(
+            p.alpha, p.nu, i, p.buffer, o.retry.response_timeout_seconds);
+      }
     }
   }
 
+  /// One invocation attempt at time t. `deadline_draw` is consulted only
+  /// when the retry policy sets a response deadline.
   [[nodiscard]] bool evaluate(TaFunction f, double t,
-                              const SessionDraws& draws) const {
+                              const SessionDraws& draws,
+                              double deadline_draw) const {
     if (world_.net.state_at(t) != 0 || world_.lan.state_at(t) != 0) {
       return false;
     }
+    if (!faults_.empty() &&
+        (faults_.forced_down(FaultTarget::kInternet, t) ||
+         faults_.forced_down(FaultTarget::kLan, t))) {
+      return false;
+    }
     // Web service: farm must be in an operational state i >= 1 and the
-    // request must clear the buffer.
+    // request must clear the buffer (and the deadline, when one is set).
     const std::size_t farm_state = world_.farm.state_at(t);
     if (farm_state == 0 || farm_state > world_.n_web) return false;  // y_i
+    if (!faults_.empty() && faults_.forced_down(FaultTarget::kWebFarm, t)) {
+      return false;
+    }
     if (draws.web >= serve_[farm_state]) return false;
-    const bool as_up = any_up(world_.as_hosts, t);
-    const bool ds_up = any_up(world_.ds_hosts, t) && any_up(world_.disks, t);
+    if (deadline_draw < slow_[farm_state]) return false;  // over deadline
+    const bool as_up =
+        any_up(world_.as_hosts, t) && !forced(FaultTarget::kApplication, t);
+    const bool ds_up = any_up(world_.ds_hosts, t) &&
+                       !forced(FaultTarget::kDatabase, t) &&
+                       any_up(world_.disks, t) &&
+                       !forced(FaultTarget::kDisks, t);
     switch (f) {
       case TaFunction::kHome:
         return true;
@@ -120,58 +146,96 @@ class FunctionEvaluator {
       }
       case TaFunction::kSearch:
       case TaFunction::kBook:
-        return as_up && ds_up && any_up(world_.flights, t) &&
-               any_up(world_.hotels, t) && any_up(world_.cars, t);
+        return as_up && ds_up &&
+               any_up(world_.flights, t) &&
+               !forced(FaultTarget::kFlight, t) &&
+               any_up(world_.hotels, t) &&
+               !forced(FaultTarget::kHotel, t) &&
+               any_up(world_.cars, t) && !forced(FaultTarget::kCar, t);
       case TaFunction::kPay:
-        return as_up && ds_up && world_.payment.state_at(t) == 0;
+        return as_up && ds_up && world_.payment.state_at(t) == 0 &&
+               !forced(FaultTarget::kPayment, t);
     }
     UPA_ASSERT(false);
     return false;
   }
 
  private:
+  [[nodiscard]] bool forced(FaultTarget target, double t) const {
+    return !faults_.empty() && faults_.forced_down(target, t);
+  }
+
   const World& world_;
   const TaParameters& p_;
+  const inject::FaultPlan& faults_;
   std::vector<double> serve_;
+  std::vector<double> slow_;  // P(T > deadline | served), per server count
 };
 
 }  // namespace
+
+void EndToEndOptions::validate() const {
+  UPA_REQUIRE(std::isfinite(horizon_hours) && horizon_hours > 0.0,
+              "horizon must be positive");
+  UPA_REQUIRE(std::isfinite(think_time_hours) && think_time_hours >= 0.0,
+              "think time must be non-negative");
+  UPA_REQUIRE(std::isfinite(black_box_repair_rate) &&
+                  black_box_repair_rate > 0.0,
+              "black-box repair rate must be positive");
+  UPA_REQUIRE(replications >= 2,
+              "need at least two replications for a confidence interval");
+  UPA_REQUIRE(sessions_per_replication > 0,
+              "need at least one session per replication");
+  UPA_REQUIRE(confidence_level > 0.0 && confidence_level < 1.0,
+              "confidence level must lie strictly in (0, 1)");
+  retry.validate();
+  faults.validate(horizon_hours);
+}
 
 EndToEndResult simulate_end_to_end(UserClass uclass,
                                    const TaParameters& params,
                                    const EndToEndOptions& options) {
   params.validate();
-  UPA_REQUIRE(options.horizon_hours > 0.0 && options.think_time_hours >= 0.0,
-              "horizon must be positive, think time non-negative");
-  UPA_REQUIRE(options.replications >= 2 &&
-                  options.sessions_per_replication > 0,
-              "need sessions and at least two replications");
+  options.validate();
 
   const auto profile = fitted_session_graph(uclass);
   const auto& transition = profile.transition_matrix();
   const std::size_t exit_state = profile.exit_state();
+  const inject::RetryPolicy& retry = options.retry;
+  const bool deadline_on = retry.response_timeout_seconds > 0.0;
+  const double timeout_hours = retry.response_timeout_seconds / 3600.0;
 
   Xoshiro256 master(options.seed);
   std::vector<double> replication_availability;
   double web_occupancy_sum = 0.0;
   double duration_sum = 0.0;
   std::uint64_t duration_count = 0;
+  std::uint64_t retries_total = 0;
+  std::uint64_t abandoned_total = 0;
 
   for (std::size_t rep = 0; rep < options.replications; ++rep) {
     Xoshiro256 rng = master.split();
     const World world = sample_world(params, options, rng);
-    const FunctionEvaluator evaluator(world, params);
+    const FunctionEvaluator evaluator(world, params, options);
 
-    // Diagnostic: time-average web-service "serving probability".
+    // Diagnostic: time-average web-service "serving probability", with
+    // scripted web-farm outage windows integrated out exactly.
     {
       std::vector<std::size_t> single(1);
       double weighted = 0.0;
       for (std::size_t i = 1; i <= world.n_web; ++i) {
         single[0] = i;
-        weighted +=
-            world.farm.occupancy(single) *
-            (1.0 - queueing::mmck_loss_probability(params.alpha, params.nu,
-                                                   i, params.buffer));
+        const double serve =
+            1.0 - queueing::mmck_loss_probability(params.alpha, params.nu, i,
+                                                  params.buffer);
+        weighted += world.farm.occupancy(single) * serve;
+        if (!options.faults.empty()) {
+          for (const auto& [start, end] :
+               options.faults.merged_windows(FaultTarget::kWebFarm)) {
+            weighted -= world.farm.occupancy_in(single, start, end) *
+                        (end - start) / options.horizon_hours * serve;
+          }
+        }
       }
       web_occupancy_sum += weighted;
     }
@@ -184,6 +248,8 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
 
       std::size_t state = upa::profile::NodeIndex::kStart;
       bool ok = true;
+      bool abandoned = false;
+      bool truncated = false;  // retries ran past the measurement horizon
       double start = t;
       while (state != exit_state) {
         // Next node.
@@ -208,9 +274,38 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
                       "or lengthen the horizon");
         }
         const auto f = static_cast<TaFunction>(state - 1);
-        if (ok && !evaluator.evaluate(f, t, draws)) ok = false;
+        if (ok) {
+          // The deadline draw is consumed only when a deadline is set, so
+          // the default policy replays the fail-fast draw sequence.
+          bool success = evaluator.evaluate(
+              f, t, draws, deadline_on ? rng.uniform01() : 1.0);
+          std::size_t attempt = 0;
+          while (!success && retry.enabled() &&
+                 attempt < retry.max_retries) {
+            if (retry.abandonment_probability > 0.0 &&
+                rng.uniform01() < retry.abandonment_probability) {
+              abandoned = true;
+              break;
+            }
+            // The failed request burns its timeout, then the user backs
+            // off exponentially before re-issuing a fresh request.
+            t += timeout_hours + retry.backoff_hours(attempt);
+            if (t >= options.horizon_hours) {
+              truncated = true;
+              break;
+            }
+            draws.web = rng.uniform01();
+            ++attempt;
+            ++retries_total;
+            success = evaluator.evaluate(
+                f, t, draws, deadline_on ? rng.uniform01() : 1.0);
+          }
+          if (!success) ok = false;
+        }
+        if (abandoned || truncated) break;
       }
-      if (ok) ++successes;
+      if (ok && !abandoned) ++successes;
+      if (abandoned) ++abandoned_total;
       duration_sum += t - start;
       ++duration_count;
     }
@@ -219,6 +314,9 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
         static_cast<double>(options.sessions_per_replication));
   }
 
+  const double total_sessions =
+      static_cast<double>(options.replications) *
+      static_cast<double>(options.sessions_per_replication);
   EndToEndResult result;
   result.perceived_availability = sim::confidence_interval(
       replication_availability, options.confidence_level);
@@ -226,6 +324,10 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
       web_occupancy_sum / static_cast<double>(options.replications);
   result.mean_session_duration_hours =
       duration_sum / static_cast<double>(duration_count);
+  result.mean_retries_per_session =
+      static_cast<double>(retries_total) / total_sessions;
+  result.abandonment_fraction =
+      static_cast<double>(abandoned_total) / total_sessions;
   return result;
 }
 

@@ -8,9 +8,21 @@
 // sees the same resource snapshot). With realistic think times the
 // invocations decorrelate, testing the paper's implicit frozen-state-per-
 // session assumption -- an experiment the analytic model cannot run.
+//
+// Two orthogonal extensions hook in here:
+//   - fault injection (options.faults): scripted outage windows force
+//     resource classes down on top of the sampled trajectories, so what-if
+//     campaigns replay against identical resource histories;
+//   - user resilience (options.retry): failed invocations are retried with
+//     exponential backoff, over-deadline responses count as failures, and
+//     impatient users abandon the session.
+// Both default off, in which case results are draw-for-draw identical to
+// the plain simulator.
 
 #include <cstdint>
 
+#include "upa/inject/fault_plan.hpp"
+#include "upa/inject/retry.hpp"
 #include "upa/sim/stats.hpp"
 #include "upa/ta/user_classes.hpp"
 
@@ -30,15 +42,28 @@ struct EndToEndOptions {
   std::size_t replications = 6;
   std::uint64_t seed = 42;
   double confidence_level = 0.95;
+  /// Scripted outage windows overlaid on the sampled trajectories.
+  inject::FaultPlan faults;
+  /// User retry / timeout / abandonment behavior.
+  inject::RetryPolicy retry;
+
+  /// Throws ModelError when any option is out of its domain (horizon and
+  /// think time, >= 2 replications so confidence intervals are
+  /// well-defined, fault windows within the horizon, valid retry policy).
+  void validate() const;
 };
 
 /// Results of the end-to-end measurement.
 struct EndToEndResult {
   sim::ConfidenceInterval perceived_availability;
-  /// Observed time-average availability of the web farm trajectory
-  /// (diagnostic: should approach the analytic A(WS)).
+  /// Observed time-average availability of the web farm trajectory with
+  /// injected web-farm outages subtracted (diagnostic: approaches the
+  /// analytic A(WS) minus the scripted down fraction).
   double observed_web_service_availability = 0.0;
   double mean_session_duration_hours = 0.0;
+  /// Retry diagnostics (all zero for the default fail-fast policy).
+  double mean_retries_per_session = 0.0;
+  double abandonment_fraction = 0.0;
 };
 
 /// Runs the measurement for one user class under the given parameters.

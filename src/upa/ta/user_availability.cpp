@@ -1,6 +1,8 @@
 #include "upa/ta/user_availability.hpp"
 
 #include "upa/common/error.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/ta/functions.hpp"
 #include "upa/ta/model_builder.hpp"
 #include "upa/ta/services.hpp"
 
@@ -45,6 +47,56 @@ double user_availability_eq10(UserClass uc, const TaParameters& p) {
 
 double user_availability_hierarchical(UserClass uc, const TaParameters& p) {
   return build_user_model(uc, p).user_availability();
+}
+
+double retry_adjusted_availability(double availability,
+                                   std::size_t max_retries,
+                                   double abandonment_probability) {
+  UPA_REQUIRE(availability >= 0.0 && availability <= 1.0,
+              "availability must lie in [0, 1]");
+  UPA_REQUIRE(abandonment_probability >= 0.0 &&
+                  abandonment_probability <= 1.0,
+              "abandonment probability must lie in [0, 1]");
+  const double q = (1.0 - availability) * (1.0 - abandonment_probability);
+  double reach = 1.0;  // probability the (k+1)-th attempt is issued
+  double success = 0.0;
+  for (std::size_t k = 0; k <= max_retries; ++k) {
+    success += reach * availability;
+    reach *= q;
+  }
+  return success;
+}
+
+double user_availability_with_retries(UserClass uc, const TaParameters& p,
+                                      const inject::RetryPolicy& retry) {
+  retry.validate();
+  ServiceAvailabilities s = compute_services(p);
+  if (retry.response_timeout_seconds > 0.0) {
+    // A request that misses the deadline is perceived as failed, so the
+    // web service contributes its deadline-aware availability.
+    const core::WebFarmParams farm = web_farm_params(p);
+    const core::WebQueueParams queue = web_queue_params(p);
+    const bool perfect = p.coverage_model == CoverageModel::kPerfect ||
+                         p.architecture == Architecture::kBasic;
+    s.web = perfect
+                ? core::web_service_availability_perfect_with_deadline(
+                      farm, queue, retry.response_timeout_seconds)
+                : core::web_service_availability_imperfect_with_deadline(
+                      farm, queue, retry.response_timeout_seconds);
+  }
+  const profile::ScenarioSet table = scenario_table(uc);
+  double total = 0.0;
+  for (const profile::ScenarioClass& sc : table.scenarios()) {
+    double product = 1.0;
+    for (TaFunction f : kAllFunctions) {
+      if (!sc.functions.contains(function_index(f))) continue;
+      product *= retry_adjusted_availability(
+          function_availability(f, s, p), retry.max_retries,
+          retry.abandonment_probability);
+    }
+    total += sc.probability * product;
+  }
+  return total;
 }
 
 CategoryBreakdown category_breakdown(UserClass uc, const TaParameters& p) {

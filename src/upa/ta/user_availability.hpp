@@ -6,6 +6,7 @@
 #include <map>
 
 #include "upa/core/hierarchy.hpp"
+#include "upa/inject/retry.hpp"
 #include "upa/ta/user_classes.hpp"
 
 namespace upa::ta {
@@ -21,6 +22,29 @@ namespace upa::ta {
 /// separate as a structural cross-check.
 [[nodiscard]] double user_availability_hierarchical(UserClass uc,
                                                     const TaParameters& p);
+
+/// Success probability of an invocation retried up to `max_retries` times
+/// when each attempt succeeds independently with probability
+/// `availability` and the user abandons with `abandonment_probability`
+/// before each retry:  a * sum_{k=0..R} [(1-a)(1-p_ab)]^k.
+/// With p_ab = 0 this is the classic 1 - (1-a)^(R+1).
+[[nodiscard]] double retry_adjusted_availability(
+    double availability, std::size_t max_retries,
+    double abandonment_probability = 0.0);
+
+/// Retry-adjusted analytic user availability: every function invocation of
+/// a scenario is retried per `retry` and attempts are assumed INDEPENDENT
+/// (sum over scenarios of pi_sc * prod_f retry_adjusted(A_F)). A response
+/// deadline in the policy swaps A(WS) for its deadline-aware counterpart.
+///
+/// Contrast with eq. (10), which freezes the resource state for the whole
+/// session (failures positively correlated across invocations, which helps
+/// joint success): at R = 0 this function gives the independent-invocation
+/// approximation, NOT eq. (10), and the gap to the retry-enabled
+/// end-to-end simulator quantifies the frozen-state correlation the paper
+/// assumes away.
+[[nodiscard]] double user_availability_with_retries(
+    UserClass uc, const TaParameters& p, const inject::RetryPolicy& retry);
 
 /// Per-category unavailability contributions UA(SC_i) (probability units;
 /// multiply by 8760 for hours/year) plus the total.

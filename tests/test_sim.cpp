@@ -158,6 +158,60 @@ TEST(Engine, RejectsPastScheduling) {
   EXPECT_THROW((void)engine.schedule_in(-1.0, [] {}), ModelError);
 }
 
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  usim::Engine engine;
+  const auto id = engine.schedule_at(1.0, [] {});
+  engine.run_all();
+  EXPECT_FALSE(engine.cancel(id));
+  EXPECT_FALSE(engine.cancel(id + 1000));  // unknown id
+}
+
+TEST(Engine, CancelledTombstonesDontCountAsProcessed) {
+  usim::Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  const auto a = engine.schedule_at(2.0, [&] { ++fired; });
+  const auto b = engine.schedule_at(3.0, [&] { ++fired; });
+  EXPECT_TRUE(engine.cancel(a));
+  EXPECT_TRUE(engine.cancel(b));
+  EXPECT_EQ(engine.pending_count(), 1u);  // tombstones are not pending
+  engine.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.processed_count(), 1u);
+  // The clock stops at the last PROCESSED event, not at a tombstone.
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+}
+
+TEST(Engine, InterleavedScheduleCancelKeepsFifoStable) {
+  usim::Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  const auto doomed = engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(engine.cancel(doomed));
+  // New same-time events keep arriving after the cancellation; FIFO order
+  // among survivors must follow scheduling order.
+  engine.schedule_at(1.0, [&] { order.push_back(4); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(engine.processed_count(), 3u);
+}
+
+TEST(Engine, CancelInsideHandlerPreventsSameTimeSuccessor) {
+  usim::Engine engine;
+  std::vector<int> order;
+  usim::EventId second = 0;
+  engine.schedule_at(1.0, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(engine.cancel(second));
+  });
+  second = engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.schedule_at(1.0, [&] { order.push_back(3); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(engine.processed_count(), 2u);
+}
+
 TEST(Stats, RunningStatsMatchesClosedForm) {
   usim::RunningStats stats;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);

@@ -5,6 +5,7 @@
 //   upa_cli farm     [overrides]         web-farm analysis
 //   upa_cli profile  --class A|B         operational-profile statistics
 //   upa_cli design   [overrides]         min servers per requirement
+//   upa_cli inject   [overrides]         fault-injection campaign
 //   upa_cli help
 //
 // Common overrides (defaults = the paper's Table 7):
@@ -30,6 +31,8 @@
 #include "upa/common/numeric.hpp"
 #include "upa/common/table.hpp"
 #include "upa/core/web_farm.hpp"
+#include "upa/inject/campaign.hpp"
+#include "upa/inject/injectors.hpp"
 #include "upa/markov/updown.hpp"
 #include "upa/profile/visit_distribution.hpp"
 #include "upa/queueing/response_time.hpp"
@@ -199,6 +202,67 @@ int cmd_design(const upa::cli::Args& args) {
   return 0;
 }
 
+int cmd_inject(const upa::cli::Args& args) {
+  namespace inj = upa::inject;
+  const auto p = params_from(args);
+  const auto uclass = class_from(args);
+
+  upa::ta::EndToEndOptions options;
+  options.horizon_hours = args.get_double("horizon", 20000.0);
+  options.think_time_hours = args.get_double("think", 0.0);
+  options.sessions_per_replication = args.get_size("sessions", 20000);
+  options.replications = args.get_size("reps", 4);
+  options.seed = args.get_size("seed", 42);
+  options.retry.max_retries = args.get_size("retries", 0);
+  options.retry.backoff_base_hours = args.get_double("backoff", 0.25);
+  options.retry.backoff_multiplier = args.get_double("backoff-mult", 2.0);
+  options.retry.response_timeout_seconds =
+      args.get_double("timeout-ms", 0.0) / 1000.0;
+  options.retry.abandonment_probability = args.get_double("abandon", 0.0);
+
+  const auto target =
+      inj::fault_target_from_name(args.get("target", "web-farm"));
+  const double start = args.get_double("outage-start", 1000.0);
+  const double duration = args.get_double("outage-hours", 2.0);
+
+  std::vector<inj::CampaignPlan> plans;
+  plans.push_back({inj::fault_target_name(target) + " outage " +
+                       cm::fmt(duration, 4) + " h",
+                   inj::scripted_outage(target, start, duration,
+                                        options.horizon_hours)});
+
+  const auto campaign = inj::run_campaign(uclass, p, options, plans);
+
+  std::cout << "fault-injection campaign, "
+            << upa::ta::user_class_name(uclass) << ", R = "
+            << options.retry.max_retries << " retries\n"
+            << "analytic eq. (10)          = "
+            << cm::fmt(upa::ta::user_availability_eq10(uclass, p), 8) << "\n"
+            << "retry-adjusted (indep.)    = "
+            << cm::fmt(upa::ta::user_availability_with_retries(
+                           uclass, p, options.retry),
+                       8)
+            << "\n\n";
+  cm::Table t({"plan", "A(user)", "95% CI +/-", "delta", "A(WS) observed",
+               "retries/session", "abandoned"});
+  t.set_align(0, cm::Align::kLeft);
+  for (const auto& e : campaign.entries) {
+    t.add_row({e.name, cm::fmt(e.perceived_availability.mean, 6),
+               cm::fmt(e.perceived_availability.half_width, 4),
+               cm::fmt(e.delta_vs_baseline, 5),
+               cm::fmt(e.observed_web_service_availability, 8),
+               cm::fmt(e.mean_retries_per_session, 4),
+               cm::fmt(e.abandonment_fraction, 4)});
+  }
+  std::cout << t;
+  if (args.has("csv")) {
+    const std::string path = args.get("csv", "campaign.csv");
+    campaign.write_csv(path);
+    std::cout << "\ncampaign CSV written to " << path << "\n";
+  }
+  return 0;
+}
+
 int cmd_help() {
   std::cout <<
       R"(upa_cli -- user-perceived availability models of the DSN'03 travel agency
@@ -211,12 +275,22 @@ commands:
   farm       web-farm composite availability (+ --deadline tau)
   profile    operational-profile statistics and dot graph
   design     minimum web servers for a downtime target
+  inject     fault-injection campaign against the end-to-end simulator
   help       this text
 
 common options (defaults = paper Table 7):
   --class A|B  --n N  --nw N  --lambda X  --mu X  --coverage X  --beta X
   --alpha X  --nu X  --buffer K  --deadline T  --basic  --perfect
   --target-minutes M
+
+inject options:
+  --target NAME      fault target: internet lan web-farm application
+                     database disks flight hotel car payment
+  --outage-start S   outage start [h]        --outage-hours D  duration [h]
+  --retries R        retry attempts          --backoff B       base wait [h]
+  --backoff-mult M   backoff growth          --timeout-ms T    response deadline
+  --abandon P        per-retry abandonment   --think T         think time [h]
+  --horizon H  --sessions N  --reps K  --seed S  --csv PATH
 )";
   return 0;
 }
@@ -239,6 +313,8 @@ int main(int argc, char** argv) {
       status = cmd_profile(args);
     } else if (args.command() == "design") {
       status = cmd_design(args);
+    } else if (args.command() == "inject") {
+      status = cmd_inject(args);
     } else {
       std::cerr << "unknown command '" << args.command()
                 << "' (try: upa_cli help)\n";
