@@ -9,7 +9,9 @@ namespace upa::common {
 namespace {
 
 std::string escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  // A bare CR would be glued to the next field's LF-terminated row when
+  // re-parsed, so it forces quoting just like LF does (RFC 4180).
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char ch : cell) {
     if (ch == '"') out += '"';
@@ -52,6 +54,74 @@ void CsvWriter::write_file(const std::string& path) const {
   UPA_REQUIRE(out.good(), "cannot open " + path + " for writing");
   out << str();
   UPA_REQUIRE(out.good(), "write to " + path + " failed");
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;      // inside a quoted field
+  bool cell_open = false;   // current row has an unfinished cell
+  const std::size_t n = text.size();
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_open = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+          // Only a separator, a row end, or end-of-input may follow.
+          const char next = i + 1 < n ? text[i + 1] : ',';
+          UPA_REQUIRE(next == ',' || next == '\n' || next == '\r',
+                      "csv: closing quote must end the field");
+        }
+      } else {
+        cell += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        UPA_REQUIRE(!cell_open || cell.empty(),
+                    "csv: quote inside an unquoted field");
+        quoted = true;
+        cell_open = true;
+        break;
+      case ',':
+        end_cell();
+        cell_open = true;  // a separator always opens the next cell
+        break;
+      case '\r':
+        // CRLF counts as one row terminator; a lone CR also ends the row.
+        if (i + 1 < n && text[i + 1] == '\n') ++i;
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell += ch;
+        cell_open = true;
+    }
+  }
+  UPA_REQUIRE(!quoted, "csv: unterminated quoted field at end of input");
+  // Input without a trailing newline still yields its last row.
+  if (cell_open || !row.empty() || !cell.empty()) end_row();
+  return rows;
 }
 
 }  // namespace upa::common

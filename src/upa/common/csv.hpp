@@ -7,8 +7,9 @@
 
 namespace upa::common {
 
-/// Accumulates rows and writes RFC-4180-ish CSV (quotes cells containing
-/// separators/quotes/newlines). Used by bench binaries behind --csv flags.
+/// Accumulates rows and writes RFC-4180 CSV (quotes cells containing
+/// separators, quotes, or CR/LF; embedded quotes are doubled). Used by
+/// bench binaries behind --csv flags and the obs metric exporters.
 class CsvWriter {
  public:
   explicit CsvWriter(std::vector<std::string> headers);
@@ -25,5 +26,14 @@ class CsvWriter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Parses RFC-4180 CSV text back into rows of cells: quoted fields may
+/// contain commas, doubled quotes, and embedded line breaks; rows end at
+/// LF or CRLF. The exact inverse of CsvWriter::str() (round-trip tested),
+/// so exporter output can be re-read by tools and tests. Throws
+/// ModelError on malformed input (stray quote inside a quoted field,
+/// unterminated quote at end of input).
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text);
 
 }  // namespace upa::common

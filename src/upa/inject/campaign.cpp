@@ -4,6 +4,7 @@
 
 #include "upa/common/csv.hpp"
 #include "upa/common/table.hpp"
+#include "upa/obs/observer.hpp"
 
 namespace upa::inject {
 namespace {
@@ -29,8 +30,11 @@ common::CsvWriter build_csv(const std::vector<CampaignEntry>& entries) {
 
 CampaignEntry measure(std::string name, ta::UserClass uclass,
                       const ta::TaParameters& params,
-                      ta::EndToEndOptions options, FaultPlan plan) {
+                      ta::EndToEndOptions options, FaultPlan plan,
+                      obs::Observer* ob) {
   options.faults = std::move(plan);
+  obs::ScopedWallSpan span(ob != nullptr ? &ob->tracer : nullptr,
+                           obs::SpanLevel::kCampaignPlan, name);
   const ta::EndToEndResult r =
       ta::simulate_end_to_end(uclass, params, options);
   CampaignEntry entry;
@@ -40,6 +44,19 @@ CampaignEntry measure(std::string name, ta::UserClass uclass,
       r.observed_web_service_availability;
   entry.mean_retries_per_session = r.mean_retries_per_session;
   entry.abandonment_fraction = r.abandonment_fraction;
+  if (ob != nullptr) {
+    span.attr("availability_mean", entry.perceived_availability.mean);
+    span.attr("ci_half_width", entry.perceived_availability.half_width);
+    span.attr("mean_retries_per_session", entry.mean_retries_per_session);
+    span.attr("abandonment_fraction", entry.abandonment_fraction);
+    ob->metrics.counter("campaign.plans").add();
+    ob->metrics.gauge("campaign.last_plan_wall_seconds")
+        .set(span.elapsed_seconds());
+    ob->metrics
+        .histogram("campaign.plan_wall_seconds",
+                   obs::geometric_buckets(1e-3, 10.0, 7))
+        .record(span.elapsed_seconds());
+  }
   return entry;
 }
 
@@ -53,22 +70,42 @@ void CampaignResult::write_csv(const std::string& path) const {
 
 CampaignResult run_campaign(ta::UserClass uclass,
                             const ta::TaParameters& params,
-                            const ta::EndToEndOptions& base_options,
+                            const CampaignOptions& options,
                             const std::vector<CampaignPlan>& plans) {
+  // The plan-level observer defaults to the per-run one (and vice versa)
+  // so attaching either instruments the whole campaign.
+  obs::Observer* const ob =
+      options.obs != nullptr ? options.obs : options.end_to_end.obs;
+  ta::EndToEndOptions run_options = options.end_to_end;
+  if (run_options.obs == nullptr) run_options.obs = ob;
+
   CampaignResult result;
   result.entries.reserve(plans.size() + 1);
   result.entries.push_back(
-      measure("baseline", uclass, params, base_options, FaultPlan{}));
+      measure("baseline", uclass, params, run_options, FaultPlan{}, ob));
   const double baseline_mean =
       result.entries.front().perceived_availability.mean;
   for (const CampaignPlan& p : plans) {
     CampaignEntry entry =
-        measure(p.name, uclass, params, base_options, p.plan);
+        measure(p.name, uclass, params, run_options, p.plan, ob);
     entry.delta_vs_baseline =
         entry.perceived_availability.mean - baseline_mean;
+    if (ob != nullptr) {
+      ob->metrics.gauge("campaign." + p.name + ".delta_vs_baseline")
+          .set(entry.delta_vs_baseline);
+    }
     result.entries.push_back(std::move(entry));
   }
   return result;
+}
+
+CampaignResult run_campaign(ta::UserClass uclass,
+                            const ta::TaParameters& params,
+                            const ta::EndToEndOptions& base_options,
+                            const std::vector<CampaignPlan>& plans) {
+  CampaignOptions options;
+  options.end_to_end = base_options;
+  return run_campaign(uclass, params, options, plans);
 }
 
 }  // namespace upa::inject

@@ -12,12 +12,29 @@
 #include "upa/inject/fault_plan.hpp"
 #include "upa/ta/end_to_end_sim.hpp"
 
+namespace upa::obs {
+struct Observer;
+}  // namespace upa::obs
+
 namespace upa::inject {
 
 /// One named what-if scenario of a campaign.
 struct CampaignPlan {
   std::string name;
   FaultPlan plan;
+};
+
+/// Controls for run_campaign beyond the per-run simulator options.
+struct CampaignOptions {
+  /// Simulator options shared by the baseline and every plan (its `faults`
+  /// member is ignored -- each campaign plan replaces it).
+  ta::EndToEndOptions end_to_end;
+  /// Optional observability sink (non-owning). Each measurement emits one
+  /// `campaign_plan` wall-time span (with availability / delta / retry
+  /// attributes) plus campaign counters, and is itself instrumented via
+  /// `end_to_end.obs`. When only one of the two observer fields is set it
+  /// is used for both purposes.
+  obs::Observer* obs = nullptr;
 };
 
 /// Measurement of one plan (the baseline entry has an empty plan and a
@@ -46,8 +63,13 @@ struct CampaignResult {
 
 /// Runs the baseline plus every plan through `ta::simulate_end_to_end`
 /// with identical options and seed. Any fault plan already present in
-/// `base_options` is ignored (each campaign plan replaces it); the retry
-/// policy in `base_options` applies to every run.
+/// the options is ignored (each campaign plan replaces it); the retry
+/// policy applies to every run.
+[[nodiscard]] CampaignResult run_campaign(
+    ta::UserClass uclass, const ta::TaParameters& params,
+    const CampaignOptions& options, const std::vector<CampaignPlan>& plans);
+
+/// Convenience overload taking bare simulator options (no observer).
 [[nodiscard]] CampaignResult run_campaign(
     ta::UserClass uclass, const ta::TaParameters& params,
     const ta::EndToEndOptions& base_options,

@@ -36,13 +36,15 @@ IterativeResult power_iteration(const SparseMatrix& p,
   const std::size_t n = p.rows();
   Vector pi(n, 1.0 / static_cast<double>(n));
   double residual = 0.0;
+  std::vector<double> history;
   for (std::size_t it = 1; it <= options.max_iterations; ++it) {
     Vector next = p.left_multiply(pi);
     upa::common::normalize(next);
     residual = update_norm(next, pi);
     pi = std::move(next);
+    if (options.record_residual_history) history.push_back(residual);
     if (residual <= options.tolerance) {
-      return {std::move(pi), it, residual};
+      return {std::move(pi), it, residual, std::move(history)};
     }
   }
   fail("power_iteration", options.max_iterations, residual, options, n);
@@ -55,6 +57,7 @@ IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
   const std::size_t n = a.rows();
   Vector x(n, 0.0);
   double residual = 0.0;
+  std::vector<double> history;
   for (std::size_t it = 1; it <= options.max_iterations; ++it) {
     double max_update = 0.0;
     for (std::size_t r = 0; r < n; ++r) {
@@ -76,8 +79,9 @@ IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
       x[r] = next;
     }
     residual = max_update;
+    if (options.record_residual_history) history.push_back(residual);
     if (residual <= options.tolerance) {
-      return {std::move(x), it, residual};
+      return {std::move(x), it, residual, std::move(history)};
     }
   }
   fail("gauss_seidel", options.max_iterations, residual, options, n);
@@ -91,6 +95,7 @@ IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
   Vector x(n, 0.0);
   Vector next(n, 0.0);
   double residual = 0.0;
+  std::vector<double> history;
   for (std::size_t it = 1; it <= options.max_iterations; ++it) {
     for (std::size_t r = 0; r < n; ++r) {
       const auto cols = a.row_cols(r);
@@ -110,8 +115,9 @@ IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
     }
     residual = update_norm(next, x);
     x.swap(next);
+    if (options.record_residual_history) history.push_back(residual);
     if (residual <= options.tolerance) {
-      return {std::move(x), it, residual};
+      return {std::move(x), it, residual, std::move(history)};
     }
   }
   fail("jacobi", options.max_iterations, residual, options, n);

@@ -13,6 +13,11 @@ namespace upa::linalg {
 struct IterativeOptions {
   std::size_t max_iterations = 200000;
   double tolerance = 1e-13;  // infinity-norm of the update
+  /// Record the update norm of every sweep into
+  /// IterativeResult::residual_history (observability: per-stage residual
+  /// trajectories). Off by default -- the history is one double per
+  /// iteration, which can be large for slow solves.
+  bool record_residual_history = false;
 };
 
 /// Result of an iterative run (solution plus convergence diagnostics).
@@ -20,6 +25,8 @@ struct IterativeResult {
   Vector solution;
   std::size_t iterations = 0;
   double residual = 0.0;
+  /// Update norm per sweep; empty unless record_residual_history was set.
+  std::vector<double> residual_history;
 };
 
 /// Fixed point of pi = pi P for a row-stochastic sparse matrix P, starting

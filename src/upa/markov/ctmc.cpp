@@ -8,6 +8,7 @@
 #include "upa/common/numeric.hpp"
 #include "upa/linalg/iterative.hpp"
 #include "upa/linalg/lu.hpp"
+#include "upa/obs/observer.hpp"
 
 namespace upa::markov {
 
@@ -125,10 +126,50 @@ std::string stationary_method_name(StationaryMethod m) {
   return {};
 }
 
+std::string stage_diagnostic(const StationaryStage& stage) {
+  const std::string name = stationary_method_name(stage.method);
+  switch (stage.outcome) {
+    case StationaryStage::Outcome::kAccepted:
+      return name + ": ok, " + stage.note + ", balance residual " +
+             std::to_string(stage.residual);
+    case StationaryStage::Outcome::kRejected:
+      return name + ": rejected, " + stage.note;
+    case StationaryStage::Outcome::kSkipped:
+      return name + ": skipped, " + stage.note;
+    case StationaryStage::Outcome::kFailed:
+      if (stage.iterations > 0) {
+        return name + ": failed after " + std::to_string(stage.iterations) +
+               " iterations, final residual " + std::to_string(stage.residual);
+      }
+      return name + ": failed, " + stage.note;
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+namespace {
+
+std::string outcome_name(StationaryStage::Outcome outcome) {
+  switch (outcome) {
+    case StationaryStage::Outcome::kAccepted: return "accepted";
+    case StationaryStage::Outcome::kRejected: return "rejected";
+    case StationaryStage::Outcome::kFailed: return "failed";
+    case StationaryStage::Outcome::kSkipped: return "skipped";
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+}  // namespace
+
 StationaryReport Ctmc::steady_state_robust(
     const StationaryOptions& options) const {
   const linalg::SparseMatrix q = sparse_generator();
   StationaryReport report;
+  obs::Observer* const ob = options.obs;
+  obs::Tracer* const tracer = ob != nullptr ? &ob->tracer : nullptr;
+  linalg::IterativeOptions iterative = options.iterative;
+  if (ob != nullptr) iterative.record_residual_history = true;
 
   auto balance_residual = [&](const linalg::Vector& pi) {
     const linalg::Vector r = q.left_multiply(pi);
@@ -137,106 +178,163 @@ StationaryReport Ctmc::steady_state_robust(
     return norm;
   };
 
-  // Validates a candidate: clamp tiny negatives, renormalize, and accept
-  // only when the balance equations actually hold.
-  auto accept = [&](linalg::Vector pi, StationaryMethod method,
-                    const std::string& note) {
-    const char* name = nullptr;
-    switch (method) {
-      case StationaryMethod::kDenseLu: name = "dense-lu"; break;
-      case StationaryMethod::kGaussSeidel: name = "gauss-seidel"; break;
-      case StationaryMethod::kPowerIteration: name = "power-iteration"; break;
+  // Every attempted stage flows through here exactly once: the structured
+  // record is appended, the canonical diagnostic line is derived from it,
+  // and -- when an observer is attached -- the same record feeds the
+  // solver_stage span attributes and the solver metrics.
+  auto publish = [&](StationaryStage stage, obs::ScopedWallSpan& span,
+                     const std::vector<double>& residual_history) {
+    stage.wall_seconds = span.elapsed_seconds();
+    report.diagnostics.push_back(stage_diagnostic(stage));
+    if (ob != nullptr) {
+      const std::string name = stationary_method_name(stage.method);
+      span.attr("outcome", outcome_name(stage.outcome));
+      span.attr("iterations", static_cast<double>(stage.iterations));
+      span.attr("residual", stage.residual);
+      ob->metrics.counter("solver." + name + ".attempts").add();
+      ob->metrics.counter("solver." + name + ".iterations")
+          .add(stage.iterations);
+      ob->metrics.gauge("solver." + name + ".wall_seconds")
+          .set(stage.wall_seconds);
+      ob->metrics.gauge("solver." + name + ".residual").set(stage.residual);
+      if (!residual_history.empty()) {
+        // Log-bucketed trajectory: how many sweeps sat at which residual
+        // magnitude (1e-16 .. 1e2 decades).
+        auto& trajectory = ob->metrics.histogram(
+            "solver." + name + ".residual_trajectory",
+            obs::geometric_buckets(1e-16, 10.0, 19));
+        for (double r : residual_history) trajectory.record(r);
+        span.attr("first_residual", residual_history.front());
+      }
     }
+    report.stages.push_back(std::move(stage));
+  };
+
+  // Validates a candidate: clamp tiny negatives, renormalize, and accept
+  // only when the balance equations actually hold. Fills the stage's
+  // outcome/residual/note; returns true when accepted.
+  auto accept = [&](linalg::Vector pi, StationaryStage& stage,
+                    const std::string& note) {
     for (double& p : pi) {
       if (p < -1e-9) {
-        report.diagnostics.push_back(
-            std::string(name) +
-            ": rejected, solution has negative probabilities");
+        stage.outcome = StationaryStage::Outcome::kRejected;
+        stage.note = "solution has negative probabilities";
         return false;
       }
       p = std::max(p, 0.0);
     }
     upa::common::normalize(pi);
     const double residual = balance_residual(pi);
+    stage.residual = residual;
     if (residual > options.residual_tolerance) {
-      report.diagnostics.push_back(
-          std::string(name) + ": rejected, balance residual " +
-          std::to_string(residual) + " exceeds " +
-          std::to_string(options.residual_tolerance));
+      stage.outcome = StationaryStage::Outcome::kRejected;
+      stage.note = "balance residual " + std::to_string(residual) +
+                   " exceeds " + std::to_string(options.residual_tolerance);
       return false;
     }
+    stage.outcome = StationaryStage::Outcome::kAccepted;
+    stage.note = note;
     report.distribution = std::move(pi);
-    report.method = method;
+    report.method = stage.method;
     report.residual = residual;
-    report.diagnostics.push_back(std::string(name) + ": ok, " + note +
-                                 ", balance residual " +
-                                 std::to_string(residual));
     return true;
   };
 
+  const std::vector<double> no_history;
+
   // Stage 1: dense LU on the transposed balance equations.
-  if (n_ > options.max_dense_states) {
-    report.diagnostics.push_back(
-        "dense-lu: skipped, " + std::to_string(n_) + " states exceed " +
-        std::to_string(options.max_dense_states));
-  } else {
-    try {
-      if (accept(steady_state(), StationaryMethod::kDenseLu, "direct solve")) {
-        return report;
+  {
+    StationaryStage stage;
+    stage.method = StationaryMethod::kDenseLu;
+    obs::ScopedWallSpan span(tracer, obs::SpanLevel::kSolverStage,
+                             "dense-lu");
+    bool accepted = false;
+    if (n_ > options.max_dense_states) {
+      stage.outcome = StationaryStage::Outcome::kSkipped;
+      stage.note = std::to_string(n_) + " states exceed " +
+                   std::to_string(options.max_dense_states);
+    } else {
+      try {
+        accepted = accept(steady_state(), stage, "direct solve");
+      } catch (const upa::common::ModelError& e) {
+        stage.outcome = StationaryStage::Outcome::kFailed;
+        stage.note = e.what();
       }
-    } catch (const upa::common::ModelError& e) {
-      report.diagnostics.push_back(std::string("dense-lu: failed, ") +
-                                   e.what());
     }
+    publish(std::move(stage), span, no_history);
+    if (accepted) return report;
   }
 
   // Stage 2: Gauss-Seidel on Q^T pi = 0 with the last balance equation
   // replaced by the normalization sum(pi) = 1.
-  try {
-    std::vector<linalg::Triplet> triplets;
-    triplets.reserve(rates_.size() + 2 * n_);
-    std::vector<double> exit(n_, 0.0);
-    for (const auto& t : rates_) exit[t.row] += t.value;
-    for (const auto& t : rates_) {
-      if (t.col != n_ - 1) triplets.push_back({t.col, t.row, t.value});
+  {
+    StationaryStage stage;
+    stage.method = StationaryMethod::kGaussSeidel;
+    obs::ScopedWallSpan span(tracer, obs::SpanLevel::kSolverStage,
+                             "gauss-seidel");
+    bool accepted = false;
+    std::vector<double> history;
+    try {
+      std::vector<linalg::Triplet> triplets;
+      triplets.reserve(rates_.size() + 2 * n_);
+      std::vector<double> exit(n_, 0.0);
+      for (const auto& t : rates_) exit[t.row] += t.value;
+      for (const auto& t : rates_) {
+        if (t.col != n_ - 1) triplets.push_back({t.col, t.row, t.value});
+      }
+      for (std::size_t i = 0; i + 1 < n_; ++i) {
+        if (exit[i] != 0.0) triplets.push_back({i, i, -exit[i]});
+      }
+      for (std::size_t c = 0; c < n_; ++c) {
+        triplets.push_back({n_ - 1, c, 1.0});
+      }
+      const linalg::SparseMatrix a(n_, n_, std::move(triplets));
+      linalg::Vector b(n_, 0.0);
+      b[n_ - 1] = 1.0;
+      linalg::IterativeResult gs = linalg::gauss_seidel(a, b, iterative);
+      stage.iterations = gs.iterations;
+      history = std::move(gs.residual_history);
+      accepted = accept(std::move(gs.solution), stage,
+                        std::to_string(stage.iterations) + " iterations");
+    } catch (const upa::common::ConvergenceError& e) {
+      stage.outcome = StationaryStage::Outcome::kFailed;
+      stage.iterations = e.iterations();
+      stage.residual = e.final_residual();
+      stage.note = e.what();
+    } catch (const upa::common::ModelError& e) {
+      stage.outcome = StationaryStage::Outcome::kFailed;
+      stage.note = e.what();
     }
-    for (std::size_t i = 0; i + 1 < n_; ++i) {
-      if (exit[i] != 0.0) triplets.push_back({i, i, -exit[i]});
-    }
-    for (std::size_t c = 0; c < n_; ++c) triplets.push_back({n_ - 1, c, 1.0});
-    const linalg::SparseMatrix a(n_, n_, std::move(triplets));
-    linalg::Vector b(n_, 0.0);
-    b[n_ - 1] = 1.0;
-    const linalg::IterativeResult gs =
-        linalg::gauss_seidel(a, b, options.iterative);
-    if (accept(gs.solution, StationaryMethod::kGaussSeidel,
-               std::to_string(gs.iterations) + " iterations")) {
-      return report;
-    }
-  } catch (const upa::common::ConvergenceError& e) {
-    report.diagnostics.push_back(
-        "gauss-seidel: failed after " + std::to_string(e.iterations()) +
-        " iterations, final residual " + std::to_string(e.final_residual()));
-  } catch (const upa::common::ModelError& e) {
-    report.diagnostics.push_back(std::string("gauss-seidel: failed, ") +
-                                 e.what());
+    publish(std::move(stage), span, history);
+    if (accepted) return report;
   }
 
   // Stage 3: power iteration on the uniformized chain.
-  try {
-    const linalg::IterativeResult pw =
-        linalg::power_iteration(uniformized_transition(), options.iterative);
-    if (accept(pw.solution, StationaryMethod::kPowerIteration,
-               std::to_string(pw.iterations) + " iterations")) {
-      return report;
+  {
+    StationaryStage stage;
+    stage.method = StationaryMethod::kPowerIteration;
+    obs::ScopedWallSpan span(tracer, obs::SpanLevel::kSolverStage,
+                             "power-iteration");
+    bool accepted = false;
+    std::vector<double> history;
+    try {
+      linalg::IterativeResult pw =
+          linalg::power_iteration(uniformized_transition(), iterative);
+      stage.iterations = pw.iterations;
+      history = std::move(pw.residual_history);
+      accepted = accept(std::move(pw.solution), stage,
+                        std::to_string(stage.iterations) + " iterations");
+    } catch (const upa::common::ConvergenceError& e) {
+      stage.outcome = StationaryStage::Outcome::kFailed;
+      stage.iterations = e.iterations();
+      stage.residual = e.final_residual();
+      stage.note = e.what();
+    } catch (const upa::common::ModelError& e) {
+      stage.outcome = StationaryStage::Outcome::kFailed;
+      stage.note = e.what();
     }
-  } catch (const upa::common::ConvergenceError& e) {
-    report.diagnostics.push_back(
-        "power-iteration: failed after " + std::to_string(e.iterations()) +
-        " iterations, final residual " + std::to_string(e.final_residual()));
-  } catch (const upa::common::ModelError& e) {
-    report.diagnostics.push_back(std::string("power-iteration: failed, ") +
-                                 e.what());
+    publish(std::move(stage), span, history);
+    if (accepted) return report;
   }
 
   std::string summary =

@@ -13,6 +13,10 @@
 #include "upa/linalg/matrix.hpp"
 #include "upa/linalg/sparse.hpp"
 
+namespace upa::obs {
+struct Observer;
+}  // namespace upa::obs
+
 namespace upa::markov {
 
 /// Stage of the robust stationary-solve fallback chain.
@@ -29,15 +33,43 @@ struct StationaryOptions {
   linalg::IterativeOptions iterative;
   /// A candidate solution is accepted when ||pi Q||_inf is at most this.
   double residual_tolerance = 1e-8;
+  /// Optional observability sink (non-owning): every stage attempt emits
+  /// one `solver_stage` wall-time span plus iteration/residual/wall-time
+  /// metrics, and residual trajectories are recorded per stage.
+  obs::Observer* obs = nullptr;
 };
 
+/// One attempted stage of the fallback chain -- THE record of what the
+/// stage did. The human-readable diagnostics lines, the obs spans, and
+/// the obs metrics are all derived from this struct, so every channel
+/// reports the same numbers.
+struct StationaryStage {
+  enum class Outcome { kAccepted, kRejected, kFailed, kSkipped };
+
+  StationaryMethod method = StationaryMethod::kDenseLu;
+  Outcome outcome = Outcome::kSkipped;
+  std::size_t iterations = 0;  ///< 0 for the direct solve / skipped stages
+  /// Balance residual ||pi Q||_inf for accepted/rejected stages; the
+  /// final update norm for failed iterative stages.
+  double residual = 0.0;
+  double wall_seconds = 0.0;
+  std::string note;  ///< outcome detail (skip reason, rejection cause, ...)
+};
+
+/// Formats one stage record as the canonical diagnostic line.
+[[nodiscard]] std::string stage_diagnostic(const StationaryStage& stage);
+
 /// Result of a robust stationary solve: the distribution, the stage that
-/// produced it, its balance residual, and one diagnostic line per stage
-/// attempted (including the failures that triggered the fallbacks).
+/// produced it, its balance residual, and -- per stage attempted -- one
+/// structured record plus the diagnostic line derived from it.
 struct StationaryReport {
   linalg::Vector distribution;
   StationaryMethod method = StationaryMethod::kDenseLu;
   double residual = 0.0;  ///< ||pi Q||_inf of the returned distribution
+  /// Structured per-stage records, in attempt order.
+  std::vector<StationaryStage> stages;
+  /// stage_diagnostic() of each entry of `stages` (kept for callers that
+  /// print the report).
   std::vector<std::string> diagnostics;
 };
 

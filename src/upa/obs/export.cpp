@@ -1,0 +1,219 @@
+#include "upa/obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "upa/common/error.hpp"
+
+namespace upa::obs {
+namespace {
+
+/// Shortest round-trip decimal form (std::to_chars); "null" for
+/// non-finite values, which bare JSON numbers cannot represent.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  UPA_ASSERT(ec == std::errc());
+  return std::string(buffer, ptr);
+}
+
+std::string attrs_json(const std::vector<SpanAttribute>& attributes) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < attributes.size(); ++i) {
+    const SpanAttribute& a = attributes[i];
+    if (i != 0) out += ',';
+    out += '"' + json_escape(a.key) + "\":";
+    out += a.is_number ? json_number(a.number)
+                       : '"' + json_escape(a.text) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+void write_text_file(const std::string& text, const std::string& path) {
+  std::ofstream out(path);
+  UPA_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << text;
+  UPA_REQUIRE(out.good(), "write to " + path + " failed");
+}
+
+/// Maps each span to the id of its root ancestor (its Chrome-trace
+/// thread), so overlapping sessions get separate rows.
+std::unordered_map<SpanId, SpanId> root_of(const std::vector<Span>& spans) {
+  std::unordered_map<SpanId, SpanId> roots;
+  roots.reserve(spans.size());
+  // Spans are appended in begin() order, so a parent always precedes its
+  // children and one forward pass resolves every chain.
+  for (const Span& span : spans) {
+    const auto parent = roots.find(span.parent);
+    roots.emplace(span.id,
+                  parent == roots.end() ? span.id : parent->second);
+  }
+  return roots;
+}
+
+std::string bucket_summary(const Histogram& histogram) {
+  std::string out;
+  const auto& bounds = histogram.upper_bounds();
+  const auto& counts = histogram.bucket_counts();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "le=%g:%llu", bounds[i],
+                  static_cast<unsigned long long>(counts[i]));
+    out += buffer;
+    out += ',';
+  }
+  out += "inf:" + std::to_string(counts.back());
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+          out += buffer;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string spans_jsonl(const Tracer& tracer) {
+  std::string out;
+  for (const Span& span : tracer.spans()) {
+    out += "{\"id\":" + std::to_string(span.id) +
+           ",\"parent\":" + std::to_string(span.parent) + ",\"name\":\"" +
+           json_escape(span.name) + "\",\"level\":\"" +
+           span_level_name(span.level) + "\",\"domain\":\"" +
+           time_domain_name(span.domain) +
+           "\",\"start\":" + json_number(span.start) +
+           ",\"end\":" + json_number(span.end) +
+           ",\"attrs\":" + attrs_json(span.attributes) + "}\n";
+  }
+  return out;
+}
+
+void write_spans_jsonl(const Tracer& tracer, const std::string& path) {
+  write_text_file(spans_jsonl(tracer), path);
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const auto roots = root_of(tracer.spans());
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n" + event;
+  };
+  emit(R"json({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"model time (1us = 1 model second)"}})json");
+  emit(R"json({"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"wall time"}})json");
+  for (const Span& span : tracer.spans()) {
+    // Model hours -> us at 1 model second per us; wall seconds -> us.
+    const double scale =
+        span.domain == TimeDomain::kModelHours ? 3.6e6 : 1e6;
+    const int pid = span.domain == TimeDomain::kModelHours ? 1 : 2;
+    const double ts = span.start * scale;
+    const double dur = (span.end - span.start) * scale;
+    emit("{\"name\":\"" + json_escape(span.name) + "\",\"cat\":\"" +
+         span_level_name(span.level) + "\",\"ph\":\"X\",\"ts\":" +
+         json_number(ts) + ",\"dur\":" + json_number(dur) +
+         ",\"pid\":" + std::to_string(pid) + ",\"tid\":" +
+         std::to_string(roots.at(span.id)) +
+         ",\"args\":" + attrs_json(span.attributes) + "}");
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":" +
+         std::to_string(tracer.dropped()) + "}}\n";
+  return out;
+}
+
+void write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  write_text_file(chrome_trace_json(tracer), path);
+}
+
+common::CsvWriter metrics_csv(const MetricsRegistry& registry) {
+  common::CsvWriter writer(
+      {"metric", "type", "value", "count", "sum", "min", "max", "buckets"});
+  for (const auto& [name, counter] : registry.counters()) {
+    writer.add_row({name, "counter", std::to_string(counter.value()), "", "",
+                    "", "", ""});
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    writer.add_row(
+        {name, "gauge", json_number(gauge.value()), "", "", "", "", ""});
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    writer.add_row({name, "histogram", "", std::to_string(histogram.count()),
+                    json_number(histogram.sum()),
+                    json_number(histogram.min()),
+                    json_number(histogram.max()), bucket_summary(histogram)});
+  }
+  return writer;
+}
+
+void write_metrics_csv(const MetricsRegistry& registry,
+                       const std::string& path) {
+  metrics_csv(registry).write_file(path);
+}
+
+std::string metrics_jsonl(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.counters()) {
+    out += "{\"metric\":\"" + json_escape(name) +
+           "\",\"type\":\"counter\",\"value\":" +
+           std::to_string(counter.value()) + "}\n";
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    out += "{\"metric\":\"" + json_escape(name) +
+           "\",\"type\":\"gauge\",\"value\":" + json_number(gauge.value()) +
+           "}\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    out += "{\"metric\":\"" + json_escape(name) +
+           "\",\"type\":\"histogram\",\"count\":" +
+           std::to_string(histogram.count()) +
+           ",\"sum\":" + json_number(histogram.sum()) +
+           ",\"min\":" + json_number(histogram.min()) +
+           ",\"max\":" + json_number(histogram.max()) + ",\"bounds\":[";
+    const auto& bounds = histogram.upper_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      out += json_number(bounds[i]);
+    }
+    out += "],\"counts\":[";
+    const auto& counts = histogram.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(counts[i]);
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+void write_metrics_jsonl(const MetricsRegistry& registry,
+                         const std::string& path) {
+  write_text_file(metrics_jsonl(registry), path);
+}
+
+}  // namespace upa::obs

@@ -1,0 +1,46 @@
+#pragma once
+// Exporters for the observability subsystem:
+//  * span JSON-lines -- one JSON object per span, greppable/jq-able;
+//  * Chrome trace-event JSON -- loadable in chrome://tracing or Perfetto,
+//    with model time mapped to one trace microsecond per model second;
+//  * metric snapshots -- CSV (via common/csv) and JSON-lines.
+// All output is deterministic for deterministic inputs: spans export in
+// begin() order, metrics in name order.
+
+#include <string>
+
+#include "upa/common/csv.hpp"
+#include "upa/obs/metrics.hpp"
+#include "upa/obs/trace.hpp"
+
+namespace upa::obs {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters; no surrounding quotes added).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// One span per line: {"id":..,"parent":..,"name":"..","level":"..",
+/// "domain":"..","start":..,"end":..,"attrs":{..}}.
+[[nodiscard]] std::string spans_jsonl(const Tracer& tracer);
+void write_spans_jsonl(const Tracer& tracer, const std::string& path);
+
+/// Chrome trace-event file: complete ("ph":"X") events, one process per
+/// clock domain, one thread per root span so concurrent sessions render
+/// on separate rows. Model hours scale at 1 model second = 1 trace
+/// microsecond; wall seconds at 1 s = 1e6 us.
+[[nodiscard]] std::string chrome_trace_json(const Tracer& tracer);
+void write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+/// Metric snapshot as CSV with columns metric,type,value,count,sum,min,
+/// max,buckets (buckets formatted "le=B:N,..,inf:N" -- deliberately
+/// comma-separated, so this exporter leans on CsvWriter's quoting).
+[[nodiscard]] common::CsvWriter metrics_csv(const MetricsRegistry& registry);
+void write_metrics_csv(const MetricsRegistry& registry,
+                       const std::string& path);
+
+/// One metric per line: {"metric":"..","type":"..",..}.
+[[nodiscard]] std::string metrics_jsonl(const MetricsRegistry& registry);
+void write_metrics_jsonl(const MetricsRegistry& registry,
+                         const std::string& path);
+
+}  // namespace upa::obs

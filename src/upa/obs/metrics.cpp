@@ -1,0 +1,78 @@
+#include "upa/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  UPA_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    UPA_REQUIRE(std::isfinite(bounds_[i]),
+                "histogram bucket bounds must be finite");
+    UPA_REQUIRE(i == 0 || bounds_[i - 1] < bounds_[i],
+                "histogram bucket bounds must be strictly increasing");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) noexcept {
+  // First bound >= value (le semantics); everything above the last bound
+  // falls into the trailing overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<double> geometric_buckets(double first, double ratio,
+                                      std::size_t count) {
+  UPA_REQUIRE(std::isfinite(first) && first > 0.0,
+              "first bucket bound must be positive");
+  UPA_REQUIRE(std::isfinite(ratio) && ratio > 1.0,
+              "bucket ratio must exceed 1");
+  UPA_REQUIRE(count >= 1, "need at least one bucket");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= ratio;
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  UPA_REQUIRE(!name.empty(), "metric name must not be empty");
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  UPA_REQUIRE(!name.empty(), "metric name must not be empty");
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& upper_bounds) {
+  UPA_REQUIRE(!name.empty(), "metric name must not be empty");
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    return histograms_.emplace(name, Histogram(upper_bounds)).first->second;
+  }
+  UPA_REQUIRE(it->second.upper_bounds() == upper_bounds,
+              "histogram " + name + " re-registered with different buckets");
+  return it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace upa::obs

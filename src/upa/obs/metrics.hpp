@@ -1,0 +1,120 @@
+#pragma once
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// backing the solver/simulator instrumentation. Single-threaded by design
+// (the whole library is), so the fast path is a plain integer or double
+// update -- no locks, no atomics. Call sites cache the instrument
+// reference returned by the registry once and update it in their hot
+// loop; when no observer is attached the hooks are skipped entirely, so
+// disabled observability costs one pointer test.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace upa::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written point-in-time value (plus a high-water helper).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  /// Keeps the maximum of the current and the given value (high-water
+  /// marks: calendar depth, residual peaks).
+  void max_with(double value) noexcept {
+    if (value > value_) value_ = value;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with Prometheus-style `le` (less-or-equal)
+/// upper bounds. Bucket i counts values in (bounds[i-1], bounds[i]];
+/// values above the last bound land in the overflow bucket, so
+/// bucket_counts() has one more entry than upper_bounds().
+class Histogram {
+ public:
+  /// Bounds must be finite, non-empty, and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+    return bounds_;
+  }
+  /// One count per bound plus the trailing overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Smallest/largest recorded value (0 when empty).
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric bucket bounds `first, first*ratio, ...` (count bounds) --
+/// the usual shape for wall-clock seconds and solver residuals.
+[[nodiscard]] std::vector<double> geometric_buckets(double first,
+                                                    double ratio,
+                                                    std::size_t count);
+
+/// Owns all instruments, keyed by name. Lookup is a map walk, so resolve
+/// instruments once outside hot loops; references stay valid for the
+/// registry's lifetime (std::map nodes never move). Iteration order is
+/// sorted by name, which keeps every export deterministic.
+class MetricsRegistry {
+ public:
+  /// Returns the named instrument, creating it on first use. A histogram
+  /// keeps the bounds of its first creation; later calls with different
+  /// bounds throw ModelError (one metric, one meaning).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds);
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace upa::obs

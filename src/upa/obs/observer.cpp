@@ -1,0 +1,28 @@
+#include "upa/obs/observer.hpp"
+
+#include "upa/common/error.hpp"
+
+namespace upa::obs {
+
+std::string trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kSession: return "session";
+    case TraceLevel::kInvocation: return "invocation";
+    case TraceLevel::kService: return "service";
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+TraceLevel trace_level_from_name(const std::string& name) {
+  if (name == "off") return TraceLevel::kOff;
+  if (name == "session") return TraceLevel::kSession;
+  if (name == "invocation") return TraceLevel::kInvocation;
+  if (name == "service") return TraceLevel::kService;
+  throw upa::common::ModelError(
+      "unknown trace level '" + name +
+      "' (valid: off session invocation service)");
+}
+
+}  // namespace upa::obs

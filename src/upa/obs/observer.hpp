@@ -1,0 +1,43 @@
+#pragma once
+// The Observer bundles one tracer and one metrics registry and is what
+// instrumented code takes a (non-owning) pointer to: EndToEndOptions,
+// StationaryOptions, MonteCarloOptions, CampaignOptions all carry an
+// `obs::Observer*` that defaults to nullptr. With no observer attached
+// every hook reduces to a null-pointer test, and instrumented runs are
+// guaranteed to replay the exact RNG draw sequence of uninstrumented
+// ones (pinned in tests/test_obs.cpp): hooks record, they never draw.
+
+#include <string>
+
+#include "upa/obs/metrics.hpp"
+#include "upa/obs/trace.hpp"
+
+namespace upa::obs {
+
+/// How deep into the paper's hierarchy the end-to-end simulator traces.
+/// Metrics and solver/engine spans are always recorded when an observer
+/// is attached; this level only gates the per-session span volume.
+enum class TraceLevel {
+  kOff,         ///< metrics only, no session spans
+  kSession,     ///< one span per user session
+  kInvocation,  ///< + one span per function invocation
+  kService,     ///< + one span per service consulted per attempt
+};
+
+[[nodiscard]] std::string trace_level_name(TraceLevel level);
+
+/// Parses "off" | "session" | "invocation" | "service"; throws ModelError
+/// on anything else (with the valid list in the message).
+[[nodiscard]] TraceLevel trace_level_from_name(const std::string& name);
+
+struct Observer {
+  TraceLevel trace_level = TraceLevel::kSession;
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  [[nodiscard]] bool wants(TraceLevel needed) const noexcept {
+    return static_cast<int>(trace_level) >= static_cast<int>(needed);
+  }
+};
+
+}  // namespace upa::obs

@@ -1,0 +1,138 @@
+#include "upa/obs/trace.hpp"
+
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::obs {
+
+std::string span_level_name(SpanLevel level) {
+  switch (level) {
+    case SpanLevel::kSession: return "session";
+    case SpanLevel::kFunctionInvocation: return "function_invocation";
+    case SpanLevel::kServiceCall: return "service_call";
+    case SpanLevel::kSolverStage: return "solver_stage";
+    case SpanLevel::kSimEventBatch: return "sim_event_batch";
+    case SpanLevel::kCampaignPlan: return "campaign_plan";
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+std::string time_domain_name(TimeDomain domain) {
+  switch (domain) {
+    case TimeDomain::kModelHours: return "model_hours";
+    case TimeDomain::kWallSeconds: return "wall_seconds";
+  }
+  UPA_ASSERT(false);
+  return {};
+}
+
+Tracer::Tracer(std::size_t max_spans)
+    : max_spans_(max_spans), epoch_(std::chrono::steady_clock::now()) {
+  UPA_REQUIRE(max_spans >= 1, "tracer needs room for at least one span");
+}
+
+SpanId Tracer::begin(SpanLevel level, std::string name, double start,
+                     TimeDomain domain, SpanId parent) {
+  UPA_REQUIRE(std::isfinite(start), "span start must be finite");
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return 0;
+  }
+  const SpanId id = next_id_++;
+  Span span;
+  span.id = id;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.level = level;
+  span.domain = domain;
+  span.start = start;
+  span.end = start;
+  index_.emplace(id, spans_.size());
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+void Tracer::end(SpanId id, double end_time) {
+  if (id == 0) return;
+  const auto it = index_.find(id);
+  UPA_REQUIRE(it != index_.end(),
+              "unknown span id " + std::to_string(id));
+  Span& span = spans_[it->second];
+  UPA_REQUIRE(std::isfinite(end_time) && end_time >= span.start,
+              "span must end at or after its start");
+  span.end = end_time;
+}
+
+void Tracer::attr(SpanId id, std::string key, std::string value) {
+  if (id == 0) return;
+  const auto it = index_.find(id);
+  UPA_REQUIRE(it != index_.end(),
+              "unknown span id " + std::to_string(id));
+  SpanAttribute attribute;
+  attribute.key = std::move(key);
+  attribute.text = std::move(value);
+  spans_[it->second].attributes.push_back(std::move(attribute));
+}
+
+void Tracer::attr(SpanId id, std::string key, double value) {
+  if (id == 0) return;
+  const auto it = index_.find(id);
+  UPA_REQUIRE(it != index_.end(),
+              "unknown span id " + std::to_string(id));
+  SpanAttribute attribute;
+  attribute.key = std::move(key);
+  attribute.number = value;
+  attribute.is_number = true;
+  spans_[it->second].attributes.push_back(std::move(attribute));
+}
+
+const Span& Tracer::span(SpanId id) const {
+  const auto it = index_.find(id);
+  UPA_REQUIRE(it != index_.end(),
+              "unknown span id " + std::to_string(id));
+  return spans_[it->second];
+}
+
+double Tracer::wall_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  index_.clear();
+  dropped_ = 0;
+  // next_id_ keeps counting: ids stay unique across clears.
+}
+
+ScopedWallSpan::ScopedWallSpan(Tracer* tracer, SpanLevel level,
+                               std::string name, SpanId parent)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  start_ = tracer_->wall_now();
+  id_ = tracer_->begin(level, std::move(name), start_,
+                       TimeDomain::kWallSeconds, parent);
+}
+
+ScopedWallSpan::~ScopedWallSpan() {
+  if (tracer_ != nullptr && id_ != 0) {
+    tracer_->end(id_, tracer_->wall_now());
+  }
+}
+
+double ScopedWallSpan::elapsed_seconds() const {
+  return tracer_ == nullptr ? 0.0 : tracer_->wall_now() - start_;
+}
+
+void ScopedWallSpan::attr(std::string key, std::string value) {
+  if (tracer_ != nullptr) tracer_->attr(id_, std::move(key), std::move(value));
+}
+
+void ScopedWallSpan::attr(std::string key, double value) {
+  if (tracer_ != nullptr) tracer_->attr(id_, std::move(key), value);
+}
+
+}  // namespace upa::obs

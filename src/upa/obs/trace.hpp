@@ -1,0 +1,130 @@
+#pragma once
+// Hierarchical trace spans mirroring the paper's modeling hierarchy:
+// a user session contains function invocations, which contain service
+// calls -- plus solver-stage and simulator-event-batch spans for the
+// numeric machinery underneath. Spans carry explicit start/end stamps in
+// one of two clock domains: model time (simulated hours) for everything
+// the discrete-event world does, and wall time (seconds since the tracer
+// was created) for solver work. Exporters (see export.hpp) turn the span
+// table into JSON-lines or a Chrome trace-event file.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace upa::obs {
+
+/// What a span models. The first three mirror the paper's user ->
+/// function -> service levels; the rest instrument the machinery.
+enum class SpanLevel {
+  kSession,             ///< one user session through the operational profile
+  kFunctionInvocation,  ///< one function invocation (incl. its retries)
+  kServiceCall,         ///< one service consulted by an invocation attempt
+  kSolverStage,         ///< one stage of a numeric solve (wall domain)
+  kSimEventBatch,       ///< one Engine run_until/run_all batch
+  kCampaignPlan,        ///< one fault-injection campaign plan (wall domain)
+};
+
+[[nodiscard]] std::string span_level_name(SpanLevel level);
+
+/// Clock domain of a span's start/end stamps.
+enum class TimeDomain {
+  kModelHours,   ///< simulated time, in hours
+  kWallSeconds,  ///< real time, seconds since the tracer's epoch
+};
+
+[[nodiscard]] std::string time_domain_name(TimeDomain domain);
+
+/// Handle to a recorded span; 0 means "no span" (dropped or no parent).
+using SpanId = std::uint64_t;
+
+/// One key/value span annotation (string or number).
+struct SpanAttribute {
+  std::string key;
+  std::string text;     // valid when !is_number
+  double number = 0.0;  // valid when is_number
+  bool is_number = false;
+};
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root
+  std::string name;
+  SpanLevel level = SpanLevel::kSession;
+  TimeDomain domain = TimeDomain::kModelHours;
+  double start = 0.0;
+  double end = 0.0;
+  std::vector<SpanAttribute> attributes;
+};
+
+/// Append-only span table. begin() admits spans until the cap is hit,
+/// after which new spans are counted as dropped and every operation on
+/// the returned null id is a no-op -- a long simulation degrades to
+/// truncated traces instead of unbounded memory. Ids are never reused.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_spans = 1u << 20);
+
+  /// Opens a span; returns 0 (and counts a drop) once the table is full.
+  SpanId begin(SpanLevel level, std::string name, double start,
+               TimeDomain domain = TimeDomain::kModelHours,
+               SpanId parent = 0);
+
+  /// Closes a span at `end` (>= its start). No-op for id 0.
+  void end(SpanId id, double end_time);
+
+  /// Attaches an attribute to an open or closed span. No-op for id 0.
+  void attr(SpanId id, std::string key, std::string value);
+  void attr(SpanId id, std::string key, double value);
+
+  /// All recorded spans in begin() order (open spans have end < start
+  /// only if never closed; end() enforces end >= start).
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const Span& span(SpanId id) const;
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t max_spans() const noexcept { return max_spans_; }
+
+  /// Seconds since the tracer was constructed (the wall-domain clock).
+  [[nodiscard]] double wall_now() const;
+
+  void clear();
+
+ private:
+  std::size_t max_spans_;
+  SpanId next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::vector<Span> spans_;
+  std::unordered_map<SpanId, std::size_t> index_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII wall-domain span: begins at construction, ends at destruction.
+/// Used around solver stages and campaign plans. Safe on a null tracer
+/// (all operations become no-ops).
+class ScopedWallSpan {
+ public:
+  ScopedWallSpan(Tracer* tracer, SpanLevel level, std::string name,
+                 SpanId parent = 0);
+  ~ScopedWallSpan();
+  ScopedWallSpan(const ScopedWallSpan&) = delete;
+  ScopedWallSpan& operator=(const ScopedWallSpan&) = delete;
+
+  [[nodiscard]] SpanId id() const noexcept { return id_; }
+  /// Seconds elapsed since this span began.
+  [[nodiscard]] double elapsed_seconds() const;
+
+  void attr(std::string key, std::string value);
+  void attr(std::string key, double value);
+
+ private:
+  Tracer* tracer_;
+  SpanId id_ = 0;
+  double start_ = 0.0;
+};
+
+}  // namespace upa::obs

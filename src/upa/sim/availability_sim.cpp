@@ -46,6 +46,7 @@ MonteCarloEstimate simulate_system_availability(
   for (std::size_t rep = 0; rep < options.replications; ++rep) {
     Xoshiro256 rng = master.split();
     Engine engine;
+    engine.set_observer(options.obs);
     std::vector<bool> up(components.size(), true);
     bool system_state = true;
     double last_change = 0.0;

@@ -14,6 +14,10 @@
 #include "upa/markov/ctmc.hpp"
 #include "upa/sim/stats.hpp"
 
+namespace upa::obs {
+struct Observer;
+}  // namespace upa::obs
+
 namespace upa::sim {
 
 /// A repairable component with exponential failure/repair times.
@@ -30,6 +34,10 @@ struct MonteCarloOptions {
   std::size_t replications = 20;  ///< independent replications
   std::uint64_t seed = 42;
   double confidence_level = 0.95;
+  /// Optional observability sink (non-owning): the event engine emits one
+  /// `sim_event_batch` span and its counters per replication. Never
+  /// changes results -- instrumentation records, it does not draw.
+  obs::Observer* obs = nullptr;
 };
 
 /// Point estimate + confidence interval of a steady-state quantity.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "upa/common/error.hpp"
+#include "upa/obs/observer.hpp"
 
 namespace upa::sim {
 
@@ -13,6 +14,7 @@ EventId Engine::schedule_at(double at, std::function<void()> handler) {
   UPA_REQUIRE(handler != nullptr, "event handler must be callable");
   const EventId id = next_id_++;
   calendar_.push({at, id});
+  if (calendar_.size() > max_depth_) max_depth_ = calendar_.size();
   handlers_.emplace(id, std::move(handler));
   return id;
 }
@@ -25,9 +27,33 @@ EventId Engine::schedule_in(double delay, std::function<void()> handler) {
 
 bool Engine::cancel(EventId id) { return handlers_.erase(id) > 0; }
 
+void Engine::record_batch(double batch_start, std::uint64_t processed_before,
+                          double wall_start) {
+  const double wall_seconds = obs_->tracer.wall_now() - wall_start;
+  const auto events = processed_ - processed_before;
+  const obs::SpanId span = obs_->tracer.begin(
+      obs::SpanLevel::kSimEventBatch, "sim_event_batch", batch_start);
+  obs_->tracer.end(span, now_);
+  obs_->tracer.attr(span, "events", static_cast<double>(events));
+  obs_->tracer.attr(span, "wall_seconds", wall_seconds);
+  obs_->tracer.attr(span, "calendar_depth_max",
+                    static_cast<double>(max_depth_));
+  if (wall_seconds > 0.0) {
+    obs_->tracer.attr(span, "virtual_hours_per_wall_second",
+                      (now_ - batch_start) / wall_seconds);
+  }
+  obs_->metrics.counter("sim.events_processed").add(events);
+  obs_->metrics.counter("sim.batches").add();
+  obs_->metrics.gauge("sim.calendar_depth_max")
+      .max_with(static_cast<double>(max_depth_));
+}
+
 void Engine::run_until(double horizon) {
   UPA_REQUIRE(std::isfinite(horizon) && horizon >= now_,
               "horizon must be at or after the current time");
+  const double batch_start = now_;
+  const std::uint64_t processed_before = processed_;
+  const double wall_start = obs_ ? obs_->tracer.wall_now() : 0.0;
   while (!calendar_.empty()) {
     const Entry entry = calendar_.top();
     if (entry.time > horizon) break;
@@ -41,9 +67,13 @@ void Engine::run_until(double horizon) {
     handler();
   }
   now_ = horizon;
+  if (obs_ != nullptr) record_batch(batch_start, processed_before, wall_start);
 }
 
 void Engine::run_all() {
+  const double batch_start = now_;
+  const std::uint64_t processed_before = processed_;
+  const double wall_start = obs_ ? obs_->tracer.wall_now() : 0.0;
   while (!calendar_.empty()) {
     const Entry entry = calendar_.top();
     calendar_.pop();
@@ -55,6 +85,7 @@ void Engine::run_all() {
     ++processed_;
     handler();
   }
+  if (obs_ != nullptr) record_batch(batch_start, processed_before, wall_start);
 }
 
 std::size_t Engine::pending_count() const noexcept {

@@ -8,6 +8,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace upa::obs {
+struct Observer;
+}  // namespace upa::obs
+
 namespace upa::sim {
 
 /// Handle to a scheduled event, usable for cancellation.
@@ -20,6 +24,12 @@ class Engine {
   Engine() = default;
 
   [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Attaches an observer (non-owning, may be nullptr to detach): each
+  /// run_until/run_all emits one `sim_event_batch` span (events
+  /// processed, calendar high-water, virtual-time rate) plus engine
+  /// counters. With no observer every hook is a null-pointer test.
+  void set_observer(obs::Observer* observer) noexcept { obs_ = observer; }
 
   /// Schedules `handler` at absolute time `at` (>= now). Returns an id
   /// that can be cancelled.
@@ -45,6 +55,12 @@ class Engine {
   }
   [[nodiscard]] std::size_t pending_count() const noexcept;
 
+  /// High-water mark of the calendar size (cancelled-but-unpopped entries
+  /// included: they occupy calendar memory until popped).
+  [[nodiscard]] std::size_t max_calendar_depth() const noexcept {
+    return max_depth_;
+  }
+
  private:
   struct Entry {
     double time;
@@ -54,9 +70,15 @@ class Engine {
     }
   };
 
+  /// Emits the per-batch span and counters after a run loop finished.
+  void record_batch(double batch_start, std::uint64_t processed_before,
+                    double wall_start);
+
   double now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t max_depth_ = 0;
+  obs::Observer* obs_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> calendar_;
   // id -> handler; erased on fire/cancel (cancelled ids become tombstones
   // in the priority queue and are skipped when popped).

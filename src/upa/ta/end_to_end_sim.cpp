@@ -1,10 +1,12 @@
 #include "upa/ta/end_to_end_sim.hpp"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "upa/common/error.hpp"
 #include "upa/core/web_farm.hpp"
+#include "upa/obs/observer.hpp"
 #include "upa/queueing/mmck.hpp"
 #include "upa/queueing/response_time.hpp"
 #include "upa/sim/trajectory.hpp"
@@ -93,6 +95,12 @@ class FunctionEvaluator {
   FunctionEvaluator(const World& world, const TaParameters& p,
                     const EndToEndOptions& o)
       : world_(world), p_(p), faults_(o.faults) {
+    if (o.obs != nullptr) {
+      if (o.obs->wants(obs::TraceLevel::kService)) {
+        tracer_ = &o.obs->tracer;
+      }
+      deadline_misses_ = &o.obs->metrics.counter("ta.deadline_misses");
+    }
     // 1 - p_K(i) per operational-server count, and -- when a response
     // deadline is set -- P(T > deadline | served) per server count.
     serve_.assign(world.n_web + 1, 0.0);
@@ -108,27 +116,41 @@ class FunctionEvaluator {
   }
 
   /// One invocation attempt at time t. `deadline_draw` is consulted only
-  /// when the retry policy sets a response deadline.
+  /// when the retry policy sets a response deadline. Span bookkeeping
+  /// (parent invocation span, 0-based attempt number) records which
+  /// services the attempt consulted; it never draws randomness, so
+  /// tracing cannot perturb results.
   [[nodiscard]] bool evaluate(TaFunction f, double t,
-                              const SessionDraws& draws,
-                              double deadline_draw) const {
-    if (world_.net.state_at(t) != 0 || world_.lan.state_at(t) != 0) {
-      return false;
-    }
-    if (!faults_.empty() &&
-        (faults_.forced_down(FaultTarget::kInternet, t) ||
-         faults_.forced_down(FaultTarget::kLan, t))) {
-      return false;
-    }
+                              const SessionDraws& draws, double deadline_draw,
+                              obs::SpanId parent = 0,
+                              std::size_t attempt = 0) const {
+    const bool net_up = world_.net.state_at(t) == 0 &&
+                        !forced(FaultTarget::kInternet, t);
+    const bool lan_up =
+        world_.lan.state_at(t) == 0 && !forced(FaultTarget::kLan, t);
+    service_span("internet", net_up, t, parent, attempt);
+    service_span("lan", lan_up, t, parent, attempt);
+    if (!net_up || !lan_up) return false;
     // Web service: farm must be in an operational state i >= 1 and the
     // request must clear the buffer (and the deadline, when one is set).
     const std::size_t farm_state = world_.farm.state_at(t);
-    if (farm_state == 0 || farm_state > world_.n_web) return false;  // y_i
-    if (!faults_.empty() && faults_.forced_down(FaultTarget::kWebFarm, t)) {
-      return false;
+    bool web_up = true;
+    bool deadline_missed = false;
+    if (farm_state == 0 || farm_state > world_.n_web) {  // y_i
+      web_up = false;
+    } else if (forced(FaultTarget::kWebFarm, t)) {
+      web_up = false;
+    } else if (draws.web >= serve_[farm_state]) {
+      web_up = false;
+    } else if (deadline_draw < slow_[farm_state]) {  // over deadline
+      web_up = false;
+      deadline_missed = true;
     }
-    if (draws.web >= serve_[farm_state]) return false;
-    if (deadline_draw < slow_[farm_state]) return false;  // over deadline
+    service_span("web_service", web_up, t, parent, attempt);
+    if (deadline_missed && deadline_misses_ != nullptr) {
+      deadline_misses_->add();
+    }
+    if (!web_up) return false;
     const bool as_up =
         any_up(world_.as_hosts, t) && !forced(FaultTarget::kApplication, t);
     const bool ds_up = any_up(world_.ds_hosts, t) &&
@@ -140,21 +162,35 @@ class FunctionEvaluator {
         return true;
       case TaFunction::kBrowse: {
         if (draws.browse_branch < p_.q23) return true;  // cache hit
+        service_span("application", as_up, t, parent, attempt);
         if (!as_up) return false;
         if (draws.browse_branch < p_.q23 + p_.q24 * p_.q45) return true;
+        service_span("database", ds_up, t, parent, attempt);
         return ds_up;
       }
       case TaFunction::kSearch:
-      case TaFunction::kBook:
-        return as_up && ds_up &&
-               any_up(world_.flights, t) &&
-               !forced(FaultTarget::kFlight, t) &&
-               any_up(world_.hotels, t) &&
-               !forced(FaultTarget::kHotel, t) &&
-               any_up(world_.cars, t) && !forced(FaultTarget::kCar, t);
-      case TaFunction::kPay:
-        return as_up && ds_up && world_.payment.state_at(t) == 0 &&
-               !forced(FaultTarget::kPayment, t);
+      case TaFunction::kBook: {
+        const bool flight_up =
+            any_up(world_.flights, t) && !forced(FaultTarget::kFlight, t);
+        const bool hotel_up =
+            any_up(world_.hotels, t) && !forced(FaultTarget::kHotel, t);
+        const bool car_up =
+            any_up(world_.cars, t) && !forced(FaultTarget::kCar, t);
+        service_span("application", as_up, t, parent, attempt);
+        service_span("database", ds_up, t, parent, attempt);
+        service_span("flight_reservation", flight_up, t, parent, attempt);
+        service_span("hotel_reservation", hotel_up, t, parent, attempt);
+        service_span("car_reservation", car_up, t, parent, attempt);
+        return as_up && ds_up && flight_up && hotel_up && car_up;
+      }
+      case TaFunction::kPay: {
+        const bool pay_up = world_.payment.state_at(t) == 0 &&
+                            !forced(FaultTarget::kPayment, t);
+        service_span("application", as_up, t, parent, attempt);
+        service_span("database", ds_up, t, parent, attempt);
+        service_span("payment", pay_up, t, parent, attempt);
+        return as_up && ds_up && pay_up;
+      }
     }
     UPA_ASSERT(false);
     return false;
@@ -165,9 +201,24 @@ class FunctionEvaluator {
     return !faults_.empty() && faults_.forced_down(target, t);
   }
 
+  void service_span(const char* service, bool up, double t,
+                    obs::SpanId parent, std::size_t attempt) const {
+    if (tracer_ == nullptr) return;
+    const obs::SpanId span =
+        tracer_->begin(obs::SpanLevel::kServiceCall, service, t,
+                       obs::TimeDomain::kModelHours, parent);
+    tracer_->end(span, t);
+    tracer_->attr(span, "up", up ? 1.0 : 0.0);
+    if (attempt > 0) {
+      tracer_->attr(span, "retry_attempt", static_cast<double>(attempt));
+    }
+  }
+
   const World& world_;
   const TaParameters& p_;
   const inject::FaultPlan& faults_;
+  obs::Tracer* tracer_ = nullptr;           // null unless service tracing
+  obs::Counter* deadline_misses_ = nullptr;  // null unless obs attached
   std::vector<double> serve_;
   std::vector<double> slow_;  // P(T > deadline | served), per server count
 };
@@ -204,6 +255,50 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
   const inject::RetryPolicy& retry = options.retry;
   const bool deadline_on = retry.response_timeout_seconds > 0.0;
   const double timeout_hours = retry.response_timeout_seconds / 3600.0;
+
+  // Observability (all null when no observer is attached; the hooks then
+  // cost one pointer test each and the run is draw-for-draw identical).
+  obs::Observer* const ob = options.obs;
+  obs::Tracer* const tracer = ob != nullptr ? &ob->tracer : nullptr;
+  const bool trace_sessions =
+      ob != nullptr && ob->wants(obs::TraceLevel::kSession);
+  const bool trace_invocations =
+      ob != nullptr && ob->wants(obs::TraceLevel::kInvocation);
+  obs::Counter* const c_sessions =
+      ob != nullptr ? &ob->metrics.counter("ta.sessions") : nullptr;
+  obs::Counter* const c_failed =
+      ob != nullptr ? &ob->metrics.counter("ta.sessions_failed") : nullptr;
+  obs::Counter* const c_abandoned =
+      ob != nullptr ? &ob->metrics.counter("ta.sessions_abandoned") : nullptr;
+  obs::Counter* const c_truncated =
+      ob != nullptr ? &ob->metrics.counter("ta.sessions_truncated") : nullptr;
+  obs::Counter* const c_invocations =
+      ob != nullptr ? &ob->metrics.counter("ta.invocations") : nullptr;
+  obs::Counter* const c_invocations_failed =
+      ob != nullptr ? &ob->metrics.counter("ta.invocations_failed") : nullptr;
+  obs::Counter* const c_retries =
+      ob != nullptr ? &ob->metrics.counter("ta.retries") : nullptr;
+  obs::Histogram* const h_duration =
+      ob != nullptr ? &ob->metrics.histogram(
+                          "ta.session_duration_hours",
+                          obs::geometric_buckets(1e-3, 10.0, 8))
+                    : nullptr;
+  obs::Histogram* const h_attempts =
+      ob != nullptr ? &ob->metrics.histogram(
+                          "ta.invocation_attempts",
+                          obs::geometric_buckets(1.0, 2.0, 6))
+                    : nullptr;
+  const std::string class_name = user_class_name(uclass);
+  // Merged outage windows of every target, for the per-session
+  // outage-overlap attribute (computed once; merged_windows allocates).
+  std::vector<std::pair<double, double>> outage_windows;
+  if (trace_sessions && !options.faults.empty()) {
+    for (FaultTarget target : inject::kAllFaultTargets) {
+      const auto merged = options.faults.merged_windows(target);
+      outage_windows.insert(outage_windows.end(), merged.begin(),
+                            merged.end());
+    }
+  }
 
   Xoshiro256 master(options.seed);
   std::vector<double> replication_availability;
@@ -246,6 +341,19 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
       double t = rng.uniform01() * options.horizon_hours * 0.8;
       SessionDraws draws{rng.uniform01(), rng.uniform01()};
 
+      obs::SpanId session_span = 0;
+      if (trace_sessions) {
+        session_span =
+            tracer->begin(obs::SpanLevel::kSession, "session", t);
+        tracer->attr(session_span, "user_class", class_name);
+        tracer->attr(session_span, "replication",
+                     static_cast<double>(rep));
+        tracer->attr(
+            session_span, "scenario",
+            static_cast<double>(rep * options.sessions_per_replication + s));
+      }
+      if (c_sessions != nullptr) c_sessions->add();
+
       std::size_t state = upa::profile::NodeIndex::kStart;
       bool ok = true;
       bool abandoned = false;
@@ -275,10 +383,19 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
         }
         const auto f = static_cast<TaFunction>(state - 1);
         if (ok) {
+          obs::SpanId invocation_span = 0;
+          if (trace_invocations) {
+            invocation_span = tracer->begin(
+                obs::SpanLevel::kFunctionInvocation, function_name(f), t,
+                obs::TimeDomain::kModelHours, session_span);
+          }
+          if (c_invocations != nullptr) c_invocations->add();
           // The deadline draw is consumed only when a deadline is set, so
           // the default policy replays the fail-fast draw sequence.
-          bool success = evaluator.evaluate(
-              f, t, draws, deadline_on ? rng.uniform01() : 1.0);
+          bool success =
+              evaluator.evaluate(f, t, draws,
+                                 deadline_on ? rng.uniform01() : 1.0,
+                                 invocation_span, 0);
           std::size_t attempt = 0;
           while (!success && retry.enabled() &&
                  attempt < retry.max_retries) {
@@ -297,17 +414,55 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
             draws.web = rng.uniform01();
             ++attempt;
             ++retries_total;
-            success = evaluator.evaluate(
-                f, t, draws, deadline_on ? rng.uniform01() : 1.0);
+            if (c_retries != nullptr) c_retries->add();
+            success =
+                evaluator.evaluate(f, t, draws,
+                                   deadline_on ? rng.uniform01() : 1.0,
+                                   invocation_span, attempt);
           }
-          if (!success) ok = false;
+          if (!success) {
+            ok = false;
+            if (c_invocations_failed != nullptr) c_invocations_failed->add();
+          }
+          if (invocation_span != 0) {
+            tracer->end(invocation_span, std::min(t, options.horizon_hours));
+            tracer->attr(invocation_span, "function", function_name(f));
+            tracer->attr(invocation_span, "attempts",
+                         static_cast<double>(attempt + 1));
+            tracer->attr(invocation_span, "ok", success ? 1.0 : 0.0);
+          }
+          if (h_attempts != nullptr) {
+            h_attempts->record(static_cast<double>(attempt + 1));
+          }
         }
         if (abandoned || truncated) break;
       }
-      if (ok && !abandoned) ++successes;
-      if (abandoned) ++abandoned_total;
+      if (ok && !abandoned) {
+        ++successes;
+      } else if (c_failed != nullptr) {
+        c_failed->add();
+      }
+      if (abandoned) {
+        ++abandoned_total;
+        if (c_abandoned != nullptr) c_abandoned->add();
+      }
+      if (truncated && c_truncated != nullptr) c_truncated->add();
       duration_sum += t - start;
       ++duration_count;
+      if (h_duration != nullptr) h_duration->record(t - start);
+      if (session_span != 0) {
+        tracer->end(session_span, std::min(t, options.horizon_hours));
+        tracer->attr(session_span, "ok", ok && !abandoned ? 1.0 : 0.0);
+        tracer->attr(session_span, "abandoned", abandoned ? 1.0 : 0.0);
+        bool overlap = false;
+        for (const auto& [w_start, w_end] : outage_windows) {
+          if (w_start < t && w_end > start) {
+            overlap = true;
+            break;
+          }
+        }
+        tracer->attr(session_span, "outage_overlap", overlap ? 1.0 : 0.0);
+      }
     }
     replication_availability.push_back(
         static_cast<double>(successes) /

@@ -26,6 +26,10 @@
 #include "upa/sim/stats.hpp"
 #include "upa/ta/user_classes.hpp"
 
+namespace upa::obs {
+struct Observer;
+}  // namespace upa::obs
+
 namespace upa::ta {
 
 /// Controls for the end-to-end simulation. Time unit: hours.
@@ -46,6 +50,13 @@ struct EndToEndOptions {
   inject::FaultPlan faults;
   /// User retry / timeout / abandonment behavior.
   inject::RetryPolicy retry;
+  /// Optional observability sink (non-owning). When attached, the run
+  /// emits session / function_invocation / service_call spans (volume
+  /// gated by the observer's trace level) and session/retry/deadline
+  /// counters. Instrumentation only records -- it draws no randomness --
+  /// so results are bit-for-bit identical with or without an observer
+  /// (pinned in tests/test_obs.cpp).
+  obs::Observer* obs = nullptr;
 
   /// Throws ModelError when any option is out of its domain (horizon and
   /// think time, >= 2 replications so confidence intervals are

@@ -163,3 +163,42 @@ TEST(Csv, RejectsWrongWidth) {
   uc::CsvWriter csv({"a"});
   EXPECT_THROW(csv.add_row({"1", "2"}), uc::ModelError);
 }
+
+TEST(Csv, QuotesCarriageReturns) {
+  uc::CsvWriter csv({"a"});
+  csv.add_row({"cr\rhere"});
+  EXPECT_NE(csv.str().find("\"cr\rhere\""), std::string::npos);
+}
+
+TEST(Csv, RoundTripsCommasQuotesAndNewlines) {
+  uc::CsvWriter csv({"name", "value"});
+  csv.add_row({"plain", "1"});
+  csv.add_row({"has,comma", "quote\"inside"});
+  csv.add_row({"multi\nline", "cr\r\nmix"});
+  csv.add_row({"", "trailing"});
+  const auto rows = uc::parse_csv(csv.str());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"plain", "1"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"has,comma", "quote\"inside"}));
+  EXPECT_EQ(rows[3], (std::vector<std::string>{"multi\nline", "cr\r\nmix"}));
+  EXPECT_EQ(rows[4], (std::vector<std::string>{"", "trailing"}));
+}
+
+TEST(Csv, ParserHandlesLineEndingsAndEdgeCells) {
+  // CRLF and lone-CR rows, quoted empty cells, quote-at-EOF.
+  const auto rows = uc::parse_csv("a,b\r\nc,\"\"\rd,\"e\"");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", ""}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"d", "e"}));
+  EXPECT_TRUE(uc::parse_csv("").empty());
+  // A trailing newline does not create a phantom empty row.
+  EXPECT_EQ(uc::parse_csv("x\n").size(), 1u);
+}
+
+TEST(Csv, ParserRejectsMalformedQuoting) {
+  EXPECT_THROW(uc::parse_csv("a\"b"), uc::ModelError);        // stray quote
+  EXPECT_THROW(uc::parse_csv("\"open"), uc::ModelError);      // unterminated
+  EXPECT_THROW(uc::parse_csv("\"x\"y"), uc::ModelError);  // text after close
+}

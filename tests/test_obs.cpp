@@ -1,0 +1,616 @@
+// Tests for the observability subsystem: metrics registry (counters,
+// gauges, fixed-bucket histograms), hierarchical trace spans, exporters
+// (span JSONL, Chrome trace-event, metric CSV/JSONL), instrumentation of
+// the event engine / robust stationary solver / end-to-end simulator /
+// campaign runner, and the guarantee that an attached observer never
+// changes results (bit-for-bit RNG replay).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "upa/common/csv.hpp"
+#include "upa/common/error.hpp"
+#include "upa/core/web_farm.hpp"
+#include "upa/inject/campaign.hpp"
+#include "upa/inject/injectors.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/obs/export.hpp"
+#include "upa/obs/metrics.hpp"
+#include "upa/obs/observer.hpp"
+#include "upa/obs/trace.hpp"
+#include "upa/sim/engine.hpp"
+#include "upa/ta/end_to_end_sim.hpp"
+#include "upa/ta/services.hpp"
+
+namespace uo = upa::obs;
+namespace um = upa::markov;
+namespace usim = upa::sim;
+namespace ut = upa::ta;
+namespace inj = upa::inject;
+using upa::common::ModelError;
+
+// ----------------------------------------------------------------- Metrics
+
+TEST(ObsMetrics, HistogramUsesLeBucketSemantics) {
+  uo::Histogram h({1.0, 2.0, 5.0});
+  h.record(0.5);  // -> le=1
+  h.record(1.0);  // -> le=1 (boundary values land in their own bucket)
+  h.record(1.5);  // -> le=2
+  h.record(2.0);  // -> le=2
+  h.record(5.0);  // -> le=5
+  h.record(5.1);  // -> overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 5.1);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 5.1);
+}
+
+TEST(ObsMetrics, EmptyHistogramReportsZeroMinMax) {
+  const uo::Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(ObsMetrics, HistogramRejectsBadBounds) {
+  EXPECT_THROW(uo::Histogram({}), ModelError);
+  EXPECT_THROW(uo::Histogram({1.0, 1.0}), ModelError);
+  EXPECT_THROW(uo::Histogram({2.0, 1.0}), ModelError);
+  EXPECT_THROW(uo::Histogram({1.0, std::numeric_limits<double>::infinity()}),
+               ModelError);
+}
+
+TEST(ObsMetrics, GeometricBuckets) {
+  const auto bounds = uo::geometric_buckets(1e-3, 10.0, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-3);
+  EXPECT_DOUBLE_EQ(bounds[1], 1e-2);
+  EXPECT_DOUBLE_EQ(bounds[2], 1e-1);
+}
+
+TEST(ObsMetrics, RegistryCreatesOnceAndKeepsReferencesStable) {
+  uo::MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  uo::Counter& c = registry.counter("a.count");
+  c.add();
+  registry.counter("a.count").add(2);
+  EXPECT_EQ(c.value(), 3u);
+
+  uo::Gauge& g = registry.gauge("b.gauge");
+  g.set(2.0);
+  g.max_with(1.0);  // lower value must not win
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.max_with(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+
+  uo::Histogram& h = registry.histogram("c.hist", {1.0, 2.0});
+  h.record(1.5);
+  EXPECT_EQ(registry.histogram("c.hist", {1.0, 2.0}).count(), 1u);
+  // Same name, different meaning: rejected.
+  EXPECT_THROW(registry.histogram("c.hist", {1.0, 3.0}), ModelError);
+
+  EXPECT_FALSE(registry.empty());
+  registry.clear();
+  EXPECT_TRUE(registry.empty());
+}
+
+// ------------------------------------------------------------------ Tracer
+
+TEST(ObsTrace, SpanNestingOrderingAndAttributes) {
+  uo::Tracer tracer;
+  const uo::SpanId session =
+      tracer.begin(uo::SpanLevel::kSession, "session", 1.0);
+  const uo::SpanId invocation =
+      tracer.begin(uo::SpanLevel::kFunctionInvocation, "Search", 1.5,
+                   uo::TimeDomain::kModelHours, session);
+  const uo::SpanId service =
+      tracer.begin(uo::SpanLevel::kServiceCall, "web_service", 1.5,
+                   uo::TimeDomain::kModelHours, invocation);
+  tracer.end(service, 1.5);
+  tracer.end(invocation, 2.0);
+  tracer.attr(invocation, "ok", 1.0);
+  tracer.end(session, 2.5);
+  tracer.attr(session, "user_class", std::string("B"));
+
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  // Spans export in begin() order; parents always precede children.
+  EXPECT_EQ(tracer.spans()[0].id, session);
+  EXPECT_EQ(tracer.spans()[1].id, invocation);
+  EXPECT_EQ(tracer.spans()[2].id, service);
+  EXPECT_EQ(tracer.span(session).parent, 0u);
+  EXPECT_EQ(tracer.span(invocation).parent, session);
+  EXPECT_EQ(tracer.span(service).parent, invocation);
+  EXPECT_DOUBLE_EQ(tracer.span(session).start, 1.0);
+  EXPECT_DOUBLE_EQ(tracer.span(session).end, 2.5);
+  ASSERT_EQ(tracer.span(session).attributes.size(), 1u);
+  EXPECT_EQ(tracer.span(session).attributes[0].key, "user_class");
+  EXPECT_EQ(tracer.span(session).attributes[0].text, "B");
+  EXPECT_FALSE(tracer.span(session).attributes[0].is_number);
+  ASSERT_EQ(tracer.span(invocation).attributes.size(), 1u);
+  EXPECT_TRUE(tracer.span(invocation).attributes[0].is_number);
+  EXPECT_DOUBLE_EQ(tracer.span(invocation).attributes[0].number, 1.0);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ObsTrace, EndBeforeStartAndUnknownIdsThrow) {
+  uo::Tracer tracer;
+  const uo::SpanId id = tracer.begin(uo::SpanLevel::kSession, "s", 2.0);
+  EXPECT_THROW(tracer.end(id, 1.0), ModelError);
+  EXPECT_THROW(tracer.end(id + 1, 3.0), ModelError);
+  EXPECT_THROW(tracer.attr(id + 1, "k", 1.0), ModelError);
+  EXPECT_THROW((void)tracer.span(id + 1), ModelError);
+}
+
+TEST(ObsTrace, FullTableDropsSpansAndNullIdIsANoOp) {
+  uo::Tracer tracer(/*max_spans=*/2);
+  const uo::SpanId a = tracer.begin(uo::SpanLevel::kSession, "a", 0.0);
+  const uo::SpanId b = tracer.begin(uo::SpanLevel::kSession, "b", 0.0);
+  const uo::SpanId c = tracer.begin(uo::SpanLevel::kSession, "c", 0.0);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  // Operations on the null id degrade to no-ops, not errors.
+  tracer.end(0, 1.0);
+  tracer.attr(0, "k", 1.0);
+  tracer.attr(0, "k", std::string("v"));
+}
+
+TEST(ObsTrace, ClearKeepsIdsUnique) {
+  uo::Tracer tracer;
+  const uo::SpanId a = tracer.begin(uo::SpanLevel::kSession, "a", 0.0);
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  const uo::SpanId b = tracer.begin(uo::SpanLevel::kSession, "b", 0.0);
+  EXPECT_GT(b, a);
+}
+
+TEST(ObsTrace, ScopedWallSpanIsNullTracerSafe) {
+  uo::ScopedWallSpan span(nullptr, uo::SpanLevel::kSolverStage, "stage");
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_DOUBLE_EQ(span.elapsed_seconds(), 0.0);
+  span.attr("k", 1.0);  // must not crash
+}
+
+TEST(ObsTrace, ScopedWallSpanRecordsAWallDomainSpan) {
+  uo::Tracer tracer;
+  {
+    uo::ScopedWallSpan span(&tracer, uo::SpanLevel::kSolverStage, "stage");
+    EXPECT_NE(span.id(), 0u);
+    span.attr("outcome", std::string("accepted"));
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const uo::Span& span = tracer.spans()[0];
+  EXPECT_EQ(span.domain, uo::TimeDomain::kWallSeconds);
+  EXPECT_GE(span.end, span.start);
+  ASSERT_EQ(span.attributes.size(), 1u);
+  EXPECT_EQ(span.attributes[0].text, "accepted");
+}
+
+TEST(ObsTrace, LevelNamesAndParsing) {
+  EXPECT_EQ(uo::trace_level_name(uo::TraceLevel::kOff), "off");
+  EXPECT_EQ(uo::trace_level_name(uo::TraceLevel::kSession), "session");
+  EXPECT_EQ(uo::trace_level_name(uo::TraceLevel::kInvocation), "invocation");
+  EXPECT_EQ(uo::trace_level_name(uo::TraceLevel::kService), "service");
+  for (const char* name : {"off", "session", "invocation", "service"}) {
+    EXPECT_EQ(uo::trace_level_name(uo::trace_level_from_name(name)), name);
+  }
+  EXPECT_THROW((void)uo::trace_level_from_name("verbose"), ModelError);
+
+  uo::Observer observer;
+  observer.trace_level = uo::TraceLevel::kInvocation;
+  EXPECT_TRUE(observer.wants(uo::TraceLevel::kSession));
+  EXPECT_TRUE(observer.wants(uo::TraceLevel::kInvocation));
+  EXPECT_FALSE(observer.wants(uo::TraceLevel::kService));
+}
+
+// --------------------------------------------------------------- Exporters
+
+TEST(ObsExport, JsonEscape) {
+  EXPECT_EQ(uo::json_escape("plain"), "plain");
+  EXPECT_EQ(uo::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(uo::json_escape("x\n\r\ty"), "x\\n\\r\\ty");
+  EXPECT_EQ(uo::json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(ObsExport, SpansJsonlGolden) {
+  uo::Tracer tracer;
+  const uo::SpanId id =
+      tracer.begin(uo::SpanLevel::kSession, "session", 1.5);
+  tracer.end(id, 2.5);
+  tracer.attr(id, "user_class", std::string("B"));
+  tracer.attr(id, "ok", 1.0);
+  EXPECT_EQ(uo::spans_jsonl(tracer),
+            "{\"id\":1,\"parent\":0,\"name\":\"session\","
+            "\"level\":\"session\",\"domain\":\"model_hours\","
+            "\"start\":1.5,\"end\":2.5,"
+            "\"attrs\":{\"user_class\":\"B\",\"ok\":1}}\n");
+}
+
+TEST(ObsExport, ChromeTraceNestsThreadsByRootSpan) {
+  uo::Tracer tracer;
+  const uo::SpanId root =
+      tracer.begin(uo::SpanLevel::kSession, "session", 1.0);
+  const uo::SpanId child =
+      tracer.begin(uo::SpanLevel::kFunctionInvocation, "Search", 1.0,
+                   uo::TimeDomain::kModelHours, root);
+  const uo::SpanId grandchild =
+      tracer.begin(uo::SpanLevel::kServiceCall, "lan", 1.0,
+                   uo::TimeDomain::kModelHours, child);
+  tracer.end(grandchild, 1.0);
+  tracer.end(child, 1.5);
+  tracer.end(root, 2.0);
+  {
+    uo::ScopedWallSpan wall(&tracer, uo::SpanLevel::kSolverStage,
+                            "dense-lu");
+  }
+  const std::string json = uo::chrome_trace_json(tracer);
+  // Loadable JSON object with the trace-event envelope.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+  // One metadata event per clock domain.
+  EXPECT_NE(json.find("\"ph\":\"M\",\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\",\"pid\":2"), std::string::npos);
+  // Model-domain spans land in process 1, and every span of the session
+  // tree renders on the root's thread.
+  const std::string tid = std::to_string(root);
+  EXPECT_NE(json.find("\"name\":\"session\",\"cat\":\"session\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Search\",\"cat\":\"function_invocation\","
+                      "\"ph\":\"X\""),
+            std::string::npos);
+  std::size_t model_rows = 0;
+  for (std::size_t pos = json.find("\"pid\":1,\"tid\":" + tid + ",");
+       pos != std::string::npos;
+       pos = json.find("\"pid\":1,\"tid\":" + tid + ",", pos + 1)) {
+    ++model_rows;
+  }
+  EXPECT_EQ(model_rows, 3u);  // session + invocation + service share a row
+  EXPECT_NE(json.find("\"name\":\"lan\",\"cat\":\"service_call\""),
+            std::string::npos);
+  // Wall-domain spans live in process 2.
+  EXPECT_NE(json.find("\"name\":\"dense-lu\",\"cat\":\"solver_stage\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":" + std::to_string(grandchild + 1)),
+            std::string::npos);
+}
+
+TEST(ObsExport, MetricsCsvQuotesBucketSummariesAndRoundTrips) {
+  uo::MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.gauge").set(2.5);
+  registry.histogram("c.hist", {1.0, 2.0}).record(1.5);
+  const std::string csv = uo::metrics_csv(registry).str();
+  // The bucket summary contains commas, so the CSV layer must quote it.
+  EXPECT_NE(csv.find("\"le=1:0,le=2:1,inf:0\""), std::string::npos);
+  EXPECT_NE(csv.find("metric,type,value,count,sum,min,max,buckets"),
+            std::string::npos);
+  EXPECT_NE(csv.find("a.count,counter,3"), std::string::npos);
+  EXPECT_NE(csv.find("b.gauge,gauge,2.5"), std::string::npos);
+
+  const auto rows = upa::common::parse_csv(csv);
+  ASSERT_EQ(rows.size(), 4u);  // header + one row per instrument
+  EXPECT_EQ(rows[0][0], "metric");
+  EXPECT_EQ(rows[1][0], "a.count");
+  EXPECT_EQ(rows[3][0], "c.hist");
+  EXPECT_EQ(rows[3][1], "histogram");
+  EXPECT_EQ(rows[3][3], "1");                    // count
+  EXPECT_EQ(rows[3].back(), "le=1:0,le=2:1,inf:0");  // unquoted again
+}
+
+TEST(ObsExport, MetricsJsonlEmitsOneObjectPerInstrument) {
+  uo::MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.histogram("c.hist", {1.0, 2.0}).record(1.5);
+  const std::string jsonl = uo::metrics_jsonl(registry);
+  EXPECT_NE(
+      jsonl.find(
+          "{\"metric\":\"a.count\",\"type\":\"counter\",\"value\":3}"),
+      std::string::npos);
+  EXPECT_NE(jsonl.find("\"bounds\":[1,2],\"counts\":[0,1,0]"),
+            std::string::npos);
+  // One JSON object per line, every line non-empty.
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+// ---------------------------------------------------------- Engine batches
+
+TEST(ObsEngine, RunUntilEmitsOneBatchSpanWithCounters) {
+  uo::Observer observer;
+  usim::Engine engine;
+  engine.set_observer(&observer);
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  engine.schedule_at(9.0, [&] { ++fired; });  // beyond the horizon
+  engine.run_until(5.0);
+
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(observer.metrics.counter("sim.events_processed").value(), 2u);
+  EXPECT_EQ(observer.metrics.counter("sim.batches").value(), 1u);
+  EXPECT_DOUBLE_EQ(observer.metrics.gauge("sim.calendar_depth_max").value(),
+                   3.0);
+  ASSERT_EQ(observer.tracer.spans().size(), 1u);
+  const uo::Span& batch = observer.tracer.spans()[0];
+  EXPECT_EQ(batch.level, uo::SpanLevel::kSimEventBatch);
+  EXPECT_DOUBLE_EQ(batch.start, 0.0);
+  EXPECT_DOUBLE_EQ(batch.end, 5.0);
+  ASSERT_GE(batch.attributes.size(), 3u);
+  EXPECT_EQ(batch.attributes[0].key, "events");
+  EXPECT_DOUBLE_EQ(batch.attributes[0].number, 2.0);
+
+  engine.run_all();  // drains the remaining event -> a second batch
+  EXPECT_EQ(observer.metrics.counter("sim.batches").value(), 2u);
+  EXPECT_EQ(observer.metrics.counter("sim.events_processed").value(), 3u);
+}
+
+// ------------------------------------------------------------ Solver obs
+
+TEST(ObsSolver, DenseStageRecordsSpanAndMetrics) {
+  const um::Ctmc chain = um::two_state_availability(0.001, 0.5);
+  uo::Observer observer;
+  um::StationaryOptions options;
+  options.obs = &observer;
+  const auto report = chain.steady_state_robust(options);
+
+  ASSERT_EQ(report.stages.size(), 1u);
+  const um::StationaryStage& stage = report.stages[0];
+  EXPECT_EQ(stage.method, um::StationaryMethod::kDenseLu);
+  EXPECT_EQ(stage.outcome, um::StationaryStage::Outcome::kAccepted);
+  EXPECT_EQ(stage.iterations, 0u);
+  EXPECT_GE(stage.wall_seconds, 0.0);
+  // The diagnostic strings are derived from the stage records -- one
+  // channel, two views.
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0], um::stage_diagnostic(stage));
+
+  EXPECT_EQ(observer.metrics.counter("solver.dense-lu.attempts").value(), 1u);
+  ASSERT_EQ(observer.tracer.spans().size(), 1u);
+  const uo::Span& span = observer.tracer.spans()[0];
+  EXPECT_EQ(span.level, uo::SpanLevel::kSolverStage);
+  EXPECT_EQ(span.name, "dense-lu");
+  EXPECT_EQ(span.domain, uo::TimeDomain::kWallSeconds);
+  ASSERT_GE(span.attributes.size(), 3u);
+  EXPECT_EQ(span.attributes[0].key, "outcome");
+  EXPECT_EQ(span.attributes[0].text, "accepted");
+}
+
+TEST(ObsSolver, IterativeStagesRecordIterationCountsAndTrajectories) {
+  const auto params = ut::web_farm_params(ut::TaParameters::paper_defaults());
+  const auto chain = upa::core::imperfect_coverage_chain(params);
+  uo::Observer observer;
+  um::StationaryOptions options;
+  options.max_dense_states = 0;  // force the iterative fallbacks
+  options.obs = &observer;
+  const auto report = chain.chain.steady_state_robust(options);
+
+  ASSERT_GE(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].outcome, um::StationaryStage::Outcome::kSkipped);
+  const um::StationaryStage& accepted = report.stages.back();
+  EXPECT_EQ(accepted.outcome, um::StationaryStage::Outcome::kAccepted);
+  EXPECT_GT(accepted.iterations, 0u);
+  const std::string name = um::stationary_method_name(accepted.method);
+  EXPECT_EQ(observer.metrics.counter("solver." + name + ".iterations").value(),
+            accepted.iterations);
+  // The per-sweep residual trajectory lands in the log-bucketed histogram.
+  const auto& histograms = observer.metrics.histograms();
+  const auto it = histograms.find("solver." + name + ".residual_trajectory");
+  ASSERT_NE(it, histograms.end());
+  EXPECT_EQ(it->second.count(), accepted.iterations);
+
+  // Same distribution as the uninstrumented solve of the same stages.
+  um::StationaryOptions plain_options;
+  plain_options.max_dense_states = 0;
+  const auto plain = chain.chain.steady_state_robust(plain_options);
+  ASSERT_EQ(plain.distribution.size(), report.distribution.size());
+  for (std::size_t i = 0; i < plain.distribution.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report.distribution[i], plain.distribution[i]);
+  }
+}
+
+// ------------------------------------------------------- End-to-end obs
+
+TEST(ObsEndToEnd, ObserverReplaysSeedRngSequenceBitForBit) {
+  // Same configuration and seed as the pre-extension regression pin in
+  // test_injection.cpp: an attached observer must not shift a single
+  // draw, so the pinned constants hold with tracing on.
+  const auto p =
+      ut::TaParameters::paper_defaults().with_reservation_systems(2);
+  ut::EndToEndOptions options;
+  options.horizon_hours = 5000.0;
+  options.think_time_hours = 0.0;
+  options.sessions_per_replication = 8000;
+  options.replications = 4;
+  options.seed = 777;
+  uo::Observer observer;
+  observer.trace_level = uo::TraceLevel::kSession;
+  options.obs = &observer;
+  const auto r = ut::simulate_end_to_end(ut::UserClass::kB, p, options);
+  EXPECT_DOUBLE_EQ(r.perceived_availability.mean, 0.94221874999999999);
+  EXPECT_DOUBLE_EQ(r.perceived_availability.half_width,
+                   0.0068611874999999732);
+  EXPECT_DOUBLE_EQ(r.observed_web_service_availability, 0.99999625082558541);
+  EXPECT_EQ(observer.metrics.counter("ta.sessions").value(), 32000u);
+  EXPECT_EQ(observer.tracer.spans().size(), 32000u);
+}
+
+TEST(ObsEndToEnd, ObserverDoesNotChangeResultsUnderRetriesAndFaults) {
+  const auto p = ut::TaParameters::paper_defaults();
+  ut::EndToEndOptions options;
+  options.horizon_hours = 2000.0;
+  options.think_time_hours = 0.05;
+  options.sessions_per_replication = 1500;
+  options.replications = 2;
+  options.seed = 2026;
+  options.retry.max_retries = 2;
+  options.retry.backoff_base_hours = 0.01;
+  options.retry.response_timeout_seconds = 0.5;
+  options.retry.abandonment_probability = 0.1;
+  options.faults = inj::scripted_outage(inj::FaultTarget::kWebFarm, 500.0,
+                                        40.0, options.horizon_hours);
+  const auto plain = ut::simulate_end_to_end(ut::UserClass::kB, p, options);
+
+  uo::Observer observer;
+  observer.trace_level = uo::TraceLevel::kService;
+  options.obs = &observer;
+  const auto traced = ut::simulate_end_to_end(ut::UserClass::kB, p, options);
+
+  EXPECT_DOUBLE_EQ(traced.perceived_availability.mean,
+                   plain.perceived_availability.mean);
+  EXPECT_DOUBLE_EQ(traced.perceived_availability.half_width,
+                   plain.perceived_availability.half_width);
+  EXPECT_DOUBLE_EQ(traced.observed_web_service_availability,
+                   plain.observed_web_service_availability);
+  EXPECT_DOUBLE_EQ(traced.mean_session_duration_hours,
+                   plain.mean_session_duration_hours);
+  EXPECT_DOUBLE_EQ(traced.mean_retries_per_session,
+                   plain.mean_retries_per_session);
+  EXPECT_DOUBLE_EQ(traced.abandonment_fraction, plain.abandonment_fraction);
+}
+
+TEST(ObsEndToEnd, SpansNestSessionInvocationServiceWithAttributes) {
+  const auto p = ut::TaParameters::paper_defaults();
+  ut::EndToEndOptions options;
+  options.horizon_hours = 1000.0;
+  options.sessions_per_replication = 200;
+  options.replications = 2;
+  options.seed = 7;
+  options.retry.max_retries = 1;
+  options.retry.backoff_base_hours = 0.01;
+  uo::Observer observer;
+  observer.trace_level = uo::TraceLevel::kService;
+  options.obs = &observer;
+  const auto r = ut::simulate_end_to_end(ut::UserClass::kA, p, options);
+  (void)r;
+
+  std::size_t sessions = 0;
+  std::size_t invocations = 0;
+  std::size_t services = 0;
+  for (const uo::Span& span : observer.tracer.spans()) {
+    switch (span.level) {
+      case uo::SpanLevel::kSession: {
+        ++sessions;
+        EXPECT_EQ(span.parent, 0u);
+        ASSERT_FALSE(span.attributes.empty());
+        EXPECT_EQ(span.attributes[0].key, "user_class");
+        EXPECT_EQ(span.attributes[0].text, "class A");
+        break;
+      }
+      case uo::SpanLevel::kFunctionInvocation: {
+        ++invocations;
+        ASSERT_NE(span.parent, 0u);
+        EXPECT_EQ(observer.tracer.span(span.parent).level,
+                  uo::SpanLevel::kSession);
+        EXPECT_GE(span.end, span.start);
+        break;
+      }
+      case uo::SpanLevel::kServiceCall: {
+        ++services;
+        ASSERT_NE(span.parent, 0u);
+        EXPECT_EQ(observer.tracer.span(span.parent).level,
+                  uo::SpanLevel::kFunctionInvocation);
+        break;
+      }
+      default:
+        FAIL() << "unexpected span level in an end-to-end trace";
+    }
+  }
+  EXPECT_EQ(sessions, 400u);
+  EXPECT_EQ(observer.metrics.counter("ta.sessions").value(), 400u);
+  EXPECT_EQ(observer.metrics.counter("ta.invocations").value(), invocations);
+  EXPECT_GT(services, invocations);  // every attempt consults >= 2 services
+  const auto& histograms = observer.metrics.histograms();
+  const auto duration = histograms.find("ta.session_duration_hours");
+  ASSERT_NE(duration, histograms.end());
+  EXPECT_EQ(duration->second.count(), 400u);
+}
+
+TEST(ObsEndToEnd, TraceLevelGatesSpanVolume) {
+  const auto p = ut::TaParameters::paper_defaults();
+  ut::EndToEndOptions options;
+  options.horizon_hours = 1000.0;
+  options.sessions_per_replication = 100;
+  options.replications = 2;
+  options.seed = 7;
+  uo::Observer observer;
+  observer.trace_level = uo::TraceLevel::kOff;
+  options.obs = &observer;
+  (void)ut::simulate_end_to_end(ut::UserClass::kB, p, options);
+  EXPECT_TRUE(observer.tracer.spans().empty());
+  // Metrics still flow at level off.
+  EXPECT_EQ(observer.metrics.counter("ta.sessions").value(), 200u);
+
+  uo::Observer session_only;
+  session_only.trace_level = uo::TraceLevel::kSession;
+  options.obs = &session_only;
+  (void)ut::simulate_end_to_end(ut::UserClass::kB, p, options);
+  EXPECT_EQ(session_only.tracer.spans().size(), 200u);
+  for (const uo::Span& span : session_only.tracer.spans()) {
+    EXPECT_EQ(span.level, uo::SpanLevel::kSession);
+  }
+}
+
+// --------------------------------------------------------- Campaign obs
+
+TEST(ObsCampaign, PlanSpansDeltaGaugesAndUnchangedResults) {
+  const auto p = ut::TaParameters::paper_defaults();
+  inj::CampaignOptions options;
+  options.end_to_end.horizon_hours = 1000.0;
+  options.end_to_end.sessions_per_replication = 300;
+  options.end_to_end.replications = 2;
+  options.end_to_end.seed = 11;
+  const std::vector<inj::CampaignPlan> plans = {
+      {"lan outage",
+       inj::scripted_outage(inj::FaultTarget::kLan, 100.0, 50.0, 1000.0)}};
+
+  const auto plain =
+      inj::run_campaign(ut::UserClass::kB, p, options.end_to_end, plans);
+
+  uo::Observer observer;
+  observer.trace_level = uo::TraceLevel::kOff;
+  options.obs = &observer;
+  const auto traced = inj::run_campaign(ut::UserClass::kB, p, options, plans);
+
+  ASSERT_EQ(traced.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(traced.entries[1].perceived_availability.mean,
+                   plain.entries[1].perceived_availability.mean);
+  EXPECT_DOUBLE_EQ(traced.entries[1].delta_vs_baseline,
+                   plain.entries[1].delta_vs_baseline);
+
+  EXPECT_EQ(observer.metrics.counter("campaign.plans").value(), 2u);
+  EXPECT_DOUBLE_EQ(
+      observer.metrics.gauge("campaign.lan outage.delta_vs_baseline").value(),
+      traced.entries[1].delta_vs_baseline);
+  std::size_t plan_spans = 0;
+  for (const uo::Span& span : observer.tracer.spans()) {
+    if (span.level == uo::SpanLevel::kCampaignPlan) {
+      ++plan_spans;
+      EXPECT_EQ(span.domain, uo::TimeDomain::kWallSeconds);
+    }
+  }
+  EXPECT_EQ(plan_spans, 2u);
+  const auto& histograms = observer.metrics.histograms();
+  ASSERT_NE(histograms.find("campaign.plan_wall_seconds"), histograms.end());
+  EXPECT_EQ(histograms.at("campaign.plan_wall_seconds").count(), 2u);
+}

@@ -138,6 +138,53 @@ TEST(Engine, RunUntilRespectsHorizon) {
   EXPECT_EQ(engine.pending_count(), 1u);
 }
 
+TEST(Engine, MaxCalendarDepthTracksHighWaterIncludingTombstones) {
+  usim::Engine engine;
+  EXPECT_EQ(engine.max_calendar_depth(), 0u);
+  const auto a = engine.schedule_at(1.0, [] {});
+  engine.schedule_at(2.0, [] {});
+  const auto c = engine.schedule_at(3.0, [] {});
+  EXPECT_EQ(engine.max_calendar_depth(), 3u);
+  // Cancellation leaves tombstones in the calendar, so the high-water
+  // mark (calendar memory) does not shrink.
+  engine.cancel(a);
+  engine.cancel(c);
+  EXPECT_EQ(engine.max_calendar_depth(), 3u);
+  engine.run_all();
+  EXPECT_EQ(engine.max_calendar_depth(), 3u);
+  EXPECT_EQ(engine.processed_count(), 1u);
+  // Refilling above the old peak raises it again.
+  for (int i = 0; i < 5; ++i) engine.schedule_in(1.0, [] {});
+  EXPECT_EQ(engine.max_calendar_depth(), 5u);
+}
+
+TEST(Engine, RunUntilClampsClockAndKeepsQueuedEventsPending) {
+  usim::Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(7.0, [&] { ++fired; });
+  engine.schedule_at(9.0, [&] { ++fired; });
+  engine.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);  // clamped to the horizon...
+  EXPECT_EQ(engine.pending_count(), 2u);  // ...with future events intact
+  // An empty batch still clamps the clock forward.
+  engine.run_until(6.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 6.0);
+  EXPECT_EQ(engine.pending_count(), 2u);
+  // Scheduling between the clamped clock and the queued events works.
+  engine.schedule_at(6.5, [&] { ++fired; });
+  engine.run_until(8.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(engine.now(), 8.0);
+  EXPECT_EQ(engine.pending_count(), 1u);
+  engine.run_all();
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(engine.now(), 9.0);  // run_all leaves the clock at the
+  EXPECT_EQ(engine.pending_count(), 0u);  // last processed event
+}
+
 TEST(Engine, HandlersCanScheduleMoreEvents) {
   usim::Engine engine;
   int chain = 0;

@@ -6,6 +6,7 @@
 //   upa_cli profile  --class A|B         operational-profile statistics
 //   upa_cli design   [overrides]         min servers per requirement
 //   upa_cli inject   [overrides]         fault-injection campaign
+//   upa_cli trace    [overrides]         instrumented run + trace/metric dumps
 //   upa_cli help
 //
 // Common overrides (defaults = the paper's Table 7):
@@ -34,7 +35,10 @@
 #include "upa/inject/campaign.hpp"
 #include "upa/inject/injectors.hpp"
 #include "upa/markov/updown.hpp"
+#include "upa/obs/export.hpp"
+#include "upa/obs/observer.hpp"
 #include "upa/profile/visit_distribution.hpp"
+#include "upa/sim/availability_sim.hpp"
 #include "upa/queueing/response_time.hpp"
 #include "upa/sensitivity/threshold.hpp"
 #include "upa/ta/revenue.hpp"
@@ -263,6 +267,95 @@ int cmd_inject(const upa::cli::Args& args) {
   return 0;
 }
 
+int cmd_trace(const upa::cli::Args& args) {
+  const auto p = params_from(args);
+  const auto uclass = class_from(args);
+
+  upa::obs::Observer observer;
+  observer.trace_level =
+      upa::obs::trace_level_from_name(args.get("trace-level", "service"));
+
+  // 1. End-to-end sessions: model-time spans (session > function
+  // invocation > service call) plus session/retry/deadline counters.
+  upa::ta::EndToEndOptions options;
+  options.horizon_hours = args.get_double("horizon", 2000.0);
+  options.think_time_hours = args.get_double("think", 0.05);
+  options.sessions_per_replication = args.get_size("sessions", 500);
+  options.replications = args.get_size("reps", 2);
+  options.seed = args.get_size("seed", 42);
+  options.retry.max_retries = args.get_size("retries", 2);
+  options.retry.backoff_base_hours = args.get_double("backoff", 0.01);
+  options.retry.response_timeout_seconds =
+      args.get_double("timeout-ms", 500.0) / 1000.0;
+  options.obs = &observer;
+  const auto result = upa::ta::simulate_end_to_end(uclass, p, options);
+
+  // 2. Solver stages: wall-time spans with per-stage iteration counts and
+  // residuals. Solve the web-farm coverage chain both directly and with
+  // the dense stage disabled, so the metrics include the iterative
+  // solvers' iteration counts.
+  const auto chain =
+      upa::core::imperfect_coverage_chain(ta::web_farm_params(p));
+  upa::markov::StationaryOptions solve;
+  solve.obs = &observer;
+  const auto direct = chain.chain.steady_state_robust(solve);
+  solve.max_dense_states = 0;
+  const auto iterative = chain.chain.steady_state_robust(solve);
+
+  // 3. Event-engine batches: a small Monte-Carlo run so the trace also
+  // shows the discrete-event engine's sim_event_batch spans.
+  upa::sim::MonteCarloOptions mc;
+  mc.horizon = args.get_double("horizon", 2000.0);
+  mc.replications = 4;
+  mc.seed = options.seed;
+  mc.obs = &observer;
+  const auto mc_estimate = upa::sim::simulate_system_availability(
+      {{"web", p.lambda_web, p.mu_web}, {"lan", 0.001, 1.0}},
+      [](const std::vector<bool>& up) { return up[0] && up[1]; }, mc);
+
+  std::cout << "instrumented run, " << upa::ta::user_class_name(uclass)
+            << ", trace level "
+            << upa::obs::trace_level_name(observer.trace_level) << "\n"
+            << "perceived availability     = "
+            << cm::fmt(result.perceived_availability.mean, 6) << " +/- "
+            << cm::fmt(result.perceived_availability.half_width, 4) << "\n"
+            << "monte-carlo availability   = "
+            << cm::fmt(mc_estimate.interval.mean, 6) << "\n"
+            << "stationary solve           = "
+            << upa::markov::stationary_method_name(direct.method) << " then "
+            << upa::markov::stationary_method_name(iterative.method)
+            << " (dense stage disabled)\n"
+            << "spans recorded             = " << observer.tracer.spans().size()
+            << " (dropped " << observer.tracer.dropped() << ")\n"
+            << "metrics recorded           = "
+            << observer.metrics.counters().size() << " counters, "
+            << observer.metrics.gauges().size() << " gauges, "
+            << observer.metrics.histograms().size() << " histograms\n";
+
+  if (args.has("trace-out")) {
+    const std::string path = args.get("trace-out", "trace.json");
+    upa::obs::write_chrome_trace(observer.tracer, path);
+    std::cout << "chrome trace written to    " << path
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (args.has("spans-out")) {
+    const std::string path = args.get("spans-out", "spans.jsonl");
+    upa::obs::write_spans_jsonl(observer.tracer, path);
+    std::cout << "span JSONL written to      " << path << "\n";
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "metrics.csv");
+    upa::obs::write_metrics_csv(observer.metrics, path);
+    std::cout << "metrics CSV written to     " << path << "\n";
+  }
+  if (args.has("metrics-jsonl")) {
+    const std::string path = args.get("metrics-jsonl", "metrics.jsonl");
+    upa::obs::write_metrics_jsonl(observer.metrics, path);
+    std::cout << "metrics JSONL written to   " << path << "\n";
+  }
+  return 0;
+}
+
 int cmd_help() {
   std::cout <<
       R"(upa_cli -- user-perceived availability models of the DSN'03 travel agency
@@ -276,6 +369,7 @@ commands:
   profile    operational-profile statistics and dot graph
   design     minimum web servers for a downtime target
   inject     fault-injection campaign against the end-to-end simulator
+  trace      instrumented end-to-end + solver run with trace/metric dumps
   help       this text
 
 common options (defaults = paper Table 7):
@@ -291,6 +385,14 @@ inject options:
   --backoff-mult M   backoff growth          --timeout-ms T    response deadline
   --abandon P        per-retry abandonment   --think T         think time [h]
   --horizon H  --sessions N  --reps K  --seed S  --csv PATH
+
+trace options (plus --horizon --sessions --reps --seed --think --retries
+--backoff --timeout-ms as for inject):
+  --trace-level L    off | session | invocation | service (default service)
+  --trace-out PATH   Chrome trace-event JSON (chrome://tracing, Perfetto)
+  --spans-out PATH   span JSON-lines
+  --metrics-out PATH metric snapshot CSV
+  --metrics-jsonl P  metric snapshot JSON-lines
 )";
   return 0;
 }
@@ -315,6 +417,8 @@ int main(int argc, char** argv) {
       status = cmd_design(args);
     } else if (args.command() == "inject") {
       status = cmd_inject(args);
+    } else if (args.command() == "trace") {
+      status = cmd_trace(args);
     } else {
       std::cerr << "unknown command '" << args.command()
                 << "' (try: upa_cli help)\n";
