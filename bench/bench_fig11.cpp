@@ -3,22 +3,52 @@
 // (failure rate lambda, arrival rate alpha) combination
 // (lambda in {1e-2, 1e-3, 1e-4}/h, alpha in {50, 100, 150}/s,
 // nu = 100/s, mu = 1/h, K = 10).
+//
+// The full (alpha, lambda, N_W) grid is evaluated through
+// exec::parallel_sweep, and the harness also times one end-to-end
+// simulator run serial vs parallel, appending the wall-clock numbers to
+// BENCH_parallel.json (shared with bench_injection).
 
+#include <chrono>
+#include <cstddef>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "upa/core/web_farm.hpp"
+#include "upa/exec/parallel.hpp"
+#include "upa/exec/thread_pool.hpp"
 #include "upa/sensitivity/sweep.hpp"
+#include "upa/ta/end_to_end_sim.hpp"
 
 namespace {
 
 namespace uc = upa::core;
 namespace cm = upa::common;
+namespace ut = upa::ta;
+
+constexpr double kAlphas[] = {50.0, 100.0, 150.0};
+constexpr double kLambdas[] = {1e-2, 1e-3, 1e-4};
 
 double unavailability(std::size_t n, double lambda, double alpha) {
   uc::WebFarmParams farm{n, lambda, 1.0, 1.0, 12.0};
   uc::WebQueueParams queue{alpha, 100.0, 10};
   return 1.0 - uc::web_service_availability_perfect(farm, queue);
+}
+
+struct GridPoint {
+  double alpha;
+  double lambda;
+  std::size_t n;
+};
+
+// Grid in (alpha, lambda, N_W) row-major order, matching the printed
+// tables; parallel_sweep returns results in this same input order.
+std::vector<GridPoint> build_grid() {
+  std::vector<GridPoint> grid;
+  for (double alpha : kAlphas)
+    for (double lambda : kLambdas)
+      for (std::size_t n = 1; n <= 10; ++n) grid.push_back({alpha, lambda, n});
+  return grid;
 }
 
 void print_fig11() {
@@ -27,37 +57,109 @@ void print_fig11() {
       "Web service unavailability (perfect coverage) vs N_W.\n"
       "Expected shape: monotone decrease in N_W for every series; lambda\n"
       "separates the curves only when the load alpha/nu < 1.");
-  for (double alpha : {50.0, 100.0, 150.0}) {
+  const std::vector<GridPoint> grid = build_grid();
+  const std::vector<double> ua = upa::exec::parallel_sweep(
+      grid, [](const GridPoint& g) {
+        return unavailability(g.n, g.lambda, g.alpha);
+      });
+  const auto at = [&](std::size_t ai, std::size_t li, std::size_t n) {
+    return ua[(ai * 3 + li) * 10 + (n - 1)];
+  };
+  for (std::size_t ai = 0; ai < 3; ++ai) {
+    const double alpha = kAlphas[ai];
     cm::Table t({"N_W", "lambda=1e-2/h", "lambda=1e-3/h", "lambda=1e-4/h"});
     t.set_title("UA(Web service), alpha = " + cm::fmt(alpha, 3) +
                 " req/s (rho = " + cm::fmt(alpha / 100.0, 3) + ")");
     for (std::size_t n = 1; n <= 10; ++n) {
-      t.add_row({std::to_string(n),
-                 cm::fmt_sci(unavailability(n, 1e-2, alpha), 3),
-                 cm::fmt_sci(unavailability(n, 1e-3, alpha), 3),
-                 cm::fmt_sci(unavailability(n, 1e-4, alpha), 3)});
+      t.add_row({std::to_string(n), cm::fmt_sci(at(ai, 0, n), 3),
+                 cm::fmt_sci(at(ai, 1, n), 3), cm::fmt_sci(at(ai, 2, n), 3)});
     }
     std::cout << t << "\n";
   }
 
-  // Shape check mirrored from the paper's reading of the figure.
+  // Shape check mirrored from the paper's reading of the figure, built
+  // from the already-computed alpha=100, lambda=1e-3 series.
   std::vector<double> xs;
-  for (std::size_t n = 1; n <= 10; ++n) xs.push_back(double(n));
+  std::vector<double> ys;
+  for (std::size_t n = 1; n <= 10; ++n) {
+    xs.push_back(double(n));
+    ys.push_back(at(1, 1, n));
+  }
   const auto series = upa::sensitivity::sweep(
-      "lambda=1e-3, alpha=100", xs, [](double n) {
-        return unavailability(static_cast<std::size_t>(n), 1e-3, 100.0);
-      });
+      "lambda=1e-3, alpha=100", xs,
+      [&](double n) { return ys[static_cast<std::size_t>(n) - 1]; });
   std::cout << "monotone decreasing (no reversal expected): "
             << (upa::sensitivity::first_increase(series) == -1 ? "yes"
                                                                : "NO!")
             << "\n\n";
 }
 
+// Times one end-to-end simulator configuration serial (threads = 1)
+// vs parallel (threads = hardware) and records the wall-clock numbers
+// in the shared BENCH_parallel.json artifact. The two runs must agree
+// bit for bit -- the parallel layer guarantees it -- so the availability
+// match is checked and reported alongside the speedup.
+void bench_parallel_end_to_end() {
+  ut::EndToEndOptions options;
+  options.horizon_hours = 20000.0;
+  options.sessions_per_replication = 20000;
+  options.replications = 8;
+  options.seed = 1111;
+  const auto params = upa::bench::paper_params(2);
+  const double total_sessions =
+      double(options.sessions_per_replication) * double(options.replications);
+
+  using clock = std::chrono::steady_clock;
+  options.threads = 1;
+  const auto t0 = clock::now();
+  const auto serial = ut::simulate_end_to_end(ut::UserClass::kB, params,
+                                              options);
+  const auto t1 = clock::now();
+  options.threads = 0;  // one worker per hardware thread
+  const auto parallel = ut::simulate_end_to_end(ut::UserClass::kB, params,
+                                                options);
+  const auto t2 = clock::now();
+
+  const double serial_s = std::chrono::duration<double>(t1 - t0).count();
+  const double parallel_s = std::chrono::duration<double>(t2 - t1).count();
+  const bool identical = serial.perceived_availability.mean ==
+                             parallel.perceived_availability.mean &&
+                         serial.perceived_availability.half_width ==
+                             parallel.perceived_availability.half_width &&
+                         serial.mean_session_duration_hours ==
+                             parallel.mean_session_duration_hours;
+
+  std::cout << "Parallel end-to-end timing (replication-level fan-out):\n"
+            << "  threads             : " << upa::exec::resolve_threads(0)
+            << "\n"
+            << "  serial wall seconds : " << cm::fmt(serial_s, 3) << "\n"
+            << "  parallel wall secs  : " << cm::fmt(parallel_s, 3) << "\n"
+            << "  speedup             : " << cm::fmt(serial_s / parallel_s, 2)
+            << "x\n"
+            << "  results identical   : " << (identical ? "yes" : "NO!")
+            << "\n\n";
+
+  upa::bench::write_bench_json(
+      "BENCH_parallel.json", "fig11_end_to_end",
+      {{"threads", double(upa::exec::resolve_threads(0))},
+       {"serial_wall_seconds", serial_s},
+       {"parallel_wall_seconds", parallel_s},
+       {"speedup", serial_s / parallel_s},
+       {"sessions_per_second_serial", total_sessions / serial_s},
+       {"sessions_per_second_parallel", total_sessions / parallel_s},
+       {"results_identical", identical ? 1.0 : 0.0}});
+}
+
+void print_all() {
+  print_fig11();
+  bench_parallel_end_to_end();
+}
+
 void bm_fig11_full_grid(benchmark::State& state) {
   for (auto _ : state) {
     double acc = 0.0;
-    for (double lambda : {1e-2, 1e-3, 1e-4}) {
-      for (double alpha : {50.0, 100.0, 150.0}) {
+    for (double lambda : kLambdas) {
+      for (double alpha : kAlphas) {
         for (std::size_t n = 1; n <= 10; ++n) {
           acc += unavailability(n, lambda, alpha);
         }
@@ -68,6 +170,17 @@ void bm_fig11_full_grid(benchmark::State& state) {
 }
 BENCHMARK(bm_fig11_full_grid);
 
+void bm_fig11_parallel_sweep(benchmark::State& state) {
+  const std::vector<GridPoint> grid = build_grid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(upa::exec::parallel_sweep(
+        grid, [](const GridPoint& g) {
+          return unavailability(g.n, g.lambda, g.alpha);
+        }));
+  }
+}
+BENCHMARK(bm_fig11_parallel_sweep);
+
 }  // namespace
 
-UPA_BENCH_MAIN(print_fig11)
+UPA_BENCH_MAIN(print_all)

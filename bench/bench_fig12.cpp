@@ -3,17 +3,26 @@
 // as Figure 11. The paper's headline effect: the unavailability valley
 // reverses once uncovered failures dominate ("the trend is reversed ...
 // for N_W values higher than 4").
+//
+// The grid is evaluated once through exec::parallel_sweep; the valley
+// annotation scans the precomputed series instead of re-solving each
+// chain a second time.
 
 #include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "upa/core/web_farm.hpp"
+#include "upa/exec/parallel.hpp"
 
 namespace {
 
 namespace uc = upa::core;
 namespace cm = upa::common;
+
+constexpr double kAlphas[] = {50.0, 100.0, 150.0};
+constexpr double kLambdas[] = {1e-2, 1e-3, 1e-4};
 
 double unavailability(std::size_t n, double lambda, double alpha) {
   uc::WebFarmParams farm{n, lambda, 1.0, 0.98, 12.0};
@@ -21,24 +30,47 @@ double unavailability(std::size_t n, double lambda, double alpha) {
   return 1.0 - uc::web_service_availability_imperfect(farm, queue);
 }
 
+struct GridPoint {
+  double alpha;
+  double lambda;
+  std::size_t n;
+};
+
+std::vector<GridPoint> build_grid() {
+  std::vector<GridPoint> grid;
+  for (double alpha : kAlphas)
+    for (double lambda : kLambdas)
+      for (std::size_t n = 1; n <= 10; ++n) grid.push_back({alpha, lambda, n});
+  return grid;
+}
+
 void print_fig12() {
   upa::bench::print_header(
       "Figure 12",
       "Web service unavailability (imperfect coverage, c=0.98, beta=12/h)\n"
       "vs N_W. Expected shape: decrease then REVERSAL (valley marked *).");
-  for (double alpha : {50.0, 100.0, 150.0}) {
+  const std::vector<GridPoint> grid = build_grid();
+  const std::vector<double> ua = upa::exec::parallel_sweep(
+      grid, [](const GridPoint& g) {
+        return unavailability(g.n, g.lambda, g.alpha);
+      });
+  const auto at = [&](std::size_t ai, std::size_t li, std::size_t n) {
+    return ua[(ai * 3 + li) * 10 + (n - 1)];
+  };
+  for (std::size_t ai = 0; ai < 3; ++ai) {
+    const double alpha = kAlphas[ai];
     cm::Table t({"N_W", "lambda=1e-2/h", "lambda=1e-3/h", "lambda=1e-4/h"});
     t.set_title("UA(Web service), alpha = " + cm::fmt(alpha, 3) +
                 " req/s (rho = " + cm::fmt(alpha / 100.0, 3) + ")");
-    // Locate the valley for each lambda to annotate rows.
+    // Locate the valley of each precomputed series to annotate rows.
     std::vector<std::size_t> valley;
-    for (double lambda : {1e-2, 1e-3, 1e-4}) {
+    for (std::size_t li = 0; li < 3; ++li) {
       std::size_t best = 1;
-      double best_ua = unavailability(1, lambda, alpha);
+      double best_ua = at(ai, li, 1);
       for (std::size_t n = 2; n <= 10; ++n) {
-        const double ua = unavailability(n, lambda, alpha);
-        if (ua < best_ua) {
-          best_ua = ua;
+        const double v = at(ai, li, n);
+        if (v < best_ua) {
+          best_ua = v;
           best = n;
         }
       }
@@ -46,12 +78,10 @@ void print_fig12() {
     }
     for (std::size_t n = 1; n <= 10; ++n) {
       std::vector<std::string> row{std::to_string(n)};
-      std::size_t li = 0;
-      for (double lambda : {1e-2, 1e-3, 1e-4}) {
-        std::string cell = cm::fmt_sci(unavailability(n, lambda, alpha), 3);
+      for (std::size_t li = 0; li < 3; ++li) {
+        std::string cell = cm::fmt_sci(at(ai, li, n), 3);
         if (valley[li] == n) cell += " *";
         row.push_back(std::move(cell));
-        ++li;
       }
       t.add_row(std::move(row));
     }
@@ -65,8 +95,8 @@ void print_fig12() {
 void bm_fig12_full_grid(benchmark::State& state) {
   for (auto _ : state) {
     double acc = 0.0;
-    for (double lambda : {1e-2, 1e-3, 1e-4}) {
-      for (double alpha : {50.0, 100.0, 150.0}) {
+    for (double lambda : kLambdas) {
+      for (double alpha : kAlphas) {
         for (std::size_t n = 1; n <= 10; ++n) {
           acc += unavailability(n, lambda, alpha);
         }
@@ -76,6 +106,17 @@ void bm_fig12_full_grid(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_fig12_full_grid);
+
+void bm_fig12_parallel_sweep(benchmark::State& state) {
+  const std::vector<GridPoint> grid = build_grid();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(upa::exec::parallel_sweep(
+        grid, [](const GridPoint& g) {
+          return unavailability(g.n, g.lambda, g.alpha);
+        }));
+  }
+}
+BENCHMARK(bm_fig12_parallel_sweep);
 
 void bm_imperfect_chain_steady_state(benchmark::State& state) {
   uc::WebFarmParams farm{static_cast<std::size_t>(state.range(0)), 1e-3,

@@ -4,7 +4,11 @@
 // the end-to-end simulator and measures what users perceive -- with and
 // without retries -- plus the retry-adjusted analytic reference.
 
+#include <chrono>
+
 #include "bench_util.hpp"
+#include "upa/exec/parallel.hpp"
+#include "upa/exec/thread_pool.hpp"
 #include "upa/inject/campaign.hpp"
 #include "upa/inject/injectors.hpp"
 #include "upa/markov/ctmc.hpp"
@@ -56,17 +60,30 @@ void print_campaign() {
   const auto p = upa::bench::paper_params(2);
   const auto plans = build_plans();
 
-  for (const std::size_t retries : {std::size_t{0}, std::size_t{2}}) {
+  // The retry-policy design points are independent campaigns, so the
+  // sweep itself fans out; each campaign's own fan-out stays serial
+  // (one parallel level at a time).
+  const std::vector<std::size_t> retry_points{0, 2};
+  const auto campaigns = upa::exec::parallel_sweep(
+      retry_points, [&](std::size_t retries) {
+        inj::CampaignOptions coptions;
+        coptions.threads = 1;
+        coptions.end_to_end.horizon_hours = kHorizon;
+        coptions.end_to_end.sessions_per_replication = 12000;
+        coptions.end_to_end.replications = 4;
+        coptions.end_to_end.seed = 1903;
+        coptions.end_to_end.threads = 1;
+        coptions.end_to_end.retry.max_retries = retries;
+        coptions.end_to_end.retry.backoff_base_hours = 4.0;
+        return inj::run_campaign(ut::UserClass::kB, p, coptions, plans);
+      });
+
+  for (std::size_t ri = 0; ri < retry_points.size(); ++ri) {
+    const std::size_t retries = retry_points[ri];
     ut::EndToEndOptions options;
-    options.horizon_hours = kHorizon;
-    options.sessions_per_replication = 12000;
-    options.replications = 4;
-    options.seed = 1903;
     options.retry.max_retries = retries;
     options.retry.backoff_base_hours = 4.0;
-
-    const auto campaign =
-        inj::run_campaign(ut::UserClass::kB, p, options, plans);
+    const auto& campaign = campaigns[ri];
     cm::Table t({"plan", "A(user)", "95% CI +/-", "delta vs baseline",
                  "retries/session"});
     t.set_align(0, cm::Align::kLeft);
@@ -89,6 +106,76 @@ void print_campaign() {
          "(a d-hour total outage over an H-hour horizon removes ~d/H);\n"
          "retries claw back the stochastic short outages but not the\n"
          "scripted windows that outlast the backoff schedule.\n\n";
+}
+
+// Times one campaign serial (threads = 1 everywhere) vs with plan-level
+// fan-out (threads = hardware) and appends the numbers to the shared
+// BENCH_parallel.json artifact; the two runs must agree bit for bit.
+void bench_parallel_campaign() {
+  const auto p = upa::bench::paper_params(2);
+  const auto plans = build_plans();
+  inj::CampaignOptions options;
+  options.end_to_end.horizon_hours = kHorizon;
+  options.end_to_end.sessions_per_replication = 12000;
+  options.end_to_end.replications = 4;
+  options.end_to_end.seed = 1903;
+  options.end_to_end.retry.max_retries = 2;
+  options.end_to_end.retry.backoff_base_hours = 4.0;
+  const double total_sessions =
+      double(options.end_to_end.sessions_per_replication) *
+      double(options.end_to_end.replications) * double(plans.size() + 1);
+
+  using clock = std::chrono::steady_clock;
+  options.threads = 1;
+  options.end_to_end.threads = 1;
+  const auto t0 = clock::now();
+  const auto serial = inj::run_campaign(ut::UserClass::kB, p, options, plans);
+  const auto t1 = clock::now();
+  options.threads = 0;  // plan-level fan-out, one worker per hardware thread
+  options.end_to_end.threads = 0;
+  const auto parallel =
+      inj::run_campaign(ut::UserClass::kB, p, options, plans);
+  const auto t2 = clock::now();
+
+  const double serial_s = std::chrono::duration<double>(t1 - t0).count();
+  const double parallel_s = std::chrono::duration<double>(t2 - t1).count();
+  bool identical = serial.entries.size() == parallel.entries.size();
+  for (std::size_t i = 0; identical && i < serial.entries.size(); ++i) {
+    identical =
+        serial.entries[i].perceived_availability.mean ==
+            parallel.entries[i].perceived_availability.mean &&
+        serial.entries[i].delta_vs_baseline ==
+            parallel.entries[i].delta_vs_baseline &&
+        serial.entries[i].mean_retries_per_session ==
+            parallel.entries[i].mean_retries_per_session;
+  }
+
+  std::cout << "Parallel campaign timing (plan-level fan-out, baseline + "
+            << plans.size() << " plans):\n"
+            << "  threads             : " << upa::exec::resolve_threads(0)
+            << "\n"
+            << "  serial wall seconds : " << cm::fmt(serial_s, 3) << "\n"
+            << "  parallel wall secs  : " << cm::fmt(parallel_s, 3) << "\n"
+            << "  speedup             : " << cm::fmt(serial_s / parallel_s, 2)
+            << "x\n"
+            << "  results identical   : " << (identical ? "yes" : "NO!")
+            << "\n\n";
+
+  upa::bench::write_bench_json(
+      "BENCH_parallel.json", "injection_campaign",
+      {{"threads", double(upa::exec::resolve_threads(0))},
+       {"plans", double(plans.size() + 1)},
+       {"serial_wall_seconds", serial_s},
+       {"parallel_wall_seconds", parallel_s},
+       {"speedup", serial_s / parallel_s},
+       {"sessions_per_second_serial", total_sessions / serial_s},
+       {"sessions_per_second_parallel", total_sessions / parallel_s},
+       {"results_identical", identical ? 1.0 : 0.0}});
+}
+
+void print_all() {
+  print_campaign();
+  bench_parallel_campaign();
 }
 
 void bm_campaign(benchmark::State& state) {
@@ -142,4 +229,4 @@ BENCHMARK(bm_steady_state_robust);
 
 }  // namespace
 
-UPA_BENCH_MAIN(print_campaign)
+UPA_BENCH_MAIN(print_all)

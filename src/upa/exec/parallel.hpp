@@ -1,0 +1,43 @@
+#pragma once
+// Convenience front-ends over ThreadPool for the embarrassingly-parallel
+// shapes this codebase actually runs: design-point sweeps (the Fig. 11-13
+// grids), replication fan-out, and campaign plans. Results always come
+// back in input order, so a sweep is a drop-in replacement for the serial
+// loop it displaces -- same values, same order, any thread count.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "upa/exec/thread_pool.hpp"
+
+namespace upa::exec {
+
+/// Evaluates `eval(point)` for every design point and returns the results
+/// in input order. `threads` as for ThreadPool (0 = hardware concurrency,
+/// 1 = serial inline loop). Evaluators must be independent: they may not
+/// share mutable state, and exceptions surface as in ThreadPool
+/// (smallest failing index first).
+template <typename Point, typename Fn>
+[[nodiscard]] auto parallel_sweep(const std::vector<Point>& points, Fn&& eval,
+                                  std::size_t threads = 0)
+    -> std::vector<decltype(eval(points.front()))> {
+  using Result = decltype(eval(points.front()));
+  if (points.empty()) return {};
+  // Never spawn more workers than there are design points.
+  ThreadPool pool(std::min(resolve_threads(threads), points.size()));
+  return pool.parallel_map<Result>(
+      points.size(), [&](std::size_t i) { return eval(points[i]); });
+}
+
+/// parallel_sweep against an existing pool (no per-call thread spawn).
+template <typename Point, typename Fn>
+[[nodiscard]] auto parallel_sweep(ThreadPool& pool,
+                                  const std::vector<Point>& points, Fn&& eval)
+    -> std::vector<decltype(eval(points.front()))> {
+  using Result = decltype(eval(points.front()));
+  return pool.parallel_map<Result>(
+      points.size(), [&](std::size_t i) { return eval(points[i]); });
+}
+
+}  // namespace upa::exec

@@ -1,0 +1,131 @@
+#include "upa/exec/thread_pool.hpp"
+
+#include <exception>
+
+#include "upa/common/error.hpp"
+
+namespace upa::exec {
+namespace {
+
+/// The pool a thread is currently executing a parallel_for body for;
+/// used to reject nested submission to the same pool (which would
+/// deadlock a fixed-size pool once all workers wait on the inner join).
+thread_local const ThreadPool* g_current_pool = nullptr;
+
+class PoolScope {
+ public:
+  explicit PoolScope(const ThreadPool* pool) noexcept
+      : previous_(g_current_pool) {
+    g_current_pool = pool;
+  }
+  ~PoolScope() { g_current_pool = previous_; }
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  const ThreadPool* previous_;
+};
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t width = resolve_threads(threads);
+  workers_.reserve(width - 1);
+  for (std::size_t i = 0; i + 1 < width; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const PoolScope scope(this);
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  UPA_REQUIRE(g_current_pool != this,
+              "nested parallel_for on the same ThreadPool would deadlock; "
+              "use a separate pool or run the inner level serially");
+
+  if (workers_.empty() || n == 1) {
+    // Serial path: a plain inline loop, no queue handshake.
+    const PoolScope scope(this);
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Join state lives on this frame; every task's epilogue runs under
+  // `done_mutex`, so once `pending` hits zero no task touches it again
+  // and the frame may safely unwind.
+  std::mutex done_mutex;
+  std::condition_variable done;
+  std::size_t pending = n;                        // guarded by done_mutex
+  std::vector<std::exception_ptr> errors(n, nullptr);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      queue_.emplace_back([&, i] {
+        try {
+          body(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        const std::lock_guard<std::mutex> done_lock(done_mutex);
+        if (--pending == 0) done.notify_all();
+      });
+    }
+  }
+  wake_.notify_all();
+
+  // The submitting thread drains the queue alongside the workers.
+  for (;;) {
+    std::function<void()> task;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const PoolScope scope(this);
+    task();
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done.wait(lock, [&pending] { return pending == 0; });
+  }
+
+  // Serial loops surface the error of the earliest failing index first;
+  // reproduce that regardless of which worker hit an error when.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+}  // namespace upa::exec

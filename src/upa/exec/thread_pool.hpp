@@ -1,0 +1,77 @@
+#pragma once
+// Fixed-size thread pool with a fork/join `parallel_for` front-end -- the
+// execution substrate for replication-level parallelism in the end-to-end
+// simulator, plan fan-out in fault-injection campaigns, and design-point
+// sweeps in the bench harnesses.
+//
+// Design rules that keep parallel runs bit-for-bit reproducible:
+//   - the pool never owns work-item state: callers pass an index-addressed
+//     body, write into pre-sized slots, and merge in index order;
+//   - exceptions are captured per index and the one with the SMALLEST
+//     index is rethrown after the join, matching what a serial loop would
+//     have thrown first;
+//   - a pool of size one (or a zero-length loop) degrades to an inline
+//     serial loop on the calling thread -- no worker threads, no locks.
+//
+// `parallel_for` is synchronous: it returns only after every index ran.
+// Re-entering the SAME pool from inside a body would deadlock a
+// fixed-size pool, so it throws ModelError instead (nested-submit
+// rejection); use a separate pool (or serial code) for inner levels.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace upa::exec {
+
+/// Resolves a user-facing `--threads` value: 0 = one worker per hardware
+/// thread (at least 1), anything else is taken literally.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// `threads` as for resolve_threads(); the calling thread participates
+  /// in every parallel_for, so a pool of size N spawns N - 1 workers.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the calling thread), >= 1.
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs body(0) .. body(n - 1), blocking until all of them finished.
+  /// Indices are claimed dynamically, so per-index work may be uneven.
+  /// n == 0 is a no-op. If bodies throw, the exception raised by the
+  /// smallest index is rethrown here after every in-flight body drained.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// parallel_for that collects fn(i) into a vector in index order.
+  /// T must be default-constructible and movable.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;  // guarded by mutex_
+  bool stop_ = false;                        // guarded by mutex_
+};
+
+}  // namespace upa::exec

@@ -1,9 +1,12 @@
 #include "upa/inject/campaign.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "upa/common/csv.hpp"
 #include "upa/common/table.hpp"
+#include "upa/exec/thread_pool.hpp"
 #include "upa/obs/observer.hpp"
 
 namespace upa::inject {
@@ -77,22 +80,56 @@ CampaignResult run_campaign(ta::UserClass uclass,
   obs::Observer* const ob =
       options.obs != nullptr ? options.obs : options.end_to_end.obs;
   ta::EndToEndOptions run_options = options.end_to_end;
-  if (run_options.obs == nullptr) run_options.obs = ob;
+  // Each measurement records into a private observer shard; the parent
+  // observer only ever sees ordered absorbs after the join.
+  run_options.obs = nullptr;
 
+  const std::size_t jobs = plans.size() + 1;  // baseline + every plan
+  const std::size_t width =
+      std::min(exec::resolve_threads(options.threads), jobs);
+  if (width > 1) run_options.threads = 1;  // one parallel level, not two
+
+  // One measurement = one campaign entry plus its observer shard.
+  struct Measurement {
+    CampaignEntry entry;
+    std::unique_ptr<obs::Observer> shard;
+  };
+  exec::ThreadPool pool(width);
+  std::vector<Measurement> measurements = pool.parallel_map<Measurement>(
+      jobs, [&](std::size_t i) {
+        Measurement m;
+        obs::Observer* shard_ob = nullptr;
+        if (ob != nullptr) {
+          m.shard = std::make_unique<obs::Observer>(ob->make_shard());
+          shard_ob = m.shard.get();
+        }
+        ta::EndToEndOptions measured = run_options;
+        measured.obs = shard_ob;
+        m.entry = i == 0 ? measure("baseline", uclass, params, measured,
+                                   FaultPlan{}, shard_ob)
+                         : measure(plans[i - 1].name, uclass, params,
+                                   measured, plans[i - 1].plan, shard_ob);
+        return m;
+      });
+
+  // Re-assemble in input order: baseline first, then every plan; deltas
+  // and the parent observer's tables come out identical at every width.
   CampaignResult result;
-  result.entries.reserve(plans.size() + 1);
-  result.entries.push_back(
-      measure("baseline", uclass, params, run_options, FaultPlan{}, ob));
+  result.entries.reserve(jobs);
   const double baseline_mean =
-      result.entries.front().perceived_availability.mean;
-  for (const CampaignPlan& p : plans) {
-    CampaignEntry entry =
-        measure(p.name, uclass, params, run_options, p.plan, ob);
-    entry.delta_vs_baseline =
-        entry.perceived_availability.mean - baseline_mean;
-    if (ob != nullptr) {
-      ob->metrics.gauge("campaign." + p.name + ".delta_vs_baseline")
-          .set(entry.delta_vs_baseline);
+      measurements.front().entry.perceived_availability.mean;
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    CampaignEntry& entry = measurements[i].entry;
+    if (ob != nullptr && measurements[i].shard != nullptr) {
+      ob->absorb(std::move(*measurements[i].shard));
+    }
+    if (i > 0) {
+      entry.delta_vs_baseline =
+          entry.perceived_availability.mean - baseline_mean;
+      if (ob != nullptr) {
+        ob->metrics.gauge("campaign." + entry.name + ".delta_vs_baseline")
+            .set(entry.delta_vs_baseline);
+      }
     }
     result.entries.push_back(std::move(entry));
   }

@@ -35,6 +35,16 @@ struct CampaignOptions {
   /// `end_to_end.obs`. When only one of the two observer fields is set it
   /// is used for both purposes.
   obs::Observer* obs = nullptr;
+  /// Worker threads for plan-level fan-out: 0 = one per hardware thread,
+  /// 1 = the legacy serial loop. The baseline and all plans are measured
+  /// concurrently, each recording into a private observer shard, and
+  /// entries plus shards are re-assembled in input order after the join
+  /// -- so campaign results are bit-for-bit identical at every setting.
+  /// When the fan-out actually runs parallel (> 1 worker), each inner
+  /// simulate_end_to_end is forced to its serial path so the two
+  /// parallelism levels do not multiply; set threads = 1 here to keep
+  /// replication-level parallelism inside each run instead.
+  std::size_t threads = 0;
 };
 
 /// Measurement of one plan (the baseline entry has an empty plan and a

@@ -1,6 +1,8 @@
 #include "upa/linalg/sparse.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "upa/common/error.hpp"
 
@@ -14,9 +16,20 @@ SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
     UPA_REQUIRE(t.row < rows && t.col < cols,
                 "sparse triplet index out of range");
   }
+  // Sort by (row, col) with the value's bit pattern as the tiebreak.
+  // std::sort is not stable, so without the tiebreak duplicate triplets
+  // would be summed in an unspecified order and the assembled value could
+  // differ between runs by the non-associativity of double addition. The
+  // bit-pattern key gives duplicates one canonical summation order that
+  // depends only on the multiset of triplets -- never on input order --
+  // which is what lets parallel producers emit triplets in any order and
+  // still assemble the identical matrix.
   std::sort(triplets.begin(), triplets.end(),
             [](const Triplet& a, const Triplet& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
+              if (a.row != b.row) return a.row < b.row;
+              if (a.col != b.col) return a.col < b.col;
+              return std::bit_cast<std::uint64_t>(a.value) <
+                     std::bit_cast<std::uint64_t>(b.value);
             });
 
   row_start_.assign(rows_ + 1, 0);
@@ -27,6 +40,9 @@ SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
     double sum = 0.0;
     while (j < triplets.size() && triplets[j].row == triplets[i].row &&
            triplets[j].col == triplets[i].col) {
+      UPA_ASSERT(j == i ||
+                 std::bit_cast<std::uint64_t>(triplets[j - 1].value) <=
+                     std::bit_cast<std::uint64_t>(triplets[j].value));
       sum += triplets[j].value;
       ++j;
     }
@@ -42,13 +58,25 @@ SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
   }
 }
 
+// CSR iteration order (relied on by the multiply kernels and by the
+// deterministic-merge story): rows ascending, and within each row the
+// stored columns strictly ascending -- assembly sorts and dedupes, so
+// values_[row_start_[r] .. row_start_[r+1]) walk row r left to right.
+// Each kernel's inner loop runs over the contiguous slice of col_/values_
+// through raw pointers so the compiler sees the unit-stride access
+// without aliasing the bookkeeping vectors.
+
 Vector SparseMatrix::multiply(const Vector& x) const {
   UPA_REQUIRE(x.size() == cols_, "shape mismatch in sparse multiply");
   Vector y(rows_, 0.0);
+  const std::size_t* const cols = col_.data();
+  const double* const values = values_.data();
+  const double* const xs = x.data();
   for (std::size_t r = 0; r < rows_; ++r) {
     double s = 0.0;
-    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
-      s += values_[k] * x[col_[k]];
+    const std::size_t end = row_start_[r + 1];
+    for (std::size_t k = row_start_[r]; k < end; ++k) {
+      s += values[k] * xs[cols[k]];
     }
     y[r] = s;
   }
@@ -58,11 +86,15 @@ Vector SparseMatrix::multiply(const Vector& x) const {
 Vector SparseMatrix::left_multiply(const Vector& x) const {
   UPA_REQUIRE(x.size() == rows_, "shape mismatch in sparse left_multiply");
   Vector y(cols_, 0.0);
+  const std::size_t* const cols = col_.data();
+  const double* const values = values_.data();
+  double* const ys = y.data();
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;
-    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
-      y[col_[k]] += xr * values_[k];
+    const std::size_t end = row_start_[r + 1];
+    for (std::size_t k = row_start_[r]; k < end; ++k) {
+      ys[cols[k]] += xr * values[k];
     }
   }
   return y;

@@ -17,7 +17,12 @@ struct Triplet {
   double value = 0.0;
 };
 
-/// Immutable CSR matrix. Duplicate triplets are summed during assembly.
+/// Immutable CSR matrix. Duplicate triplets are summed during assembly
+/// in a canonical order (sorted by the value's bit pattern), so the
+/// assembled matrix -- including the last ULPs of summed duplicates --
+/// depends only on the multiset of triplets, never on their input
+/// order. Storage walks rows ascending, columns ascending within each
+/// row; the multiply kernels iterate in exactly that order.
 class SparseMatrix {
  public:
   SparseMatrix(std::size_t rows, std::size_t cols,

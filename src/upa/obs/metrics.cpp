@@ -30,6 +30,20 @@ void Histogram::record(double value) noexcept {
   sum_ += value;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  UPA_REQUIRE(bounds_ == other.bounds_,
+              "cannot merge histograms with different bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<double> geometric_buckets(double first, double ratio,
                                       std::size_t count) {
   UPA_REQUIRE(std::isfinite(first) && first > 0.0,
@@ -67,6 +81,19 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   UPA_REQUIRE(it->second.upper_bounds() == upper_bounds,
               "histogram " + name + " re-registered with different buckets");
   return it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& shard) {
+  for (const auto& [name, shard_counter] : shard.counters()) {
+    counter(name).add(shard_counter.value());
+  }
+  for (const auto& [name, shard_gauge] : shard.gauges()) {
+    gauge(name).set(shard_gauge.value());
+  }
+  for (const auto& [name, shard_histogram] : shard.histograms()) {
+    histogram(name, shard_histogram.upper_bounds())
+        .merge_from(shard_histogram);
+  }
 }
 
 void MetricsRegistry::clear() {

@@ -50,6 +50,13 @@ class Histogram {
 
   void record(double value) noexcept;
 
+  /// Adds another histogram's buckets, count, sum, and min/max into this
+  /// one. Throws ModelError on mismatched bounds. Bucket counts and the
+  /// total count merge exactly (integers); `sum` adds the other's partial
+  /// sum, so merging worker shards in a fixed order yields the same
+  /// double at every thread count.
+  void merge_from(const Histogram& other);
+
   [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
     return bounds_;
   }
@@ -108,6 +115,12 @@ class MetricsRegistry {
   [[nodiscard]] bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
+
+  /// Deterministic merge of one parallel worker's shard registry:
+  /// counters add, gauges take the shard's value (so absorbing shards in
+  /// a fixed order reproduces serial last-write-wins), histograms merge
+  /// per merge_from. Instruments absent here are created on the fly.
+  void merge_from(const MetricsRegistry& shard);
 
   void clear();
 

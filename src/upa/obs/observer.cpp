@@ -1,8 +1,22 @@
 #include "upa/obs/observer.hpp"
 
+#include <utility>
+
 #include "upa/common/error.hpp"
 
 namespace upa::obs {
+
+Observer Observer::make_shard() const {
+  Observer shard;
+  shard.trace_level = trace_level;
+  shard.tracer = tracer.make_shard();
+  return shard;
+}
+
+void Observer::absorb(Observer&& shard) {
+  metrics.merge_from(shard.metrics);
+  tracer.absorb(std::move(shard.tracer));
+}
 
 std::string trace_level_name(TraceLevel level) {
   switch (level) {

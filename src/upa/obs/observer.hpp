@@ -38,6 +38,19 @@ struct Observer {
   [[nodiscard]] bool wants(TraceLevel needed) const noexcept {
     return static_cast<int>(trace_level) >= static_cast<int>(needed);
   }
+
+  /// A fresh observer for one parallel worker: same trace level, same
+  /// span cap, same wall epoch, empty tables. Workers record into their
+  /// shard without synchronization; the parent absorbs the shards back
+  /// in a fixed order (replication index, campaign-plan index), which
+  /// makes the merged tables identical at every thread count -- and
+  /// identical to a serial run.
+  [[nodiscard]] Observer make_shard() const;
+
+  /// Folds one shard back in: counters and histograms add, gauges take
+  /// the shard's last write, spans are renumbered and appended in call
+  /// order with capacity and dropped-span accounting preserved.
+  void absorb(Observer&& shard);
 };
 
 }  // namespace upa::obs

@@ -101,6 +101,35 @@ double Tracer::wall_now() const {
       .count();
 }
 
+Tracer Tracer::make_shard() const {
+  Tracer shard(max_spans_);
+  shard.epoch_ = epoch_;
+  return shard;
+}
+
+void Tracer::absorb(Tracer&& shard) {
+  dropped_ += shard.dropped_;
+  std::unordered_map<SpanId, SpanId> remap;
+  remap.reserve(shard.spans_.size());
+  for (Span& span : shard.spans_) {
+    // Capacity only ever fills, so once one span is trimmed every later
+    // one is too -- children of a trimmed parent can never be admitted,
+    // exactly as with direct begin() calls after the cap.
+    if (spans_.size() >= max_spans_) {
+      ++dropped_;
+      continue;
+    }
+    const SpanId id = next_id_++;
+    remap.emplace(span.id, id);
+    span.id = id;
+    const auto parent = remap.find(span.parent);
+    span.parent = parent == remap.end() ? 0 : parent->second;
+    index_.emplace(id, spans_.size());
+    spans_.push_back(std::move(span));
+  }
+  shard.clear();
+}
+
 void Tracer::clear() {
   spans_.clear();
   index_.clear();

@@ -92,6 +92,20 @@ class Tracer {
   /// Seconds since the tracer was constructed (the wall-domain clock).
   [[nodiscard]] double wall_now() const;
 
+  /// An empty tracer with this tracer's span cap AND wall epoch, for one
+  /// parallel worker. Wall-domain spans recorded in the shard line up on
+  /// this tracer's timeline when the shard is absorbed back.
+  [[nodiscard]] Tracer make_shard() const;
+
+  /// Deterministic merge of a worker shard: shard spans are renumbered
+  /// and appended in their original begin() order, parent links remapped,
+  /// and capacity accounting behaves exactly as if the shard's begin()
+  /// calls had been issued on this tracer directly -- spans past the cap
+  /// are counted as dropped, and the shard's own dropped count carries
+  /// over. Absorbing shards in a fixed order (replication index, plan
+  /// index) therefore reproduces the serial span table bit for bit.
+  void absorb(Tracer&& shard);
+
   void clear();
 
  private:

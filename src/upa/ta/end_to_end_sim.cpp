@@ -1,11 +1,14 @@
 #include "upa/ta/end_to_end_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "upa/common/error.hpp"
 #include "upa/core/web_farm.hpp"
+#include "upa/exec/thread_pool.hpp"
 #include "upa/obs/observer.hpp"
 #include "upa/queueing/mmck.hpp"
 #include "upa/queueing/response_time.hpp"
@@ -92,14 +95,16 @@ struct SessionDraws {
 
 class FunctionEvaluator {
  public:
+  /// `ob` is the observer to record into -- for parallel runs, the
+  /// calling replication's private shard, never the shared parent.
   FunctionEvaluator(const World& world, const TaParameters& p,
-                    const EndToEndOptions& o)
+                    const EndToEndOptions& o, obs::Observer* ob)
       : world_(world), p_(p), faults_(o.faults) {
-    if (o.obs != nullptr) {
-      if (o.obs->wants(obs::TraceLevel::kService)) {
-        tracer_ = &o.obs->tracer;
+    if (ob != nullptr) {
+      if (ob->wants(obs::TraceLevel::kService)) {
+        tracer_ = &ob->tracer;
       }
-      deadline_misses_ = &o.obs->metrics.counter("ta.deadline_misses");
+      deadline_misses_ = &ob->metrics.counter("ta.deadline_misses");
     }
     // 1 - p_K(i) per operational-server count, and -- when a response
     // deadline is set -- P(T > deadline | served) per server count.
@@ -223,6 +228,35 @@ class FunctionEvaluator {
   std::vector<double> slow_;  // P(T > deadline | served), per server count
 };
 
+/// Everything one replication produces, accumulated privately by its
+/// worker and merged in replication order after the join. Keeping the
+/// partial sums per replication -- at EVERY thread count, including the
+/// serial path -- pins one floating-point summation tree, which is what
+/// makes results independent of how replications were scheduled.
+struct RepOutcome {
+  double availability = 0.0;
+  double web_occupancy = 0.0;
+  double duration_sum = 0.0;
+  std::uint64_t duration_count = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t abandoned = 0;
+  /// Per-replication observer shard (null when no observer is attached).
+  std::unique_ptr<obs::Observer> shard;
+};
+
+/// Counter-based per-replication stream: the RNG for replication `rep` is
+/// the (rep + 1)-th split of a fresh master seeded with `seed` -- a pure
+/// function of (seed, rep) that any worker derives without shared state,
+/// and exactly the stream the legacy serial `master.split()` loop handed
+/// replication `rep`, so parallel runs replay the serial draw sequence
+/// bit for bit.
+Xoshiro256 replication_stream(std::uint64_t seed, std::size_t rep) {
+  Xoshiro256 master(seed);
+  Xoshiro256 stream = master.split();
+  for (std::size_t i = 0; i < rep; ++i) stream = master.split();
+  return stream;
+}
+
 }  // namespace
 
 void EndToEndOptions::validate() const {
@@ -256,41 +290,13 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
   const bool deadline_on = retry.response_timeout_seconds > 0.0;
   const double timeout_hours = retry.response_timeout_seconds / 3600.0;
 
-  // Observability (all null when no observer is attached; the hooks then
-  // cost one pointer test each and the run is draw-for-draw identical).
-  obs::Observer* const ob = options.obs;
-  obs::Tracer* const tracer = ob != nullptr ? &ob->tracer : nullptr;
+  obs::Observer* const parent_obs = options.obs;
   const bool trace_sessions =
-      ob != nullptr && ob->wants(obs::TraceLevel::kSession);
-  const bool trace_invocations =
-      ob != nullptr && ob->wants(obs::TraceLevel::kInvocation);
-  obs::Counter* const c_sessions =
-      ob != nullptr ? &ob->metrics.counter("ta.sessions") : nullptr;
-  obs::Counter* const c_failed =
-      ob != nullptr ? &ob->metrics.counter("ta.sessions_failed") : nullptr;
-  obs::Counter* const c_abandoned =
-      ob != nullptr ? &ob->metrics.counter("ta.sessions_abandoned") : nullptr;
-  obs::Counter* const c_truncated =
-      ob != nullptr ? &ob->metrics.counter("ta.sessions_truncated") : nullptr;
-  obs::Counter* const c_invocations =
-      ob != nullptr ? &ob->metrics.counter("ta.invocations") : nullptr;
-  obs::Counter* const c_invocations_failed =
-      ob != nullptr ? &ob->metrics.counter("ta.invocations_failed") : nullptr;
-  obs::Counter* const c_retries =
-      ob != nullptr ? &ob->metrics.counter("ta.retries") : nullptr;
-  obs::Histogram* const h_duration =
-      ob != nullptr ? &ob->metrics.histogram(
-                          "ta.session_duration_hours",
-                          obs::geometric_buckets(1e-3, 10.0, 8))
-                    : nullptr;
-  obs::Histogram* const h_attempts =
-      ob != nullptr ? &ob->metrics.histogram(
-                          "ta.invocation_attempts",
-                          obs::geometric_buckets(1.0, 2.0, 6))
-                    : nullptr;
+      parent_obs != nullptr && parent_obs->wants(obs::TraceLevel::kSession);
   const std::string class_name = user_class_name(uclass);
   // Merged outage windows of every target, for the per-session
-  // outage-overlap attribute (computed once; merged_windows allocates).
+  // outage-overlap attribute (computed once, shared read-only across
+  // replication workers; merged_windows allocates).
   std::vector<std::pair<double, double>> outage_windows;
   if (trace_sessions && !options.faults.empty()) {
     for (FaultTarget target : inject::kAllFaultTargets) {
@@ -300,18 +306,51 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
     }
   }
 
-  Xoshiro256 master(options.seed);
-  std::vector<double> replication_availability;
-  double web_occupancy_sum = 0.0;
-  double duration_sum = 0.0;
-  std::uint64_t duration_count = 0;
-  std::uint64_t retries_total = 0;
-  std::uint64_t abandoned_total = 0;
+  // One replication, self-contained: private RNG stream derived from
+  // (seed, rep), private accumulators, private observer shard. Workers
+  // share only read-only inputs, so replications may run on any thread
+  // in any order without changing a single bit of the merged result.
+  const auto run_replication = [&](std::size_t rep) -> RepOutcome {
+    RepOutcome out;
+    obs::Observer* ob = nullptr;
+    if (parent_obs != nullptr) {
+      out.shard = std::make_unique<obs::Observer>(parent_obs->make_shard());
+      ob = out.shard.get();
+    }
+    obs::Tracer* const tracer = ob != nullptr ? &ob->tracer : nullptr;
+    const bool trace_invocations =
+        ob != nullptr && ob->wants(obs::TraceLevel::kInvocation);
+    obs::Counter* const c_sessions =
+        ob != nullptr ? &ob->metrics.counter("ta.sessions") : nullptr;
+    obs::Counter* const c_failed =
+        ob != nullptr ? &ob->metrics.counter("ta.sessions_failed") : nullptr;
+    obs::Counter* const c_abandoned =
+        ob != nullptr ? &ob->metrics.counter("ta.sessions_abandoned")
+                      : nullptr;
+    obs::Counter* const c_truncated =
+        ob != nullptr ? &ob->metrics.counter("ta.sessions_truncated")
+                      : nullptr;
+    obs::Counter* const c_invocations =
+        ob != nullptr ? &ob->metrics.counter("ta.invocations") : nullptr;
+    obs::Counter* const c_invocations_failed =
+        ob != nullptr ? &ob->metrics.counter("ta.invocations_failed")
+                      : nullptr;
+    obs::Counter* const c_retries =
+        ob != nullptr ? &ob->metrics.counter("ta.retries") : nullptr;
+    obs::Histogram* const h_duration =
+        ob != nullptr ? &ob->metrics.histogram(
+                            "ta.session_duration_hours",
+                            obs::geometric_buckets(1e-3, 10.0, 8))
+                      : nullptr;
+    obs::Histogram* const h_attempts =
+        ob != nullptr ? &ob->metrics.histogram(
+                            "ta.invocation_attempts",
+                            obs::geometric_buckets(1.0, 2.0, 6))
+                      : nullptr;
 
-  for (std::size_t rep = 0; rep < options.replications; ++rep) {
-    Xoshiro256 rng = master.split();
+    Xoshiro256 rng = replication_stream(options.seed, rep);
     const World world = sample_world(params, options, rng);
-    const FunctionEvaluator evaluator(world, params, options);
+    const FunctionEvaluator evaluator(world, params, options, ob);
 
     // Diagnostic: time-average web-service "serving probability", with
     // scripted web-farm outage windows integrated out exactly.
@@ -332,7 +371,7 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
           }
         }
       }
-      web_occupancy_sum += weighted;
+      out.web_occupancy = weighted;
     }
 
     std::uint64_t successes = 0;
@@ -413,7 +452,7 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
             }
             draws.web = rng.uniform01();
             ++attempt;
-            ++retries_total;
+            ++out.retries;
             if (c_retries != nullptr) c_retries->add();
             success =
                 evaluator.evaluate(f, t, draws,
@@ -443,12 +482,12 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
         c_failed->add();
       }
       if (abandoned) {
-        ++abandoned_total;
+        ++out.abandoned;
         if (c_abandoned != nullptr) c_abandoned->add();
       }
       if (truncated && c_truncated != nullptr) c_truncated->add();
-      duration_sum += t - start;
-      ++duration_count;
+      out.duration_sum += t - start;
+      ++out.duration_count;
       if (h_duration != nullptr) h_duration->record(t - start);
       if (session_span != 0) {
         tracer->end(session_span, std::min(t, options.horizon_hours));
@@ -464,9 +503,35 @@ EndToEndResult simulate_end_to_end(UserClass uclass,
         tracer->attr(session_span, "outage_overlap", overlap ? 1.0 : 0.0);
       }
     }
-    replication_availability.push_back(
-        static_cast<double>(successes) /
-        static_cast<double>(options.sessions_per_replication));
+    out.availability = static_cast<double>(successes) /
+                       static_cast<double>(options.sessions_per_replication);
+    return out;
+  };
+
+  // Fan the replications out (threads = 1 degrades to an inline serial
+  // loop inside the pool), then merge the partials in replication order.
+  exec::ThreadPool pool(
+      std::min(exec::resolve_threads(options.threads), options.replications));
+  std::vector<RepOutcome> outcomes =
+      pool.parallel_map<RepOutcome>(options.replications, run_replication);
+
+  std::vector<double> replication_availability;
+  replication_availability.reserve(outcomes.size());
+  double web_occupancy_sum = 0.0;
+  double duration_sum = 0.0;
+  std::uint64_t duration_count = 0;
+  std::uint64_t retries_total = 0;
+  std::uint64_t abandoned_total = 0;
+  for (RepOutcome& out : outcomes) {
+    replication_availability.push_back(out.availability);
+    web_occupancy_sum += out.web_occupancy;
+    duration_sum += out.duration_sum;
+    duration_count += out.duration_count;
+    retries_total += out.retries;
+    abandoned_total += out.abandoned;
+    if (parent_obs != nullptr && out.shard != nullptr) {
+      parent_obs->absorb(std::move(*out.shard));
+    }
   }
 
   const double total_sessions =

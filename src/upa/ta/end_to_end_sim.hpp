@@ -46,6 +46,14 @@ struct EndToEndOptions {
   std::size_t replications = 6;
   std::uint64_t seed = 42;
   double confidence_level = 0.95;
+  /// Worker threads for replication-level parallelism: 0 = one per
+  /// hardware thread, 1 = the legacy serial path (no pool), N = a fixed
+  /// pool of N (capped at the replication count). Results are bit-for-bit
+  /// identical at every setting: each replication derives its RNG stream
+  /// from (seed, replication index) alone, accumulates into private
+  /// partial sums, and the partials -- including per-replication observer
+  /// shards -- are merged in replication order after the join.
+  std::size_t threads = 0;
   /// Scripted outage windows overlaid on the sampled trajectories.
   inject::FaultPlan faults;
   /// User retry / timeout / abandonment behavior.

@@ -1,0 +1,315 @@
+// Tests for the parallel execution layer: ThreadPool semantics (join,
+// exception order, nested-submit rejection) and the bit-for-bit
+// determinism contract -- the end-to-end simulator and fault-injection
+// campaigns must produce byte-identical results (including observer
+// metric and span tables) at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "upa/common/error.hpp"
+#include "upa/exec/parallel.hpp"
+#include "upa/exec/thread_pool.hpp"
+#include "upa/inject/campaign.hpp"
+#include "upa/inject/injectors.hpp"
+#include "upa/obs/observer.hpp"
+#include "upa/ta/end_to_end_sim.hpp"
+#include "upa/ta/params.hpp"
+
+namespace {
+
+namespace ex = upa::exec;
+namespace ut = upa::ta;
+namespace inj = upa::inject;
+namespace obs = upa::obs;
+using upa::common::ModelError;
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ex::resolve_threads(0), 1u);
+  EXPECT_EQ(ex::resolve_threads(1), 1u);
+  EXPECT_EQ(ex::resolve_threads(7), 7u);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ex::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{8}}) {
+    ex::ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ex::ThreadPool pool(4);
+  const std::vector<int> out = pool.parallel_map<int>(
+      257, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossCalls) {
+  ex::ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(40, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 40 * 39 / 2);
+  }
+}
+
+TEST(ThreadPool, RethrowsTheSmallestFailingIndex) {
+  // Both indices throw; a serial loop would have thrown index 3 first,
+  // so the parallel join must surface that one regardless of timing.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    ex::ThreadPool pool(4);
+    try {
+      pool.parallel_for(16, [](std::size_t i) {
+        if (i == 3) throw std::runtime_error("index 3");
+        if (i == 11) throw std::runtime_error("index 11");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 3");
+    }
+  }
+}
+
+TEST(ThreadPool, NestedSubmitOnTheSamePoolIsRejected) {
+  ex::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(
+                                       2, [](std::size_t) {});
+                                 }),
+               ModelError);
+  // The pool survives the rejection and still runs work.
+  std::atomic<int> calls{0};
+  pool.parallel_for(4, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ThreadPool, DistinctPoolsMayNest) {
+  ex::ThreadPool outer(2);
+  std::atomic<int> calls{0};
+  outer.parallel_for(2, [&](std::size_t) {
+    ex::ThreadPool inner(1);
+    inner.parallel_for(3, [&](std::size_t) { calls.fetch_add(1); });
+  });
+  EXPECT_EQ(calls.load(), 6);
+}
+
+TEST(ParallelSweep, ReturnsResultsInInputOrder) {
+  std::vector<int> points;
+  for (int i = 0; i < 100; ++i) points.push_back(i);
+  const std::vector<double> out = ex::parallel_sweep(
+      points, [](int p) { return 0.5 * p; }, 4);
+  ASSERT_EQ(out.size(), points.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 0.5 * static_cast<double>(i));
+  }
+}
+
+TEST(ParallelSweep, EmptyInputYieldsEmptyOutput) {
+  const std::vector<int> points;
+  EXPECT_TRUE(ex::parallel_sweep(points, [](int) { return 1; }).empty());
+}
+
+TEST(ParallelSweep, ExistingPoolOverloadMatches) {
+  ex::ThreadPool pool(3);
+  std::vector<int> points{5, 6, 7, 8};
+  const auto out =
+      ex::parallel_sweep(pool, points, [](int p) { return p * 10; });
+  EXPECT_EQ(out, (std::vector<int>{50, 60, 70, 80}));
+}
+
+// ---------------------------------------------------------------------
+// Determinism matrix: the same configuration at threads 1 / 2 / 8 must
+// produce EXACTLY equal results -- EXPECT_EQ on doubles on purpose.
+// ---------------------------------------------------------------------
+
+ut::EndToEndOptions small_run() {
+  ut::EndToEndOptions options;
+  options.horizon_hours = 2000.0;
+  options.think_time_hours = 0.02;
+  options.sessions_per_replication = 1500;
+  options.replications = 5;
+  options.seed = 20260806;
+  options.retry.max_retries = 2;
+  options.retry.backoff_base_hours = 0.05;
+  options.retry.response_timeout_seconds = 0.5;
+  return options;
+}
+
+void expect_identical_metrics(const obs::MetricsRegistry& a,
+                              const obs::MetricsRegistry& b,
+                              bool skip_wall_clock) {
+  ASSERT_EQ(a.counters().size(), b.counters().size());
+  for (auto ia = a.counters().begin(), ib = b.counters().begin();
+       ia != a.counters().end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second.value(), ib->second.value()) << ia->first;
+  }
+  ASSERT_EQ(a.gauges().size(), b.gauges().size());
+  for (auto ia = a.gauges().begin(), ib = b.gauges().begin();
+       ia != a.gauges().end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    if (skip_wall_clock && ia->first.find("wall") != std::string::npos)
+      continue;
+    EXPECT_EQ(ia->second.value(), ib->second.value()) << ia->first;
+  }
+  ASSERT_EQ(a.histograms().size(), b.histograms().size());
+  for (auto ia = a.histograms().begin(), ib = b.histograms().begin();
+       ia != a.histograms().end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    if (skip_wall_clock && ia->first.find("wall") != std::string::npos)
+      continue;
+    EXPECT_EQ(ia->second.bucket_counts(), ib->second.bucket_counts())
+        << ia->first;
+    EXPECT_EQ(ia->second.count(), ib->second.count()) << ia->first;
+    EXPECT_EQ(ia->second.sum(), ib->second.sum()) << ia->first;
+  }
+}
+
+void expect_identical_model_spans(const obs::Tracer& a,
+                                  const obs::Tracer& b) {
+  ASSERT_EQ(a.spans().size(), b.spans().size());
+  EXPECT_EQ(a.dropped(), b.dropped());
+  for (std::size_t i = 0; i < a.spans().size(); ++i) {
+    const obs::Span& sa = a.spans()[i];
+    const obs::Span& sb = b.spans()[i];
+    EXPECT_EQ(sa.id, sb.id);
+    EXPECT_EQ(sa.parent, sb.parent);
+    EXPECT_EQ(sa.name, sb.name);
+    EXPECT_EQ(sa.level, sb.level);
+    EXPECT_EQ(sa.domain, sb.domain);
+    // Wall-domain spans (campaign plans) measure real time -- their
+    // stamps are honest, not reproducible; everything model-domain is.
+    if (sa.domain == obs::TimeDomain::kModelHours) {
+      EXPECT_EQ(sa.start, sb.start);
+      EXPECT_EQ(sa.end, sb.end);
+    }
+  }
+}
+
+TEST(Determinism, EndToEndIsBitForBitAcrossThreadCounts) {
+  const auto params = ut::TaParameters::paper_defaults();
+  ut::EndToEndOptions options = small_run();
+
+  options.threads = 1;
+  obs::Observer ob1;
+  ob1.trace_level = obs::TraceLevel::kInvocation;
+  options.obs = &ob1;
+  const auto serial = ut::simulate_end_to_end(ut::UserClass::kB, params,
+                                              options);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    obs::Observer obn;
+    obn.trace_level = obs::TraceLevel::kInvocation;
+    options.obs = &obn;
+    const auto parallel = ut::simulate_end_to_end(ut::UserClass::kB, params,
+                                                  options);
+    EXPECT_EQ(serial.perceived_availability.mean,
+              parallel.perceived_availability.mean);
+    EXPECT_EQ(serial.perceived_availability.half_width,
+              parallel.perceived_availability.half_width);
+    EXPECT_EQ(serial.observed_web_service_availability,
+              parallel.observed_web_service_availability);
+    EXPECT_EQ(serial.mean_session_duration_hours,
+              parallel.mean_session_duration_hours);
+    EXPECT_EQ(serial.mean_retries_per_session,
+              parallel.mean_retries_per_session);
+    EXPECT_EQ(serial.abandonment_fraction, parallel.abandonment_fraction);
+    expect_identical_metrics(ob1.metrics, obn.metrics,
+                             /*skip_wall_clock=*/false);
+    expect_identical_model_spans(ob1.tracer, obn.tracer);
+  }
+}
+
+TEST(Determinism, CampaignIsBitForBitAcrossThreadCounts) {
+  const auto params = ut::TaParameters::paper_defaults();
+  std::vector<inj::CampaignPlan> plans;
+  plans.push_back({"web outage",
+                   inj::scripted_outage(inj::FaultTarget::kWebFarm, 200.0,
+                                        24.0, 2000.0)});
+  plans.push_back({"payment outage",
+                   inj::scripted_outage(inj::FaultTarget::kPayment, 900.0,
+                                        80.0, 2000.0)});
+
+  inj::CampaignOptions options;
+  options.end_to_end = small_run();
+  options.end_to_end.sessions_per_replication = 800;
+
+  options.threads = 1;
+  options.end_to_end.threads = 1;
+  obs::Observer ob1;
+  options.obs = &ob1;
+  const auto serial =
+      inj::run_campaign(ut::UserClass::kB, params, options, plans);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    options.end_to_end.threads = threads;
+    obs::Observer obn;
+    options.obs = &obn;
+    const auto parallel =
+        inj::run_campaign(ut::UserClass::kB, params, options, plans);
+    ASSERT_EQ(serial.entries.size(), parallel.entries.size());
+    for (std::size_t i = 0; i < serial.entries.size(); ++i) {
+      EXPECT_EQ(serial.entries[i].name, parallel.entries[i].name);
+      EXPECT_EQ(serial.entries[i].perceived_availability.mean,
+                parallel.entries[i].perceived_availability.mean);
+      EXPECT_EQ(serial.entries[i].perceived_availability.half_width,
+                parallel.entries[i].perceived_availability.half_width);
+      EXPECT_EQ(serial.entries[i].delta_vs_baseline,
+                parallel.entries[i].delta_vs_baseline);
+      EXPECT_EQ(serial.entries[i].observed_web_service_availability,
+                parallel.entries[i].observed_web_service_availability);
+      EXPECT_EQ(serial.entries[i].mean_retries_per_session,
+                parallel.entries[i].mean_retries_per_session);
+      EXPECT_EQ(serial.entries[i].abandonment_fraction,
+                parallel.entries[i].abandonment_fraction);
+    }
+    // Wall-clock instruments (plan timing spans and gauges) are honest
+    // real-time measurements; every model-domain table must match.
+    expect_identical_metrics(ob1.metrics, obn.metrics,
+                             /*skip_wall_clock=*/true);
+    expect_identical_model_spans(ob1.tracer, obn.tracer);
+  }
+}
+
+TEST(Determinism, ObserverShardingLeavesDisabledRunsUntouched) {
+  // No observer attached: the parallel path must produce the same result
+  // as the observed runs' availability (instrumentation records, never
+  // perturbs) at any thread count.
+  const auto params = ut::TaParameters::paper_defaults();
+  ut::EndToEndOptions options = small_run();
+  options.threads = 1;
+  const auto serial = ut::simulate_end_to_end(ut::UserClass::kB, params,
+                                              options);
+  options.threads = 8;
+  const auto parallel = ut::simulate_end_to_end(ut::UserClass::kB, params,
+                                                options);
+  EXPECT_EQ(serial.perceived_availability.mean,
+            parallel.perceived_availability.mean);
+  EXPECT_EQ(serial.mean_session_duration_hours,
+            parallel.mean_session_duration_hours);
+}
+
+}  // namespace

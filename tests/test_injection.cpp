@@ -252,7 +252,11 @@ TEST(EndToEndInject, DisabledExtensionsReproduceSeedBitForBit) {
   EXPECT_DOUBLE_EQ(r2.perceived_availability.mean, 0.96290624999999996);
   EXPECT_DOUBLE_EQ(r2.perceived_availability.half_width,
                    0.0061434351321272649);
-  EXPECT_DOUBLE_EQ(r2.mean_session_duration_hours, 0.10125782121582963);
+  // The duration sum is accumulated per replication and the partials are
+  // merged in replication order (the parallel execution layer's fixed
+  // summation tree), which moved this pin by a few ULPs relative to the
+  // original single-accumulator loop.
+  EXPECT_DOUBLE_EQ(r2.mean_session_duration_hours, 0.10125782121582998);
 }
 
 TEST(EndToEndInject, WebFarmOutageRemovesItsShareOfTheHorizon) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "upa/common/error.hpp"
 #include "upa/linalg/iterative.hpp"
 #include "upa/linalg/lu.hpp"
@@ -147,6 +149,31 @@ TEST(Sparse, MultiplyMatchesDense) {
   const ul::Vector ls = s.left_multiply(x);
   const ul::Vector ld = ul::left_multiply(x, d);
   for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ls[i], ld[i], 1e-14);
+}
+
+TEST(Sparse, DuplicateSummationIsInputOrderIndependent) {
+  // Duplicates of one cell carry values whose sum depends on evaluation
+  // order in the last ULPs (0.1 + 0.2 + 0.3 groupings differ). Assembly
+  // canonicalizes the order by the values' bit patterns, so every
+  // permutation of the triplet list must build the bit-identical matrix.
+  std::vector<ul::Triplet> base{{0, 0, 0.1},  {0, 0, 0.2}, {0, 0, 0.3},
+                                {1, 1, 1e16}, {1, 1, 1.0}, {1, 1, -1e16},
+                                {0, 1, 7.5}};
+  std::vector<ul::Triplet> perm = base;
+  std::sort(perm.begin(), perm.end(),
+            [](const ul::Triplet& a, const ul::Triplet& b) {
+              return a.value < b.value;
+            });
+  std::vector<ul::Triplet> reversed(base.rbegin(), base.rend());
+  const ul::SparseMatrix m1(2, 2, base);
+  const ul::SparseMatrix m2(2, 2, perm);
+  const ul::SparseMatrix m3(2, 2, reversed);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(m1.at(r, c), m2.at(r, c));
+      EXPECT_EQ(m1.at(r, c), m3.at(r, c));
+    }
+  }
 }
 
 TEST(Sparse, RejectsOutOfRangeTriplets) {

@@ -198,6 +198,77 @@ TEST(ObsTrace, ScopedWallSpanRecordsAWallDomainSpan) {
   EXPECT_EQ(span.attributes[0].text, "accepted");
 }
 
+TEST(ObsTrace, AbsorbRenumbersSpansAndRemapsParents) {
+  uo::Tracer parent;
+  (void)parent.begin(uo::SpanLevel::kSession, "existing", 0.0);
+
+  uo::Tracer shard = parent.make_shard();
+  const uo::SpanId root =
+      shard.begin(uo::SpanLevel::kSession, "shard-root", 1.0);
+  const uo::SpanId child = shard.begin(
+      uo::SpanLevel::kFunctionInvocation, "shard-child",
+      1.5, uo::TimeDomain::kModelHours, root);
+  shard.end(child, 2.0);
+  shard.end(root, 3.0);
+
+  parent.absorb(std::move(shard));
+  ASSERT_EQ(parent.spans().size(), 3u);
+  const uo::Span& absorbed_root = parent.spans()[1];
+  const uo::Span& absorbed_child = parent.spans()[2];
+  EXPECT_EQ(absorbed_root.name, "shard-root");
+  EXPECT_EQ(absorbed_root.parent, 0u);
+  EXPECT_EQ(absorbed_child.parent, absorbed_root.id);
+  EXPECT_DOUBLE_EQ(absorbed_child.start, 1.5);
+  EXPECT_DOUBLE_EQ(absorbed_child.end, 2.0);
+  // Ids keep ascending past the parent's own spans.
+  EXPECT_GT(absorbed_root.id, parent.spans()[0].id);
+  EXPECT_GT(absorbed_child.id, absorbed_root.id);
+}
+
+TEST(ObsTrace, AbsorbHonorsTheCapAndCarriesDropCounts) {
+  uo::Tracer parent(2);
+  (void)parent.begin(uo::SpanLevel::kSession, "kept", 0.0);
+
+  uo::Tracer shard = parent.make_shard();
+  EXPECT_EQ(shard.max_spans(), 2u);
+  for (int i = 0; i < 3; ++i) {
+    (void)shard.begin(uo::SpanLevel::kSession, "s", double(i));
+  }
+  EXPECT_EQ(shard.dropped(), 1u);  // shard hit its own cap once
+
+  parent.absorb(std::move(shard));
+  // One shard span fits, one is trimmed at the cap, plus the shard's own
+  // drop: exactly what a serial tracer would have counted.
+  EXPECT_EQ(parent.spans().size(), 2u);
+  EXPECT_EQ(parent.dropped(), 2u);
+}
+
+TEST(ObsMetrics, RegistryMergeAddsCountersAndMergesHistograms) {
+  uo::MetricsRegistry parent;
+  parent.counter("events").add(5);
+  parent.gauge("depth").set(1.0);
+  parent.histogram("lat", {1.0, 2.0}).record(0.5);
+
+  uo::MetricsRegistry shard;
+  shard.counter("events").add(3);
+  shard.counter("fresh").add(1);
+  shard.gauge("depth").set(7.0);
+  shard.histogram("lat", {1.0, 2.0}).record(1.5);
+
+  parent.merge_from(shard);
+  EXPECT_EQ(parent.counters().at("events").value(), 8u);
+  EXPECT_EQ(parent.counters().at("fresh").value(), 1u);
+  EXPECT_DOUBLE_EQ(parent.gauges().at("depth").value(), 7.0);
+  const uo::Histogram& h = parent.histograms().at("lat");
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 0}));
+
+  uo::MetricsRegistry bad;
+  bad.histogram("lat", {5.0, 9.0}).record(1.0);
+  EXPECT_THROW(parent.merge_from(bad), ModelError);
+}
+
 TEST(ObsTrace, LevelNamesAndParsing) {
   EXPECT_EQ(uo::trace_level_name(uo::TraceLevel::kOff), "off");
   EXPECT_EQ(uo::trace_level_name(uo::TraceLevel::kSession), "session");

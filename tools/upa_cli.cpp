@@ -217,6 +217,7 @@ int cmd_inject(const upa::cli::Args& args) {
   options.sessions_per_replication = args.get_size("sessions", 20000);
   options.replications = args.get_size("reps", 4);
   options.seed = args.get_size("seed", 42);
+  options.threads = args.get_size("threads", 0);
   options.retry.max_retries = args.get_size("retries", 0);
   options.retry.backoff_base_hours = args.get_double("backoff", 0.25);
   options.retry.backoff_multiplier = args.get_double("backoff-mult", 2.0);
@@ -235,7 +236,10 @@ int cmd_inject(const upa::cli::Args& args) {
                    inj::scripted_outage(target, start, duration,
                                         options.horizon_hours)});
 
-  const auto campaign = inj::run_campaign(uclass, p, options, plans);
+  inj::CampaignOptions campaign_options;
+  campaign_options.end_to_end = options;
+  campaign_options.threads = options.threads;
+  const auto campaign = inj::run_campaign(uclass, p, campaign_options, plans);
 
   std::cout << "fault-injection campaign, "
             << upa::ta::user_class_name(uclass) << ", R = "
@@ -283,6 +287,7 @@ int cmd_trace(const upa::cli::Args& args) {
   options.sessions_per_replication = args.get_size("sessions", 500);
   options.replications = args.get_size("reps", 2);
   options.seed = args.get_size("seed", 42);
+  options.threads = args.get_size("threads", 0);
   options.retry.max_retries = args.get_size("retries", 2);
   options.retry.backoff_base_hours = args.get_double("backoff", 0.01);
   options.retry.response_timeout_seconds =
@@ -384,10 +389,12 @@ inject options:
   --retries R        retry attempts          --backoff B       base wait [h]
   --backoff-mult M   backoff growth          --timeout-ms T    response deadline
   --abandon P        per-retry abandonment   --think T         think time [h]
+  --threads N        worker threads (0 = hardware, 1 = serial; results are
+                     bit-for-bit identical at every setting)
   --horizon H  --sessions N  --reps K  --seed S  --csv PATH
 
 trace options (plus --horizon --sessions --reps --seed --think --retries
---backoff --timeout-ms as for inject):
+--backoff --timeout-ms --threads as for inject):
   --trace-level L    off | session | invocation | service (default service)
   --trace-out PATH   Chrome trace-event JSON (chrome://tracing, Perfetto)
   --spans-out PATH   span JSON-lines
