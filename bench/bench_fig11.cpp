@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "upa/cache/eval_cache.hpp"
 #include "upa/core/web_farm.hpp"
 #include "upa/exec/parallel.hpp"
 #include "upa/exec/thread_pool.hpp"
@@ -150,9 +151,79 @@ void bench_parallel_end_to_end() {
        {"results_identical", identical ? 1.0 : 0.0}});
 }
 
+// Re-evaluates the Figure 11 grid kCacheReps times -- exactly the
+// sweep-scale workload the evaluation cache targets (a refinement loop
+// or a dashboard re-render revisits the same design points over and
+// over). Cold = cache off, every pass re-solves each composite CTMC,
+// M/M/i/K loss, and deadline measure; warm = cache on, every pass after
+// the first replays stored results. The contract is bit-for-bit
+// identity, checked element by element; wall seconds, hit rate, and the
+// identity flag go to the BENCH_cache.json artifact.
+void bench_cache_fig11() {
+  constexpr std::size_t kCacheReps = 20;
+  const std::vector<GridPoint> grid = build_grid();
+  constexpr double kDeadlines[] = {0.05, 0.1};  // response deadlines [s]
+  const auto evaluate = [&grid, &kDeadlines] {
+    std::vector<double> out;
+    out.reserve(3 * kCacheReps * grid.size());
+    for (std::size_t rep = 0; rep < kCacheReps; ++rep) {
+      for (const GridPoint& g : grid) {
+        uc::WebFarmParams farm{g.n, g.lambda, 1.0, 1.0, 12.0};
+        uc::WebQueueParams queue{g.alpha, 100.0, 10};
+        out.push_back(uc::web_service_availability_perfect(farm, queue));
+        for (double deadline : kDeadlines) {
+          out.push_back(uc::web_service_availability_perfect_with_deadline(
+              farm, queue, deadline));
+        }
+      }
+    }
+    return out;
+  };
+
+  upa::cache::global().clear();
+  std::vector<double> cold;
+  std::vector<double> warm;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  {
+    upa::cache::ScopedEnable off(false);
+    cold_s = upa::bench::wall_seconds([&] { cold = evaluate(); });
+  }
+  {
+    upa::cache::ScopedEnable on(true);
+    warm_s = upa::bench::wall_seconds([&] { warm = evaluate(); });
+  }
+  const upa::cache::CacheStats stats = upa::cache::global().stats();
+  const bool identical = cold == warm;
+
+  std::cout << "Evaluation-cache timing (" << kCacheReps << "x the "
+            << grid.size() << "-point Figure 11 grid, 3 measures/point):\n"
+            << "  cold wall seconds   : " << cm::fmt(cold_s, 3) << "\n"
+            << "  warm wall seconds   : " << cm::fmt(warm_s, 3) << "\n"
+            << "  speedup             : " << cm::fmt(cold_s / warm_s, 2)
+            << "x\n"
+            << "  hit rate            : "
+            << cm::fmt(100.0 * stats.hit_rate(), 4) << "% of "
+            << stats.lookups() << " lookups\n"
+            << "  results identical   : " << (identical ? "yes" : "NO!")
+            << "\n\n";
+
+  upa::bench::write_bench_json(
+      "BENCH_cache.json", "fig11_grid",
+      {{"reps", double(kCacheReps)},
+       {"grid_points", double(grid.size())},
+       {"cold_wall_seconds", cold_s},
+       {"warm_wall_seconds", warm_s},
+       {"speedup", cold_s / warm_s},
+       {"hit_rate", stats.hit_rate()},
+       {"lookups", double(stats.lookups())},
+       {"results_identical", identical ? 1.0 : 0.0}});
+}
+
 void print_all() {
   print_fig11();
   bench_parallel_end_to_end();
+  bench_cache_fig11();
 }
 
 void bm_fig11_full_grid(benchmark::State& state) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "upa/cache/eval_cache.hpp"
 #include "upa/core/web_farm.hpp"
 #include "upa/exec/parallel.hpp"
 
@@ -92,6 +93,76 @@ void print_fig12() {
                "the exact location depends on lambda and alpha).\n\n";
 }
 
+// The Figure 12 analogue of bench_fig11's cache section: the imperfect-
+// coverage grid (2N_W+1-state chains, coverage-aware deadline measure)
+// re-evaluated kCacheReps times cold vs warm. Results must match bit for
+// bit; numbers land in the shared BENCH_cache.json.
+void bench_cache_fig12() {
+  constexpr std::size_t kCacheReps = 20;
+  const std::vector<GridPoint> grid = build_grid();
+  constexpr double kDeadlines[] = {0.05, 0.1};  // response deadlines [s]
+  const auto evaluate = [&grid, &kDeadlines] {
+    std::vector<double> out;
+    out.reserve(3 * kCacheReps * grid.size());
+    for (std::size_t rep = 0; rep < kCacheReps; ++rep) {
+      for (const GridPoint& g : grid) {
+        uc::WebFarmParams farm{g.n, g.lambda, 1.0, 0.98, 12.0};
+        uc::WebQueueParams queue{g.alpha, 100.0, 10};
+        out.push_back(uc::web_service_availability_imperfect(farm, queue));
+        for (double deadline : kDeadlines) {
+          out.push_back(uc::web_service_availability_imperfect_with_deadline(
+              farm, queue, deadline));
+        }
+      }
+    }
+    return out;
+  };
+
+  upa::cache::global().clear();
+  std::vector<double> cold;
+  std::vector<double> warm;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  {
+    upa::cache::ScopedEnable off(false);
+    cold_s = upa::bench::wall_seconds([&] { cold = evaluate(); });
+  }
+  {
+    upa::cache::ScopedEnable on(true);
+    warm_s = upa::bench::wall_seconds([&] { warm = evaluate(); });
+  }
+  const upa::cache::CacheStats stats = upa::cache::global().stats();
+  const bool identical = cold == warm;
+
+  std::cout << "Evaluation-cache timing (" << kCacheReps << "x the "
+            << grid.size() << "-point Figure 12 grid, 3 measures/point):\n"
+            << "  cold wall seconds   : " << cm::fmt(cold_s, 3) << "\n"
+            << "  warm wall seconds   : " << cm::fmt(warm_s, 3) << "\n"
+            << "  speedup             : " << cm::fmt(cold_s / warm_s, 2)
+            << "x\n"
+            << "  hit rate            : "
+            << cm::fmt(100.0 * stats.hit_rate(), 4) << "% of "
+            << stats.lookups() << " lookups\n"
+            << "  results identical   : " << (identical ? "yes" : "NO!")
+            << "\n\n";
+
+  upa::bench::write_bench_json(
+      "BENCH_cache.json", "fig12_grid",
+      {{"reps", double(kCacheReps)},
+       {"grid_points", double(grid.size())},
+       {"cold_wall_seconds", cold_s},
+       {"warm_wall_seconds", warm_s},
+       {"speedup", cold_s / warm_s},
+       {"hit_rate", stats.hit_rate()},
+       {"lookups", double(stats.lookups())},
+       {"results_identical", identical ? 1.0 : 0.0}});
+}
+
+void print_all() {
+  print_fig12();
+  bench_cache_fig12();
+}
+
 void bm_fig12_full_grid(benchmark::State& state) {
   for (auto _ : state) {
     double acc = 0.0;
@@ -130,4 +201,4 @@ BENCHMARK(bm_imperfect_chain_steady_state)->Arg(4)->Arg(10)->Arg(50);
 
 }  // namespace
 
-UPA_BENCH_MAIN(print_fig12)
+UPA_BENCH_MAIN(print_all)

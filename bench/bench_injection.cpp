@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "bench_util.hpp"
+#include "upa/cache/eval_cache.hpp"
 #include "upa/exec/parallel.hpp"
 #include "upa/exec/thread_pool.hpp"
 #include "upa/inject/campaign.hpp"
@@ -173,9 +174,103 @@ void bench_parallel_campaign() {
        {"results_identical", identical ? 1.0 : 0.0}});
 }
 
+// Repeats one small campaign kCacheReps times cold (cache off, every
+// repeat re-simulates each scenario) vs warm (cache on, repeats after the
+// first replay the stored entries) -- the what-if workflow where an
+// analyst re-runs overlapping scenario sets while iterating. The entries
+// must agree bit for bit; wall seconds, hit rate, and the identity flag
+// go to BENCH_cache.json.
+void bench_cache_campaign() {
+  constexpr std::size_t kCacheReps = 3;
+  const auto p = upa::bench::paper_params(2);
+  std::vector<inj::CampaignPlan> plans;
+  plans.push_back({"web farm down 48 h",
+                   inj::scripted_outage(inj::FaultTarget::kWebFarm, 1000.0,
+                                        48.0, kHorizon)});
+  plans.push_back({"payment down 500 h",
+                   inj::scripted_outage(inj::FaultTarget::kPayment, 9000.0,
+                                        500.0, kHorizon)});
+  inj::CampaignOptions options;
+  options.threads = 1;
+  options.end_to_end.horizon_hours = kHorizon;
+  options.end_to_end.sessions_per_replication = 4000;
+  options.end_to_end.replications = 2;
+  options.end_to_end.seed = 1903;
+  options.end_to_end.threads = 1;
+
+  const auto evaluate = [&] {
+    std::vector<inj::CampaignResult> results;
+    results.reserve(kCacheReps);
+    for (std::size_t rep = 0; rep < kCacheReps; ++rep) {
+      results.push_back(inj::run_campaign(ut::UserClass::kB, p, options,
+                                          plans));
+    }
+    return results;
+  };
+
+  upa::cache::global().clear();
+  std::vector<inj::CampaignResult> cold;
+  std::vector<inj::CampaignResult> warm;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  {
+    upa::cache::ScopedEnable off(false);
+    cold_s = upa::bench::wall_seconds([&] { cold = evaluate(); });
+  }
+  {
+    upa::cache::ScopedEnable on(true);
+    warm_s = upa::bench::wall_seconds([&] { warm = evaluate(); });
+  }
+  const upa::cache::CacheStats stats =
+      upa::cache::global().solver_stats("inject.campaign_entry");
+
+  bool identical = cold.size() == warm.size();
+  for (std::size_t r = 0; identical && r < cold.size(); ++r) {
+    identical = cold[r].entries.size() == warm[r].entries.size();
+    for (std::size_t i = 0; identical && i < cold[r].entries.size(); ++i) {
+      const auto& a = cold[r].entries[i];
+      const auto& b = warm[r].entries[i];
+      identical = a.name == b.name &&
+                  a.perceived_availability.mean ==
+                      b.perceived_availability.mean &&
+                  a.perceived_availability.half_width ==
+                      b.perceived_availability.half_width &&
+                  a.delta_vs_baseline == b.delta_vs_baseline &&
+                  a.observed_web_service_availability ==
+                      b.observed_web_service_availability &&
+                  a.mean_retries_per_session == b.mean_retries_per_session &&
+                  a.abandonment_fraction == b.abandonment_fraction;
+    }
+  }
+
+  std::cout << "Evaluation-cache timing (" << kCacheReps
+            << "x one campaign, baseline + " << plans.size() << " plans):\n"
+            << "  cold wall seconds   : " << cm::fmt(cold_s, 3) << "\n"
+            << "  warm wall seconds   : " << cm::fmt(warm_s, 3) << "\n"
+            << "  speedup             : " << cm::fmt(cold_s / warm_s, 2)
+            << "x\n"
+            << "  hit rate            : "
+            << cm::fmt(100.0 * stats.hit_rate(), 4) << "% of "
+            << stats.lookups() << " campaign-entry lookups\n"
+            << "  results identical   : " << (identical ? "yes" : "NO!")
+            << "\n\n";
+
+  upa::bench::write_bench_json(
+      "BENCH_cache.json", "injection_campaign",
+      {{"reps", double(kCacheReps)},
+       {"plans", double(plans.size() + 1)},
+       {"cold_wall_seconds", cold_s},
+       {"warm_wall_seconds", warm_s},
+       {"speedup", cold_s / warm_s},
+       {"hit_rate", stats.hit_rate()},
+       {"lookups", double(stats.lookups())},
+       {"results_identical", identical ? 1.0 : 0.0}});
+}
+
 void print_all() {
   print_campaign();
   bench_parallel_campaign();
+  bench_cache_campaign();
 }
 
 void bm_campaign(benchmark::State& state) {

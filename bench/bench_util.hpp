@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -142,6 +143,15 @@ inline void write_bench_json(
         << (i + 1 < sections.size() ? ",\n" : "\n");
   }
   out << "}\n";
+}
+
+/// Wall-clock seconds spent in fn().
+template <typename Fn>
+[[nodiscard]] inline double wall_seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 inline void print_header(const char* artifact, const char* description) {

@@ -1,0 +1,215 @@
+#include "upa/cache/eval_cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+
+namespace upa::cache {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const std::string& bytes) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+KeyBuilder::KeyBuilder(std::string solver_id, std::uint32_t version)
+    : solver_id_(std::move(solver_id)) {
+  UPA_REQUIRE(!solver_id_.empty(), "cache key needs a solver id");
+  add(solver_id_);
+  add(static_cast<std::uint64_t>(version));
+}
+
+void KeyBuilder::append_raw(const void* data, std::size_t size) {
+  bytes_.append(static_cast<const char*>(data), size);
+}
+
+KeyBuilder& KeyBuilder::add(double value) {
+  UPA_REQUIRE(!std::isnan(value),
+              "cache key for solver '" + solver_id_ +
+                  "' has a NaN parameter; NaN never equals itself, so no "
+                  "stable cache identity exists for it");
+  if (value == 0.0) value = 0.0;  // -0.0 == 0.0 must hash equal
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  return add(bits);
+}
+
+KeyBuilder& KeyBuilder::add(std::uint64_t value) {
+  // Fixed-width little-endian words, independent of host endianness.
+  char out[8];
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  append_raw(out, sizeof(out));
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::int64_t value) {
+  return add(std::bit_cast<std::uint64_t>(value));
+}
+
+KeyBuilder& KeyBuilder::add(bool value) {
+  return add(static_cast<std::uint64_t>(value ? 1 : 0));
+}
+
+KeyBuilder& KeyBuilder::add(const std::string& value) {
+  add(static_cast<std::uint64_t>(value.size()));
+  append_raw(value.data(), value.size());
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(const std::vector<double>& values) {
+  add(static_cast<std::uint64_t>(values.size()));
+  for (const double v : values) add(v);
+  return *this;
+}
+
+CacheKey KeyBuilder::finish() && {
+  CacheKey key;
+  key.solver_id = std::move(solver_id_);
+  key.bytes = std::move(bytes_);
+  key.digest = fnv1a(key.bytes);
+  return key;
+}
+
+EvalCache::EvalCache(Config config)
+    : max_entries_per_shard_(config.max_entries_per_shard),
+      shards_(std::max<std::size_t>(config.shards, 1)) {
+  UPA_REQUIRE(config.max_entries_per_shard >= 1,
+              "cache shards must hold at least one entry");
+}
+
+void EvalCache::complete_insert(Shard& shard, const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.inserts;
+  shard.completed_order.push_back(bytes);
+  // Evict oldest completed entries past the cap. In-flight entries are
+  // not in completed_order, so a running computation is never cancelled.
+  while (shard.completed_order.size() - shard.next_eviction >
+         max_entries_per_shard_) {
+    shard.entries.erase(shard.completed_order[shard.next_eviction]);
+    ++shard.next_eviction;
+    ++shard.stats.evictions;
+  }
+  // Compact the order log once the evicted prefix dominates.
+  if (shard.next_eviction > max_entries_per_shard_) {
+    shard.completed_order.erase(
+        shard.completed_order.begin(),
+        shard.completed_order.begin() +
+            static_cast<std::ptrdiff_t>(shard.next_eviction));
+    shard.next_eviction = 0;
+  }
+}
+
+void EvalCache::abandon_insert(Shard& shard, const std::string& bytes) {
+  // The computation threw: remove the in-flight entry so a later call
+  // retries instead of replaying the exception forever.
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries.erase(bytes);
+}
+
+void EvalCache::record_lookup(const std::string& solver_id, bool hit,
+                              obs::Observer* ob) {
+  {
+    std::lock_guard<std::mutex> lock(solver_mutex_);
+    CacheStats& s = solver_stats_[solver_id];
+    if (hit) {
+      ++s.hits;
+    } else {
+      ++s.misses;
+    }
+  }
+  if (ob != nullptr) {
+    ob->metrics.counter(hit ? "cache.hits" : "cache.misses").add();
+    ob->metrics
+        .counter("cache." + solver_id + (hit ? ".hits" : ".misses"))
+        .add();
+  }
+}
+
+CacheStats EvalCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.inserts += shard.stats.inserts;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+CacheStats EvalCache::solver_stats(const std::string& solver_id) const {
+  std::lock_guard<std::mutex> lock(solver_mutex_);
+  const auto it = solver_stats_.find(solver_id);
+  return it == solver_stats_.end() ? CacheStats{} : it->second;
+}
+
+std::vector<std::pair<std::string, CacheStats>> EvalCache::per_solver_stats()
+    const {
+  std::lock_guard<std::mutex> lock(solver_mutex_);
+  return {solver_stats_.begin(), solver_stats_.end()};
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+void EvalCache::publish_metrics(obs::MetricsRegistry& metrics) const {
+  const CacheStats total = stats();
+  metrics.gauge("cache.hits").set(static_cast<double>(total.hits));
+  metrics.gauge("cache.misses").set(static_cast<double>(total.misses));
+  metrics.gauge("cache.inserts").set(static_cast<double>(total.inserts));
+  metrics.gauge("cache.evictions").set(static_cast<double>(total.evictions));
+  metrics.gauge("cache.hit_rate").set(total.hit_rate());
+  for (const auto& [solver, s] : per_solver_stats()) {
+    metrics.gauge("cache." + solver + ".hits")
+        .set(static_cast<double>(s.hits));
+    metrics.gauge("cache." + solver + ".misses")
+        .set(static_cast<double>(s.misses));
+    metrics.gauge("cache." + solver + ".hit_rate").set(s.hit_rate());
+  }
+}
+
+void EvalCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.completed_order.clear();
+    shard.next_eviction = 0;
+    shard.stats = CacheStats{};
+  }
+  std::lock_guard<std::mutex> lock(solver_mutex_);
+  solver_stats_.clear();
+}
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+EvalCache& global() {
+  static EvalCache cache;
+  return cache;
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace upa::cache

@@ -1,0 +1,259 @@
+#pragma once
+// Content-addressed evaluation cache for sweep-scale model evaluation.
+//
+// The paper's design-space explorations (Figures 11-13, Table 8) re-solve
+// the same web-farm CTMC, M/M/i/K loss model, and availability formulas
+// hundreds of times across grids that differ in only one or two
+// parameters. EvalCache memoizes those expensive subsolves behind stable
+// keys derived from canonicalized parameter bytes, so a grid or a
+// 100-plan campaign solves each distinct submodel exactly once and
+// replays the stored result everywhere else.
+//
+// Contract: a cached run is BIT-FOR-BIT identical to an uncached run.
+// The cache returns the exact value computed on the first miss, callers
+// key on every parameter that affects the result, and every key embeds a
+// solver id plus a version tag so a formula change invalidates stale
+// entries by construction. Keys compare by their full canonical byte
+// string (the 64-bit digest only picks the shard and pre-filters), so a
+// digest collision can never replay the wrong result.
+//
+// Concurrency: the table is lock-striped into shards, and lookups are
+// single-flight -- when several threads race on the same fresh key,
+// exactly one runs the computation while the rest wait on its future and
+// count as hits. This composes with the exec layer's deterministic
+// fan-out: values are pure functions of their key, so which worker
+// computes first never changes what anyone reads.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeinfo>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "upa/common/error.hpp"
+#include "upa/obs/observer.hpp"
+
+namespace upa::cache {
+
+/// A finished cache key: the solver id (for per-solver statistics), the
+/// full canonical byte string (solver id + version tag + parameter
+/// bytes; THE identity compared on lookup), and its FNV-1a 64 digest
+/// (shard selection and fast rejection only).
+struct CacheKey {
+  std::string solver_id;
+  std::string bytes;
+  std::uint64_t digest = 0;
+};
+
+/// Builds a CacheKey from canonicalized parameter bytes. Doubles are
+/// appended as their IEEE-754 bit pattern after normalizing -0.0 to +0.0
+/// (the two compare equal, so they must hash equal); NaN parameters are
+/// rejected with a ModelError (a NaN never equals itself, so no stable
+/// key exists for it). Integers append as fixed-width little-endian
+/// words and strings are length-prefixed, so concatenations cannot
+/// collide.
+class KeyBuilder {
+ public:
+  /// `solver_id` names the memoized computation ("markov.steady_state");
+  /// `version` is its formula version -- bump it whenever the computation
+  /// changes, and stale entries from the old formula can no longer be
+  /// addressed.
+  KeyBuilder(std::string solver_id, std::uint32_t version);
+
+  KeyBuilder& add(double value);
+  KeyBuilder& add(std::uint64_t value);
+  KeyBuilder& add(std::int64_t value);
+  KeyBuilder& add(bool value);
+  KeyBuilder& add(const std::string& value);
+  KeyBuilder& add(const std::vector<double>& values);
+
+  /// Consumes the builder into the finished key.
+  [[nodiscard]] CacheKey finish() &&;
+
+ private:
+  void append_raw(const void* data, std::size_t size);
+
+  std::string solver_id_;
+  std::string bytes_;
+};
+
+/// Aggregate lookup statistics (whole cache or one solver id).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept {
+    return hits + misses;
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// Thread-safe, sharded, content-addressed memoization table. Values are
+/// stored type-erased behind shared_ptr<const void>; get_or_compute<T>
+/// checks the stored type, so a key accidentally reused across types
+/// aborts instead of reinterpreting bytes.
+class EvalCache {
+ public:
+  struct Config {
+    /// Lock stripes; lookups on different shards never contend.
+    std::size_t shards = 16;
+    /// Per-shard completed-entry cap; the oldest completed entry is
+    /// evicted first (FIFO -- deterministic for a deterministic workload,
+    /// no access-time bookkeeping on the hit path).
+    std::size_t max_entries_per_shard = 4096;
+  };
+
+  EvalCache() : EvalCache(Config{}) {}
+  explicit EvalCache(Config config);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Returns the cached value for `key`, computing it via `compute()` on
+  /// the first miss. Concurrent callers of the same fresh key block on
+  /// the first caller's in-flight computation (exactly one underlying
+  /// solve per distinct key) and count as hits. If `compute` throws, the
+  /// exception propagates to every waiter and the entry is removed so a
+  /// later call retries. When `ob` is non-null, one wall-domain
+  /// `cache_lookup` span (attr `hit` = 0/1) and cache.hit/miss counters
+  /// are recorded into it.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::shared_ptr<const T> get_or_compute(
+      const CacheKey& key, Fn&& compute, obs::Observer* ob = nullptr) {
+    obs::ScopedWallSpan span(ob != nullptr ? &ob->tracer : nullptr,
+                             obs::SpanLevel::kCacheLookup, key.solver_id);
+    Shard& shard = shard_for(key);
+    StoredFuture future;
+    std::promise<Stored> promise;
+    bool miss = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.entries.find(key.bytes);
+      if (it == shard.entries.end()) {
+        miss = true;
+        future = promise.get_future().share();
+        shard.entries.emplace(key.bytes, Entry{future});
+        ++shard.stats.misses;
+      } else {
+        future = it->second.future;
+        ++shard.stats.hits;
+      }
+    }
+    record_lookup(key.solver_id, !miss, ob);
+    span.attr("hit", miss ? 0.0 : 1.0);
+
+    if (!miss) {
+      const Stored stored = future.get();  // may rethrow the first miss
+      UPA_ASSERT(*stored.type == typeid(T));
+      return std::static_pointer_cast<const T>(stored.value);
+    }
+
+    try {
+      auto value = std::make_shared<const T>(compute());
+      promise.set_value(Stored{value, &typeid(T)});
+      complete_insert(shard, key.bytes);
+      return value;
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      abandon_insert(shard, key.bytes);
+      throw;
+    }
+  }
+
+  /// Whole-cache statistics (sums over shards).
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Hit/miss statistics of one solver id (zeroes when never seen).
+  [[nodiscard]] CacheStats solver_stats(const std::string& solver_id) const;
+
+  /// (solver id, stats) pairs sorted by solver id.
+  [[nodiscard]] std::vector<std::pair<std::string, CacheStats>>
+  per_solver_stats() const;
+
+  /// Number of completed entries currently stored.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshots the counters into `metrics` as gauges: cache.hits,
+  /// cache.misses, cache.inserts, cache.evictions, cache.hit_rate, plus
+  /// per-solver cache.<solver>.hits / .misses / .hit_rate.
+  void publish_metrics(obs::MetricsRegistry& metrics) const;
+
+  /// Drops every entry and zeroes all statistics.
+  void clear();
+
+ private:
+  struct Stored {
+    std::shared_ptr<const void> value;
+    const std::type_info* type = nullptr;
+  };
+  using StoredFuture = std::shared_future<Stored>;
+
+  struct Entry {
+    StoredFuture future;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> entries;
+    /// Completed keys in insertion order (in-flight keys are absent, so
+    /// eviction can never cancel a running computation).
+    std::vector<std::string> completed_order;
+    std::size_t next_eviction = 0;  ///< completed_order read cursor
+    CacheStats stats;
+  };
+
+  [[nodiscard]] Shard& shard_for(const CacheKey& key) noexcept {
+    return shards_[key.digest % shards_.size()];
+  }
+  void complete_insert(Shard& shard, const std::string& bytes);
+  void abandon_insert(Shard& shard, const std::string& bytes);
+  void record_lookup(const std::string& solver_id, bool hit,
+                     obs::Observer* ob);
+
+  std::size_t max_entries_per_shard_;
+  std::vector<Shard> shards_;
+
+  mutable std::mutex solver_mutex_;
+  std::map<std::string, CacheStats> solver_stats_;  // guarded by solver_mutex_
+};
+
+/// The process-wide cache consulted by the analytic entry points
+/// (markov::Ctmc::steady_state, queueing::mmck_metrics, the core
+/// web-farm availabilities, inject::run_campaign, ...) when caching is
+/// enabled.
+[[nodiscard]] EvalCache& global();
+
+/// Whether the analytic entry points consult the global cache. Default
+/// off: an uninstrumented run never pays for key building, and opt-in
+/// call sites (sweeps, campaigns, the CLI's --cache on) turn it on for
+/// the duration of a workload.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// RAII enable/disable with restoration (benches and tests).
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) : previous_(enabled()) {
+    set_enabled(on);
+  }
+  ~ScopedEnable() { set_enabled(previous_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace upa::cache

@@ -1,9 +1,25 @@
 #include "upa/core/performability.hpp"
 
+#include <utility>
+
+#include "upa/cache/eval_cache.hpp"
 #include "upa/common/error.hpp"
 #include "upa/common/numeric.hpp"
 
 namespace upa::core {
+namespace {
+
+double availability_uncached(const markov::Ctmc& chain,
+                             const std::vector<double>& service_probability) {
+  const linalg::Vector pi = chain.steady_state();
+  double a = 0.0;
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    a += pi[s] * service_probability[s];
+  }
+  return a;
+}
+
+}  // namespace
 
 CompositeAvailabilityModel::CompositeAvailabilityModel(
     markov::Ctmc chain, std::vector<double> service_probability)
@@ -18,12 +34,15 @@ CompositeAvailabilityModel::CompositeAvailabilityModel(
 }
 
 double CompositeAvailabilityModel::availability() const {
-  const linalg::Vector pi = chain_.steady_state();
-  double a = 0.0;
-  for (std::size_t s = 0; s < pi.size(); ++s) {
-    a += pi[s] * service_probability_[s];
+  if (!cache::enabled()) {
+    return availability_uncached(chain_, service_probability_);
   }
-  return a;
+  cache::KeyBuilder kb("core.composite_availability", 1);
+  chain_.append_cache_key(kb);
+  kb.add(service_probability_);
+  return *cache::global().get_or_compute<double>(
+      std::move(kb).finish(),
+      [&] { return availability_uncached(chain_, service_probability_); });
 }
 
 CompositeAvailabilityModel::Breakdown CompositeAvailabilityModel::breakdown()

@@ -30,6 +30,8 @@ class CompositeAvailabilityModel {
   }
 
   /// The composite availability: sum_s pi_s * service_probability[s].
+  /// When the evaluation cache is enabled (cache::set_enabled), identical
+  /// (chain, reward) models replay the exact first-miss value.
   [[nodiscard]] double availability() const;
 
   /// Decomposition of the unavailability into the part caused by

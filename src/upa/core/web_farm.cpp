@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
+#include <utility>
 
+#include "upa/cache/eval_cache.hpp"
 #include "upa/common/error.hpp"
 #include "upa/common/numeric.hpp"
 #include "upa/queueing/mmck.hpp"
@@ -44,6 +47,25 @@ std::vector<double> loss_by_servers(const WebFarmParams& farm,
                                             queue.buffer);
   }
   return pk;
+}
+
+/// Canonical cache-key content of the farm/queue inputs. The imperfect
+/// variants add coverage/beta; the perfect formulas never read them, so
+/// their keys omit both (perfect results are shared across coverage
+/// settings).
+cache::KeyBuilder availability_key(const char* solver_id,
+                                   const WebFarmParams& farm,
+                                   const WebQueueParams& queue,
+                                   bool imperfect) {
+  cache::KeyBuilder kb(solver_id, 1);
+  kb.add(static_cast<std::uint64_t>(farm.servers))
+      .add(farm.failure_rate)
+      .add(farm.repair_rate);
+  if (imperfect) kb.add(farm.coverage).add(farm.reconfiguration_rate);
+  kb.add(queue.arrival_rate)
+      .add(queue.service_rate)
+      .add(static_cast<std::uint64_t>(queue.buffer));
+  return kb;
 }
 
 }  // namespace
@@ -138,9 +160,10 @@ ImperfectChain imperfect_coverage_chain(const WebFarmParams& farm) {
   return result;
 }
 
-double web_service_availability_perfect(const WebFarmParams& farm,
-                                        const WebQueueParams& queue) {
-  check_queue(queue);
+namespace {
+
+double availability_perfect_uncached(const WebFarmParams& farm,
+                                     const WebQueueParams& queue) {
   const std::vector<double> pi = perfect_coverage_distribution(farm);
   const std::vector<double> pk = loss_by_servers(farm, queue);
   double unavailability = pi[0];
@@ -150,9 +173,8 @@ double web_service_availability_perfect(const WebFarmParams& farm,
   return 1.0 - unavailability;
 }
 
-double web_service_availability_imperfect(const WebFarmParams& farm,
-                                          const WebQueueParams& queue) {
-  check_queue(queue);
+double availability_imperfect_uncached(const WebFarmParams& farm,
+                                       const WebQueueParams& queue) {
   const ImperfectDistribution dist = imperfect_coverage_distribution(farm);
   const std::vector<double> pk = loss_by_servers(farm, queue);
   double unavailability = dist.operational[0];
@@ -160,6 +182,32 @@ double web_service_availability_imperfect(const WebFarmParams& farm,
     unavailability += dist.operational[i] * pk[i] + dist.manual[i];
   }
   return 1.0 - unavailability;
+}
+
+}  // namespace
+
+double web_service_availability_perfect(const WebFarmParams& farm,
+                                        const WebQueueParams& queue) {
+  check_queue(queue);
+  check_farm(farm, false);
+  if (!cache::enabled()) return availability_perfect_uncached(farm, queue);
+  cache::KeyBuilder kb =
+      availability_key("core.web_availability_perfect", farm, queue, false);
+  return *cache::global().get_or_compute<double>(
+      std::move(kb).finish(),
+      [&] { return availability_perfect_uncached(farm, queue); });
+}
+
+double web_service_availability_imperfect(const WebFarmParams& farm,
+                                          const WebQueueParams& queue) {
+  check_queue(queue);
+  check_farm(farm, true);
+  if (!cache::enabled()) return availability_imperfect_uncached(farm, queue);
+  cache::KeyBuilder kb =
+      availability_key("core.web_availability_imperfect", farm, queue, true);
+  return *cache::global().get_or_compute<double>(
+      std::move(kb).finish(),
+      [&] { return availability_imperfect_uncached(farm, queue); });
 }
 
 namespace {
@@ -179,12 +227,9 @@ std::vector<double> served_within_by_servers(const WebFarmParams& farm,
   return served;
 }
 
-}  // namespace
-
-double web_service_availability_perfect_with_deadline(
-    const WebFarmParams& farm, const WebQueueParams& queue,
-    double deadline) {
-  check_queue(queue);
+double deadline_perfect_uncached(const WebFarmParams& farm,
+                                 const WebQueueParams& queue,
+                                 double deadline) {
   const std::vector<double> pi = perfect_coverage_distribution(farm);
   const std::vector<double> served =
       served_within_by_servers(farm, queue, deadline);
@@ -195,10 +240,9 @@ double web_service_availability_perfect_with_deadline(
   return availability;
 }
 
-double web_service_availability_imperfect_with_deadline(
-    const WebFarmParams& farm, const WebQueueParams& queue,
-    double deadline) {
-  check_queue(queue);
+double deadline_imperfect_uncached(const WebFarmParams& farm,
+                                   const WebQueueParams& queue,
+                                   double deadline) {
   const ImperfectDistribution dist = imperfect_coverage_distribution(farm);
   const std::vector<double> served =
       served_within_by_servers(farm, queue, deadline);
@@ -207,6 +251,40 @@ double web_service_availability_imperfect_with_deadline(
     availability += dist.operational[i] * served[i];
   }
   return availability;
+}
+
+}  // namespace
+
+double web_service_availability_perfect_with_deadline(
+    const WebFarmParams& farm, const WebQueueParams& queue,
+    double deadline) {
+  check_queue(queue);
+  check_farm(farm, false);
+  if (!cache::enabled()) {
+    return deadline_perfect_uncached(farm, queue, deadline);
+  }
+  cache::KeyBuilder kb = availability_key(
+      "core.web_availability_perfect_deadline", farm, queue, false);
+  kb.add(deadline);
+  return *cache::global().get_or_compute<double>(
+      std::move(kb).finish(),
+      [&] { return deadline_perfect_uncached(farm, queue, deadline); });
+}
+
+double web_service_availability_imperfect_with_deadline(
+    const WebFarmParams& farm, const WebQueueParams& queue,
+    double deadline) {
+  check_queue(queue);
+  check_farm(farm, true);
+  if (!cache::enabled()) {
+    return deadline_imperfect_uncached(farm, queue, deadline);
+  }
+  cache::KeyBuilder kb = availability_key(
+      "core.web_availability_imperfect_deadline", farm, queue, true);
+  kb.add(deadline);
+  return *cache::global().get_or_compute<double>(
+      std::move(kb).finish(),
+      [&] { return deadline_imperfect_uncached(farm, queue, deadline); });
 }
 
 CompositeAvailabilityModel composite_perfect(const WebFarmParams& farm,

@@ -80,6 +80,10 @@ struct ImperfectChain {
     const WebFarmParams& farm);
 
 /// Web service availability, perfect coverage (paper eq. 5), closed form.
+/// All four availability entry points below consult the evaluation cache
+/// when cache::set_enabled is on: identical (farm, queue[, deadline])
+/// inputs replay the exact first-miss value bit for bit. Perfect-coverage
+/// keys omit coverage/beta (the formulas never read them).
 [[nodiscard]] double web_service_availability_perfect(
     const WebFarmParams& farm, const WebQueueParams& queue);
 

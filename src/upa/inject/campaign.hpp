@@ -75,6 +75,13 @@ struct CampaignResult {
 /// with identical options and seed. Any fault plan already present in
 /// the options is ignored (each campaign plan replaces it); the retry
 /// policy applies to every run.
+///
+/// When the evaluation cache is enabled (cache::set_enabled), each
+/// measurement is keyed on (user class, parameters, result-affecting
+/// options, retry policy, sorted plan windows) -- repeated campaigns over
+/// the same scenarios replay the exact first-run entries (plan names are
+/// cosmetic and reapplied; deltas are always re-derived against the
+/// campaign's own baseline).
 [[nodiscard]] CampaignResult run_campaign(
     ta::UserClass uclass, const ta::TaParameters& params,
     const CampaignOptions& options, const std::vector<CampaignPlan>& plans);

@@ -28,13 +28,29 @@ double update_norm(const Vector& a, const Vector& b) {
       iters, residual);
 }
 
+/// Applies IterativeOptions::initial_guess over `fallback` (the solver's
+/// historical flat start). An empty guess keeps the fallback bit for bit;
+/// a sized guess must match the system.
+Vector starting_vector(const IterativeOptions& options, Vector fallback,
+                       const char* algo) {
+  if (options.initial_guess.empty()) return fallback;
+  UPA_REQUIRE(options.initial_guess.size() == fallback.size(),
+              std::string(algo) + ": initial guess has " +
+                  std::to_string(options.initial_guess.size()) +
+                  " entries but the system has " +
+                  std::to_string(fallback.size()));
+  return options.initial_guess;
+}
+
 }  // namespace
 
 IterativeResult power_iteration(const SparseMatrix& p,
                                 const IterativeOptions& options) {
   UPA_REQUIRE(p.rows() == p.cols(), "power iteration needs a square matrix");
   const std::size_t n = p.rows();
-  Vector pi(n, 1.0 / static_cast<double>(n));
+  Vector pi = starting_vector(
+      options, Vector(n, 1.0 / static_cast<double>(n)), "power_iteration");
+  if (!options.initial_guess.empty()) upa::common::normalize(pi);
   double residual = 0.0;
   std::vector<double> history;
   for (std::size_t it = 1; it <= options.max_iterations; ++it) {
@@ -55,7 +71,7 @@ IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
   UPA_REQUIRE(a.rows() == a.cols(), "gauss_seidel needs a square matrix");
   UPA_REQUIRE(b.size() == a.rows(), "rhs size mismatch");
   const std::size_t n = a.rows();
-  Vector x(n, 0.0);
+  Vector x = starting_vector(options, Vector(n, 0.0), "gauss_seidel");
   double residual = 0.0;
   std::vector<double> history;
   for (std::size_t it = 1; it <= options.max_iterations; ++it) {
@@ -92,7 +108,7 @@ IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
   UPA_REQUIRE(a.rows() == a.cols(), "jacobi needs a square matrix");
   UPA_REQUIRE(b.size() == a.rows(), "rhs size mismatch");
   const std::size_t n = a.rows();
-  Vector x(n, 0.0);
+  Vector x = starting_vector(options, Vector(n, 0.0), "jacobi");
   Vector next(n, 0.0);
   double residual = 0.0;
   std::vector<double> history;

@@ -18,6 +18,14 @@ struct IterativeOptions {
   /// trajectories). Off by default -- the history is one double per
   /// iteration, which can be large for slow solves.
   bool record_residual_history = false;
+  /// Warm start: when non-empty, iteration begins from this vector
+  /// instead of the solver's flat default (zeros for Gauss-Seidel /
+  /// Jacobi, uniform for power iteration; power iteration renormalizes
+  /// the guess first). Must match the system size. Opt-in and default
+  /// off: with no guess the solvers reproduce their historical iterates
+  /// bit for bit. Seeding from a nearby solution (the previous grid
+  /// point of a sweep) typically cuts the iteration count sharply.
+  std::vector<double> initial_guess;
 };
 
 /// Result of an iterative run (solution plus convergence diagnostics).

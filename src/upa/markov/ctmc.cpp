@@ -1,9 +1,12 @@
 #include "upa/markov/ctmc.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <string>
 
+#include "upa/cache/eval_cache.hpp"
 #include "upa/common/error.hpp"
 #include "upa/common/numeric.hpp"
 #include "upa/linalg/iterative.hpp"
@@ -76,7 +79,33 @@ double Ctmc::max_exit_rate() const {
   return *std::max_element(exit.begin(), exit.end());
 }
 
+void Ctmc::append_cache_key(cache::KeyBuilder& kb) const {
+  kb.add(static_cast<std::uint64_t>(n_));
+  std::vector<linalg::Triplet> sorted = rates_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const linalg::Triplet& a, const linalg::Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              if (a.col != b.col) return a.col < b.col;
+              return std::bit_cast<std::uint64_t>(a.value) <
+                     std::bit_cast<std::uint64_t>(b.value);
+            });
+  kb.add(static_cast<std::uint64_t>(sorted.size()));
+  for (const auto& t : sorted) {
+    kb.add(static_cast<std::uint64_t>(t.row));
+    kb.add(static_cast<std::uint64_t>(t.col));
+    kb.add(t.value);
+  }
+}
+
 linalg::Vector Ctmc::steady_state() const {
+  if (!cache::enabled()) return steady_state_uncached();
+  cache::KeyBuilder kb("markov.steady_state", 1);
+  append_cache_key(kb);
+  return *cache::global().get_or_compute<linalg::Vector>(
+      std::move(kb).finish(), [&] { return steady_state_uncached(); });
+}
+
+linalg::Vector Ctmc::steady_state_uncached() const {
   // Solve pi Q = 0 with normalization: transpose to Q^T pi^T = 0 and
   // replace the last balance equation by sum(pi) = 1.
   linalg::Matrix a = generator().transposed();
@@ -163,6 +192,24 @@ std::string outcome_name(StationaryStage::Outcome outcome) {
 }  // namespace
 
 StationaryReport Ctmc::steady_state_robust(
+    const StationaryOptions& options) const {
+  if (!cache::enabled()) return steady_state_robust_uncached(options);
+  // Key on everything that shapes the report: the chain content plus the
+  // stage controls. The observer and record_residual_history are
+  // excluded -- they affect what gets recorded, never what gets solved.
+  cache::KeyBuilder kb("markov.steady_state_robust", 1);
+  append_cache_key(kb);
+  kb.add(static_cast<std::uint64_t>(options.max_dense_states))
+      .add(static_cast<std::uint64_t>(options.iterative.max_iterations))
+      .add(options.iterative.tolerance)
+      .add(options.iterative.initial_guess)
+      .add(options.residual_tolerance);
+  return *cache::global().get_or_compute<StationaryReport>(
+      std::move(kb).finish(),
+      [&] { return steady_state_robust_uncached(options); }, options.obs);
+}
+
+StationaryReport Ctmc::steady_state_robust_uncached(
     const StationaryOptions& options) const {
   const linalg::SparseMatrix q = sparse_generator();
   StationaryReport report;

@@ -17,6 +17,10 @@ namespace upa::obs {
 struct Observer;
 }  // namespace upa::obs
 
+namespace upa::cache {
+class KeyBuilder;
+}  // namespace upa::cache
+
 namespace upa::markov {
 
 /// Stage of the robust stationary-solve fallback chain.
@@ -103,9 +107,18 @@ class Ctmc {
   /// Largest exit rate (the uniformization constant Lambda).
   [[nodiscard]] double max_exit_rate() const;
 
+  /// Appends this chain's canonical content -- state count plus the rate
+  /// triplets sorted by (row, col, value bit pattern) -- to a cache key,
+  /// so chains describing the same rates hash equal regardless of the
+  /// order add_rate was called in. Labels are excluded (they never affect
+  /// a solve).
+  void append_cache_key(cache::KeyBuilder& kb) const;
+
   /// Steady-state distribution pi with pi Q = 0, sum(pi) = 1, solved by
   /// dense LU on the transposed balance equations. Requires an irreducible
-  /// chain (singular otherwise -> ModelError).
+  /// chain (singular otherwise -> ModelError). When the evaluation cache
+  /// is enabled (cache::set_enabled), identical chains replay the exact
+  /// distribution computed on first solve.
   [[nodiscard]] linalg::Vector steady_state() const;
 
   /// Steady state via power iteration on the uniformized DTMC
@@ -122,6 +135,16 @@ class Ctmc {
   /// gracefully instead of throwing on the first solver. Throws ModelError
   /// carrying every stage diagnostic when no stage produces a valid
   /// stationary vector.
+  ///
+  /// Warm starts: options.iterative.initial_guess seeds the Gauss-Seidel
+  /// and power-iteration stages (e.g. from the nearest previously-solved
+  /// grid point of a sweep); empty (the default) keeps the historical
+  /// flat starts bit for bit.
+  ///
+  /// When the evaluation cache is enabled, identical (chain, options)
+  /// pairs replay the exact report computed on the first solve; on a
+  /// replay only a cache_lookup span is recorded into options.obs (the
+  /// per-stage solver spans and metrics were emitted by the first miss).
   [[nodiscard]] StationaryReport steady_state_robust(
       const StationaryOptions& options = {}) const;
 
@@ -137,6 +160,11 @@ class Ctmc {
 
  private:
   void check_state(std::size_t s) const;
+
+  /// The uncached solver bodies behind the (optionally) cached fronts.
+  [[nodiscard]] linalg::Vector steady_state_uncached() const;
+  [[nodiscard]] StationaryReport steady_state_robust_uncached(
+      const StationaryOptions& options) const;
 
   /// Uniformized DTMC P = I + Q / Lambda (Lambda slightly above the
   /// largest exit rate so every diagonal stays positive).

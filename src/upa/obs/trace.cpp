@@ -14,6 +14,7 @@ std::string span_level_name(SpanLevel level) {
     case SpanLevel::kSolverStage: return "solver_stage";
     case SpanLevel::kSimEventBatch: return "sim_event_batch";
     case SpanLevel::kCampaignPlan: return "campaign_plan";
+    case SpanLevel::kCacheLookup: return "cache_lookup";
   }
   UPA_ASSERT(false);
   return {};

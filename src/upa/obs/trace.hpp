@@ -25,6 +25,7 @@ enum class SpanLevel {
   kSolverStage,         ///< one stage of a numeric solve (wall domain)
   kSimEventBatch,       ///< one Engine run_until/run_all batch
   kCampaignPlan,        ///< one fault-injection campaign plan (wall domain)
+  kCacheLookup,         ///< one EvalCache lookup (wall domain, attr hit=0/1)
 };
 
 [[nodiscard]] std::string span_level_name(SpanLevel level);

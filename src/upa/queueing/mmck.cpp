@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "upa/cache/eval_cache.hpp"
 #include "upa/common/error.hpp"
 #include "upa/common/numeric.hpp"
 
@@ -20,31 +22,80 @@ void check_args(double alpha, double nu, std::size_t servers,
 }
 
 /// Unnormalized birth-death weights w_j with w_0 = 1:
-/// w_j = w_{j-1} * rho / min(j, c). Stable (no factorials/powers).
+/// w_j = w_{j-1} * rho / min(j, c). Stable (no factorials/powers), and
+/// rescaled in-loop by an exact power of two whenever the running weight
+/// crosses 2^512, so extreme loads (rho ~ 1e3 with K ~ 1e4 grows like
+/// (rho/c)^K) stay finite instead of overflowing the one-shot
+/// normalization. Only the ratio of weights matters downstream, and a
+/// power-of-two rescale is exact, so cases that never trigger it keep
+/// their historical bits; rescaled prefixes may flush weights below
+/// ~2^-512 of the peak to zero, which is far under the 1e-16 resolution
+/// of the normalized sum.
 std::vector<double> weights(double rho, std::size_t servers,
                             std::size_t capacity) {
+  constexpr double kRescaleAbove = 0x1p512;
+  constexpr double kRescale = 0x1p-512;
   std::vector<double> w(capacity + 1);
   w[0] = 1.0;
   for (std::size_t j = 1; j <= capacity; ++j) {
     w[j] = w[j - 1] * rho / static_cast<double>(std::min(j, servers));
+    if (w[j] > kRescaleAbove) {
+      for (std::size_t k = 0; k <= j; ++k) w[k] *= kRescale;
+    }
   }
   return w;
 }
 
-}  // namespace
-
-double mmck_loss_probability(double alpha, double nu, std::size_t servers,
-                             std::size_t capacity) {
-  check_args(alpha, nu, servers, capacity);
+double mmck_loss_probability_uncached(double alpha, double nu,
+                                      std::size_t servers,
+                                      std::size_t capacity) {
   const double rho = alpha / nu;
   const std::vector<double> w = weights(rho, servers, capacity);
   const double total = upa::common::kahan_sum(w);
   return w[capacity] / total;
 }
 
+MmckMetrics mmck_metrics_uncached(double alpha, double nu,
+                                  std::size_t servers, std::size_t capacity);
+
+}  // namespace
+
+double mmck_loss_probability(double alpha, double nu, std::size_t servers,
+                             std::size_t capacity) {
+  check_args(alpha, nu, servers, capacity);
+  if (!cache::enabled()) {
+    return mmck_loss_probability_uncached(alpha, nu, servers, capacity);
+  }
+  cache::KeyBuilder kb("queueing.mmck_loss", 1);
+  kb.add(alpha)
+      .add(nu)
+      .add(static_cast<std::uint64_t>(servers))
+      .add(static_cast<std::uint64_t>(capacity));
+  return *cache::global().get_or_compute<double>(std::move(kb).finish(), [&] {
+    return mmck_loss_probability_uncached(alpha, nu, servers, capacity);
+  });
+}
+
 MmckMetrics mmck_metrics(double alpha, double nu, std::size_t servers,
                          std::size_t capacity) {
   check_args(alpha, nu, servers, capacity);
+  if (!cache::enabled()) {
+    return mmck_metrics_uncached(alpha, nu, servers, capacity);
+  }
+  cache::KeyBuilder kb("queueing.mmck_metrics", 1);
+  kb.add(alpha)
+      .add(nu)
+      .add(static_cast<std::uint64_t>(servers))
+      .add(static_cast<std::uint64_t>(capacity));
+  return *cache::global().get_or_compute<MmckMetrics>(
+      std::move(kb).finish(),
+      [&] { return mmck_metrics_uncached(alpha, nu, servers, capacity); });
+}
+
+namespace {
+
+MmckMetrics mmck_metrics_uncached(double alpha, double nu,
+                                  std::size_t servers, std::size_t capacity) {
   MmckMetrics m;
   m.rho = alpha / nu;
   std::vector<double> w = weights(m.rho, servers, capacity);
@@ -63,6 +114,8 @@ MmckMetrics mmck_metrics(double alpha, double nu, std::size_t servers,
   m.mean_response = m.mean_in_system / m.throughput;  // Little's law
   return m;
 }
+
+}  // namespace
 
 double paper_pk(double alpha, double nu, std::size_t operational_servers,
                 std::size_t buffer_size) {

@@ -23,8 +23,10 @@ struct MmckMetrics {
 };
 
 /// Loss probability p_K(c) of M/M/c/K (paper eq. 3; reduces to eq. 1 for
-/// c = 1). Stable for any rho; computed in a normalized product form that
-/// does not overflow for large K.
+/// c = 1). Stable for any rho; the running product-form weight is
+/// rescaled in-loop (exact power-of-two factors), so even extreme
+/// rho/capacity combinations (rho ~ 1e3, K ~ 1e4) stay finite. Consults
+/// the evaluation cache when cache::set_enabled is on.
 [[nodiscard]] double mmck_loss_probability(double alpha, double nu,
                                            std::size_t servers,
                                            std::size_t capacity);

@@ -1,38 +1,79 @@
 #include "upa/sensitivity/sweep.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "upa/common/error.hpp"
+#include "upa/exec/parallel.hpp"
 
 namespace upa::sensitivity {
 
 Series sweep(std::string label, const std::vector<double>& xs,
-             const std::function<double(double)>& measure) {
+             const std::function<double(double)>& measure,
+             const SweepOptions& options) {
   UPA_REQUIRE(measure != nullptr, "measure must be provided");
   UPA_REQUIRE(!xs.empty(), "sweep needs at least one point");
   Series s;
   s.label = std::move(label);
   s.x = xs;
-  s.y.reserve(xs.size());
-  for (double x : xs) s.y.push_back(measure(x));
+  // exec::parallel_sweep returns input-ordered results and degenerates to
+  // an inline serial loop for a single worker, so threads = 1 is exactly
+  // the historical evaluation order.
+  s.y = exec::parallel_sweep(
+      xs, [&measure](double x) { return measure(x); }, options.threads);
   return s;
+}
+
+Series sweep(std::string label, const std::vector<double>& xs,
+             const std::function<double(double)>& measure) {
+  return sweep(std::move(label), xs, measure, SweepOptions{});
+}
+
+std::vector<Series> sweep_family(
+    const std::vector<double>& xs, const std::vector<double>& series_params,
+    const std::vector<std::string>& series_labels,
+    const std::function<double(double, double)>& measure,
+    const SweepOptions& options) {
+  UPA_REQUIRE(measure != nullptr, "measure must be provided");
+  UPA_REQUIRE(series_params.size() == series_labels.size(),
+              "one label per series parameter required");
+  if (series_params.empty()) return {};
+  UPA_REQUIRE(!xs.empty(), "sweep needs at least one point");
+  // Flatten to one series-major (s, x) grid so the fan-out sees the whole
+  // family at once; index order matches the historical nested serial
+  // loops, so threads = 1 evaluates in the exact same sequence.
+  struct GridPoint {
+    double x;
+    double p;
+  };
+  std::vector<GridPoint> grid;
+  grid.reserve(series_params.size() * xs.size());
+  for (double p : series_params) {
+    for (double x : xs) grid.push_back({x, p});
+  }
+  const std::vector<double> ys = exec::parallel_sweep(
+      grid, [&measure](const GridPoint& g) { return measure(g.x, g.p); },
+      options.threads);
+
+  std::vector<Series> family;
+  family.reserve(series_params.size());
+  for (std::size_t i = 0; i < series_params.size(); ++i) {
+    Series s;
+    s.label = series_labels[i];
+    s.x = xs;
+    s.y.assign(ys.begin() + static_cast<std::ptrdiff_t>(i * xs.size()),
+               ys.begin() + static_cast<std::ptrdiff_t>((i + 1) * xs.size()));
+    family.push_back(std::move(s));
+  }
+  return family;
 }
 
 std::vector<Series> sweep_family(
     const std::vector<double>& xs, const std::vector<double>& series_params,
     const std::vector<std::string>& series_labels,
     const std::function<double(double, double)>& measure) {
-  UPA_REQUIRE(measure != nullptr, "measure must be provided");
-  UPA_REQUIRE(series_params.size() == series_labels.size(),
-              "one label per series parameter required");
-  std::vector<Series> family;
-  family.reserve(series_params.size());
-  for (std::size_t i = 0; i < series_params.size(); ++i) {
-    const double p = series_params[i];
-    family.push_back(sweep(series_labels[i], xs,
-                           [&measure, p](double x) { return measure(x, p); }));
-  }
-  return family;
+  return sweep_family(xs, series_params, series_labels, measure,
+                      SweepOptions{});
 }
 
 double derivative_at(const std::function<double(double)>& measure, double x,

@@ -3,6 +3,7 @@
 // parameters and collect the series. This is the engine behind the
 // paper's Figures 11/12 (N_W x lambda x alpha) and Table 8 (N_F sweep).
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -16,12 +17,37 @@ struct Series {
   std::vector<double> y;
 };
 
+/// Execution controls for sweep / sweep_family.
+struct SweepOptions {
+  /// Worker threads for the grid evaluation: 1 (the default) is the
+  /// historical serial loop; 0 means hardware concurrency; N > 1 fans the
+  /// points out over exec::parallel_sweep. Results come back in input
+  /// order and bit-for-bit equal to the serial loop at any thread count,
+  /// so this is purely a wall-clock knob. Measures must be thread-safe
+  /// when threads != 1.
+  std::size_t threads = 1;
+};
+
 /// Evaluates `measure` at each x value.
+[[nodiscard]] Series sweep(std::string label, const std::vector<double>& xs,
+                           const std::function<double(double)>& measure,
+                           const SweepOptions& options);
+
+/// Serial sweep (threads = 1), kept as the common call shape.
 [[nodiscard]] Series sweep(std::string label, const std::vector<double>& xs,
                            const std::function<double(double)>& measure);
 
 /// Evaluates `measure(x, s)` for each series parameter s, producing one
-/// Series per s (labels come from `series_labels`).
+/// Series per s (labels come from `series_labels`). The whole family is
+/// flattened into one series-major grid before fan-out, so a family of
+/// short series still saturates options.threads workers.
+[[nodiscard]] std::vector<Series> sweep_family(
+    const std::vector<double>& xs, const std::vector<double>& series_params,
+    const std::vector<std::string>& series_labels,
+    const std::function<double(double, double)>& measure,
+    const SweepOptions& options);
+
+/// Serial sweep_family (threads = 1).
 [[nodiscard]] std::vector<Series> sweep_family(
     const std::vector<double>& xs, const std::vector<double>& series_params,
     const std::vector<std::string>& series_labels,

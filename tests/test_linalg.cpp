@@ -226,3 +226,79 @@ TEST(Iterative, GaussSeidelRequiresNonZeroDiagonal) {
   ul::SparseMatrix a(2, 2, t);
   EXPECT_THROW((void)ul::gauss_seidel(a, {1.0, 1.0}), ModelError);
 }
+
+/// A diagonally dominant tridiagonal system of size n with a small
+/// perturbation knob on the diagonal, standing in for "the next grid
+/// point" of a parameter sweep.
+ul::SparseMatrix tridiagonal(std::size_t n, double diag_shift) {
+  std::vector<ul::Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.push_back({i, i, 4.0 + diag_shift});
+    if (i + 1 < n) {
+      t.push_back({i, i + 1, -1.0});
+      t.push_back({i + 1, i, -1.0});
+    }
+  }
+  return ul::SparseMatrix(n, n, t);
+}
+
+TEST(Iterative, WarmStartConvergesInFewerGaussSeidelIterations) {
+  constexpr std::size_t n = 64;
+  const ul::Vector b(n, 1.0);
+  const auto base = ul::gauss_seidel(tridiagonal(n, 0.0), b);
+
+  // Re-solve a slightly perturbed system, cold vs warm-started from the
+  // base solution. Warm starting is an accuracy-neutral accelerator: the
+  // perturbed solution is close to the base one, so seeding the iterate
+  // there must save iterations.
+  const ul::SparseMatrix perturbed = tridiagonal(n, 1e-3);
+  const auto cold = ul::gauss_seidel(perturbed, b);
+  ul::IterativeOptions warm_options;
+  warm_options.initial_guess = base.solution;
+  const auto warm = ul::gauss_seidel(perturbed, b, warm_options);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(warm.solution[i], cold.solution[i], 1e-8);
+  }
+}
+
+TEST(Iterative, EmptyInitialGuessReproducesDefaultBitForBit) {
+  constexpr std::size_t n = 32;
+  const ul::Vector b(n, 1.0);
+  const ul::SparseMatrix a = tridiagonal(n, 0.0);
+  const auto pinned = ul::gauss_seidel(a, b);
+  ul::IterativeOptions options;  // initial_guess defaults to empty
+  const auto defaulted = ul::gauss_seidel(a, b, options);
+  EXPECT_EQ(pinned.iterations, defaulted.iterations);
+  EXPECT_EQ(pinned.solution, defaulted.solution);
+
+  std::vector<ul::Triplet> t{{0, 0, 0.9}, {0, 1, 0.1}, {1, 0, 0.5},
+                             {1, 1, 0.5}};
+  const ul::SparseMatrix p(2, 2, t);
+  const auto pi_default = ul::power_iteration(p);
+  const auto pi_explicit = ul::power_iteration(p, options);
+  EXPECT_EQ(pi_default.iterations, pi_explicit.iterations);
+  EXPECT_EQ(pi_default.solution, pi_explicit.solution);
+}
+
+TEST(Iterative, WarmStartSeedsPowerIterationAfterNormalization) {
+  std::vector<ul::Triplet> t{{0, 0, 0.9}, {0, 1, 0.1}, {1, 0, 0.5},
+                             {1, 1, 0.5}};
+  const ul::SparseMatrix p(2, 2, t);
+  const auto cold = ul::power_iteration(p);
+  ul::IterativeOptions options;
+  options.initial_guess = {5.0, 1.0};  // un-normalized, near the answer
+  const auto warm = ul::power_iteration(p, options);
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_NEAR(warm.solution[0], 5.0 / 6.0, 1e-10);
+}
+
+TEST(Iterative, WarmStartRejectsSizeMismatch) {
+  const ul::SparseMatrix a = tridiagonal(4, 0.0);
+  ul::IterativeOptions options;
+  options.initial_guess = {1.0, 2.0};  // wrong size
+  EXPECT_THROW((void)ul::gauss_seidel(a, ul::Vector(4, 1.0), options),
+               ModelError);
+  EXPECT_THROW((void)ul::jacobi(a, ul::Vector(4, 1.0), options), ModelError);
+  EXPECT_THROW((void)ul::power_iteration(a, options), ModelError);
+}

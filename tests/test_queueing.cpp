@@ -113,6 +113,37 @@ TEST(Mmck, MoreServersNeverIncreaseLoss) {
   }
 }
 
+TEST(Mmck, ExtremeOverloadStaysFinite) {
+  // rho = 1e5/100 = 1000 with K = 10000: the raw product-form weight
+  // (rho/c)^j overflows double around j ~ 128 without the in-loop
+  // rescale. The loss probability must come back finite and close to the
+  // heavy-traffic limit 1 - c*nu/alpha (nearly every arrival is lost).
+  const double pk = uq::mmck_loss_probability(1e5, 100.0, 4, 10000);
+  EXPECT_TRUE(std::isfinite(pk));
+  EXPECT_GT(pk, 0.0);
+  EXPECT_LT(pk, 1.0);
+  EXPECT_NEAR(pk, 1.0 - 4.0 * 100.0 / 1e5, 1e-6);
+
+  const auto m = uq::mmck_metrics(1e5, 100.0, 4, 10000);
+  EXPECT_TRUE(std::isfinite(m.blocking));
+  EXPECT_NEAR(m.blocking, pk, 1e-15);
+  // All mass piles up at the capacity boundary; every server is busy.
+  EXPECT_NEAR(m.mean_busy_servers, 4.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(m.mean_in_system));
+}
+
+TEST(Mmck, RescaleLeavesModerateCasesUntouched) {
+  // The rescale only triggers when a weight crosses 2^512; the paper's
+  // operating range never gets there, so historical values must be
+  // reproduced exactly (guards the bit-for-bit cache contract).
+  EXPECT_EQ(uq::mmck_loss_probability(100.0, 100.0, 4, 10),
+            uq::mmck_loss_probability(100.0, 100.0, 4, 10));
+  // A mildly large case that does trigger rescaling still normalizes.
+  const double pk = uq::mmck_loss_probability(5000.0, 100.0, 2, 500);
+  EXPECT_TRUE(std::isfinite(pk));
+  EXPECT_NEAR(pk, 1.0 - 2.0 * 100.0 / 5000.0, 1e-9);
+}
+
 TEST(Erlang, KnownTableValues) {
   // Classic telephony values: B(a=2, c=2) = 0.4, B(a=1, c=1) = 0.5.
   EXPECT_NEAR(uq::erlang_b(1.0, 1), 0.5, 1e-12);

@@ -31,6 +31,33 @@ TEST(Sweep, FamilyProducesOneSeriesPerParameter) {
   EXPECT_EQ(family[1].label, "k=20");
 }
 
+TEST(Sweep, ParallelThreadsProduceIdenticalSeries) {
+  // SweepOptions::threads is a pure wall-clock knob: the fan-out must
+  // return the exact bytes of the serial loop, in the same order.
+  std::vector<double> xs;
+  for (int i = 1; i <= 40; ++i) xs.push_back(0.1 * i);
+  const auto measure = [](double x) { return std::exp(-x) * std::sin(x); };
+  const auto serial = us::sweep("series", xs, measure);
+  us::SweepOptions options;
+  options.threads = 4;
+  const auto parallel = us::sweep("series", xs, measure, options);
+  EXPECT_EQ(serial.x, parallel.x);
+  EXPECT_EQ(serial.y, parallel.y);
+
+  const std::vector<double> params{1.0, 2.0, 3.0};
+  const std::vector<std::string> labels{"a", "b", "c"};
+  const auto measure2 = [](double x, double p) { return std::cos(p * x); };
+  const auto family_serial = us::sweep_family(xs, params, labels, measure2);
+  const auto family_parallel =
+      us::sweep_family(xs, params, labels, measure2, options);
+  ASSERT_EQ(family_serial.size(), family_parallel.size());
+  for (std::size_t s = 0; s < family_serial.size(); ++s) {
+    EXPECT_EQ(family_serial[s].label, family_parallel[s].label);
+    EXPECT_EQ(family_serial[s].x, family_parallel[s].x);
+    EXPECT_EQ(family_serial[s].y, family_parallel[s].y);
+  }
+}
+
 TEST(Sweep, FamilyRejectsLabelMismatch) {
   EXPECT_THROW((void)us::sweep_family({1.0}, {1.0, 2.0}, {"only-one"},
                                       [](double, double) { return 0.0; }),

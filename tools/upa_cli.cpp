@@ -24,9 +24,11 @@
 //   --basic            basic architecture (Figure 7)
 //   --perfect          perfect fault coverage
 //   --target-minutes M design target downtime minutes/year (design)
+//   --cache on|off     content-addressed evaluation cache (default off)
 
 #include <iostream>
 
+#include "upa/cache/eval_cache.hpp"
 #include "upa/cli/args.hpp"
 #include "upa/common/error.hpp"
 #include "upa/common/numeric.hpp"
@@ -381,6 +383,9 @@ common options (defaults = paper Table 7):
   --class A|B  --n N  --nw N  --lambda X  --mu X  --coverage X  --beta X
   --alpha X  --nu X  --buffer K  --deadline T  --basic  --perfect
   --target-minutes M
+  --cache on|off     content-addressed evaluation cache (default off);
+                     repeated subsolves replay bit-for-bit and a hit/miss
+                     summary prints after the run
 
 inject options:
   --target NAME      fault target: internet lan web-farm application
@@ -404,11 +409,41 @@ trace options (plus --horizon --sessions --reps --seed --think --retries
   return 0;
 }
 
+/// Applies --cache on|off (default: off, matching the library). Returns
+/// true when the evaluation cache was turned on, so main can print the
+/// hit/miss summary after the command runs.
+bool apply_cache_flag(const upa::cli::Args& args) {
+  if (!args.has("cache")) return false;
+  const std::string mode = args.get("cache", "on");
+  if (mode == "on") {
+    upa::cache::set_enabled(true);
+    return true;
+  }
+  if (mode == "off") {
+    upa::cache::set_enabled(false);
+    return false;
+  }
+  throw upa::common::ModelError("--cache must be on or off, got " + mode);
+}
+
+void print_cache_summary() {
+  const upa::cache::CacheStats s = upa::cache::global().stats();
+  std::cout << "\nevaluation cache: " << s.hits << " hits / " << s.misses
+            << " misses (hit rate " << cm::fmt_fixed(100.0 * s.hit_rate(), 1)
+            << "%), " << s.inserts << " inserts, " << s.evictions
+            << " evictions\n";
+  for (const auto& [solver, stats] : upa::cache::global().per_solver_stats()) {
+    std::cout << "  " << solver << ": " << stats.hits << " hits / "
+              << stats.misses << " misses\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const upa::cli::Args args(argc, argv);
+    const bool cache_on = apply_cache_flag(args);
     int status = 0;
     if (args.command().empty() || args.command() == "help") {
       status = cmd_help();
@@ -431,6 +466,7 @@ int main(int argc, char** argv) {
                 << "' (try: upa_cli help)\n";
       return 2;
     }
+    if (cache_on) print_cache_summary();
     for (const std::string& name : args.unused()) {
       std::cerr << "warning: unused option --" << name << "\n";
     }
