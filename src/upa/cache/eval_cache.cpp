@@ -197,6 +197,15 @@ void EvalCache::clear() {
   solver_stats_.clear();
 }
 
+void EvalCache::reset_stats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stats = CacheStats{};
+  }
+  std::lock_guard<std::mutex> lock(solver_mutex_);
+  solver_stats_.clear();
+}
+
 namespace {
 std::atomic<bool> g_enabled{false};
 }  // namespace

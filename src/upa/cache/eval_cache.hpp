@@ -190,8 +190,15 @@ class EvalCache {
   /// per-solver cache.<solver>.hits / .misses / .hit_rate.
   void publish_metrics(obs::MetricsRegistry& metrics) const;
 
-  /// Drops every entry and zeroes all statistics.
+  /// Drops every entry and zeroes all statistics. A long-lived server
+  /// calls this between reconfigurations (the upa_served `cache` RPC's
+  /// `clear` op) so stale design points stop occupying shard capacity.
   void clear();
+
+  /// Zeroes the whole-cache and per-solver statistics WITHOUT dropping
+  /// entries -- a measurement window reset: stored values keep replaying,
+  /// but hit rates restart from zero.
+  void reset_stats();
 
  private:
   struct Stored {

@@ -1,0 +1,112 @@
+#include "upa/common/bench_json.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace upa::common {
+
+std::vector<std::pair<std::string, std::string>> bench_json_sections(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  std::size_t i = text.find('{');
+  if (i == std::string::npos) return sections;
+  ++i;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' ||
+            text[i] == '\r' || text[i] == ','))
+      ++i;
+  };
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] == '}') break;
+    if (text[i] != '"') break;
+    std::string key;
+    ++i;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) key.push_back(text[i++]);
+      key.push_back(text[i++]);
+    }
+    if (i >= text.size()) break;
+    ++i;  // closing quote
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') break;
+    ++i;
+    skip_ws();
+    const std::size_t value_start = i;
+    int depth = 0;
+    bool in_string = false;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\')
+          ++i;
+        else if (c == '"')
+          in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+      ++i;
+    }
+    std::size_t value_end = i;
+    while (value_end > value_start &&
+           (text[value_end - 1] == ' ' || text[value_end - 1] == '\n' ||
+            text[value_end - 1] == '\t' || text[value_end - 1] == '\r'))
+      --value_end;
+    sections.emplace_back(std::move(key),
+                          text.substr(value_start, value_end - value_start));
+  }
+  return sections;
+}
+
+void write_bench_json(
+    const std::string& path, const std::string& section,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      sections = bench_json_sections(buf.str());
+    }
+  }
+
+  std::ostringstream body;
+  body << "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) body << ",";
+    body << "\n    \"" << fields[i].first << "\": "
+         << std::setprecision(std::numeric_limits<double>::max_digits10)
+         << fields[i].second;
+  }
+  body << "\n  }";
+
+  bool replaced = false;
+  for (auto& [name, raw] : sections) {
+    if (name == section) {
+      raw = body.str();
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(section, body.str());
+
+  std::ofstream out(path);
+  out << "{\n";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << sections[i].first << "\": " << sections[i].second
+        << (i + 1 < sections.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+}
+
+}  // namespace upa::common

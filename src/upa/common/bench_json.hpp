@@ -1,0 +1,34 @@
+#pragma once
+// Section-merge writer for flat JSON benchmark artifacts (BENCH_*.json):
+// a file is one object whose members are named sections, each owned by
+// one harness. write_bench_json replaces or appends a single section
+// while preserving every other harness's sections, so bench_fig11,
+// bench_injection, upa_loadgen, ... can all contribute to the same file
+// in any order. Extracted from bench/bench_util.hpp once upa_loadgen --
+// a shipped tool, not a bench binary -- needed it too.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace upa::common {
+
+/// Splits a one-level JSON object ("{ "k": <raw>, ... }") into its
+/// (key, raw value text) pairs in file order. The scanner is
+/// string-aware (escapes included) and depth-counting, which is all the
+/// structure the bench files use. Malformed input yields whatever
+/// prefix parsed cleanly, which for a bench artifact means the file
+/// gets rewritten.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>>
+bench_json_sections(const std::string& text);
+
+/// Writes (or updates) one named section of a flat JSON benchmark
+/// artifact. Existing sections written by other harnesses are
+/// preserved; a section with the same name is replaced in place, a new
+/// one is appended. Field values are written with max_digits10
+/// precision so they round-trip.
+void write_bench_json(
+    const std::string& path, const std::string& section,
+    const std::vector<std::pair<std::string, double>>& fields);
+
+}  // namespace upa::common

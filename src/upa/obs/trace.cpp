@@ -15,6 +15,7 @@ std::string span_level_name(SpanLevel level) {
     case SpanLevel::kSimEventBatch: return "sim_event_batch";
     case SpanLevel::kCampaignPlan: return "campaign_plan";
     case SpanLevel::kCacheLookup: return "cache_lookup";
+    case SpanLevel::kServeRequest: return "serve_request";
   }
   UPA_ASSERT(false);
   return {};

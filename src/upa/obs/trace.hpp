@@ -26,6 +26,7 @@ enum class SpanLevel {
   kSimEventBatch,       ///< one Engine run_until/run_all batch
   kCampaignPlan,        ///< one fault-injection campaign plan (wall domain)
   kCacheLookup,         ///< one EvalCache lookup (wall domain, attr hit=0/1)
+  kServeRequest,        ///< one RPC request handled by upa_served (wall)
 };
 
 [[nodiscard]] std::string span_level_name(SpanLevel level);

@@ -1,0 +1,373 @@
+#include "upa/serve/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <system_error>
+
+#include "upa/common/error.hpp"
+
+namespace upa::serve {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  static const char* const names[] = {"null",   "bool",  "number",
+                                      "string", "array", "object"};
+  throw common::ModelError(std::string("JSON value is ") +
+                           names[static_cast<int>(got)] + ", expected " +
+                           wanted);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_into(const Json& v, std::string& out);
+
+void dump_into(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      break;
+    case Json::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber:
+      out += format_number(v.as_number());
+      break;
+    case Json::Type::kString:
+      append_escaped(out, v.as_string());
+      break;
+    case Json::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& e : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_into(e, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Json::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_escaped(out, key);
+        out.push_back(':');
+        dump_into(value, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+/// Strict recursive-descent parser over a string view of the input.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw common::ModelError("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return Json(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array elements;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(elements));
+    }
+    while (true) {
+      elements.push_back(parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return Json(std::move(elements));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the code point (no surrogate-pair handling: the
+          // protocol payloads are ASCII identifiers and numbers).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || end != last) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    if (!std::isfinite(value)) {
+      pos_ = start;
+      fail("number out of range");
+    }
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_into(*this, out);
+  return out;
+}
+
+bool Json::operator==(const Json& rhs) const {
+  if (type_ != rhs.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == rhs.bool_;
+    case Type::kNumber: return number_ == rhs.number_;
+    case Type::kString: return string_ == rhs.string_;
+    case Type::kArray: return array_ == rhs.array_;
+    case Type::kObject: return object_ == rhs.object_;
+  }
+  return false;
+}
+
+Json parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string format_number(double value) {
+  UPA_REQUIRE(std::isfinite(value),
+              "JSON numbers must be finite, got a NaN or infinity");
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  UPA_ASSERT(ec == std::errc{});
+  return std::string(buf, end);
+}
+
+}  // namespace upa::serve

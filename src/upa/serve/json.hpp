@@ -1,0 +1,107 @@
+#pragma once
+// Minimal JSON value type for the upa_served wire protocol. The
+// toolchain ships no JSON library, so the serve layer carries its own:
+// a strict recursive-descent parser and a deterministic writer.
+//
+// Determinism contract: dump() is a pure function of the value tree.
+// Object members keep their insertion order (std::map would reorder and
+// make responses depend on construction details), and numbers are
+// written with std::to_chars shortest round-trip formatting -- the same
+// double always serializes to the same bytes, which is what lets the
+// serve tests pin "cache-on responses are byte-identical to cache-off".
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace upa::serve {
+
+/// One JSON value: null, bool, number (double), string, array, object.
+/// A lightweight regular value type; objects are insertion-ordered
+/// vectors of (key, value) pairs with linear lookup -- protocol
+/// envelopes have a handful of members, so ordering beats O(log n).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  Json(int v) : type_(Type::kNumber), number_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber),
+                         number_(static_cast<double>(v)) {}
+  Json(std::size_t v) : type_(Type::kNumber),
+                        number_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Typed accessors; throw ModelError on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup (nullptr when absent or not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const noexcept;
+
+  /// Appends/overwrites an object member (throws unless object).
+  Json& set(const std::string& key, Json value);
+
+  /// Appends an array element (throws unless array).
+  Json& push_back(Json value);
+
+  /// Serializes to compact single-line JSON (no trailing newline).
+  [[nodiscard]] std::string dump() const;
+
+  [[nodiscard]] bool operator==(const Json& rhs) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one complete JSON document; trailing garbage after the value
+/// is an error. Throws common::ModelError with a byte offset on
+/// malformed input. Numbers out of double range and non-finite literals
+/// are rejected (the wire format has no NaN/Infinity).
+[[nodiscard]] Json parse_json(const std::string& text);
+
+/// Shortest round-trip formatting of a finite double (std::to_chars).
+/// Non-finite values throw ModelError: they are unrepresentable in JSON
+/// and a response containing one is a protocol bug, not a formatting
+/// choice.
+[[nodiscard]] std::string format_number(double value);
+
+}  // namespace upa::serve

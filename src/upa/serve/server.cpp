@@ -1,0 +1,414 @@
+#include "upa/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "upa/common/error.hpp"
+
+namespace upa::serve {
+
+namespace {
+
+/// Protocol guard: a request line longer than this is a client bug, not
+/// a workload; the connection is dropped instead of buffering unbounded.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/// How often the acceptor re-checks the stop flag while idle.
+constexpr int kAcceptPollMillis = 100;
+
+void set_recv_timeout(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                       tv.tv_sec)) *
+                                        1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+/// Writes the whole buffer; false on a broken/slow peer. MSG_NOSIGNAL
+/// keeps a disappeared client from killing the process with SIGPIPE.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Pulls one '\n'-terminated line out of (buffer + socket). Returns
+/// false on EOF, timeout, error, or an over-long line.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer, 0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (buffer.size() > kMaxLineBytes) return false;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF, timeout (EAGAIN), or hard error
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      latency_(obs::geometric_buckets(1e-4, 2.0, 18)) {
+  UPA_REQUIRE(config_.workers >= 1, "ServerConfig.workers must be >= 1");
+  UPA_REQUIRE(config_.capacity >= config_.workers,
+              "ServerConfig.capacity must be >= workers (K >= i)");
+  UPA_REQUIRE(config_.deadline_seconds >= 0.0,
+              "ServerConfig.deadline_seconds must be >= 0");
+  UPA_REQUIRE(config_.read_timeout_seconds > 0.0,
+              "ServerConfig.read_timeout_seconds must be > 0");
+  dispatcher_.register_method("stats", [this](const Json&) {
+    const ServerStats s = stats();
+    Json out = Json::object();
+    out.set("workers", Json(config_.workers));
+    out.set("capacity", Json(config_.capacity));
+    out.set("accepted", Json(static_cast<double>(s.accepted)));
+    out.set("rejected", Json(static_cast<double>(s.rejected)));
+    out.set("completed", Json(static_cast<double>(s.completed)));
+    out.set("requests", Json(static_cast<double>(s.requests)));
+    out.set("deadline_missed", Json(static_cast<double>(s.deadline_missed)));
+    out.set("protocol_errors", Json(static_cast<double>(s.protocol_errors)));
+    out.set("in_system", Json(s.in_system));
+    out.set("max_in_system", Json(s.max_in_system));
+    return out;
+  });
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  UPA_REQUIRE(!started_, "Server::start called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  UPA_REQUIRE(listen_fd_ >= 0,
+              std::string("socket() failed: ") + std::strerror(errno));
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::ModelError("ServerConfig.bind_address is not an IPv4 "
+                             "address: " +
+                             config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::ModelError("bind(" + config_.bind_address + ":" +
+                             std::to_string(config_.port) +
+                             ") failed: " + reason);
+  }
+  if (::listen(listen_fd_, 256) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::ModelError("listen() failed: " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+    queue_.clear();
+    in_system_ = 0;
+  }
+  accept_stop_.store(false);
+  started_at_ = Clock::now();
+  started_ = true;
+  running_.store(true);
+
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  accept_stop_.store(true);
+  work_ready_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+  running_.store(false);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load();
+  s.rejected = rejected_.load();
+  s.completed = completed_.load();
+  s.requests = requests_.load();
+  s.deadline_missed = deadline_missed_.load();
+  s.protocol_errors = protocol_errors_.load();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.in_system = in_system_;
+  }
+  s.max_in_system = max_in_system_.load();
+  return s;
+}
+
+void Server::publish_metrics(obs::MetricsRegistry& metrics) const {
+  const ServerStats s = stats();
+  metrics.gauge("serve.accepted").set(static_cast<double>(s.accepted));
+  metrics.gauge("serve.rejected").set(static_cast<double>(s.rejected));
+  metrics.gauge("serve.completed").set(static_cast<double>(s.completed));
+  metrics.gauge("serve.requests").set(static_cast<double>(s.requests));
+  metrics.gauge("serve.deadline_missed")
+      .set(static_cast<double>(s.deadline_missed));
+  metrics.gauge("serve.protocol_errors")
+      .set(static_cast<double>(s.protocol_errors));
+  metrics.gauge("serve.queue_depth").set(static_cast<double>(s.in_system));
+  metrics.gauge("serve.queue_depth_max")
+      .set(static_cast<double>(s.max_in_system));
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  metrics
+      .histogram("serve.request_latency_seconds", latency_.upper_bounds())
+      .merge_from(latency_);
+}
+
+void Server::acceptor_loop() {
+  // Built once: the admission-rejection line written to a connection
+  // that arrives while the system holds K admitted connections.
+  const std::string reject_line =
+      make_error_response(Json(), ErrorCode::kQueueFull,
+                          "server queue full (capacity " +
+                              std::to_string(config_.capacity) + ")")
+          .dump() +
+      "\n";
+
+  while (!accept_stop_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMillis);
+    if (ready <= 0) continue;  // timeout tick or EINTR: re-check stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!stopping_ && in_system_ < config_.capacity) {
+        ++in_system_;
+        std::size_t seen = max_in_system_.load();
+        while (in_system_ > seen &&
+               !max_in_system_.compare_exchange_weak(seen, in_system_)) {
+        }
+        queue_.push_back(Job{fd, Clock::now()});
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      accepted_.fetch_add(1);
+      work_ready_.notify_one();
+      continue;
+    }
+
+    // Reject without ever blocking the accept loop: the socket is made
+    // non-blocking, one short send is attempted (a fresh connection's
+    // send buffer always has room for ~100 bytes; if not, the client
+    // sees the close alone), and the connection is dropped unread.
+    rejected_.fetch_add(1);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    (void)::send(fd, reject_line.data(), reject_line.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and fully drained
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    handle_connection(job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_system_;
+    }
+    completed_.fetch_add(1);
+  }
+}
+
+void Server::handle_connection(const Job& job) {
+  set_recv_timeout(job.fd, config_.read_timeout_seconds);
+  std::string buffer;
+  for (;;) {
+    std::string line;
+    if (!read_line(job.fd, buffer, line)) break;
+    if (line.empty()) continue;
+    const std::string response =
+        respond_line(line, job, Clock::now());
+    if (!send_all(job.fd, response + "\n")) break;
+  }
+  ::close(job.fd);
+}
+
+std::string Server::respond_line(const std::string& line, const Job& job,
+                                 Clock::time_point line_read) {
+  const double queue_wait = seconds_between(job.admitted, line_read);
+
+  Json request;
+  bool parsed = true;
+  try {
+    request = parse_json(line);
+  } catch (const std::exception&) {
+    parsed = false;
+  }
+
+  std::string method = "?";
+  Json id;
+  if (parsed) {
+    if (const Json* m = request.find("method");
+        m != nullptr && m->is_string()) {
+      method = m->as_string();
+    }
+    if (const Json* i = request.find("id"); i != nullptr) id = *i;
+  }
+
+  // Effective deadline: the server-wide budget counts from connection
+  // admission; a request-level `deadline_ms` counts from when its line
+  // was read and can only tighten the budget.
+  Clock::time_point deadline = Clock::time_point::max();
+  if (config_.deadline_seconds > 0.0) {
+    deadline = job.admitted + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(
+                                      config_.deadline_seconds));
+  }
+  if (parsed) {
+    if (const Json* ms = request.find("deadline_ms");
+        ms != nullptr && ms->is_number() && ms->as_number() > 0.0) {
+      const auto request_deadline =
+          line_read + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(ms->as_number() /
+                                                        1000.0));
+      if (request_deadline < deadline) deadline = request_deadline;
+    }
+  }
+
+  int code = 200;
+  std::string response;
+  if (!parsed) {
+    protocol_errors_.fetch_add(1);
+    code = ErrorCode::kBadRequest;
+    response = make_error_response(Json(), code,
+                                   "request line is not valid JSON")
+                   .dump();
+  } else if (Clock::now() > deadline) {
+    // Spent its whole budget waiting in the queue.
+    deadline_missed_.fetch_add(1);
+    code = ErrorCode::kDeadlineExceeded;
+    response = make_error_response(id, code,
+                                   "deadline exceeded before dispatch")
+                   .dump();
+  } else {
+    Json envelope = dispatcher_.dispatch(request);
+    if (const Json* err = envelope.find("error"); err != nullptr) {
+      if (const Json* c = err->find("code"); c != nullptr) {
+        code = static_cast<int>(c->as_number());
+      }
+    }
+    if (Clock::now() > deadline) {
+      // Computed, but past the budget: the client contract is a 504,
+      // even though the work was done (counted as a miss either way).
+      deadline_missed_.fetch_add(1);
+      code = ErrorCode::kDeadlineExceeded;
+      response = make_error_response(
+                     id, code, "deadline exceeded during evaluation")
+                     .dump();
+    } else {
+      response = envelope.dump();
+    }
+  }
+  requests_.fetch_add(1);
+
+  const double latency = seconds_between(job.admitted, Clock::now());
+  observe_request(method, code, queue_wait, latency);
+  return response;
+}
+
+void Server::observe_request(const std::string& method, int code,
+                             double queue_wait_seconds,
+                             double latency_seconds) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_.record(latency_seconds);
+  obs::Observer* ob = config_.obs;
+  if (ob == nullptr) return;
+  ob->metrics.counter("serve.requests").add(1);
+  ob->metrics.counter("serve.code." + std::to_string(code)).add(1);
+  const double end = ob->tracer.wall_now();
+  const obs::SpanId id =
+      ob->tracer.begin(obs::SpanLevel::kServeRequest, method,
+                       end - latency_seconds, obs::TimeDomain::kWallSeconds);
+  ob->tracer.attr(id, "code", static_cast<double>(code));
+  ob->tracer.attr(id, "queue_wait_seconds", queue_wait_seconds);
+  ob->tracer.end(id, end);
+}
+
+}  // namespace upa::serve

@@ -1,0 +1,163 @@
+#pragma once
+// `upa_served` core: a multi-threaded loopback/TCP evaluation service
+// whose own request handling IS the paper's M/M/i/K model. `workers`
+// threads (the paper's i operational servers) drain one bounded queue;
+// `capacity` (the paper's K) bounds the total number of admitted
+// connections in the system -- queued plus in service. Admission
+// control is explicit and non-blocking: when the system is full the
+// acceptor writes a one-line 503 envelope to the new connection and
+// closes it without ever reading the request, so the accept loop can
+// never stall behind a slow client or a full queue. The measured
+// rejection fraction under an open-loop Poisson load is therefore
+// directly comparable to `queueing::mmck_loss_probability` -- the
+// dogfood check run by `upa_loadgen` and pinned in tests/test_serve.cpp.
+//
+// Lifecycle: start() binds, listens, and spawns the acceptor plus the
+// workers; stop() (idempotent, also run by the destructor) closes the
+// listen socket so no new connection is admitted, lets the workers
+// drain every admitted connection, and joins all threads. In-flight
+// requests always complete; post-stop connects are refused by the OS.
+//
+// Deadlines: a server-wide `deadline_seconds` budget (0 = off) applies
+// per request from connection admission; a request may tighten (never
+// extend) it with a `deadline_ms` envelope member measured from when
+// its line was read. An over-deadline request gets a 504 envelope --
+// including when the result was computed but missed the budget.
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "upa/obs/metrics.hpp"
+#include "upa/obs/observer.hpp"
+#include "upa/serve/protocol.hpp"
+
+namespace upa::serve {
+
+struct ServerConfig {
+  /// Bind address; the default confines the service to loopback.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Worker threads draining the request queue -- the model's i.
+  std::size_t workers = 2;
+  /// Total admitted connections in the system (queued + in service) --
+  /// the model's K. Must be >= workers.
+  std::size_t capacity = 8;
+  /// Per-request deadline from admission, seconds; 0 disables.
+  double deadline_seconds = 0.0;
+  /// recv timeout on an idle kept-alive connection; a worker never waits
+  /// longer than this for the next request line before closing.
+  double read_timeout_seconds = 10.0;
+  /// Optional observability sink (non-owning). Records one wall-domain
+  /// `serve_request` span per request (attrs: method, code, queue-wait)
+  /// plus serve.* counters. The observer is mutex-guarded inside the
+  /// server (Tracer/MetricsRegistry are single-threaded by design).
+  obs::Observer* obs = nullptr;
+};
+
+/// Point-in-time counter snapshot (all values since start()).
+struct ServerStats {
+  std::uint64_t accepted = 0;    ///< connections admitted into the queue
+  std::uint64_t rejected = 0;    ///< connections refused with 503 (full)
+  std::uint64_t completed = 0;   ///< admitted connections fully handled
+  std::uint64_t requests = 0;    ///< request lines answered (any code)
+  std::uint64_t deadline_missed = 0;  ///< requests answered with 504
+  std::uint64_t protocol_errors = 0;  ///< unparseable request lines
+  std::size_t in_system = 0;       ///< current queued + in-service
+  std::size_t max_in_system = 0;   ///< high-water mark of in_system
+};
+
+class Server {
+ public:
+  /// Validates the config; the dispatcher gains a server-bound `stats`
+  /// method on top of the built-in evaluator methods.
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns acceptor + workers. Throws ModelError on
+  /// socket failures (port in use, no permission) and if already started.
+  void start();
+
+  /// Graceful drain: stops accepting, serves everything already
+  /// admitted, joins all threads. Idempotent; safe to call from a signal
+  /// watcher thread. Returns once every worker has exited.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+
+  /// The bound TCP port (resolved after start() for port 0 configs).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Snapshots the counters into `metrics` as serve.* gauges and merges
+  /// the request-latency histogram (serve.request_latency_seconds).
+  /// Intended for a fresh registry per snapshot -- merging twice
+  /// double-counts the histogram.
+  void publish_metrics(obs::MetricsRegistry& metrics) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    int fd = -1;
+    Clock::time_point admitted;
+  };
+
+  void acceptor_loop();
+  void worker_loop();
+  void handle_connection(const Job& job);
+  /// One request line -> one response line (counters + deadline checks).
+  [[nodiscard]] std::string respond_line(const std::string& line,
+                                         const Job& job,
+                                         Clock::time_point line_read);
+  void observe_request(const std::string& method, int code,
+                       double queue_wait_seconds, double latency_seconds);
+
+  ServerConfig config_;
+  Dispatcher dispatcher_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> accept_stop_{false};
+  std::mutex stop_mutex_;  // serializes start/stop callers
+  bool started_ = false;   // guarded by stop_mutex_
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;  // guards queue_, in_system_, stopping_
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  std::size_t in_system_ = 0;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> deadline_missed_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::size_t> max_in_system_{0};
+
+  mutable std::mutex latency_mutex_;  // guards latency_ and config_.obs
+  obs::Histogram latency_;
+  Clock::time_point started_at_;
+};
+
+}  // namespace upa::serve

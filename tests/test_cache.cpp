@@ -213,6 +213,34 @@ TEST(EvalCache, ClearDropsEntriesAndStats) {
   EXPECT_TRUE(ec.per_solver_stats().empty());
 }
 
+TEST(EvalCache, ResetStatsKeepsEntriesButZeroesCounters) {
+  // reset_stats is a measurement-window reset: after it, stored values
+  // still replay (no recompute), but hit/miss counters restart at zero.
+  cache::EvalCache ec;
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return 7.0;
+  };
+  (void)ec.get_or_compute<double>(key_of(1.0), compute);
+  (void)ec.get_or_compute<double>(key_of(1.0), compute);
+  ASSERT_EQ(ec.stats().lookups(), 2u);
+
+  ec.reset_stats();
+  EXPECT_EQ(ec.size(), 1u);  // entry survives, unlike clear()
+  EXPECT_EQ(ec.stats().lookups(), 0u);
+  EXPECT_EQ(ec.stats().inserts, 0u);
+  EXPECT_TRUE(ec.per_solver_stats().empty());
+
+  // The stored value replays without recomputation and the fresh window
+  // counts it as a pure hit.
+  EXPECT_EQ(*ec.get_or_compute<double>(key_of(1.0), compute), 7.0);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(ec.stats().hits, 1u);
+  EXPECT_EQ(ec.stats().misses, 0u);
+  EXPECT_EQ(ec.solver_stats("test.solver").hits, 1u);
+}
+
 TEST(EvalCache, ScopedEnableRestoresPreviousState) {
   ASSERT_FALSE(cache::enabled());  // library default: off
   {

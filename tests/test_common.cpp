@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
+#include "upa/common/bench_json.hpp"
 #include "upa/common/csv.hpp"
 #include "upa/common/error.hpp"
 #include "upa/common/numeric.hpp"
@@ -201,4 +206,97 @@ TEST(Csv, ParserRejectsMalformedQuoting) {
   EXPECT_THROW(uc::parse_csv("a\"b"), uc::ModelError);        // stray quote
   EXPECT_THROW(uc::parse_csv("\"open"), uc::ModelError);      // unterminated
   EXPECT_THROW(uc::parse_csv("\"x\"y"), uc::ModelError);  // text after close
+}
+
+// --- bench_json: the BENCH_*.json section-merge writer -------------------
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Self-deleting temp path under the build dir's cwd.
+struct TempFile {
+  std::string path;
+  explicit TempFile(std::string name) : path(std::move(name)) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+TEST(BenchJson, CreatesFileWithOneSection) {
+  TempFile tmp("test_bench_json_create.json");
+  uc::write_bench_json(tmp.path, "alpha", {{"x", 1.5}, {"count", 3.0}});
+  const std::string text = read_file(tmp.path);
+  const auto sections = uc::bench_json_sections(text);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].first, "alpha");
+  EXPECT_NE(sections[0].second.find("\"x\": 1.5"), std::string::npos);
+  EXPECT_NE(sections[0].second.find("\"count\": 3"), std::string::npos);
+}
+
+TEST(BenchJson, AppendsNewSectionsAndPreservesOthers) {
+  TempFile tmp("test_bench_json_append.json");
+  uc::write_bench_json(tmp.path, "first", {{"a", 1.0}});
+  uc::write_bench_json(tmp.path, "second", {{"b", 2.0}});
+  const auto sections = uc::bench_json_sections(read_file(tmp.path));
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].first, "first");
+  EXPECT_EQ(sections[1].first, "second");
+  EXPECT_NE(sections[0].second.find("\"a\": 1"), std::string::npos);
+}
+
+TEST(BenchJson, ReplacesSectionInPlaceKeepingOrder) {
+  TempFile tmp("test_bench_json_replace.json");
+  uc::write_bench_json(tmp.path, "first", {{"a", 1.0}});
+  uc::write_bench_json(tmp.path, "second", {{"b", 2.0}});
+  uc::write_bench_json(tmp.path, "first", {{"a", 9.0}, {"extra", 4.0}});
+  const auto sections = uc::bench_json_sections(read_file(tmp.path));
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].first, "first");  // replaced, not moved to the end
+  EXPECT_NE(sections[0].second.find("\"a\": 9"), std::string::npos);
+  EXPECT_NE(sections[0].second.find("\"extra\": 4"), std::string::npos);
+  EXPECT_EQ(sections[0].second.find("\"a\": 1,"), std::string::npos);
+  EXPECT_NE(sections[1].second.find("\"b\": 2"), std::string::npos);
+}
+
+TEST(BenchJson, ValuesRoundTripAtFullPrecision) {
+  TempFile tmp("test_bench_json_precision.json");
+  const double value = 0.1234567890123456789;  // not representable exactly
+  uc::write_bench_json(tmp.path, "precision", {{"v", value}});
+  const auto sections = uc::bench_json_sections(read_file(tmp.path));
+  ASSERT_EQ(sections.size(), 1u);
+  const std::size_t colon = sections[0].second.find("\"v\": ");
+  ASSERT_NE(colon, std::string::npos);
+  EXPECT_EQ(std::stod(sections[0].second.substr(colon + 5)), value);
+}
+
+TEST(BenchJson, MalformedFileIsRewrittenNotCrashed) {
+  TempFile tmp("test_bench_json_malformed.json");
+  {
+    std::ofstream out(tmp.path);
+    out << "{ this is : not json ]";
+  }
+  uc::write_bench_json(tmp.path, "fresh", {{"x", 1.0}});
+  const auto sections = uc::bench_json_sections(read_file(tmp.path));
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].first, "fresh");
+}
+
+TEST(BenchJson, SectionScannerHandlesStringsAndNesting) {
+  const auto sections = uc::bench_json_sections(
+      "{\n  \"a\": {\"s\": \"tricky \\\"}{\", \"n\": [1, {\"m\": 2}]},\n"
+      "  \"b\": 3.5\n}\n");
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].first, "a");
+  EXPECT_NE(sections[0].second.find("\"m\": 2"), std::string::npos);
+  EXPECT_EQ(sections[1].first, "b");
+  EXPECT_EQ(sections[1].second, "3.5");
+  EXPECT_TRUE(uc::bench_json_sections("no object here").empty());
 }

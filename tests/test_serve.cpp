@@ -1,0 +1,448 @@
+// The evaluation service: dispatcher semantics, loopback server
+// lifecycle, non-blocking admission control, deadlines, graceful drain,
+// and the M/M/i/K dogfood -- the measured rejection fraction of the
+// server itself must match the paper's eq. (3) loss probability.
+//
+// Naming note: the ServeDispatcher / ServeServer suites run under the
+// ThreadSanitizer CI job (its ctest regex includes "Serve").
+// LoadgenLossMeasurement deliberately does NOT match that regex: a
+// statistical timing experiment under TSan's ~10x slowdown would
+// measure the sanitizer, not the server.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "upa/cache/eval_cache.hpp"
+#include "upa/common/error.hpp"
+#include "upa/obs/observer.hpp"
+#include "upa/queueing/mmck.hpp"
+#include "upa/serve/client.hpp"
+#include "upa/serve/loadgen.hpp"
+#include "upa/serve/protocol.hpp"
+#include "upa/serve/server.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace {
+
+using upa::serve::CallOutcome;
+using upa::serve::CallResult;
+using upa::serve::Client;
+using upa::serve::Dispatcher;
+using upa::serve::ErrorCode;
+using upa::serve::Json;
+using upa::serve::parse_json;
+using upa::serve::Server;
+using upa::serve::ServerConfig;
+
+// --- Dispatcher (transport-free) -----------------------------------------
+
+TEST(ServeDispatcher, PingRoundTrip) {
+  const Dispatcher d;
+  const Json response =
+      parse_json(d.dispatch_line(R"({"id": 1, "method": "ping"})"));
+  EXPECT_TRUE(response.find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(response.find("id")->as_number(), 1.0);
+  EXPECT_TRUE(response.find("result")->find("pong")->as_bool());
+}
+
+TEST(ServeDispatcher, ErrorEnvelopes) {
+  const Dispatcher d;
+  // Unparseable line -> 400 with null id.
+  Json r = parse_json(d.dispatch_line("{nope"));
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_TRUE(r.find("id")->is_null());
+  EXPECT_EQ(r.find("error")->find("code")->as_number(),
+            ErrorCode::kBadRequest);
+  // Non-object request -> 400.
+  r = parse_json(d.dispatch_line("[1,2]"));
+  EXPECT_EQ(r.find("error")->find("code")->as_number(),
+            ErrorCode::kBadRequest);
+  // Missing method -> 400; id still echoed.
+  r = parse_json(d.dispatch_line(R"({"id": "abc"})"));
+  EXPECT_EQ(r.find("error")->find("code")->as_number(),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(r.find("id")->as_string(), "abc");
+  // Unknown method -> 404 listing the known ones.
+  r = parse_json(d.dispatch_line(R"({"id": 2, "method": "nope"})"));
+  EXPECT_EQ(r.find("error")->find("code")->as_number(),
+            ErrorCode::kUnknownMethod);
+  EXPECT_NE(r.find("error")->find("message")->as_string().find("ping"),
+            std::string::npos);
+  // Bad parameter value -> 400 (ModelError from the handler).
+  r = parse_json(d.dispatch_line(
+      R"({"id": 3, "method": "sleep", "params": {"seconds": -1}})"));
+  EXPECT_EQ(r.find("error")->find("code")->as_number(),
+            ErrorCode::kBadRequest);
+}
+
+TEST(ServeDispatcher, MmckMetricsMatchesLibrary) {
+  const Dispatcher d;
+  const Json r = parse_json(d.dispatch_line(
+      R"({"id": 4, "method": "mmck_metrics",)"
+      R"( "params": {"alpha": 300, "nu": 100, "servers": 2, "capacity": 4}})"));
+  ASSERT_TRUE(r.find("ok")->as_bool());
+  const double loss = r.find("result")->find("loss_probability")->as_number();
+  EXPECT_DOUBLE_EQ(loss,
+                   upa::queueing::mmck_loss_probability(300.0, 100.0, 2, 4));
+}
+
+TEST(ServeDispatcher, EvaluatorMethodsSucceedOnDefaults) {
+  const Dispatcher d;
+  for (const char* method :
+       {"steady_state", "web_farm_availability", "composite_availability",
+        "user_availability"}) {
+    const Json r = parse_json(d.dispatch_line(
+        std::string(R"({"id": 1, "method": ")") + method + R"("})"));
+    EXPECT_TRUE(r.find("ok")->as_bool()) << method << ": " << r.dump();
+  }
+}
+
+TEST(ServeDispatcher, CacheOnResponsesAreByteIdentical) {
+  // The acceptance contract: with the evaluation cache enabled, every
+  // response line is byte-for-byte the line produced with it disabled.
+  // Each request runs twice under the cache so the second hit replays a
+  // stored value -- if replay or serialization introduced any drift, the
+  // strings would differ.
+  const Dispatcher d;
+  const std::vector<std::string> requests = {
+      R"({"id": 1, "method": "mmck_metrics",)"
+      R"( "params": {"alpha": 211, "nu": 97, "servers": 3, "capacity": 9}})",
+      R"({"id": 2, "method": "steady_state", "params": {"nw": 3}})",
+      R"({"id": 3, "method": "web_farm_availability",)"
+      R"( "params": {"deadline": 0.08}})",
+      R"({"id": 4, "method": "composite_availability", "params": {"nw": 2}})",
+      R"({"id": 5, "method": "user_availability", "params": {"class": "A"}})",
+  };
+
+  std::vector<std::string> uncached;
+  {
+    upa::cache::ScopedEnable off(false);
+    for (const std::string& line : requests) {
+      uncached.push_back(d.dispatch_line(line));
+    }
+  }
+  upa::cache::ScopedEnable on(true);
+  upa::cache::global().clear();
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(d.dispatch_line(requests[i]), uncached[i])
+          << "request " << i << " round " << round;
+    }
+  }
+  // Round two actually hit the cache.
+  EXPECT_GT(upa::cache::global().stats().hits, 0u);
+  upa::cache::global().clear();
+}
+
+// --- Server (loopback TCP) -----------------------------------------------
+
+ServerConfig loopback_config(std::size_t workers, std::size_t capacity) {
+  ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.workers = workers;
+  config.capacity = capacity;
+  return config;
+}
+
+TEST(ServeServer, RejectsInvalidConfig) {
+  ServerConfig bad = loopback_config(0, 4);
+  EXPECT_THROW(Server{bad}, upa::common::ModelError);
+  bad = loopback_config(4, 2);  // capacity < workers
+  EXPECT_THROW(Server{bad}, upa::common::ModelError);
+}
+
+TEST(ServeServer, StartServeStop) {
+  Server server(loopback_config(2, 8));
+  server.start();
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const CallResult r = client.call("ping", Json(), 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.envelope.find("id")->as_number(), 7.0);
+  client.close();
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.in_system, 0u);
+
+  // stop() is idempotent; post-stop connects are refused by the OS.
+  server.stop();
+  Client late;
+  EXPECT_THROW(late.connect("127.0.0.1", server.port(), 0.5),
+               upa::common::ModelError);
+}
+
+TEST(ServeServer, SmokeProbeCoversEveryMethod) {
+  Server server(loopback_config(2, 8));
+  server.start();
+  const upa::serve::SmokeResult smoke =
+      upa::serve::run_smoke_probe("127.0.0.1", server.port());
+  for (const auto& [name, ok] : smoke.checks) {
+    EXPECT_TRUE(ok) << "smoke check failed: " << name;
+  }
+  EXPECT_TRUE(smoke.all_ok);
+  server.stop();
+}
+
+TEST(ServeServer, KeepAliveConnectionServesManyRequests) {
+  Server server(loopback_config(1, 4));
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  for (std::uint64_t id = 0; id < 20; ++id) {
+    const CallResult r = client.call("ping", Json(), id);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.envelope.find("id")->as_number(),
+                     static_cast<double>(id));
+  }
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.stats().requests, 20u);
+  EXPECT_EQ(server.stats().accepted, 1u);  // one admission, many requests
+}
+
+TEST(ServeServer, AdmissionControlRejectsWhenFull) {
+  // i = 1, K = 1: with one connection holding the single slot, the next
+  // connection must receive the pre-built 503 line without the acceptor
+  // ever reading its request.
+  Server server(loopback_config(1, 1));
+  server.start();
+
+  std::atomic<bool> holder_done{false};
+  std::thread holder([&] {
+    Client c;
+    c.connect("127.0.0.1", server.port());
+    Json params = Json::object();
+    params.set("seconds", Json(0.5));
+    const CallResult r = c.call("sleep", std::move(params));
+    EXPECT_TRUE(r.ok());
+    holder_done.store(true);
+  });
+
+  // Let the holder get admitted and into service.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_FALSE(holder_done.load());
+
+  Client rejected;
+  rejected.connect("127.0.0.1", server.port());
+  const CallResult r = rejected.call("ping", Json());
+  EXPECT_EQ(r.outcome, CallOutcome::kRejected);
+  EXPECT_EQ(r.code, ErrorCode::kQueueFull);
+
+  holder.join();
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.max_in_system, 1u);
+
+  // After the rejection, an admitted connection still works: the 503
+  // path never wedges the acceptor.
+  Server fresh(loopback_config(1, 1));
+  fresh.start();
+  Client ok;
+  ok.connect("127.0.0.1", fresh.port());
+  EXPECT_TRUE(ok.call("ping", Json()).ok());
+  fresh.stop();
+}
+
+TEST(ServeServer, ServerDeadlineReturns504) {
+  ServerConfig config = loopback_config(1, 2);
+  config.deadline_seconds = 0.05;
+  Server server(std::move(config));
+  server.start();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  Json params = Json::object();
+  params.set("seconds", Json(0.2));
+  const CallResult r = client.call("sleep", std::move(params));
+  EXPECT_EQ(r.outcome, CallOutcome::kDeadline);
+  EXPECT_EQ(r.code, ErrorCode::kDeadlineExceeded);
+
+  server.stop();
+  EXPECT_EQ(server.stats().deadline_missed, 1u);
+}
+
+TEST(ServeServer, RequestDeadlineTightensButNeverExtends) {
+  ServerConfig config = loopback_config(1, 2);
+  config.deadline_seconds = 10.0;  // generous server budget
+  Server server(std::move(config));
+  server.start();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  // A request-level deadline_ms below the sleep forces a 504 even
+  // though the server-wide budget would allow it.
+  const std::string tight = client.call_line(
+      R"({"id": 1, "method": "sleep",)"
+      R"( "params": {"seconds": 0.1}, "deadline_ms": 20})");
+  EXPECT_EQ(upa::serve::classify_response(tight).outcome,
+            CallOutcome::kDeadline);
+  // A request-level deadline longer than the server's cannot extend it:
+  // with a 10 s server budget and a 5000 ms request budget, a 10 ms
+  // sleep is comfortably inside both.
+  const std::string ok_line = client.call_line(
+      R"({"id": 2, "method": "sleep",)"
+      R"( "params": {"seconds": 0.01}, "deadline_ms": 5000})");
+  EXPECT_TRUE(upa::serve::classify_response(ok_line).ok());
+
+  // Close before stop: a drain waits out an idle kept-alive connection
+  // for the full read timeout otherwise.
+  client.close();
+  server.stop();
+}
+
+TEST(ServeServer, GracefulShutdownDrainsAdmittedConnections) {
+  // Four in-flight sleeps on two workers; stop() must serve all four
+  // (drain, not abort), refuse new connections afterwards, and join
+  // every thread before returning.
+  Server server(loopback_config(2, 8));
+  server.start();
+
+  constexpr int kClients = 4;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      Client c;
+      c.connect("127.0.0.1", server.port());
+      Json params = Json::object();
+      params.set("seconds", Json(0.15));
+      if (c.call("sleep", std::move(params), i).ok()) ++ok_count;
+    });
+  }
+
+  // Give all four time to be admitted, then stop while they sleep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  server.stop();
+
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.in_system, 0u);
+
+  Client late;
+  EXPECT_THROW(late.connect("127.0.0.1", server.port(), 0.5),
+               upa::common::ModelError);
+}
+
+TEST(ServeServer, StatsMethodAndObserverMetrics) {
+  upa::obs::Observer observer;
+  ServerConfig config = loopback_config(2, 8);
+  config.obs = &observer;
+  Server server(std::move(config));
+  server.start();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.call("ping", Json()).ok());
+  const CallResult stats_call = client.call("stats", Json());
+  ASSERT_TRUE(stats_call.ok());
+  const Json* result = stats_call.result();
+  EXPECT_GE(result->find("requests")->as_number(), 1.0);
+  EXPECT_GE(result->find("accepted")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(result->find("rejected")->as_number(), 0.0);
+  client.close();
+  server.stop();
+
+  // The observer saw one serve_request span per request plus counters.
+  EXPECT_GE(observer.tracer.spans().size(), 2u);
+  EXPECT_GE(observer.metrics.counter("serve.requests").value(), 2.0);
+  EXPECT_GE(observer.metrics.counter("serve.code.200").value(), 2.0);
+
+  // publish_metrics exports the counter snapshot as gauges.
+  upa::obs::MetricsRegistry registry;
+  server.publish_metrics(registry);
+  EXPECT_DOUBLE_EQ(registry.gauge("serve.requests").value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("serve.accepted").value(), 1.0);
+}
+
+TEST(ServeServer, SessionReplayCompletesAgainstGenerousCapacity) {
+  Server server(loopback_config(2, 64));
+  server.start();
+
+  upa::serve::SessionConfig config;
+  config.port = server.port();
+  config.uclass = upa::ta::UserClass::kB;
+  config.sessions = 12;
+  config.session_rate = 40.0;
+  config.seed = 7;
+  const upa::serve::SessionResult result =
+      upa::serve::run_session_replay(config);
+  server.stop();
+
+  EXPECT_EQ(result.sessions, 12u);
+  EXPECT_EQ(result.completed, 12u);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_DOUBLE_EQ(result.session_success_fraction, 1.0);
+  // Table 1 class B sessions visit at least one function each.
+  EXPECT_GE(result.mean_invocations_per_session, 1.0);
+}
+
+// --- The dogfood experiment (kept OUT of the TSan regex on purpose) ------
+
+TEST(LoadgenLossMeasurement, MatchesAnalyticMmckLoss) {
+  // lambda = 300/s against i = 2 workers at nu = 100/s with K = 4: the
+  // analytic eq. (3) loss is ~0.40, so rejections are plentiful and the
+  // binomial half-width is small. The tolerance is 4 sigma plus a small
+  // allowance for connect/scheduling overhead shifting effective rates.
+  constexpr double kLambda = 300.0;
+  constexpr double kNu = 100.0;
+  constexpr std::size_t kWorkers = 2;
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::size_t kRequests = 600;
+
+  Server server(loopback_config(kWorkers, kCapacity));
+  server.start();
+
+  upa::serve::LossConfig config;
+  config.port = server.port();
+  config.lambda = kLambda;
+  config.nu = kNu;
+  config.requests = kRequests;
+  config.seed = 20260806;
+  const upa::serve::LossResult result =
+      upa::serve::run_loss_workload(config);
+  server.stop();
+
+  ASSERT_EQ(result.sent, kRequests);
+  EXPECT_EQ(result.transport_errors, 0u);
+  EXPECT_EQ(result.other_errors, 0u);
+
+  const double analytic = upa::queueing::mmck_loss_probability(
+      kLambda, kNu, kWorkers, kCapacity);
+  const double tolerance =
+      4.0 * std::sqrt(analytic * (1.0 - analytic) /
+                      static_cast<double>(kRequests)) +
+      0.02;
+  EXPECT_NEAR(result.measured_loss, analytic, tolerance)
+      << "measured " << result.measured_loss << " vs analytic " << analytic;
+
+  // The server's own books agree with the client's.
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted + stats.rejected,
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.rejected, static_cast<std::uint64_t>(result.rejected));
+  EXPECT_LE(stats.max_in_system, kCapacity);
+}
+
+}  // namespace

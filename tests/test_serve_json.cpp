@@ -1,0 +1,126 @@
+// The serve wire format: strict parsing, deterministic serialization.
+// The determinism assertions here (member order preserved, shortest
+// round-trip doubles) are what make the server's "cache-on responses
+// are byte-identical to cache-off" contract testable at all.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "upa/common/error.hpp"
+#include "upa/serve/json.hpp"
+
+namespace {
+
+using upa::common::ModelError;
+using upa::serve::format_number;
+using upa::serve::Json;
+using upa::serve::parse_json;
+
+TEST(ServeJson, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(ServeJson, ParsesNestedStructures) {
+  const Json v = parse_json(
+      R"({"id": 7, "method": "mmck_metrics",)"
+      R"( "params": {"alpha": 200, "list": [1, 2, 3]}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("id")->as_number(), 7.0);
+  EXPECT_EQ(v.find("method")->as_string(), "mmck_metrics");
+  const Json* params = v.find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_DOUBLE_EQ(params->find("alpha")->as_number(), 200.0);
+  ASSERT_EQ(params->find("list")->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(params->find("list")->as_array()[2].as_number(), 3.0);
+}
+
+TEST(ServeJson, ParsesStringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  // \u escapes decode to UTF-8 bytes.
+  EXPECT_EQ(parse_json("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json(""), ModelError);
+  EXPECT_THROW((void)parse_json("{"), ModelError);
+  EXPECT_THROW((void)parse_json("[1, 2,]"), ModelError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), ModelError);
+  EXPECT_THROW((void)parse_json("tru"), ModelError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), ModelError);
+  // Trailing garbage after a complete value is an error, not ignored.
+  EXPECT_THROW((void)parse_json("42 43"), ModelError);
+  EXPECT_THROW((void)parse_json("{} x"), ModelError);
+  // The wire format has no NaN / Infinity.
+  EXPECT_THROW((void)parse_json("NaN"), ModelError);
+  EXPECT_THROW((void)parse_json("Infinity"), ModelError);
+  EXPECT_THROW((void)parse_json("1e999"), ModelError);
+}
+
+TEST(ServeJson, DumpPreservesInsertionOrder) {
+  Json v = Json::object();
+  v.set("zeta", Json(1));
+  v.set("alpha", Json(2));
+  v.set("mid", Json("x"));
+  EXPECT_EQ(v.dump(), R"({"zeta":1,"alpha":2,"mid":"x"})");
+}
+
+TEST(ServeJson, SetOverwritesInPlace) {
+  Json v = Json::object();
+  v.set("a", Json(1));
+  v.set("b", Json(2));
+  v.set("a", Json(3));  // overwrite keeps the original position
+  EXPECT_EQ(v.dump(), R"({"a":3,"b":2})");
+}
+
+TEST(ServeJson, DumpRoundTripsThroughParse) {
+  const std::string line =
+      R"({"id":7,"ok":true,"result":{"loss":0.125,"servers":4,)"
+      R"("names":["a","b"],"nested":{"x":null}}})";
+  const Json v = parse_json(line);
+  EXPECT_EQ(v.dump(), line);
+  EXPECT_EQ(parse_json(v.dump()), v);
+}
+
+TEST(ServeJson, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(format_number(0.1), "0.1");
+  EXPECT_EQ(format_number(1.0), "1");
+  EXPECT_EQ(format_number(-2.5), "-2.5");
+  // Shortest form that still round-trips exactly.
+  const double loss = 0.39942;
+  EXPECT_EQ(std::stod(format_number(loss)), loss);
+  EXPECT_THROW((void)format_number(std::numeric_limits<double>::infinity()),
+               ModelError);
+  EXPECT_THROW((void)format_number(std::nan("")), ModelError);
+}
+
+TEST(ServeJson, DumpIsDeterministic) {
+  Json v = Json::object();
+  v.set("measured", Json(0.39942));
+  v.set("analytic", Json(1.0 / 3.0));
+  const std::string first = v.dump();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(v.dump(), first);
+}
+
+TEST(ServeJson, StringEscapingInDump) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), R"("a\"b\\c\nd")");
+  // Control bytes escape as \u00XX.
+  EXPECT_EQ(Json(std::string("\x01", 1)).dump(), "\"\\u0001\"");
+}
+
+TEST(ServeJson, TypedAccessorsThrowOnMismatch) {
+  EXPECT_THROW((void)Json(1.0).as_string(), ModelError);
+  EXPECT_THROW((void)Json("x").as_number(), ModelError);
+  EXPECT_THROW((void)Json().as_object(), ModelError);
+  EXPECT_EQ(Json(1.0).find("k"), nullptr);  // find on non-object is nullptr
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Black-box checks of the upa_cli binary's exit-code contract: unknown
+// subcommands and unknown/unused flags must fail loudly (exit 2 plus a
+// usage message) instead of warning and carrying on. The binary path is
+// injected by CMake as UPA_CLI_BINARY.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run_cli(const std::string& arguments) {
+  const std::string command =
+      std::string(UPA_CLI_BINARY) + " " + arguments + " 2>&1";
+  RunResult result;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> chunk{};
+  std::size_t n = 0;
+  while ((n = std::fread(chunk.data(), 1, chunk.size(), pipe)) > 0) {
+    result.output.append(chunk.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+TEST(ToolsCli, HelpExitsZeroAndListsCompanionTools) {
+  const RunResult r = run_cli("help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("commands:"), std::string::npos);
+  // The serve-layer entry points are registered in the help text.
+  EXPECT_NE(r.output.find("upa_served"), std::string::npos);
+  EXPECT_NE(r.output.find("upa_loadgen"), std::string::npos);
+}
+
+TEST(ToolsCli, UnknownSubcommandExitsTwoWithUsage) {
+  const RunResult r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command 'frobnicate'"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(ToolsCli, UnknownFlagExitsTwoWithUsage) {
+  const RunResult r = run_cli("services --frobnicate 3");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option --frobnicate"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(ToolsCli, FlagForWrongCommandExitsTwo) {
+  // --target-minutes belongs to `design`; passing it to `user` is a
+  // typo'd invocation, not a soft warning.
+  const RunResult r = run_cli("user --target-minutes 5");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option --target-minutes"),
+            std::string::npos);
+}
+
+TEST(ToolsCli, ValidCommandStillExitsZero) {
+  const RunResult r = run_cli("services");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Web service"), std::string::npos);
+}
+
+TEST(ToolsCli, ValidOverridesAreAccepted) {
+  const RunResult r = run_cli("user --class A --nw 3 --cache on");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("user-perceived availability"), std::string::npos);
+  EXPECT_NE(r.output.find("evaluation cache"), std::string::npos);
+}
+
+}  // namespace

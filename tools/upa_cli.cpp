@@ -405,6 +405,15 @@ trace options (plus --horizon --sessions --reps --seed --think --retries
   --spans-out PATH   span JSON-lines
   --metrics-out PATH metric snapshot CSV
   --metrics-jsonl P  metric snapshot JSON-lines
+
+companion tools (built alongside upa_cli):
+  upa_served         evaluation service daemon: the models behind this CLI
+                     as newline-delimited JSON RPC over TCP, with M/M/i/K
+                     admission control (--workers i, --capacity K)
+  upa_loadgen        load generator / client for upa_served: smoke probe,
+                     open-loop Poisson loss workload vs the analytic
+                     p_K(i), Table 1 session replay, BENCH_serve.json
+                     design sweep (each prints --help)
 )";
   return 0;
 }
@@ -462,13 +471,21 @@ int main(int argc, char** argv) {
     } else if (args.command() == "trace") {
       status = cmd_trace(args);
     } else {
-      std::cerr << "unknown command '" << args.command()
-                << "' (try: upa_cli help)\n";
+      std::cerr << "unknown command '" << args.command() << "'\n\n"
+                << "usage: upa_cli <command> [--option value ...]\n"
+                << "commands: services user farm profile design inject "
+                   "trace help\n"
+                << "(run `upa_cli help` for details)\n";
       return 2;
     }
     if (cache_on) print_cache_summary();
-    for (const std::string& name : args.unused()) {
-      std::cerr << "warning: unused option --" << name << "\n";
+    const std::vector<std::string> unused = args.unused();
+    if (!unused.empty()) {
+      std::cerr << "unknown option --" << unused.front() << " for command '"
+                << args.command() << "'\n\n"
+                << "usage: upa_cli <command> [--option value ...]\n"
+                << "(run `upa_cli help` for the option list)\n";
+      return 2;
     }
     return status;
   } catch (const std::exception& e) {

@@ -1,0 +1,272 @@
+// upa_loadgen: load-generation client for upa_served.
+//
+// Modes:
+//   smoke    one connection, one request per public RPC method; exit 0
+//            only if every check passes (the CI liveness gate).
+//   loss     open-loop Poisson single-request connections with Exp(nu)
+//            `sleep` service draws against an external server -- the
+//            measured rejection fraction of the paper's M/M/i/K model.
+//   session  open-loop Poisson session arrivals replaying the Table 1
+//            operational profile (class A browsers / class B buyers),
+//            one evaluation RPC per visited function.
+//   bench    self-hosted dogfood experiment: for several (lambda, i, K)
+//            design points, start an in-process Server with i workers
+//            and capacity K, drive the loss workload, and record
+//            measured vs analytic p_K(i) into BENCH_serve.json.
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "upa/cli/args.hpp"
+#include "upa/common/bench_json.hpp"
+#include "upa/common/error.hpp"
+#include "upa/queueing/mmck.hpp"
+#include "upa/serve/loadgen.hpp"
+#include "upa/serve/server.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: upa_loadgen --mode MODE [options]\n"
+        "\n"
+        "modes:\n"
+        "  smoke     one request per RPC method; exit 0 iff all pass\n"
+        "  loss      open-loop Poisson `sleep` workload; reports the\n"
+        "            measured rejection fraction (and the analytic\n"
+        "            M/M/i/K loss when --workers/--capacity are given)\n"
+        "  session   replay Table 1 user sessions (--class A|B)\n"
+        "  bench     self-hosted (lambda, i, K) design sweep; writes\n"
+        "            measured vs analytic loss to --out\n"
+        "\n"
+        "options:\n"
+        "  --host ADDR      server address      (default 127.0.0.1)\n"
+        "  --port N         server port         (default 7077)\n"
+        "  --lambda R       arrival rate [1/s]  (default 150)\n"
+        "  --nu R           service rate [1/s]  (default 100)\n"
+        "  --requests N     loss-mode requests  (default 1000)\n"
+        "  --sessions N     session-mode count  (default 50)\n"
+        "  --session-rate R session arrivals/s  (default 20)\n"
+        "  --class A|B      user class          (default B)\n"
+        "  --workers N      analytic i for loss comparison\n"
+        "  --capacity N     analytic K for loss comparison\n"
+        "  --seed N         RNG seed            (default 1)\n"
+        "  --out PATH       bench artifact      (default BENCH_serve.json)\n"
+        "  --help           this text\n";
+}
+
+/// Thrown once a mode has read every option it understands and
+/// something is left over; main prints usage and exits 2.
+struct UnknownOption {
+  std::string name;
+};
+
+void require_all_options_used(const upa::cli::Args& args) {
+  const std::vector<std::string> unused = args.unused();
+  if (!unused.empty()) throw UnknownOption{unused.front()};
+}
+
+int run_smoke(const upa::cli::Args& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_size("port", 7077));
+  require_all_options_used(args);
+  const upa::serve::SmokeResult r = upa::serve::run_smoke_probe(host, port);
+  for (const auto& [name, ok] : r.checks) {
+    std::cout << (ok ? "ok   " : "FAIL ") << name << "\n";
+  }
+  std::cout << (r.all_ok ? "smoke: all checks passed"
+                         : "smoke: FAILURES above")
+            << std::endl;
+  return r.all_ok ? 0 : 1;
+}
+
+void print_loss(const upa::serve::LossResult& r) {
+  std::cout << "sent=" << r.sent << " ok=" << r.ok
+            << " rejected=" << r.rejected
+            << " deadline_missed=" << r.deadline_missed
+            << " transport_errors=" << r.transport_errors
+            << " other_errors=" << r.other_errors << "\n"
+            << "measured_loss=" << r.measured_loss
+            << " mean_latency_s=" << r.mean_latency_seconds
+            << " max_latency_s=" << r.max_latency_seconds
+            << " offered_rate=" << r.offered_rate << "/s"
+            << " wall_s=" << r.wall_seconds << std::endl;
+}
+
+int run_loss(const upa::cli::Args& args) {
+  upa::serve::LossConfig config;
+  config.host = args.get("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.get_size("port", 7077));
+  config.lambda = args.get_double("lambda", 150.0);
+  config.nu = args.get_double("nu", 100.0);
+  config.requests = args.get_size("requests", 1000);
+  config.seed = args.get_size("seed", 1);
+
+  const std::size_t workers = args.get_size("workers", 0);
+  const std::size_t capacity = args.get_size("capacity", 0);
+  require_all_options_used(args);
+
+  const upa::serve::LossResult r = upa::serve::run_loss_workload(config);
+  print_loss(r);
+  if (workers > 0 && capacity > 0) {
+    const double analytic = upa::queueing::mmck_loss_probability(
+        config.lambda, config.nu, workers, capacity);
+    std::cout << "analytic p_K(i) [i=" << workers << ", K=" << capacity
+              << "] = " << analytic
+              << "  abs_error=" << std::abs(r.measured_loss - analytic)
+              << std::endl;
+  }
+  return r.transport_errors == r.sent ? 1 : 0;
+}
+
+int run_session(const upa::cli::Args& args) {
+  upa::serve::SessionConfig config;
+  config.host = args.get("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.get_size("port", 7077));
+  config.sessions = args.get_size("sessions", 50);
+  config.session_rate = args.get_double("session-rate", 20.0);
+  config.seed = args.get_size("seed", 1);
+  const std::string uclass = args.get("class", "B");
+  UPA_REQUIRE(uclass == "A" || uclass == "B", "--class must be A or B");
+  config.uclass =
+      uclass == "A" ? upa::ta::UserClass::kA : upa::ta::UserClass::kB;
+  require_all_options_used(args);
+
+  const upa::serve::SessionResult r = upa::serve::run_session_replay(config);
+  std::cout << "class " << uclass << ": sessions=" << r.sessions
+            << " completed=" << r.completed << " rejected=" << r.rejected
+            << " failed=" << r.failed << "\n"
+            << "invocations=" << r.invocations
+            << " invocation_failures=" << r.invocation_failures
+            << " mean_invocations_per_session="
+            << r.mean_invocations_per_session << "\n"
+            << "session_success_fraction=" << r.session_success_fraction
+            << std::endl;
+  return r.completed > 0 ? 0 : 1;
+}
+
+struct DesignPoint {
+  double lambda;       ///< arrival rate [1/s]
+  double nu;           ///< service rate [1/s]
+  std::size_t workers; ///< the model's i
+  std::size_t capacity;///< the model's K
+  std::size_t requests;
+};
+
+int run_bench(const upa::cli::Args& args) {
+  const std::string out = args.get("out", "BENCH_serve.json");
+  const std::uint64_t seed = args.get_size("seed", 1);
+  require_all_options_used(args);
+
+  // Three operating regimes of eq. (3): heavy overload, a single
+  // saturated server, and a lightly-loaded farm. Request counts keep
+  // each point's wall clock to a few seconds while the binomial
+  // half-width stays well under the loss being measured.
+  const std::vector<DesignPoint> points = {
+      {300.0, 100.0, 2, 4, 900},
+      {150.0, 100.0, 1, 3, 600},
+      {120.0, 100.0, 2, 6, 600},
+  };
+
+  bool all_within = true;
+  for (const DesignPoint& p : points) {
+    upa::serve::ServerConfig sc;
+    sc.port = 0;  // ephemeral
+    sc.workers = p.workers;
+    sc.capacity = p.capacity;
+    upa::serve::Server server(std::move(sc));
+    server.start();
+
+    upa::serve::LossConfig lc;
+    lc.port = server.port();
+    lc.lambda = p.lambda;
+    lc.nu = p.nu;
+    lc.requests = p.requests;
+    lc.seed = seed;
+    const upa::serve::LossResult r = upa::serve::run_loss_workload(lc);
+    server.stop();
+
+    const double analytic = upa::queueing::mmck_loss_probability(
+        p.lambda, p.nu, p.workers, p.capacity);
+    const double abs_error = std::abs(r.measured_loss - analytic);
+    // 4-sigma binomial half-width plus a small allowance for scheduling
+    // overhead (connect latency shifts effective arrival spacing).
+    const double tolerance =
+        4.0 * std::sqrt(analytic * (1.0 - analytic) /
+                        static_cast<double>(p.requests)) +
+        0.02;
+    const bool within = abs_error <= tolerance;
+    all_within = all_within && within;
+
+    std::ostringstream section;
+    section << "serve_loss_l" << static_cast<int>(p.lambda) << "_i"
+            << p.workers << "_k" << p.capacity;
+    upa::common::write_bench_json(
+        out, section.str(),
+        {{"lambda", p.lambda},
+         {"nu", p.nu},
+         {"workers", static_cast<double>(p.workers)},
+         {"capacity", static_cast<double>(p.capacity)},
+         {"requests", static_cast<double>(r.sent)},
+         {"measured_loss", r.measured_loss},
+         {"analytic_loss", analytic},
+         {"abs_error", abs_error},
+         {"tolerance", tolerance},
+         {"within_tolerance", within ? 1.0 : 0.0},
+         {"transport_errors", static_cast<double>(r.transport_errors)},
+         {"mean_latency_seconds", r.mean_latency_seconds},
+         {"offered_rate", r.offered_rate},
+         {"wall_seconds", r.wall_seconds}});
+
+    std::cout << section.str() << ": measured=" << r.measured_loss
+              << " analytic=" << analytic << " abs_error=" << abs_error
+              << " tolerance=" << tolerance
+              << (within ? " [within]" : " [OUTSIDE]") << std::endl;
+  }
+  std::cout << "wrote " << out << std::endl;
+  return all_within ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upa;
+
+  cli::Args args(argc, argv);
+  if (args.has("help") || args.command() == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (!args.command().empty()) {
+    std::cerr << "upa_loadgen: unexpected positional argument '"
+              << args.command() << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const std::string mode = args.get("mode", "");
+    if (mode != "smoke" && mode != "loss" && mode != "session" &&
+        mode != "bench") {
+      std::cerr << "upa_loadgen: --mode must be smoke | loss | session | "
+                   "bench\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+
+    if (mode == "smoke") return run_smoke(args);
+    if (mode == "loss") return run_loss(args);
+    if (mode == "session") return run_session(args);
+    return run_bench(args);
+  } catch (const UnknownOption& u) {
+    std::cerr << "upa_loadgen: unknown option '--" << u.name << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "upa_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

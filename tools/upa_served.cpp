@@ -1,0 +1,133 @@
+// upa_served: the travel-agency evaluation service daemon.
+//
+// Hosts upa::serve::Server -- newline-delimited JSON RPC over TCP with
+// explicit M/M/i/K admission control (--workers = i, --capacity = K) --
+// until SIGINT/SIGTERM, then drains gracefully and prints a counter
+// summary. See docs/modeling-guide.md ("Serving & load generation") for
+// the wire protocol; upa_loadgen is the matching client.
+
+#include <csignal>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "upa/cache/eval_cache.hpp"
+#include "upa/cli/args.hpp"
+#include "upa/common/error.hpp"
+#include "upa/obs/observer.hpp"
+#include "upa/serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void on_signal(int) { g_stop_requested = 1; }
+
+void print_usage(std::ostream& os) {
+  os << "usage: upa_served [options]\n"
+        "\n"
+        "Serves the travel-agency evaluators as newline-delimited JSON\n"
+        "RPC over TCP. Request handling is the paper's M/M/i/K model:\n"
+        "--workers threads (i) drain one bounded queue and --capacity (K)\n"
+        "bounds admitted connections; on overflow a connection gets an\n"
+        "immediate 503 envelope. SIGINT/SIGTERM drains and exits 0.\n"
+        "\n"
+        "options:\n"
+        "  --bind ADDR        bind address        (default 127.0.0.1)\n"
+        "  --port N           TCP port, 0 = ephemeral (default 7077)\n"
+        "  --workers N        worker threads, the model's i (default 2)\n"
+        "  --capacity N       admitted-connection cap, the model's K;\n"
+        "                     must be >= workers (default 8)\n"
+        "  --deadline-ms N    per-request deadline from admission,\n"
+        "                     0 = off (default 0)\n"
+        "  --read-timeout S   idle keep-alive recv timeout (default 10)\n"
+        "  --cache MODE       evaluation cache: on | off (default on)\n"
+        "  --help             this text\n"
+        "\n"
+        "methods: ping sleep steady_state mmck_metrics\n"
+        "         web_farm_availability composite_availability\n"
+        "         user_availability run_campaign simulate_end_to_end\n"
+        "         cache stats\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upa;
+
+  cli::Args args(argc, argv);
+  if (args.has("help") || args.command() == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (!args.command().empty()) {
+    std::cerr << "upa_served: unexpected positional argument '"
+              << args.command() << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    serve::ServerConfig config;
+    config.bind_address = args.get("bind", "127.0.0.1");
+    config.port = static_cast<std::uint16_t>(args.get_size("port", 7077));
+    config.workers = args.get_size("workers", 2);
+    config.capacity = args.get_size("capacity", 8);
+    config.deadline_seconds = args.get_double("deadline-ms", 0.0) / 1000.0;
+    config.read_timeout_seconds = args.get_double("read-timeout", 10.0);
+    const std::string cache_mode = args.get("cache", "on");
+    UPA_REQUIRE(cache_mode == "on" || cache_mode == "off",
+                "--cache must be 'on' or 'off'");
+
+    const std::vector<std::string> unused = args.unused();
+    if (!unused.empty()) {
+      std::cerr << "upa_served: unknown option '--" << unused.front()
+                << "'\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+
+    cache::set_enabled(cache_mode == "on");
+    obs::Observer observer;
+    config.obs = &observer;
+
+    serve::Server server(std::move(config));
+    server.start();
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    std::cout << "upa_served listening on " << server.config().bind_address
+              << ":" << server.port() << " (workers=i="
+              << server.config().workers << ", capacity=K="
+              << server.config().capacity << ", cache=" << cache_mode
+              << ")" << std::endl;
+
+    while (g_stop_requested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    std::cout << "upa_served: draining..." << std::endl;
+    server.stop();
+
+    const serve::ServerStats stats = server.stats();
+    std::cout << "upa_served: done. accepted=" << stats.accepted
+              << " rejected=" << stats.rejected
+              << " completed=" << stats.completed
+              << " requests=" << stats.requests
+              << " deadline_missed=" << stats.deadline_missed
+              << " protocol_errors=" << stats.protocol_errors
+              << " max_in_system=" << stats.max_in_system << std::endl;
+
+    const cache::CacheStats cs = cache::global().stats();
+    if (cs.lookups() > 0) {
+      std::cout << "cache: lookups=" << cs.lookups() << " hits=" << cs.hits
+                << " hit_rate=" << cs.hit_rate() << std::endl;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "upa_served: " << e.what() << "\n";
+    return 1;
+  }
+}
