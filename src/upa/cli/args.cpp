@@ -69,6 +69,12 @@ std::size_t Args::get_size(const std::string& name,
   return static_cast<std::size_t>(value);
 }
 
+std::vector<std::string> Args::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_) out.push_back(name);
+  return out;
+}
+
 std::vector<std::string> Args::unused() const {
   std::vector<std::string> names;
   for (const auto& [name, value] : options_) {

@@ -35,6 +35,11 @@ class Args {
   [[nodiscard]] std::size_t get_size(const std::string& name,
                                      std::size_t fallback) const;
 
+  /// Every option name provided on the command line, in sorted order;
+  /// lets a tool validate the whole invocation up front (against a
+  /// per-command vocabulary) before doing any work.
+  [[nodiscard]] std::vector<std::string> names() const;
+
   /// Names that were provided but never read (typo detection).
   [[nodiscard]] std::vector<std::string> unused() const;
 

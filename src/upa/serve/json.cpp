@@ -11,6 +11,17 @@ namespace upa::serve {
 
 namespace {
 
+/// Hard cap on container nesting while parsing. Protocol payloads are a
+/// handful of levels deep; anything deeper is a hostile or broken
+/// client, and unbounded recursion would overflow the worker thread's
+/// stack (the 1 MB request-line cap admits ~1M '['s).
+constexpr int kMaxParseDepth = 96;
+
+/// Serialization guard: parse depth plus margin for the envelope levels
+/// the server wraps around echoed client values (id inside a response
+/// object). Server-built responses therefore never trip it.
+constexpr int kMaxDumpDepth = 128;
+
 [[noreturn]] void type_error(const char* wanted, Json::Type got) {
   static const char* const names[] = {"null",   "bool",  "number",
                                       "string", "array", "object"};
@@ -44,9 +55,13 @@ void append_escaped(std::string& out, const std::string& s) {
   out.push_back('"');
 }
 
-void dump_into(const Json& v, std::string& out);
+void dump_into(const Json& v, std::string& out, int depth);
 
-void dump_into(const Json& v, std::string& out) {
+void dump_into(const Json& v, std::string& out, int depth) {
+  if (depth > kMaxDumpDepth) {
+    throw common::ModelError("JSON value nests deeper than " +
+                             std::to_string(kMaxDumpDepth) + " levels");
+  }
   switch (v.type()) {
     case Json::Type::kNull:
       out += "null";
@@ -66,7 +81,7 @@ void dump_into(const Json& v, std::string& out) {
       for (const Json& e : v.as_array()) {
         if (!first) out.push_back(',');
         first = false;
-        dump_into(e, out);
+        dump_into(e, out, depth + 1);
       }
       out.push_back(']');
       break;
@@ -79,7 +94,7 @@ void dump_into(const Json& v, std::string& out) {
         first = false;
         append_escaped(out, key);
         out.push_back(':');
-        dump_into(value, out);
+        dump_into(value, out, depth + 1);
       }
       out.push_back('}');
       break;
@@ -134,8 +149,17 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{':
+      case '[': {
+        if (depth_ >= kMaxParseDepth) {
+          fail("nesting deeper than " + std::to_string(kMaxParseDepth) +
+               " levels");
+        }
+        ++depth_;
+        Json v = c == '{' ? parse_object() : parse_array();
+        --depth_;
+        return v;
+      }
       case '"': return Json(parse_string());
       case 't':
         if (!consume_literal("true")) fail("bad literal");
@@ -283,6 +307,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
@@ -340,7 +365,7 @@ Json& Json::push_back(Json value) {
 
 std::string Json::dump() const {
   std::string out;
-  dump_into(*this, out);
+  dump_into(*this, out, 0);
   return out;
 }
 

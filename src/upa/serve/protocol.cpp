@@ -29,13 +29,22 @@ double get_number(const Json& params, const std::string& key,
   return v->as_number();
 }
 
+/// Largest integer a double represents exactly (2^53). The default cap
+/// for integer params; the double-to-size_t cast below would be
+/// undefined behavior for values above SIZE_MAX, and these come straight
+/// from untrusted request lines.
+constexpr double kMaxSafeInteger = 9007199254740992.0;
+
 std::size_t get_size(const Json& params, const std::string& key,
-                     std::size_t fallback) {
+                     std::size_t fallback,
+                     double max_value = kMaxSafeInteger) {
   const Json* v = params.find(key);
   if (v == nullptr) return fallback;
   const double d = v->as_number();
   UPA_REQUIRE(d >= 0.0 && d == std::floor(d),
               "param '" + key + "' must be a non-negative integer");
+  UPA_REQUIRE(d <= max_value, "param '" + key + "' must be <= " +
+                                  format_number(max_value));
   return static_cast<std::size_t>(d);
 }
 
@@ -56,15 +65,15 @@ std::string get_string(const Json& params, const std::string& key,
 /// names; anything absent keeps the paper's Table 7 default.
 ta::TaParameters ta_params_from(const Json& params) {
   ta::TaParameters p = ta::TaParameters::paper_defaults();
-  p = p.with_reservation_systems(get_size(params, "n", 1));
-  p.n_web = get_size(params, "nw", p.n_web);
+  p = p.with_reservation_systems(get_size(params, "n", 1, 1e3));
+  p.n_web = get_size(params, "nw", p.n_web, 1e3);
   p.lambda_web = get_number(params, "lambda", p.lambda_web);
   p.mu_web = get_number(params, "mu", p.mu_web);
   p.coverage = get_number(params, "coverage", p.coverage);
   p.beta = get_number(params, "beta", p.beta);
   p.alpha = get_number(params, "alpha", p.alpha);
   p.nu = get_number(params, "nu", p.nu);
-  p.buffer = get_size(params, "buffer", p.buffer);
+  p.buffer = get_size(params, "buffer", p.buffer, 1e6);
   if (get_bool(params, "basic", false))
     p.architecture = ta::Architecture::kBasic;
   if (get_bool(params, "perfect", false))
@@ -88,11 +97,11 @@ ta::EndToEndOptions end_to_end_options_from(const Json& params) {
   ta::EndToEndOptions o;
   o.horizon_hours = get_number(params, "horizon", 2000.0);
   o.think_time_hours = get_number(params, "think", 0.0);
-  o.sessions_per_replication = get_size(params, "sessions", 2000);
-  o.replications = get_size(params, "reps", 2);
+  o.sessions_per_replication = get_size(params, "sessions", 2000, 1e7);
+  o.replications = get_size(params, "reps", 2, 1e5);
   o.seed = get_size(params, "seed", 42);
-  o.threads = get_size(params, "threads", 1);
-  o.retry.max_retries = get_size(params, "retries", 0);
+  o.threads = get_size(params, "threads", 1, 1024);
+  o.retry.max_retries = get_size(params, "retries", 0, 1e4);
   o.retry.backoff_base_hours = get_number(params, "backoff", 0.25);
   o.retry.backoff_multiplier = get_number(params, "backoff_mult", 2.0);
   o.retry.response_timeout_seconds =
@@ -161,8 +170,8 @@ Json method_steady_state(const Json& params) {
 Json method_mmck_metrics(const Json& params) {
   const double alpha = get_number(params, "alpha", 100.0);
   const double nu = get_number(params, "nu", 100.0);
-  const std::size_t servers = get_size(params, "servers", 4);
-  const std::size_t capacity = get_size(params, "capacity", 10);
+  const std::size_t servers = get_size(params, "servers", 4, 1e4);
+  const std::size_t capacity = get_size(params, "capacity", 10, 1e6);
   const auto m = queueing::mmck_metrics(alpha, nu, servers, capacity);
   Json out = Json::object();
   out.set("rho", Json(m.rho));

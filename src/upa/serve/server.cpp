@@ -25,7 +25,11 @@ constexpr std::size_t kMaxLineBytes = 1 << 20;
 /// How often the acceptor re-checks the stop flag while idle.
 constexpr int kAcceptPollMillis = 100;
 
-void set_recv_timeout(int fd, double seconds) {
+/// Bounds both directions of socket I/O. The send timeout matters as
+/// much as the recv one: without it a client that stops reading (full
+/// socket buffer) pins a worker in send_all forever, and stop() can
+/// never join that worker.
+void set_io_timeouts(int fd, double seconds) {
   if (seconds <= 0.0) return;
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(seconds);
@@ -33,6 +37,7 @@ void set_recv_timeout(int fd, double seconds) {
                                                        tv.tv_sec)) *
                                         1e6);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 /// Writes the whole buffer; false on a broken/slow peer. MSG_NOSIGNAL
@@ -175,6 +180,11 @@ void Server::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    // Wake connections parked in recv between requests: SHUT_RD makes
+    // their recv return 0 at once, so the drain never waits out a read
+    // timeout on an idle kept-alive client. Safe under mutex_: a worker
+    // closes an fd only after unparking it.
+    for (const int fd : parked_fds_) ::shutdown(fd, SHUT_RD);
   }
   accept_stop_.store(true);
   work_ready_.notify_all();
@@ -297,22 +307,59 @@ void Server::worker_loop() {
 }
 
 void Server::handle_connection(const Job& job) {
-  set_recv_timeout(job.fd, config_.read_timeout_seconds);
+  set_io_timeouts(job.fd, config_.read_timeout_seconds);
   std::string buffer;
+  bool first_request = true;
   for (;;) {
     std::string line;
-    if (!read_line(job.fd, buffer, line)) break;
+    // The first request is always served -- its connection was admitted
+    // -- but between requests the fd is parked so stop() can wake the
+    // blocking recv and end the drain immediately.
+    if (first_request) {
+      if (!read_line(job.fd, buffer, line)) break;
+    } else {
+      if (!park_for_next_request(job.fd)) break;
+      const bool got = read_line(job.fd, buffer, line);
+      unpark(job.fd);
+      if (!got) break;
+    }
     if (line.empty()) continue;
-    const std::string response =
-        respond_line(line, job, Clock::now());
+    const Clock::time_point line_read = Clock::now();
+    // The admission-anchored budget and timings apply only to the
+    // connection's first request; later requests on a kept-alive
+    // connection are each fresh and anchor at their own line read --
+    // otherwise every request after the budget elapsed would 504 and
+    // the latency histogram would absorb the whole connection age.
+    const Clock::time_point anchor =
+        first_request ? job.admitted : line_read;
+    first_request = false;
+    const std::string response = respond_line(line, anchor, line_read);
     if (!send_all(job.fd, response + "\n")) break;
   }
   ::close(job.fd);
 }
 
-std::string Server::respond_line(const std::string& line, const Job& job,
+bool Server::park_for_next_request(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return false;
+  parked_fds_.push_back(fd);
+  return true;
+}
+
+void Server::unpark(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = parked_fds_.begin(); it != parked_fds_.end(); ++it) {
+    if (*it == fd) {
+      parked_fds_.erase(it);
+      return;
+    }
+  }
+}
+
+std::string Server::respond_line(const std::string& line,
+                                 Clock::time_point anchor,
                                  Clock::time_point line_read) {
-  const double queue_wait = seconds_between(job.admitted, line_read);
+  const double queue_wait = seconds_between(anchor, line_read);
 
   Json request;
   bool parsed = true;
@@ -332,14 +379,15 @@ std::string Server::respond_line(const std::string& line, const Job& job,
     if (const Json* i = request.find("id"); i != nullptr) id = *i;
   }
 
-  // Effective deadline: the server-wide budget counts from connection
-  // admission; a request-level `deadline_ms` counts from when its line
-  // was read and can only tighten the budget.
+  // Effective deadline: the server-wide budget counts from the request
+  // anchor (connection admission for a connection's first request, line
+  // read for later ones); a request-level `deadline_ms` counts from
+  // when its line was read and can only tighten the budget.
   Clock::time_point deadline = Clock::time_point::max();
   if (config_.deadline_seconds > 0.0) {
-    deadline = job.admitted + std::chrono::duration_cast<Clock::duration>(
-                                  std::chrono::duration<double>(
-                                      config_.deadline_seconds));
+    deadline = anchor + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                config_.deadline_seconds));
   }
   if (parsed) {
     if (const Json* ms = request.find("deadline_ms");
@@ -388,7 +436,7 @@ std::string Server::respond_line(const std::string& line, const Job& job,
   }
   requests_.fetch_add(1);
 
-  const double latency = seconds_between(job.admitted, Clock::now());
+  const double latency = seconds_between(anchor, Clock::now());
   observe_request(method, code, queue_wait, latency);
   return response;
 }

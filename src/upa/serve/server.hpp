@@ -16,12 +16,19 @@
 // workers; stop() (idempotent, also run by the destructor) closes the
 // listen socket so no new connection is admitted, lets the workers
 // drain every admitted connection, and joins all threads. In-flight
-// requests always complete; post-stop connects are refused by the OS.
+// requests always complete, but a kept-alive connection gets no
+// further requests once the drain begins, and both socket directions
+// carry `read_timeout_seconds`, so stop() always terminates even
+// against a client that keeps sending or stops reading. Post-stop
+// connects are refused by the OS.
 //
 // Deadlines: a server-wide `deadline_seconds` budget (0 = off) applies
-// per request from connection admission; a request may tighten (never
-// extend) it with a `deadline_ms` envelope member measured from when
-// its line was read. An over-deadline request gets a 504 envelope --
+// per request -- anchored at connection admission for a connection's
+// first request and at the line read for every later request on the
+// same kept-alive connection (so long-lived connections are not
+// penalized for their age). A request may tighten (never extend) the
+// budget with a `deadline_ms` envelope member measured from when its
+// line was read. An over-deadline request gets a 504 envelope --
 // including when the result was computed but missed the budget.
 
 #include <atomic>
@@ -50,10 +57,13 @@ struct ServerConfig {
   /// Total admitted connections in the system (queued + in service) --
   /// the model's K. Must be >= workers.
   std::size_t capacity = 8;
-  /// Per-request deadline from admission, seconds; 0 disables.
+  /// Per-request deadline in seconds (0 disables), anchored at
+  /// admission for a connection's first request and at the line read
+  /// for each later request on the same connection.
   double deadline_seconds = 0.0;
-  /// recv timeout on an idle kept-alive connection; a worker never waits
-  /// longer than this for the next request line before closing.
+  /// Socket I/O timeout (both directions): a worker never waits longer
+  /// than this for the next request line, nor for a stalled client to
+  /// drain a response, before closing the connection.
   double read_timeout_seconds = 10.0;
   /// Optional observability sink (non-owning). Records one wall-domain
   /// `serve_request` span per request (attrs: method, code, queue-wait)
@@ -121,9 +131,20 @@ class Server {
   void acceptor_loop();
   void worker_loop();
   void handle_connection(const Job& job);
+  /// Registers a kept-alive connection about to block in recv for its
+  /// next request; stop() shutdown(SHUT_RD)s every parked fd so the
+  /// drain ends immediately instead of waiting out the read timeout.
+  /// Returns false (without parking) once the drain has begun, which is
+  /// also what keeps an endlessly-requesting client from holding the
+  /// drain open: the request in flight finishes, no further ones start.
+  [[nodiscard]] bool park_for_next_request(int fd);
+  void unpark(int fd);
   /// One request line -> one response line (counters + deadline checks).
+  /// `anchor` starts the deadline budget and the latency/queue-wait
+  /// clocks: admission time for a connection's first request, the line
+  /// read time for every later request on the same connection.
   [[nodiscard]] std::string respond_line(const std::string& line,
-                                         const Job& job,
+                                         Clock::time_point anchor,
                                          Clock::time_point line_read);
   void observe_request(const std::string& method, int code,
                        double queue_wait_seconds, double latency_seconds);
@@ -141,11 +162,13 @@ class Server {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mutex_;  // guards queue_, in_system_, stopping_
+  // mutex_ guards queue_, in_system_, stopping_, parked_fds_.
+  mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::deque<Job> queue_;
   std::size_t in_system_ = 0;
   bool stopping_ = false;
+  std::vector<int> parked_fds_;  // connections idle between requests
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};

@@ -55,6 +55,16 @@ TEST(CliArgs, RejectsDuplicatesAndStray) {
   EXPECT_THROW(Args({"cmd", "stray"}), ModelError);
 }
 
+TEST(CliArgs, NamesListsEveryProvidedOption) {
+  const Args args({"user", "--class", "B", "--basic", "--n", "3"});
+  const auto names = args.names();
+  ASSERT_EQ(names.size(), 3u);  // sorted (map order)
+  EXPECT_EQ(names[0], "basic");
+  EXPECT_EQ(names[1], "class");
+  EXPECT_EQ(names[2], "n");
+  EXPECT_TRUE(Args({"farm"}).names().empty());
+}
+
 TEST(CliArgs, UnusedDetection) {
   const Args args({"user", "--class", "B", "--typo", "1"});
   (void)args.get("class", "A");

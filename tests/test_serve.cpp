@@ -81,6 +81,34 @@ TEST(ServeDispatcher, ErrorEnvelopes) {
             ErrorCode::kBadRequest);
 }
 
+TEST(ServeDispatcher, RejectsOutOfRangeIntegerParams) {
+  const Dispatcher d;
+  // 1e30 is non-negative and integral, so it passed the old checks, but
+  // casting it to size_t is undefined behavior -> must 400 instead.
+  Json r = parse_json(d.dispatch_line(
+      R"({"id": 1, "method": "mmck_metrics", "params": {"servers": 1e30}})"));
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("error")->find("code")->as_number(),
+            ErrorCode::kBadRequest);
+  // In-range but absurd simulator sizes are bounded too, so one request
+  // cannot commission years of compute.
+  r = parse_json(d.dispatch_line(
+      R"({"id": 2, "method": "simulate_end_to_end",)"
+      R"( "params": {"sessions": 1e12}})"));
+  EXPECT_EQ(r.find("error")->find("code")->as_number(),
+            ErrorCode::kBadRequest);
+}
+
+TEST(ServeDispatcher, NestingBombIsA400NotACrash) {
+  // A deeply nested request line must come back as a parse-error
+  // envelope; before the parser depth cap it overflowed the stack.
+  const Dispatcher d;
+  const Json r = parse_json(d.dispatch_line(std::string(200000, '[')));
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("error")->find("code")->as_number(),
+            ErrorCode::kBadRequest);
+}
+
 TEST(ServeDispatcher, MmckMetricsMatchesLibrary) {
   const Dispatcher d;
   const Json r = parse_json(d.dispatch_line(
@@ -342,6 +370,56 @@ TEST(ServeServer, GracefulShutdownDrainsAdmittedConnections) {
   Client late;
   EXPECT_THROW(late.connect("127.0.0.1", server.port(), 0.5),
                upa::common::ModelError);
+}
+
+TEST(ServeServer, DrainTerminatesAgainstBusyKeepAliveClient) {
+  // A kept-alive client that never stops issuing requests must not hold
+  // stop() open: once the drain begins, the request in flight is served
+  // and the connection is then closed. The test's real assertion is
+  // that server.stop() returns at all.
+  Server server(loopback_config(1, 2));
+  server.start();
+
+  std::atomic<bool> client_done{false};
+  std::thread client([&] {
+    Client c;
+    c.connect("127.0.0.1", server.port());
+    for (std::uint64_t id = 0; id < 1000000; ++id) {
+      if (!c.call("ping", Json(), id).ok()) break;  // closed by the drain
+    }
+    client_done.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.stop();
+  client.join();
+  EXPECT_TRUE(client_done.load());
+  EXPECT_EQ(server.stats().in_system, 0u);
+  EXPECT_GE(server.stats().requests, 1u);
+}
+
+TEST(ServeServer, KeepAliveRequestsGetFreshDeadlineBudgets) {
+  // The server-wide budget anchors per request, not per connection: two
+  // sequential sleeps that each fit the budget must both succeed even
+  // though their sum exceeds it. (Before the fix, every request after
+  // the connection aged past the budget spuriously 504'd.)
+  ServerConfig config = loopback_config(1, 2);
+  config.deadline_seconds = 0.3;
+  Server server(std::move(config));
+  server.start();
+
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    Json params = Json::object();
+    params.set("seconds", Json(0.2));
+    const CallResult r = client.call("sleep", std::move(params), id);
+    EXPECT_TRUE(r.ok()) << "request " << id << " outcome "
+                        << upa::serve::call_outcome_name(r.outcome);
+  }
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.stats().deadline_missed, 0u);
 }
 
 TEST(ServeServer, StatsMethodAndObserverMetrics) {

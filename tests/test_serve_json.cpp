@@ -65,6 +65,41 @@ TEST(ServeJson, RejectsMalformedInput) {
   EXPECT_THROW((void)parse_json("1e999"), ModelError);
 }
 
+TEST(ServeJson, RejectsPathologicalNesting) {
+  // A hostile request line of repeated '[' (the server admits lines up
+  // to 1 MB) must be rejected by the depth cap, not recursed into until
+  // the worker thread's stack overflows.
+  const std::string bombs[] = {std::string(2000, '['),
+                               std::string(100000, '['),
+                               [] {
+                                 std::string s;
+                                 for (int i = 0; i < 2000; ++i) s += "{\"a\":";
+                                 return s;
+                               }()};
+  for (const std::string& bomb : bombs) {
+    EXPECT_THROW((void)parse_json(bomb), ModelError);
+  }
+  // Modest nesting is untouched by the cap and round-trips.
+  std::string deep;
+  for (int i = 0; i < 40; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 40; ++i) deep += "]";
+  EXPECT_EQ(parse_json(deep).dump(), deep);
+}
+
+TEST(ServeJson, DumpGuardsAgainstRunawayDepth) {
+  // dump() carries the same guard as the parser: programmatically built
+  // towers beyond the serialization cap throw instead of recursing off
+  // the stack.
+  Json deep = Json(1.0);
+  for (int i = 0; i < 400; ++i) {
+    Json wrapper = Json::array();
+    wrapper.push_back(std::move(deep));
+    deep = std::move(wrapper);
+  }
+  EXPECT_THROW((void)deep.dump(), ModelError);
+}
+
 TEST(ServeJson, DumpPreservesInsertionOrder) {
   Json v = Json::object();
   v.set("zeta", Json(1));

@@ -55,6 +55,9 @@ TEST(ToolsCli, UnknownFlagExitsTwoWithUsage) {
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("unknown option --frobnicate"), std::string::npos);
   EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  // Fail fast: the typo is caught before the command runs, so no
+  // results were computed or printed before the failure.
+  EXPECT_EQ(r.output.find("Web service"), std::string::npos);
 }
 
 TEST(ToolsCli, FlagForWrongCommandExitsTwo) {
@@ -64,6 +67,18 @@ TEST(ToolsCli, FlagForWrongCommandExitsTwo) {
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("unknown option --target-minutes"),
             std::string::npos);
+  EXPECT_EQ(r.output.find("user-perceived availability"), std::string::npos);
+}
+
+TEST(ToolsCli, MisspelledOptionalFlagFailsBeforeAnyWork) {
+  // The regression this pins: --abandon is an inject option, not a
+  // trace one. Before the pre-dispatch check, `trace --abandon 0.5`
+  // ran the whole instrumented simulation, printed its results, and
+  // only then exited 2 with the flag silently ignored.
+  const RunResult r = run_cli("trace --abandon 0.5 --sessions 5 --reps 1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option --abandon"), std::string::npos);
+  EXPECT_EQ(r.output.find("instrumented run"), std::string::npos);
 }
 
 TEST(ToolsCli, ValidCommandStillExitsZero) {

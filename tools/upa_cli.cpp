@@ -26,7 +26,10 @@
 //   --target-minutes M design target downtime minutes/year (design)
 //   --cache on|off     content-addressed evaluation cache (default off)
 
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "upa/cache/eval_cache.hpp"
 #include "upa/cli/args.hpp"
@@ -435,6 +438,42 @@ bool apply_cache_flag(const upa::cli::Args& args) {
   throw upa::common::ModelError("--cache must be on or off, got " + mode);
 }
 
+/// Each subcommand's option vocabulary, used to reject a typo'd flag
+/// BEFORE the command runs. Args marks options used lazily as commands
+/// read them, so an after-the-fact `unused()` check would do all the
+/// work (print results, write files) with the misspelled flag silently
+/// ignored and only then report failure. Must track what each cmd_*
+/// actually reads.
+bool option_allowed(const std::string& command, const std::string& name) {
+  if (name == "cache") return true;  // global, applied before dispatch
+  static const std::vector<std::string> kModel = {
+      "n",     "nw", "lambda", "mu",     "coverage", "beta",
+      "alpha", "nu", "buffer", "basic",  "perfect"};
+  static const std::vector<std::string> kSim = {
+      "horizon", "think",   "sessions", "reps",      "seed",
+      "threads", "retries", "backoff",  "timeout-ms"};
+  const auto in = [&name](const std::vector<std::string>& set) {
+    return std::find(set.begin(), set.end(), name) != set.end();
+  };
+  if (command == "services") return in(kModel);
+  if (command == "user") return in(kModel) || name == "class";
+  if (command == "farm") return in(kModel) || name == "deadline";
+  if (command == "profile") return name == "class";
+  if (command == "design") return in(kModel) || name == "target-minutes";
+  if (command == "inject") {
+    return in(kModel) || in(kSim) || name == "class" ||
+           name == "backoff-mult" || name == "abandon" || name == "target" ||
+           name == "outage-start" || name == "outage-hours" || name == "csv";
+  }
+  if (command == "trace") {
+    return in(kModel) || in(kSim) || name == "class" ||
+           name == "trace-level" || name == "trace-out" ||
+           name == "spans-out" || name == "metrics-out" ||
+           name == "metrics-jsonl";
+  }
+  return false;  // help / no command: only --cache
+}
+
 void print_cache_summary() {
   const upa::cache::CacheStats s = upa::cache::global().stats();
   std::cout << "\nevaluation cache: " << s.hits << " hits / " << s.misses
@@ -452,6 +491,27 @@ void print_cache_summary() {
 int main(int argc, char** argv) {
   try {
     const upa::cli::Args args(argc, argv);
+    static const std::vector<std::string> kCommands = {
+        "",     "help",   "services", "user",  "farm",
+        "profile", "design", "inject",   "trace"};
+    if (std::find(kCommands.begin(), kCommands.end(), args.command()) ==
+        kCommands.end()) {
+      std::cerr << "unknown command '" << args.command() << "'\n\n"
+                << "usage: upa_cli <command> [--option value ...]\n"
+                << "commands: services user farm profile design inject "
+                   "trace help\n"
+                << "(run `upa_cli help` for details)\n";
+      return 2;
+    }
+    for (const std::string& name : args.names()) {
+      if (!option_allowed(args.command(), name)) {
+        std::cerr << "unknown option --" << name << " for command '"
+                  << args.command() << "'\n\n"
+                  << "usage: upa_cli <command> [--option value ...]\n"
+                  << "(run `upa_cli help` for the option list)\n";
+        return 2;
+      }
+    }
     const bool cache_on = apply_cache_flag(args);
     int status = 0;
     if (args.command().empty() || args.command() == "help") {
@@ -470,23 +530,8 @@ int main(int argc, char** argv) {
       status = cmd_inject(args);
     } else if (args.command() == "trace") {
       status = cmd_trace(args);
-    } else {
-      std::cerr << "unknown command '" << args.command() << "'\n\n"
-                << "usage: upa_cli <command> [--option value ...]\n"
-                << "commands: services user farm profile design inject "
-                   "trace help\n"
-                << "(run `upa_cli help` for details)\n";
-      return 2;
     }
     if (cache_on) print_cache_summary();
-    const std::vector<std::string> unused = args.unused();
-    if (!unused.empty()) {
-      std::cerr << "unknown option --" << unused.front() << " for command '"
-                << args.command() << "'\n\n"
-                << "usage: upa_cli <command> [--option value ...]\n"
-                << "(run `upa_cli help` for the option list)\n";
-      return 2;
-    }
     return status;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
