@@ -75,6 +75,23 @@ std::vector<std::string> Args::names() const {
   return out;
 }
 
+std::vector<std::string> unknown_options(
+    const Args& args, const std::vector<std::string>& allowed) {
+  std::vector<std::string> out;
+  for (const std::string& name : args.names()) {
+    if (name == "help") continue;
+    bool found = false;
+    for (const std::string& candidate : allowed) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.push_back(name);
+  }
+  return out;
+}
+
 std::vector<std::string> Args::unused() const {
   std::vector<std::string> names;
   for (const auto& [name, value] : options_) {

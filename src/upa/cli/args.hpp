@@ -51,4 +51,12 @@ class Args {
   mutable std::map<std::string, bool> accessed_;
 };
 
+/// Allowlist validation, shared by every tool: the provided option
+/// names not in `allowed`, in sorted order. Run this *before* any work
+/// with side effects so a typo'd flag exits with usage instead of
+/// half-running (e.g. `upa_dispatch --upstraems` must not bind a port).
+/// "help" is always allowed.
+[[nodiscard]] std::vector<std::string> unknown_options(
+    const Args& args, const std::vector<std::string>& allowed);
+
 }  // namespace upa::cli

@@ -17,13 +17,17 @@ namespace {
 
 void check_farm(const WebFarmParams& farm, bool imperfect) {
   UPA_REQUIRE(farm.servers >= 1, "farm needs at least one server");
-  UPA_REQUIRE(farm.failure_rate > 0.0 && farm.repair_rate > 0.0,
-              "failure and repair rates must be positive");
+  UPA_REQUIRE(std::isfinite(farm.failure_rate) &&
+                  std::isfinite(farm.repair_rate) &&
+                  farm.failure_rate > 0.0 && farm.repair_rate > 0.0,
+              "failure and repair rates must be positive and finite");
   if (imperfect) {
-    UPA_REQUIRE(farm.coverage >= 0.0 && farm.coverage <= 1.0,
+    UPA_REQUIRE(std::isfinite(farm.coverage) && farm.coverage >= 0.0 &&
+                    farm.coverage <= 1.0,
                 "coverage must be a probability");
-    UPA_REQUIRE(farm.reconfiguration_rate > 0.0,
-                "reconfiguration rate must be positive");
+    UPA_REQUIRE(std::isfinite(farm.reconfiguration_rate) &&
+                    farm.reconfiguration_rate > 0.0,
+                "reconfiguration rate must be positive and finite");
   }
 }
 
@@ -91,6 +95,18 @@ std::vector<double> perfect_coverage_distribution(const WebFarmParams& farm) {
 ImperfectDistribution imperfect_coverage_distribution(
     const WebFarmParams& farm) {
   check_farm(farm, true);
+  if (farm.coverage == 1.0) {
+    // Every y-state is unreachable, so the operational marginal IS the
+    // perfect-coverage distribution. Delegating (instead of running the
+    // straight-sum normalization below with zero manual mass) makes the
+    // equality bit-for-bit: perfect_coverage_distribution normalizes
+    // with a compensated Kahan sum, and the two code paths would
+    // otherwise differ in the last ulp.
+    ImperfectDistribution dist;
+    dist.operational = perfect_coverage_distribution(farm);
+    dist.manual.assign(farm.servers + 1, 0.0);
+    return dist;
+  }
   // Operational states keep the perfect-coverage product form (the cut
   // between {>= i} and {< i} is crossed only by the total failure flow
   // i*lambda*pi_i and the repair flow mu*pi_{i-1}); manual states obey

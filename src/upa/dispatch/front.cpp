@@ -1,0 +1,590 @@
+#include "upa/dispatch/front.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "upa/common/error.hpp"
+#include "upa/serve/client.hpp"
+#include "upa/serve/protocol.hpp"
+
+namespace upa::dispatch {
+
+namespace {
+
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+constexpr int kAcceptPollMillis = 100;
+constexpr std::size_t kOutcomeCount = 5;  // AttemptOutcome cardinality
+
+void set_io_timeouts(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                       tv.tv_sec)) *
+                                        1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer, 0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (buffer.size() > kMaxLineBytes) return false;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+AttemptOutcome from_call_outcome(serve::CallOutcome outcome) {
+  switch (outcome) {
+    case serve::CallOutcome::kOk: return AttemptOutcome::kOk;
+    case serve::CallOutcome::kRejected: return AttemptOutcome::kRejected;
+    case serve::CallOutcome::kDeadline: return AttemptOutcome::kDeadline;
+    case serve::CallOutcome::kError: return AttemptOutcome::kError;
+    case serve::CallOutcome::kTransportError:
+      return AttemptOutcome::kTransport;
+  }
+  return AttemptOutcome::kTransport;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Front::Front(FrontConfig config)
+    : config_(std::move(config)),
+      pool_(config_.upstreams),
+      balancer_(pool_, config_.policy),
+      jitter_rng_(config_.retry.jitter_seed) {
+  UPA_REQUIRE(config_.workers >= 1, "FrontConfig.workers must be >= 1");
+  UPA_REQUIRE(config_.max_clients >= config_.workers,
+              "FrontConfig.max_clients must be >= workers");
+  UPA_REQUIRE(config_.read_timeout_seconds > 0.0,
+              "FrontConfig.read_timeout_seconds must be > 0");
+  UPA_REQUIRE(config_.upstream_connect_timeout_seconds > 0.0,
+              "FrontConfig.upstream_connect_timeout_seconds must be > 0");
+  UPA_REQUIRE(config_.upstream_call_timeout_seconds > 0.0,
+              "FrontConfig.upstream_call_timeout_seconds must be > 0");
+  UPA_REQUIRE(config_.retry.max_attempts >= 1,
+              "RetryConfig.max_attempts must be >= 1");
+  UPA_REQUIRE(config_.retry.backoff_initial_seconds >= 0.0 &&
+                  config_.retry.backoff_max_seconds >=
+                      config_.retry.backoff_initial_seconds,
+              "RetryConfig backoff bounds must satisfy 0 <= initial <= max");
+  UPA_REQUIRE(config_.retry.jitter >= 0.0 && config_.retry.jitter <= 1.0,
+              "RetryConfig.jitter must be in [0, 1]");
+  check_health_config(config_.health);
+  health_ = std::make_unique<HealthChecker>(pool_, config_.health);
+  latency_by_outcome_.reserve(kOutcomeCount);
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    latency_by_outcome_.emplace_back(obs::geometric_buckets(1e-4, 2.0, 18));
+  }
+}
+
+Front::~Front() { stop(); }
+
+void Front::start() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  UPA_REQUIRE(!started_, "Front::start called twice");
+
+  // SOCK_CLOEXEC: replica restarts fork from this process mid-run; a
+  // child inheriting live sockets would suppress EOF for every peer.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  UPA_REQUIRE(listen_fd_ >= 0,
+              std::string("socket() failed: ") + std::strerror(errno));
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::ModelError("FrontConfig.bind_address is not an IPv4 "
+                             "address: " +
+                             config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::ModelError("bind(" + config_.bind_address + ":" +
+                             std::to_string(config_.port) +
+                             ") failed: " + reason);
+  }
+  if (::listen(listen_fd_, 256) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::ModelError("listen() failed: " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+    queue_.clear();
+    in_system_ = 0;
+  }
+  accept_stop_.store(false);
+  started_ = true;
+  running_.store(true);
+
+  health_->start();  // initial sweep runs before any traffic is forwarded
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Front::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (const int fd : parked_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  accept_stop_.store(true);
+  work_ready_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  health_->stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+  running_.store(false);
+}
+
+FrontStats Front::stats() const {
+  FrontStats s;
+  s.accepted = accepted_.load();
+  s.rejected = rejected_.load();
+  s.completed = completed_.load();
+  s.requests = requests_.load();
+  s.forwarded_ok = forwarded_ok_.load();
+  s.forwarded_rejected = forwarded_rejected_.load();
+  s.forwarded_deadline = forwarded_deadline_.load();
+  s.forwarded_error = forwarded_error_.load();
+  s.forwarded_transport = forwarded_transport_.load();
+  s.retries = retries_.load();
+  s.failovers = failovers_.load();
+  s.retries_exhausted = retries_exhausted_.load();
+  s.stats_served = stats_served_.load();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.in_system = in_system_;
+  }
+  s.max_in_system = max_in_system_.load();
+  return s;
+}
+
+std::vector<UpstreamSnapshot> Front::upstreams() const {
+  return pool_.snapshot();
+}
+
+void Front::publish_metrics(obs::MetricsRegistry& metrics) const {
+  const FrontStats s = stats();
+  metrics.gauge("dispatch.accepted").set(static_cast<double>(s.accepted));
+  metrics.gauge("dispatch.rejected").set(static_cast<double>(s.rejected));
+  metrics.gauge("dispatch.requests").set(static_cast<double>(s.requests));
+  metrics.gauge("dispatch.forwarded_ok")
+      .set(static_cast<double>(s.forwarded_ok));
+  metrics.gauge("dispatch.forwarded_rejected")
+      .set(static_cast<double>(s.forwarded_rejected));
+  metrics.gauge("dispatch.forwarded_deadline")
+      .set(static_cast<double>(s.forwarded_deadline));
+  metrics.gauge("dispatch.forwarded_error")
+      .set(static_cast<double>(s.forwarded_error));
+  metrics.gauge("dispatch.forwarded_transport")
+      .set(static_cast<double>(s.forwarded_transport));
+  metrics.gauge("dispatch.retries").set(static_cast<double>(s.retries));
+  metrics.gauge("dispatch.failovers").set(static_cast<double>(s.failovers));
+  metrics.gauge("dispatch.retries_exhausted")
+      .set(static_cast<double>(s.retries_exhausted));
+  for (const UpstreamSnapshot& u : pool_.snapshot()) {
+    const std::string prefix = "dispatch.upstream." + u.address.label();
+    metrics.gauge(prefix + ".healthy").set(u.healthy ? 1.0 : 0.0);
+    metrics.gauge(prefix + ".attempts")
+        .set(static_cast<double>(u.attempts));
+    metrics.gauge(prefix + ".ok").set(static_cast<double>(u.ok));
+    metrics.gauge(prefix + ".rejected")
+        .set(static_cast<double>(u.rejected));
+    metrics.gauge(prefix + ".transport")
+        .set(static_cast<double>(u.transport));
+    metrics.gauge(prefix + ".ejections")
+        .set(static_cast<double>(u.ejections));
+    metrics.gauge(prefix + ".readmissions")
+        .set(static_cast<double>(u.readmissions));
+  }
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  for (std::size_t i = 0; i < latency_by_outcome_.size(); ++i) {
+    const std::string name =
+        "dispatch.attempt_latency_seconds." +
+        attempt_outcome_name(static_cast<AttemptOutcome>(i));
+    metrics.histogram(name, latency_by_outcome_[i].upper_bounds())
+        .merge_from(latency_by_outcome_[i]);
+  }
+}
+
+ForwardAttempt Front::attempt_once(std::size_t index,
+                                   const std::string& line,
+                                   std::string& response_out) {
+  const UpstreamAddress& address = pool_.address(index);
+  pool_.begin_call(index);
+  const Clock::time_point begin = Clock::now();
+  ForwardAttempt attempt;
+  attempt.upstream_index = index;
+  try {
+    serve::Client client;
+    client.connect(address.host, address.port,
+                   config_.upstream_connect_timeout_seconds,
+                   config_.upstream_call_timeout_seconds);
+    response_out = client.call_line(line);
+    attempt.outcome =
+        from_call_outcome(serve::classify_response(response_out).outcome);
+  } catch (const std::exception&) {
+    attempt.outcome = AttemptOutcome::kTransport;
+    response_out.clear();
+  }
+  const double latency = seconds_between(begin, Clock::now());
+  pool_.end_call(index, attempt.outcome, latency);
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    latency_by_outcome_[static_cast<std::size_t>(attempt.outcome)].record(
+        latency);
+    if (config_.obs != nullptr) {
+      config_.obs->metrics.counter("dispatch.attempts").add(1);
+      config_.obs->metrics
+          .counter("dispatch.attempt." +
+                   attempt_outcome_name(attempt.outcome))
+          .add(1);
+    }
+  }
+  return attempt;
+}
+
+void Front::backoff_sleep(std::size_t retry_number) {
+  double delay = config_.retry.backoff_initial_seconds *
+                 std::pow(2.0, static_cast<double>(retry_number - 1));
+  delay = std::min(delay, config_.retry.backoff_max_seconds);
+  if (delay <= 0.0) return;
+  double u = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    u = jitter_rng_.uniform01();
+  }
+  delay *= 1.0 - config_.retry.jitter * u;
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+std::string Front::exhausted_envelope(
+    const std::string& request_line,
+    const std::vector<ForwardAttempt>& attempts) const {
+  serve::Json id;
+  try {
+    const serve::Json request = serve::parse_json(request_line);
+    if (const serve::Json* i = request.find("id"); i != nullptr) id = *i;
+  } catch (const std::exception&) {
+    // id stays null, like the upstreams' own unparseable-line envelopes
+  }
+  serve::Json trail = serve::Json::array();
+  for (const ForwardAttempt& a : attempts) {
+    serve::Json entry = serve::Json::object();
+    entry.set("upstream", serve::Json(pool_.address(a.upstream_index).label()));
+    entry.set("outcome", serve::Json(attempt_outcome_name(a.outcome)));
+    trail.push_back(std::move(entry));
+  }
+  // Same member order as make_error_response, plus the attempt trail.
+  serve::Json error = serve::Json::object();
+  error.set("code", serve::Json(serve::ErrorCode::kQueueFull));
+  error.set("message", serve::Json("retries_exhausted"));
+  error.set("attempts", std::move(trail));
+  serve::Json envelope = serve::Json::object();
+  envelope.set("id", id);
+  envelope.set("ok", serve::Json(false));
+  envelope.set("error", std::move(error));
+  return envelope.dump();
+}
+
+ForwardResult Front::forward_line(const std::string& request_line) {
+  ForwardResult out;
+  const std::vector<std::size_t> order =
+      balancer_.pick(affinity_key(request_line));
+  const std::size_t budget = config_.retry.max_attempts;
+
+  for (std::size_t attempt_no = 0; attempt_no < budget; ++attempt_no) {
+    // Walk the balancer's preference order: healthy replicas first, so
+    // for budget <= N every retry lands on a different, untried
+    // replica; past N the walk wraps (better a repeat than a give-up).
+    const std::size_t index = order[attempt_no % order.size()];
+    if (attempt_no > 0) {
+      retries_.fetch_add(1);
+      if (index != out.attempts.back().upstream_index) {
+        failovers_.fetch_add(1);
+      }
+      backoff_sleep(attempt_no);
+    }
+    std::string response;
+    const ForwardAttempt attempt = attempt_once(index, request_line,
+                                                response);
+    out.attempts.push_back(attempt);
+    if (attempt.outcome == AttemptOutcome::kOk ||
+        attempt.outcome == AttemptOutcome::kError) {
+      // Definitive answers pass through verbatim; 400/404/500 are
+      // deterministic and would only be recomputed by a retry.
+      out.response_line = std::move(response);
+      out.final_outcome = attempt.outcome;
+      return out;
+    }
+  }
+
+  out.exhausted = true;
+  out.final_outcome = out.attempts.back().outcome;
+  out.response_line = exhausted_envelope(request_line, out.attempts);
+  retries_exhausted_.fetch_add(1);
+  return out;
+}
+
+std::string Front::dispatch_stats_line(const std::string& line) {
+  stats_served_.fetch_add(1);
+  serve::Json id;
+  try {
+    const serve::Json request = serve::parse_json(line);
+    if (const serve::Json* i = request.find("id"); i != nullptr) id = *i;
+  } catch (const std::exception&) {
+  }
+  const FrontStats s = stats();
+  serve::Json result = serve::Json::object();
+  result.set("policy", serve::Json(balance_policy_name(config_.policy)));
+  result.set("upstream_count", serve::Json(pool_.size()));
+  result.set("requests", serve::Json(static_cast<double>(s.requests)));
+  result.set("forwarded_ok",
+             serve::Json(static_cast<double>(s.forwarded_ok)));
+  result.set("forwarded_rejected",
+             serve::Json(static_cast<double>(s.forwarded_rejected)));
+  result.set("forwarded_deadline",
+             serve::Json(static_cast<double>(s.forwarded_deadline)));
+  result.set("forwarded_error",
+             serve::Json(static_cast<double>(s.forwarded_error)));
+  result.set("forwarded_transport",
+             serve::Json(static_cast<double>(s.forwarded_transport)));
+  result.set("retries", serve::Json(static_cast<double>(s.retries)));
+  result.set("failovers", serve::Json(static_cast<double>(s.failovers)));
+  result.set("retries_exhausted",
+             serve::Json(static_cast<double>(s.retries_exhausted)));
+  serve::Json upstreams = serve::Json::array();
+  for (const UpstreamSnapshot& u : pool_.snapshot()) {
+    serve::Json entry = serve::Json::object();
+    entry.set("address", serve::Json(u.address.label()));
+    entry.set("healthy", serve::Json(u.healthy));
+    entry.set("outstanding", serve::Json(u.outstanding));
+    entry.set("attempts", serve::Json(static_cast<double>(u.attempts)));
+    entry.set("ok", serve::Json(static_cast<double>(u.ok)));
+    entry.set("rejected", serve::Json(static_cast<double>(u.rejected)));
+    entry.set("deadline", serve::Json(static_cast<double>(u.deadline)));
+    entry.set("errors", serve::Json(static_cast<double>(u.errors)));
+    entry.set("transport", serve::Json(static_cast<double>(u.transport)));
+    entry.set("probe_failures",
+              serve::Json(static_cast<double>(u.probe_failures)));
+    entry.set("ejections", serve::Json(static_cast<double>(u.ejections)));
+    entry.set("readmissions",
+              serve::Json(static_cast<double>(u.readmissions)));
+    upstreams.push_back(std::move(entry));
+  }
+  result.set("upstreams", std::move(upstreams));
+  return serve::make_result_response(id, std::move(result)).dump();
+}
+
+std::string Front::respond_line(const std::string& line) {
+  requests_.fetch_add(1);
+  bool is_dispatch_stats = false;
+  try {
+    const serve::Json request = serve::parse_json(line);
+    if (const serve::Json* m = request.find("method");
+        m != nullptr && m->is_string() &&
+        m->as_string() == "dispatch_stats") {
+      is_dispatch_stats = true;
+    }
+  } catch (const std::exception&) {
+    // Unparseable lines are forwarded anyway: the upstream produces the
+    // canonical 400 envelope, keeping responses byte-identical to a
+    // direct connection.
+  }
+  if (is_dispatch_stats) return dispatch_stats_line(line);
+
+  const ForwardResult fr = forward_line(line);
+  // Counters classify the response the client actually got: a spent
+  // budget surfaces as the 503 retries_exhausted envelope, so it counts
+  // as a rejection regardless of how the last attempt died.
+  const AttemptOutcome client_visible =
+      fr.exhausted ? AttemptOutcome::kRejected : fr.final_outcome;
+  switch (client_visible) {
+    case AttemptOutcome::kOk: forwarded_ok_.fetch_add(1); break;
+    case AttemptOutcome::kRejected: forwarded_rejected_.fetch_add(1); break;
+    case AttemptOutcome::kDeadline: forwarded_deadline_.fetch_add(1); break;
+    case AttemptOutcome::kError: forwarded_error_.fetch_add(1); break;
+    case AttemptOutcome::kTransport:
+      forwarded_transport_.fetch_add(1);
+      break;
+  }
+  return fr.response_line;
+}
+
+void Front::acceptor_loop() {
+  const std::string reject_line =
+      serve::make_error_response(serve::Json(), serve::ErrorCode::kQueueFull,
+                                 "dispatcher at max_clients (" +
+                                     std::to_string(config_.max_clients) +
+                                     ")")
+          .dump() +
+      "\n";
+
+  while (!accept_stop_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMillis);
+    if (ready <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!stopping_ && in_system_ < config_.max_clients) {
+        ++in_system_;
+        std::size_t seen = max_in_system_.load();
+        while (in_system_ > seen &&
+               !max_in_system_.compare_exchange_weak(seen, in_system_)) {
+        }
+        queue_.push_back(Job{fd});
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      accepted_.fetch_add(1);
+      work_ready_.notify_one();
+      continue;
+    }
+
+    rejected_.fetch_add(1);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    (void)::send(fd, reject_line.data(), reject_line.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  }
+}
+
+void Front::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    handle_connection(job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_system_;
+    }
+    completed_.fetch_add(1);
+  }
+}
+
+void Front::handle_connection(const Job& job) {
+  set_io_timeouts(job.fd, config_.read_timeout_seconds);
+  std::string buffer;
+  bool first_request = true;
+  for (;;) {
+    std::string line;
+    if (first_request) {
+      if (!read_line(job.fd, buffer, line)) break;
+    } else {
+      if (!park_for_next_request(job.fd)) break;
+      const bool got = read_line(job.fd, buffer, line);
+      unpark(job.fd);
+      if (!got) break;
+    }
+    first_request = false;
+    if (line.empty()) continue;
+    const std::string response = respond_line(line);
+    if (!send_all(job.fd, response + "\n")) break;
+  }
+  ::close(job.fd);
+}
+
+bool Front::park_for_next_request(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return false;
+  parked_fds_.push_back(fd);
+  return true;
+}
+
+void Front::unpark(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = parked_fds_.begin(); it != parked_fds_.end(); ++it) {
+    if (*it == fd) {
+      parked_fds_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace upa::dispatch

@@ -62,11 +62,16 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 void Client::connect(const std::string& host, std::uint16_t port,
-                     double timeout_seconds) {
+                     double timeout_seconds, double call_timeout_seconds) {
   UPA_REQUIRE(fd_ < 0, "Client::connect called on a connected client");
   UPA_REQUIRE(timeout_seconds > 0.0, "connect timeout must be > 0");
+  UPA_REQUIRE(call_timeout_seconds >= 0.0, "call timeout must be >= 0");
+  if (call_timeout_seconds == 0.0) call_timeout_seconds = timeout_seconds;
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  // SOCK_CLOEXEC: connections must not be inherited by children forked
+  // elsewhere in the process (a leaked duplicate suppresses EOF for the
+  // peer until its read timeout).
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   UPA_REQUIRE(fd >= 0,
               std::string("socket() failed: ") + std::strerror(errno));
 
@@ -111,8 +116,13 @@ void Client::connect(const std::string& host, std::uint16_t port,
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
+  // A stuck server must not hang the client forever -- but the bound is
+  // the caller's, not a hardcoded 30 s floor that silently swallowed
+  // shorter deadline experiments.
   timeval tv{};
-  tv.tv_sec = 30;  // a stuck server must not hang the client forever
+  tv.tv_sec = static_cast<time_t>(call_timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (call_timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 
   fd_ = fd;

@@ -54,9 +54,14 @@ class Client {
   Client& operator=(Client&& other) noexcept;
 
   /// Connects with a timeout (seconds). Throws ModelError on failure
-  /// (connection refused, timeout, bad address).
+  /// (connection refused, timeout, bad address). `call_timeout_seconds`
+  /// bounds each subsequent receive while waiting for a response line;
+  /// 0 inherits `timeout_seconds`, so a client is never stuck longer
+  /// waiting for a response than it was willing to wait for a connect
+  /// unless it asks to be.
   void connect(const std::string& host, std::uint16_t port,
-               double timeout_seconds = 5.0);
+               double timeout_seconds = 5.0,
+               double call_timeout_seconds = 0.0);
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
   void close();

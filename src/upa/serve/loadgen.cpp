@@ -59,7 +59,8 @@ LossResult run_loss_workload(const LossConfig& config) {
       Client client;
       try {
         client.connect(config.host, config.port,
-                       config.connect_timeout_seconds);
+                       config.connect_timeout_seconds,
+                       config.call_timeout_seconds);
       } catch (const std::exception&) {
         records[k].outcome = CallOutcome::kTransportError;
         return;
@@ -183,7 +184,8 @@ SessionResult run_session_replay(const SessionConfig& config) {
       Client client;
       try {
         client.connect(config.host, config.port,
-                       config.connect_timeout_seconds);
+                       config.connect_timeout_seconds,
+                       config.call_timeout_seconds);
       } catch (const std::exception&) {
         rec.failed = true;
         return;

@@ -42,6 +42,10 @@ struct LossConfig {
   std::size_t requests = 1000;
   std::uint64_t seed = 1;
   double connect_timeout_seconds = 5.0;
+  /// Per-call receive timeout; 0 inherits connect_timeout_seconds (see
+  /// Client::connect). Bounds how long a request waits on a stuck or
+  /// killed server before counting as a transport error.
+  double call_timeout_seconds = 0.0;
 };
 
 struct LossResult {
@@ -74,6 +78,8 @@ struct SessionConfig {
   double session_rate = 20.0;
   std::uint64_t seed = 1;
   double connect_timeout_seconds = 5.0;
+  /// Per-call receive timeout; 0 inherits connect_timeout_seconds.
+  double call_timeout_seconds = 0.0;
 };
 
 struct SessionResult {

@@ -118,7 +118,11 @@ void Server::start() {
   std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   UPA_REQUIRE(!started_, "Server::start called twice");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  // SOCK_CLOEXEC: a fork+exec elsewhere in the process (the farm
+  // orchestrator restarting a replica) must not leak this socket into
+  // the child, where a lingering duplicate would keep peers from ever
+  // seeing EOF.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   UPA_REQUIRE(listen_fd_ >= 0,
               std::string("socket() failed: ") + std::strerror(errno));
 
@@ -252,7 +256,7 @@ void Server::acceptor_loop() {
     pfd.events = POLLIN;
     const int ready = ::poll(&pfd, 1, kAcceptPollMillis);
     if (ready <= 0) continue;  // timeout tick or EINTR: re-check stop flag
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) continue;
 
     bool admitted = false;

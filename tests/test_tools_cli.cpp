@@ -1,7 +1,9 @@
-// Black-box checks of the upa_cli binary's exit-code contract: unknown
+// Black-box checks of the tool binaries' exit-code contract: unknown
 // subcommands and unknown/unused flags must fail loudly (exit 2 plus a
-// usage message) instead of warning and carrying on. The binary path is
-// injected by CMake as UPA_CLI_BINARY.
+// usage message) instead of warning and carrying on -- and BEFORE any
+// side effect (starting a server, spawning replicas, writing bench
+// artifacts). Binary paths are injected by CMake as UPA_CLI_BINARY,
+// UPA_SERVED_BINARY, UPA_LOADGEN_BINARY, and UPA_DISPATCH_BINARY.
 
 #include <gtest/gtest.h>
 
@@ -18,9 +20,9 @@ struct RunResult {
   std::string output;  // stdout + stderr interleaved
 };
 
-RunResult run_cli(const std::string& arguments) {
-  const std::string command =
-      std::string(UPA_CLI_BINARY) + " " + arguments + " 2>&1";
+RunResult run_tool(const std::string& binary,
+                   const std::string& arguments) {
+  const std::string command = binary + " " + arguments + " 2>&1";
   RunResult result;
   FILE* pipe = ::popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -32,6 +34,10 @@ RunResult run_cli(const std::string& arguments) {
   const int status = ::pclose(pipe);
   if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
   return result;
+}
+
+RunResult run_cli(const std::string& arguments) {
+  return run_tool(UPA_CLI_BINARY, arguments);
 }
 
 TEST(ToolsCli, HelpExitsZeroAndListsCompanionTools) {
@@ -92,6 +98,52 @@ TEST(ToolsCli, ValidOverridesAreAccepted) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("user-perceived availability"), std::string::npos);
   EXPECT_NE(r.output.find("evaluation cache"), std::string::npos);
+}
+
+// --- Serve-layer tools share the same allowlist contract ----------------
+
+TEST(ToolsCli, ServedTypoFlagExitsTwoBeforeBinding) {
+  // A typo'd flag must not start a server: no listening line, no bound
+  // port, just the diagnostic and usage.
+  const RunResult r = run_tool(UPA_SERVED_BINARY, "--workerz 2");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option '--workerz'"), std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  EXPECT_EQ(r.output.find("listening on"), std::string::npos);
+}
+
+TEST(ToolsCli, LoadgenTypoFlagExitsTwoBeforeSpawning) {
+  // --replicaz on farm mode: caught before any replica is spawned or a
+  // bench artifact written, even though --served-bin is present.
+  const RunResult r = run_tool(
+      UPA_LOADGEN_BINARY,
+      "--mode farm --served-bin " + std::string(UPA_SERVED_BINARY) +
+          " --replicaz 5");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option '--replicaz'"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  EXPECT_EQ(r.output.find("sent="), std::string::npos);
+}
+
+TEST(ToolsCli, LoadgenFlagFromAnotherModeExitsTwo) {
+  // --kill-at belongs to farm mode; smoke mode must reject it rather
+  // than silently ignore it.
+  const RunResult r =
+      run_tool(UPA_LOADGEN_BINARY, "--mode smoke --kill-at 2");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option '--kill-at'"),
+            std::string::npos);
+}
+
+TEST(ToolsCli, DispatchTypoFlagExitsTwoBeforeListening) {
+  const RunResult r = run_tool(
+      UPA_DISPATCH_BINARY, "--upstreams 127.0.0.1:1 --retrees 5");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option '--retrees'"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  EXPECT_EQ(r.output.find("listening on"), std::string::npos);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "upa/common/error.hpp"
 #include "upa/core/web_farm.hpp"
@@ -168,6 +169,77 @@ TEST(WebFarm, ManualStateMassScalesWithUncoverage) {
     mass_high += high.manual[i];
   }
   EXPECT_GT(mass_half, mass_high);
+}
+
+TEST(WebFarm, FullCoverageIsBitForBitThePerfectModel) {
+  // c = 1 delegates to the perfect-coverage closed form instead of
+  // running the imperfect pipeline with zero uncovered mass, so the two
+  // availabilities are EXACTLY equal -- no 1e-15 drift from a different
+  // normalization order.
+  auto farm = paper_farm(3, 1e-3);
+  farm.coverage = 1.0;
+  const auto queue = paper_queue(100.0);
+  const double perfect = uc::web_service_availability_perfect(farm, queue);
+  const double imperfect =
+      uc::web_service_availability_imperfect(farm, queue);
+  EXPECT_EQ(perfect, imperfect);  // bitwise, not NEAR
+
+  const auto dist = uc::imperfect_coverage_distribution(farm);
+  const auto pi = uc::perfect_coverage_distribution(farm);
+  ASSERT_EQ(dist.operational.size(), pi.size());
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_EQ(dist.operational[i], pi[i]) << "state " << i;
+    if (i < dist.manual.size()) EXPECT_EQ(dist.manual[i], 0.0);
+  }
+}
+
+TEST(WebFarm, ZeroCoverageSendsEveryFailureThroughManualStates) {
+  auto farm = paper_farm(3, 1e-2);
+  farm.coverage = 0.0;
+  const auto dist = uc::imperfect_coverage_distribution(farm);
+  // Every failure is uncovered: corrected states below N_W carry no
+  // direct failure inflow, so the manual mass dominates the corrected
+  // mass at each degraded level.
+  for (std::size_t i = 1; i < farm.servers; ++i) {
+    EXPECT_GT(dist.manual[i], 0.0) << "y_" << i;
+  }
+  const double perfect_a =
+      uc::web_service_availability_perfect(farm, paper_queue(100.0));
+  const double imperfect_a =
+      uc::web_service_availability_imperfect(farm, paper_queue(100.0));
+  EXPECT_LT(imperfect_a, perfect_a);
+}
+
+TEST(WebFarm, SingleServerImperfectLosesItsWholeManualWindow) {
+  // N_W = 1: an uncovered failure parks the farm in y_1 where every
+  // request is lost; availability sits strictly below the perfect
+  // two-state reduction and degrades as coverage drops.
+  const auto queue = paper_queue(100.0);
+  auto farm = paper_farm(1, 1e-2);
+  const double perfect = uc::web_service_availability_perfect(farm, queue);
+  double previous = perfect;
+  for (const double c : {0.9, 0.5, 0.1}) {
+    farm.coverage = c;
+    const double a = uc::web_service_availability_imperfect(farm, queue);
+    EXPECT_LT(a, previous) << "coverage " << c;
+    previous = a;
+  }
+}
+
+TEST(WebFarm, RejectsDegenerateReconfigurationRates) {
+  const auto queue = paper_queue(100.0);
+  for (const double beta :
+       {0.0, -1.0, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    auto farm = paper_farm(3, 1e-3);
+    farm.reconfiguration_rate = beta;
+    EXPECT_THROW((void)uc::imperfect_coverage_distribution(farm),
+                 ModelError)
+        << "beta " << beta;
+    EXPECT_THROW((void)uc::web_service_availability_imperfect(farm, queue),
+                 ModelError)
+        << "beta " << beta;
+  }
 }
 
 TEST(WebFarm, RejectsInvalidConfigurations) {

@@ -438,40 +438,48 @@ bool apply_cache_flag(const upa::cli::Args& args) {
   throw upa::common::ModelError("--cache must be on or off, got " + mode);
 }
 
-/// Each subcommand's option vocabulary, used to reject a typo'd flag
-/// BEFORE the command runs. Args marks options used lazily as commands
-/// read them, so an after-the-fact `unused()` check would do all the
-/// work (print results, write files) with the misspelled flag silently
-/// ignored and only then report failure. Must track what each cmd_*
-/// actually reads.
-bool option_allowed(const std::string& command, const std::string& name) {
-  if (name == "cache") return true;  // global, applied before dispatch
+/// Each subcommand's option vocabulary, used with cli::unknown_options
+/// to reject a typo'd flag BEFORE the command runs. Args marks options
+/// used lazily as commands read them, so an after-the-fact `unused()`
+/// check would do all the work (print results, write files) with the
+/// misspelled flag silently ignored and only then report failure. Must
+/// track what each cmd_* actually reads.
+std::vector<std::string> allowed_options_for(const std::string& command) {
   static const std::vector<std::string> kModel = {
       "n",     "nw", "lambda", "mu",     "coverage", "beta",
       "alpha", "nu", "buffer", "basic",  "perfect"};
   static const std::vector<std::string> kSim = {
       "horizon", "think",   "sessions", "reps",      "seed",
       "threads", "retries", "backoff",  "timeout-ms"};
-  const auto in = [&name](const std::vector<std::string>& set) {
-    return std::find(set.begin(), set.end(), name) != set.end();
+  std::vector<std::string> allowed = {"cache"};  // global, pre-dispatch
+  const auto extend = [&allowed](const std::vector<std::string>& more) {
+    allowed.insert(allowed.end(), more.begin(), more.end());
   };
-  if (command == "services") return in(kModel);
-  if (command == "user") return in(kModel) || name == "class";
-  if (command == "farm") return in(kModel) || name == "deadline";
-  if (command == "profile") return name == "class";
-  if (command == "design") return in(kModel) || name == "target-minutes";
-  if (command == "inject") {
-    return in(kModel) || in(kSim) || name == "class" ||
-           name == "backoff-mult" || name == "abandon" || name == "target" ||
-           name == "outage-start" || name == "outage-hours" || name == "csv";
+  if (command == "services") {
+    extend(kModel);
+  } else if (command == "user") {
+    extend(kModel);
+    allowed.emplace_back("class");
+  } else if (command == "farm") {
+    extend(kModel);
+    allowed.emplace_back("deadline");
+  } else if (command == "profile") {
+    allowed.emplace_back("class");
+  } else if (command == "design") {
+    extend(kModel);
+    allowed.emplace_back("target-minutes");
+  } else if (command == "inject") {
+    extend(kModel);
+    extend(kSim);
+    extend({"class", "backoff-mult", "abandon", "target", "outage-start",
+            "outage-hours", "csv"});
+  } else if (command == "trace") {
+    extend(kModel);
+    extend(kSim);
+    extend({"class", "trace-level", "trace-out", "spans-out",
+            "metrics-out", "metrics-jsonl"});
   }
-  if (command == "trace") {
-    return in(kModel) || in(kSim) || name == "class" ||
-           name == "trace-level" || name == "trace-out" ||
-           name == "spans-out" || name == "metrics-out" ||
-           name == "metrics-jsonl";
-  }
-  return false;  // help / no command: only --cache
+  return allowed;  // help / no command: only --cache
 }
 
 void print_cache_summary() {
@@ -503,14 +511,14 @@ int main(int argc, char** argv) {
                 << "(run `upa_cli help` for details)\n";
       return 2;
     }
-    for (const std::string& name : args.names()) {
-      if (!option_allowed(args.command(), name)) {
-        std::cerr << "unknown option --" << name << " for command '"
-                  << args.command() << "'\n\n"
-                  << "usage: upa_cli <command> [--option value ...]\n"
-                  << "(run `upa_cli help` for the option list)\n";
-        return 2;
-      }
+    const std::vector<std::string> unknown = upa::cli::unknown_options(
+        args, allowed_options_for(args.command()));
+    if (!unknown.empty()) {
+      std::cerr << "unknown option --" << unknown.front()
+                << " for command '" << args.command() << "'\n\n"
+                << "usage: upa_cli <command> [--option value ...]\n"
+                << "(run `upa_cli help` for the option list)\n";
+      return 2;
     }
     const bool cache_on = apply_cache_flag(args);
     int status = 0;

@@ -1,4 +1,4 @@
-// upa_loadgen: load-generation client for upa_served.
+// upa_loadgen: load-generation client for upa_served / upa_dispatch.
 //
 // Modes:
 //   smoke    one connection, one request per public RPC method; exit 0
@@ -13,6 +13,12 @@
 //            design points, start an in-process Server with i workers
 //            and capacity K, drive the loss workload, and record
 //            measured vs analytic p_K(i) into BENCH_serve.json.
+//   farm     the paper's N_W-server farm, live: spawn --replicas real
+//            upa_served processes behind an in-process dispatch front,
+//            kill -9 / restart replicas on a FaultPlan-driven schedule
+//            while replaying the loss workload, and record measured
+//            farm loss vs the perfect- and imperfect-coverage composite
+//            predictions into BENCH_farm.json (4-sigma gate).
 
 #include <cmath>
 #include <iostream>
@@ -23,6 +29,8 @@
 #include "upa/cli/args.hpp"
 #include "upa/common/bench_json.hpp"
 #include "upa/common/error.hpp"
+#include "upa/dispatch/farm.hpp"
+#include "upa/inject/fault_plan.hpp"
 #include "upa/queueing/mmck.hpp"
 #include "upa/serve/loadgen.hpp"
 #include "upa/serve/server.hpp"
@@ -41,38 +49,63 @@ void print_usage(std::ostream& os) {
         "  session   replay Table 1 user sessions (--class A|B)\n"
         "  bench     self-hosted (lambda, i, K) design sweep; writes\n"
         "            measured vs analytic loss to --out\n"
+        "  farm      live N_W-server farm with kill -9 failover; writes\n"
+        "            measured vs composite predictions to --out\n"
         "\n"
         "options:\n"
         "  --host ADDR      server address      (default 127.0.0.1)\n"
         "  --port N         server port         (default 7077)\n"
         "  --lambda R       arrival rate [1/s]  (default 150)\n"
         "  --nu R           service rate [1/s]  (default 100)\n"
-        "  --requests N     loss-mode requests  (default 1000)\n"
+        "  --requests N     loss/farm requests  (default 1000)\n"
         "  --sessions N     session-mode count  (default 50)\n"
         "  --session-rate R session arrivals/s  (default 20)\n"
         "  --class A|B      user class          (default B)\n"
         "  --workers N      analytic i for loss comparison\n"
         "  --capacity N     analytic K for loss comparison\n"
+        "  --connect-timeout S  per-connection connect timeout\n"
+        "                   (default 5)\n"
+        "  --call-timeout S per-call receive timeout; 0 inherits the\n"
+        "                   connect timeout (default 0)\n"
         "  --seed N         RNG seed            (default 1)\n"
-        "  --out PATH       bench artifact      (default BENCH_serve.json)\n"
+        "  --out PATH       bench artifact      (default BENCH_serve.json\n"
+        "                   / BENCH_farm.json)\n"
+        "\n"
+        "farm options:\n"
+        "  --served-bin PATH    upa_served binary to spawn (required)\n"
+        "  --replicas N         farm size N_W          (default 3)\n"
+        "  --replica-workers N  per-replica i          (default 1)\n"
+        "  --replica-capacity N per-replica K_r        (default 3)\n"
+        "  --policy NAME        balancing policy       (default\n"
+        "                       least-outstanding)\n"
+        "  --retries N          per-request attempt budget (default 3)\n"
+        "  --kills N            scheduled kill -9 count (default 1)\n"
+        "  --kill-at S          first kill time        (default 6.0)\n"
+        "  --kill-for S         per-kill down duration (default 3.5)\n"
+        "  --kill-every S       kill spacing, start to start\n"
+        "                       (default 6.0)\n"
+        "  --probe-interval S   health probe period    (default 0.25)\n"
+        "  --unhealthy-threshold N  probe failures to eject (default 1)\n"
+        "  (farm overrides: --lambda 20, --nu 10, --requests 500,\n"
+        "   --call-timeout 5 -- slow services keep scheduler overhead\n"
+        "   negligible against the modeled service time)\n"
         "  --help           this text\n";
 }
 
-/// Thrown once a mode has read every option it understands and
-/// something is left over; main prints usage and exits 2.
-struct UnknownOption {
-  std::string name;
-};
-
-void require_all_options_used(const upa::cli::Args& args) {
-  const std::vector<std::string> unused = args.unused();
-  if (!unused.empty()) throw UnknownOption{unused.front()};
+int validate_options(const upa::cli::Args& args,
+                     const std::vector<std::string>& allowed) {
+  const std::vector<std::string> unknown =
+      upa::cli::unknown_options(args, allowed);
+  if (unknown.empty()) return 0;
+  std::cerr << "upa_loadgen: unknown option '--" << unknown.front()
+            << "'\n\n";
+  print_usage(std::cerr);
+  return 2;
 }
 
 int run_smoke(const upa::cli::Args& args) {
   const std::string host = args.get("host", "127.0.0.1");
   const auto port = static_cast<std::uint16_t>(args.get_size("port", 7077));
-  require_all_options_used(args);
   const upa::serve::SmokeResult r = upa::serve::run_smoke_probe(host, port);
   for (const auto& [name, ok] : r.checks) {
     std::cout << (ok ? "ok   " : "FAIL ") << name << "\n";
@@ -104,10 +137,11 @@ int run_loss(const upa::cli::Args& args) {
   config.nu = args.get_double("nu", 100.0);
   config.requests = args.get_size("requests", 1000);
   config.seed = args.get_size("seed", 1);
+  config.connect_timeout_seconds = args.get_double("connect-timeout", 5.0);
+  config.call_timeout_seconds = args.get_double("call-timeout", 0.0);
 
   const std::size_t workers = args.get_size("workers", 0);
   const std::size_t capacity = args.get_size("capacity", 0);
-  require_all_options_used(args);
 
   const upa::serve::LossResult r = upa::serve::run_loss_workload(config);
   print_loss(r);
@@ -129,11 +163,12 @@ int run_session(const upa::cli::Args& args) {
   config.sessions = args.get_size("sessions", 50);
   config.session_rate = args.get_double("session-rate", 20.0);
   config.seed = args.get_size("seed", 1);
+  config.connect_timeout_seconds = args.get_double("connect-timeout", 5.0);
+  config.call_timeout_seconds = args.get_double("call-timeout", 0.0);
   const std::string uclass = args.get("class", "B");
   UPA_REQUIRE(uclass == "A" || uclass == "B", "--class must be A or B");
   config.uclass =
       uclass == "A" ? upa::ta::UserClass::kA : upa::ta::UserClass::kB;
-  require_all_options_used(args);
 
   const upa::serve::SessionResult r = upa::serve::run_session_replay(config);
   std::cout << "class " << uclass << ": sessions=" << r.sessions
@@ -159,7 +194,6 @@ struct DesignPoint {
 int run_bench(const upa::cli::Args& args) {
   const std::string out = args.get("out", "BENCH_serve.json");
   const std::uint64_t seed = args.get_size("seed", 1);
-  require_all_options_used(args);
 
   // Three operating regimes of eq. (3): heavy overload, a single
   // saturated server, and a lightly-loaded farm. Request counts keep
@@ -230,6 +264,149 @@ int run_bench(const upa::cli::Args& args) {
   return all_within ? 0 : 1;
 }
 
+int run_farm(const upa::cli::Args& args) {
+  upa::dispatch::FarmExperimentConfig config;
+  config.replica.served_binary = args.get("served-bin", "");
+  if (config.replica.served_binary.empty()) {
+    std::cerr << "upa_loadgen: --mode farm requires --served-bin\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  config.replicas = args.get_size("replicas", 3);
+  config.replica.workers = args.get_size("replica-workers", 1);
+  config.replica.capacity = args.get_size("replica-capacity", 3);
+  config.policy = upa::dispatch::parse_balance_policy(
+      args.get("policy", "least-outstanding"));
+  config.retry.max_attempts = args.get_size("retries", 3);
+  // Defaults mirror FarmExperimentConfig: ~100 ms mean services so the
+  // container's scheduling overhead stays small against the service
+  // time (the M/M/i/K ratios only depend on lambda/nu).
+  config.lambda = args.get_double("lambda", 20.0);
+  config.nu = args.get_double("nu", 10.0);
+  config.requests = args.get_size("requests", 500);
+  config.seed = args.get_size("seed", 1);
+  config.call_timeout_seconds = args.get_double("call-timeout", 5.0);
+  config.health.probe_interval_seconds =
+      args.get_double("probe-interval", 0.25);
+  config.health.unhealthy_threshold =
+      args.get_size("unhealthy-threshold", 1);
+  const std::size_t kills = args.get_size("kills", 1);
+  const double kill_at = args.get_double("kill-at", 6.0);
+  const double kill_for = args.get_double("kill-for", 3.5);
+  const double kill_every = args.get_double("kill-every", 6.0);
+  const std::string out = args.get("out", "BENCH_farm.json");
+
+  // The kill schedule goes through an inject::FaultPlan -- the same
+  // scripted-outage machinery the simulation campaigns replay -- with
+  // plan hours mapped 1:3600 onto experiment seconds.
+  upa::inject::FaultPlan plan;
+  for (std::size_t j = 0; j < kills; ++j) {
+    plan.add(upa::inject::FaultTarget::kWebFarm,
+             (kill_at + static_cast<double>(j) * kill_every) / 3600.0,
+             kill_for / 3600.0);
+  }
+  config.kills = upa::dispatch::kill_schedule_from_fault_plan(
+      plan, config.replicas, 3600.0);
+
+  const upa::dispatch::FarmExperimentResult r =
+      upa::dispatch::run_farm_experiment(config);
+  print_loss(r.loss);
+  std::cout << "farm: replicas=" << config.replicas
+            << " kills=" << r.kills_executed
+            << " down_s=" << r.total_down_seconds
+            << " lambda_f=" << r.failure_rate << " mu=" << r.repair_rate
+            << " coverage=" << r.coverage
+            << " beta=" << r.reconfiguration_rate << "\n"
+            << "front: retries=" << r.front.retries
+            << " failovers=" << r.front.failovers
+            << " exhausted=" << r.front.retries_exhausted << "\n";
+  for (const upa::dispatch::UpstreamSnapshot& u : r.upstreams) {
+    std::cout << "upstream " << u.address.label()
+              << ": healthy=" << (u.healthy ? 1 : 0)
+              << " ok=" << u.ok << " rejected=" << u.rejected
+              << " transport=" << u.transport
+              << " probe_failures=" << u.probe_failures
+              << " ejections=" << u.ejections
+              << " readmissions=" << u.readmissions << "\n";
+  }
+  std::cout
+            << "measured=" << r.measured_loss_fraction
+            << " predicted_perfect=" << r.predicted_loss_perfect
+            << " predicted_imperfect=" << r.predicted_loss_imperfect
+            << " tolerance=" << r.tolerance
+            << (r.within_tolerance ? " [within]" : " [OUTSIDE]")
+            << std::endl;
+
+  std::ostringstream section;
+  section << "farm_failover_n" << config.replicas << "_kills"
+          << r.kills_executed;
+  upa::common::write_bench_json(
+      out, section.str(),
+      {{"replicas", static_cast<double>(config.replicas)},
+       {"replica_workers", static_cast<double>(config.replica.workers)},
+       {"replica_capacity",
+        static_cast<double>(config.replica.capacity)},
+       {"lambda", config.lambda},
+       {"nu", config.nu},
+       {"requests", static_cast<double>(r.loss.sent)},
+       {"kills", static_cast<double>(r.kills_executed)},
+       {"total_down_seconds", r.total_down_seconds},
+       {"failure_rate", r.failure_rate},
+       {"repair_rate", r.repair_rate},
+       {"coverage", r.coverage},
+       {"reconfiguration_rate", r.reconfiguration_rate},
+       {"measured_loss", r.measured_loss_fraction},
+       {"predicted_loss_perfect", r.predicted_loss_perfect},
+       {"predicted_loss_imperfect", r.predicted_loss_imperfect},
+       {"sigma", r.sigma},
+       {"tolerance", r.tolerance},
+       {"within_tolerance", r.within_tolerance ? 1.0 : 0.0},
+       {"client_transport_errors",
+        static_cast<double>(r.loss.transport_errors)},
+       {"front_retries", static_cast<double>(r.front.retries)},
+       {"front_failovers", static_cast<double>(r.front.failovers)},
+       {"front_retries_exhausted",
+        static_cast<double>(r.front.retries_exhausted)},
+       {"wall_seconds", r.loss.wall_seconds}});
+  std::cout << "wrote " << out << std::endl;
+
+  // Budgeted retries must fully mask the kill: any client-visible
+  // transport error is a failover bug, not workload noise.
+  if (r.loss.transport_errors > 0) {
+    std::cerr << "farm: " << r.loss.transport_errors
+              << " client-visible transport errors (failover leak)\n";
+    return 1;
+  }
+  return r.within_tolerance ? 0 : 1;
+}
+
+const std::vector<std::string> kCommonOptions = {"mode", "seed"};
+
+std::vector<std::string> allowed_for_mode(const std::string& mode) {
+  std::vector<std::string> allowed = kCommonOptions;
+  const auto extend = [&allowed](std::initializer_list<const char*> more) {
+    for (const char* name : more) allowed.emplace_back(name);
+  };
+  if (mode == "smoke") {
+    extend({"host", "port"});
+  } else if (mode == "loss") {
+    extend({"host", "port", "lambda", "nu", "requests", "workers",
+            "capacity", "connect-timeout", "call-timeout"});
+  } else if (mode == "session") {
+    extend({"host", "port", "sessions", "session-rate", "class",
+            "connect-timeout", "call-timeout"});
+  } else if (mode == "bench") {
+    extend({"out"});
+  } else if (mode == "farm") {
+    extend({"served-bin", "replicas", "replica-workers",
+            "replica-capacity", "policy", "retries", "lambda", "nu",
+            "requests", "call-timeout", "probe-interval",
+            "unhealthy-threshold", "kills", "kill-at", "kill-for",
+            "kill-every", "out"});
+  }
+  return allowed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,21 +427,24 @@ int main(int argc, char** argv) {
   try {
     const std::string mode = args.get("mode", "");
     if (mode != "smoke" && mode != "loss" && mode != "session" &&
-        mode != "bench") {
+        mode != "bench" && mode != "farm") {
       std::cerr << "upa_loadgen: --mode must be smoke | loss | session | "
-                   "bench\n\n";
+                   "bench | farm\n\n";
       print_usage(std::cerr);
       return 2;
+    }
+    // Allowlist check before any side effects: a typo'd flag must not
+    // start servers, spawn replicas, or write artifacts.
+    if (const int rc = validate_options(args, allowed_for_mode(mode));
+        rc != 0) {
+      return rc;
     }
 
     if (mode == "smoke") return run_smoke(args);
     if (mode == "loss") return run_loss(args);
     if (mode == "session") return run_session(args);
-    return run_bench(args);
-  } catch (const UnknownOption& u) {
-    std::cerr << "upa_loadgen: unknown option '--" << u.name << "'\n\n";
-    print_usage(std::cerr);
-    return 2;
+    if (mode == "bench") return run_bench(args);
+    return run_farm(args);
   } catch (const std::exception& e) {
     std::cerr << "upa_loadgen: " << e.what() << "\n";
     return 1;

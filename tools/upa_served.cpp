@@ -51,6 +51,11 @@ void print_usage(std::ostream& os) {
         "         cache stats\n";
 }
 
+const std::vector<std::string> kAllowedOptions = {
+    "bind",        "port",         "workers", "capacity",
+    "deadline-ms", "read-timeout", "cache",
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,6 +72,16 @@ int main(int argc, char** argv) {
     print_usage(std::cerr);
     return 2;
   }
+  // Allowlist check before any side effects: a typo'd flag must not
+  // toggle the cache or bind a port.
+  const std::vector<std::string> unknown =
+      cli::unknown_options(args, kAllowedOptions);
+  if (!unknown.empty()) {
+    std::cerr << "upa_served: unknown option '--" << unknown.front()
+              << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
 
   try {
     serve::ServerConfig config;
@@ -79,14 +94,6 @@ int main(int argc, char** argv) {
     const std::string cache_mode = args.get("cache", "on");
     UPA_REQUIRE(cache_mode == "on" || cache_mode == "off",
                 "--cache must be 'on' or 'off'");
-
-    const std::vector<std::string> unused = args.unused();
-    if (!unused.empty()) {
-      std::cerr << "upa_served: unknown option '--" << unused.front()
-                << "'\n\n";
-      print_usage(std::cerr);
-      return 2;
-    }
 
     cache::set_enabled(cache_mode == "on");
     obs::Observer observer;
