@@ -12,11 +12,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <thread>
 #include <utility>
 
 #include "upa/common/error.hpp"
 #include "upa/core/web_farm.hpp"
+#include "upa/obs/observer.hpp"
 #include "upa/queueing/mmck.hpp"
 
 namespace upa::dispatch {
@@ -260,6 +262,9 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
   FarmOrchestrator farm(config.replica, config.replicas);
   farm.start_all();
 
+  // Must outlive the front: the front records spans into it.
+  obs::Observer observer;
+
   FrontConfig front_config;
   front_config.upstreams = farm.addresses();
   front_config.policy = config.policy;
@@ -267,6 +272,10 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
   front_config.health = config.health;
   front_config.upstream_call_timeout_seconds =
       std::max(config.call_timeout_seconds, 1.0);
+  if (config.trace) {
+    front_config.trace = true;
+    front_config.obs = &observer;
+  }
   Front front(std::move(front_config));
   front.start();
 
@@ -298,6 +307,7 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
     loss_config.requests = config.requests;
     loss_config.seed = config.seed;
     loss_config.call_timeout_seconds = config.call_timeout_seconds;
+    loss_config.trace = config.trace;
     result.loss = serve::run_loss_workload(loss_config);
   } catch (...) {
     killer.join();
@@ -310,6 +320,65 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
   result.upstreams = front.upstreams();
   front.stop();
   farm.stop_all();
+
+  if (config.trace) {
+    result.trace_dropped_spans = observer.tracer.dropped();
+    const auto text_attr = [](const obs::Span& span,
+                              const std::string& key) -> std::string {
+      for (const obs::SpanAttribute& a : span.attributes) {
+        if (a.key == key && !a.is_number) return a.text;
+      }
+      return {};
+    };
+    const auto number_attr = [](const obs::Span& span,
+                                const std::string& key) -> double {
+      for (const obs::SpanAttribute& a : span.attributes) {
+        if (a.key == key && a.is_number) return a.number;
+      }
+      return -1.0;
+    };
+    std::map<obs::SpanId, std::size_t> children;
+    std::vector<const obs::Span*> roots;
+    for (const obs::Span& span : observer.tracer.spans()) {
+      if (span.level == obs::SpanLevel::kDispatchRequest) {
+        roots.push_back(&span);
+      } else if (span.level == obs::SpanLevel::kDispatchAttempt) {
+        ++children[span.parent];
+        ++result.traced_attempts;
+      }
+    }
+    result.traced_requests = roots.size();
+
+    std::string error;
+    if (result.trace_dropped_spans != 0) {
+      error = "front tracer dropped spans";
+    } else if (roots.size() != result.loss.sent) {
+      error = "dispatch_request root count != requests sent";
+    }
+    std::map<std::string, std::int64_t> id_balance;
+    for (const obs::Span* root : roots) {
+      const double declared = number_attr(*root, "attempts");
+      const std::size_t recorded = children[root->id];
+      if (error.empty() &&
+          declared != static_cast<double>(recorded)) {
+        error = "root `attempts` attribute != recorded attempt spans";
+      }
+      ++id_balance[text_attr(*root, "trace_id")];
+    }
+    for (const serve::LossRequestLog& log : result.loss.request_log) {
+      --id_balance[log.trace_id];
+    }
+    if (error.empty()) {
+      for (const auto& [trace_id, balance] : id_balance) {
+        if (balance != 0) {
+          error = "root trace_ids do not match the loadgen request log";
+          break;
+        }
+      }
+    }
+    result.trace_accounting_error = error;
+    result.trace_accounted = error.empty();
+  }
 
   result.measured_loss_fraction =
       static_cast<double>(result.loss.rejected +

@@ -128,6 +128,12 @@ struct FarmExperimentConfig {
   std::uint64_t seed = 1;
   double call_timeout_seconds = 5.0;
   std::vector<KillEvent> kills;
+  /// Traced mode: the loadgen originates a trace context per request,
+  /// the front records dispatch_request/dispatch_attempt spans, and the
+  /// result carries a span-vs-loadgen-log accounting (every request the
+  /// loadgen issued must appear as exactly one root span whose attempt
+  /// children match its `attempts` attribute, with zero drops).
+  bool trace = false;
 };
 
 struct FarmExperimentResult {
@@ -156,6 +162,17 @@ struct FarmExperimentResult {
   double sigma = 0.0;
   double tolerance = 0.0;
   bool within_tolerance = false;
+
+  // Trace accounting, filled only when config.trace is set.
+  std::size_t traced_requests = 0;  ///< dispatch_request roots recorded
+  std::size_t traced_attempts = 0;  ///< dispatch_attempt children
+  std::uint64_t trace_dropped_spans = 0;
+  /// All checks passed: zero dropped spans, one root per loadgen
+  /// request, the root trace_id multiset equal to the loadgen's
+  /// per-request log, and each root's `attempts` attribute equal to its
+  /// recorded child-span count.
+  bool trace_accounted = false;
+  std::string trace_accounting_error;  ///< first failed check; empty = ok
 };
 
 /// Runs the full experiment: spawn the farm, start the front, replay

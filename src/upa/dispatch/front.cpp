@@ -12,6 +12,8 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <optional>
+#include <random>
 #include <utility>
 
 #include "upa/common/error.hpp"
@@ -118,6 +120,16 @@ Front::Front(FrontConfig config)
   for (std::size_t i = 0; i < kOutcomeCount; ++i) {
     latency_by_outcome_.emplace_back(obs::geometric_buckets(1e-4, 2.0, 18));
   }
+  latency_by_upstream_.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    latency_by_upstream_.emplace_back(
+        obs::geometric_buckets(1e-4, 2.0, 18));
+  }
+  // Entropy, not determinism: originated trace ids must differ between
+  // front processes even when everything else (ports, seeds) matches.
+  trace_origin_base_ = (static_cast<std::uint64_t>(std::random_device{}())
+                        << 32) ^
+                       std::random_device{}();
 }
 
 Front::~Front() { stop(); }
@@ -173,6 +185,30 @@ void Front::start() {
     in_system_ = 0;
   }
   accept_stop_.store(false);
+
+  serve::TelemetryStreamerOptions telemetry;
+  telemetry.process = config_.telemetry_process.empty()
+                          ? "upa_dispatch:" + std::to_string(port_)
+                          : config_.telemetry_process;
+  telemetry.io_timeout_seconds = config_.read_timeout_seconds;
+  telemetry.fill_metrics = [this](obs::MetricsRegistry& metrics) {
+    publish_metrics(metrics);
+  };
+  telemetry.copy_spans = [this](std::size_t& cursor) {
+    std::vector<obs::Span> out;
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    if (config_.obs == nullptr) return out;
+    const std::vector<obs::Span>& spans = config_.obs->tracer.spans();
+    for (; cursor < spans.size(); ++cursor) out.push_back(spans[cursor]);
+    return out;
+  };
+  telemetry.dropped_spans = [this]() -> std::uint64_t {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    return config_.obs == nullptr ? 0 : config_.obs->tracer.dropped();
+  };
+  telemetry_ = std::make_unique<serve::TelemetryStreamer>(
+      std::move(telemetry));
+
   started_ = true;
   running_.store(true);
 
@@ -200,6 +236,7 @@ void Front::stop() {
   }
   workers_.clear();
   health_->stop();
+  if (telemetry_ != nullptr) telemetry_->stop();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -277,6 +314,13 @@ void Front::publish_metrics(obs::MetricsRegistry& metrics) const {
     metrics.histogram(name, latency_by_outcome_[i].upper_bounds())
         .merge_from(latency_by_outcome_[i]);
   }
+  for (std::size_t i = 0; i < latency_by_upstream_.size(); ++i) {
+    if (latency_by_upstream_[i].count() == 0) continue;
+    const std::string name = "dispatch.upstream." +
+                             pool_.address(i).label() + ".latency_seconds";
+    metrics.histogram(name, latency_by_upstream_[i].upper_bounds())
+        .merge_from(latency_by_upstream_[i]);
+  }
 }
 
 ForwardAttempt Front::attempt_once(std::size_t index,
@@ -305,6 +349,7 @@ ForwardAttempt Front::attempt_once(std::size_t index,
     std::lock_guard<std::mutex> lock(latency_mutex_);
     latency_by_outcome_[static_cast<std::size_t>(attempt.outcome)].record(
         latency);
+    latency_by_upstream_[index].record(latency);
     if (config_.obs != nullptr) {
       config_.obs->metrics.counter("dispatch.attempts").add(1);
       config_.obs->metrics
@@ -360,12 +405,63 @@ std::string Front::exhausted_envelope(
 }
 
 ForwardResult Front::forward_line(const std::string& request_line) {
+  return forward_line_traced(request_line, 0, 0);
+}
+
+ForwardResult Front::forward_line_traced(const std::string& request_line,
+                                         std::uint64_t conn,
+                                         std::uint64_t seq) {
+  const Clock::time_point request_begin = Clock::now();
+
+  // Trace setup. Balancer affinity and the exhausted envelope always use
+  // the ORIGINAL client line; only the per-attempt upstream line is
+  // rewritten with a trace context. A malformed incoming `trace` member
+  // is forwarded verbatim and recorded as nothing -- the upstream's
+  // dispatcher produces the canonical 400 envelope for it.
+  bool record = false;
+  std::string method = "?";
+  serve::TraceContext context;
+  serve::Json parsed;
+  if (config_.trace && config_.obs != nullptr) {
+    bool have_parsed = false;
+    try {
+      parsed = serve::parse_json(request_line);
+      have_parsed = parsed.is_object();
+    } catch (const std::exception&) {
+      have_parsed = false;
+    }
+    if (have_parsed) {
+      if (const serve::Json* m = parsed.find("method");
+          m != nullptr && m->is_string()) {
+        method = m->as_string();
+      }
+      try {
+        if (const std::optional<serve::TraceContext> incoming =
+                serve::parse_trace_context(parsed)) {
+          context = *incoming;  // forward the client's trace decision
+          record = context.sampled;
+        } else {
+          context.trace_id = serve::make_trace_id(
+              trace_origin_base_ + origin_serial_.fetch_add(1) + 1);
+          context.span_id = 0;
+          context.sampled = true;
+          record = true;
+        }
+      } catch (const common::ModelError&) {
+        record = false;
+      }
+    }
+  }
+
   ForwardResult out;
+  std::vector<TracedAttempt> traced;
   const std::vector<std::size_t> order =
       balancer_.pick(affinity_key(request_line));
   const std::size_t budget = config_.retry.max_attempts;
 
-  for (std::size_t attempt_no = 0; attempt_no < budget; ++attempt_no) {
+  bool answered = false;
+  for (std::size_t attempt_no = 0; attempt_no < budget && !answered;
+       ++attempt_no) {
     // Walk the balancer's preference order: healthy replicas first, so
     // for budget <= N every retry lands on a different, untried
     // replica; past N the walk wraps (better a repeat than a give-up).
@@ -377,25 +473,95 @@ ForwardResult Front::forward_line(const std::string& request_line) {
       }
       backoff_sleep(attempt_no);
     }
+    TracedAttempt span;
+    span.upstream_index = index;
+    std::string attempt_line = request_line;
+    if (record) {
+      // Each attempt gets a fresh span reference: the upstream's
+      // serve_request span parents on exactly this attempt, so a retry
+      // that lands on another replica stays distinguishable.
+      span.ref = span_ref_.fetch_add(1);
+      attempt_line = serve::with_trace_context(
+          parsed,
+          serve::TraceContext{context.trace_id, span.ref, true});
+    }
     std::string response;
-    const ForwardAttempt attempt = attempt_once(index, request_line,
+    span.begin = Clock::now();
+    const ForwardAttempt attempt = attempt_once(index, attempt_line,
                                                 response);
+    span.end = Clock::now();
+    span.outcome = attempt.outcome;
     out.attempts.push_back(attempt);
+    traced.push_back(span);
     if (attempt.outcome == AttemptOutcome::kOk ||
         attempt.outcome == AttemptOutcome::kError) {
       // Definitive answers pass through verbatim; 400/404/500 are
       // deterministic and would only be recomputed by a retry.
       out.response_line = std::move(response);
       out.final_outcome = attempt.outcome;
-      return out;
+      answered = true;
     }
   }
 
-  out.exhausted = true;
-  out.final_outcome = out.attempts.back().outcome;
-  out.response_line = exhausted_envelope(request_line, out.attempts);
-  retries_exhausted_.fetch_add(1);
+  if (!answered) {
+    out.exhausted = true;
+    out.final_outcome = out.attempts.back().outcome;
+    out.response_line = exhausted_envelope(request_line, out.attempts);
+    retries_exhausted_.fetch_add(1);
+  }
+  if (record) {
+    record_request_trace(method, context, out, traced, request_begin,
+                         conn, seq);
+  }
   return out;
+}
+
+void Front::record_request_trace(const std::string& method,
+                                 const serve::TraceContext& context,
+                                 const ForwardResult& result,
+                                 const std::vector<TracedAttempt>& attempts,
+                                 Clock::time_point request_begin,
+                                 std::uint64_t conn, std::uint64_t seq) {
+  obs::Observer* ob = config_.obs;
+  if (ob == nullptr) return;
+  const AttemptOutcome client_visible =
+      result.exhausted ? AttemptOutcome::kRejected : result.final_outcome;
+
+  // The whole request's spans land as one complete batch under
+  // latency_mutex_ -- the same lock the telemetry copy_spans callback
+  // takes -- so a subscriber never streams a root without its attempt
+  // children. Steady-clock stamps are mapped onto the tracer's wall
+  // timeline retrospectively, anchored at "now".
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  const Clock::time_point now = Clock::now();
+  const double wall_now = ob->tracer.wall_now();
+  const auto wall_at = [&](Clock::time_point tp) {
+    return wall_now - seconds_between(tp, now);
+  };
+
+  const obs::SpanId root = ob->tracer.begin(
+      obs::SpanLevel::kDispatchRequest, method, wall_at(request_begin),
+      obs::TimeDomain::kWallSeconds);
+  ob->tracer.attr(root, "trace_id", context.trace_id);
+  ob->tracer.attr(root, "parent_span",
+                  static_cast<double>(context.span_id));
+  ob->tracer.attr(root, "conn", static_cast<double>(conn));
+  ob->tracer.attr(root, "seq", static_cast<double>(seq));
+  ob->tracer.attr(root, "outcome", attempt_outcome_name(client_visible));
+  ob->tracer.attr(root, "attempts",
+                  static_cast<double>(attempts.size()));
+  if (result.exhausted) ob->tracer.attr(root, "exhausted", 1.0);
+  for (const TracedAttempt& a : attempts) {
+    const obs::SpanId child = ob->tracer.begin(
+        obs::SpanLevel::kDispatchAttempt, "attempt", wall_at(a.begin),
+        obs::TimeDomain::kWallSeconds, root);
+    ob->tracer.attr(child, "ref", static_cast<double>(a.ref));
+    ob->tracer.attr(child, "upstream",
+                    pool_.address(a.upstream_index).label());
+    ob->tracer.attr(child, "outcome", attempt_outcome_name(a.outcome));
+    ob->tracer.end(child, wall_at(a.end));
+  }
+  ob->tracer.end(root, wall_now);
 }
 
 std::string Front::dispatch_stats_line(const std::string& line) {
@@ -426,7 +592,10 @@ std::string Front::dispatch_stats_line(const std::string& line) {
   result.set("retries_exhausted",
              serve::Json(static_cast<double>(s.retries_exhausted)));
   serve::Json upstreams = serve::Json::array();
-  for (const UpstreamSnapshot& u : pool_.snapshot()) {
+  const std::vector<UpstreamSnapshot> snapshots = pool_.snapshot();
+  std::lock_guard<std::mutex> latency_lock(latency_mutex_);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const UpstreamSnapshot& u = snapshots[i];
     serve::Json entry = serve::Json::object();
     entry.set("address", serve::Json(u.address.label()));
     entry.set("healthy", serve::Json(u.healthy));
@@ -442,13 +611,16 @@ std::string Front::dispatch_stats_line(const std::string& line) {
     entry.set("ejections", serve::Json(static_cast<double>(u.ejections)));
     entry.set("readmissions",
               serve::Json(static_cast<double>(u.readmissions)));
+    // Snapshot order is pool index order, so histogram i matches entry i.
+    entry.set("latency", serve::histogram_json(latency_by_upstream_[i]));
     upstreams.push_back(std::move(entry));
   }
   result.set("upstreams", std::move(upstreams));
   return serve::make_result_response(id, std::move(result)).dump();
 }
 
-std::string Front::respond_line(const std::string& line) {
+std::string Front::respond_line(const std::string& line,
+                                std::uint64_t conn, std::uint64_t seq) {
   requests_.fetch_add(1);
   bool is_dispatch_stats = false;
   try {
@@ -465,7 +637,7 @@ std::string Front::respond_line(const std::string& line) {
   }
   if (is_dispatch_stats) return dispatch_stats_line(line);
 
-  const ForwardResult fr = forward_line(line);
+  const ForwardResult fr = forward_line_traced(line, conn, seq);
   // Counters classify the response the client actually got: a spent
   // budget surfaces as the 503 retries_exhausted envelope, so it counts
   // as a rejection regardless of how the last attempt died.
@@ -550,6 +722,8 @@ void Front::worker_loop() {
 
 void Front::handle_connection(const Job& job) {
   set_io_timeouts(job.fd, config_.read_timeout_seconds);
+  const std::uint64_t conn = conn_serial_.fetch_add(1) + 1;
+  std::uint64_t seq = 0;
   std::string buffer;
   bool first_request = true;
   for (;;) {
@@ -564,10 +738,88 @@ void Front::handle_connection(const Job& job) {
     }
     first_request = false;
     if (line.empty()) continue;
-    const std::string response = respond_line(line);
+    switch (maybe_subscribe(job.fd, line)) {
+      case 1:
+        // The telemetry streamer owns the fd now; the worker slot is
+        // released when this returns. A subscriber to the front never
+        // counts against the upstreams' admission -- the front never
+        // forwards subscribe.
+        return;
+      case 2:
+        continue;
+      default:
+        break;
+    }
+    const std::string response = respond_line(line, conn, seq++);
     if (!send_all(job.fd, response + "\n")) break;
   }
   ::close(job.fd);
+}
+
+int Front::maybe_subscribe(int fd, const std::string& line) {
+  // Cheap pre-filter: almost every request line lacks the literal and
+  // skips the extra parse entirely.
+  if (line.find("subscribe") == std::string::npos) return 0;
+  serve::Json request;
+  try {
+    request = serve::parse_json(line);
+  } catch (const std::exception&) {
+    return 0;  // forwarded; the upstream produces the canonical 400
+  }
+  if (!request.is_object()) return 0;
+  const serve::Json* method = request.find("method");
+  if (method == nullptr || !method->is_string() ||
+      method->as_string() != "subscribe") {
+    return 0;
+  }
+  const serve::Json* id_member = request.find("id");
+  const serve::Json id = id_member != nullptr ? *id_member : serve::Json();
+
+  double interval_ms = 500.0;
+  const serve::Json* params = request.find("params");
+  if (params != nullptr && !params->is_object() && !params->is_null()) {
+    (void)send_all(fd, serve::make_error_response(
+                           id, serve::ErrorCode::kBadRequest,
+                           "'params' must be an object when present")
+                               .dump() +
+                           "\n");
+    return 2;
+  }
+  if (params != nullptr && params->is_object()) {
+    if (const serve::Json* v = params->find("interval_ms"); v != nullptr) {
+      if (!v->is_number() || !(v->as_number() >= 10.0) ||
+          !(v->as_number() <= 60000.0)) {
+        (void)send_all(
+            fd, serve::make_error_response(
+                    id, serve::ErrorCode::kBadRequest,
+                    "param 'interval_ms' must be a number in [10, 60000]")
+                        .dump() +
+                    "\n");
+        return 2;
+      }
+      interval_ms = v->as_number();
+    }
+  }
+
+  serve::Json result = serve::Json::object();
+  result.set("subscribed", serve::Json(true));
+  result.set("process",
+             serve::Json(config_.telemetry_process.empty()
+                             ? "upa_dispatch:" + std::to_string(port_)
+                             : config_.telemetry_process));
+  result.set("interval_ms", serve::Json(interval_ms));
+  const std::string ack =
+      serve::make_result_response(id, std::move(result)).dump();
+  if (telemetry_ == nullptr ||
+      !telemetry_->add_subscriber(fd, interval_ms / 1000.0, ack)) {
+    (void)send_all(fd, serve::make_error_response(
+                           id, serve::ErrorCode::kQueueFull,
+                           "telemetry subscriber limit reached")
+                               .dump() +
+                           "\n");
+    return 2;
+  }
+  return 1;
 }
 
 bool Front::park_for_next_request(int fd) {

@@ -38,6 +38,8 @@
 #include "upa/dispatch/upstream.hpp"
 #include "upa/obs/metrics.hpp"
 #include "upa/obs/observer.hpp"
+#include "upa/serve/protocol.hpp"
+#include "upa/serve/telemetry.hpp"
 #include "upa/sim/rng.hpp"
 
 namespace upa::dispatch {
@@ -80,6 +82,16 @@ struct FrontConfig {
   RetryConfig retry;
   /// Optional observability sink (non-owning, mutex-guarded inside).
   obs::Observer* obs = nullptr;
+  /// Distributed tracing mode (needs `obs`). Per sampled request the
+  /// front records one dispatch_request root span plus one
+  /// dispatch_attempt child per forwarding attempt (attrs: ref,
+  /// upstream, outcome), and rewrites each attempt's request line with
+  /// a trace context -- adopting an incoming one or originating a fresh
+  /// trace_id -- so upstream serve_request spans parent on the attempt.
+  /// Off by default: forwarding stays verbatim, byte for byte.
+  bool trace = false;
+  /// Label stamped on telemetry lines; empty = "upa_dispatch:<port>".
+  std::string telemetry_process;
 };
 
 /// Point-in-time counter snapshot (all values since start()). The
@@ -161,18 +173,39 @@ class Front {
     int fd = -1;
   };
 
+  /// One forwarding attempt with its trace bookkeeping: the per-process
+  /// span reference stamped into the attempt's trace context (the value
+  /// the upstream's serve_request span carries as parent_span) and the
+  /// attempt's wall-clock window.
+  struct TracedAttempt {
+    std::size_t upstream_index = 0;
+    AttemptOutcome outcome = AttemptOutcome::kTransport;
+    std::uint64_t ref = 0;
+    Clock::time_point begin;
+    Clock::time_point end;
+  };
+
   void acceptor_loop();
   void worker_loop();
   void handle_connection(const Job& job);
+  /// Subscribe interception, mirroring serve::Server: 0 = not a
+  /// subscribe, 1 = fd handed to the telemetry streamer, 2 = error
+  /// envelope already sent.
+  [[nodiscard]] int maybe_subscribe(int fd, const std::string& line);
   [[nodiscard]] bool park_for_next_request(int fd);
   void unpark(int fd);
   /// One request line -> one response line: serves dispatch_stats
   /// locally, forwards everything else, and bumps the final-outcome
   /// counters (exactly once per request).
-  [[nodiscard]] std::string respond_line(const std::string& line);
+  [[nodiscard]] std::string respond_line(const std::string& line,
+                                         std::uint64_t conn,
+                                         std::uint64_t seq);
   [[nodiscard]] std::string dispatch_stats_line(const std::string& line);
+  [[nodiscard]] ForwardResult forward_line_traced(
+      const std::string& request_line, std::uint64_t conn,
+      std::uint64_t seq);
   /// One attempt against one upstream; records pool counters and the
-  /// per-outcome latency histogram.
+  /// per-outcome and per-upstream latency histograms.
   [[nodiscard]] ForwardAttempt attempt_once(std::size_t index,
                                             const std::string& line,
                                             std::string& response_out);
@@ -180,6 +213,14 @@ class Front {
   [[nodiscard]] std::string exhausted_envelope(
       const std::string& request_line,
       const std::vector<ForwardAttempt>& attempts) const;
+  /// Records the dispatch_request root + per-attempt child spans as one
+  /// complete batch under latency_mutex_ (see serve::Server for why).
+  void record_request_trace(const std::string& method,
+                            const serve::TraceContext& context,
+                            const ForwardResult& result,
+                            const std::vector<TracedAttempt>& attempts,
+                            Clock::time_point request_begin,
+                            std::uint64_t conn, std::uint64_t seq);
 
   FrontConfig config_;
   UpstreamPool pool_;
@@ -222,8 +263,21 @@ class Front {
   std::mutex rng_mutex_;  // guards jitter_rng_
   sim::Xoshiro256 jitter_rng_;
 
-  mutable std::mutex latency_mutex_;  // guards latency_by_outcome_, obs
+  // Tracing state: a per-process attempt-span reference counter (the
+  // value propagated as trace.span_id and echoed back by upstream spans
+  // as parent_span), a client-connection serial, and the base mixed
+  // into originated trace ids so two fronts never collide.
+  std::atomic<std::uint64_t> span_ref_{1};
+  std::atomic<std::uint64_t> conn_serial_{0};
+  std::atomic<std::uint64_t> origin_serial_{0};
+  std::uint64_t trace_origin_base_ = 0;
+
+  // latency_mutex_ guards latency_by_outcome_, latency_by_upstream_,
+  // and obs; traced span batches land under one hold (see server.hpp).
+  mutable std::mutex latency_mutex_;
   std::vector<obs::Histogram> latency_by_outcome_;  // indexed by outcome
+  std::vector<obs::Histogram> latency_by_upstream_; // indexed by upstream
+  std::unique_ptr<serve::TelemetryStreamer> telemetry_;
 };
 
 }  // namespace upa::dispatch

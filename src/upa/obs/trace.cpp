@@ -16,6 +16,9 @@ std::string span_level_name(SpanLevel level) {
     case SpanLevel::kCampaignPlan: return "campaign_plan";
     case SpanLevel::kCacheLookup: return "cache_lookup";
     case SpanLevel::kServeRequest: return "serve_request";
+    case SpanLevel::kDispatchRequest: return "dispatch_request";
+    case SpanLevel::kDispatchAttempt: return "dispatch_attempt";
+    case SpanLevel::kServePhase: return "serve_phase";
   }
   UPA_ASSERT(false);
   return {};

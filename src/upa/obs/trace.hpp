@@ -27,6 +27,9 @@ enum class SpanLevel {
   kCampaignPlan,        ///< one fault-injection campaign plan (wall domain)
   kCacheLookup,         ///< one EvalCache lookup (wall domain, attr hit=0/1)
   kServeRequest,        ///< one RPC request handled by upa_served (wall)
+  kDispatchRequest,     ///< one client request through upa_dispatch (wall)
+  kDispatchAttempt,     ///< one upstream forwarding attempt (wall)
+  kServePhase,          ///< one phase of a served request (wall)
 };
 
 [[nodiscard]] std::string span_level_name(SpanLevel level);

@@ -137,6 +137,40 @@ void Client::close() {
   buffer_.clear();
 }
 
+void Client::send_line(const std::string& line) {
+  UPA_REQUIRE(fd_ >= 0, "Client is not connected");
+  if (!send_all(fd_, line + "\n")) {
+    throw common::ModelError("send failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+std::string Client::read_line() {
+  UPA_REQUIRE(fd_ >= 0, "Client is not connected");
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw common::ModelError(
+          n == 0 ? "connection closed before a response line"
+                 : "recv failed: " + std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Client::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 std::string Client::call_line(const std::string& request_line) {
   UPA_REQUIRE(fd_ >= 0, "Client is not connected");
   if (!send_all(fd_, request_line + "\n")) {
@@ -164,11 +198,12 @@ std::string Client::call_line(const std::string& request_line) {
 }
 
 CallResult Client::call(const std::string& method, Json params,
-                        std::uint64_t id) {
+                        std::uint64_t id, const TraceContext* trace) {
   Json request = Json::object();
   request.set("id", Json(static_cast<double>(id)));
   request.set("method", Json(method));
   if (!params.is_null()) request.set("params", std::move(params));
+  if (trace != nullptr) request.set("trace", trace_context_json(*trace));
   try {
     return classify_response(call_line(request.dump()));
   } catch (const std::exception& e) {

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "upa/serve/json.hpp"
+#include "upa/serve/protocol.hpp"
 
 namespace upa::serve {
 
@@ -74,9 +75,23 @@ class Client {
   /// Builds {"id": id, "method": method, "params": params}, sends it,
   /// and classifies the response. Transport failures are folded into
   /// the CallResult (outcome kTransportError) instead of throwing, so
-  /// load generators can count them.
+  /// load generators can count them. A non-null `trace` adds the
+  /// envelope's trace member (distributed-tracing context).
   [[nodiscard]] CallResult call(const std::string& method, Json params,
-                                std::uint64_t id = 0);
+                                std::uint64_t id = 0,
+                                const TraceContext* trace = nullptr);
+
+  /// One-way send of a raw line (used to issue `subscribe` before
+  /// switching to read_line streaming). Throws ModelError on failure.
+  void send_line(const std::string& line);
+
+  /// Reads the next newline-delimited line (telemetry streaming).
+  /// Throws ModelError on EOF, timeout, or error.
+  [[nodiscard]] std::string read_line();
+
+  /// shutdown(SHUT_RDWR) without closing the fd: wakes a reader blocked
+  /// in read_line() from another thread so it can exit cleanly.
+  void shutdown_both();
 
  private:
   int fd_ = -1;

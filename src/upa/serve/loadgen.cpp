@@ -22,10 +22,37 @@ double exponential(sim::Xoshiro256& rng, double rate) {
 
 struct RequestRecord {
   CallOutcome outcome = CallOutcome::kTransportError;
+  int code = 0;
   double latency_seconds = 0.0;
 };
 
+/// Trace id for the k-th originated request of a run: seed plus an odd
+/// multiple of the golden-ratio constant, so distinct indices map to
+/// distinct ids (odd multiplication is a bijection mod 2^64) and a
+/// rerun with the same seed regenerates the same join keys.
+std::string trace_id_for(std::uint64_t seed, std::uint64_t index) {
+  return make_trace_id(seed + 0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
 }  // namespace
+
+std::string method_for_function(const std::string& function_name) {
+  if (function_name == "Home") return "ping";
+  if (function_name == "Browse") return "mmck_metrics";
+  if (function_name == "Search") return "web_farm_availability";
+  if (function_name == "Book") return "user_availability";
+  if (function_name == "Pay") return "composite_availability";
+  return "ping";
+}
+
+std::string function_for_method(const std::string& method) {
+  if (method == "ping") return "Home";
+  if (method == "mmck_metrics") return "Browse";
+  if (method == "web_farm_availability") return "Search";
+  if (method == "user_availability") return "Book";
+  if (method == "composite_availability") return "Pay";
+  return "";
+}
 
 LossResult run_loss_workload(const LossConfig& config) {
   UPA_REQUIRE(config.lambda > 0.0, "LossConfig.lambda must be > 0");
@@ -43,6 +70,11 @@ LossResult run_loss_workload(const LossConfig& config) {
     t += exponential(rng, config.lambda);
     arrival_offsets[k] = t;
     service_seconds[k] = exponential(rng, config.nu);
+  }
+
+  std::vector<std::string> trace_ids(config.trace ? config.requests : 0);
+  for (std::size_t k = 0; k < trace_ids.size(); ++k) {
+    trace_ids[k] = trace_id_for(config.seed, k);
   }
 
   std::vector<RequestRecord> records(config.requests);
@@ -67,8 +99,16 @@ LossResult run_loss_workload(const LossConfig& config) {
       }
       Json params = Json::object();
       params.set("seconds", Json(service_seconds[k]));
-      const CallResult r = client.call("sleep", std::move(params), k);
+      TraceContext trace;
+      if (config.trace) {
+        trace.trace_id = trace_ids[k];
+        trace.span_id = 0;
+        trace.sampled = true;
+      }
+      const CallResult r = client.call("sleep", std::move(params), k,
+                                       config.trace ? &trace : nullptr);
       records[k].outcome = r.outcome;
+      records[k].code = r.code;
       records[k].latency_seconds =
           std::chrono::duration<double>(Clock::now() - start).count();
     });
@@ -103,22 +143,22 @@ LossResult run_loss_workload(const LossConfig& config) {
                         : 0.0;
   out.wall_seconds = wall;
   out.offered_rate = wall > 0.0 ? static_cast<double>(out.sent) / wall : 0.0;
+  if (config.trace) {
+    out.request_log.resize(config.requests);
+    for (std::size_t k = 0; k < config.requests; ++k) {
+      LossRequestLog& log = out.request_log[k];
+      log.trace_id = trace_ids[k];
+      log.scheduled_offset_seconds = arrival_offsets[k];
+      log.method = "sleep";
+      log.outcome = records[k].outcome;
+      log.code = records[k].code;
+      log.latency_seconds = records[k].latency_seconds;
+    }
+  }
   return out;
 }
 
 namespace {
-
-/// Fixed mapping from the paper's user-visible functions to evaluation
-/// RPCs: heavier functions map to heavier evaluations, echoing how Book
-/// and Pay hit more backend services than Home.
-std::string method_for_function(const std::string& function_name) {
-  if (function_name == "Home") return "ping";
-  if (function_name == "Browse") return "mmck_metrics";
-  if (function_name == "Search") return "web_farm_availability";
-  if (function_name == "Book") return "user_availability";
-  if (function_name == "Pay") return "composite_availability";
-  return "ping";
-}
 
 /// Samples the next state of the session DTMC from the profile's
 /// transition row.
@@ -170,7 +210,23 @@ SessionResult run_session_replay(const SessionConfig& config) {
     }
   }
 
+  // Trace ids are numbered over the pre-walked invocation sequence, so
+  // they too are a pure function of the seed.
+  std::vector<std::vector<std::string>> walk_trace_ids(
+      config.trace ? config.sessions : 0);
+  if (config.trace) {
+    std::uint64_t next = 0;
+    for (std::size_t s = 0; s < config.sessions; ++s) {
+      walk_trace_ids[s].reserve(walks[s].size());
+      for (std::size_t i = 0; i < walks[s].size(); ++i) {
+        walk_trace_ids[s].push_back(trace_id_for(config.seed, next++));
+      }
+    }
+  }
+
   std::vector<SessionRecord> records(config.sessions);
+  std::vector<std::vector<SessionInvocationLog>> logs(
+      config.trace ? config.sessions : 0);
   std::vector<std::thread> in_flight;
   in_flight.reserve(config.sessions);
 
@@ -193,12 +249,31 @@ SessionResult run_session_replay(const SessionConfig& config) {
       rec.connected = true;
       std::uint64_t id = 0;
       for (const std::string& function : walks[s]) {
+        const std::size_t i = static_cast<std::size_t>(id);
+        const std::string method = method_for_function(function);
         Json params = Json::object();
         if (function == "Book") params.set("class", Json("B"));
+        TraceContext trace;
+        if (config.trace) {
+          trace.trace_id = walk_trace_ids[s][i];
+          trace.span_id = 0;
+          trace.sampled = true;
+        }
         const CallResult r =
-            client.call(method_for_function(function), std::move(params),
-                        id++);
+            client.call(method, std::move(params), id++,
+                        config.trace ? &trace : nullptr);
         ++rec.invocations;
+        if (config.trace) {
+          SessionInvocationLog log;
+          log.session = s;
+          log.invocation = i;
+          log.function = function;
+          log.method = method;
+          log.trace_id = walk_trace_ids[s][i];
+          log.outcome = r.outcome;
+          log.code = r.code;
+          logs[s].push_back(std::move(log));
+        }
         if (r.outcome == CallOutcome::kRejected) {
           // Admission turned the session away (the 503 arrives on the
           // first read); everything after is moot.
@@ -237,6 +312,13 @@ SessionResult run_session_replay(const SessionConfig& config) {
       static_cast<double>(out.sessions);
   out.session_success_fraction = static_cast<double>(out.completed) /
                                  static_cast<double>(out.sessions);
+  if (config.trace) {
+    for (std::vector<SessionInvocationLog>& session_log : logs) {
+      for (SessionInvocationLog& log : session_log) {
+        out.invocation_log.push_back(std::move(log));
+      }
+    }
+  }
   return out;
 }
 

@@ -27,9 +27,21 @@
 #include <utility>
 #include <vector>
 
+#include "upa/serve/client.hpp"
 #include "upa/ta/user_classes.hpp"
 
 namespace upa::serve {
+
+/// Fixed mapping from the paper's user-visible functions to evaluation
+/// RPCs (Home->ping, Browse->mmck_metrics, Search->web_farm_availability,
+/// Book->user_availability, Pay->composite_availability); unknown
+/// functions map to ping.
+[[nodiscard]] std::string method_for_function(
+    const std::string& function_name);
+
+/// Inverse of method_for_function; empty string for methods outside the
+/// session mapping (used by the trace collector's profile mining).
+[[nodiscard]] std::string function_for_method(const std::string& method);
 
 struct LossConfig {
   std::string host = "127.0.0.1";
@@ -46,6 +58,23 @@ struct LossConfig {
   /// Client::connect). Bounds how long a request waits on a stuck or
   /// killed server before counting as a transport error.
   double call_timeout_seconds = 0.0;
+  /// Originate a trace context per request and keep the per-request log
+  /// (LossResult.request_log), so bench artifacts are joinable against
+  /// collected traces by trace_id. Off by default: the request bytes on
+  /// the wire then stay identical to the pre-tracing workload.
+  bool trace = false;
+};
+
+/// One issued request, kept when LossConfig.trace is set. The trace_id
+/// is a pure function of (seed, request index), so a rerun regenerates
+/// the same join keys.
+struct LossRequestLog {
+  std::string trace_id;
+  double scheduled_offset_seconds = 0.0;
+  std::string method;
+  CallOutcome outcome = CallOutcome::kTransportError;
+  int code = 0;
+  double latency_seconds = 0.0;
 };
 
 struct LossResult {
@@ -63,6 +92,8 @@ struct LossResult {
   /// sent / wall_seconds; should approach lambda when the generator
   /// keeps up with its own schedule.
   double offered_rate = 0.0;
+  /// One entry per request, in issue order (empty unless config.trace).
+  std::vector<LossRequestLog> request_log;
 };
 
 /// Runs the loss workload; throws ModelError on a config that cannot be
@@ -80,6 +111,20 @@ struct SessionConfig {
   double connect_timeout_seconds = 5.0;
   /// Per-call receive timeout; 0 inherits connect_timeout_seconds.
   double call_timeout_seconds = 0.0;
+  /// Originate a trace context per invocation and keep the
+  /// per-invocation log (SessionResult.invocation_log).
+  bool trace = false;
+};
+
+/// One session invocation, kept when SessionConfig.trace is set.
+struct SessionInvocationLog {
+  std::size_t session = 0;
+  std::size_t invocation = 0;  ///< 0-based position within the session
+  std::string function;        ///< Table 1 function name
+  std::string method;          ///< RPC it mapped to
+  std::string trace_id;
+  CallOutcome outcome = CallOutcome::kTransportError;
+  int code = 0;
 };
 
 struct SessionResult {
@@ -93,6 +138,9 @@ struct SessionResult {
   /// completed / sessions -- the service-side availability a user of
   /// this class perceives from the evaluation service itself.
   double session_success_fraction = 0.0;
+  /// One entry per issued invocation, ordered by (session, invocation)
+  /// (empty unless config.trace).
+  std::vector<SessionInvocationLog> invocation_log;
 };
 
 /// Replays Table 1 sessions against the server; the function -> RPC

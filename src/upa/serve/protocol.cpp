@@ -343,6 +343,69 @@ Json method_cache(const Json& params) {
 
 }  // namespace
 
+std::optional<TraceContext> parse_trace_context(const Json& request) {
+  const Json* trace = request.find("trace");
+  if (trace == nullptr) return std::nullopt;
+  UPA_REQUIRE(trace->is_object(), "'trace' must be an object when present");
+  TraceContext context;
+
+  const Json* trace_id = trace->find("trace_id");
+  UPA_REQUIRE(trace_id != nullptr && trace_id->is_string(),
+              "'trace.trace_id' must be a string");
+  context.trace_id = trace_id->as_string();
+  UPA_REQUIRE(!context.trace_id.empty() && context.trace_id.size() <= 32,
+              "'trace.trace_id' must be 1-32 hex chars");
+  for (const char c : context.trace_id) {
+    UPA_REQUIRE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'),
+                "'trace.trace_id' must be lowercase hex");
+  }
+
+  if (const Json* span_id = trace->find("span_id"); span_id != nullptr) {
+    UPA_REQUIRE(span_id->is_number(), "'trace.span_id' must be a number");
+    const double d = span_id->as_number();
+    UPA_REQUIRE(d >= 0.0 && d == std::floor(d) && d <= kMaxSafeInteger,
+                "'trace.span_id' must be a non-negative integer");
+    context.span_id = static_cast<std::uint64_t>(d);
+  }
+
+  if (const Json* sampled = trace->find("sampled"); sampled != nullptr) {
+    UPA_REQUIRE(sampled->is_bool(), "'trace.sampled' must be a boolean");
+    context.sampled = sampled->as_bool();
+  }
+  return context;
+}
+
+Json trace_context_json(const TraceContext& context) {
+  Json trace = Json::object();
+  trace.set("trace_id", Json(context.trace_id));
+  trace.set("span_id", Json(static_cast<double>(context.span_id)));
+  trace.set("sampled", Json(context.sampled));
+  return trace;
+}
+
+std::string with_trace_context(const Json& request,
+                               const TraceContext& context) {
+  Json rewritten = request;
+  rewritten.set("trace", trace_context_json(context));
+  return rewritten.dump();
+}
+
+std::string make_trace_id(std::uint64_t seed) {
+  // splitmix64 finalizer (Steele et al.): a bijection on uint64, so
+  // distinct seeds give distinct ids.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string id(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    id[static_cast<std::size_t>(i)] = kHex[z & 0xf];
+    z >>= 4;
+  }
+  return id;
+}
+
 Json make_result_response(const Json& id, Json result) {
   Json response = Json::object();
   response.set("id", id);
@@ -396,6 +459,14 @@ Json Dispatcher::dispatch(const Json& request) const {
   }
   const Json* id_member = request.find("id");
   const Json id = id_member != nullptr ? *id_member : Json();
+  try {
+    // Validate (but do not act on) any trace context: a malformed trace
+    // member is a caller bug and must 400 instead of silently riding
+    // along. Valid context is consumed by the server's span recording.
+    (void)parse_trace_context(request);
+  } catch (const common::ModelError& e) {
+    return make_error_response(id, ErrorCode::kBadRequest, e.what());
+  }
   const Json* method = request.find("method");
   if (method == nullptr || !method->is_string()) {
     return make_error_response(id, ErrorCode::kBadRequest,

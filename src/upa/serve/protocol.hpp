@@ -24,8 +24,10 @@
 // or without the evaluation cache -- the cache replays results bit for
 // bit, so the serialized payload cannot differ.
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,45 @@ struct ErrorCode {
 [[nodiscard]] Json make_result_response(const Json& id, Json result);
 [[nodiscard]] Json make_error_response(const Json& id, int code,
                                        const std::string& message);
+
+/// Distributed trace context carried in the optional `trace` member of a
+/// request envelope:
+///
+///   {"id": 7, "method": "ping", "trace":
+///     {"trace_id": "a1b2c3d4e5f60718", "span_id": 42, "sampled": true}}
+///
+/// `trace_id` names the end-to-end request (1-32 lowercase hex chars),
+/// `span_id` is the sender's attempt-span reference the receiver parents
+/// its server-side spans on (0 = root), and `sampled` lets a front end
+/// forward context without forcing every hop to record spans. Responses
+/// never echo the trace member, so response bytes are identical with and
+/// without tracing.
+struct TraceContext {
+  std::string trace_id;
+  std::uint64_t span_id = 0;
+  bool sampled = true;
+};
+
+/// Extracts the trace context from a parsed request envelope. Returns
+/// nullopt when no `trace` member is present; throws common::ModelError
+/// when one is present but malformed (wrong types, empty or non-hex
+/// trace_id, negative / fractional / oversized span_id).
+[[nodiscard]] std::optional<TraceContext> parse_trace_context(
+    const Json& request);
+
+/// The `trace` member value for a context.
+[[nodiscard]] Json trace_context_json(const TraceContext& context);
+
+/// Re-serializes `request` with its `trace` member set to `context`
+/// (replacing any existing one). All other members keep their positions,
+/// so the rewritten line hashes to the same balancing affinity key.
+[[nodiscard]] std::string with_trace_context(const Json& request,
+                                             const TraceContext& context);
+
+/// Deterministic 16-hex-char trace id from a seed. Uses the splitmix64
+/// finalizer -- a bijection on 64-bit values -- so distinct seeds always
+/// yield distinct ids.
+[[nodiscard]] std::string make_trace_id(std::uint64_t seed);
 
 /// Method table mapping RPC names to handlers. Construction registers
 /// the built-in evaluator methods:

@@ -108,8 +108,29 @@ Server::Server(ServerConfig config)
     out.set("protocol_errors", Json(static_cast<double>(s.protocol_errors)));
     out.set("in_system", Json(s.in_system));
     out.set("max_in_system", Json(s.max_in_system));
+    Json method_latency = Json::object();
+    {
+      std::lock_guard<std::mutex> lock(latency_mutex_);
+      for (const auto& [name, histogram] : latency_by_method_) {
+        if (histogram.count() == 0) continue;
+        Json m = histogram_json(histogram);
+        m.set("mean", Json(histogram.sum() /
+                           static_cast<double>(histogram.count())));
+        method_latency.set(name, std::move(m));
+      }
+    }
+    out.set("method_latency", std::move(method_latency));
     return out;
   });
+  // One handler-latency histogram per registered method, plus a catch-
+  // all for unknown-method / unparseable requests. Built once here so
+  // the per-request path is a map find, never an insert.
+  for (const std::string& name : dispatcher_.method_names()) {
+    latency_by_method_.emplace(name,
+                               obs::Histogram(latency_.upper_bounds()));
+  }
+  latency_by_method_.emplace("other",
+                             obs::Histogram(latency_.upper_bounds()));
 }
 
 Server::~Server() { stop(); }
@@ -168,6 +189,29 @@ void Server::start() {
   }
   accept_stop_.store(false);
   started_at_ = Clock::now();
+
+  TelemetryStreamerOptions telemetry;
+  telemetry.process = config_.telemetry_process.empty()
+                          ? "upa_served:" + std::to_string(port_)
+                          : config_.telemetry_process;
+  telemetry.io_timeout_seconds = config_.read_timeout_seconds;
+  telemetry.fill_metrics = [this](obs::MetricsRegistry& metrics) {
+    publish_metrics(metrics);
+  };
+  telemetry.copy_spans = [this](std::size_t& cursor) {
+    std::vector<obs::Span> out;
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    if (config_.obs == nullptr) return out;
+    const std::vector<obs::Span>& spans = config_.obs->tracer.spans();
+    for (; cursor < spans.size(); ++cursor) out.push_back(spans[cursor]);
+    return out;
+  };
+  telemetry.dropped_spans = [this]() -> std::uint64_t {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    return config_.obs == nullptr ? 0 : config_.obs->tracer.dropped();
+  };
+  telemetry_ = std::make_unique<TelemetryStreamer>(std::move(telemetry));
+
   started_ = true;
   running_.store(true);
 
@@ -197,6 +241,7 @@ void Server::stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  if (telemetry_ != nullptr) telemetry_->stop();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -238,6 +283,13 @@ void Server::publish_metrics(obs::MetricsRegistry& metrics) const {
   metrics
       .histogram("serve.request_latency_seconds", latency_.upper_bounds())
       .merge_from(latency_);
+  for (const auto& [name, histogram] : latency_by_method_) {
+    if (histogram.count() == 0) continue;
+    metrics
+        .histogram("serve.method_latency_seconds." + name,
+                   histogram.upper_bounds())
+        .merge_from(histogram);
+  }
 }
 
 void Server::acceptor_loop() {
@@ -312,6 +364,8 @@ void Server::worker_loop() {
 
 void Server::handle_connection(const Job& job) {
   set_io_timeouts(job.fd, config_.read_timeout_seconds);
+  const std::uint64_t conn = conn_serial_.fetch_add(1) + 1;
+  std::uint64_t seq = 0;
   std::string buffer;
   bool first_request = true;
   for (;;) {
@@ -328,6 +382,18 @@ void Server::handle_connection(const Job& job) {
       if (!got) break;
     }
     if (line.empty()) continue;
+    switch (maybe_subscribe(job.fd, line)) {
+      case 1:
+        // The telemetry streamer owns the fd now; the worker slot is
+        // released when this returns (a long-lived subscriber must not
+        // consume one of the model's K admission slots).
+        return;
+      case 2:
+        first_request = false;
+        continue;
+      default:
+        break;
+    }
     const Clock::time_point line_read = Clock::now();
     // The admission-anchored budget and timings apply only to the
     // connection's first request; later requests on a kept-alive
@@ -336,11 +402,77 @@ void Server::handle_connection(const Job& job) {
     // the latency histogram would absorb the whole connection age.
     const Clock::time_point anchor =
         first_request ? job.admitted : line_read;
+    const bool was_first = first_request;
     first_request = false;
-    const std::string response = respond_line(line, anchor, line_read);
+    const std::string response =
+        respond_line(line, anchor, line_read, was_first, conn, seq++);
     if (!send_all(job.fd, response + "\n")) break;
   }
   ::close(job.fd);
+}
+
+int Server::maybe_subscribe(int fd, const std::string& line) {
+  // Cheap pre-filter: almost every request line lacks the literal and
+  // skips the extra parse entirely.
+  if (line.find("subscribe") == std::string::npos) return 0;
+  Json request;
+  try {
+    request = parse_json(line);
+  } catch (const std::exception&) {
+    return 0;  // respond_line produces the canonical 400
+  }
+  if (!request.is_object()) return 0;
+  const Json* method = request.find("method");
+  if (method == nullptr || !method->is_string() ||
+      method->as_string() != "subscribe") {
+    return 0;
+  }
+  const Json* id_member = request.find("id");
+  const Json id = id_member != nullptr ? *id_member : Json();
+
+  double interval_ms = 500.0;
+  const Json* params = request.find("params");
+  if (params != nullptr && !params->is_object() && !params->is_null()) {
+    (void)send_all(fd, make_error_response(
+                           id, ErrorCode::kBadRequest,
+                           "'params' must be an object when present")
+                               .dump() +
+                           "\n");
+    return 2;
+  }
+  if (params != nullptr && params->is_object()) {
+    if (const Json* v = params->find("interval_ms"); v != nullptr) {
+      if (!v->is_number() || !(v->as_number() >= 10.0) ||
+          !(v->as_number() <= 60000.0)) {
+        (void)send_all(
+            fd, make_error_response(
+                    id, ErrorCode::kBadRequest,
+                    "param 'interval_ms' must be a number in [10, 60000]")
+                        .dump() +
+                    "\n");
+        return 2;
+      }
+      interval_ms = v->as_number();
+    }
+  }
+
+  Json result = Json::object();
+  result.set("subscribed", Json(true));
+  result.set("process", Json(config_.telemetry_process.empty()
+                                 ? "upa_served:" + std::to_string(port_)
+                                 : config_.telemetry_process));
+  result.set("interval_ms", Json(interval_ms));
+  const std::string ack = make_result_response(id, std::move(result)).dump();
+  if (telemetry_ == nullptr ||
+      !telemetry_->add_subscriber(fd, interval_ms / 1000.0, ack)) {
+    (void)send_all(fd, make_error_response(
+                           id, ErrorCode::kQueueFull,
+                           "telemetry subscriber limit reached")
+                               .dump() +
+                           "\n");
+    return 2;
+  }
+  return 1;
 }
 
 bool Server::park_for_next_request(int fd) {
@@ -362,8 +494,15 @@ void Server::unpark(int fd) {
 
 std::string Server::respond_line(const std::string& line,
                                  Clock::time_point anchor,
-                                 Clock::time_point line_read) {
+                                 Clock::time_point line_read,
+                                 bool first_request, std::uint64_t conn,
+                                 std::uint64_t seq) {
   const double queue_wait = seconds_between(anchor, line_read);
+  RequestObservation observation;
+  observation.first_request = first_request;
+  observation.queue_wait_seconds = queue_wait;
+  observation.conn = conn;
+  observation.seq = seq;
 
   Json request;
   bool parsed = true;
@@ -381,6 +520,17 @@ std::string Server::respond_line(const std::string& line,
       method = m->as_string();
     }
     if (const Json* i = request.find("id"); i != nullptr) id = *i;
+    try {
+      if (const auto context = parse_trace_context(request); context) {
+        observation.has_trace = true;
+        observation.trace_id = context->trace_id;
+        observation.parent_span = context->span_id;
+        observation.sampled = context->sampled;
+      }
+    } catch (const common::ModelError&) {
+      // Malformed trace member: dispatch() below produces the 400; the
+      // request is recorded without linkage attrs.
+    }
   }
 
   // Effective deadline: the server-wide budget counts from the request
@@ -420,7 +570,10 @@ std::string Server::respond_line(const std::string& line,
                                    "deadline exceeded before dispatch")
                    .dump();
   } else {
+    observation.has_handler = true;
+    observation.handler_begin = seconds_between(anchor, Clock::now());
     Json envelope = dispatcher_.dispatch(request);
+    observation.handler_end = seconds_between(anchor, Clock::now());
     if (const Json* err = envelope.find("error"); err != nullptr) {
       if (const Json* c = err->find("code"); c != nullptr) {
         code = static_cast<int>(c->as_number());
@@ -435,31 +588,71 @@ std::string Server::respond_line(const std::string& line,
                      id, code, "deadline exceeded during evaluation")
                      .dump();
     } else {
+      observation.has_serialize = true;
+      observation.serialize_begin = seconds_between(anchor, Clock::now());
       response = envelope.dump();
+      observation.serialize_end = seconds_between(anchor, Clock::now());
     }
   }
   requests_.fetch_add(1);
 
-  const double latency = seconds_between(anchor, Clock::now());
-  observe_request(method, code, queue_wait, latency);
+  observation.method = method;
+  observation.code = code;
+  observation.latency_seconds = seconds_between(anchor, Clock::now());
+  observe_request(observation);
   return response;
 }
 
-void Server::observe_request(const std::string& method, int code,
-                             double queue_wait_seconds,
-                             double latency_seconds) {
+void Server::observe_request(const RequestObservation& o) {
   std::lock_guard<std::mutex> lock(latency_mutex_);
-  latency_.record(latency_seconds);
+  latency_.record(o.latency_seconds);
+  auto by_method = latency_by_method_.find(o.method);
+  if (by_method == latency_by_method_.end()) {
+    by_method = latency_by_method_.find("other");
+  }
+  by_method->second.record(o.latency_seconds);
   obs::Observer* ob = config_.obs;
   if (ob == nullptr) return;
   ob->metrics.counter("serve.requests").add(1);
-  ob->metrics.counter("serve.code." + std::to_string(code)).add(1);
+  ob->metrics.counter("serve.code." + std::to_string(o.code)).add(1);
   const double end = ob->tracer.wall_now();
+  const double start = end - o.latency_seconds;
   const obs::SpanId id =
-      ob->tracer.begin(obs::SpanLevel::kServeRequest, method,
-                       end - latency_seconds, obs::TimeDomain::kWallSeconds);
-  ob->tracer.attr(id, "code", static_cast<double>(code));
-  ob->tracer.attr(id, "queue_wait_seconds", queue_wait_seconds);
+      ob->tracer.begin(obs::SpanLevel::kServeRequest, o.method, start,
+                       obs::TimeDomain::kWallSeconds);
+  ob->tracer.attr(id, "code", static_cast<double>(o.code));
+  ob->tracer.attr(id, "queue_wait_seconds", o.queue_wait_seconds);
+  if (config_.trace && o.sampled) {
+    // Cross-process linkage + session-mining attrs, then retrospective
+    // phase children. The whole batch lands under one latency_mutex_
+    // hold, so a telemetry subscriber's span cursor never splits it.
+    if (o.has_trace) {
+      ob->tracer.attr(id, "trace_id", o.trace_id);
+      ob->tracer.attr(id, "parent_span",
+                      static_cast<double>(o.parent_span));
+    }
+    ob->tracer.attr(id, "conn", static_cast<double>(o.conn));
+    ob->tracer.attr(id, "seq", static_cast<double>(o.seq));
+    const auto clamp = [&o](double offset) {
+      if (offset < 0.0) return 0.0;
+      return offset > o.latency_seconds ? o.latency_seconds : offset;
+    };
+    const auto phase = [&](const char* name, double begin_offset,
+                           double end_offset) {
+      const double b = clamp(begin_offset);
+      const double e = clamp(end_offset) < b ? b : clamp(end_offset);
+      const obs::SpanId child =
+          ob->tracer.begin(obs::SpanLevel::kServePhase, name, start + b,
+                           obs::TimeDomain::kWallSeconds, id);
+      ob->tracer.end(child, start + e);
+    };
+    phase(o.first_request ? "admission_wait" : "queue_wait", 0.0,
+          o.queue_wait_seconds);
+    if (o.has_handler) phase("handler", o.handler_begin, o.handler_end);
+    if (o.has_serialize) {
+      phase("serialize", o.serialize_begin, o.serialize_end);
+    }
+  }
   ob->tracer.end(id, end);
 }
 

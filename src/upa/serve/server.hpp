@@ -36,6 +36,8 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -44,6 +46,7 @@
 #include "upa/obs/metrics.hpp"
 #include "upa/obs/observer.hpp"
 #include "upa/serve/protocol.hpp"
+#include "upa/serve/telemetry.hpp"
 
 namespace upa::serve {
 
@@ -70,6 +73,15 @@ struct ServerConfig {
   /// plus serve.* counters. The observer is mutex-guarded inside the
   /// server (Tracer/MetricsRegistry are single-threaded by design).
   obs::Observer* obs = nullptr;
+  /// Distributed tracing mode (needs `obs`). Per sampled request the
+  /// single serve_request span grows trace-linkage attrs (trace_id,
+  /// parent_span, conn, seq) plus serve_phase child spans
+  /// (admission_wait / queue_wait, handler, serialize). Off by default:
+  /// the hot path stays the legacy single-span recording and responses
+  /// are byte-identical to a trace-enabled server's.
+  bool trace = false;
+  /// Label stamped on telemetry lines; empty = "upa_served:<port>".
+  std::string telemetry_process;
 };
 
 /// Point-in-time counter snapshot (all values since start()).
@@ -128,9 +140,37 @@ class Server {
     Clock::time_point admitted;
   };
 
+  /// Everything observe_request() needs about one finished request.
+  /// Phase stamps are offsets from the request anchor, in seconds.
+  struct RequestObservation {
+    std::string method = "?";
+    int code = 200;
+    bool first_request = true;
+    double queue_wait_seconds = 0.0;
+    double latency_seconds = 0.0;
+    double handler_begin = 0.0;
+    double handler_end = 0.0;
+    double serialize_begin = 0.0;
+    double serialize_end = 0.0;
+    bool has_handler = false;
+    bool has_serialize = false;
+    bool has_trace = false;       ///< request carried a valid trace member
+    std::string trace_id;
+    std::uint64_t parent_span = 0;
+    bool sampled = true;
+    std::uint64_t conn = 0;       ///< connection serial
+    std::uint64_t seq = 0;        ///< request index on the connection
+  };
+
   void acceptor_loop();
   void worker_loop();
   void handle_connection(const Job& job);
+  /// Intercepts a `subscribe` request line before normal dispatch.
+  /// Returns 0 when the line is not a subscribe (caller proceeds),
+  /// 1 when the fd was handed to the telemetry streamer (caller must
+  /// return without closing it), 2 when an error envelope was already
+  /// sent (caller continues the connection loop).
+  [[nodiscard]] int maybe_subscribe(int fd, const std::string& line);
   /// Registers a kept-alive connection about to block in recv for its
   /// next request; stop() shutdown(SHUT_RD)s every parked fd so the
   /// drain ends immediately instead of waiting out the read timeout.
@@ -145,9 +185,11 @@ class Server {
   /// read time for every later request on the same connection.
   [[nodiscard]] std::string respond_line(const std::string& line,
                                          Clock::time_point anchor,
-                                         Clock::time_point line_read);
-  void observe_request(const std::string& method, int code,
-                       double queue_wait_seconds, double latency_seconds);
+                                         Clock::time_point line_read,
+                                         bool first_request,
+                                         std::uint64_t conn,
+                                         std::uint64_t seq);
+  void observe_request(const RequestObservation& observation);
 
   ServerConfig config_;
   Dispatcher dispatcher_;
@@ -178,8 +220,17 @@ class Server {
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::size_t> max_in_system_{0};
 
-  mutable std::mutex latency_mutex_;  // guards latency_ and config_.obs
+  std::atomic<std::uint64_t> conn_serial_{0};
+
+  // latency_mutex_ guards latency_, latency_by_method_, and config_.obs.
+  // Traced requests record their whole span batch (root + phase
+  // children) under one hold of this mutex, so the telemetry streamer's
+  // span cursor -- advanced under the same mutex -- only ever observes
+  // complete batches.
+  mutable std::mutex latency_mutex_;
   obs::Histogram latency_;
+  std::map<std::string, obs::Histogram> latency_by_method_;
+  std::unique_ptr<TelemetryStreamer> telemetry_;
   Clock::time_point started_at_;
 };
 

@@ -45,6 +45,43 @@ double user_availability_eq10(UserClass uc, const TaParameters& p) {
           search_factor * (pi_search_no_pay + pi_pay * s.payment));
 }
 
+double user_availability_eq10_scenarios(
+    const profile::ScenarioSet& scenarios, const TaParameters& p) {
+  const ServiceAvailabilities s = compute_services(p);
+
+  // Same accumulation as user_availability_eq10, over the supplied set.
+  double pi_sc1_home_only = 0.0;
+  double pi_sc1_browse = 0.0;
+  double pi_search_no_pay = 0.0;
+  double pi_pay = 0.0;
+  for (const profile::ScenarioClass& sc : scenarios.scenarios()) {
+    switch (category_of(sc)) {
+      case ScenarioCategory::kSC1:
+        if (sc.functions.contains(function_index(TaFunction::kBrowse))) {
+          pi_sc1_browse += sc.probability;
+        } else {
+          pi_sc1_home_only += sc.probability;
+        }
+        break;
+      case ScenarioCategory::kSC2:
+      case ScenarioCategory::kSC3:
+        pi_search_no_pay += sc.probability;
+        break;
+      case ScenarioCategory::kSC4:
+        pi_pay += sc.probability;
+        break;
+    }
+  }
+
+  const double browse_bracket =
+      p.q23 + s.application * (p.q24 * p.q45 + p.q24 * p.q47 * s.database);
+  const double search_factor =
+      s.application * s.database * s.flight * s.hotel * s.car;
+  return s.net * s.lan * s.web *
+         (pi_sc1_home_only + pi_sc1_browse * browse_bracket +
+          search_factor * (pi_search_no_pay + pi_pay * s.payment));
+}
+
 double user_availability_hierarchical(UserClass uc, const TaParameters& p) {
   return build_user_model(uc, p).user_availability();
 }

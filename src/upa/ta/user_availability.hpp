@@ -16,6 +16,18 @@ namespace upa::ta {
 [[nodiscard]] double user_availability_eq10(UserClass uc,
                                             const TaParameters& p);
 
+/// Paper eq. (10) evaluated over an arbitrary scenario set -- e.g. a
+/// class mix mined from collected traces -- instead of the built-in
+/// Table 1. Scenario function indices must follow TaFunction order
+/// (Home=0 .. Pay=4). Categories are derived from each scenario's
+/// visited set via category_of, so partial tables (mined mixes missing
+/// rare classes) evaluate to the availability of the mass they cover;
+/// callers wanting a probability should normalize the set first. With
+/// scenario_table(uc) this reproduces user_availability_eq10(uc, p)
+/// bit for bit.
+[[nodiscard]] double user_availability_eq10_scenarios(
+    const profile::ScenarioSet& scenarios, const TaParameters& p);
+
 /// The same measure evaluated through the generic four-level hierarchy
 /// (core::UserLevelModel) — service-sharing across functions handled by
 /// exact conditioning. Equals eq. (10) to floating-point accuracy; kept

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -25,7 +26,9 @@
 #include "upa/dispatch/upstream.hpp"
 #include "upa/inject/fault_plan.hpp"
 #include "upa/obs/metrics.hpp"
+#include "upa/obs/observer.hpp"
 #include "upa/serve/client.hpp"
+#include "upa/serve/protocol.hpp"
 #include "upa/serve/loadgen.hpp"
 #include "upa/serve/server.hpp"
 
@@ -528,6 +531,230 @@ TEST(DispatchFarmSchedule, RejectsOverlapsAndEmptyPlans) {
 // --- Live farm: kill -9 failover vs the composite model ------------------
 // Not in the Dispatch* (TSan) suites: spawns real processes and measures
 // a timed loss fraction.
+
+// --- Distributed tracing through the front -------------------------------
+
+namespace trace_helpers {
+
+/// Root attribute lookups over the observer's span table.
+std::string text_attr(const upa::obs::Span& span, const std::string& key) {
+  for (const upa::obs::SpanAttribute& attr : span.attributes) {
+    if (attr.key == key && !attr.is_number) return attr.text;
+  }
+  return "";
+}
+
+double number_attr(const upa::obs::Span& span, const std::string& key) {
+  for (const upa::obs::SpanAttribute& attr : span.attributes) {
+    if (attr.key == key && attr.is_number) return attr.number;
+  }
+  return -1.0;
+}
+
+}  // namespace trace_helpers
+
+TEST(DispatchTrace, OriginatesTraceAndRecordsAttemptTaxonomy) {
+  using trace_helpers::number_attr;
+  using trace_helpers::text_attr;
+
+  const std::uint16_t dead_port = claim_dead_port();
+  Server live(live_server_config());
+  live.start();
+
+  upa::obs::Observer observer;
+  FrontConfig config;
+  // Round-robin over {dead, live}: about half of all requests must fail
+  // over, giving every attempt-outcome pattern in one run.
+  config.upstreams = {{"127.0.0.1", dead_port},
+                      {"127.0.0.1", live.port()}};
+  config.policy = BalancePolicy::kRoundRobin;
+  config.workers = 2;
+  config.retry.max_attempts = 3;
+  config.retry.backoff_initial_seconds = 0.001;
+  config.retry.backoff_max_seconds = 0.002;
+  config.health = inert_health();
+  config.obs = &observer;
+  config.trace = true;
+  Front front(std::move(config));
+  front.start();
+
+  constexpr std::size_t kRequests = 10;
+  upa::serve::Client client;
+  client.connect("127.0.0.1", front.port());
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    // No trace member: the front originates a fresh context.
+    ASSERT_EQ(client.call("ping", upa::serve::Json(), i).outcome,
+              CallOutcome::kOk);
+  }
+  client.close();
+  front.stop();
+  live.stop();
+
+  std::vector<const upa::obs::Span*> roots;
+  std::map<upa::obs::SpanId, std::vector<const upa::obs::Span*>> children;
+  std::set<double> refs;
+  for (const upa::obs::Span& span : observer.tracer.spans()) {
+    if (span.level == upa::obs::SpanLevel::kDispatchRequest) {
+      roots.push_back(&span);
+    } else if (span.level == upa::obs::SpanLevel::kDispatchAttempt) {
+      children[span.parent].push_back(&span);
+      EXPECT_TRUE(refs.insert(number_attr(span, "ref")).second)
+          << "attempt span refs must be distinct";
+    }
+  }
+  ASSERT_EQ(roots.size(), kRequests);
+  EXPECT_EQ(observer.tracer.dropped(), 0u);
+
+  std::set<std::string> trace_ids;
+  bool saw_failover = false;
+  for (const upa::obs::Span* root : roots) {
+    EXPECT_EQ(root->name, "ping");
+    EXPECT_EQ(text_attr(*root, "outcome"), "ok");
+    EXPECT_TRUE(trace_ids.insert(text_attr(*root, "trace_id")).second)
+        << "originated trace_ids must be distinct";
+    // Originated context: the root itself is the trace root.
+    EXPECT_EQ(number_attr(*root, "parent_span"), 0.0);
+    const auto& attempts = children[root->id];
+    ASSERT_FALSE(attempts.empty());
+    EXPECT_EQ(number_attr(*root, "attempts"),
+              static_cast<double>(attempts.size()));
+    EXPECT_EQ(text_attr(*attempts.back(), "outcome"), "ok");
+    if (attempts.size() == 2) {
+      saw_failover = true;
+      EXPECT_EQ(text_attr(*attempts.front(), "outcome"),
+                "transport_error");
+      EXPECT_NE(text_attr(*attempts.front(), "upstream"),
+                text_attr(*attempts.back(), "upstream"));
+    }
+  }
+  // Round-robin over a dead replica guarantees retried requests.
+  EXPECT_TRUE(saw_failover);
+}
+
+TEST(DispatchTrace, AdoptedContextLinksFrontAndServerSpans) {
+  using trace_helpers::number_attr;
+  using trace_helpers::text_attr;
+
+  upa::obs::Observer server_obs;
+  ServerConfig server_config = live_server_config();
+  server_config.obs = &server_obs;
+  server_config.trace = true;
+  Server server(std::move(server_config));
+  server.start();
+
+  upa::obs::Observer front_obs;
+  FrontConfig config;
+  config.upstreams = {{"127.0.0.1", server.port()}};
+  config.health = inert_health();
+  config.obs = &front_obs;
+  config.trace = true;
+  Front front(std::move(config));
+  front.start();
+
+  upa::serve::TraceContext context;
+  context.trace_id = "00000000000000ab";
+  context.span_id = 5;
+  upa::serve::Client client;
+  client.connect("127.0.0.1", front.port());
+  ASSERT_TRUE(client.call("ping", upa::serve::Json(), 1, &context).ok());
+  client.close();
+  front.stop();
+  server.stop();
+
+  // The front adopted the client's context...
+  const upa::obs::Span* root = nullptr;
+  const upa::obs::Span* attempt = nullptr;
+  for (const upa::obs::Span& span : front_obs.tracer.spans()) {
+    if (span.level == upa::obs::SpanLevel::kDispatchRequest) root = &span;
+    if (span.level == upa::obs::SpanLevel::kDispatchAttempt) {
+      attempt = &span;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(attempt, nullptr);
+  EXPECT_EQ(text_attr(*root, "trace_id"), "00000000000000ab");
+  EXPECT_EQ(number_attr(*root, "parent_span"), 5.0);
+
+  // ...and the replica's serve_request span parents on exactly the
+  // attempt's propagated reference: the cross-process linkage the
+  // collector stitches on.
+  const upa::obs::Span* server_root = nullptr;
+  for (const upa::obs::Span& span : server_obs.tracer.spans()) {
+    if (span.level == upa::obs::SpanLevel::kServeRequest) {
+      server_root = &span;
+    }
+  }
+  ASSERT_NE(server_root, nullptr);
+  EXPECT_EQ(text_attr(*server_root, "trace_id"), "00000000000000ab");
+  EXPECT_EQ(number_attr(*server_root, "parent_span"),
+            number_attr(*attempt, "ref"));
+}
+
+TEST(DispatchTrace, MalformedTraceForwardsVerbatimAndRecordsNothing) {
+  Server server(live_server_config());
+  server.start();
+
+  upa::obs::Observer observer;
+  FrontConfig config;
+  config.upstreams = {{"127.0.0.1", server.port()}};
+  config.health = inert_health();
+  config.obs = &observer;
+  config.trace = true;
+  Front front(std::move(config));
+  front.start();
+
+  const std::string bad =
+      R"({"id": 3, "method": "ping", "trace": {"trace_id": "NOPE"}})";
+  upa::serve::Client direct;
+  direct.connect("127.0.0.1", server.port());
+  upa::serve::Client fronted;
+  fronted.connect("127.0.0.1", front.port());
+  const std::string via_front = fronted.call_line(bad);
+  // The upstream dispatcher's canonical 400, byte-identical to direct.
+  EXPECT_EQ(via_front, direct.call_line(bad));
+  EXPECT_NE(via_front.find("400"), std::string::npos);
+  direct.close();
+  fronted.close();
+  front.stop();
+  server.stop();
+
+  // An unparseable context is not a trace: the front records no spans
+  // for it rather than inventing linkage the collector would trip on.
+  EXPECT_TRUE(observer.tracer.spans().empty());
+}
+
+TEST(FarmFailover, TracedRunAccountsEverySpan) {
+  // A traced farm run must account for every request the loadgen issued:
+  // one dispatch_request root per request, attempt children matching
+  // each root's declared count, zero dropped spans, and a one-to-one
+  // trace_id match against the loadgen's own request log. Admission
+  // rejections (503) under a = 2 erlangs make the taxonomy nontrivial.
+  upa::dispatch::FarmExperimentConfig config;
+  config.replica.served_binary = UPA_SERVED_BINARY;
+  config.replica.workers = 1;
+  config.replica.capacity = 3;
+  config.replicas = 3;
+  config.policy = BalancePolicy::kLeastOutstanding;
+  config.retry.max_attempts = 3;
+  config.lambda = 40.0;
+  config.nu = 20.0;
+  config.requests = 120;  // ~3 s of open-loop load
+  config.seed = 11;
+  config.call_timeout_seconds = 5.0;
+  config.health = inert_health();
+  config.trace = true;
+
+  const upa::dispatch::FarmExperimentResult r =
+      upa::dispatch::run_farm_experiment(config);
+
+  EXPECT_EQ(r.loss.sent, config.requests);
+  EXPECT_EQ(r.loss.transport_errors, 0u);
+  ASSERT_EQ(r.loss.request_log.size(), config.requests);
+  EXPECT_TRUE(r.trace_accounted) << r.trace_accounting_error;
+  EXPECT_EQ(r.traced_requests, config.requests);
+  EXPECT_GE(r.traced_attempts, r.traced_requests);
+  EXPECT_EQ(r.trace_dropped_spans, 0u);
+}
 
 TEST(FarmFailover, KillNineMidRunStaysWithinCompositePrediction) {
   upa::dispatch::FarmExperimentConfig config;

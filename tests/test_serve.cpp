@@ -476,6 +476,224 @@ TEST(ServeServer, SessionReplayCompletesAgainstGenerousCapacity) {
   EXPECT_GE(result.mean_invocations_per_session, 1.0);
 }
 
+// --- Distributed tracing -------------------------------------------------
+
+TEST(ServeTrace, TraceContextRoundTripsThroughEnvelope) {
+  using upa::serve::parse_trace_context;
+  using upa::serve::TraceContext;
+  using upa::serve::with_trace_context;
+
+  TraceContext context;
+  context.trace_id = "a1b2c3d4e5f60718";
+  context.span_id = 42;
+  context.sampled = true;
+  const Json request =
+      parse_json(R"({"id": 7, "method": "ping", "params": {}})");
+  const std::string rewritten = with_trace_context(request, context);
+  const auto parsed = parse_trace_context(parse_json(rewritten));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, context.trace_id);
+  EXPECT_EQ(parsed->span_id, context.span_id);
+  EXPECT_TRUE(parsed->sampled);
+
+  // No trace member -> nullopt, not an error.
+  EXPECT_FALSE(parse_trace_context(request).has_value());
+}
+
+TEST(ServeTrace, MalformedTraceMemberIsA400NotACrash) {
+  const Dispatcher d;
+  const std::vector<std::string> malformed = {
+      R"({"id": 1, "method": "ping", "trace": "not an object"})",
+      R"({"id": 2, "method": "ping", "trace": {}})",
+      R"({"id": 3, "method": "ping",
+          "trace": {"trace_id": "NOT-HEX", "span_id": 1}})",
+      R"({"id": 4, "method": "ping", "trace": {"trace_id": ""}})",
+      R"({"id": 5, "method": "ping",
+          "trace": {"trace_id": "ab", "span_id": -1}})",
+      R"({"id": 6, "method": "ping",
+          "trace": {"trace_id": "ab", "span_id": 1.5}})",
+      R"({"id": 7, "method": "ping",
+          "trace": {"trace_id": "ab", "sampled": "yes"}})",
+      R"({"id": 8, "method": "ping",
+          "trace": {"trace_id": "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}})",
+  };
+  for (const std::string& line : malformed) {
+    const Json r = parse_json(d.dispatch_line(line));
+    EXPECT_FALSE(r.find("ok")->as_bool()) << line;
+    EXPECT_EQ(r.find("error")->find("code")->as_number(),
+              ErrorCode::kBadRequest)
+        << line;
+  }
+}
+
+TEST(ServeTrace, ServerParentsSpansOnPropagatedContext) {
+  upa::obs::Observer observer;
+  ServerConfig config = loopback_config(2, 8);
+  config.obs = &observer;
+  config.trace = true;
+  Server server(std::move(config));
+  server.start();
+
+  upa::serve::TraceContext context;
+  context.trace_id = "00000000000000ab";
+  context.span_id = 7;
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const CallResult r = client.call("ping", Json(), 1, &context);
+  ASSERT_TRUE(r.ok());
+  client.close();
+  server.stop();
+
+  // One serve_request root carrying the propagated linkage, plus its
+  // serve_phase children.
+  const upa::obs::Span* root = nullptr;
+  std::size_t phases = 0;
+  for (const upa::obs::Span& span : observer.tracer.spans()) {
+    if (span.level == upa::obs::SpanLevel::kServeRequest) {
+      ASSERT_EQ(root, nullptr);
+      root = &span;
+    }
+    if (span.level == upa::obs::SpanLevel::kServePhase) ++phases;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "ping");
+  std::string trace_id;
+  double parent_span = -1.0;
+  double code = -1.0;
+  for (const upa::obs::SpanAttribute& attr : root->attributes) {
+    if (attr.key == "trace_id") trace_id = attr.text;
+    if (attr.key == "parent_span") parent_span = attr.number;
+    if (attr.key == "code") code = attr.number;
+  }
+  EXPECT_EQ(trace_id, "00000000000000ab");
+  EXPECT_DOUBLE_EQ(parent_span, 7.0);
+  EXPECT_DOUBLE_EQ(code, 200.0);
+  // admission_wait (first request on the connection), handler, serialize.
+  EXPECT_EQ(phases, 3u);
+  for (const upa::obs::Span& span : observer.tracer.spans()) {
+    if (span.level == upa::obs::SpanLevel::kServePhase) {
+      EXPECT_EQ(span.parent, root->id);
+    }
+  }
+}
+
+TEST(ServeTrace, ResponsesAreByteIdenticalWithTracingOffOrOn) {
+  // Same request with and without a trace member, against a traced and
+  // an untraced server: all four response lines must be identical --
+  // tracing must never leak into the bytes on the wire.
+  upa::obs::Observer observer;
+  ServerConfig traced = loopback_config(1, 4);
+  traced.obs = &observer;
+  traced.trace = true;
+  Server traced_server(std::move(traced));
+  traced_server.start();
+  Server plain_server(loopback_config(1, 4));
+  plain_server.start();
+
+  const std::string bare =
+      R"({"id": 9, "method": "mmck_metrics",)"
+      R"( "params": {"lambda": 1.0, "nu": 2.0, "i": 2, "k": 4}})";
+  const std::string traced_line =
+      R"({"id": 9, "method": "mmck_metrics",)"
+      R"( "params": {"lambda": 1.0, "nu": 2.0, "i": 2, "k": 4},)"
+      R"( "trace": {"trace_id": "ab", "span_id": 3}})";
+
+  std::vector<std::string> responses;
+  for (const Server* server : {&traced_server, &plain_server}) {
+    for (const std::string& line : {bare, traced_line}) {
+      Client client;
+      client.connect("127.0.0.1", server->port());
+      responses.push_back(client.call_line(line));
+      client.close();
+    }
+  }
+  traced_server.stop();
+  plain_server.stop();
+
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(responses[0], responses[1]);
+  EXPECT_EQ(responses[1], responses[2]);
+  EXPECT_EQ(responses[2], responses[3]);
+  EXPECT_NE(responses[0].find("\"ok\":true"), std::string::npos);
+}
+
+// --- Telemetry streaming (subscribe) -------------------------------------
+
+TEST(Subscribe, StreamsMetricsAndSpans) {
+  upa::obs::Observer observer;
+  ServerConfig config = loopback_config(2, 8);
+  config.obs = &observer;
+  config.trace = true;
+  config.telemetry_process = "served:test";
+  Server server(std::move(config));
+  server.start();
+
+  Client subscriber;
+  subscriber.connect("127.0.0.1", server.port(), 5.0, 10.0);
+  subscriber.send_line(
+      R"({"id": 1, "method": "subscribe", "params": {"interval_ms": 50}})");
+  const Json ack = parse_json(subscriber.read_line());
+  EXPECT_TRUE(ack.find("ok")->as_bool());
+  EXPECT_TRUE(ack.find("result")->find("subscribed")->as_bool());
+  EXPECT_EQ(ack.find("result")->find("process")->as_string(),
+            "served:test");
+
+  // Traffic from a second connection shows up on the stream.
+  upa::serve::TraceContext context;
+  context.trace_id = "00000000000000cd";
+  Client caller;
+  caller.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(caller.call("ping", Json(), 1, &context).ok());
+  caller.close();
+
+  bool saw_metrics = false;
+  bool saw_request_span = false;
+  for (int i = 0; i < 40 && !(saw_metrics && saw_request_span); ++i) {
+    const Json line = parse_json(subscriber.read_line());
+    const Json* kind = line.find("telemetry");
+    ASSERT_NE(kind, nullptr);
+    if (kind->as_string() == "metrics") {
+      saw_metrics = true;
+      EXPECT_EQ(line.find("process")->as_string(), "served:test");
+      EXPECT_NE(line.find("histograms"), nullptr);
+    } else if (kind->as_string() == "span") {
+      const Json* level = line.find("level");
+      ASSERT_NE(level, nullptr);
+      if (level->as_string() == "serve_request") {
+        saw_request_span = true;
+        EXPECT_EQ(line.find("attrs")->find("trace_id")->as_string(),
+                  "00000000000000cd");
+      }
+    }
+  }
+  EXPECT_TRUE(saw_metrics);
+  EXPECT_TRUE(saw_request_span);
+  subscriber.close();
+  server.stop();
+}
+
+TEST(Subscribe, BadIntervalIsA400AndTheConnectionSurvives) {
+  Server server(loopback_config(1, 4));
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  for (const std::string params :
+       {R"({"interval_ms": 5})", R"({"interval_ms": 60001})",
+        R"({"interval_ms": "fast"})"}) {
+    const Json r = parse_json(client.call_line(
+        R"({"id": 1, "method": "subscribe", "params": )" + params + "}"));
+    EXPECT_FALSE(r.find("ok")->as_bool()) << params;
+    EXPECT_EQ(r.find("error")->find("code")->as_number(),
+              ErrorCode::kBadRequest)
+        << params;
+  }
+  // The rejected subscribe left the connection in request mode.
+  const CallResult alive = client.call("ping", Json(), 2);
+  EXPECT_TRUE(alive.ok());
+  client.close();
+  server.stop();
+}
+
 // --- The dogfood experiment (kept OUT of the TSan regex on purpose) ------
 
 TEST(LoadgenLossMeasurement, MatchesAnalyticMmckLoss) {

@@ -64,6 +64,10 @@ void print_usage(std::ostream& os) {
         "                          (default 2)\n"
         "  --healthy-threshold N   consecutive probe successes to\n"
         "                          readmit (default 1)\n"
+        "  --trace                 record dispatch_request/attempt spans\n"
+        "                          and propagate trace contexts upstream\n"
+        "  --process NAME          telemetry process label\n"
+        "                          (default upa_dispatch:<port>)\n"
         "  --help                  this text\n";
 }
 
@@ -76,7 +80,8 @@ const std::vector<std::string> kAllowedOptions = {
     "backoff-ms",      "backoff-max-ms",
     "jitter",          "probe-interval",
     "probe-timeout",   "unhealthy-threshold",
-    "healthy-threshold",
+    "healthy-threshold", "trace",
+    "process",
 };
 
 }  // namespace
@@ -140,6 +145,8 @@ int main(int argc, char** argv) {
     config.health.unhealthy_threshold =
         args.get_size("unhealthy-threshold", 2);
     config.health.healthy_threshold = args.get_size("healthy-threshold", 1);
+    config.trace = args.has("trace");
+    config.telemetry_process = args.get("process", "");
 
     obs::Observer observer;
     config.obs = &observer;

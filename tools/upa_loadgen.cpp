@@ -28,10 +28,12 @@
 
 #include "upa/cli/args.hpp"
 #include "upa/common/bench_json.hpp"
+#include "upa/common/csv.hpp"
 #include "upa/common/error.hpp"
 #include "upa/dispatch/farm.hpp"
 #include "upa/inject/fault_plan.hpp"
 #include "upa/queueing/mmck.hpp"
+#include "upa/serve/json.hpp"
 #include "upa/serve/loadgen.hpp"
 #include "upa/serve/server.hpp"
 #include "upa/ta/user_classes.hpp"
@@ -70,6 +72,10 @@ void print_usage(std::ostream& os) {
         "  --seed N         RNG seed            (default 1)\n"
         "  --out PATH       bench artifact      (default BENCH_serve.json\n"
         "                   / BENCH_farm.json)\n"
+        "  --trace          originate one trace context per request\n"
+        "                   (loss/session/farm; ids derive from --seed)\n"
+        "  --trace-csv PATH write the per-request trace log as CSV,\n"
+        "                   joinable against collected spans by trace_id\n"
         "\n"
         "farm options:\n"
         "  --served-bin PATH    upa_served binary to spawn (required)\n"
@@ -129,6 +135,25 @@ void print_loss(const upa::serve::LossResult& r) {
             << " wall_s=" << r.wall_seconds << std::endl;
 }
 
+void write_loss_trace_csv(
+    const std::string& path,
+    const std::vector<upa::serve::LossRequestLog>& log) {
+  upa::common::CsvWriter csv({"request", "trace_id",
+                              "scheduled_offset_seconds", "method",
+                              "outcome", "code", "latency_seconds"});
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const upa::serve::LossRequestLog& r = log[i];
+    csv.add_row({std::to_string(i), r.trace_id,
+                 upa::serve::format_number(r.scheduled_offset_seconds),
+                 r.method, upa::serve::call_outcome_name(r.outcome),
+                 std::to_string(r.code),
+                 upa::serve::format_number(r.latency_seconds)});
+  }
+  csv.write_file(path);
+  std::cout << "wrote " << path << " (" << log.size() << " requests)"
+            << std::endl;
+}
+
 int run_loss(const upa::cli::Args& args) {
   upa::serve::LossConfig config;
   config.host = args.get("host", "127.0.0.1");
@@ -139,12 +164,15 @@ int run_loss(const upa::cli::Args& args) {
   config.seed = args.get_size("seed", 1);
   config.connect_timeout_seconds = args.get_double("connect-timeout", 5.0);
   config.call_timeout_seconds = args.get_double("call-timeout", 0.0);
+  const std::string trace_csv = args.get("trace-csv", "");
+  config.trace = args.has("trace") || !trace_csv.empty();
 
   const std::size_t workers = args.get_size("workers", 0);
   const std::size_t capacity = args.get_size("capacity", 0);
 
   const upa::serve::LossResult r = upa::serve::run_loss_workload(config);
   print_loss(r);
+  if (!trace_csv.empty()) write_loss_trace_csv(trace_csv, r.request_log);
   if (workers > 0 && capacity > 0) {
     const double analytic = upa::queueing::mmck_loss_probability(
         config.lambda, config.nu, workers, capacity);
@@ -169,8 +197,23 @@ int run_session(const upa::cli::Args& args) {
   UPA_REQUIRE(uclass == "A" || uclass == "B", "--class must be A or B");
   config.uclass =
       uclass == "A" ? upa::ta::UserClass::kA : upa::ta::UserClass::kB;
+  const std::string trace_csv = args.get("trace-csv", "");
+  config.trace = args.has("trace") || !trace_csv.empty();
 
   const upa::serve::SessionResult r = upa::serve::run_session_replay(config);
+  if (!trace_csv.empty()) {
+    upa::common::CsvWriter csv({"session", "invocation", "function",
+                                "method", "trace_id", "outcome", "code"});
+    for (const upa::serve::SessionInvocationLog& inv : r.invocation_log) {
+      csv.add_row({std::to_string(inv.session),
+                   std::to_string(inv.invocation), inv.function, inv.method,
+                   inv.trace_id, upa::serve::call_outcome_name(inv.outcome),
+                   std::to_string(inv.code)});
+    }
+    csv.write_file(trace_csv);
+    std::cout << "wrote " << trace_csv << " (" << r.invocation_log.size()
+              << " invocations)" << std::endl;
+  }
   std::cout << "class " << uclass << ": sessions=" << r.sessions
             << " completed=" << r.completed << " rejected=" << r.rejected
             << " failed=" << r.failed << "\n"
@@ -295,6 +338,8 @@ int run_farm(const upa::cli::Args& args) {
   const double kill_for = args.get_double("kill-for", 3.5);
   const double kill_every = args.get_double("kill-every", 6.0);
   const std::string out = args.get("out", "BENCH_farm.json");
+  const std::string trace_csv = args.get("trace-csv", "");
+  config.trace = args.has("trace") || !trace_csv.empty();
 
   // The kill schedule goes through an inject::FaultPlan -- the same
   // scripted-outage machinery the simulation campaigns replay -- with
@@ -311,6 +356,16 @@ int run_farm(const upa::cli::Args& args) {
   const upa::dispatch::FarmExperimentResult r =
       upa::dispatch::run_farm_experiment(config);
   print_loss(r.loss);
+  if (!trace_csv.empty()) write_loss_trace_csv(trace_csv, r.loss.request_log);
+  if (config.trace) {
+    std::cout << "trace: roots=" << r.traced_requests
+              << " attempts=" << r.traced_attempts
+              << " dropped=" << r.trace_dropped_spans
+              << (r.trace_accounted ? " [accounted]"
+                                    : " [UNACCOUNTED: " +
+                                          r.trace_accounting_error + "]")
+              << "\n";
+  }
   std::cout << "farm: replicas=" << config.replicas
             << " kills=" << r.kills_executed
             << " down_s=" << r.total_down_seconds
@@ -377,6 +432,13 @@ int run_farm(const upa::cli::Args& args) {
               << " client-visible transport errors (failover leak)\n";
     return 1;
   }
+  // Traced runs additionally gate on span accounting: every issued
+  // request must be a fully-attributed dispatch_request root.
+  if (config.trace && !r.trace_accounted) {
+    std::cerr << "farm: trace accounting failed: "
+              << r.trace_accounting_error << "\n";
+    return 1;
+  }
   return r.within_tolerance ? 0 : 1;
 }
 
@@ -391,10 +453,11 @@ std::vector<std::string> allowed_for_mode(const std::string& mode) {
     extend({"host", "port"});
   } else if (mode == "loss") {
     extend({"host", "port", "lambda", "nu", "requests", "workers",
-            "capacity", "connect-timeout", "call-timeout"});
+            "capacity", "connect-timeout", "call-timeout", "trace",
+            "trace-csv"});
   } else if (mode == "session") {
     extend({"host", "port", "sessions", "session-rate", "class",
-            "connect-timeout", "call-timeout"});
+            "connect-timeout", "call-timeout", "trace", "trace-csv"});
   } else if (mode == "bench") {
     extend({"out"});
   } else if (mode == "farm") {
@@ -402,7 +465,7 @@ std::vector<std::string> allowed_for_mode(const std::string& mode) {
             "replica-capacity", "policy", "retries", "lambda", "nu",
             "requests", "call-timeout", "probe-interval",
             "unhealthy-threshold", "kills", "kill-at", "kill-for",
-            "kill-every", "out"});
+            "kill-every", "out", "trace", "trace-csv"});
   }
   return allowed;
 }

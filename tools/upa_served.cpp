@@ -43,17 +43,23 @@ void print_usage(std::ostream& os) {
         "                     0 = off (default 0)\n"
         "  --read-timeout S   idle keep-alive recv timeout (default 10)\n"
         "  --cache MODE       evaluation cache: on | off (default on)\n"
+        "  --trace            record per-request server-side spans\n"
+        "                     (serve_request + admission/queue/handler/\n"
+        "                     serialize phases) for the subscribe stream\n"
+        "  --process NAME     telemetry process label\n"
+        "                     (default upa_served:<port>)\n"
         "  --help             this text\n"
         "\n"
         "methods: ping sleep steady_state mmck_metrics\n"
         "         web_farm_availability composite_availability\n"
         "         user_availability run_campaign simulate_end_to_end\n"
-        "         cache stats\n";
+        "         cache stats subscribe\n";
 }
 
 const std::vector<std::string> kAllowedOptions = {
     "bind",        "port",         "workers", "capacity",
-    "deadline-ms", "read-timeout", "cache",
+    "deadline-ms", "read-timeout", "cache",   "trace",
+    "process",
 };
 
 }  // namespace
@@ -91,6 +97,8 @@ int main(int argc, char** argv) {
     config.capacity = args.get_size("capacity", 8);
     config.deadline_seconds = args.get_double("deadline-ms", 0.0) / 1000.0;
     config.read_timeout_seconds = args.get_double("read-timeout", 10.0);
+    config.trace = args.has("trace");
+    config.telemetry_process = args.get("process", "");
     const std::string cache_mode = args.get("cache", "on");
     UPA_REQUIRE(cache_mode == "on" || cache_mode == "off",
                 "--cache must be 'on' or 'off'");

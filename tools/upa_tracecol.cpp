@@ -1,0 +1,296 @@
+// upa_tracecol: cross-process trace collector for the serving farm.
+//
+// Subscribes to the telemetry channel (`subscribe` RPC) of every farm
+// process -- the upa_dispatch front and each upa_served replica -- or
+// ingests previously captured JSONL files, then reassembles the spans
+// into end-to-end request traces (obs::TraceCollector), writes a merged
+// Chrome/Perfetto trace with one track per process, and optionally
+// mines the observed session graph back into the paper's operational
+// profile + scenario-class inputs and compares eq. (10) on the mined
+// mix against the hand-specified Table 1 answer.
+//
+// Exit code is a CI gate: nonzero when any process reported dropped
+// spans, when --check-complete is given and fewer than that fraction of
+// the loadgen's requests (--expect-csv) reassembled into complete
+// traces, or when --mine finds the mined availability outside the
+// run's sampling tolerance.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "upa/cli/args.hpp"
+#include "upa/common/csv.hpp"
+#include "upa/common/error.hpp"
+#include "upa/dispatch/upstream.hpp"
+#include "upa/obs/collect.hpp"
+#include "upa/serve/client.hpp"
+#include "upa/ta/user_classes.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: upa_tracecol (--subscribe LIST | --from-jsonl LIST) "
+        "[options]\n"
+        "\n"
+        "Collects telemetry spans from farm processes, reassembles\n"
+        "cross-process request traces, and mines the observed workload\n"
+        "back into the paper's modeling inputs.\n"
+        "\n"
+        "options:\n"
+        "  --subscribe LIST   comma-separated host:port telemetry\n"
+        "                     endpoints (upa_served / upa_dispatch\n"
+        "                     started with --trace)\n"
+        "  --from-jsonl LIST  comma-separated captured JSONL files to\n"
+        "                     ingest instead of (or in addition to)\n"
+        "                     live subscriptions\n"
+        "  --duration S       how long to stream (default 5)\n"
+        "  --interval-ms N    telemetry tick interval (default 200)\n"
+        "  --connect-timeout S  per-endpoint connect timeout (default 5)\n"
+        "  --trace-out PATH   merged Chrome/Perfetto trace JSON\n"
+        "  --spans-out PATH   merged raw spans as JSONL\n"
+        "  --expect-csv PATH  loadgen --trace-csv file; reports the\n"
+        "                     fraction of its trace_ids reassembled\n"
+        "                     into complete traces\n"
+        "  --check-complete F exit 1 unless that fraction >= F\n"
+        "  --mine             mine the session DTMC + class mix from\n"
+        "                     complete traces (session workloads)\n"
+        "  --class A|B        hand-specified class to compare the mined\n"
+        "                     mix against via eq. (10) (default B)\n"
+        "  --help             this text\n";
+}
+
+const std::vector<std::string> kAllowedOptions = {
+    "subscribe",      "from-jsonl", "duration",       "interval-ms",
+    "connect-timeout", "trace-out", "spans-out",      "expect-csv",
+    "check-complete", "mine",       "class",
+};
+
+/// One live telemetry subscription, drained by its own reader thread.
+struct Subscription {
+  upa::dispatch::UpstreamAddress address;
+  upa::serve::Client client;
+  std::thread reader;
+  std::uint64_t lines = 0;
+  std::string error;  ///< empty = drained cleanly (shutdown/EOF)
+};
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  UPA_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << text;
+  out.flush();
+  UPA_REQUIRE(out.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upa;
+
+  cli::Args args(argc, argv);
+  if (args.has("help") || args.command() == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (!args.command().empty()) {
+    std::cerr << "upa_tracecol: unexpected positional argument '"
+              << args.command() << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::vector<std::string> unknown =
+      cli::unknown_options(args, kAllowedOptions);
+  if (!unknown.empty()) {
+    std::cerr << "upa_tracecol: unknown option '--" << unknown.front()
+              << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    const std::string subscribe = args.get("subscribe", "");
+    const std::string from_jsonl = args.get("from-jsonl", "");
+    if (subscribe.empty() && from_jsonl.empty()) {
+      std::cerr << "upa_tracecol: need --subscribe and/or --from-jsonl\n\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    const double duration = args.get_double("duration", 5.0);
+    const double interval_ms = args.get_double("interval-ms", 200.0);
+    const double connect_timeout = args.get_double("connect-timeout", 5.0);
+    UPA_REQUIRE(duration > 0.0, "--duration must be positive");
+    UPA_REQUIRE(interval_ms >= 10.0 && interval_ms <= 60000.0,
+                "--interval-ms must lie in [10, 60000]");
+
+    obs::TraceCollector collector;
+
+    // Offline ingest first: captured files are already complete.
+    if (!from_jsonl.empty()) {
+      std::stringstream list(from_jsonl);
+      std::string path;
+      while (std::getline(list, path, ',')) {
+        if (path.empty()) continue;
+        std::ifstream in(path, std::ios::binary);
+        UPA_REQUIRE(in.good(), "cannot read '" + path + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        const std::size_t recognized = collector.ingest_jsonl(text.str());
+        std::cout << "ingested " << path << ": " << recognized
+                  << " telemetry lines" << std::endl;
+      }
+    }
+
+    if (!subscribe.empty()) {
+      const std::vector<dispatch::UpstreamAddress> endpoints =
+          dispatch::parse_upstream_list(subscribe);
+      std::vector<Subscription> subs(endpoints.size());
+      for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        subs[i].address = endpoints[i];
+        // The read timeout must comfortably exceed the tick interval or
+        // a quiet process would look like a dead connection.
+        subs[i].client.connect(endpoints[i].host, endpoints[i].port,
+                               connect_timeout,
+                               duration + interval_ms / 1000.0 + 5.0);
+        std::ostringstream request;
+        request << "{\"id\":1,\"method\":\"subscribe\",\"params\":"
+                << "{\"interval_ms\":" << interval_ms << "}}";
+        subs[i].client.send_line(request.str());
+      }
+      for (Subscription& sub : subs) {
+        sub.reader = std::thread([&sub, &collector] {
+          try {
+            const std::string ack = sub.client.read_line();
+            if (ack.find("\"subscribed\"") == std::string::npos) {
+              sub.error = "subscribe not acknowledged: " + ack;
+              return;
+            }
+            while (true) {
+              const std::string line = sub.client.read_line();
+              collector.ingest_line(line);
+              ++sub.lines;
+            }
+          } catch (const std::exception&) {
+            // EOF / shutdown_both from the main thread: normal drain.
+          }
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+      for (Subscription& sub : subs) sub.client.shutdown_both();
+      for (Subscription& sub : subs) sub.reader.join();
+      for (Subscription& sub : subs) {
+        if (!sub.error.empty()) {
+          std::cerr << "upa_tracecol: " << sub.address.label() << ": "
+                    << sub.error << "\n";
+          return 1;
+        }
+        std::cout << "subscribed " << sub.address.label() << ": "
+                  << sub.lines << " telemetry lines" << std::endl;
+      }
+    }
+
+    int rc = 0;
+
+    for (const obs::ProcessIngest& p : collector.processes()) {
+      std::cout << "process " << p.process << ": spans=" << p.span_lines
+                << " metrics_ticks=" << p.metrics_lines
+                << " seq_gaps=" << p.seq_gaps
+                << " dropped_spans=" << p.dropped_spans << std::endl;
+    }
+    if (collector.dropped_spans_total() > 0) {
+      std::cerr << "upa_tracecol: " << collector.dropped_spans_total()
+                << " spans dropped at the source\n";
+      rc = 1;
+    }
+
+    const obs::ReassemblyReport report = collector.reassemble();
+    std::cout << "traces=" << report.traces.size()
+              << " complete=" << report.complete_traces
+              << " orphan_server_roots=" << report.orphan_server_roots
+              << std::endl;
+
+    const std::string trace_out = args.get("trace-out", "");
+    if (!trace_out.empty()) {
+      write_text_file(trace_out, collector.merged_chrome_trace(report));
+      std::cout << "wrote " << trace_out << std::endl;
+    }
+    const std::string spans_out = args.get("spans-out", "");
+    if (!spans_out.empty()) {
+      write_text_file(spans_out, collector.merged_spans_jsonl());
+      std::cout << "wrote " << spans_out << std::endl;
+    }
+
+    const std::string expect_csv = args.get("expect-csv", "");
+    if (!expect_csv.empty()) {
+      std::ifstream in(expect_csv, std::ios::binary);
+      UPA_REQUIRE(in.good(), "cannot read '" + expect_csv + "'");
+      std::ostringstream text;
+      text << in.rdbuf();
+      const std::vector<std::vector<std::string>> rows =
+          common::parse_csv(text.str());
+      UPA_REQUIRE(!rows.empty(), "'" + expect_csv + "' is empty");
+      std::size_t column = rows.front().size();
+      for (std::size_t c = 0; c < rows.front().size(); ++c) {
+        if (rows.front()[c] == "trace_id") column = c;
+      }
+      UPA_REQUIRE(column < rows.front().size(),
+                  "'" + expect_csv + "' has no trace_id column");
+      std::vector<std::string> expected;
+      for (std::size_t r = 1; r < rows.size(); ++r) {
+        if (column < rows[r].size()) expected.push_back(rows[r][column]);
+      }
+      const double accounted =
+          obs::TraceCollector::accounted_fraction(report, expected);
+      std::cout << "expected_requests=" << expected.size()
+                << " accounted_fraction=" << accounted << std::endl;
+      if (args.has("check-complete")) {
+        const double threshold = args.get_double("check-complete", 0.99);
+        UPA_REQUIRE(threshold >= 0.0 && threshold <= 1.0,
+                    "--check-complete must lie in [0, 1]");
+        if (accounted < threshold) {
+          std::cerr << "upa_tracecol: accounted fraction " << accounted
+                    << " below threshold " << threshold << "\n";
+          rc = 1;
+        }
+      }
+    } else if (args.has("check-complete")) {
+      std::cerr << "upa_tracecol: --check-complete needs --expect-csv\n";
+      return 2;
+    }
+
+    if (args.has("mine")) {
+      const std::string uclass_name = args.get("class", "B");
+      UPA_REQUIRE(uclass_name == "A" || uclass_name == "B",
+                  "--class must be A or B");
+      const ta::UserClass uclass =
+          uclass_name == "A" ? ta::UserClass::kA : ta::UserClass::kB;
+      const obs::MinedProfile mined =
+          obs::TraceCollector::mine_profile(report);
+      std::cout << "mined: walks=" << mined.walks
+                << " invocations=" << mined.invocations
+                << " skipped=" << mined.skipped_invocations << std::endl;
+      for (const profile::ScenarioClass& sc : mined.classes.scenarios()) {
+        std::cout << "  class " << sc.label << " pi=" << sc.probability
+                  << std::endl;
+      }
+      const obs::ProfileComparison cmp =
+          obs::TraceCollector::compare_with_hand_specified(mined, uclass);
+      std::cout << "eq10: mined=" << cmp.mined_availability
+                << " hand[" << uclass_name << "]=" << cmp.hand_availability
+                << " diff=" << cmp.difference
+                << " tolerance=" << cmp.tolerance
+                << (cmp.within_tolerance ? " [within]" : " [OUTSIDE]")
+                << std::endl;
+      if (!cmp.within_tolerance) rc = 1;
+    }
+
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "upa_tracecol: " << e.what() << "\n";
+    return 1;
+  }
+}
