@@ -7,9 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "upa/cache/persist.hpp"
 #include "upa/common/bench_json.hpp"
 #include "upa/common/table.hpp"
 #include "upa/ta/params.hpp"
@@ -36,6 +38,33 @@ template <typename Fn>
       .count();
 }
 
+/// Extracts `--cache-dir DIR` (or `--cache-dir=DIR`) from argv before
+/// google-benchmark sees it -- ReportUnrecognizedArguments would
+/// otherwise abort the run -- and attaches the on-disk persistence tier
+/// so a second process re-run starts warm from the segment files.
+inline void attach_cache_dir_flag(int& argc, char** argv) {
+  std::string dir;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+      dir = argv[i] + 12;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (dir.empty()) return;
+  upa::cache::set_enabled(true);
+  const upa::cache::PersistStats loaded =
+      upa::cache::attach_global_persistence(dir).stats();
+  std::cout << "cache persistence (" << dir << "): " << loaded.segments_loaded
+            << " segments loaded, " << loaded.records_replayed
+            << " records replayed\n\n";
+}
+
 inline void print_header(const char* artifact, const char* description) {
   std::cout << "==============================================================="
                "=\n"
@@ -50,6 +79,7 @@ inline void print_header(const char* artifact, const char* description) {
 /// Prints the reproduction output, then runs registered benchmarks.
 #define UPA_BENCH_MAIN(print_fn)                      \
   int main(int argc, char** argv) {                   \
+    upa::bench::attach_cache_dir_flag(argc, argv);    \
     print_fn();                                       \
     benchmark::Initialize(&argc, argv);               \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

@@ -22,6 +22,24 @@ std::uint64_t fnv1a(const std::string& bytes) noexcept {
 
 }  // namespace
 
+std::uint64_t key_digest(const std::string& bytes) noexcept {
+  return fnv1a(bytes);
+}
+
+std::string solver_id_from_key_bytes(const std::string& bytes) {
+  // KeyBuilder's first field: u64 little-endian length, then the id.
+  UPA_REQUIRE(bytes.size() >= 8,
+              "cache key bytes too short to hold a solver-id prefix");
+  std::uint64_t length = 0;
+  for (int i = 7; i >= 0; --i) {
+    length = (length << 8) |
+             static_cast<std::uint8_t>(bytes[static_cast<std::size_t>(i)]);
+  }
+  UPA_REQUIRE(length > 0 && length <= bytes.size() - 8,
+              "cache key bytes have a corrupt solver-id prefix");
+  return bytes.substr(8, length);
+}
+
 KeyBuilder::KeyBuilder(std::string solver_id, std::uint32_t version)
     : solver_id_(std::move(solver_id)) {
   UPA_REQUIRE(!solver_id_.empty(), "cache key needs a solver id");
@@ -136,10 +154,62 @@ void EvalCache::record_lookup(const std::string& solver_id, bool hit,
   }
 }
 
-CacheStats EvalCache::stats() const {
-  CacheStats total;
+bool EvalCache::seed(const CacheKey& key, StoredValue value) {
+  UPA_REQUIRE(value.value != nullptr && value.type != nullptr,
+              "cache seed needs a non-null value and type");
+  std::promise<Stored> promise;
+  promise.set_value(std::move(value));
+  StoredFuture future = promise.get_future().share();
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] = shard.entries.emplace(key.bytes,
+                                                      Entry{future});
+    if (!inserted) return false;
+  }
+  complete_insert(shard, key.bytes);
+  return true;
+}
+
+std::vector<EvalCache::SnapshotEntry> EvalCache::snapshot() const {
+  std::vector<SnapshotEntry> out;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [bytes, entry] : shard.entries) {
+      if (entry.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        continue;  // in-flight computation; nothing to export yet
+      }
+      // A completed entry's future holds either a value or the first
+      // miss's exception; exceptional entries are removed by
+      // abandon_insert before anyone could snapshot them, but guard
+      // anyway so a torn race cannot abort an export.
+      try {
+        out.push_back(SnapshotEntry{bytes, entry.future.get()});
+      } catch (...) {
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.key_bytes < b.key_bytes;
+            });
+  return out;
+}
+
+CacheStats EvalCache::stats() const {
+  // All shard locks are taken before any counter is read (always in
+  // shard order, so two concurrent stats() calls cannot deadlock).
+  // Locking shards one at a time would let a lookup on an
+  // already-summed shard race ahead of one on a not-yet-summed shard,
+  // so hit + miss totals could disagree with the number of lookups the
+  // caller performed -- visible as off-by-a-few totals under the
+  // eight-thread hammer test.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& shard : shards_) locks.emplace_back(shard.mutex);
+  CacheStats total;
+  for (const Shard& shard : shards_) {
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
     total.inserts += shard.stats.inserts;

@@ -24,6 +24,8 @@
 // fan-out: values are pure functions of their key, so which worker
 // computes first never changes what anyone reads.
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -82,6 +84,34 @@ class KeyBuilder {
 
   std::string solver_id_;
   std::string bytes_;
+};
+
+/// Recomputes the FNV-1a 64 digest of a finished key's canonical byte
+/// string -- how the persistent tier rebuilds a CacheKey from bytes it
+/// read off disk.
+[[nodiscard]] std::uint64_t key_digest(const std::string& bytes) noexcept;
+
+/// Recovers the solver id embedded at the front of a canonical key byte
+/// string (KeyBuilder writes it first, length-prefixed). Throws
+/// ModelError when the bytes are too short to hold the prefix.
+[[nodiscard]] std::string solver_id_from_key_bytes(const std::string& bytes);
+
+/// A type-erased cached value exactly as the table stores it. `type`
+/// points at the typeid of the concrete value so get_or_compute<T> can
+/// verify it before casting.
+struct StoredValue {
+  std::shared_ptr<const void> value;
+  const std::type_info* type = nullptr;
+};
+
+/// Receives every freshly computed insert (not hits, not seeds). The
+/// persistent tier implements this to write-behind values to its active
+/// segment. Called outside any shard lock; implementations must be
+/// thread-safe and must not re-enter the cache.
+class CacheSink {
+ public:
+  virtual ~CacheSink() = default;
+  virtual void on_insert(const CacheKey& key, const StoredValue& value) = 0;
 };
 
 /// Aggregate lookup statistics (whole cache or one solver id).
@@ -164,12 +194,39 @@ class EvalCache {
       auto value = std::make_shared<const T>(compute());
       promise.set_value(Stored{value, &typeid(T)});
       complete_insert(shard, key.bytes);
+      if (CacheSink* sink = sink_.load(std::memory_order_acquire)) {
+        sink->on_insert(key, Stored{value, &typeid(T)});
+      }
       return value;
     } catch (...) {
       promise.set_exception(std::current_exception());
       abandon_insert(shard, key.bytes);
       throw;
     }
+  }
+
+  /// Inserts an already-computed value (the persistent tier's pre-warm
+  /// and the `cache import` RPC). Never fires the sink -- a seeded value
+  /// came FROM persistence -- and counts as an insert, not a lookup.
+  /// Returns false when the key is already present (or in flight), in
+  /// which case the existing entry wins.
+  bool seed(const CacheKey& key, StoredValue value);
+
+  /// One completed entry as exported by snapshot().
+  struct SnapshotEntry {
+    std::string key_bytes;
+    StoredValue value;
+  };
+
+  /// All completed entries (in-flight computations are skipped), sorted
+  /// by key bytes so an export is deterministic for deterministic
+  /// contents regardless of insertion order.
+  [[nodiscard]] std::vector<SnapshotEntry> snapshot() const;
+
+  /// Installs (or clears, with nullptr) the insert sink. The sink must
+  /// outlive the cache or be cleared before it dies.
+  void set_sink(CacheSink* sink) noexcept {
+    sink_.store(sink, std::memory_order_release);
   }
 
   /// Whole-cache statistics (sums over shards).
@@ -201,10 +258,7 @@ class EvalCache {
   void reset_stats();
 
  private:
-  struct Stored {
-    std::shared_ptr<const void> value;
-    const std::type_info* type = nullptr;
-  };
+  using Stored = StoredValue;
   using StoredFuture = std::shared_future<Stored>;
 
   struct Entry {
@@ -231,6 +285,7 @@ class EvalCache {
 
   std::size_t max_entries_per_shard_;
   std::vector<Shard> shards_;
+  std::atomic<CacheSink*> sink_{nullptr};
 
   mutable std::mutex solver_mutex_;
   std::map<std::string, CacheStats> solver_stats_;  // guarded by solver_mutex_

@@ -1,0 +1,231 @@
+#include "upa/cache/persist.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "upa/cache/serialize.hpp"
+#include "upa/common/error.hpp"
+
+namespace upa::cache {
+
+namespace fs = std::filesystem;
+
+PersistentCache::PersistentCache(EvalCache& cache, std::string directory)
+    : cache_(cache), directory_(std::move(directory)) {
+  UPA_REQUIRE(!directory_.empty(), "cache directory must be non-empty");
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  UPA_REQUIRE(!ec, "cannot create cache directory '" + directory_ +
+                       "': " + ec.message());
+  load_directory();
+  cache_.set_sink(this);
+}
+
+PersistentCache::~PersistentCache() { cache_.set_sink(nullptr); }
+
+void PersistentCache::load_directory() {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const fs::path& path = it->path();
+    if (path.extension() == kSegmentExtension) {
+      paths.push_back(path.string());
+    }
+  }
+  UPA_REQUIRE(!ec, "cannot list cache directory '" + directory_ +
+                       "': " + ec.message());
+  std::sort(paths.begin(), paths.end());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& path : paths) {
+    SegmentLoadStats file_stats;
+    load_segment_file(path, file_stats, [&](SegmentRecord&& record) {
+      bool inserted = false;
+      if (seed_record(record, &inserted)) {
+        ++stats_.records_replayed;
+        persisted_keys_.insert(record.key_bytes);
+      } else {
+        ++stats_.records_skipped_decode;
+      }
+    });
+    stats_.segments_loaded += file_stats.segments_loaded;
+    stats_.segments_rejected += file_stats.segments_rejected;
+    stats_.records_skipped_crc += file_stats.records_skipped_crc;
+  }
+}
+
+bool PersistentCache::seed_record(const SegmentRecord& record,
+                                  bool* inserted) {
+  const ValueCodec* codec = codec_for_tag(record.type_tag);
+  if (codec == nullptr) return false;
+  CacheKey key;
+  key.bytes = record.key_bytes;
+  key.digest = key_digest(key.bytes);
+  try {
+    key.solver_id = solver_id_from_key_bytes(key.bytes);
+    StoredValue value = codec->deserialize(record.value_bytes);
+    *inserted = cache_.seed(key, std::move(value));
+  } catch (const common::ModelError&) {
+    return false;
+  }
+  return true;
+}
+
+void PersistentCache::append_record(const std::string& type_tag,
+                                    const std::string& key_bytes,
+                                    const std::string& value_bytes) {
+  // Callers hold mutex_. The active segment is named after the process
+  // so concurrent processes sharing a directory never clobber each
+  // other's file; a suffix probe handles pid reuse across runs.
+  try {
+    if (active_ == nullptr) {
+      const std::string stem =
+          directory_ + "/segment-p" + std::to_string(::getpid());
+      std::string path = stem + std::string(kSegmentExtension);
+      for (int n = 1; fs::exists(path); ++n) {
+        path = stem + "-" + std::to_string(n) +
+               std::string(kSegmentExtension);
+      }
+      active_ = std::make_unique<SegmentFile>(path);
+    }
+    active_->append(SegmentRecord{type_tag, key_bytes, value_bytes});
+    ++stats_.records_appended;
+  } catch (const std::exception&) {
+    // An unwritable tier must never take the workload down; the value
+    // stays cached in memory and simply will not survive a restart.
+    ++stats_.write_errors;
+  }
+}
+
+void PersistentCache::on_insert(const CacheKey& key,
+                                const StoredValue& value) {
+  const ValueCodec* codec = codec_for_type(*value.type);
+  if (codec == nullptr) return;  // unknown type: memory-only
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!persisted_keys_.insert(key.bytes).second) return;  // already on disk
+  append_record(std::string(codec->type_tag), key.bytes,
+                codec->serialize(value.value.get()));
+}
+
+ImportStats PersistentCache::import_blob(std::string_view segment_bytes) {
+  ImportStats import;
+  SegmentLoadStats blob_stats;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool accepted =
+      load_segment_bytes(segment_bytes, blob_stats,
+                         [&](SegmentRecord&& record) {
+                           bool inserted = false;
+                           if (!seed_record(record, &inserted)) {
+                             ++import.records_skipped;
+                             ++stats_.records_skipped_decode;
+                             return;
+                           }
+                           ++stats_.records_replayed;
+                           if (inserted) {
+                             ++import.records_seeded;
+                           } else {
+                             ++import.records_duplicate;
+                           }
+                           if (persisted_keys_.insert(record.key_bytes)
+                                   .second) {
+                             const std::uint64_t before =
+                                 stats_.records_appended;
+                             append_record(record.type_tag,
+                                           record.key_bytes,
+                                           record.value_bytes);
+                             import.records_appended +=
+                                 stats_.records_appended - before;
+                           }
+                         });
+  import.segment_rejected = !accepted;
+  import.records_skipped += blob_stats.records_skipped_crc;
+  stats_.records_skipped_crc += blob_stats.records_skipped_crc;
+  if (!accepted) ++stats_.segments_rejected;
+  return import;
+}
+
+PersistStats PersistentCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string export_segment_blob(EvalCache& cache, ExportStats* stats) {
+  ExportStats local;
+  std::string blob = segment_header();
+  for (const EvalCache::SnapshotEntry& entry : cache.snapshot()) {
+    const ValueCodec* codec = codec_for_type(*entry.value.type);
+    if (codec == nullptr) {
+      ++local.skipped_no_codec;
+      continue;
+    }
+    blob += encode_record(SegmentRecord{
+        std::string(codec->type_tag), entry.key_bytes,
+        codec->serialize(entry.value.value.get())});
+    ++local.records;
+  }
+  if (stats != nullptr) *stats = local;
+  return blob;
+}
+
+ImportStats import_segment_blob(EvalCache& cache,
+                                std::string_view segment_bytes) {
+  ImportStats import;
+  SegmentLoadStats blob_stats;
+  const bool accepted = load_segment_bytes(
+      segment_bytes, blob_stats, [&](SegmentRecord&& record) {
+        const ValueCodec* codec = codec_for_tag(record.type_tag);
+        if (codec == nullptr) {
+          ++import.records_skipped;
+          return;
+        }
+        CacheKey key;
+        key.bytes = std::move(record.key_bytes);
+        key.digest = key_digest(key.bytes);
+        try {
+          key.solver_id = solver_id_from_key_bytes(key.bytes);
+          StoredValue value = codec->deserialize(record.value_bytes);
+          if (cache.seed(key, std::move(value))) {
+            ++import.records_seeded;
+          } else {
+            ++import.records_duplicate;
+          }
+        } catch (const common::ModelError&) {
+          ++import.records_skipped;
+        }
+      });
+  import.segment_rejected = !accepted;
+  import.records_skipped += blob_stats.records_skipped_crc;
+  return import;
+}
+
+namespace {
+std::mutex g_persist_mutex;
+std::unique_ptr<PersistentCache> g_persist_owner;
+std::atomic<PersistentCache*> g_persist{nullptr};
+}  // namespace
+
+PersistentCache& attach_global_persistence(const std::string& directory) {
+  std::lock_guard<std::mutex> lock(g_persist_mutex);
+  if (g_persist_owner != nullptr) {
+    UPA_REQUIRE(g_persist_owner->directory() == directory,
+                "cache persistence is already attached to '" +
+                    g_persist_owner->directory() +
+                    "'; cannot re-attach to '" + directory + "'");
+    return *g_persist_owner;
+  }
+  g_persist_owner =
+      std::make_unique<PersistentCache>(global(), directory);
+  g_persist.store(g_persist_owner.get(), std::memory_order_release);
+  return *g_persist_owner;
+}
+
+PersistentCache* global_persistence() noexcept {
+  return g_persist.load(std::memory_order_acquire);
+}
+
+}  // namespace upa::cache

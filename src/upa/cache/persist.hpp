@@ -1,0 +1,111 @@
+#pragma once
+// PersistentCache: the disk-backed second tier of EvalCache.
+//
+// Construction loads every *.upaseg file in the directory (sorted by
+// name, so replay order is deterministic), decodes each record through
+// the codec registry, and seeds the in-memory shards -- a restarted
+// process starts warm. The instance then installs itself as the
+// cache's insert sink, so every freshly computed value is
+// write-behind-appended to a per-process active segment; a key already
+// persisted (loaded from disk or appended earlier) is never appended
+// twice, so re-running the same workload against the same directory
+// leaves it the same size.
+//
+// Free functions export_segment_blob / import_segment_blob carry the
+// same segment bytes over the wire: `cache export` on a warm replica
+// plus `cache import` on a freshly restarted one is the farm's
+// warm-transfer path (dispatch::run_farm_experiment drives it).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "upa/cache/eval_cache.hpp"
+#include "upa/cache/segment.hpp"
+
+namespace upa::cache {
+
+struct PersistStats {
+  std::size_t segments_loaded = 0;
+  std::size_t segments_rejected = 0;  ///< version/tag mismatch, unreadable
+  std::uint64_t records_replayed = 0;  ///< decoded and seeded into memory
+  std::uint64_t records_skipped_crc = 0;
+  std::uint64_t records_skipped_decode = 0;  ///< unknown tag / bad payload
+  std::uint64_t records_appended = 0;  ///< written to the active segment
+  std::uint64_t write_errors = 0;  ///< appends lost to I/O failure
+};
+
+struct ImportStats {
+  bool segment_rejected = false;
+  std::uint64_t records_seeded = 0;     ///< new in-memory entries
+  std::uint64_t records_duplicate = 0;  ///< key was already in memory
+  std::uint64_t records_skipped = 0;    ///< CRC or decode failures
+  std::uint64_t records_appended = 0;   ///< persisted to the active segment
+};
+
+class PersistentCache final : public CacheSink {
+ public:
+  /// Creates `directory` when missing, pre-warms `cache` from its
+  /// segments, and installs itself as the cache's sink. Throws
+  /// ModelError when the directory cannot be created or listed.
+  PersistentCache(EvalCache& cache, std::string directory);
+  ~PersistentCache() override;
+
+  void on_insert(const CacheKey& key, const StoredValue& value) override;
+
+  /// Decodes a segment blob (the `cache import` RPC payload), seeds the
+  /// cache, and appends previously unseen records to the active segment
+  /// so the imported warmth survives the NEXT restart too.
+  ImportStats import_blob(std::string_view segment_bytes);
+
+  [[nodiscard]] PersistStats stats() const;
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+
+ private:
+  void load_directory();
+  /// Seeds one decoded record; returns false on decode failure.
+  bool seed_record(const SegmentRecord& record, bool* inserted);
+  void append_record(const std::string& type_tag,
+                     const std::string& key_bytes,
+                     const std::string& value_bytes);
+
+  EvalCache& cache_;
+  std::string directory_;
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<SegmentFile> active_;  // created lazily on first append
+  std::unordered_set<std::string> persisted_keys_;
+  PersistStats stats_;
+};
+
+/// Serializes every completed in-memory entry that has a registered
+/// codec into one segment blob (the `cache export` RPC payload).
+struct ExportStats {
+  std::uint64_t records = 0;
+  std::uint64_t skipped_no_codec = 0;
+};
+[[nodiscard]] std::string export_segment_blob(EvalCache& cache,
+                                              ExportStats* stats = nullptr);
+
+/// Seeds `cache` from a segment blob without touching any disk tier
+/// (the import path of a replica running without --cache-dir).
+ImportStats import_segment_blob(EvalCache& cache,
+                                std::string_view segment_bytes);
+
+/// Attaches the process-global persistence tier (what --cache-dir
+/// does): pre-warms cache::global() from `directory` and write-behinds
+/// its inserts there for the rest of the process lifetime. Idempotent
+/// for the same directory; throws ModelError when already attached to a
+/// different one.
+PersistentCache& attach_global_persistence(const std::string& directory);
+
+/// The attached tier, or nullptr when the process runs memory-only.
+[[nodiscard]] PersistentCache* global_persistence() noexcept;
+
+}  // namespace upa::cache

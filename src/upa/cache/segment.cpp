@@ -1,0 +1,182 @@
+#include "upa/cache/segment.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "upa/cache/serialize.hpp"
+#include "upa/common/error.hpp"
+
+namespace upa::cache {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Reads the little-endian u32 at `at` (caller checks bounds).
+std::uint32_t read_u32(std::string_view bytes, std::size_t at) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(
+                               bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> table = build_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string segment_header(std::uint32_t format_version,
+                           std::string_view tag) {
+  ByteWriter w;
+  std::string out(kSegmentMagic);
+  w.put_u32(format_version);
+  w.put_u32(static_cast<std::uint32_t>(tag.size()));
+  out += w.bytes();
+  out.append(tag.data(), tag.size());
+  return out;
+}
+
+std::string encode_record(const SegmentRecord& record) {
+  ByteWriter payload;
+  payload.put_string(record.type_tag);
+  payload.put_string(record.key_bytes);
+  payload.put_string(record.value_bytes);
+  const std::string body = std::move(payload).take();
+  ByteWriter frame;
+  frame.put_u32(static_cast<std::uint32_t>(body.size()));
+  frame.put_u32(crc32(body));
+  std::string out = std::move(frame).take();
+  out += body;
+  return out;
+}
+
+bool load_segment_bytes(
+    std::string_view bytes, SegmentLoadStats& stats,
+    const std::function<void(SegmentRecord&&)>& on_record) {
+  // Header: magic, format version, tag.
+  const std::size_t fixed = kSegmentMagic.size() + 8;
+  if (bytes.size() < fixed ||
+      bytes.substr(0, kSegmentMagic.size()) != kSegmentMagic) {
+    ++stats.segments_rejected;
+    return false;
+  }
+  const std::uint32_t version = read_u32(bytes, kSegmentMagic.size());
+  const std::uint32_t tag_length =
+      read_u32(bytes, kSegmentMagic.size() + 4);
+  if (version != kSegmentFormatVersion || tag_length > bytes.size() - fixed ||
+      bytes.substr(fixed, tag_length) != kSolverVersionTag) {
+    ++stats.segments_rejected;
+    return false;
+  }
+
+  std::size_t at = fixed + tag_length;
+  while (at < bytes.size()) {
+    if (bytes.size() - at < 8) {
+      stats.torn_tail_bytes += bytes.size() - at;
+      break;  // torn frame header
+    }
+    const std::uint32_t length = read_u32(bytes, at);
+    const std::uint32_t expected_crc = read_u32(bytes, at + 4);
+    if (bytes.size() - at - 8 < length) {
+      stats.torn_tail_bytes += bytes.size() - at;
+      break;  // torn payload
+    }
+    const std::string_view payload = bytes.substr(at + 8, length);
+    at += 8 + length;
+    if (crc32(payload) != expected_crc) {
+      ++stats.records_skipped_crc;
+      continue;
+    }
+    SegmentRecord record;
+    try {
+      ByteReader r(payload);
+      record.type_tag = r.get_string();
+      record.key_bytes = r.get_string();
+      record.value_bytes = r.get_string();
+      r.expect_end();
+    } catch (const common::ModelError&) {
+      // CRC-valid but structurally wrong: same bucket as corruption.
+      ++stats.records_skipped_crc;
+      continue;
+    }
+    ++stats.records_loaded;
+    on_record(std::move(record));
+  }
+  ++stats.segments_loaded;
+  return true;
+}
+
+bool load_segment_file(
+    const std::string& path, SegmentLoadStats& stats,
+    const std::function<void(SegmentRecord&&)>& on_record) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    ++stats.segments_rejected;
+    return false;
+  }
+  std::string bytes;
+  char chunk[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    bytes.append(chunk, n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    ++stats.segments_rejected;
+    return false;
+  }
+  return load_segment_bytes(bytes, stats, on_record);
+}
+
+SegmentFile::SegmentFile(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  UPA_REQUIRE(file_ != nullptr, "cannot create cache segment '" + path_ +
+                                    "': " + std::strerror(errno));
+  const std::string header = segment_header();
+  const bool ok =
+      std::fwrite(header.data(), 1, header.size(), file_) == header.size() &&
+      std::fflush(file_) == 0;
+  if (!ok) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw common::ModelError("cannot write cache segment header to '" +
+                             path_ + "'");
+  }
+}
+
+SegmentFile::~SegmentFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SegmentFile::append(const SegmentRecord& record) {
+  UPA_REQUIRE(file_ != nullptr,
+              "cache segment '" + path_ + "' is not open for append");
+  const std::string frame = encode_record(record);
+  const bool ok =
+      std::fwrite(frame.data(), 1, frame.size(), file_) == frame.size() &&
+      std::fflush(file_) == 0;
+  UPA_REQUIRE(ok, "cannot append to cache segment '" + path_ + "'");
+  ++records_;
+}
+
+}  // namespace upa::cache

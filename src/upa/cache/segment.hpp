@@ -1,0 +1,124 @@
+#pragma once
+// Append-only, checksummed, version-tagged segment files: the on-disk
+// unit of the evaluation cache's persistent tier, and the blob format
+// the `cache export` / `cache import` RPC verbs ship between replicas.
+//
+// Layout (all integers little-endian):
+//
+//   +--------------------------------------------------------------+
+//   | header                                                       |
+//   |   magic            8 bytes   "UPACSEG1"                      |
+//   |   format_version   u32       layout version of THIS table    |
+//   |   tag_length       u32                                       |
+//   |   tag              bytes     solver-version tag              |
+//   +--------------------------------------------------------------+
+//   | record (repeated)                                            |
+//   |   payload_length   u32                                       |
+//   |   payload_crc32    u32       IEEE CRC-32 of the payload      |
+//   |   payload:                                                   |
+//   |     type_tag       string    codec tag ("f64", ...)          |
+//   |     key_bytes      string    canonical KeyBuilder bytes      |
+//   |     value_bytes    string    codec-serialized value          |
+//   |   (strings are u64 length-prefixed, see serialize.hpp)       |
+//   +--------------------------------------------------------------+
+//
+// Failure semantics, in decreasing blast radius:
+//  - magic / format_version / tag mismatch rejects the WHOLE segment
+//    (a different layout or a different solver generation must never
+//    replay a wrong answer -- at worst everything is recomputed);
+//  - a record whose CRC does not match its payload is skipped and
+//    counted (a flipped byte loses one record, not the file);
+//  - an incomplete record at the end of the file -- the torn tail a
+//    kill -9 mid-append leaves behind -- ends the parse silently; the
+//    bytes before it all load.
+//
+// Appends flush after every record, so the only unreadable suffix a
+// crash can leave is the one record being written.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace upa::cache {
+
+inline constexpr std::string_view kSegmentMagic = "UPACSEG1";
+inline constexpr std::uint32_t kSegmentFormatVersion = 1;
+/// Generation tag of the whole solver stack. Per-solver formula versions
+/// already live inside every key's bytes (KeyBuilder embeds them), so
+/// this tag guards what the keys cannot: the key canonicalization scheme
+/// and the value codecs themselves. Bump it when either changes shape.
+inline constexpr std::string_view kSolverVersionTag = "upa-solvers-v1";
+inline constexpr std::string_view kSegmentExtension = ".upaseg";
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320).
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+struct SegmentRecord {
+  std::string type_tag;
+  std::string key_bytes;
+  std::string value_bytes;
+};
+
+/// Serialized header with the given version/tag (parameters exist so
+/// tests can fabricate mismatching segments).
+[[nodiscard]] std::string segment_header(
+    std::uint32_t format_version = kSegmentFormatVersion,
+    std::string_view tag = kSolverVersionTag);
+
+/// One framed record: payload length + CRC + payload.
+[[nodiscard]] std::string encode_record(const SegmentRecord& record);
+
+struct SegmentLoadStats {
+  std::size_t segments_loaded = 0;
+  std::size_t segments_rejected = 0;  ///< magic/version/tag mismatch
+  std::uint64_t records_loaded = 0;
+  std::uint64_t records_skipped_crc = 0;
+  std::uint64_t torn_tail_bytes = 0;  ///< incomplete trailing record
+};
+
+/// Parses one segment's bytes, handing every CRC-valid record to
+/// `on_record`. Returns false (and counts segments_rejected) when the
+/// header is missing, has the wrong magic, or carries a different
+/// format version or solver-version tag.
+bool load_segment_bytes(
+    std::string_view bytes, SegmentLoadStats& stats,
+    const std::function<void(SegmentRecord&&)>& on_record);
+
+/// Buffered-read file wrapper around load_segment_bytes. An unreadable
+/// file counts as a rejected segment.
+bool load_segment_file(
+    const std::string& path, SegmentLoadStats& stats,
+    const std::function<void(SegmentRecord&&)>& on_record);
+
+/// The active segment a process appends to: created eagerly with a
+/// fresh header, appended record by record with a flush after each so a
+/// kill -9 loses at most the record in flight.
+class SegmentFile {
+ public:
+  /// Creates `path` (truncating any stale file of the same name) and
+  /// writes the header. Throws ModelError when the file cannot be
+  /// created or written.
+  explicit SegmentFile(std::string path);
+  ~SegmentFile();
+
+  SegmentFile(const SegmentFile&) = delete;
+  SegmentFile& operator=(const SegmentFile&) = delete;
+
+  /// Appends one framed record and flushes. Throws ModelError on write
+  /// failure (disk full, ...).
+  void append(const SegmentRecord& record);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace upa::cache

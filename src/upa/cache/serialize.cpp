@@ -1,0 +1,349 @@
+#include "upa/cache/serialize.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "upa/common/error.hpp"
+#include "upa/inject/campaign.hpp"
+#include "upa/markov/ctmc.hpp"
+#include "upa/queueing/mmck.hpp"
+
+namespace upa::cache {
+
+// --- byte IO -------------------------------------------------------------
+
+void ByteWriter::put_u32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::put_u64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::put_double(double value) {
+  put_u64(std::bit_cast<std::uint64_t>(value));
+}
+
+void ByteWriter::put_string(std::string_view value) {
+  put_u64(value.size());
+  bytes_.append(value.data(), value.size());
+}
+
+void ByteWriter::put_doubles(const std::vector<double>& values) {
+  put_u64(values.size());
+  for (const double v : values) put_double(v);
+}
+
+void ByteReader::need(std::size_t count) const {
+  UPA_REQUIRE(remaining() >= count,
+              "cache value payload truncated: needed " +
+                  std::to_string(count) + " more bytes, have " +
+                  std::to_string(remaining()));
+}
+
+std::uint8_t ByteReader::get_u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint32_t ByteReader::get_u32() {
+  need(4);
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(
+                               data_[offset_ + static_cast<std::size_t>(i)]);
+  }
+  offset_ += 4;
+  return value;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  need(8);
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(
+                               data_[offset_ + static_cast<std::size_t>(i)]);
+  }
+  offset_ += 8;
+  return value;
+}
+
+double ByteReader::get_double() {
+  return std::bit_cast<double>(get_u64());
+}
+
+std::string ByteReader::get_string() {
+  const std::uint64_t length = get_u64();
+  UPA_REQUIRE(length <= remaining(),
+              "cache value payload truncated inside a string");
+  std::string out(data_.substr(offset_, length));
+  offset_ += length;
+  return out;
+}
+
+std::vector<double> ByteReader::get_doubles() {
+  const std::uint64_t count = get_u64();
+  UPA_REQUIRE(count <= remaining() / 8,
+              "cache value payload truncated inside a double vector");
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(get_double());
+  return out;
+}
+
+void ByteReader::expect_end() const {
+  UPA_REQUIRE(remaining() == 0,
+              "cache value payload has " + std::to_string(remaining()) +
+                  " trailing bytes (written by a newer encoder?)");
+}
+
+// --- codecs --------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+const T& as(const void* value) {
+  return *static_cast<const T*>(value);
+}
+
+template <typename T>
+StoredValue store(T value) {
+  return StoredValue{std::make_shared<const T>(std::move(value)), &typeid(T)};
+}
+
+std::string serialize_double(const void* value) {
+  ByteWriter w;
+  w.put_double(as<double>(value));
+  return std::move(w).take();
+}
+
+StoredValue deserialize_double(std::string_view bytes) {
+  ByteReader r(bytes);
+  const double value = r.get_double();
+  r.expect_end();
+  return store(value);
+}
+
+std::string serialize_doubles(const void* value) {
+  ByteWriter w;
+  w.put_doubles(as<std::vector<double>>(value));
+  return std::move(w).take();
+}
+
+StoredValue deserialize_doubles(std::string_view bytes) {
+  ByteReader r(bytes);
+  std::vector<double> value = r.get_doubles();
+  r.expect_end();
+  return store(std::move(value));
+}
+
+std::string serialize_mmck(const void* value) {
+  const auto& m = as<queueing::MmckMetrics>(value);
+  ByteWriter w;
+  w.put_double(m.rho);
+  w.put_double(m.blocking);
+  w.put_double(m.mean_in_system);
+  w.put_double(m.mean_in_queue);
+  w.put_double(m.throughput);
+  w.put_double(m.mean_response);
+  w.put_double(m.mean_busy_servers);
+  w.put_doubles(m.state_probabilities);
+  return std::move(w).take();
+}
+
+StoredValue deserialize_mmck(std::string_view bytes) {
+  ByteReader r(bytes);
+  queueing::MmckMetrics m;
+  m.rho = r.get_double();
+  m.blocking = r.get_double();
+  m.mean_in_system = r.get_double();
+  m.mean_in_queue = r.get_double();
+  m.throughput = r.get_double();
+  m.mean_response = r.get_double();
+  m.mean_busy_servers = r.get_double();
+  m.state_probabilities = r.get_doubles();
+  r.expect_end();
+  return store(std::move(m));
+}
+
+std::uint8_t encode_method(markov::StationaryMethod method) {
+  return static_cast<std::uint8_t>(method);
+}
+
+markov::StationaryMethod decode_method(std::uint8_t value) {
+  UPA_REQUIRE(
+      value <= static_cast<std::uint8_t>(
+                   markov::StationaryMethod::kPowerIteration),
+      "stationary-report payload has an unknown method enum value");
+  return static_cast<markov::StationaryMethod>(value);
+}
+
+markov::StationaryStage::Outcome decode_outcome(std::uint8_t value) {
+  UPA_REQUIRE(value <= static_cast<std::uint8_t>(
+                           markov::StationaryStage::Outcome::kSkipped),
+              "stationary-report payload has an unknown outcome enum value");
+  return static_cast<markov::StationaryStage::Outcome>(value);
+}
+
+std::string serialize_stationary(const void* value) {
+  const auto& report = as<markov::StationaryReport>(value);
+  ByteWriter w;
+  w.put_doubles(report.distribution);
+  w.put_u8(encode_method(report.method));
+  w.put_double(report.residual);
+  w.put_u64(report.stages.size());
+  for (const markov::StationaryStage& stage : report.stages) {
+    w.put_u8(encode_method(stage.method));
+    w.put_u8(static_cast<std::uint8_t>(stage.outcome));
+    w.put_u64(stage.iterations);
+    w.put_double(stage.residual);
+    w.put_double(stage.wall_seconds);
+    w.put_string(stage.note);
+  }
+  w.put_u64(report.diagnostics.size());
+  for (const std::string& line : report.diagnostics) w.put_string(line);
+  return std::move(w).take();
+}
+
+StoredValue deserialize_stationary(std::string_view bytes) {
+  ByteReader r(bytes);
+  markov::StationaryReport report;
+  report.distribution = r.get_doubles();
+  report.method = decode_method(r.get_u8());
+  report.residual = r.get_double();
+  const std::uint64_t stages = r.get_u64();
+  UPA_REQUIRE(stages <= bytes.size(),
+              "stationary-report payload declares too many stages");
+  report.stages.reserve(stages);
+  for (std::uint64_t i = 0; i < stages; ++i) {
+    markov::StationaryStage stage;
+    stage.method = decode_method(r.get_u8());
+    stage.outcome = decode_outcome(r.get_u8());
+    stage.iterations = r.get_u64();
+    stage.residual = r.get_double();
+    stage.wall_seconds = r.get_double();
+    stage.note = r.get_string();
+    report.stages.push_back(std::move(stage));
+  }
+  const std::uint64_t diagnostics = r.get_u64();
+  UPA_REQUIRE(diagnostics <= bytes.size(),
+              "stationary-report payload declares too many diagnostics");
+  report.diagnostics.reserve(diagnostics);
+  for (std::uint64_t i = 0; i < diagnostics; ++i) {
+    report.diagnostics.push_back(r.get_string());
+  }
+  r.expect_end();
+  return store(std::move(report));
+}
+
+std::string serialize_campaign_entry(const void* value) {
+  const auto& entry = as<inject::CampaignEntry>(value);
+  ByteWriter w;
+  w.put_string(entry.name);
+  w.put_double(entry.perceived_availability.mean);
+  w.put_double(entry.perceived_availability.half_width);
+  w.put_double(entry.perceived_availability.low);
+  w.put_double(entry.perceived_availability.high);
+  w.put_double(entry.delta_vs_baseline);
+  w.put_double(entry.observed_web_service_availability);
+  w.put_double(entry.mean_retries_per_session);
+  w.put_double(entry.abandonment_fraction);
+  return std::move(w).take();
+}
+
+StoredValue deserialize_campaign_entry(std::string_view bytes) {
+  ByteReader r(bytes);
+  inject::CampaignEntry entry;
+  entry.name = r.get_string();
+  entry.perceived_availability.mean = r.get_double();
+  entry.perceived_availability.half_width = r.get_double();
+  entry.perceived_availability.low = r.get_double();
+  entry.perceived_availability.high = r.get_double();
+  entry.delta_vs_baseline = r.get_double();
+  entry.observed_web_service_availability = r.get_double();
+  entry.mean_retries_per_session = r.get_double();
+  entry.abandonment_fraction = r.get_double();
+  r.expect_end();
+  return store(std::move(entry));
+}
+
+const std::vector<ValueCodec>& codec_table() {
+  static const std::vector<ValueCodec> table = {
+      {"f64", &typeid(double), serialize_double, deserialize_double},
+      {"f64_vec", &typeid(std::vector<double>), serialize_doubles,
+       deserialize_doubles},
+      {"mmck_metrics", &typeid(queueing::MmckMetrics), serialize_mmck,
+       deserialize_mmck},
+      {"stationary_report", &typeid(markov::StationaryReport),
+       serialize_stationary, deserialize_stationary},
+      {"campaign_entry", &typeid(inject::CampaignEntry),
+       serialize_campaign_entry, deserialize_campaign_entry},
+  };
+  return table;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const ValueCodec* codec_for_type(const std::type_info& type) {
+  for (const ValueCodec& codec : codec_table()) {
+    if (*codec.type == type) return &codec;
+  }
+  return nullptr;
+}
+
+const ValueCodec* codec_for_tag(std::string_view tag) {
+  for (const ValueCodec& codec : codec_table()) {
+    if (codec.type_tag == tag) return &codec;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> registered_codec_tags() {
+  std::vector<std::string> tags;
+  tags.reserve(codec_table().size());
+  for (const ValueCodec& codec : codec_table()) {
+    tags.emplace_back(codec.type_tag);
+  }
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+std::string to_hex(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<std::uint8_t>(c);
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string from_hex(std::string_view hex) {
+  UPA_REQUIRE(hex.size() % 2 == 0,
+              "hex payload must have an even number of digits");
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    UPA_REQUIRE(hi >= 0 && lo >= 0, "hex payload has a non-hex character");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace upa::cache

@@ -20,6 +20,8 @@
 #include "upa/core/web_farm.hpp"
 #include "upa/obs/observer.hpp"
 #include "upa/queueing/mmck.hpp"
+#include "upa/serve/client.hpp"
+#include "upa/serve/json.hpp"
 
 namespace upa::dispatch {
 
@@ -245,6 +247,98 @@ double pooled_loss(const FarmExperimentConfig& config, std::size_t i) {
       i * config.replica.capacity);
 }
 
+/// The k-th warm design point: a distinct M/M/c/K configuration whose
+/// mmck_metrics solve populates the replica's evaluation cache (the
+/// loss workload itself uses the uncached `sleep` method, so cache
+/// contents come only from these).
+serve::Json warm_point_params(std::size_t k) {
+  serve::Json params = serve::Json::object();
+  params.set("alpha", serve::Json(40.0 + static_cast<double>(k)));
+  params.set("nu", serve::Json(90.0));
+  params.set("servers", serve::Json(std::size_t{4}));
+  params.set("capacity", serve::Json(std::size_t{16}));
+  return params;
+}
+
+/// Evaluates `count` warm design points against one replica; returns
+/// how many succeeded. Throws ModelError on connect failure.
+std::uint64_t issue_warm_points(const UpstreamAddress& address,
+                                std::size_t count, double timeout) {
+  serve::Client client;
+  client.connect(address.host, address.port, timeout, timeout);
+  std::uint64_t ok = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const serve::CallResult result =
+        client.call("mmck_metrics", warm_point_params(k), k + 1);
+    if (result.ok()) ++ok;
+  }
+  return ok;
+}
+
+/// `cache export` on `from`, `cache import` on `to`; returns (records
+/// exported, records seeded). Throws ModelError on any failure.
+std::pair<std::uint64_t, std::uint64_t> transfer_cache_once(
+    const UpstreamAddress& from, const UpstreamAddress& to,
+    double timeout) {
+  serve::Client peer;
+  peer.connect(from.host, from.port, timeout, timeout);
+  serve::Json export_params = serve::Json::object();
+  export_params.set("op", serve::Json("export"));
+  const serve::CallResult exported =
+      peer.call("cache", std::move(export_params), 1);
+  UPA_REQUIRE(exported.ok(),
+              "cache export failed: " + exported.error_message);
+  const serve::Json* export_result = exported.result();
+  const serve::Json* hex = export_result != nullptr
+                               ? export_result->find("segment_hex")
+                               : nullptr;
+  const serve::Json* count = export_result != nullptr
+                                 ? export_result->find("exported_records")
+                                 : nullptr;
+  UPA_REQUIRE(hex != nullptr && count != nullptr,
+              "cache export response lacks segment_hex/exported_records");
+
+  serve::Client fresh;
+  fresh.connect(to.host, to.port, timeout, timeout);
+  serve::Json import_params = serve::Json::object();
+  import_params.set("op", serve::Json("import"));
+  import_params.set("segment_hex", *hex);
+  const serve::CallResult imported =
+      fresh.call("cache", std::move(import_params), 2);
+  UPA_REQUIRE(imported.ok(),
+              "cache import failed: " + imported.error_message);
+  const serve::Json* import_result = imported.result();
+  const serve::Json* seeded = import_result != nullptr
+                                  ? import_result->find("imported_records")
+                                  : nullptr;
+  UPA_REQUIRE(seeded != nullptr,
+              "cache import response lacks imported_records");
+  return {static_cast<std::uint64_t>(count->as_number()),
+          static_cast<std::uint64_t>(seeded->as_number())};
+}
+
+/// Retrying wrapper: both RPCs race the open-loop workload for the
+/// replicas' bounded admission queues (a 503 mid-run is expected, the
+/// same transient the front's retry layer absorbs), and the freshly
+/// restarted importer may still be binding its port. Each attempt
+/// reconnects from scratch.
+std::pair<std::uint64_t, std::uint64_t> transfer_cache(
+    const UpstreamAddress& from, const UpstreamAddress& to, double timeout) {
+  constexpr int kAttempts = 40;
+  std::string last_error;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    try {
+      return transfer_cache_once(from, to, timeout);
+    } catch (const std::exception& error) {
+      last_error = error.what();
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
+  throw common::ModelError("cache transfer failed after " +
+                           std::to_string(kAttempts) +
+                           " attempts: " + last_error);
+}
+
 }  // namespace
 
 FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
@@ -259,8 +353,49 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
                 "kill window must have positive duration");
   }
 
+  // Warm transfer needs one replica the schedule never kills: it is the
+  // export source, so it must be alive whenever a restart imports.
+  const bool warm = config.warm_transfer && !config.kills.empty();
+  std::size_t warm_peer = 0;
+  if (warm) {
+    UPA_REQUIRE(config.warm_points >= 1,
+                "warm transfer needs warm_points >= 1");
+    std::vector<bool> killed(config.replicas, false);
+    for (const KillEvent& kill : config.kills) killed[kill.replica] = true;
+    bool found = false;
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      if (!killed[i]) {
+        warm_peer = i;
+        found = true;
+        break;
+      }
+    }
+    UPA_REQUIRE(found,
+                "warm transfer needs one replica outside the kill schedule");
+  }
+
   FarmOrchestrator farm(config.replica, config.replicas);
   farm.start_all();
+
+  // Ports are fixed after start_all (restarts reuse them), so this
+  // snapshot stays valid for the killer thread's transfers.
+  const std::vector<UpstreamAddress> addresses = farm.addresses();
+  const double warm_timeout = std::max(config.call_timeout_seconds, 1.0);
+
+  // Warm-transfer state shared with the killer thread; it is only read
+  // back after the thread is joined.
+  std::string warm_error;
+  std::uint64_t warm_points_computed = 0;
+  std::uint64_t warm_export_last = 0;
+  std::uint64_t warm_import_total = 0;
+  if (warm) {
+    try {
+      warm_points_computed = issue_warm_points(
+          addresses[warm_peer], config.warm_points, warm_timeout);
+    } catch (const std::exception& e) {
+      warm_error = std::string("pre-warm failed: ") + e.what();
+    }
+  }
 
   // Must outlive the front: the front records spans into it.
   obs::Observer observer;
@@ -294,6 +429,18 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
                       std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>(kill.up_at_seconds)));
       farm.restart_replica(kill.replica);
+      // Warm restart: the fresh process imports the peer's cache before
+      // (well, while) the front routes traffic back to it.
+      if (warm && warm_error.empty()) {
+        try {
+          const auto [exported, seeded] = transfer_cache(
+              addresses[warm_peer], addresses[kill.replica], warm_timeout);
+          warm_export_last = exported;
+          warm_import_total += seeded;
+        } catch (const std::exception& e) {
+          warm_error = std::string("warm transfer failed: ") + e.what();
+        }
+      }
     }
   });
 
@@ -316,6 +463,53 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
     throw;
   }
   killer.join();
+  if (warm) {
+    result.warm_peer = warm_peer;
+    result.warm_points_computed = warm_points_computed;
+    result.warm_export_records = warm_export_last;
+    result.warm_import_records = warm_import_total;
+    if (warm_error.empty()) {
+      // Re-issue the warm design points against the restarted replica:
+      // with the import in place they replay as pure cache hits (its
+      // own stats window is reset first, and the loss workload's
+      // `sleep` calls never touch the cache).
+      try {
+        const std::size_t restarted = config.kills.front().replica;
+        serve::Client client;
+        client.connect(addresses[restarted].host,
+                       addresses[restarted].port, warm_timeout,
+                       warm_timeout);
+        serve::Json reset = serve::Json::object();
+        reset.set("op", serve::Json("reset_stats"));
+        const serve::CallResult r = client.call("cache", std::move(reset), 1);
+        UPA_REQUIRE(r.ok(), "cache reset_stats failed: " + r.error_message);
+        for (std::size_t k = 0; k < config.warm_points; ++k) {
+          const serve::CallResult point =
+              client.call("mmck_metrics", warm_point_params(k), k + 2);
+          UPA_REQUIRE(point.ok(), "post-run design point failed: " +
+                                      point.error_message);
+        }
+        serve::Json stats_params = serve::Json::object();
+        stats_params.set("op", serve::Json("stats"));
+        const serve::CallResult stats =
+            client.call("cache", std::move(stats_params),
+                        config.warm_points + 2);
+        UPA_REQUIRE(stats.ok(),
+                    "cache stats failed: " + stats.error_message);
+        const serve::Json* stats_result = stats.result();
+        const serve::Json* hits = stats_result != nullptr
+                                      ? stats_result->find("hits")
+                                      : nullptr;
+        UPA_REQUIRE(hits != nullptr, "cache stats response lacks hits");
+        result.warmed_hits =
+            static_cast<std::uint64_t>(hits->as_number());
+      } catch (const std::exception& e) {
+        warm_error = std::string("warm verification failed: ") + e.what();
+      }
+    }
+    result.warm_transfer_error = warm_error;
+    result.warm_transfer_ok = warm_error.empty() && result.warmed_hits > 0;
+  }
   result.front = front.stats();
   result.upstreams = front.upstreams();
   front.stop();

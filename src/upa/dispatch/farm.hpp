@@ -134,6 +134,17 @@ struct FarmExperimentConfig {
   /// loadgen issued must appear as exactly one root span whose attempt
   /// children match its `attempts` attribute, with zero drops).
   bool trace = false;
+  /// Warm-transfer mode: before the workload starts, a peer replica
+  /// outside the kill schedule is warmed with `warm_points` distinct
+  /// cacheable design-point evaluations; after every restart the fresh
+  /// process imports the peer's cache over the wire (`cache export` on
+  /// the peer, `cache import` on the restarted replica); after the
+  /// workload the same design points are re-issued to the restarted
+  /// replica and its hit count is recorded -- nonzero warmed_hits is
+  /// the warm-restart evidence (the kill-9 restart no longer pays the
+  /// cold cost for anything its peer had already solved).
+  bool warm_transfer = false;
+  std::size_t warm_points = 16;
 };
 
 struct FarmExperimentResult {
@@ -173,6 +184,16 @@ struct FarmExperimentResult {
   /// recorded child-span count.
   bool trace_accounted = false;
   std::string trace_accounting_error;  ///< first failed check; empty = ok
+
+  // Warm-transfer accounting, filled only when config.warm_transfer is
+  // set and the schedule has kills.
+  std::size_t warm_peer = 0;  ///< replica warmed before the run
+  std::uint64_t warm_points_computed = 0;  ///< peer pre-warm evaluations
+  std::uint64_t warm_export_records = 0;  ///< shipped per restart (last)
+  std::uint64_t warm_import_records = 0;  ///< seeded on restarts (total)
+  std::uint64_t warmed_hits = 0;  ///< post-run replays on the restarted
+  bool warm_transfer_ok = false;  ///< transfers ran and warmed_hits > 0
+  std::string warm_transfer_error;  ///< first failure; empty = ok
 };
 
 /// Runs the full experiment: spawn the farm, start the front, replay

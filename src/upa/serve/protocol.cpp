@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "upa/cache/eval_cache.hpp"
+#include "upa/cache/persist.hpp"
+#include "upa/cache/serialize.hpp"
 #include "upa/common/error.hpp"
 #include "upa/common/numeric.hpp"
 #include "upa/core/web_farm.hpp"
@@ -314,14 +316,37 @@ Json cache_stats_json() {
   out.set("inserts", Json(static_cast<double>(s.inserts)));
   out.set("evictions", Json(static_cast<double>(s.evictions)));
   out.set("hit_rate", Json(s.hit_rate()));
+  if (const cache::PersistentCache* p = cache::global_persistence()) {
+    const cache::PersistStats ps = p->stats();
+    Json persist = Json::object();
+    persist.set("directory", Json(p->directory()));
+    persist.set("segments_loaded",
+                Json(static_cast<double>(ps.segments_loaded)));
+    persist.set("segments_rejected",
+                Json(static_cast<double>(ps.segments_rejected)));
+    persist.set("records_replayed",
+                Json(static_cast<double>(ps.records_replayed)));
+    persist.set("records_skipped_crc",
+                Json(static_cast<double>(ps.records_skipped_crc)));
+    persist.set("records_skipped_decode",
+                Json(static_cast<double>(ps.records_skipped_decode)));
+    persist.set("records_appended",
+                Json(static_cast<double>(ps.records_appended)));
+    persist.set("write_errors",
+                Json(static_cast<double>(ps.write_errors)));
+    out.set("persist", std::move(persist));
+  }
   return out;
 }
 
 /// `cache` method: lets a long-lived server flush or re-enable the
 /// process-wide evaluation cache between reconfigurations without a
-/// restart. Every op returns the post-op stats snapshot.
+/// restart, and -- via export/import -- ship its contents to a peer as a
+/// hex-encoded segment blob (the farm's warm-transfer path). Every op
+/// returns the post-op stats snapshot.
 Json method_cache(const Json& params) {
   const std::string op = get_string(params, "op", "stats");
+  Json extra = Json::object();
   if (op == "clear") {
     cache::global().clear();
   } else if (op == "reset_stats") {
@@ -330,14 +355,47 @@ Json method_cache(const Json& params) {
     cache::set_enabled(true);
   } else if (op == "disable") {
     cache::set_enabled(false);
+  } else if (op == "export") {
+    cache::ExportStats ex;
+    const std::string blob =
+        cache::export_segment_blob(cache::global(), &ex);
+    extra.set("exported_records", Json(static_cast<double>(ex.records)));
+    extra.set("skipped_no_codec",
+              Json(static_cast<double>(ex.skipped_no_codec)));
+    extra.set("segment_hex", Json(cache::to_hex(blob)));
+  } else if (op == "import") {
+    const std::string hex = get_string(params, "segment_hex", "");
+    UPA_REQUIRE(!hex.empty(),
+                "param 'segment_hex' must be a non-empty hex string");
+    const std::string blob = cache::from_hex(hex);
+    cache::ImportStats im;
+    if (cache::PersistentCache* p = cache::global_persistence()) {
+      im = p->import_blob(blob);
+    } else {
+      im = cache::import_segment_blob(cache::global(), blob);
+    }
+    UPA_REQUIRE(!im.segment_rejected,
+                "segment rejected: format-version or solver-version tag "
+                "mismatch");
+    extra.set("imported_records",
+              Json(static_cast<double>(im.records_seeded)));
+    extra.set("duplicate_records",
+              Json(static_cast<double>(im.records_duplicate)));
+    extra.set("skipped_records",
+              Json(static_cast<double>(im.records_skipped)));
+    extra.set("appended_records",
+              Json(static_cast<double>(im.records_appended)));
   } else if (op != "stats") {
     throw common::ModelError(
-        "param 'op' must be stats, clear, reset_stats, enable, or disable, "
-        "got " +
+        "param 'op' must be stats, clear, reset_stats, enable, disable, "
+        "export, or import, got " +
         op);
   }
   Json out = cache_stats_json();
   out.set("op", Json(op));
+  for (const auto& [key, value] : extra.as_object()) {
+    out.set(key, value);
+  }
   return out;
 }
 

@@ -168,6 +168,56 @@ TEST(ServeDispatcher, CacheOnResponsesAreByteIdentical) {
   upa::cache::global().clear();
 }
 
+TEST(ServeDispatcher, CacheExportImportRoundTripOverRpc) {
+  // The farm's warm-transfer path end to end through the protocol: warm
+  // the cache, `cache export` it to a hex blob, wipe the cache (the
+  // restarted replica), `cache import` the blob back, and require the
+  // re-issued evaluation to be a pure hit with a byte-identical line.
+  const Dispatcher d;
+  const std::string request =
+      R"({"id": 1, "method": "mmck_metrics",)"
+      R"( "params": {"alpha": 173, "nu": 89, "servers": 3, "capacity": 11}})";
+
+  upa::cache::ScopedEnable on(true);
+  upa::cache::global().clear();
+  const std::string warm_line = d.dispatch_line(request);
+
+  const Json exported = parse_json(d.dispatch_line(
+      R"({"id": 2, "method": "cache", "params": {"op": "export"}})"));
+  ASSERT_TRUE(exported.find("ok")->as_bool()) << exported.dump();
+  const Json* result = exported.find("result");
+  EXPECT_GE(result->find("exported_records")->as_number(), 1.0);
+  const std::string hex = result->find("segment_hex")->as_string();
+  ASSERT_FALSE(hex.empty());
+
+  ASSERT_TRUE(parse_json(d.dispatch_line(
+                             R"({"id": 3, "method": "cache",)"
+                             R"( "params": {"op": "clear"}})"))
+                  .find("ok")
+                  ->as_bool());
+  EXPECT_EQ(upa::cache::global().size(), 0u);
+
+  const Json imported = parse_json(d.dispatch_line(
+      R"({"id": 4, "method": "cache", "params": {"op": "import",)"
+      R"( "segment_hex": ")" +
+      hex + R"("}})"));
+  ASSERT_TRUE(imported.find("ok")->as_bool()) << imported.dump();
+  EXPECT_GE(imported.find("result")->find("imported_records")->as_number(),
+            1.0);
+
+  upa::cache::global().reset_stats();
+  EXPECT_EQ(d.dispatch_line(request), warm_line);
+  EXPECT_GT(upa::cache::global().stats().hits, 0u);
+  EXPECT_EQ(upa::cache::global().stats().misses, 0u);
+
+  // A corrupt blob is a 400-class envelope, not a crash.
+  const Json bad = parse_json(d.dispatch_line(
+      R"({"id": 5, "method": "cache",)"
+      R"( "params": {"op": "import", "segment_hex": "zz"}})"));
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  upa::cache::global().clear();
+}
+
 // --- Server (loopback TCP) -----------------------------------------------
 
 ServerConfig loopback_config(std::size_t workers, std::size_t capacity) {

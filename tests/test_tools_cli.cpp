@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace {
@@ -98,6 +99,61 @@ TEST(ToolsCli, ValidOverridesAreAccepted) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("user-perceived availability"), std::string::npos);
   EXPECT_NE(r.output.find("evaluation cache"), std::string::npos);
+}
+
+// Everything except the run-dependent cache summary lines: the model
+// output must be byte-identical between a cold run and a warm-from-disk
+// re-run of the same command.
+std::string without_cache_lines(const std::string& output) {
+  std::string kept;
+  std::size_t start = 0;
+  while (start <= output.size()) {
+    const std::size_t end = output.find('\n', start);
+    const std::string line =
+        output.substr(start, end == std::string::npos ? end : end - start);
+    if (line.find("cache") == std::string::npos &&
+        line.find("hits /") == std::string::npos) {
+      kept += line;
+      kept += '\n';
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return kept;
+}
+
+TEST(ToolsCliPersist, InjectRerunWarmsFromDiskAndMatchesByteForByte) {
+  std::string dir = "/tmp/upa_cli_persist_XXXXXX";
+  ASSERT_NE(mkdtemp(dir.data()), nullptr);
+  const std::string command =
+      "inject --sessions 200 --reps 2 --cache-dir " + dir;
+
+  const RunResult cold = run_cli(command);
+  EXPECT_EQ(cold.exit_code, 0);
+  // First run found an empty directory and wrote the active segment.
+  EXPECT_NE(cold.output.find("0 records replayed"), std::string::npos);
+  EXPECT_EQ(cold.output.find("0 records appended"), std::string::npos);
+
+  const RunResult warm = run_cli(command);
+  EXPECT_EQ(warm.exit_code, 0);
+  // Second run pre-warmed from the segment: every stored value replays,
+  // nothing new is appended (the dedupe keeps the directory stable).
+  EXPECT_NE(warm.output.find("1 segments loaded"), std::string::npos);
+  EXPECT_EQ(warm.output.find("0 records replayed"), std::string::npos);
+  EXPECT_NE(warm.output.find("0 records appended"), std::string::npos);
+  // The replay contract, black-box: identical model output.
+  EXPECT_EQ(without_cache_lines(cold.output),
+            without_cache_lines(warm.output));
+
+  const RunResult cleanup = run_tool("rm", "-rf " + dir);
+  EXPECT_EQ(cleanup.exit_code, 0);
+}
+
+TEST(ToolsCliPersist, CacheDirWithCacheOffIsAnError) {
+  const RunResult r = run_cli("inject --cache off --cache-dir /tmp/nope");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--cache-dir requires --cache on"),
+            std::string::npos);
 }
 
 // --- Serve-layer tools share the same allowlist contract ----------------

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "upa/cache/eval_cache.hpp"
+#include "upa/cache/persist.hpp"
 #include "upa/cli/args.hpp"
 #include "upa/common/error.hpp"
 #include "upa/common/numeric.hpp"
@@ -400,6 +401,9 @@ inject options:
   --threads N        worker threads (0 = hardware, 1 = serial; results are
                      bit-for-bit identical at every setting)
   --horizon H  --sessions N  --reps K  --seed S  --csv PATH
+  --cache-dir DIR    persistent cache tier (inject and trace): pre-warm
+                     from DIR's segments, write-behind new results, and
+                     print a persistence summary; implies --cache on
 
 trace options (plus --horizon --sessions --reps --seed --think --retries
 --backoff --timeout-ms --threads as for inject):
@@ -438,6 +442,24 @@ bool apply_cache_flag(const upa::cli::Args& args) {
   throw upa::common::ModelError("--cache must be on or off, got " + mode);
 }
 
+/// Applies --cache-dir DIR (inject/trace): attaches the persistent tier
+/// to the global cache and turns caching on (a disk tier with the cache
+/// off would never be read). Returns true when persistence is active,
+/// so main prints the persistence exit summary.
+bool apply_cache_dir_flag(const upa::cli::Args& args) {
+  if (!args.has("cache-dir")) return false;
+  const std::string dir = args.get("cache-dir", "");
+  if (dir.empty()) {
+    throw upa::common::ModelError("--cache-dir needs a directory path");
+  }
+  if (args.get("cache", "on") == "off") {
+    throw upa::common::ModelError("--cache-dir requires --cache on");
+  }
+  upa::cache::set_enabled(true);
+  upa::cache::attach_global_persistence(dir);
+  return true;
+}
+
 /// Each subcommand's option vocabulary, used with cli::unknown_options
 /// to reject a typo'd flag BEFORE the command runs. Args marks options
 /// used lazily as commands read them, so an after-the-fact `unused()`
@@ -472,12 +494,12 @@ std::vector<std::string> allowed_options_for(const std::string& command) {
     extend(kModel);
     extend(kSim);
     extend({"class", "backoff-mult", "abandon", "target", "outage-start",
-            "outage-hours", "csv"});
+            "outage-hours", "csv", "cache-dir"});
   } else if (command == "trace") {
     extend(kModel);
     extend(kSim);
     extend({"class", "trace-level", "trace-out", "spans-out",
-            "metrics-out", "metrics-jsonl"});
+            "metrics-out", "metrics-jsonl", "cache-dir"});
   }
   return allowed;  // help / no command: only --cache
 }
@@ -492,6 +514,17 @@ void print_cache_summary() {
     std::cout << "  " << solver << ": " << stats.hits << " hits / "
               << stats.misses << " misses\n";
   }
+}
+
+void print_persist_summary() {
+  const upa::cache::PersistentCache* p = upa::cache::global_persistence();
+  if (p == nullptr) return;
+  const upa::cache::PersistStats s = p->stats();
+  std::cout << "cache persistence (" << p->directory()
+            << "): " << s.segments_loaded << " segments loaded, "
+            << s.records_replayed << " records replayed, "
+            << s.records_appended << " records appended, "
+            << s.records_skipped_crc << " crc-skipped\n";
 }
 
 }  // namespace
@@ -521,6 +554,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     const bool cache_on = apply_cache_flag(args);
+    const bool persist_on = apply_cache_dir_flag(args);
     int status = 0;
     if (args.command().empty() || args.command() == "help") {
       status = cmd_help();
@@ -539,7 +573,8 @@ int main(int argc, char** argv) {
     } else if (args.command() == "trace") {
       status = cmd_trace(args);
     }
-    if (cache_on) print_cache_summary();
+    if (cache_on || persist_on) print_cache_summary();
+    if (persist_on) print_persist_summary();
     return status;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -92,6 +92,10 @@ void print_usage(std::ostream& os) {
         "                       (default 6.0)\n"
         "  --probe-interval S   health probe period    (default 0.25)\n"
         "  --unhealthy-threshold N  probe failures to eject (default 1)\n"
+        "  --warm-transfer      warm each restarted replica from a live\n"
+        "                       peer's cache (cache export / import over\n"
+        "                       the wire) and verify the replayed hits\n"
+        "  --warm-points N      design points in the warm set (default 16)\n"
         "  (farm overrides: --lambda 20, --nu 10, --requests 500,\n"
         "   --call-timeout 5 -- slow services keep scheduler overhead\n"
         "   negligible against the modeled service time)\n"
@@ -340,6 +344,8 @@ int run_farm(const upa::cli::Args& args) {
   const std::string out = args.get("out", "BENCH_farm.json");
   const std::string trace_csv = args.get("trace-csv", "");
   config.trace = args.has("trace") || !trace_csv.empty();
+  config.warm_transfer = args.has("warm-transfer");
+  config.warm_points = args.get_size("warm-points", 16);
 
   // The kill schedule goes through an inject::FaultPlan -- the same
   // scripted-outage machinery the simulation campaigns replay -- with
@@ -364,6 +370,17 @@ int run_farm(const upa::cli::Args& args) {
               << (r.trace_accounted ? " [accounted]"
                                     : " [UNACCOUNTED: " +
                                           r.trace_accounting_error + "]")
+              << "\n";
+  }
+  if (config.warm_transfer) {
+    std::cout << "warm transfer: peer=" << r.warm_peer
+              << " points=" << r.warm_points_computed
+              << " exported=" << r.warm_export_records
+              << " imported=" << r.warm_import_records
+              << " warmed_hits=" << r.warmed_hits
+              << (r.warm_transfer_ok
+                      ? " [warm]"
+                      : " [COLD: " + r.warm_transfer_error + "]")
               << "\n";
   }
   std::cout << "farm: replicas=" << config.replicas
@@ -422,7 +439,13 @@ int run_farm(const upa::cli::Args& args) {
        {"front_failovers", static_cast<double>(r.front.failovers)},
        {"front_retries_exhausted",
         static_cast<double>(r.front.retries_exhausted)},
-       {"wall_seconds", r.loss.wall_seconds}});
+       {"wall_seconds", r.loss.wall_seconds},
+       {"warm_transfer", config.warm_transfer ? 1.0 : 0.0},
+       {"warm_peer", static_cast<double>(r.warm_peer)},
+       {"warm_export_records", static_cast<double>(r.warm_export_records)},
+       {"warm_import_records", static_cast<double>(r.warm_import_records)},
+       {"warmed_hits", static_cast<double>(r.warmed_hits)},
+       {"warm_transfer_ok", r.warm_transfer_ok ? 1.0 : 0.0}});
   std::cout << "wrote " << out << std::endl;
 
   // Budgeted retries must fully mask the kill: any client-visible
@@ -437,6 +460,13 @@ int run_farm(const upa::cli::Args& args) {
   if (config.trace && !r.trace_accounted) {
     std::cerr << "farm: trace accounting failed: "
               << r.trace_accounting_error << "\n";
+    return 1;
+  }
+  // Warm-transfer runs gate on the restart actually replaying imported
+  // results: zero warmed hits means the restart came back cold.
+  if (config.warm_transfer && !r.warm_transfer_ok) {
+    std::cerr << "farm: warm transfer failed: " << r.warm_transfer_error
+              << "\n";
     return 1;
   }
   return r.within_tolerance ? 0 : 1;
@@ -465,7 +495,8 @@ std::vector<std::string> allowed_for_mode(const std::string& mode) {
             "replica-capacity", "policy", "retries", "lambda", "nu",
             "requests", "call-timeout", "probe-interval",
             "unhealthy-threshold", "kills", "kill-at", "kill-for",
-            "kill-every", "out", "trace", "trace-csv"});
+            "kill-every", "out", "trace", "trace-csv", "warm-transfer",
+            "warm-points"});
   }
   return allowed;
 }

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "upa/cache/eval_cache.hpp"
+#include "upa/cache/persist.hpp"
 #include "upa/cli/args.hpp"
 #include "upa/common/error.hpp"
 #include "upa/obs/observer.hpp"
@@ -43,6 +44,9 @@ void print_usage(std::ostream& os) {
         "                     0 = off (default 0)\n"
         "  --read-timeout S   idle keep-alive recv timeout (default 10)\n"
         "  --cache MODE       evaluation cache: on | off (default on)\n"
+        "  --cache-dir DIR    persistent cache tier: pre-warm from DIR's\n"
+        "                     segments at startup and write-behind new\n"
+        "                     results there (requires --cache on)\n"
         "  --trace            record per-request server-side spans\n"
         "                     (serve_request + admission/queue/handler/\n"
         "                     serialize phases) for the subscribe stream\n"
@@ -57,9 +61,9 @@ void print_usage(std::ostream& os) {
 }
 
 const std::vector<std::string> kAllowedOptions = {
-    "bind",        "port",         "workers", "capacity",
-    "deadline-ms", "read-timeout", "cache",   "trace",
-    "process",
+    "bind",        "port",         "workers",   "capacity",
+    "deadline-ms", "read-timeout", "cache",     "cache-dir",
+    "trace",       "process",
 };
 
 }  // namespace
@@ -102,8 +106,14 @@ int main(int argc, char** argv) {
     const std::string cache_mode = args.get("cache", "on");
     UPA_REQUIRE(cache_mode == "on" || cache_mode == "off",
                 "--cache must be 'on' or 'off'");
+    const std::string cache_dir = args.get("cache-dir", "");
+    UPA_REQUIRE(cache_dir.empty() || cache_mode == "on",
+                "--cache-dir requires --cache on");
 
     cache::set_enabled(cache_mode == "on");
+    if (!cache_dir.empty()) {
+      cache::attach_global_persistence(cache_dir);
+    }
     obs::Observer observer;
     config.obs = &observer;
 
@@ -139,6 +149,14 @@ int main(int argc, char** argv) {
     if (cs.lookups() > 0) {
       std::cout << "cache: lookups=" << cs.lookups() << " hits=" << cs.hits
                 << " hit_rate=" << cs.hit_rate() << std::endl;
+    }
+    if (const cache::PersistentCache* p = cache::global_persistence()) {
+      const cache::PersistStats ps = p->stats();
+      std::cout << "cache persistence: segments_loaded="
+                << ps.segments_loaded << " records_replayed="
+                << ps.records_replayed << " records_appended="
+                << ps.records_appended << " crc_skipped="
+                << ps.records_skipped_crc << std::endl;
     }
     return 0;
   } catch (const std::exception& e) {
