@@ -1,0 +1,124 @@
+#include "upa/cache/compact.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <system_error>
+#include <unordered_set>
+
+#include "upa/cache/index.hpp"
+#include "upa/cache/segment.hpp"
+#include "upa/cache/serialize.hpp"
+#include "upa/common/error.hpp"
+
+namespace upa::cache {
+
+namespace fs = std::filesystem;
+
+CompactionStats compact_segments(
+    const std::vector<std::string>& segment_paths,
+    const std::string& output_path, const CompactionOptions& options) {
+  CompactionStats stats;
+  if (segment_paths.empty()) return stats;
+  stats.performed = true;
+  stats.output_path = output_path;
+
+  const std::string tmp = output_path + ".tmp";
+  std::vector<std::string> rejected;
+  {
+    SegmentFile out(tmp);  // throws when the directory is unwritable
+    std::unordered_set<std::string> seen;
+    for (const std::string& path : segment_paths) {
+      ++stats.segments_in;
+      const MappedFile file(path);
+      stats.bytes_in += file.size();
+      SegmentLoadStats file_stats;
+      const bool accepted = load_segment_mapped(
+          file, file_stats, [&](SegmentRecord&& record) {
+            if (options.gc &&
+                codec_for_tag(record.type_tag) == nullptr) {
+              ++stats.records_dropped_unknown_tag;
+              return;
+            }
+            if (!seen.insert(record.key_bytes).second) {
+              ++stats.records_dropped_duplicate;
+              return;
+            }
+            out.append(record);
+            ++stats.records_kept;
+          });
+      stats.records_in +=
+          file_stats.records_loaded + file_stats.records_skipped_crc;
+      stats.records_dropped_crc += file_stats.records_skipped_crc;
+      if (!accepted) {
+        ++stats.segments_rejected;
+        rejected.push_back(path);
+      }
+    }
+  }  // seal the output before the rename
+
+  std::error_code ec;
+  UPA_REQUIRE(std::rename(tmp.c_str(), output_path.c_str()) == 0,
+              "cannot move compacted segment into place at '" +
+                  output_path + "'");
+  stats.bytes_out = fs::file_size(output_path, ec);
+  if (ec) stats.bytes_out = 0;
+
+  // Index the merged segment now so the next attach is O(index load).
+  {
+    const MappedFile merged(output_path);
+    (void)load_or_build_index(output_path, merged);
+  }
+
+  if (!options.keep_inputs) {
+    for (const std::string& path : segment_paths) {
+      // A rejected (wrong-generation) input is only deleted under GC;
+      // plain compaction leaves it for a build that can still read it.
+      const bool was_rejected =
+          std::find(rejected.begin(), rejected.end(), path) !=
+          rejected.end();
+      if (was_rejected && !options.gc) continue;
+      if (fs::remove(path, ec)) ++stats.segments_removed;
+      fs::remove(index_path_for(path), ec);  // sidecar, best-effort
+    }
+  }
+  return stats;
+}
+
+CompactionStats compact_directory(const std::string& directory,
+                                  const CompactionOptions& options) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& path = it->path();
+    if (path.extension() == kSegmentExtension) {
+      paths.push_back(path.string());
+    }
+  }
+  UPA_REQUIRE(!ec, "cannot list cache directory '" + directory +
+                       "': " + ec.message());
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) return CompactionStats{};
+  return compact_segments(paths, next_compact_path(directory), options);
+}
+
+std::string next_compact_path(const std::string& directory) {
+  unsigned next = 1;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (!name.starts_with("compact-")) continue;
+    const unsigned n =
+        static_cast<unsigned>(std::atoi(name.c_str() + 8));
+    if (n >= next) next = n + 1;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%06u", next);
+  return directory + "/compact-" + buf +
+         std::string(kSegmentExtension);
+}
+
+}  // namespace upa::cache

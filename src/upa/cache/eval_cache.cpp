@@ -135,18 +135,28 @@ void EvalCache::abandon_insert(Shard& shard, const std::string& bytes) {
   shard.entries.erase(bytes);
 }
 
-void EvalCache::record_lookup(const std::string& solver_id, bool hit,
+void EvalCache::count_shard_outcome(Shard& shard, Outcome outcome) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  switch (outcome) {
+    case Outcome::kHit: ++shard.stats.hits; break;
+    case Outcome::kDiskHit: ++shard.stats.disk_hits; break;
+    case Outcome::kMiss: ++shard.stats.misses; break;
+  }
+}
+
+void EvalCache::record_lookup(const std::string& solver_id, Outcome outcome,
                               obs::Observer* ob) {
   {
     std::lock_guard<std::mutex> lock(solver_mutex_);
     CacheStats& s = solver_stats_[solver_id];
-    if (hit) {
-      ++s.hits;
-    } else {
-      ++s.misses;
+    switch (outcome) {
+      case Outcome::kHit: ++s.hits; break;
+      case Outcome::kDiskHit: ++s.disk_hits; break;
+      case Outcome::kMiss: ++s.misses; break;
     }
   }
   if (ob != nullptr) {
+    const bool hit = outcome != Outcome::kMiss;
     ob->metrics.counter(hit ? "cache.hits" : "cache.misses").add();
     ob->metrics
         .counter("cache." + solver_id + (hit ? ".hits" : ".misses"))
@@ -211,6 +221,7 @@ CacheStats EvalCache::stats() const {
   CacheStats total;
   for (const Shard& shard : shards_) {
     total.hits += shard.stats.hits;
+    total.disk_hits += shard.stats.disk_hits;
     total.misses += shard.stats.misses;
     total.inserts += shard.stats.inserts;
     total.evictions += shard.stats.evictions;
@@ -242,6 +253,8 @@ std::size_t EvalCache::size() const {
 void EvalCache::publish_metrics(obs::MetricsRegistry& metrics) const {
   const CacheStats total = stats();
   metrics.gauge("cache.hits").set(static_cast<double>(total.hits));
+  metrics.gauge("cache.disk_hits")
+      .set(static_cast<double>(total.disk_hits));
   metrics.gauge("cache.misses").set(static_cast<double>(total.misses));
   metrics.gauge("cache.inserts").set(static_cast<double>(total.inserts));
   metrics.gauge("cache.evictions").set(static_cast<double>(total.evictions));

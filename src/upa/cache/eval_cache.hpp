@@ -114,19 +114,38 @@ class CacheSink {
   virtual void on_insert(const CacheKey& key, const StoredValue& value) = 0;
 };
 
+/// Read-through second tier consulted on a miss BEFORE the compute runs
+/// (the persistent tier's lazy DiskTier implements this). Called outside
+/// any shard lock while the in-flight entry is already published, so at
+/// most one thread per distinct key ever reads the disk. Implementations
+/// must be thread-safe and must not re-enter the cache; a throwing
+/// lookup is treated as "not found" (an unreadable disk tier costs a
+/// recompute, never the workload).
+class CacheSource {
+ public:
+  virtual ~CacheSource() = default;
+  /// Returns true and fills `out` when the key is stored in the tier.
+  virtual bool lookup(const CacheKey& key, StoredValue* out) = 0;
+};
+
 /// Aggregate lookup statistics (whole cache or one solver id).
 struct CacheStats {
   std::uint64_t hits = 0;
+  std::uint64_t disk_hits = 0;  ///< fulfilled by the CacheSource tier
   std::uint64_t misses = 0;
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
 
   [[nodiscard]] std::uint64_t lookups() const noexcept {
-    return hits + misses;
+    return hits + disk_hits + misses;
   }
+  /// Disk fulfillments count as hits: the caller asked for a stored
+  /// value and got one without recomputing, wherever it lived.
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t n = lookups();
-    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+    return n == 0 ? 0.0
+                  : static_cast<double>(hits + disk_hits) /
+                        static_cast<double>(n);
   }
 };
 
@@ -167,29 +186,55 @@ class EvalCache {
     Shard& shard = shard_for(key);
     StoredFuture future;
     std::promise<Stored> promise;
-    bool miss = false;
+    bool fresh = false;
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       auto it = shard.entries.find(key.bytes);
       if (it == shard.entries.end()) {
-        miss = true;
+        fresh = true;
         future = promise.get_future().share();
         shard.entries.emplace(key.bytes, Entry{future});
-        ++shard.stats.misses;
       } else {
         future = it->second.future;
         ++shard.stats.hits;
       }
     }
-    record_lookup(key.solver_id, !miss, ob);
-    span.attr("hit", miss ? 0.0 : 1.0);
-
-    if (!miss) {
+    if (!fresh) {
+      record_lookup(key.solver_id, Outcome::kHit, ob);
+      span.attr("hit", 1.0);
       const Stored stored = future.get();  // may rethrow the first miss
       UPA_ASSERT(*stored.type == typeid(T));
       return std::static_pointer_cast<const T>(stored.value);
     }
 
+    // Fresh key: consult the disk tier (when attached) before paying for
+    // the compute. The in-flight entry is already published, so every
+    // concurrent caller waits on this thread's future -- exactly one
+    // disk read OR compute per distinct key, never both per caller.
+    if (CacheSource* source = source_.load(std::memory_order_acquire)) {
+      Stored from_disk;
+      bool found = false;
+      try {
+        found = source->lookup(key, &from_disk);
+      } catch (...) {
+        found = false;  // unreadable tier: fall through to the compute
+      }
+      if (found && from_disk.value != nullptr && from_disk.type != nullptr &&
+          *from_disk.type == typeid(T)) {
+        promise.set_value(from_disk);
+        complete_insert(shard, key.bytes);
+        count_shard_outcome(shard, Outcome::kDiskHit);
+        record_lookup(key.solver_id, Outcome::kDiskHit, ob);
+        span.attr("hit", 1.0);
+        // No sink: the value came FROM persistence; re-appending it
+        // would grow the directory on every warm replay.
+        return std::static_pointer_cast<const T>(from_disk.value);
+      }
+    }
+
+    count_shard_outcome(shard, Outcome::kMiss);
+    record_lookup(key.solver_id, Outcome::kMiss, ob);
+    span.attr("hit", 0.0);
     try {
       auto value = std::make_shared<const T>(compute());
       promise.set_value(Stored{value, &typeid(T)});
@@ -229,6 +274,12 @@ class EvalCache {
     sink_.store(sink, std::memory_order_release);
   }
 
+  /// Installs (or clears, with nullptr) the read-through miss source.
+  /// Same lifetime contract as the sink.
+  void set_source(CacheSource* source) noexcept {
+    source_.store(source, std::memory_order_release);
+  }
+
   /// Whole-cache statistics (sums over shards).
   [[nodiscard]] CacheStats stats() const;
 
@@ -261,6 +312,8 @@ class EvalCache {
   using Stored = StoredValue;
   using StoredFuture = std::shared_future<Stored>;
 
+  enum class Outcome { kHit, kDiskHit, kMiss };
+
   struct Entry {
     StoredFuture future;
   };
@@ -280,12 +333,14 @@ class EvalCache {
   }
   void complete_insert(Shard& shard, const std::string& bytes);
   void abandon_insert(Shard& shard, const std::string& bytes);
-  void record_lookup(const std::string& solver_id, bool hit,
+  void count_shard_outcome(Shard& shard, Outcome outcome);
+  void record_lookup(const std::string& solver_id, Outcome outcome,
                      obs::Observer* ob);
 
   std::size_t max_entries_per_shard_;
   std::vector<Shard> shards_;
   std::atomic<CacheSink*> sink_{nullptr};
+  std::atomic<CacheSource*> source_{nullptr};
 
   mutable std::mutex solver_mutex_;
   std::map<std::string, CacheStats> solver_stats_;  // guarded by solver_mutex_

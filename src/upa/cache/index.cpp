@@ -1,0 +1,299 @@
+#include "upa/cache/index.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "upa/cache/eval_cache.hpp"
+#include "upa/cache/serialize.hpp"
+
+namespace upa::cache {
+
+namespace {
+
+std::uint32_t read_u32_at(std::string_view bytes, std::size_t at) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint32_t value;
+    std::memcpy(&value, bytes.data() + at, sizeof value);
+    return value;
+  }
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(
+                               bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+std::uint64_t read_u64_at(std::string_view bytes, std::size_t at) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t value;
+    std::memcpy(&value, bytes.data() + at, sizeof value);
+    return value;
+  }
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(
+                               bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+/// Validates the segment header through read_at and returns the offset
+/// where record frames begin. False on magic/version/tag mismatch.
+bool segment_body_start(const MappedFile& segment, std::uint64_t* start) {
+  const std::size_t fixed = kSegmentMagic.size() + 8;
+  std::string head;
+  if (!segment.ok() || segment.size() < fixed ||
+      !segment.read_at(0, fixed, &head) ||
+      std::string_view(head).substr(0, kSegmentMagic.size()) !=
+          kSegmentMagic) {
+    return false;
+  }
+  const std::uint32_t version = read_u32_at(head, kSegmentMagic.size());
+  const std::uint32_t tag_length =
+      read_u32_at(head, kSegmentMagic.size() + 4);
+  std::string tag;
+  if (version != kSegmentFormatVersion ||
+      tag_length > segment.size() - fixed ||
+      !segment.read_at(fixed, tag_length, &tag) ||
+      tag != kSolverVersionTag) {
+    return false;
+  }
+  *start = fixed + tag_length;
+  return true;
+}
+
+}  // namespace
+
+std::string index_path_for(const std::string& segment_path) {
+  if (segment_path.size() > kSegmentExtension.size() &&
+      segment_path.ends_with(kSegmentExtension)) {
+    return segment_path.substr(0,
+                               segment_path.size() -
+                                   kSegmentExtension.size()) +
+           std::string(kIndexExtension);
+  }
+  return segment_path + std::string(kIndexExtension);
+}
+
+bool segment_crc_chain(const MappedFile& segment, std::uint64_t* size,
+                       std::uint32_t* chain) {
+  std::uint64_t at = 0;
+  if (!segment_body_start(segment, &at)) return false;
+  // The chain feeds each complete frame's stored payload-CRC word (as
+  // its 4 little-endian bytes) into one CRC-32 -- headers only, so the
+  // walk costs 8 bytes per record, never a value decode.
+  std::string crc_words;
+  while (at < segment.size() && segment.size() - at >= 8) {
+    char frame[8];
+    if (!segment.read_at(at, frame, 8)) break;
+    const std::string_view frame_view(frame, 8);
+    const std::uint32_t length = read_u32_at(frame_view, 0);
+    if (segment.size() - at - 8 < length) break;  // torn tail
+    crc_words.append(frame + 4, 4);
+    at += 8 + length;
+  }
+  *size = segment.size();
+  *chain = crc32(crc_words);
+  return true;
+}
+
+SegmentIndex build_index(const MappedFile& segment,
+                         SegmentLoadStats& stats) {
+  SegmentIndex index;
+  std::uint64_t at = 0;
+  if (!segment_body_start(segment, &at)) {
+    ++stats.segments_rejected;
+    return index;
+  }
+  index.segment_size = segment.size();
+  std::string crc_words;
+  std::string payload;
+  while (at < segment.size()) {
+    char frame[8];
+    if (segment.size() - at < 8 || !segment.read_at(at, frame, 8)) {
+      stats.torn_tail_bytes += segment.size() - at;
+      break;
+    }
+    const std::string_view frame_view(frame, 8);
+    const std::uint32_t length = read_u32_at(frame_view, 0);
+    const std::uint32_t expected_crc = read_u32_at(frame_view, 4);
+    if (segment.size() - at - 8 < length ||
+        !segment.read_at(at + 8, length, &payload)) {
+      stats.torn_tail_bytes += segment.size() - at;
+      break;
+    }
+    const std::uint64_t offset = at;
+    at += 8 + length;
+    crc_words.append(frame + 4, 4);
+    if (crc32(payload) != expected_crc) {
+      ++stats.records_skipped_crc;
+      continue;
+    }
+    SegmentRecord record;
+    if (!parse_record_payload(payload, &record)) {
+      ++stats.records_skipped_crc;
+      continue;
+    }
+    ++stats.records_loaded;
+    index.entries.push_back(
+        IndexEntry{key_digest(record.key_bytes), offset});
+  }
+  ++stats.segments_loaded;
+  index.segment_crc_chain = crc32(crc_words);
+  std::sort(index.entries.begin(), index.entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return a.digest != b.digest ? a.digest < b.digest
+                                          : a.offset < b.offset;
+            });
+  return index;
+}
+
+std::string encode_index(const SegmentIndex& index) {
+  std::string out(kIndexMagic);
+  ByteWriter head;
+  head.put_u32(kIndexFormatVersion);
+  head.put_u32(static_cast<std::uint32_t>(kSolverVersionTag.size()));
+  out += std::move(head).take();
+  out += kSolverVersionTag;
+  ByteWriter body;
+  body.put_u64(index.segment_size);
+  body.put_u32(index.segment_crc_chain);
+  body.put_u64(static_cast<std::uint64_t>(index.entries.size()));
+  for (const IndexEntry& entry : index.entries) {
+    body.put_u64(entry.digest);
+    body.put_u64(entry.offset);
+  }
+  out += std::move(body).take();
+  ByteWriter crc;
+  crc.put_u32(crc32(out));
+  out += std::move(crc).take();
+  return out;
+}
+
+bool decode_index(std::string_view bytes, SegmentIndex* out) {
+  const std::size_t fixed = kIndexMagic.size() + 8;
+  if (bytes.size() < fixed + 4 ||
+      bytes.substr(0, kIndexMagic.size()) != kIndexMagic) {
+    return false;
+  }
+  // Trailing CRC covers everything before it; check first so any other
+  // field read below is known-intact.
+  const std::size_t crc_at = bytes.size() - 4;
+  if (crc32(bytes.substr(0, crc_at)) != read_u32_at(bytes, crc_at)) {
+    return false;
+  }
+  const std::uint32_t version = read_u32_at(bytes, kIndexMagic.size());
+  const std::uint32_t tag_length = read_u32_at(bytes, kIndexMagic.size() + 4);
+  if (version != kIndexFormatVersion || tag_length > crc_at - fixed ||
+      bytes.substr(fixed, tag_length) != kSolverVersionTag) {
+    return false;
+  }
+  std::size_t at = fixed + tag_length;
+  if (crc_at - at < 8 + 4 + 8) return false;
+  SegmentIndex index;
+  index.segment_size = read_u64_at(bytes, at);
+  index.segment_crc_chain = read_u32_at(bytes, at + 8);
+  const std::uint64_t count = read_u64_at(bytes, at + 12);
+  at += 20;
+  if (crc_at - at != count * 16) return false;
+  index.entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    index.entries.push_back(IndexEntry{read_u64_at(bytes, at),
+                                       read_u64_at(bytes, at + 8)});
+    at += 16;
+  }
+  *out = std::move(index);
+  return true;
+}
+
+IndexLoadResult load_or_build_index(const std::string& segment_path,
+                                    const MappedFile& segment) {
+  IndexLoadResult result;
+  std::uint64_t segment_size = 0;
+  std::uint32_t chain = 0;
+  if (!segment_crc_chain(segment, &segment_size, &chain)) {
+    return result;  // segment header invalid: nothing to index
+  }
+  result.segment_ok = true;
+
+  const std::string index_path = index_path_for(segment_path);
+  {
+    const MappedFile file(index_path);
+    if (file.ok()) {
+      std::string fallback;
+      std::string_view bytes = file.view();
+      if (!file.mapped() && file.size() > 0 &&
+          file.read_at(0, static_cast<std::size_t>(file.size()),
+                       &fallback)) {
+        bytes = fallback;
+      }
+      SegmentIndex parsed;
+      if (decode_index(bytes, &parsed) &&
+          parsed.segment_size == segment_size &&
+          parsed.segment_crc_chain == chain) {
+        result.loaded = true;
+        result.index = std::move(parsed);
+        return result;
+      }
+    }
+  }
+
+  // Missing, stale, or corrupt: full-scan rebuild, then atomic rewrite
+  // so a crash mid-write can never leave a half index (the old one, if
+  // any, survives until the rename).
+  result.index = build_index(segment, result.scan);
+  result.rebuilt = true;
+  const std::string encoded = encode_index(result.index);
+  const std::string tmp = index_path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file != nullptr) {
+    const bool ok =
+        std::fwrite(encoded.data(), 1, encoded.size(), file) ==
+            encoded.size() &&
+        std::fflush(file) == 0;
+    std::fclose(file);
+    if (ok && std::rename(tmp.c_str(), index_path.c_str()) == 0) {
+      result.written = true;
+    } else {
+      std::remove(tmp.c_str());
+    }
+  }
+  return result;
+}
+
+bool read_record_at(const MappedFile& segment, std::uint64_t offset,
+                    SegmentRecord* out) {
+  char frame[8];
+  if (!segment.ok() || segment.size() < offset ||
+      segment.size() - offset < 8 || !segment.read_at(offset, frame, 8)) {
+    return false;
+  }
+  const std::string_view frame_view(frame, 8);
+  const std::uint32_t length = read_u32_at(frame_view, 0);
+  const std::uint32_t expected_crc = read_u32_at(frame_view, 4);
+  if (segment.size() - offset - 8 < length) return false;
+  std::string payload;
+  if (!segment.read_at(offset + 8, length, &payload) ||
+      crc32(payload) != expected_crc) {
+    return false;
+  }
+  return parse_record_payload(payload, out);
+}
+
+std::vector<std::uint64_t> offsets_for_digest(
+    const std::vector<IndexEntry>& entries, std::uint64_t digest) {
+  const auto [first, last] = std::equal_range(
+      entries.begin(), entries.end(), IndexEntry{digest, 0},
+      [](const IndexEntry& a, const IndexEntry& b) {
+        return a.digest < b.digest;
+      });
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(last - first));
+  for (auto it = first; it != last; ++it) offsets.push_back(it->offset);
+  return offsets;
+}
+
+}  // namespace upa::cache

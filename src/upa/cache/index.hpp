@@ -1,0 +1,114 @@
+#pragma once
+// Per-segment on-disk key index: the attach-time fast path of the
+// persistent tier. A segment's `*.upaidx` sidecar holds a sorted
+// (key-digest, record-offset) table, so attaching a directory is
+// O(load the indexes) instead of O(decode every value) -- values stay
+// on disk and are decoded lazily on first lookup.
+//
+// Layout (all integers little-endian):
+//
+//   +--------------------------------------------------------------+
+//   | header                                                       |
+//   |   magic              8 bytes  "UPACIDX1"                     |
+//   |   format_version     u32                                     |
+//   |   tag_length         u32                                     |
+//   |   tag                bytes    solver-version tag             |
+//   |   segment_size       u64      byte size of the segment file  |
+//   |   segment_crc_chain  u32      CRC-32 over the segment's      |
+//   |                               per-record CRC words, in order |
+//   |   record_count       u64                                     |
+//   +--------------------------------------------------------------+
+//   | entry (repeated, sorted by (digest, offset))                 |
+//   |   key_digest         u64      FNV-1a 64 of the key bytes     |
+//   |   record_offset      u64      frame start within the segment |
+//   +--------------------------------------------------------------+
+//   | index_crc            u32      CRC-32 of everything above     |
+//   +--------------------------------------------------------------+
+//
+// Staleness: the index embeds the segment's byte size and a CRC chain
+// computed by walking only the segment's frame HEADERS (each record's
+// stored payload CRC word feeds the chain, so the walk never decodes a
+// value). An appended, truncated, or rewritten segment changes size or
+// chain; either mismatch -- or a failed magic/version/tag/index_crc
+// check -- marks the index stale and triggers a full-scan rebuild. A
+// stale index can therefore delay a lookup (rebuild) but never serve a
+// wrong or vanished record.
+//
+// Offsets index only CRC-valid, structurally valid records; a record
+// the segment loader would skip is equally invisible here. Duplicate
+// keys keep every offset -- lookups resolve ties lowest-offset-first,
+// matching the loader's first-wins replay order within a segment.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "upa/cache/segment.hpp"
+
+namespace upa::cache {
+
+inline constexpr std::string_view kIndexMagic = "UPACIDX1";
+inline constexpr std::uint32_t kIndexFormatVersion = 1;
+inline constexpr std::string_view kIndexExtension = ".upaidx";
+
+/// `<segment stem>.upaidx` next to the segment file.
+[[nodiscard]] std::string index_path_for(const std::string& segment_path);
+
+struct IndexEntry {
+  std::uint64_t digest = 0;
+  std::uint64_t offset = 0;
+};
+
+struct SegmentIndex {
+  std::uint64_t segment_size = 0;
+  std::uint32_t segment_crc_chain = 0;
+  /// Sorted by (digest, offset).
+  std::vector<IndexEntry> entries;
+};
+
+/// Walks the segment's frame headers (no value decode) and returns the
+/// CRC chain + the validated byte size covered by complete frames.
+/// False when the segment header itself is invalid.
+bool segment_crc_chain(const MappedFile& segment, std::uint64_t* size,
+                       std::uint32_t* chain);
+
+/// Builds an index by fully scanning the segment (the slow path an
+/// attach pays exactly once per segment, then never again). CRC-bad and
+/// undecodable records are counted in `stats` and left out.
+[[nodiscard]] SegmentIndex build_index(const MappedFile& segment,
+                                       SegmentLoadStats& stats);
+
+[[nodiscard]] std::string encode_index(const SegmentIndex& index);
+
+/// Strict decode: magic, version, tag, and trailing CRC must all match.
+bool decode_index(std::string_view bytes, SegmentIndex* out);
+
+struct IndexLoadResult {
+  bool segment_ok = false;  ///< the segment header itself was valid
+  bool loaded = false;      ///< a fresh index file was read and used
+  bool rebuilt = false;     ///< index was rebuilt by scanning the segment
+  bool written = false;     ///< the rebuilt index was persisted
+  SegmentIndex index;
+  SegmentLoadStats scan;    ///< populated only when rebuilt
+};
+
+/// Loads `<segment>.upaidx` when present, fresh (size + CRC chain match
+/// the segment), and internally valid; otherwise rebuilds from a full
+/// scan and atomically rewrites the sidecar (write-temp + rename). An
+/// unwritable directory keeps the rebuilt index in memory (`written`
+/// stays false) -- the tier still works, it just rescans next attach.
+[[nodiscard]] IndexLoadResult load_or_build_index(
+    const std::string& segment_path, const MappedFile& segment);
+
+/// Reads and CRC-checks the record framed at `offset` (an offset the
+/// index returned). False on any torn/corrupt/out-of-range frame.
+bool read_record_at(const MappedFile& segment, std::uint64_t offset,
+                    SegmentRecord* out);
+
+/// Binary-search over a sorted entry table: every offset whose digest
+/// equals `digest`, in ascending offset order.
+[[nodiscard]] std::vector<std::uint64_t> offsets_for_digest(
+    const std::vector<IndexEntry>& entries, std::uint64_t digest);
+
+}  // namespace upa::cache

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <system_error>
+#include <utility>
 #include <vector>
 
 #include "upa/cache/serialize.hpp"
@@ -14,33 +15,52 @@ namespace upa::cache {
 
 namespace fs = std::filesystem;
 
-PersistentCache::PersistentCache(EvalCache& cache, std::string directory)
-    : cache_(cache), directory_(std::move(directory)) {
-  UPA_REQUIRE(!directory_.empty(), "cache directory must be non-empty");
-  std::error_code ec;
-  fs::create_directories(directory_, ec);
-  UPA_REQUIRE(!ec, "cannot create cache directory '" + directory_ +
-                       "': " + ec.message());
-  load_directory();
-  cache_.set_sink(this);
-}
+namespace {
 
-PersistentCache::~PersistentCache() { cache_.set_sink(nullptr); }
-
-void PersistentCache::load_directory() {
+/// Sorted *.upaseg paths under `directory` (replay order).
+std::vector<std::string> list_segments(const std::string& directory) {
   std::vector<std::string> paths;
   std::error_code ec;
-  for (fs::directory_iterator it(directory_, ec), end;
-       !ec && it != end; it.increment(ec)) {
+  for (fs::directory_iterator it(directory, ec), end; !ec && it != end;
+       it.increment(ec)) {
     const fs::path& path = it->path();
     if (path.extension() == kSegmentExtension) {
       paths.push_back(path.string());
     }
   }
-  UPA_REQUIRE(!ec, "cannot list cache directory '" + directory_ +
+  UPA_REQUIRE(!ec, "cannot list cache directory '" + directory +
                        "': " + ec.message());
   std::sort(paths.begin(), paths.end());
+  return paths;
+}
 
+}  // namespace
+
+PersistentCache::PersistentCache(EvalCache& cache, std::string directory,
+                                 PersistConfig config)
+    : cache_(cache), directory_(std::move(directory)), config_(config) {
+  UPA_REQUIRE(!directory_.empty(), "cache directory must be non-empty");
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  UPA_REQUIRE(!ec, "cannot create cache directory '" + directory_ +
+                       "': " + ec.message());
+  if (config_.attach == PersistConfig::Attach::kEager) {
+    load_directory_eager();
+  } else {
+    load_directory_lazy();
+    cache_.set_source(this);
+  }
+  cache_.set_sink(this);
+}
+
+PersistentCache::~PersistentCache() {
+  stop_maintenance();
+  cache_.set_sink(nullptr);
+  cache_.set_source(nullptr);
+}
+
+void PersistentCache::load_directory_eager() {
+  const std::vector<std::string> paths = list_segments(directory_);
   std::lock_guard<std::mutex> lock(mutex_);
   for (const std::string& path : paths) {
     SegmentLoadStats file_stats;
@@ -48,7 +68,7 @@ void PersistentCache::load_directory() {
       bool inserted = false;
       if (seed_record(record, &inserted)) {
         ++stats_.records_replayed;
-        persisted_keys_.insert(record.key_bytes);
+        persisted_digests_.insert(key_digest(record.key_bytes));
       } else {
         ++stats_.records_skipped_decode;
       }
@@ -57,6 +77,78 @@ void PersistentCache::load_directory() {
     stats_.segments_rejected += file_stats.segments_rejected;
     stats_.records_skipped_crc += file_stats.records_skipped_crc;
   }
+}
+
+void PersistentCache::load_directory_lazy() {
+  const std::vector<std::string> paths = list_segments(directory_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& path : paths) attach_segment(path);
+}
+
+void PersistentCache::attach_segment(const std::string& path) {
+  AttachedSegment segment;
+  segment.path = path;
+  segment.file = MappedFile(path);
+  IndexLoadResult result = load_or_build_index(path, segment.file);
+  if (!result.segment_ok) {
+    ++stats_.segments_rejected;
+    return;
+  }
+  ++stats_.segments_loaded;
+  if (result.loaded) ++stats_.indexes_loaded;
+  if (result.rebuilt) {
+    ++stats_.indexes_rebuilt;
+    stats_.records_skipped_crc += result.scan.records_skipped_crc;
+  }
+  segment.entries = std::move(result.index.entries);
+  stats_.records_indexed += segment.entries.size();
+  if (segment.file.mapped()) stats_.bytes_mapped += segment.file.size();
+  // Deliberately NOT folded into persisted_digests_: the entries are
+  // already sorted by digest, so append dedupe binary-searches them in
+  // place (digest_on_disk). Building a 10^5..10^6-element hash set here
+  // would cost more than the whole index load -- the attach speedup the
+  // lazy path exists for.
+  segments_.push_back(std::move(segment));
+}
+
+bool PersistentCache::digest_on_disk(std::uint64_t digest) const {
+  for (const AttachedSegment& segment : segments_) {
+    if (std::binary_search(segment.entries.begin(), segment.entries.end(),
+                           IndexEntry{digest, 0},
+                           [](const IndexEntry& a, const IndexEntry& b) {
+                             return a.digest < b.digest;
+                           })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PersistentCache::lookup(const CacheKey& key, StoredValue* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const AttachedSegment& segment : segments_) {
+    for (const std::uint64_t offset :
+         offsets_for_digest(segment.entries, key.digest)) {
+      SegmentRecord record;
+      if (!read_record_at(segment.file, offset, &record)) continue;
+      if (record.key_bytes != key.bytes) continue;  // digest collision
+      const ValueCodec* codec = codec_for_tag(record.type_tag);
+      if (codec == nullptr) {
+        ++stats_.records_skipped_decode;
+        continue;
+      }
+      try {
+        *out = codec->deserialize(record.value_bytes);
+      } catch (const common::ModelError&) {
+        ++stats_.records_skipped_decode;
+        continue;
+      }
+      ++stats_.disk_hits;
+      ++stats_.records_replayed;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool PersistentCache::seed_record(const SegmentRecord& record,
@@ -107,7 +199,12 @@ void PersistentCache::on_insert(const CacheKey& key,
   const ValueCodec* codec = codec_for_type(*value.type);
   if (codec == nullptr) return;  // unknown type: memory-only
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!persisted_keys_.insert(key.bytes).second) return;  // already on disk
+  // Already on disk (or a digest collision: skip, recompute later -- a
+  // collision can lose an append, never a value). Sealed segments are
+  // consulted via their sorted indexes; the hash set only tracks keys
+  // THIS process appended or eager-seeded.
+  if (digest_on_disk(key.digest)) return;
+  if (!persisted_digests_.insert(key.digest).second) return;
   append_record(std::string(codec->type_tag), key.bytes,
                 codec->serialize(value.value.get()));
 }
@@ -131,8 +228,10 @@ ImportStats PersistentCache::import_blob(std::string_view segment_bytes) {
                            } else {
                              ++import.records_duplicate;
                            }
-                           if (persisted_keys_.insert(record.key_bytes)
-                                   .second) {
+                           const std::uint64_t digest =
+                               key_digest(record.key_bytes);
+                           if (!digest_on_disk(digest) &&
+                               persisted_digests_.insert(digest).second) {
                              const std::uint64_t before =
                                  stats_.records_appended;
                              append_record(record.type_tag,
@@ -149,27 +248,102 @@ ImportStats PersistentCache::import_blob(std::string_view segment_bytes) {
   return import;
 }
 
+CompactionStats PersistentCache::compact_now(std::size_t min_segments) {
+  std::vector<std::string> paths;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string active_path =
+        active_ != nullptr ? active_->path() : std::string();
+    for (const std::string& path : list_segments(directory_)) {
+      if (path != active_path) paths.push_back(path);
+    }
+    if (paths.size() < std::max<std::size_t>(min_segments, 1)) {
+      return CompactionStats{};
+    }
+  }
+
+  // Merge outside the lock: the inputs are sealed files (this process
+  // appends only to active_, which is excluded), and concurrent lazy
+  // lookups keep reading the OLD mappings -- a deleted-but-mapped file
+  // stays readable -- until the swap below.
+  CompactionStats merged =
+      compact_segments(paths, next_compact_path(directory_), {});
+  if (!merged.performed) return merged;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.compactions;
+  stats_.compact_records_dropped += merged.records_dropped();
+  if (config_.attach == PersistConfig::Attach::kLazy) {
+    std::uint64_t detached_indexed = 0;
+    std::uint64_t detached_mapped = 0;
+    segments_.erase(
+        std::remove_if(segments_.begin(), segments_.end(),
+                       [&](const AttachedSegment& segment) {
+                         if (std::find(paths.begin(), paths.end(),
+                                       segment.path) == paths.end()) {
+                           return false;
+                         }
+                         detached_indexed += segment.entries.size();
+                         if (segment.file.mapped()) {
+                           detached_mapped += segment.file.size();
+                         }
+                         return true;
+                       }),
+        segments_.end());
+    stats_.records_indexed -= detached_indexed;
+    stats_.bytes_mapped -= detached_mapped;
+    attach_segment(merged.output_path);
+    // Replay priority: "compact-*" sorts before "segment-*", so keep
+    // the attach list in name order exactly like a fresh load would.
+    std::sort(segments_.begin(), segments_.end(),
+              [](const AttachedSegment& a, const AttachedSegment& b) {
+                return a.path < b.path;
+              });
+  }
+  return merged;
+}
+
+void PersistentCache::start_maintenance(std::chrono::milliseconds interval) {
+  stop_maintenance();
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mutex_);
+    maintenance_stop_ = false;
+  }
+  maintenance_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(maintenance_mutex_);
+    while (!maintenance_stop_) {
+      if (maintenance_cv_.wait_for(lock, interval,
+                                   [this] { return maintenance_stop_; })) {
+        break;
+      }
+      lock.unlock();
+      try {
+        compact_now(config_.compact_min_segments);
+      } catch (const std::exception&) {
+        // An unwritable directory must not kill the maintenance loop;
+        // the next pass retries.
+      }
+      lock.lock();
+    }
+  });
+}
+
+void PersistentCache::stop_maintenance() {
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mutex_);
+    maintenance_stop_ = true;
+  }
+  maintenance_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
 PersistStats PersistentCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
 }
 
 std::string export_segment_blob(EvalCache& cache, ExportStats* stats) {
-  ExportStats local;
-  std::string blob = segment_header();
-  for (const EvalCache::SnapshotEntry& entry : cache.snapshot()) {
-    const ValueCodec* codec = codec_for_type(*entry.value.type);
-    if (codec == nullptr) {
-      ++local.skipped_no_codec;
-      continue;
-    }
-    blob += encode_record(SegmentRecord{
-        std::string(codec->type_tag), entry.key_bytes,
-        codec->serialize(entry.value.value.get())});
-    ++local.records;
-  }
-  if (stats != nullptr) *stats = local;
-  return blob;
+  return export_delta_blob(cache, {}, stats);
 }
 
 ImportStats import_segment_blob(EvalCache& cache,
@@ -201,6 +375,59 @@ ImportStats import_segment_blob(EvalCache& cache,
   import.segment_rejected = !accepted;
   import.records_skipped += blob_stats.records_skipped_crc;
   return import;
+}
+
+std::vector<std::uint64_t> digest_summary(EvalCache& cache) {
+  std::vector<std::uint64_t> digests;
+  for (const EvalCache::SnapshotEntry& entry : cache.snapshot()) {
+    digests.push_back(key_digest(entry.key_bytes));
+  }
+  std::sort(digests.begin(), digests.end());
+  digests.erase(std::unique(digests.begin(), digests.end()),
+                digests.end());
+  return digests;
+}
+
+std::string encode_digests(const std::vector<std::uint64_t>& digests) {
+  ByteWriter w;
+  for (const std::uint64_t digest : digests) w.put_u64(digest);
+  return std::move(w).take();
+}
+
+std::vector<std::uint64_t> decode_digests(std::string_view bytes) {
+  UPA_REQUIRE(bytes.size() % 8 == 0,
+              "digest summary bytes must be a multiple of 8");
+  ByteReader r(bytes);
+  std::vector<std::uint64_t> digests;
+  digests.reserve(bytes.size() / 8);
+  while (r.remaining() > 0) digests.push_back(r.get_u64());
+  std::sort(digests.begin(), digests.end());
+  return digests;
+}
+
+std::string export_delta_blob(EvalCache& cache,
+                              const std::vector<std::uint64_t>& have,
+                              ExportStats* stats) {
+  ExportStats local;
+  std::string blob = segment_header();
+  for (const EvalCache::SnapshotEntry& entry : cache.snapshot()) {
+    if (!have.empty() &&
+        std::binary_search(have.begin(), have.end(),
+                           key_digest(entry.key_bytes))) {
+      continue;  // the caller already holds this key (by digest)
+    }
+    const ValueCodec* codec = codec_for_type(*entry.value.type);
+    if (codec == nullptr) {
+      ++local.skipped_no_codec;
+      continue;
+    }
+    blob += encode_record(SegmentRecord{
+        std::string(codec->type_tag), entry.key_bytes,
+        codec->serialize(entry.value.value.get())});
+    ++local.records;
+  }
+  if (stats != nullptr) *stats = local;
+  return blob;
 }
 
 namespace {

@@ -1,42 +1,84 @@
 #pragma once
 // PersistentCache: the disk-backed second tier of EvalCache.
 //
-// Construction loads every *.upaseg file in the directory (sorted by
-// name, so replay order is deterministic), decodes each record through
-// the codec registry, and seeds the in-memory shards -- a restarted
-// process starts warm. The instance then installs itself as the
-// cache's insert sink, so every freshly computed value is
-// write-behind-appended to a per-process active segment; a key already
-// persisted (loaded from disk or appended earlier) is never appended
-// twice, so re-running the same workload against the same directory
-// leaves it the same size.
+// Two attach modes:
 //
-// Free functions export_segment_blob / import_segment_blob carry the
-// same segment bytes over the wire: `cache export` on a warm replica
-// plus `cache import` on a freshly restarted one is the farm's
-// warm-transfer path (dispatch::run_farm_experiment drives it).
+//  - kLazy (default): construction opens every *.upaseg via mmap and
+//    loads (or rebuilds) its *.upaidx sidecar -- a sorted key-digest ->
+//    record-offset table -- so attach cost is O(index bytes), not
+//    O(decode every value). The instance installs itself as the cache's
+//    CacheSource: a miss binary-searches the indexes, CRC-checks the
+//    one record it points at, compares FULL key bytes (a digest
+//    collision can never replay a wrong value), decodes it, and serves
+//    it as a disk hit. Millions of records cost attach-time microseconds
+//    each only when actually touched.
+//
+//  - kEager: the PR-8 behavior -- decode and seed everything at
+//    construction. Kept for workloads that replay the entire directory
+//    anyway (and as the bench baseline the lazy path is gated against).
+//
+// Both modes install the instance as the cache's insert sink, so every
+// freshly computed value is write-behind-appended to a per-process
+// active segment; a key already persisted is never appended twice, so
+// re-running a workload leaves the directory the same size. (Lazy mode
+// dedupes by key digest instead of full key bytes -- a collision merely
+// skips one append, never corrupts a value.)
+//
+// Maintenance: start_maintenance() runs background compaction -- when
+// the directory holds enough sealed segments they are merged
+// first-wins into one `compact-*` segment and atomically swapped in
+// (see compact.hpp); the process's own active segment is never touched.
+// upa_cachectl drives the same pass offline.
+//
+// Free functions export_segment_blob / import_segment_blob carry
+// segment bytes over the wire (`cache export` / `cache import`), and
+// digest_summary / export_delta_blob implement the anti-entropy
+// exchange: a replica ships the digests it HAS, a peer answers with a
+// delta blob of only the records the caller is missing.
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_set>
+#include <vector>
 
+#include "upa/cache/compact.hpp"
 #include "upa/cache/eval_cache.hpp"
+#include "upa/cache/index.hpp"
 #include "upa/cache/segment.hpp"
 
 namespace upa::cache {
 
+struct PersistConfig {
+  enum class Attach { kLazy, kEager };
+  Attach attach = Attach::kLazy;
+  /// Online maintenance compacts once the directory holds at least this
+  /// many sealed (non-active) segments.
+  std::size_t compact_min_segments = 4;
+};
+
 struct PersistStats {
   std::size_t segments_loaded = 0;
   std::size_t segments_rejected = 0;  ///< version/tag mismatch, unreadable
-  std::uint64_t records_replayed = 0;  ///< decoded and seeded into memory
+  std::size_t indexes_loaded = 0;     ///< fresh *.upaidx reused
+  std::size_t indexes_rebuilt = 0;    ///< missing/stale/corrupt -> rescan
+  std::uint64_t records_indexed = 0;  ///< offsets addressable on disk
+  std::uint64_t bytes_mapped = 0;     ///< segment bytes behind mmap views
+  std::uint64_t records_replayed = 0;  ///< decoded into memory (eager seed
+                                       ///< or lazy disk-hit serve)
+  std::uint64_t disk_hits = 0;  ///< lazy lookups served from a segment
   std::uint64_t records_skipped_crc = 0;
   std::uint64_t records_skipped_decode = 0;  ///< unknown tag / bad payload
   std::uint64_t records_appended = 0;  ///< written to the active segment
   std::uint64_t write_errors = 0;  ///< appends lost to I/O failure
+  std::uint64_t compactions = 0;   ///< maintenance passes that merged
+  std::uint64_t compact_records_dropped = 0;
 };
 
 struct ImportStats {
@@ -47,20 +89,35 @@ struct ImportStats {
   std::uint64_t records_appended = 0;   ///< persisted to the active segment
 };
 
-class PersistentCache final : public CacheSink {
+class PersistentCache final : public CacheSink, public CacheSource {
  public:
-  /// Creates `directory` when missing, pre-warms `cache` from its
-  /// segments, and installs itself as the cache's sink. Throws
-  /// ModelError when the directory cannot be created or listed.
-  PersistentCache(EvalCache& cache, std::string directory);
+  /// Creates `directory` when missing, attaches per `config.attach`,
+  /// and installs itself as the cache's sink (and source, when lazy).
+  /// Throws ModelError when the directory cannot be created or listed.
+  PersistentCache(EvalCache& cache, std::string directory,
+                  PersistConfig config = {});
   ~PersistentCache() override;
 
   void on_insert(const CacheKey& key, const StoredValue& value) override;
+
+  /// CacheSource: serves a lazy lookup from the mapped segments.
+  bool lookup(const CacheKey& key, StoredValue* out) override;
 
   /// Decodes a segment blob (the `cache import` RPC payload), seeds the
   /// cache, and appends previously unseen records to the active segment
   /// so the imported warmth survives the NEXT restart too.
   ImportStats import_blob(std::string_view segment_bytes);
+
+  /// Merges this directory's sealed segments (everything but the
+  /// process's own active file) into one compacted segment and swaps
+  /// the in-memory maps to it. No-op returning performed=false when
+  /// fewer than `min_segments` sealed segments exist.
+  CompactionStats compact_now(std::size_t min_segments = 2);
+
+  /// Starts (or restarts) the background maintenance thread: every
+  /// `interval` it runs compact_now(config.compact_min_segments).
+  void start_maintenance(std::chrono::milliseconds interval);
+  void stop_maintenance();
 
   [[nodiscard]] PersistStats stats() const;
   [[nodiscard]] const std::string& directory() const noexcept {
@@ -68,7 +125,24 @@ class PersistentCache final : public CacheSink {
   }
 
  private:
-  void load_directory();
+  /// One attached sealed segment: its mapping plus the sorted
+  /// digest -> offset table lazily consulted on lookups.
+  struct AttachedSegment {
+    std::string path;
+    MappedFile file;
+    std::vector<IndexEntry> entries;
+  };
+
+  void load_directory_eager();
+  void load_directory_lazy();
+  /// Opens + indexes one segment, appends it to segments_, and folds
+  /// its digests into persisted_digests_. Caller holds mutex_.
+  void attach_segment(const std::string& path);
+  /// True when some attached segment's index holds `digest` -- append
+  /// dedupe binary-searches the sorted entries instead of building a
+  /// digest hash set at attach time (which would dwarf the index load
+  /// at 10^5+ records). Caller holds mutex_.
+  [[nodiscard]] bool digest_on_disk(std::uint64_t digest) const;
   /// Seeds one decoded record; returns false on decode failure.
   bool seed_record(const SegmentRecord& record, bool* inserted);
   void append_record(const std::string& type_tag,
@@ -77,11 +151,20 @@ class PersistentCache final : public CacheSink {
 
   EvalCache& cache_;
   std::string directory_;
+  PersistConfig config_;
 
   mutable std::mutex mutex_;
   std::unique_ptr<SegmentFile> active_;  // created lazily on first append
-  std::unordered_set<std::string> persisted_keys_;
+  std::vector<AttachedSegment> segments_;  // lazy mode, replay order
+  /// Digests THIS process appended or eager-seeded; sealed segments
+  /// are consulted through their sorted indexes (digest_on_disk).
+  std::unordered_set<std::uint64_t> persisted_digests_;
   PersistStats stats_;
+
+  std::mutex maintenance_mutex_;
+  std::condition_variable maintenance_cv_;
+  std::thread maintenance_;
+  bool maintenance_stop_ = false;
 };
 
 /// Serializes every completed in-memory entry that has a registered
@@ -98,8 +181,26 @@ struct ExportStats {
 ImportStats import_segment_blob(EvalCache& cache,
                                 std::string_view segment_bytes);
 
+/// Sorted, deduplicated key digests of every completed in-memory entry
+/// -- the compact summary `cache digest` ships between replicas.
+[[nodiscard]] std::vector<std::uint64_t> digest_summary(EvalCache& cache);
+
+/// Packs digests as little-endian u64s (hex-encode for the wire).
+[[nodiscard]] std::string encode_digests(
+    const std::vector<std::uint64_t>& digests);
+/// Inverse; throws ModelError when the byte count is not a multiple
+/// of 8. The result is sorted.
+[[nodiscard]] std::vector<std::uint64_t> decode_digests(
+    std::string_view bytes);
+
+/// Like export_segment_blob, but skips every entry whose key digest is
+/// in `have` (must be sorted) -- the delta a `cache pull` answers with.
+[[nodiscard]] std::string export_delta_blob(
+    EvalCache& cache, const std::vector<std::uint64_t>& have,
+    ExportStats* stats = nullptr);
+
 /// Attaches the process-global persistence tier (what --cache-dir
-/// does): pre-warms cache::global() from `directory` and write-behinds
+/// does): warms cache::global() from `directory` and write-behinds
 /// its inserts there for the rest of the process lifetime. Idempotent
 /// for the same directory; throws ModelError when already attached to a
 /// different one.

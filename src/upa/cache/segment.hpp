@@ -70,6 +70,10 @@ struct SegmentRecord {
 /// One framed record: payload length + CRC + payload.
 [[nodiscard]] std::string encode_record(const SegmentRecord& record);
 
+/// Decodes one CRC-valid record payload (the bytes a frame wraps);
+/// false when it is structurally wrong -- same bucket as corruption.
+bool parse_record_payload(std::string_view payload, SegmentRecord* out);
+
 struct SegmentLoadStats {
   std::size_t segments_loaded = 0;
   std::size_t segments_rejected = 0;  ///< magic/version/tag mismatch
@@ -86,8 +90,53 @@ bool load_segment_bytes(
     std::string_view bytes, SegmentLoadStats& stats,
     const std::function<void(SegmentRecord&&)>& on_record);
 
-/// Buffered-read file wrapper around load_segment_bytes. An unreadable
-/// file counts as a rejected segment.
+/// Read-only view of a segment file. Prefers mmap (attach cost is page
+/// tables, not a copy of the file); when the mapping fails -- no mmap on
+/// the filesystem, ENOMEM, ... -- the file stays open and `read_at`
+/// serves bounded pread slices, so neither path ever buffers a whole
+/// multi-gigabyte segment in an std::string.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// False when the file could not be opened or stat'd.
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+  /// True when the contents are memory-mapped (view() is usable).
+  [[nodiscard]] bool mapped() const noexcept { return map_ != nullptr; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  /// The whole file when mapped; empty otherwise.
+  [[nodiscard]] std::string_view view() const noexcept;
+  /// Copies [offset, offset+length) into `out` via the mapping or
+  /// pread. Returns false on a short or failed read.
+  bool read_at(std::uint64_t offset, void* out, std::size_t length) const;
+  /// read_at into a string (resized to `length`).
+  bool read_at(std::uint64_t offset, std::size_t length,
+               std::string* out) const;
+
+ private:
+  void reset() noexcept;
+
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+/// Parses an open segment through `file` -- zero-copy over the mapping,
+/// bounded per-record reads in the pread fallback. Same stats and
+/// failure semantics as load_segment_bytes.
+bool load_segment_mapped(
+    const MappedFile& file, SegmentLoadStats& stats,
+    const std::function<void(SegmentRecord&&)>& on_record);
+
+/// File wrapper around load_segment_mapped. An unreadable file counts
+/// as a rejected segment.
 bool load_segment_file(
     const std::string& path, SegmentLoadStats& stats,
     const std::function<void(SegmentRecord&&)>& on_record);

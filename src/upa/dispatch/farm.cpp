@@ -77,6 +77,8 @@ void FarmOrchestrator::spawn(std::size_t index, std::uint16_t port) {
       "--capacity", std::to_string(config_.capacity),
       "--read-timeout", std::to_string(config_.read_timeout_seconds),
   };
+  argv_storage.insert(argv_storage.end(), replica.extra_args.begin(),
+                      replica.extra_args.end());
   std::vector<char*> argv;
   argv.reserve(argv_storage.size() + 1);
   for (std::string& arg : argv_storage) argv.push_back(arg.data());
@@ -170,6 +172,11 @@ void FarmOrchestrator::kill_replica(std::size_t index) {
   ::close(replica.stdout_fd);
   replica.pid = -1;
   replica.stdout_fd = -1;
+}
+
+void FarmOrchestrator::set_restart_extra_args(
+    std::size_t index, std::vector<std::string> extra_args) {
+  replicas_.at(index).extra_args = std::move(extra_args);
 }
 
 void FarmOrchestrator::restart_replica(std::size_t index) {
@@ -321,22 +328,65 @@ std::pair<std::uint64_t, std::uint64_t> transfer_cache_once(
 /// replicas' bounded admission queues (a 503 mid-run is expected, the
 /// same transient the front's retry layer absorbs), and the freshly
 /// restarted importer may still be binding its port. Each attempt
-/// reconnects from scratch.
+/// reconnects from scratch. Retry count and spacing come from the
+/// experiment config (historically hard-coded to 40 x 250 ms).
 std::pair<std::uint64_t, std::uint64_t> transfer_cache(
-    const UpstreamAddress& from, const UpstreamAddress& to, double timeout) {
-  constexpr int kAttempts = 40;
+    const UpstreamAddress& from, const UpstreamAddress& to, double timeout,
+    int attempts, int interval_ms) {
   std::string last_error;
-  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
     try {
       return transfer_cache_once(from, to, timeout);
     } catch (const std::exception& error) {
       last_error = error.what();
-      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     }
   }
   throw common::ModelError("cache transfer failed after " +
-                           std::to_string(kAttempts) +
+                           std::to_string(attempts) +
                            " attempts: " + last_error);
+}
+
+/// Anti-entropy convergence probe: polls the restarted replica's
+/// `cache stats` until its agent reports nonzero records_pulled (the
+/// gossip pull replaced the orchestrator's transfer). Returns
+/// {rounds, records_pulled}; throws after the retry budget.
+std::pair<std::uint64_t, std::uint64_t> await_anti_entropy_pull(
+    const UpstreamAddress& replica, double timeout, int attempts,
+    int interval_ms) {
+  std::string last_error = "never connected";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    try {
+      serve::Client client;
+      client.connect(replica.host, replica.port, timeout, timeout);
+      serve::Json params = serve::Json::object();
+      params.set("op", serve::Json("stats"));
+      const serve::CallResult reply =
+          client.call("cache", std::move(params), 1);
+      UPA_REQUIRE(reply.ok(), "cache stats failed: " + reply.error_message);
+      const serve::Json* result = reply.result();
+      const serve::Json* anti =
+          result != nullptr ? result->find("anti_entropy") : nullptr;
+      UPA_REQUIRE(anti != nullptr,
+                  "replica reports no anti_entropy block (agent not "
+                  "running?)");
+      const serve::Json* pulled = anti->find("records_pulled");
+      const serve::Json* rounds = anti->find("rounds");
+      UPA_REQUIRE(pulled != nullptr && rounds != nullptr,
+                  "anti_entropy block lacks records_pulled/rounds");
+      if (pulled->as_number() > 0.0) {
+        return {static_cast<std::uint64_t>(rounds->as_number()),
+                static_cast<std::uint64_t>(pulled->as_number())};
+      }
+      last_error = "agent running, no records pulled yet";
+    } catch (const std::exception& error) {
+      last_error = error.what();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  throw common::ModelError("anti-entropy never converged after " +
+                           std::to_string(attempts) +
+                           " probes: " + last_error);
 }
 
 }  // namespace
@@ -356,6 +406,12 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
   // Warm transfer needs one replica the schedule never kills: it is the
   // export source, so it must be alive whenever a restart imports.
   const bool warm = config.warm_transfer && !config.kills.empty();
+  const bool anti_entropy = warm && config.anti_entropy_ms > 0;
+  UPA_REQUIRE(config.anti_entropy_ms == 0 || config.warm_transfer,
+              "anti_entropy_ms requires warm_transfer");
+  UPA_REQUIRE(config.warm_transfer_retries >= 1 &&
+                  config.warm_transfer_interval_ms >= 1,
+              "warm transfer retry budget must be positive");
   std::size_t warm_peer = 0;
   if (warm) {
     UPA_REQUIRE(config.warm_points >= 1,
@@ -382,12 +438,34 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
   const std::vector<UpstreamAddress> addresses = farm.addresses();
   const double warm_timeout = std::max(config.call_timeout_seconds, 1.0);
 
+  // Anti-entropy mode: every replica that restarts comes back with the
+  // sibling port map and a gossip interval -- it re-warms ITSELF. The
+  // peer list can only be built now, after the ephemeral ports are
+  // known, which is why it rides on restart args instead of the first
+  // spawn.
+  if (anti_entropy) {
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      std::string peers;
+      for (std::size_t j = 0; j < addresses.size(); ++j) {
+        if (j == i) continue;
+        if (!peers.empty()) peers += ',';
+        peers += addresses[j].host + ':' + std::to_string(addresses[j].port);
+      }
+      farm.set_restart_extra_args(
+          i, {"--peers", peers, "--anti-entropy-ms",
+              std::to_string(config.anti_entropy_ms)});
+    }
+  }
+
   // Warm-transfer state shared with the killer thread; it is only read
   // back after the thread is joined.
   std::string warm_error;
   std::uint64_t warm_points_computed = 0;
   std::uint64_t warm_export_last = 0;
   std::uint64_t warm_import_total = 0;
+  std::uint64_t orchestrator_transfers = 0;
+  std::uint64_t anti_rounds = 0;
+  std::uint64_t anti_pulled = 0;
   if (warm) {
     try {
       warm_points_computed = issue_warm_points(
@@ -430,13 +508,28 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
                       std::chrono::duration<double>(kill.up_at_seconds)));
       farm.restart_replica(kill.replica);
       // Warm restart: the fresh process imports the peer's cache before
-      // (well, while) the front routes traffic back to it.
+      // (well, while) the front routes traffic back to it. In
+      // anti-entropy mode the orchestrator drives NOTHING -- the
+      // restarted replica gossips the warm set in itself; we only poll
+      // until its pull counter moves.
       if (warm && warm_error.empty()) {
         try {
-          const auto [exported, seeded] = transfer_cache(
-              addresses[warm_peer], addresses[kill.replica], warm_timeout);
-          warm_export_last = exported;
-          warm_import_total += seeded;
+          if (anti_entropy) {
+            const auto [rounds, pulled] = await_anti_entropy_pull(
+                addresses[kill.replica], warm_timeout,
+                config.warm_transfer_retries,
+                config.warm_transfer_interval_ms);
+            anti_rounds = rounds;
+            anti_pulled += pulled;
+          } else {
+            const auto [exported, seeded] = transfer_cache(
+                addresses[warm_peer], addresses[kill.replica], warm_timeout,
+                config.warm_transfer_retries,
+                config.warm_transfer_interval_ms);
+            ++orchestrator_transfers;
+            warm_export_last = exported;
+            warm_import_total += seeded;
+          }
         } catch (const std::exception& e) {
           warm_error = std::string("warm transfer failed: ") + e.what();
         }
@@ -509,6 +602,14 @@ FarmExperimentResult run_farm_experiment(const FarmExperimentConfig& config) {
     }
     result.warm_transfer_error = warm_error;
     result.warm_transfer_ok = warm_error.empty() && result.warmed_hits > 0;
+    result.anti_entropy_rounds = anti_rounds;
+    result.anti_entropy_records_pulled = anti_pulled;
+    result.orchestrator_transfers = orchestrator_transfers;
+    if (anti_entropy) {
+      result.anti_entropy_ok = warm_error.empty() && anti_pulled > 0 &&
+                               orchestrator_transfers == 0 &&
+                               result.warmed_hits > 0;
+    }
   }
   result.front = front.stats();
   result.upstreams = front.upstreams();

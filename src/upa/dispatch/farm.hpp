@@ -71,6 +71,13 @@ class FarmOrchestrator {
   /// Re-spawns a killed replica on its recorded port.
   void restart_replica(std::size_t index);
 
+  /// Extra argv appended to replica `index` on its NEXT spawn. Used for
+  /// flags that need the farm's port map (--peers for anti-entropy):
+  /// the initial spawns bind ephemeral ports, so peer addresses only
+  /// exist after start_all -- restarts can carry them.
+  void set_restart_extra_args(std::size_t index,
+                              std::vector<std::string> extra_args);
+
   [[nodiscard]] bool alive(std::size_t index) const;
   [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
   [[nodiscard]] std::vector<UpstreamAddress> addresses() const;
@@ -80,6 +87,7 @@ class FarmOrchestrator {
     int pid = -1;              ///< -1 = not running
     int stdout_fd = -1;        ///< read end of the child's stdout pipe
     UpstreamAddress address;   ///< port recorded from the first spawn
+    std::vector<std::string> extra_args;  ///< appended on the next spawn
   };
 
   void spawn(std::size_t index, std::uint16_t port);
@@ -145,6 +153,20 @@ struct FarmExperimentConfig {
   /// cold cost for anything its peer had already solved).
   bool warm_transfer = false;
   std::size_t warm_points = 16;
+  /// Transfer RPCs race the restart and the open-loop workload, so the
+  /// orchestrator retries: up to `warm_transfer_retries` attempts,
+  /// `warm_transfer_interval_ms` apart. The defaults are the historical
+  /// hard-coded values (40 x 250 ms = 10 s worst case).
+  int warm_transfer_retries = 40;
+  int warm_transfer_interval_ms = 250;
+  /// Anti-entropy mode (requires warm_transfer): instead of the
+  /// orchestrator exporting/importing caches over restarts, every
+  /// restarted replica is spawned with `--peers <siblings>
+  /// --anti-entropy-ms N` and pulls the warm set ITSELF -- the
+  /// orchestrator issues zero transfer RPCs and merely polls the
+  /// replica's `cache stats` until anti_entropy.records_pulled is
+  /// nonzero. 0 = off (classic orchestrator-driven transfer).
+  int anti_entropy_ms = 0;
 };
 
 struct FarmExperimentResult {
@@ -194,6 +216,12 @@ struct FarmExperimentResult {
   std::uint64_t warmed_hits = 0;  ///< post-run replays on the restarted
   bool warm_transfer_ok = false;  ///< transfers ran and warmed_hits > 0
   std::string warm_transfer_error;  ///< first failure; empty = ok
+
+  // Anti-entropy accounting, filled only when config.anti_entropy_ms > 0.
+  std::uint64_t anti_entropy_rounds = 0;  ///< exchanges the replica ran
+  std::uint64_t anti_entropy_records_pulled = 0;  ///< via gossip pulls
+  std::uint64_t orchestrator_transfers = 0;  ///< export/import RPCs WE drove
+  bool anti_entropy_ok = false;  ///< converged with zero orchestrator RPCs
 };
 
 /// Runs the full experiment: spawn the farm, start the front, replay

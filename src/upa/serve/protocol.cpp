@@ -13,6 +13,7 @@
 #include "upa/inject/campaign.hpp"
 #include "upa/inject/injectors.hpp"
 #include "upa/queueing/mmck.hpp"
+#include "upa/serve/anti_entropy.hpp"
 #include "upa/ta/end_to_end_sim.hpp"
 #include "upa/ta/services.hpp"
 #include "upa/ta/user_availability.hpp"
@@ -316,6 +317,7 @@ Json cache_stats_json() {
   out.set("inserts", Json(static_cast<double>(s.inserts)));
   out.set("evictions", Json(static_cast<double>(s.evictions)));
   out.set("hit_rate", Json(s.hit_rate()));
+  out.set("disk_hits", Json(static_cast<double>(s.disk_hits)));
   if (const cache::PersistentCache* p = cache::global_persistence()) {
     const cache::PersistStats ps = p->stats();
     Json persist = Json::object();
@@ -324,8 +326,16 @@ Json cache_stats_json() {
                 Json(static_cast<double>(ps.segments_loaded)));
     persist.set("segments_rejected",
                 Json(static_cast<double>(ps.segments_rejected)));
+    persist.set("indexes_loaded",
+                Json(static_cast<double>(ps.indexes_loaded)));
+    persist.set("indexes_rebuilt",
+                Json(static_cast<double>(ps.indexes_rebuilt)));
+    persist.set("records_indexed",
+                Json(static_cast<double>(ps.records_indexed)));
+    persist.set("bytes_mapped", Json(static_cast<double>(ps.bytes_mapped)));
     persist.set("records_replayed",
                 Json(static_cast<double>(ps.records_replayed)));
+    persist.set("disk_hits", Json(static_cast<double>(ps.disk_hits)));
     persist.set("records_skipped_crc",
                 Json(static_cast<double>(ps.records_skipped_crc)));
     persist.set("records_skipped_decode",
@@ -334,7 +344,20 @@ Json cache_stats_json() {
                 Json(static_cast<double>(ps.records_appended)));
     persist.set("write_errors",
                 Json(static_cast<double>(ps.write_errors)));
+    persist.set("compactions", Json(static_cast<double>(ps.compactions)));
+    persist.set("compact_records_dropped",
+                Json(static_cast<double>(ps.compact_records_dropped)));
     out.set("persist", std::move(persist));
+  }
+  if (const AntiEntropyAgent* agent = global_anti_entropy()) {
+    const AntiEntropyStats as = agent->stats();
+    Json anti = Json::object();
+    anti.set("rounds", Json(static_cast<double>(as.rounds)));
+    anti.set("pulls_ok", Json(static_cast<double>(as.pulls_ok)));
+    anti.set("pull_errors", Json(static_cast<double>(as.pull_errors)));
+    anti.set("records_pulled",
+             Json(static_cast<double>(as.records_pulled)));
+    out.set("anti_entropy", std::move(anti));
   }
   return out;
 }
@@ -385,10 +408,31 @@ Json method_cache(const Json& params) {
               Json(static_cast<double>(im.records_skipped)));
     extra.set("appended_records",
               Json(static_cast<double>(im.records_appended)));
+  } else if (op == "digest") {
+    // Anti-entropy step 1: the compact summary of what this replica
+    // holds -- sorted key digests, 8 bytes per entry.
+    const std::vector<std::uint64_t> digests =
+        cache::digest_summary(cache::global());
+    extra.set("digest_count", Json(static_cast<double>(digests.size())));
+    extra.set("digests_hex", Json(cache::to_hex(cache::encode_digests(digests))));
+  } else if (op == "pull") {
+    // Anti-entropy step 2: answer with ONLY the records the caller is
+    // missing. An empty/absent have_hex degenerates to a full export.
+    const std::string have_hex = get_string(params, "have_hex", "");
+    const std::vector<std::uint64_t> have =
+        cache::decode_digests(cache::from_hex(have_hex));
+    cache::ExportStats ex;
+    const std::string blob =
+        cache::export_delta_blob(cache::global(), have, &ex);
+    extra.set("delta_records", Json(static_cast<double>(ex.records)));
+    extra.set("skipped_no_codec",
+              Json(static_cast<double>(ex.skipped_no_codec)));
+    extra.set("have_count", Json(static_cast<double>(have.size())));
+    extra.set("segment_hex", Json(cache::to_hex(blob)));
   } else if (op != "stats") {
     throw common::ModelError(
         "param 'op' must be stats, clear, reset_stats, enable, disable, "
-        "export, or import, got " +
+        "export, import, digest, or pull, got " +
         op);
   }
   Json out = cache_stats_json();

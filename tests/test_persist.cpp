@@ -344,14 +344,50 @@ TEST(PersistentCacheTier, WarmRestartReplaysWithoutRecompute) {
     EXPECT_EQ(tier.stats().records_appended, 1u);
   }
 
-  // "Restart": a fresh cache pre-warmed from the same directory must
+  // "Restart": a fresh cache attached to the same directory must
   // replay the stored value -- the compute callback must never run.
+  // The default (lazy) attach only indexes at construction; the value
+  // decodes on first lookup and counts as a disk hit.
   cache::EvalCache second_run;
   cache::PersistentCache tier(second_run, tmp.dir);
   EXPECT_EQ(tier.stats().segments_loaded, 1u);
-  EXPECT_EQ(tier.stats().records_replayed, 1u);
+  EXPECT_EQ(tier.stats().records_indexed, 1u);
+  EXPECT_EQ(tier.stats().records_replayed, 0u);  // nothing decoded yet
   const auto value = second_run.get_or_compute<double>(key, []() -> double {
     throw ModelError("cold compute ran after a warm restart");
+  });
+  EXPECT_EQ(*value, 6.25);
+  EXPECT_EQ(tier.stats().records_replayed, 1u);
+  EXPECT_EQ(tier.stats().disk_hits, 1u);
+  EXPECT_EQ(second_run.stats().disk_hits, 1u);
+  EXPECT_EQ(second_run.stats().misses, 0u);
+  EXPECT_GT(second_run.stats().hit_rate(), 0.99);
+
+  // The second lookup is a plain in-memory hit: lazy decode happens
+  // once per key per process.
+  (void)second_run.get_or_compute<double>(key, []() -> double {
+    throw ModelError("disk-served value did not stay in memory");
+  });
+  EXPECT_EQ(second_run.stats().hits, 1u);
+  EXPECT_EQ(tier.stats().disk_hits, 1u);
+}
+
+TEST(PersistentCacheTier, EagerAttachStillSeedsEverythingUpFront) {
+  TempDir tmp;
+  const cache::CacheKey key = key_of(42.0);
+  {
+    cache::EvalCache first_run;
+    cache::PersistentCache tier(first_run, tmp.dir);
+    (void)first_run.get_or_compute<double>(key, [] { return 6.25; });
+  }
+  cache::EvalCache second_run;
+  cache::PersistConfig config;
+  config.attach = cache::PersistConfig::Attach::kEager;
+  cache::PersistentCache tier(second_run, tmp.dir, config);
+  EXPECT_EQ(tier.stats().records_replayed, 1u);  // decoded at construct
+  EXPECT_EQ(second_run.size(), 1u);
+  const auto value = second_run.get_or_compute<double>(key, []() -> double {
+    throw ModelError("cold compute ran after an eager warm restart");
   });
   EXPECT_EQ(*value, 6.25);
   EXPECT_EQ(second_run.stats().hits, 1u);
@@ -461,9 +497,18 @@ TEST(PersistentCacheTier, HammeredInsertsAllReachTheActiveSegment) {
     EXPECT_EQ(tier.stats().write_errors, 0u);
   }
   // Single-flight + sink dedupe: the segment holds each key once, and a
-  // restart replays exactly the distinct keys.
+  // restart indexes exactly the distinct keys, each of which replays
+  // from disk without recomputing.
   cache::EvalCache replayed;
   cache::PersistentCache tier(replayed, tmp.dir);
+  EXPECT_EQ(tier.stats().records_indexed, std::uint64_t(kKeys));
+  for (int k = 0; k < kKeys; ++k) {
+    (void)replayed.get_or_compute<double>(key_of(double(k)),
+                                          []() -> double {
+                                            throw ModelError(
+                                                "restart lost a record");
+                                          });
+  }
   EXPECT_EQ(tier.stats().records_replayed, std::uint64_t(kKeys));
   EXPECT_EQ(replayed.size(), std::size_t(kKeys));
 }
@@ -498,14 +543,16 @@ TEST(PersistentCacheTier, SeededEntriesSurviveClearOnlyOnDisk) {
   (void)ec.get_or_compute<double>(key_of(1.0), [] { return 1.5; });
   ec.clear();
   int computes = 0;
-  // After clear() the value recomputes (memory is gone)...
+  // After clear() the value recomputes: the record sits in this
+  // process's own ACTIVE segment, which only becomes index-addressable
+  // at the next attach (lazy lookups serve sealed segments)...
   (void)ec.get_or_compute<double>(key_of(1.0), [&] {
     ++computes;
     return 1.5;
   });
   EXPECT_EQ(computes, 1);
-  // ...but the recompute is NOT appended again: the persisted-keys set
-  // outlives clear(), so the directory stays single-copy.
+  // ...but the recompute is NOT appended again: the persisted-digest
+  // set outlives clear(), so the directory stays single-copy.
   EXPECT_EQ(tier.stats().records_appended, 1u);
 }
 

@@ -218,6 +218,78 @@ TEST(ServeDispatcher, CacheExportImportRoundTripOverRpc) {
   upa::cache::global().clear();
 }
 
+TEST(ServeDispatcher, CacheDigestPullShipsOnlyMissingRecords) {
+  // The anti-entropy pair over the protocol: `cache digest` summarizes
+  // what a replica holds, `cache pull` answers with ONLY the records
+  // the caller's summary is missing. A caller that has everything gets
+  // an empty delta; one that has nothing gets the full set, and
+  // importing it after a wipe makes the re-issued evaluation a pure hit.
+  const Dispatcher d;
+  const std::string request =
+      R"({"id": 1, "method": "mmck_metrics",)"
+      R"( "params": {"alpha": 211, "nu": 97, "servers": 4, "capacity": 13}})";
+
+  upa::cache::ScopedEnable on(true);
+  upa::cache::global().clear();
+  const std::string warm_line = d.dispatch_line(request);
+  d.dispatch_line(
+      R"({"id": 2, "method": "mmck_metrics",)"
+      R"( "params": {"alpha": 223, "nu": 97, "servers": 4, "capacity": 13}})");
+
+  const Json digest = parse_json(d.dispatch_line(
+      R"({"id": 3, "method": "cache", "params": {"op": "digest"}})"));
+  ASSERT_TRUE(digest.find("ok")->as_bool()) << digest.dump();
+  const double count =
+      digest.find("result")->find("digest_count")->as_number();
+  EXPECT_GE(count, 2.0);
+  const std::string have_hex =
+      digest.find("result")->find("digests_hex")->as_string();
+  // Packed little-endian u64s: 16 hex chars per digest.
+  EXPECT_EQ(have_hex.size(), static_cast<std::size_t>(count) * 16);
+
+  // A peer that already has everything pulls an empty delta.
+  const Json none = parse_json(d.dispatch_line(
+      R"({"id": 4, "method": "cache", "params": {"op": "pull",)"
+      R"( "have_hex": ")" +
+      have_hex + R"("}})"));
+  ASSERT_TRUE(none.find("ok")->as_bool()) << none.dump();
+  EXPECT_EQ(none.find("result")->find("delta_records")->as_number(), 0.0);
+  EXPECT_EQ(none.find("result")->find("have_count")->as_number(), count);
+
+  // A peer with nothing (no have_hex) pulls the full warm set...
+  const Json full = parse_json(d.dispatch_line(
+      R"({"id": 5, "method": "cache", "params": {"op": "pull"}})"));
+  ASSERT_TRUE(full.find("ok")->as_bool()) << full.dump();
+  EXPECT_GE(full.find("result")->find("delta_records")->as_number(), 1.0);
+  const std::string blob_hex =
+      full.find("result")->find("segment_hex")->as_string();
+  ASSERT_FALSE(blob_hex.empty());
+
+  // ...and importing the delta after a wipe replays it byte for byte.
+  ASSERT_TRUE(parse_json(d.dispatch_line(
+                             R"({"id": 6, "method": "cache",)"
+                             R"( "params": {"op": "clear"}})"))
+                  .find("ok")
+                  ->as_bool());
+  const Json imported = parse_json(d.dispatch_line(
+      R"({"id": 7, "method": "cache", "params": {"op": "import",)"
+      R"( "segment_hex": ")" +
+      blob_hex + R"("}})"));
+  ASSERT_TRUE(imported.find("ok")->as_bool()) << imported.dump();
+  upa::cache::global().reset_stats();
+  EXPECT_EQ(d.dispatch_line(request), warm_line);
+  EXPECT_GT(upa::cache::global().stats().hits, 0u);
+  EXPECT_EQ(upa::cache::global().stats().misses, 0u);
+
+  // A have_hex that is not a whole number of u64s is a 400-class
+  // envelope, not a crash.
+  const Json bad = parse_json(d.dispatch_line(
+      R"({"id": 8, "method": "cache",)"
+      R"( "params": {"op": "pull", "have_hex": "aabb"}})"));
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  upa::cache::global().clear();
+}
+
 // --- Server (loopback TCP) -----------------------------------------------
 
 ServerConfig loopback_config(std::size_t workers, std::size_t capacity) {

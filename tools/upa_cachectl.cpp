@@ -1,0 +1,217 @@
+// upa_cachectl: offline maintenance for a persistent cache directory
+// (the --cache-dir tier of upa_cli / upa_served).
+//
+// Verbs:
+//   inspect   walk every *.upaseg: record counts, CRC skips, torn
+//             tails, and whether its *.upaidx sidecar is fresh -- read
+//             only, writes nothing;
+//   index     build or refresh the *.upaidx sidecar of every segment
+//             (what a lazy attach would do, paid once up front);
+//   compact   merge the segments first-wins into one compact-* segment
+//             (duplicates and CRC-bad records dropped), atomically;
+//   gc        compact, additionally dropping records with unregistered
+//             codec tags and deleting wrong-generation segment files.
+//
+// Every verb prints one JSON object of stats to stdout. A replica may
+// be appending to its own active segment while compact/gc runs ONLY if
+// it is this process (never true here) -- run the offline verbs against
+// directories without a live writer.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "upa/cache/compact.hpp"
+#include "upa/cache/index.hpp"
+#include "upa/cache/segment.hpp"
+#include "upa/cli/args.hpp"
+#include "upa/common/error.hpp"
+
+namespace {
+
+namespace cache = upa::cache;
+namespace fs = std::filesystem;
+
+void print_usage(std::ostream& os) {
+  os << "usage: upa_cachectl <inspect|index|compact|gc> --dir DIR\n"
+        "\n"
+        "Offline maintenance for a persistent evaluation-cache\n"
+        "directory (*.upaseg segments + *.upaidx index sidecars).\n"
+        "\n"
+        "verbs:\n"
+        "  inspect  per-segment record/CRC/torn-tail counts and index\n"
+        "           freshness; read-only\n"
+        "  index    build or refresh every segment's *.upaidx sidecar\n"
+        "  compact  merge segments first-wins into one compact-* file\n"
+        "           (drops duplicate and CRC-corrupt records)\n"
+        "  gc       compact + drop unknown-codec records and delete\n"
+        "           wrong-generation segment files\n"
+        "\n"
+        "options:\n"
+        "  --dir DIR   the cache directory (required)\n"
+        "  --help      this text\n";
+}
+
+std::vector<std::string> list_segments(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() &&
+        entry.path().extension() == cache::kSegmentExtension) {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int cmd_inspect(const std::string& dir) {
+  std::uint64_t records = 0, crc_skipped = 0, torn_bytes = 0, bytes = 0;
+  std::size_t rejected = 0, fresh_indexes = 0, stale_indexes = 0;
+  const std::vector<std::string> segments = list_segments(dir);
+  std::cout << "{\n  \"segments\": [\n";
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& path = segments[i];
+    const cache::MappedFile file(path);
+    cache::SegmentLoadStats stats;
+    const bool ok =
+        cache::load_segment_mapped(file, stats, [](cache::SegmentRecord&&) {});
+    // Freshness check without writing: decode the sidecar (when there
+    // is one) and compare size + CRC chain against the live segment.
+    bool index_fresh = false;
+    const std::string index_path = cache::index_path_for(path);
+    if (ok && fs::exists(index_path)) {
+      const cache::MappedFile index_file(index_path);
+      std::string index_bytes;
+      if (index_file.ok() &&
+          index_file.read_at(0, index_file.size(), &index_bytes)) {
+        cache::SegmentIndex index;
+        std::uint64_t size = 0;
+        std::uint32_t chain = 0;
+        index_fresh = cache::decode_index(index_bytes, &index) &&
+                      cache::segment_crc_chain(file, &size, &chain) &&
+                      index.segment_size == size &&
+                      index.segment_crc_chain == chain;
+      }
+    }
+    records += stats.records_loaded;
+    crc_skipped += stats.records_skipped_crc;
+    torn_bytes += stats.torn_tail_bytes;
+    bytes += file.size();
+    rejected += ok ? 0 : 1;
+    fresh_indexes += index_fresh ? 1 : 0;
+    stale_indexes += (ok && !index_fresh) ? 1 : 0;
+    std::cout << "    {\"path\": \"" << fs::path(path).filename().string()
+              << "\", \"ok\": " << (ok ? 1 : 0)
+              << ", \"bytes\": " << file.size()
+              << ", \"records\": " << stats.records_loaded
+              << ", \"crc_skipped\": " << stats.records_skipped_crc
+              << ", \"torn_tail_bytes\": " << stats.torn_tail_bytes
+              << ", \"index_fresh\": " << (index_fresh ? 1 : 0) << "}"
+              << (i + 1 < segments.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n"
+            << "  \"segment_files\": " << segments.size() << ",\n"
+            << "  \"segments_rejected\": " << rejected << ",\n"
+            << "  \"bytes\": " << bytes << ",\n"
+            << "  \"records\": " << records << ",\n"
+            << "  \"records_skipped_crc\": " << crc_skipped << ",\n"
+            << "  \"torn_tail_bytes\": " << torn_bytes << ",\n"
+            << "  \"indexes_fresh\": " << fresh_indexes << ",\n"
+            << "  \"indexes_missing_or_stale\": " << stale_indexes << "\n"
+            << "}" << std::endl;
+  return 0;
+}
+
+int cmd_index(const std::string& dir) {
+  std::size_t loaded = 0, rebuilt = 0, written = 0, rejected = 0;
+  std::uint64_t entries = 0;
+  for (const std::string& path : list_segments(dir)) {
+    const cache::MappedFile file(path);
+    const cache::IndexLoadResult result =
+        cache::load_or_build_index(path, file);
+    if (!result.segment_ok) {
+      ++rejected;
+      continue;
+    }
+    loaded += result.loaded ? 1 : 0;
+    rebuilt += result.rebuilt ? 1 : 0;
+    written += result.written ? 1 : 0;
+    entries += result.index.entries.size();
+  }
+  std::cout << "{\"indexes_loaded\": " << loaded
+            << ", \"indexes_rebuilt\": " << rebuilt
+            << ", \"indexes_written\": " << written
+            << ", \"segments_rejected\": " << rejected
+            << ", \"records_indexed\": " << entries << "}" << std::endl;
+  return 0;
+}
+
+int cmd_compact(const std::string& dir, bool gc) {
+  cache::CompactionOptions options;
+  options.gc = gc;
+  const cache::CompactionStats stats = cache::compact_directory(dir, options);
+  std::cout << "{\"performed\": " << (stats.performed ? 1 : 0)
+            << ", \"segments_in\": " << stats.segments_in
+            << ", \"segments_rejected\": " << stats.segments_rejected
+            << ", \"segments_removed\": " << stats.segments_removed
+            << ", \"records_in\": " << stats.records_in
+            << ", \"records_kept\": " << stats.records_kept
+            << ", \"records_dropped\": " << stats.records_dropped()
+            << ", \"records_dropped_duplicate\": "
+            << stats.records_dropped_duplicate
+            << ", \"records_dropped_crc\": " << stats.records_dropped_crc
+            << ", \"records_dropped_unknown_tag\": "
+            << stats.records_dropped_unknown_tag
+            << ", \"bytes_in\": " << stats.bytes_in
+            << ", \"bytes_out\": " << stats.bytes_out << ", \"output\": \""
+            << (stats.performed
+                    ? fs::path(stats.output_path).filename().string()
+                    : std::string())
+            << "\"}" << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  upa::cli::Args args(argc, argv);
+  if (args.has("help") || args.command() == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  const std::string verb = args.command();
+  if (verb != "inspect" && verb != "index" && verb != "compact" &&
+      verb != "gc") {
+    std::cerr << "upa_cachectl: unknown verb '" << verb << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::vector<std::string> unknown =
+      upa::cli::unknown_options(args, {"dir"});
+  if (!unknown.empty()) {
+    std::cerr << "upa_cachectl: unknown option '--" << unknown.front()
+              << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    std::cerr << "upa_cachectl: --dir is required\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    UPA_REQUIRE(fs::is_directory(dir),
+                "--dir must name an existing directory, got '" + dir + "'");
+    if (verb == "inspect") return cmd_inspect(dir);
+    if (verb == "index") return cmd_index(dir);
+    return cmd_compact(dir, verb == "gc");
+  } catch (const std::exception& e) {
+    std::cerr << "upa_cachectl: " << e.what() << "\n";
+    return 1;
+  }
+}

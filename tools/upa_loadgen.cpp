@@ -96,6 +96,15 @@ void print_usage(std::ostream& os) {
         "                       peer's cache (cache export / import over\n"
         "                       the wire) and verify the replayed hits\n"
         "  --warm-points N      design points in the warm set (default 16)\n"
+        "  --warm-transfer-retries N    transfer RPC attempts per restart\n"
+        "                       (default 40)\n"
+        "  --warm-transfer-interval-ms N  spacing between transfer\n"
+        "                       attempts (default 250)\n"
+        "  --anti-entropy-ms N  gossip interval: restarted replicas pull\n"
+        "                       the warm set from peers themselves (the\n"
+        "                       orchestrator issues zero transfer RPCs);\n"
+        "                       0 = orchestrator-driven (default 0,\n"
+        "                       requires --warm-transfer)\n"
         "  (farm overrides: --lambda 20, --nu 10, --requests 500,\n"
         "   --call-timeout 5 -- slow services keep scheduler overhead\n"
         "   negligible against the modeled service time)\n"
@@ -346,6 +355,12 @@ int run_farm(const upa::cli::Args& args) {
   config.trace = args.has("trace") || !trace_csv.empty();
   config.warm_transfer = args.has("warm-transfer");
   config.warm_points = args.get_size("warm-points", 16);
+  config.warm_transfer_retries =
+      static_cast<int>(args.get_size("warm-transfer-retries", 40));
+  config.warm_transfer_interval_ms =
+      static_cast<int>(args.get_size("warm-transfer-interval-ms", 250));
+  config.anti_entropy_ms =
+      static_cast<int>(args.get_size("anti-entropy-ms", 0));
 
   // The kill schedule goes through an inject::FaultPlan -- the same
   // scripted-outage machinery the simulation campaigns replay -- with
@@ -378,6 +393,12 @@ int run_farm(const upa::cli::Args& args) {
               << " exported=" << r.warm_export_records
               << " imported=" << r.warm_import_records
               << " warmed_hits=" << r.warmed_hits
+              << (config.anti_entropy_ms > 0
+                      ? " anti_entropy_pulled=" +
+                            std::to_string(r.anti_entropy_records_pulled) +
+                            " orchestrator_transfers=" +
+                            std::to_string(r.orchestrator_transfers)
+                      : std::string())
               << (r.warm_transfer_ok
                       ? " [warm]"
                       : " [COLD: " + r.warm_transfer_error + "]")
@@ -445,7 +466,14 @@ int run_farm(const upa::cli::Args& args) {
        {"warm_export_records", static_cast<double>(r.warm_export_records)},
        {"warm_import_records", static_cast<double>(r.warm_import_records)},
        {"warmed_hits", static_cast<double>(r.warmed_hits)},
-       {"warm_transfer_ok", r.warm_transfer_ok ? 1.0 : 0.0}});
+       {"warm_transfer_ok", r.warm_transfer_ok ? 1.0 : 0.0},
+       {"anti_entropy_ms", static_cast<double>(config.anti_entropy_ms)},
+       {"anti_entropy_rounds", static_cast<double>(r.anti_entropy_rounds)},
+       {"anti_entropy_records_pulled",
+        static_cast<double>(r.anti_entropy_records_pulled)},
+       {"orchestrator_transfers",
+        static_cast<double>(r.orchestrator_transfers)},
+       {"anti_entropy_ok", r.anti_entropy_ok ? 1.0 : 0.0}});
   std::cout << "wrote " << out << std::endl;
 
   // Budgeted retries must fully mask the kill: any client-visible
@@ -467,6 +495,15 @@ int run_farm(const upa::cli::Args& args) {
   if (config.warm_transfer && !r.warm_transfer_ok) {
     std::cerr << "farm: warm transfer failed: " << r.warm_transfer_error
               << "\n";
+    return 1;
+  }
+  // Anti-entropy runs additionally gate on the gossip path doing the
+  // warming: nonzero pulled records, zero orchestrator transfer RPCs.
+  if (config.anti_entropy_ms > 0 && !r.anti_entropy_ok) {
+    std::cerr << "farm: anti-entropy convergence failed: pulled="
+              << r.anti_entropy_records_pulled << " orchestrator_transfers="
+              << r.orchestrator_transfers << " error="
+              << r.warm_transfer_error << "\n";
     return 1;
   }
   return r.within_tolerance ? 0 : 1;
@@ -496,7 +533,8 @@ std::vector<std::string> allowed_for_mode(const std::string& mode) {
             "requests", "call-timeout", "probe-interval",
             "unhealthy-threshold", "kills", "kill-at", "kill-for",
             "kill-every", "out", "trace", "trace-csv", "warm-transfer",
-            "warm-points"});
+            "warm-points", "warm-transfer-retries",
+            "warm-transfer-interval-ms", "anti-entropy-ms"});
   }
   return allowed;
 }

@@ -9,14 +9,17 @@
 #include <csignal>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "upa/cache/eval_cache.hpp"
 #include "upa/cache/persist.hpp"
 #include "upa/cli/args.hpp"
 #include "upa/common/error.hpp"
 #include "upa/obs/observer.hpp"
+#include "upa/serve/anti_entropy.hpp"
 #include "upa/serve/server.hpp"
 
 namespace {
@@ -47,6 +50,14 @@ void print_usage(std::ostream& os) {
         "  --cache-dir DIR    persistent cache tier: pre-warm from DIR's\n"
         "                     segments at startup and write-behind new\n"
         "                     results there (requires --cache on)\n"
+        "  --cache-compact-ms N  background compaction sweep interval for\n"
+        "                     --cache-dir segments, 0 = off (default 0)\n"
+        "  --peers LIST       comma-separated host:port peer replicas for\n"
+        "                     anti-entropy warm-set exchange\n"
+        "  --anti-entropy-ms N  anti-entropy round interval; every round\n"
+        "                     pulls the records a peer has and this\n"
+        "                     replica lacks, 0 = off (default 0;\n"
+        "                     requires --peers and --cache on)\n"
         "  --trace            record per-request server-side spans\n"
         "                     (serve_request + admission/queue/handler/\n"
         "                     serialize phases) for the subscribe stream\n"
@@ -63,8 +74,23 @@ void print_usage(std::ostream& os) {
 const std::vector<std::string> kAllowedOptions = {
     "bind",        "port",         "workers",   "capacity",
     "deadline-ms", "read-timeout", "cache",     "cache-dir",
-    "trace",       "process",
+    "trace",       "process",      "peers",     "anti-entropy-ms",
+    "cache-compact-ms",
 };
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= list.size()) {
+    const std::size_t comma = list.find(',', at);
+    const std::string item =
+        list.substr(at, comma == std::string::npos ? comma : comma - at);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -110,15 +136,43 @@ int main(int argc, char** argv) {
     UPA_REQUIRE(cache_dir.empty() || cache_mode == "on",
                 "--cache-dir requires --cache on");
 
+    const std::vector<std::string> peers = split_csv(args.get("peers", ""));
+    const double anti_entropy_ms = args.get_double("anti-entropy-ms", 0.0);
+    const double compact_ms = args.get_double("cache-compact-ms", 0.0);
+    UPA_REQUIRE(anti_entropy_ms <= 0.0 || !peers.empty(),
+                "--anti-entropy-ms requires --peers");
+    UPA_REQUIRE((anti_entropy_ms <= 0.0 && peers.empty()) ||
+                    cache_mode == "on",
+                "--peers/--anti-entropy-ms require --cache on");
+    UPA_REQUIRE(compact_ms <= 0.0 || !cache_dir.empty(),
+                "--cache-compact-ms requires --cache-dir");
+
     cache::set_enabled(cache_mode == "on");
     if (!cache_dir.empty()) {
-      cache::attach_global_persistence(cache_dir);
+      cache::PersistentCache& tier = cache::attach_global_persistence(cache_dir);
+      if (compact_ms > 0.0) {
+        tier.start_maintenance(
+            std::chrono::milliseconds(static_cast<long>(compact_ms)));
+      }
     }
     obs::Observer observer;
     config.obs = &observer;
 
     serve::Server server(std::move(config));
     server.start();
+
+    // Anti-entropy starts after the server is up so a peer's concurrent
+    // pull against US succeeds from the first round.
+    std::unique_ptr<serve::AntiEntropyAgent> anti_entropy;
+    if (anti_entropy_ms > 0.0) {
+      serve::AntiEntropyConfig ae;
+      ae.peers = peers;
+      ae.interval =
+          std::chrono::milliseconds(static_cast<long>(anti_entropy_ms));
+      anti_entropy = std::make_unique<serve::AntiEntropyAgent>(ae);
+      serve::set_global_anti_entropy(anti_entropy.get());
+      anti_entropy->start();
+    }
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
@@ -134,6 +188,15 @@ int main(int argc, char** argv) {
     }
 
     std::cout << "upa_served: draining..." << std::endl;
+    if (anti_entropy != nullptr) {
+      serve::set_global_anti_entropy(nullptr);
+      anti_entropy->stop();
+      const serve::AntiEntropyStats as = anti_entropy->stats();
+      std::cout << "anti-entropy: rounds=" << as.rounds
+                << " pulls_ok=" << as.pulls_ok
+                << " pull_errors=" << as.pull_errors
+                << " records_pulled=" << as.records_pulled << std::endl;
+    }
     server.stop();
 
     const serve::ServerStats stats = server.stats();
