@@ -1,8 +1,12 @@
 #include "upa/cache/persist.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 #include <utility>
@@ -34,7 +38,77 @@ std::vector<std::string> list_segments(const std::string& directory) {
   return paths;
 }
 
+/// Best-effort read of the pid a lock file was stamped with, for the
+/// "held by pid N" error message. Empty when unreadable.
+std::string read_lock_holder(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return {};
+  char buffer[32];
+  const ssize_t got = ::read(fd, buffer, sizeof(buffer) - 1);
+  ::close(fd);
+  if (got <= 0) return {};
+  buffer[got] = '\0';
+  std::string holder(buffer);
+  while (!holder.empty() &&
+         (holder.back() == '\n' || holder.back() == '\r')) {
+    holder.pop_back();
+  }
+  return holder;
+}
+
 }  // namespace
+
+DirectoryLock::DirectoryLock(const std::string& directory) {
+  const std::string path =
+      directory + "/" + std::string(kLockFileName);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  UPA_REQUIRE(fd_ >= 0, "cannot open cache lock file '" + path +
+                            "': " + std::strerror(errno));
+  if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+    const int error = errno;
+    const std::string holder = read_lock_holder(path);
+    ::close(fd_);
+    fd_ = -1;
+    if (error == EWOULDBLOCK || error == EAGAIN) {
+      throw common::ModelError(
+          "cache directory '" + directory + "' already has a writer" +
+          (holder.empty() ? std::string()
+                          : " (pid " + holder + ")") +
+          "; run against it after that process exits, or use a "
+          "read-only verb");
+    }
+    throw common::ModelError("cannot lock cache directory '" + directory +
+                             "': " + std::strerror(error));
+  }
+  // Stamp the holder pid purely for diagnostics -- the flock is the
+  // actual exclusion, so a stale stamp after a crash locks nothing.
+  const std::string stamp = std::to_string(::getpid()) + "\n";
+  (void)::ftruncate(fd_, 0);
+  (void)::pwrite(fd_, stamp.data(), stamp.size(), 0);
+}
+
+DirectoryLock::~DirectoryLock() { release(); }
+
+DirectoryLock::DirectoryLock(DirectoryLock&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+DirectoryLock& DirectoryLock::operator=(DirectoryLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void DirectoryLock::release() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);  // closing the descriptor drops the flock
+    fd_ = -1;
+  }
+}
 
 PersistentCache::PersistentCache(EvalCache& cache, std::string directory,
                                  PersistConfig config)
@@ -44,6 +118,7 @@ PersistentCache::PersistentCache(EvalCache& cache, std::string directory,
   fs::create_directories(directory_, ec);
   UPA_REQUIRE(!ec, "cannot create cache directory '" + directory_ +
                        "': " + ec.message());
+  lock_ = DirectoryLock(directory_);
   if (config_.attach == PersistConfig::Attach::kEager) {
     load_directory_eager();
   } else {
@@ -172,8 +247,9 @@ void PersistentCache::append_record(const std::string& type_tag,
                                     const std::string& key_bytes,
                                     const std::string& value_bytes) {
   // Callers hold mutex_. The active segment is named after the process
-  // so concurrent processes sharing a directory never clobber each
-  // other's file; a suffix probe handles pid reuse across runs.
+  // so sequential runs sharing a directory never clobber each other's
+  // file; a suffix probe handles pid reuse across runs. (Concurrent
+  // writers are excluded outright by the DirectoryLock.)
   try {
     if (active_ == nullptr) {
       const std::string stem =
@@ -428,6 +504,72 @@ std::string export_delta_blob(EvalCache& cache,
   }
   if (stats != nullptr) *stats = local;
   return blob;
+}
+
+namespace {
+
+/// Finalizer-strength 64-bit mixer (splitmix64). XOR-folding the MIXED
+/// digests stays commutative -- replicas enumerate in different orders
+/// -- while the mix keeps structured digest sets from cancelling.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+DigestFingerprint digest_fingerprint(EvalCache& cache) {
+  DigestFingerprint fp;
+  for (const std::uint64_t digest : digest_summary(cache)) {
+    ++fp.count;
+    fp.fold ^= splitmix64(digest);
+  }
+  return fp;
+}
+
+DeltaPage export_delta_page(EvalCache& cache,
+                            const std::vector<std::uint64_t>& have,
+                            std::uint64_t cursor, std::size_t max_bytes) {
+  UPA_REQUIRE(max_bytes > 0, "delta page max_bytes must be positive");
+  // Digest order makes the cursor meaningful across calls even though
+  // the snapshots are taken independently: every digest <= cursor was
+  // already shipped (or skipped), so concurrent inserts behind the
+  // cursor are simply left for the NEXT round, like any gossip.
+  std::vector<EvalCache::SnapshotEntry> entries = cache.snapshot();
+  std::sort(entries.begin(), entries.end(),
+            [](const EvalCache::SnapshotEntry& a,
+               const EvalCache::SnapshotEntry& b) {
+              return key_digest(a.key_bytes) < key_digest(b.key_bytes);
+            });
+  DeltaPage page;
+  page.blob = segment_header();
+  page.next_cursor = cursor;
+  std::uint64_t previous = cursor;
+  for (const EvalCache::SnapshotEntry& entry : entries) {
+    const std::uint64_t digest = key_digest(entry.key_bytes);
+    if (digest <= cursor) continue;
+    if (digest == previous) continue;  // digest dupe: first key wins
+    if (std::binary_search(have.begin(), have.end(), digest)) continue;
+    const ValueCodec* codec = codec_for_type(*entry.value.type);
+    if (codec == nullptr) {
+      ++page.skipped_no_codec;
+      continue;
+    }
+    const std::string record = encode_record(SegmentRecord{
+        std::string(codec->type_tag), entry.key_bytes,
+        codec->serialize(entry.value.value.get())});
+    if (page.records > 0 && page.blob.size() + record.size() > max_bytes) {
+      page.complete = false;
+      break;
+    }
+    page.blob += record;
+    ++page.records;
+    page.next_cursor = digest;
+    previous = digest;
+  }
+  return page;
 }
 
 namespace {

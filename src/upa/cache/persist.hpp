@@ -35,6 +35,15 @@
 // digest_summary / export_delta_blob implement the anti-entropy
 // exchange: a replica ships the digests it HAS, a peer answers with a
 // delta blob of only the records the caller is missing.
+// digest_fingerprint collapses the summary to an O(1)-to-compare
+// (count, fold) pair so converged replicas skip the exchange entirely,
+// and export_delta_page cuts a large delta into bounded pages that fit
+// the wire protocol's line cap.
+//
+// Writer exclusivity: construction takes an flock(2) DirectoryLock on
+// the directory (`.upalock`), so a second writer -- another process OR
+// a second in-process attach -- fails fast with an error naming the
+// holder's pid instead of interleaving appends and compactions.
 
 #include <atomic>
 #include <chrono>
@@ -54,6 +63,35 @@
 #include "upa/cache/segment.hpp"
 
 namespace upa::cache {
+
+/// Advisory single-writer lock on a cache directory: an exclusive
+/// non-blocking flock(2) on `<dir>/.upalock`, stamped with the holder's
+/// pid. Construction throws ModelError naming the current holder when
+/// the lock is already taken. flock is per open file description, so a
+/// second attach from the SAME process conflicts too -- exactly the
+/// accident (two sinks appending to one directory) this guards against.
+/// The default-constructed lock holds nothing; moving transfers
+/// ownership; destruction releases.
+class DirectoryLock {
+ public:
+  DirectoryLock() = default;
+  explicit DirectoryLock(const std::string& directory);
+  ~DirectoryLock();
+
+  DirectoryLock(DirectoryLock&& other) noexcept;
+  DirectoryLock& operator=(DirectoryLock&& other) noexcept;
+  DirectoryLock(const DirectoryLock&) = delete;
+  DirectoryLock& operator=(const DirectoryLock&) = delete;
+
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+  /// The lock file's name inside the directory.
+  static constexpr const char* kLockFileName = ".upalock";
+
+ private:
+  void release() noexcept;
+  int fd_ = -1;
+};
 
 struct PersistConfig {
   enum class Attach { kLazy, kEager };
@@ -152,6 +190,7 @@ class PersistentCache final : public CacheSink, public CacheSource {
   EvalCache& cache_;
   std::string directory_;
   PersistConfig config_;
+  DirectoryLock lock_;  // held for the instance lifetime
 
   mutable std::mutex mutex_;
   std::unique_ptr<SegmentFile> active_;  // created lazily on first append
@@ -198,6 +237,37 @@ ImportStats import_segment_blob(EvalCache& cache,
 [[nodiscard]] std::string export_delta_blob(
     EvalCache& cache, const std::vector<std::uint64_t>& have,
     ExportStats* stats = nullptr);
+
+/// O(1)-to-compare convergence check: the number of distinct key
+/// digests plus a commutative splitmix64 fold over them. Equal
+/// fingerprints mean equal warm sets (up to a ~2^-64 fold collision),
+/// so a converged anti-entropy round costs one tiny RPC instead of
+/// shipping the full digest summary.
+struct DigestFingerprint {
+  std::uint64_t count = 0;
+  std::uint64_t fold = 0;
+  friend bool operator==(const DigestFingerprint&,
+                         const DigestFingerprint&) = default;
+};
+[[nodiscard]] DigestFingerprint digest_fingerprint(EvalCache& cache);
+
+/// One bounded page of the delta export: records in ascending
+/// key-digest order, strictly after `cursor`, packed until adding the
+/// next record would push the blob past `max_bytes` (a page always
+/// carries at least one record, so progress never stalls on one large
+/// value). `complete` means the delta is exhausted; otherwise resume
+/// with `next_cursor`. Lets `cache pull` answers stay under the wire
+/// protocol's line cap no matter how large the delta is.
+struct DeltaPage {
+  std::string blob;            ///< segment header + the page's records
+  bool complete = true;        ///< no records remain past this page
+  std::uint64_t next_cursor = 0;  ///< resume point (last shipped digest)
+  std::uint64_t records = 0;
+  std::uint64_t skipped_no_codec = 0;
+};
+[[nodiscard]] DeltaPage export_delta_page(
+    EvalCache& cache, const std::vector<std::uint64_t>& have,
+    std::uint64_t cursor, std::size_t max_bytes);
 
 /// Attaches the process-global persistence tier (what --cache-dir
 /// does): warms cache::global() from `directory` and write-behinds

@@ -1,0 +1,104 @@
+#pragma once
+// The closed loop: a Controller attaches to one live upa_served over
+// its telemetry `subscribe` channel, turns the pushed metrics ticks
+// into (lambda-hat, nu-hat, loss-hat) via RateEstimator, asks
+// AdmissionPolicy for the smallest (i, K) meeting the loss SLO, and
+// applies accepted proposals through the server's `reconfigure` RPC.
+// The actuation path is deliberately in-band: the control channel is a
+// normal client connection subject to the same M/M/i/K admission
+// control as the workload, so under the very overload that makes a
+// grow urgent the reconfigure call itself may be 503-rejected -- the
+// controller retries with a short backoff until a slot opens (a few
+// tries suffice even at high loss fractions) and counts every retry.
+//
+// Observability: with an obs::Observer attached, each tick records one
+// `control_decision` span (attrs: lambda, nu, loss, plan, applied) and
+// refreshes ctl.* gauges. The observer must be exclusive to this
+// controller -- it is touched only from the control thread.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "upa/control/estimator.hpp"
+#include "upa/control/policy.hpp"
+#include "upa/obs/observer.hpp"
+#include "upa/serve/client.hpp"
+
+namespace upa::control {
+
+struct ControllerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Telemetry push interval requested from the server -- the control
+  /// loop's tick period.
+  double tick_interval_seconds = 0.25;
+  double connect_timeout_seconds = 5.0;
+  /// Reconfigure delivery: attempts and backoff for the in-band RPC
+  /// contending with the workload for an admission slot.
+  std::size_t apply_attempts = 25;
+  double apply_backoff_seconds = 0.02;
+  RateEstimator::Options estimator;
+  PolicyOptions policy;
+  /// Optional; exclusive to the control thread (see file comment).
+  obs::Observer* obs = nullptr;
+};
+
+struct ControllerStats {
+  std::uint64_t ticks = 0;          ///< metrics lines consumed
+  std::uint64_t decisions = 0;      ///< policy evaluations
+  std::uint64_t applies = 0;        ///< successful reconfigure RPCs
+  std::uint64_t apply_retries = 0;  ///< rejected/failed delivery attempts
+  std::uint64_t apply_failures = 0; ///< proposals given up on entirely
+  std::uint64_t errors = 0;         ///< unparseable telemetry lines
+  std::size_t workers = 0;          ///< policy's view of the applied i
+  std::size_t capacity = 0;         ///< policy's view of the applied K
+  double lambda = 0.0;              ///< last estimate fed to the policy
+  double nu = 0.0;
+  double loss = 0.0;
+  bool connected = false;           ///< subscribe stream currently live
+};
+
+class Controller {
+ public:
+  explicit Controller(ControllerOptions options);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Seeds the policy from the server's `stats` RPC, subscribes to its
+  /// telemetry stream, and spawns the control thread. Throws ModelError
+  /// when the server cannot be reached or refuses the subscription.
+  void start();
+
+  /// Stops the control thread (wakes a blocked stream read) and joins.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] ControllerStats stats() const;
+
+ private:
+  void run();
+  void handle_metrics_line(const serve::Json& line);
+  /// Delivers one reconfigure with retry-on-contention; true on applied.
+  bool apply(std::size_t workers, std::size_t capacity);
+  [[nodiscard]] double now_seconds() const;
+
+  ControllerOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  serve::Client subscription_;
+  RateEstimator estimator_;
+  std::optional<AdmissionPolicy> policy_;
+
+  mutable std::mutex mutex_;  ///< guards stats_
+  ControllerStats stats_;
+};
+
+}  // namespace upa::control

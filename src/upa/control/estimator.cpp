@@ -1,0 +1,88 @@
+#include "upa/control/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+
+namespace upa::control {
+
+RateEstimator::RateEstimator(Options options) : options_(options) {
+  UPA_REQUIRE(std::isfinite(options_.window_seconds) &&
+                  options_.window_seconds > 0.0,
+              "estimator window must be positive");
+  UPA_REQUIRE(std::isfinite(options_.ewma_halflife_seconds) &&
+                  options_.ewma_halflife_seconds > 0.0,
+              "EWMA half-life must be positive");
+  UPA_REQUIRE(options_.min_window_seconds >= 0.0 &&
+                  options_.min_window_seconds <= options_.window_seconds,
+              "min window must be in [0, window]");
+}
+
+void RateEstimator::observe(const CounterSample& sample) {
+  UPA_REQUIRE(std::isfinite(sample.t), "sample time must be finite");
+  if (!window_.empty() && sample.t < window_.back().t) return;
+
+  if (!window_.empty()) {
+    const CounterSample& prev = window_.back();
+    const double dt = sample.t - prev.t;
+    if (dt > 0.0) {
+      const double instant =
+          std::max(0.0, sample.arrivals - prev.arrivals) / dt;
+      // Half-life smoothing: after `halflife` seconds of evidence the
+      // old estimate contributes half. Seed on the first difference so
+      // the EWMA never has to climb up from zero.
+      const double keep =
+          std::exp2(-dt / options_.ewma_halflife_seconds);
+      lambda_ewma_ = lambda_seeded_
+                         ? keep * lambda_ewma_ + (1.0 - keep) * instant
+                         : instant;
+      lambda_seeded_ = true;
+    }
+  }
+  window_.push_back(sample);
+  const double horizon = sample.t - options_.window_seconds;
+  // Keep one sample at or before the horizon as the difference base, so
+  // the window always spans >= window_seconds once enough time passed.
+  while (window_.size() >= 2 && window_[1].t <= horizon) {
+    window_.pop_front();
+  }
+  const double handled =
+      std::max(0.0, window_.back().handled - window_.front().handled);
+  const double busy = std::max(
+      0.0, window_.back().busy_seconds - window_.front().busy_seconds);
+  if (handled > 0.0 && busy > 0.0) last_nu_ = handled / busy;
+}
+
+RateEstimate RateEstimator::estimate() const {
+  RateEstimate e;
+  if (window_.size() < 2) return e;
+  const CounterSample& base = window_.front();
+  const CounterSample& now = window_.back();
+  const double span = now.t - base.t;
+  if (span <= 0.0) return e;
+  e.window_seconds = span;
+
+  const double arrivals = std::max(0.0, now.arrivals - base.arrivals);
+  const double rejected = std::max(0.0, now.rejected - base.rejected);
+
+  e.window_arrivals = arrivals;
+  e.lambda_window = arrivals / span;
+  e.lambda = lambda_seeded_ ? lambda_ewma_ : e.lambda_window;
+  if (arrivals > 0.0) {
+    e.loss = rejected / arrivals;
+    e.loss_stddev = std::sqrt(e.loss * (1.0 - e.loss) / arrivals);
+  }
+  e.nu = last_nu_;
+  e.ready = span >= options_.min_window_seconds;
+  return e;
+}
+
+void RateEstimator::reset() {
+  window_.clear();
+  lambda_ewma_ = 0.0;
+  lambda_seeded_ = false;
+  last_nu_ = 0.0;
+}
+
+}  // namespace upa::control

@@ -1,0 +1,103 @@
+#include "upa/control/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "upa/common/error.hpp"
+#include "upa/queueing/mmck.hpp"
+
+namespace upa::control {
+
+AdmissionPolicy::AdmissionPolicy(PolicyOptions options, std::size_t workers,
+                                 std::size_t capacity)
+    : options_(options), workers_(workers), capacity_(capacity) {
+  UPA_REQUIRE(std::isfinite(options_.target_loss) &&
+                  options_.target_loss > 0.0 && options_.target_loss < 1.0,
+              "target loss must be in (0, 1)");
+  UPA_REQUIRE(options_.sizing_fraction > 0.0 &&
+                  options_.sizing_fraction <= 1.0,
+              "sizing fraction must be in (0, 1]");
+  UPA_REQUIRE(options_.lambda_headroom >= 1.0,
+              "lambda headroom must be >= 1");
+  UPA_REQUIRE(options_.min_workers >= 1 &&
+                  options_.max_workers >= options_.min_workers,
+              "worker bounds must satisfy 1 <= min <= max");
+  UPA_REQUIRE(options_.max_capacity >= options_.max_workers,
+              "max capacity must be >= max workers");
+  UPA_REQUIRE(workers_ >= 1 && capacity_ >= workers_,
+              "seed config must satisfy K >= i >= 1");
+}
+
+PolicyDecision AdmissionPolicy::decide(const RateEstimate& estimate,
+                                       double now) {
+  PolicyDecision d;
+  d.workers = workers_;
+  d.capacity = capacity_;
+  if (!estimate.ready) {
+    d.reason = "hold:estimating";
+    return d;
+  }
+  if (!(estimate.nu > 0.0)) {
+    d.reason = "hold:no-service-rate";
+    return d;
+  }
+  // Plan for a bit more load than measured; an idle server still plans
+  // against a token epsilon rate so the search below stays well-formed
+  // (it then proposes the minimum configuration).
+  const double alpha =
+      std::max(estimate.lambda * options_.lambda_headroom, 1e-3);
+  const double sizing_target =
+      options_.target_loss * options_.sizing_fraction;
+  const queueing::MmckSizing plan = queueing::mmck_smallest_config(
+      alpha, estimate.nu, sizing_target, options_.max_workers,
+      options_.max_capacity, options_.min_workers);
+  d.workers = plan.servers;
+  d.capacity = plan.capacity;
+  d.predicted_loss = plan.loss;
+  d.feasible = plan.feasible;
+
+  if (plan.servers == workers_ && plan.capacity == capacity_) {
+    shrink_since_ = -1.0;
+    d.reason = "hold:converged";
+    return d;
+  }
+
+  // Classify against the SLO itself (not the tighter sizing target):
+  // would the CURRENT config analytically breach the promise at the
+  // planned load? Then the change is urgent.
+  const double current_loss = queueing::mmck_loss_probability(
+      alpha, estimate.nu, workers_, capacity_);
+  if (current_loss > options_.target_loss) {
+    shrink_since_ = -1.0;
+    if (now - last_change_ < options_.grow_cooldown_seconds) {
+      d.reason = "hold:grow-cooldown";
+      return d;
+    }
+    d.act = true;
+    d.reason = "grow";
+    return d;
+  }
+
+  // The current config still meets the SLO -- the proposal is a trim.
+  // Track the streak, not the exact proposal: lambda-hat jitter may
+  // wiggle the proposed K by one without resetting the clock, and the
+  // trim applied is always the freshest plan.
+  if (shrink_since_ < 0.0) shrink_since_ = now;
+  if (now - shrink_since_ < options_.shrink_cooldown_seconds) {
+    d.reason = "hold:shrink-pending";
+    return d;
+  }
+  d.act = true;
+  d.reason = "shrink";
+  return d;
+}
+
+void AdmissionPolicy::applied(std::size_t workers, std::size_t capacity,
+                              double now) {
+  workers_ = workers;
+  capacity_ = capacity;
+  last_change_ = now;
+  shrink_since_ = -1.0;
+}
+
+}  // namespace upa::control

@@ -1,0 +1,89 @@
+#pragma once
+// Model-predictive admission policy: turns a RateEstimate into a target
+// (i, K) for the controlled upa_served. The planner is the paper's own
+// loss surface -- queueing::mmck_smallest_config searches for the
+// smallest configuration whose analytic p_K(i) meets the SLO at the
+// planned load (lambda-hat inflated by a headroom factor, sized to a
+// fraction of the SLO so normal estimation noise stays inside it).
+//
+// Hysteresis keeps the pool from flapping:
+//  - Grow (the current config would analytically breach the SLO at the
+//    planned load) applies almost immediately -- only a short cooldown
+//    after the previous change, so an estimate transient cannot fire
+//    two resizes in one controller tick-pair.
+//  - Shrink (the current config still meets the SLO, just with more
+//    capacity than needed) must stand: the policy only trims after the
+//    proposal has been continuously cheaper for a full shrink cooldown.
+//
+// decide() is a pure proposal; the caller reports back with applied()
+// once the reconfigure RPC actually succeeded, so a failed apply never
+// desynchronizes the policy's view of the server.
+
+#include <cstddef>
+#include <string>
+
+#include "upa/control/estimator.hpp"
+
+namespace upa::control {
+
+struct PolicyOptions {
+  /// The SLO: measured loss must stay at or under this.
+  double target_loss = 0.08;
+  /// Plan to this fraction of the SLO (0.5 = size for half the allowed
+  /// loss), leaving the rest as margin for estimation error.
+  double sizing_fraction = 0.5;
+  /// Plan for lambda-hat inflated by this factor.
+  double lambda_headroom = 1.3;
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 8;
+  std::size_t max_capacity = 64;
+  /// Minimum seconds between an applied change and the next grow.
+  double grow_cooldown_seconds = 0.75;
+  /// A shrink proposal must stand continuously for this long.
+  double shrink_cooldown_seconds = 6.0;
+};
+
+/// One policy evaluation. `act` asks the caller to apply (workers,
+/// capacity); the remaining fields describe the plan either way.
+struct PolicyDecision {
+  bool act = false;
+  std::size_t workers = 0;
+  std::size_t capacity = 0;
+  double predicted_loss = 1.0;  ///< analytic p_K at the proposed config
+  bool feasible = false;        ///< plan meets the sizing target in-cap
+  std::string reason;  ///< "grow", "shrink", or a "hold:<why>" tag
+};
+
+class AdmissionPolicy {
+ public:
+  /// `workers`/`capacity` seed the policy's view of the server's
+  /// current configuration (read from its `stats` RPC).
+  AdmissionPolicy(PolicyOptions options, std::size_t workers,
+                  std::size_t capacity);
+
+  /// Evaluates the plan at `now` (same clock as the estimator samples).
+  /// Pure: internal state only tracks shrink candidacy, never the
+  /// applied config.
+  [[nodiscard]] PolicyDecision decide(const RateEstimate& estimate,
+                                      double now);
+
+  /// Confirms a reconfigure was applied; resets cooldowns.
+  void applied(std::size_t workers, std::size_t capacity, double now);
+
+  [[nodiscard]] std::size_t current_workers() const noexcept {
+    return workers_;
+  }
+  [[nodiscard]] std::size_t current_capacity() const noexcept {
+    return capacity_;
+  }
+
+ private:
+  PolicyOptions options_;
+  std::size_t workers_;
+  std::size_t capacity_;
+  double last_change_ = -1e300;    ///< time of the last applied change
+  double shrink_since_ = -1.0;     ///< first tick of the current shrink
+                                   ///< streak; < 0 = no streak
+};
+
+}  // namespace upa::control

@@ -1,0 +1,115 @@
+#pragma once
+// The closed-loop dogfood experiment: replay a diurnal lambda(t) with a
+// flash crowd and a scripted service-degradation outage against a live
+// in-process upa_served, once under Controller management and once at a
+// fixed trough-sized (i, K) baseline, and gate the measured per-phase
+// loss against the SLO. The controlled run must hold the SLO through
+// every transient with zero transport errors (reconfigures never kill a
+// request); the baseline -- provisioned for the overnight trough --
+// must violate it during the flash crowd and the outage, demonstrating
+// that the control loop, not over-provisioning, keeps the promise.
+//
+// The outage window rides on inject::FaultPlan -- the same scripted-
+// outage machinery the simulation campaigns replay -- with plan hours
+// mapped 1:3600 onto experiment seconds. A phase inside the window has
+// its service rate collapsed to nu / 3 (the workload's `sleep` draws
+// stretch), modeling a backend brown-out rather than a process kill.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "upa/control/controller.hpp"
+#include "upa/inject/fault_plan.hpp"
+
+namespace upa::control {
+
+struct ControlScenarioConfig {
+  /// "full" = night / morning / flash / outage / recovery;
+  /// "flash" = morning / flash only (the CI-sized subset).
+  std::string scenario = "full";
+  /// Healthy per-server service rate [1/s] (~83 ms mean services keep
+  /// container scheduling noise small against the service time).
+  double nu = 12.0;
+  /// The loss SLO the controller must hold.
+  double target_loss = 0.08;
+  /// Scales every phase duration (and with it the request counts).
+  double duration_scale = 1.0;
+  std::uint64_t seed = 1;
+  /// The fixed baseline AND the controlled run's starting point: sized
+  /// for the overnight trough, deliberately too small for the peaks.
+  std::size_t initial_workers = 1;
+  std::size_t initial_capacity = 3;
+  /// Controller caps (the search space of the planner).
+  std::size_t max_workers = 8;
+  std::size_t max_capacity = 64;
+  double tick_interval_seconds = 0.25;
+  /// Optional observer handed to the Controller (control_decision
+  /// spans + ctl.* gauges); exclusive to the control thread.
+  obs::Observer* obs = nullptr;
+};
+
+/// One segment of the replayed day.
+struct ControlPhase {
+  std::string name;
+  double lambda = 0.0;            ///< offered arrival rate [1/s]
+  double nu = 0.0;                ///< service rate of the phase's draws
+  double duration_seconds = 0.0;
+  std::size_t requests = 0;       ///< round(lambda * duration), >= 1
+  bool faulted = false;           ///< inside the FaultPlan outage window
+};
+
+/// The phase list a config expands to (exposed for tests and the CLI's
+/// dry-run printing). Applies the FaultPlan overlay.
+[[nodiscard]] std::vector<ControlPhase> control_phases(
+    const ControlScenarioConfig& config);
+
+/// The scripted outage behind the "outage" phase; empty for scenarios
+/// without one.
+[[nodiscard]] inject::FaultPlan control_fault_plan(
+    const ControlScenarioConfig& config);
+
+/// Measured outcome of one phase of one pass.
+struct ControlPhaseOutcome {
+  std::string name;
+  double lambda = 0.0;
+  double nu = 0.0;
+  std::size_t requests = 0;
+  std::size_t rejected = 0;
+  std::size_t transport_errors = 0;
+  double measured_loss = 0.0;
+  /// One-sided gate: target_loss + 4-sigma binomial half-width at the
+  /// phase's sample size + a 0.02 scheduling allowance.
+  double gate = 0.0;
+  bool within_gate = false;
+  bool faulted = false;
+  std::size_t workers_after = 0;   ///< server's (i, K) when the phase ended
+  std::size_t capacity_after = 0;
+};
+
+struct ControlRunSummary {
+  std::vector<ControlPhaseOutcome> phases;
+  std::size_t transport_errors = 0;  ///< summed over phases
+  bool all_within = true;            ///< every phase under its gate
+  bool any_violation = false;        ///< at least one phase over its gate
+};
+
+struct ControlExperimentResult {
+  ControlRunSummary controlled;
+  ControlRunSummary baseline;
+  ControllerStats controller;  ///< final stats of the controlled pass
+  double target_loss = 0.0;
+  /// Controlled pass held every gate, saw zero transport errors, and
+  /// the controller actually reconfigured at least once.
+  bool control_ok = false;
+  /// The fixed trough-sized baseline broke at least one gate -- the
+  /// control loop is doing work over-provisioning is not.
+  bool baseline_violates = false;
+};
+
+/// Runs both passes back to back (controlled first). Wall clock is
+/// roughly twice the summed phase durations.
+[[nodiscard]] ControlExperimentResult run_control_experiment(
+    const ControlScenarioConfig& config);
+
+}  // namespace upa::control

@@ -19,6 +19,7 @@ std::string span_level_name(SpanLevel level) {
     case SpanLevel::kDispatchRequest: return "dispatch_request";
     case SpanLevel::kDispatchAttempt: return "dispatch_attempt";
     case SpanLevel::kServePhase: return "serve_phase";
+    case SpanLevel::kControlDecision: return "control_decision";
   }
   UPA_ASSERT(false);
   return {};

@@ -30,6 +30,7 @@ enum class SpanLevel {
   kDispatchRequest,     ///< one client request through upa_dispatch (wall)
   kDispatchAttempt,     ///< one upstream forwarding attempt (wall)
   kServePhase,          ///< one phase of a served request (wall)
+  kControlDecision,     ///< one admission-controller decision tick (wall)
 };
 
 [[nodiscard]] std::string span_level_name(SpanLevel level);

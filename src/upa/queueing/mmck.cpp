@@ -122,4 +122,54 @@ double paper_pk(double alpha, double nu, std::size_t operational_servers,
   return mmck_loss_probability(alpha, nu, operational_servers, buffer_size);
 }
 
+MmckSizing mmck_capacity_for_loss(double alpha, double nu,
+                                  std::size_t servers, double target_loss,
+                                  std::size_t max_capacity,
+                                  std::size_t min_capacity) {
+  check_args(alpha, nu, servers, std::max(servers, max_capacity));
+  UPA_REQUIRE(std::isfinite(target_loss) && target_loss > 0.0 &&
+                  target_loss < 1.0,
+              "target loss must be in (0, 1)");
+  UPA_REQUIRE(max_capacity >= servers,
+              "max capacity must be at least the server count");
+  MmckSizing out;
+  out.servers = servers;
+  std::size_t lo = std::max({servers, min_capacity, std::size_t{1}});
+  std::size_t hi = std::max(lo, max_capacity);
+  out.capacity = hi;
+  out.loss = mmck_loss_probability(alpha, nu, servers, hi);
+  if (out.loss > target_loss) return out;  // even the cap misses the SLO
+  out.feasible = true;
+  // Invariant: loss(hi) <= target < loss(lo - 1); shrink to the smallest
+  // feasible K. p_K is nonincreasing in K, so bisection applies.
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (mmck_loss_probability(alpha, nu, servers, mid) <= target_loss) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  out.capacity = hi;
+  out.loss = mmck_loss_probability(alpha, nu, servers, hi);
+  return out;
+}
+
+MmckSizing mmck_smallest_config(double alpha, double nu, double target_loss,
+                                std::size_t max_servers,
+                                std::size_t max_capacity,
+                                std::size_t min_servers) {
+  UPA_REQUIRE(min_servers >= 1, "min servers must be >= 1");
+  UPA_REQUIRE(max_servers >= min_servers,
+              "max servers must be >= min servers");
+  UPA_REQUIRE(max_capacity >= max_servers,
+              "max capacity must be >= max servers");
+  MmckSizing best;
+  for (std::size_t i = min_servers; i <= max_servers; ++i) {
+    best = mmck_capacity_for_loss(alpha, nu, i, target_loss, max_capacity);
+    if (best.feasible) return best;
+  }
+  return best;  // the (max_servers, max_capacity) corner, infeasible
+}
+
 }  // namespace upa::queueing

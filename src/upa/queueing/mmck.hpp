@@ -43,4 +43,34 @@ struct MmckMetrics {
                               std::size_t operational_servers,
                               std::size_t buffer_size);
 
+/// Result of an inverse search over the p_K(i) surface.
+struct MmckSizing {
+  std::size_t servers = 0;   ///< smallest feasible i (or the search cap)
+  std::size_t capacity = 0;  ///< smallest feasible K for that i (or cap)
+  double loss = 1.0;         ///< analytic p_K at the returned point
+  bool feasible = false;     ///< loss <= target within the caps
+};
+
+/// Smallest K in [max(servers, min_capacity), max_capacity] with
+/// p_K(servers) <= target_loss, exploiting that p_K is nonincreasing in
+/// K at fixed (alpha, nu, i) -- a binary search over the capacity axis.
+/// Infeasible searches return {servers, max_capacity, loss, false}.
+[[nodiscard]] MmckSizing mmck_capacity_for_loss(double alpha, double nu,
+                                                std::size_t servers,
+                                                double target_loss,
+                                                std::size_t max_capacity,
+                                                std::size_t min_capacity = 1);
+
+/// Smallest (i, K) -- fewest servers first, then smallest capacity --
+/// with p_K(i) <= target_loss. p_K is nonincreasing in i at fixed K, so
+/// the scan stops at the first feasible server count. Infeasible
+/// searches return the (max_servers, max_capacity) corner with
+/// feasible = false, which is still the best configuration available --
+/// callers under overload apply it rather than doing nothing.
+[[nodiscard]] MmckSizing mmck_smallest_config(double alpha, double nu,
+                                              double target_loss,
+                                              std::size_t max_servers,
+                                              std::size_t max_capacity,
+                                              std::size_t min_servers = 1);
+
 }  // namespace upa::queueing

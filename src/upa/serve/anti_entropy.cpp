@@ -78,37 +78,98 @@ bool AntiEntropyAgent::run_round(std::size_t peer_index) {
     std::uint16_t port = 0;
     parse_peer(peer, &host, &port);
 
+    Client client;
+    client.connect(host, port, config_.connect_timeout_seconds);
+
+    // Step 0: O(1) convergence check. A fingerprint mismatch (or a peer
+    // that predates the op and errors on it) falls through to the pull.
+    {
+      const cache::DigestFingerprint mine =
+          cache::digest_fingerprint(cache::global());
+      Json params = Json::object();
+      params.set("op", Json(std::string("fingerprint")));
+      const CallResult reply = client.call("cache", std::move(params));
+      const Json* result = reply.ok() ? reply.result() : nullptr;
+      const Json* count =
+          result != nullptr ? result->find("digest_count") : nullptr;
+      const Json* fold =
+          result != nullptr ? result->find("fingerprint_hex") : nullptr;
+      if (count != nullptr && count->is_number() && fold != nullptr &&
+          fold->is_string()) {
+        cache::DigestFingerprint theirs;
+        theirs.count = static_cast<std::uint64_t>(count->as_number());
+        const std::vector<std::uint64_t> decoded =
+            cache::decode_digests(cache::from_hex(fold->as_string()));
+        UPA_REQUIRE(decoded.size() == 1,
+                    "peer fingerprint_hex must be 16 hex chars");
+        theirs.fold = decoded.front();
+        if (theirs == mine) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.pulls_ok;
+          ++stats_.rounds_converged;
+          return true;
+        }
+      }
+    }
+
     const std::string have_hex = cache::to_hex(
         cache::encode_digests(cache::digest_summary(cache::global())));
 
-    Client client;
-    client.connect(host, port, config_.connect_timeout_seconds);
-    Json params = Json::object();
-    params.set("op", Json(std::string("pull")));
-    params.set("have_hex", Json(have_hex));
-    const CallResult reply = client.call("cache", std::move(params));
-    if (!reply.ok()) {
-      throw common::ModelError("cache pull failed: " + reply.error_message);
-    }
-    const Json* result = reply.result();
-    const Json* segment_hex =
-        result != nullptr ? result->find("segment_hex") : nullptr;
-    UPA_REQUIRE(segment_hex != nullptr && segment_hex->is_string(),
-                "cache pull reply lacks segment_hex");
+    // Steps 2-4: pull the delta in bounded pages over the kept-alive
+    // connection. A peer that ignores max_bytes answers one unpaged
+    // blob whose reply lacks `complete`; that imports as a single page.
+    std::uint64_t pulled = 0;
+    std::uint64_t pages = 0;
+    std::string cursor_hex;
+    for (;;) {
+      Json params = Json::object();
+      params.set("op", Json(std::string("pull")));
+      params.set("have_hex", Json(have_hex));
+      if (config_.max_pull_bytes > 0) {
+        params.set("max_bytes",
+                   Json(static_cast<double>(config_.max_pull_bytes)));
+      }
+      if (!cursor_hex.empty()) params.set("cursor", Json(cursor_hex));
+      const CallResult reply = client.call("cache", std::move(params));
+      if (!reply.ok()) {
+        throw common::ModelError("cache pull failed: " +
+                                 reply.error_message);
+      }
+      const Json* result = reply.result();
+      const Json* segment_hex =
+          result != nullptr ? result->find("segment_hex") : nullptr;
+      UPA_REQUIRE(segment_hex != nullptr && segment_hex->is_string(),
+                  "cache pull reply lacks segment_hex");
 
-    const std::string blob = cache::from_hex(segment_hex->as_string());
-    cache::ImportStats imported;
-    if (cache::PersistentCache* tier = cache::global_persistence()) {
-      imported = tier->import_blob(blob);
-    } else {
-      imported = cache::import_segment_blob(cache::global(), blob);
+      const std::string blob = cache::from_hex(segment_hex->as_string());
+      cache::ImportStats imported;
+      if (cache::PersistentCache* tier = cache::global_persistence()) {
+        imported = tier->import_blob(blob);
+      } else {
+        imported = cache::import_segment_blob(cache::global(), blob);
+      }
+      UPA_REQUIRE(!imported.segment_rejected,
+                  "peer delta rejected: version/tag mismatch");
+      pulled += imported.records_seeded;
+      ++pages;
+
+      const Json* complete = result->find("complete");
+      if (complete == nullptr || !complete->is_bool() ||
+          complete->as_bool()) {
+        break;
+      }
+      const Json* next_cursor = result->find("next_cursor");
+      UPA_REQUIRE(next_cursor != nullptr && next_cursor->is_string(),
+                  "incomplete pull reply lacks next_cursor");
+      UPA_REQUIRE(next_cursor->as_string() != cursor_hex,
+                  "pull cursor did not advance");
+      cursor_hex = next_cursor->as_string();
     }
-    UPA_REQUIRE(!imported.segment_rejected,
-                "peer delta rejected: version/tag mismatch");
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.pulls_ok;
-    stats_.records_pulled += imported.records_seeded;
+    stats_.records_pulled += pulled;
+    stats_.pages_pulled += pages;
     return true;
   } catch (const std::exception&) {
     std::lock_guard<std::mutex> lock(mutex_);

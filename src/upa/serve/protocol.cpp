@@ -357,6 +357,10 @@ Json cache_stats_json() {
     anti.set("pull_errors", Json(static_cast<double>(as.pull_errors)));
     anti.set("records_pulled",
              Json(static_cast<double>(as.records_pulled)));
+    anti.set("rounds_converged",
+             Json(static_cast<double>(as.rounds_converged)));
+    anti.set("pages_pulled",
+             Json(static_cast<double>(as.pages_pulled)));
     out.set("anti_entropy", std::move(anti));
   }
   return out;
@@ -415,24 +419,59 @@ Json method_cache(const Json& params) {
         cache::digest_summary(cache::global());
     extra.set("digest_count", Json(static_cast<double>(digests.size())));
     extra.set("digests_hex", Json(cache::to_hex(cache::encode_digests(digests))));
+  } else if (op == "fingerprint") {
+    // Anti-entropy step 0: the O(1) convergence check. Two replicas
+    // whose (count, fold) pairs match hold the same warm set, so the
+    // round ends here instead of shipping the full digest summary.
+    const cache::DigestFingerprint fp =
+        cache::digest_fingerprint(cache::global());
+    extra.set("digest_count", Json(static_cast<double>(fp.count)));
+    extra.set("fingerprint_hex",
+              Json(cache::to_hex(cache::encode_digests({fp.fold}))));
   } else if (op == "pull") {
     // Anti-entropy step 2: answer with ONLY the records the caller is
     // missing. An empty/absent have_hex degenerates to a full export.
+    // With max_bytes the delta is cut into digest-ordered pages (resume
+    // via cursor) so the reply line stays under the protocol's line cap
+    // no matter how warm this replica is.
     const std::string have_hex = get_string(params, "have_hex", "");
     const std::vector<std::uint64_t> have =
         cache::decode_digests(cache::from_hex(have_hex));
-    cache::ExportStats ex;
-    const std::string blob =
-        cache::export_delta_blob(cache::global(), have, &ex);
-    extra.set("delta_records", Json(static_cast<double>(ex.records)));
-    extra.set("skipped_no_codec",
-              Json(static_cast<double>(ex.skipped_no_codec)));
+    const double max_bytes = get_number(params, "max_bytes", 0.0);
     extra.set("have_count", Json(static_cast<double>(have.size())));
-    extra.set("segment_hex", Json(cache::to_hex(blob)));
+    if (max_bytes > 0.0) {
+      const std::string cursor_hex = get_string(params, "cursor", "");
+      std::uint64_t cursor = 0;
+      if (!cursor_hex.empty()) {
+        const std::vector<std::uint64_t> decoded =
+            cache::decode_digests(cache::from_hex(cursor_hex));
+        UPA_REQUIRE(decoded.size() == 1,
+                    "param 'cursor' must be 16 hex chars");
+        cursor = decoded.front();
+      }
+      const cache::DeltaPage page = cache::export_delta_page(
+          cache::global(), have, cursor,
+          static_cast<std::size_t>(max_bytes));
+      extra.set("delta_records", Json(static_cast<double>(page.records)));
+      extra.set("skipped_no_codec",
+                Json(static_cast<double>(page.skipped_no_codec)));
+      extra.set("segment_hex", Json(cache::to_hex(page.blob)));
+      extra.set("complete", Json(page.complete));
+      extra.set("next_cursor", Json(cache::to_hex(cache::encode_digests(
+                                  {page.next_cursor}))));
+    } else {
+      cache::ExportStats ex;
+      const std::string blob =
+          cache::export_delta_blob(cache::global(), have, &ex);
+      extra.set("delta_records", Json(static_cast<double>(ex.records)));
+      extra.set("skipped_no_codec",
+                Json(static_cast<double>(ex.skipped_no_codec)));
+      extra.set("segment_hex", Json(cache::to_hex(blob)));
+    }
   } else if (op != "stats") {
     throw common::ModelError(
         "param 'op' must be stats, clear, reset_stats, enable, disable, "
-        "export, import, digest, or pull, got " +
+        "export, import, digest, fingerprint, or pull, got " +
         op);
   }
   Json out = cache_stats_json();

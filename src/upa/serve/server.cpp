@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -83,6 +85,32 @@ double seconds_between(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
+/// The one-line 503 envelope written to a connection that arrives while
+/// the system already holds K admitted connections.
+std::string make_reject_line(std::size_t capacity) {
+  return make_error_response(Json(), ErrorCode::kQueueFull,
+                             "server queue full (capacity " +
+                                 std::to_string(capacity) + ")")
+             .dump() +
+         "\n";
+}
+
+/// Optional size param for the reconfigure RPC: absent -> 0 ("keep").
+/// Throws ModelError on anything but a nonnegative integer number.
+std::size_t reconfigure_param(const Json& params, const char* name) {
+  if (!params.is_object()) return 0;
+  const Json* v = params.find(name);
+  if (v == nullptr) return 0;
+  UPA_REQUIRE(v->is_number(), std::string("param '") + name +
+                                  "' must be a number");
+  const double value = v->as_number();
+  UPA_REQUIRE(value >= 0.0 && value == std::floor(value) &&
+                  value <= 1e6,
+              std::string("param '") + name +
+                  "' must be an integer in [0, 1e6]");
+  return static_cast<std::size_t>(value);
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config)
@@ -95,11 +123,14 @@ Server::Server(ServerConfig config)
               "ServerConfig.deadline_seconds must be >= 0");
   UPA_REQUIRE(config_.read_timeout_seconds > 0.0,
               "ServerConfig.read_timeout_seconds must be > 0");
+  workers_target_ = config_.workers;
+  capacity_limit_ = config_.capacity;
+  reject_line_ = make_reject_line(capacity_limit_);
   dispatcher_.register_method("stats", [this](const Json&) {
     const ServerStats s = stats();
     Json out = Json::object();
-    out.set("workers", Json(config_.workers));
-    out.set("capacity", Json(config_.capacity));
+    out.set("workers", Json(s.workers));
+    out.set("capacity", Json(s.capacity));
     out.set("accepted", Json(static_cast<double>(s.accepted)));
     out.set("rejected", Json(static_cast<double>(s.rejected)));
     out.set("completed", Json(static_cast<double>(s.completed)));
@@ -108,6 +139,11 @@ Server::Server(ServerConfig config)
     out.set("protocol_errors", Json(static_cast<double>(s.protocol_errors)));
     out.set("in_system", Json(s.in_system));
     out.set("max_in_system", Json(s.max_in_system));
+    out.set("retiring", Json(s.retiring));
+    out.set("reconfigures", Json(static_cast<double>(s.reconfigures)));
+    out.set("busy_seconds", Json(s.busy_seconds));
+    out.set("handled_requests",
+            Json(static_cast<double>(s.handled_requests)));
     Json method_latency = Json::object();
     {
       std::lock_guard<std::mutex> lock(latency_mutex_);
@@ -120,6 +156,24 @@ Server::Server(ServerConfig config)
       }
     }
     out.set("method_latency", std::move(method_latency));
+    return out;
+  });
+  dispatcher_.register_method("reconfigure", [this](const Json& params) {
+    const std::size_t workers = reconfigure_param(params, "workers");
+    const std::size_t capacity = reconfigure_param(params, "capacity");
+    UPA_REQUIRE(workers > 0 || capacity > 0,
+                "reconfigure requires 'workers' and/or 'capacity'");
+    const ReconfigureResult r = reconfigure(workers, capacity);
+    Json out = Json::object();
+    out.set("workers", Json(r.workers));
+    out.set("capacity", Json(r.capacity));
+    out.set("previous_workers", Json(r.previous_workers));
+    out.set("previous_capacity", Json(r.previous_capacity));
+    out.set("retiring", Json(r.retiring));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      out.set("in_system", Json(in_system_));
+    }
     return out;
   });
   // One handler-latency histogram per registered method, plus a catch-
@@ -181,11 +235,17 @@ void Server::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   port_ = ntohs(bound.sin_port);
 
+  std::size_t initial_workers = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = false;
     queue_.clear();
     in_system_ = 0;
+    exited_worker_ids_.clear();
+    // A restart resumes at the last configured targets, which may have
+    // been retargeted by reconfigure() since construction.
+    active_workers_ = workers_target_;
+    initial_workers = workers_target_;
   }
   accept_stop_.store(false);
   started_at_ = Clock::now();
@@ -216,9 +276,12 @@ void Server::start() {
   running_.store(true);
 
   acceptor_ = std::thread([this] { acceptor_loop(); });
-  workers_.reserve(config_.workers);
-  for (std::size_t w = 0; w < config_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+  {
+    std::lock_guard<std::mutex> pool_lock(workers_mutex_);
+    workers_.reserve(initial_workers);
+    for (std::size_t w = 0; w < initial_workers; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
   }
 }
 
@@ -237,10 +300,26 @@ void Server::stop() {
   accept_stop_.store(true);
   work_ready_.notify_all();
   if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
+  // Pop-loop join: workers_mutex_ is never held while joining a running
+  // worker, because a worker applying the reconfigure RPC needs it. Any
+  // thread a racing reconfigure spawns is pushed under workers_mutex_
+  // while its spawning worker is still alive -- hence still being
+  // joined here -- so this loop always finds every handle.
+  for (;;) {
+    std::thread victim;
+    {
+      std::lock_guard<std::mutex> pool_lock(workers_mutex_);
+      if (workers_.empty()) break;
+      victim = std::move(workers_.back());
+      workers_.pop_back();
+    }
+    if (victim.joinable()) victim.join();
   }
-  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exited_worker_ids_.clear();
+    active_workers_ = 0;
+  }
   if (telemetry_ != nullptr) telemetry_->stop();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -261,9 +340,90 @@ ServerStats Server::stats() const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     s.in_system = in_system_;
+    s.workers = workers_target_;
+    s.capacity = capacity_limit_;
+    s.retiring = active_workers_ > workers_target_
+                     ? active_workers_ - workers_target_
+                     : 0;
   }
   s.max_in_system = max_in_system_.load();
+  s.reconfigures = reconfigures_.load();
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    s.busy_seconds = busy_seconds_;
+    s.handled_requests = handled_requests_;
+  }
   return s;
+}
+
+ReconfigureResult Server::reconfigure(std::size_t workers,
+                                      std::size_t capacity) {
+  std::lock_guard<std::mutex> pool_lock(workers_mutex_);
+  ReconfigureResult r;
+  std::size_t spawn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    UPA_REQUIRE(running_.load(), "reconfigure requires a started server");
+    UPA_REQUIRE(!stopping_, "server is draining; reconfigure refused");
+    const std::size_t new_workers =
+        workers == 0 ? workers_target_ : workers;
+    const std::size_t new_capacity =
+        capacity == 0 ? capacity_limit_ : capacity;
+    UPA_REQUIRE(new_workers >= 1, "reconfigure: workers must be >= 1");
+    UPA_REQUIRE(new_capacity >= new_workers,
+                "reconfigure: capacity must be >= workers (K >= i)");
+    r.previous_workers = workers_target_;
+    r.previous_capacity = capacity_limit_;
+    r.workers = new_workers;
+    r.capacity = new_capacity;
+    if (new_capacity != capacity_limit_) {
+      // The admission bound swaps atomically with the 503 text: the
+      // acceptor reads both under this mutex, so no connection is ever
+      // judged against one K and told about another. Lowering K below
+      // the current occupancy evicts nothing -- the bound applies at
+      // admission only and occupancy decays to it as work completes.
+      capacity_limit_ = new_capacity;
+      reject_line_ = make_reject_line(capacity_limit_);
+    }
+    workers_target_ = new_workers;
+    if (active_workers_ < workers_target_) {
+      // Pre-credit the spawns under mutex_ so a concurrent shrink
+      // computed against active_workers_ never double-retires.
+      spawn = workers_target_ - active_workers_;
+      active_workers_ = workers_target_;
+    }
+    r.retiring = active_workers_ > workers_target_
+                     ? active_workers_ - workers_target_
+                     : 0;
+  }
+  reap_exited_workers();
+  for (std::size_t w = 0; w < spawn; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  reconfigures_.fetch_add(1);
+  // Shrinks need idle workers to notice the lowered target; grows need
+  // a backlog handed to the fresh threads at once.
+  work_ready_.notify_all();
+  return r;
+}
+
+void Server::reap_exited_workers() {
+  std::vector<std::thread::id> exited;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exited.swap(exited_worker_ids_);
+  }
+  // These threads already returned from worker_loop(), so joining them
+  // under workers_mutex_ cannot wait on anything that needs it.
+  for (const std::thread::id id : exited) {
+    for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+      if (it->get_id() == id) {
+        it->join();
+        workers_.erase(it);
+        break;
+      }
+    }
+  }
 }
 
 void Server::publish_metrics(obs::MetricsRegistry& metrics) const {
@@ -279,6 +439,14 @@ void Server::publish_metrics(obs::MetricsRegistry& metrics) const {
   metrics.gauge("serve.queue_depth").set(static_cast<double>(s.in_system));
   metrics.gauge("serve.queue_depth_max")
       .set(static_cast<double>(s.max_in_system));
+  metrics.gauge("serve.workers").set(static_cast<double>(s.workers));
+  metrics.gauge("serve.capacity").set(static_cast<double>(s.capacity));
+  metrics.gauge("serve.retiring").set(static_cast<double>(s.retiring));
+  metrics.gauge("serve.reconfigures")
+      .set(static_cast<double>(s.reconfigures));
+  metrics.gauge("serve.busy_seconds").set(s.busy_seconds);
+  metrics.gauge("serve.handled_requests")
+      .set(static_cast<double>(s.handled_requests));
   std::lock_guard<std::mutex> lock(latency_mutex_);
   metrics
       .histogram("serve.request_latency_seconds", latency_.upper_bounds())
@@ -293,15 +461,6 @@ void Server::publish_metrics(obs::MetricsRegistry& metrics) const {
 }
 
 void Server::acceptor_loop() {
-  // Built once: the admission-rejection line written to a connection
-  // that arrives while the system holds K admitted connections.
-  const std::string reject_line =
-      make_error_response(Json(), ErrorCode::kQueueFull,
-                          "server queue full (capacity " +
-                              std::to_string(config_.capacity) + ")")
-          .dump() +
-      "\n";
-
   while (!accept_stop_.load()) {
     pollfd pfd{};
     pfd.fd = listen_fd_;
@@ -311,10 +470,14 @@ void Server::acceptor_loop() {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) continue;
 
+    // The admission bound and its 503 text are reconfigurable at
+    // runtime, so both are read under mutex_ per connection -- the
+    // rejection a client sees always names the K it was judged against.
     bool admitted = false;
+    std::string reject_line;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (!stopping_ && in_system_ < config_.capacity) {
+      if (!stopping_ && in_system_ < capacity_limit_) {
         ++in_system_;
         std::size_t seen = max_in_system_.load();
         while (in_system_ > seen &&
@@ -322,6 +485,8 @@ void Server::acceptor_loop() {
         }
         queue_.push_back(Job{fd, Clock::now()});
         admitted = true;
+      } else {
+        reject_line = reject_line_;
       }
     }
     if (admitted) {
@@ -347,9 +512,26 @@ void Server::worker_loop() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock,
-                       [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) return;  // stopping and fully drained
+      work_ready_.wait(lock, [this] {
+        return !queue_.empty() || stopping_ ||
+               active_workers_ > workers_target_;
+      });
+      if (!stopping_ && active_workers_ > workers_target_) {
+        // Drain-aware shrink: the retire check sits between requests,
+        // so a worker only ever leaves with no job in hand -- an
+        // in-flight request is never killed by a resize. The id is
+        // recorded for reap_exited_workers(); the handle stays in
+        // workers_ until a later reconfigure or stop() joins it.
+        --active_workers_;
+        exited_worker_ids_.push_back(std::this_thread::get_id());
+        return;
+      }
+      if (queue_.empty()) {
+        // Stopping and fully drained.
+        --active_workers_;
+        exited_worker_ids_.push_back(std::this_thread::get_id());
+        return;
+      }
       job = queue_.front();
       queue_.pop_front();
     }
@@ -606,6 +788,12 @@ std::string Server::respond_line(const std::string& line,
 void Server::observe_request(const RequestObservation& o) {
   std::lock_guard<std::mutex> lock(latency_mutex_);
   latency_.record(o.latency_seconds);
+  if (o.has_handler) {
+    // Pure handler wall time: the controller's nu-hat numerator is
+    // handled_requests_ / busy_seconds_, free of queue-wait bias.
+    busy_seconds_ += o.handler_end - o.handler_begin;
+    ++handled_requests_;
+  }
   auto by_method = latency_by_method_.find(o.method);
   if (by_method == latency_by_method_.end()) {
     by_method = latency_by_method_.find("other");

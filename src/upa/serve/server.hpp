@@ -12,6 +12,12 @@
 // directly comparable to `queueing::mmck_loss_probability` -- the
 // dogfood check run by `upa_loadgen` and pinned in tests/test_serve.cpp.
 //
+// Both knobs are runtime-elastic: reconfigure() (also exposed as the
+// `reconfigure` RPC, the actuator of the upa_ctl control loop) retargets
+// the worker pool and swaps the admission bound atomically. Grow spawns
+// threads at once; shrink retires excess workers only between requests,
+// so an in-flight request always completes.
+//
 // Lifecycle: start() binds, listens, and spawns the acceptor plus the
 // workers; stop() (idempotent, also run by the destructor) closes the
 // listen socket so no new connection is admitted, lets the workers
@@ -94,6 +100,28 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;  ///< unparseable request lines
   std::size_t in_system = 0;       ///< current queued + in-service
   std::size_t max_in_system = 0;   ///< high-water mark of in_system
+  std::size_t workers = 0;     ///< current worker target (the model's i)
+  std::size_t capacity = 0;    ///< current admission bound (the model's K)
+  std::size_t retiring = 0;    ///< workers past the target, still draining
+  std::uint64_t reconfigures = 0;  ///< applied reconfigure() calls
+  /// Wall seconds workers spent inside request handlers, summed over
+  /// `handled_requests` -- handled / busy_seconds estimates the
+  /// per-server service rate nu without the queue-wait bias of the
+  /// end-to-end latency histogram (a controller's nu-hat input).
+  double busy_seconds = 0.0;
+  std::uint64_t handled_requests = 0;
+};
+
+/// What one applied reconfigure() changed (returned to the caller and
+/// echoed by the `reconfigure` RPC).
+struct ReconfigureResult {
+  std::size_t workers = 0;
+  std::size_t capacity = 0;
+  std::size_t previous_workers = 0;
+  std::size_t previous_capacity = 0;
+  /// Workers above the new target that will retire as soon as they
+  /// finish their current request (drain-aware shrink: never mid-flight).
+  std::size_t retiring = 0;
 };
 
 class Server {
@@ -125,6 +153,18 @@ class Server {
   }
 
   [[nodiscard]] ServerStats stats() const;
+
+  /// Online elastic resize -- the `reconfigure` RPC verb. Atomically
+  /// swaps the admission bound (K) and retargets the worker pool (i);
+  /// 0 keeps the current value of either knob. Grow spawns threads
+  /// immediately; shrink is drain-aware: excess workers retire before
+  /// taking their NEXT job, so an in-flight request is never killed and
+  /// no client ever sees a transport error from a resize. Lowering K
+  /// below the current occupancy evicts nothing -- the new bound applies
+  /// at admission only. Concurrent calls serialize; throws ModelError on
+  /// invalid targets (workers < 1, capacity < workers), while the
+  /// server is draining, or before start().
+  ReconfigureResult reconfigure(std::size_t workers, std::size_t capacity);
 
   /// Snapshots the counters into `metrics` as serve.* gauges and merges
   /// the request-latency histogram (serve.request_latency_seconds).
@@ -202,15 +242,33 @@ class Server {
   bool started_ = false;   // guarded by stop_mutex_
 
   std::thread acceptor_;
+  // workers_mutex_ guards the workers_ thread handles and serializes
+  // reconfigure() callers. Never held while joining a RUNNING worker
+  // (a worker executing the reconfigure RPC needs it) -- stop() moves
+  // handles out before joining, and reap_exited_workers() only joins
+  // threads that already left worker_loop().
+  std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
 
-  // mutex_ guards queue_, in_system_, stopping_, parked_fds_.
+  /// Joins and erases worker threads that retired from a previous
+  /// shrink (their ids are in exited_worker_ids_). Caller holds
+  /// workers_mutex_.
+  void reap_exited_workers();
+
+  // mutex_ guards queue_, in_system_, stopping_, parked_fds_, the
+  // dynamic pool/admission state (workers_target_, capacity_limit_,
+  // active_workers_, reject_line_), and exited_worker_ids_.
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::deque<Job> queue_;
   std::size_t in_system_ = 0;
   bool stopping_ = false;
   std::vector<int> parked_fds_;  // connections idle between requests
+  std::size_t workers_target_ = 0;   ///< the model's i, reconfigurable
+  std::size_t capacity_limit_ = 0;   ///< the model's K, reconfigurable
+  std::size_t active_workers_ = 0;   ///< live worker loops (incl. retiring)
+  std::string reject_line_;  ///< 503 envelope, rebuilt when K changes
+  std::vector<std::thread::id> exited_worker_ids_;  ///< retired, joinable
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
@@ -219,10 +277,12 @@ class Server {
   std::atomic<std::uint64_t> deadline_missed_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::size_t> max_in_system_{0};
+  std::atomic<std::uint64_t> reconfigures_{0};
 
   std::atomic<std::uint64_t> conn_serial_{0};
 
-  // latency_mutex_ guards latency_, latency_by_method_, and config_.obs.
+  // latency_mutex_ guards latency_, latency_by_method_, busy_seconds_,
+  // handled_requests_, and config_.obs.
   // Traced requests record their whole span batch (root + phase
   // children) under one hold of this mutex, so the telemetry streamer's
   // span cursor -- advanced under the same mutex -- only ever observes
@@ -230,6 +290,8 @@ class Server {
   mutable std::mutex latency_mutex_;
   obs::Histogram latency_;
   std::map<std::string, obs::Histogram> latency_by_method_;
+  double busy_seconds_ = 0.0;          ///< handler wall time, summed
+  std::uint64_t handled_requests_ = 0;  ///< requests that ran a handler
   std::unique_ptr<TelemetryStreamer> telemetry_;
   Clock::time_point started_at_;
 };

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -534,6 +535,120 @@ TEST(PersistentCacheTier, UnwritableDirectoryCountsErrorsNotThrows) {
   EXPECT_EQ(*value, 7.0);
   EXPECT_EQ(tier.stats().records_appended, 0u);
   EXPECT_EQ(tier.stats().write_errors, 1u);
+}
+
+TEST(PersistentCacheTier, DirectoryLockRefusesASecondWriter) {
+  TempDir tmp;
+  cache::EvalCache ec;
+  auto first = std::make_unique<cache::PersistentCache>(ec, tmp.dir);
+
+  // A second attach -- same process, new open file description -- must
+  // fail fast naming the holder instead of interleaving appends.
+  cache::EvalCache other;
+  try {
+    cache::PersistentCache second(other, tmp.dir);
+    FAIL() << "second writer attached to a locked directory";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("already has a writer"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(std::to_string(getpid())),
+              std::string::npos)
+        << e.what();
+  }
+
+  // The bare lock class conflicts the same way, and releasing the
+  // first writer frees the directory for the next one.
+  EXPECT_THROW(cache::DirectoryLock{tmp.dir}, ModelError);
+  first.reset();
+  cache::PersistentCache reopened(other, tmp.dir);
+  (void)other.get_or_compute<double>(key_of(1.0), [] { return 1.5; });
+  EXPECT_EQ(reopened.stats().records_appended, 1u);
+}
+
+TEST(PersistentCacheTier, DirectoryLockIsFlockNotStaleStampDetection) {
+  // The pid stamp is diagnostics only: a lock file left behind by a
+  // crashed process holds no flock, so the next writer just takes it.
+  TempDir tmp;
+  {
+    const cache::DirectoryLock lock(tmp.dir);
+    EXPECT_TRUE(lock.held());
+  }
+  EXPECT_TRUE(
+      fs::exists(tmp.dir + "/" + cache::DirectoryLock::kLockFileName));
+  const cache::DirectoryLock relocked(tmp.dir);
+  EXPECT_TRUE(relocked.held());
+}
+
+TEST(AntiEntropy, FingerprintDetectsConvergenceInO1) {
+  cache::EvalCache a;
+  cache::EvalCache b;
+  for (const double k : {1.0, 2.0, 3.0}) {
+    (void)a.get_or_compute<double>(key_of(k), [k] { return 10.0 * k; });
+  }
+  // Insertion order must not matter (replicas converge via different
+  // histories), so feed b the same keys reversed.
+  for (const double k : {3.0, 2.0, 1.0}) {
+    (void)b.get_or_compute<double>(key_of(k), [k] { return 10.0 * k; });
+  }
+  EXPECT_EQ(cache::digest_fingerprint(a), cache::digest_fingerprint(b));
+  EXPECT_EQ(cache::digest_fingerprint(a).count, 3u);
+
+  // One extra key flips both the count and the fold.
+  (void)b.get_or_compute<double>(key_of(4.0), [] { return 40.0; });
+  const cache::DigestFingerprint fa = cache::digest_fingerprint(a);
+  const cache::DigestFingerprint fb = cache::digest_fingerprint(b);
+  EXPECT_NE(fa.count, fb.count);
+  EXPECT_NE(fa.fold, fb.fold);
+}
+
+TEST(AntiEntropy, PagedDeltaCoversTheFullSetInBoundedPages) {
+  cache::EvalCache from;
+  constexpr int kKeys = 25;
+  for (int k = 0; k < kKeys; ++k) {
+    (void)from.get_or_compute<double>(key_of(double(k)),
+                                      [k] { return double(k); });
+  }
+  // A page budget far below the full export forces many pages; every
+  // page still carries at least one record, so the cursor walk always
+  // terminates with the union equal to the unpaged delta.
+  const std::size_t max_bytes =
+      cache::export_segment_blob(from).size() / 6;
+  cache::EvalCache into;
+  std::uint64_t cursor = 0;
+  std::size_t pages = 0;
+  std::uint64_t total_records = 0;
+  for (;;) {
+    const cache::DeltaPage page =
+        cache::export_delta_page(from, {}, cursor, max_bytes);
+    EXPECT_LE(page.blob.size(), max_bytes);
+    const cache::ImportStats imported =
+        cache::import_segment_blob(into, page.blob);
+    EXPECT_FALSE(imported.segment_rejected);
+    total_records += page.records;
+    ++pages;
+    ASSERT_LT(pages, std::size_t(kKeys) + 2) << "cursor walk diverged";
+    if (page.complete) break;
+    ASSERT_GT(page.records, 0u) << "incomplete page made no progress";
+    cursor = page.next_cursor;
+  }
+  EXPECT_GT(pages, 2u);
+  EXPECT_EQ(total_records, std::uint64_t(kKeys));
+  EXPECT_EQ(cache::digest_summary(into), cache::digest_summary(from));
+  EXPECT_EQ(cache::digest_fingerprint(into), cache::digest_fingerprint(from));
+
+  // `have` filtering composes with paging: a caller holding everything
+  // pulls one empty, complete page.
+  const cache::DeltaPage none = cache::export_delta_page(
+      from, cache::digest_summary(into), 0, max_bytes);
+  EXPECT_TRUE(none.complete);
+  EXPECT_EQ(none.records, 0u);
+
+  // A budget smaller than any single record still ships one record per
+  // page -- progress is never sacrificed to the bound.
+  const cache::DeltaPage tiny = cache::export_delta_page(from, {}, 0, 1);
+  EXPECT_EQ(tiny.records, 1u);
+  EXPECT_FALSE(tiny.complete);
 }
 
 TEST(PersistentCacheTier, SeededEntriesSurviveClearOnlyOnDisk) {

@@ -22,6 +22,7 @@
 #include "upa/common/error.hpp"
 #include "upa/obs/observer.hpp"
 #include "upa/queueing/mmck.hpp"
+#include "upa/serve/anti_entropy.hpp"
 #include "upa/serve/client.hpp"
 #include "upa/serve/loadgen.hpp"
 #include "upa/serve/protocol.hpp"
@@ -288,6 +289,109 @@ TEST(ServeDispatcher, CacheDigestPullShipsOnlyMissingRecords) {
       R"( "params": {"op": "pull", "have_hex": "aabb"}})"));
   EXPECT_FALSE(bad.find("ok")->as_bool());
   upa::cache::global().clear();
+}
+
+TEST(ServeDispatcher, CacheFingerprintAndPagedPullOverTheProtocol) {
+  // The scalable anti-entropy pair: `fingerprint` answers the O(1)
+  // convergence probe, and `pull` with max_bytes cuts the delta into
+  // cursor-resumable pages whose union equals the unpaged blob.
+  const Dispatcher d;
+  upa::cache::ScopedEnable on(true);
+  upa::cache::global().clear();
+  for (int k = 0; k < 6; ++k) {
+    d.dispatch_line(
+        R"({"id": 1, "method": "mmck_metrics", "params":)"
+        R"( {"alpha": )" +
+        std::to_string(150 + k) + R"(, "nu": 97, "servers": 4,)"
+        R"( "capacity": 13}})");
+  }
+
+  const Json fp = parse_json(d.dispatch_line(
+      R"({"id": 2, "method": "cache", "params": {"op": "fingerprint"}})"));
+  ASSERT_TRUE(fp.find("ok")->as_bool()) << fp.dump();
+  EXPECT_GE(fp.find("result")->find("digest_count")->as_number(), 6.0);
+  const std::string fp_hex =
+      fp.find("result")->find("fingerprint_hex")->as_string();
+  EXPECT_EQ(fp_hex.size(), 16u);  // one folded u64
+
+  // The fingerprint tracks the warm set: one more entry changes it.
+  d.dispatch_line(
+      R"({"id": 3, "method": "mmck_metrics", "params":)"
+      R"( {"alpha": 170, "nu": 97, "servers": 4, "capacity": 13}})");
+  const Json fp2 = parse_json(d.dispatch_line(
+      R"({"id": 4, "method": "cache", "params": {"op": "fingerprint"}})"));
+  EXPECT_NE(fp2.find("result")->find("fingerprint_hex")->as_string(),
+            fp_hex);
+
+  // Unpaged pull for the reference blob size; then page at a fraction
+  // of it and walk the cursor chain.
+  const Json full = parse_json(d.dispatch_line(
+      R"({"id": 5, "method": "cache", "params": {"op": "pull"}})"));
+  ASSERT_TRUE(full.find("ok")->as_bool()) << full.dump();
+  const double full_records =
+      full.find("result")->find("delta_records")->as_number();
+  const std::size_t full_bytes =
+      full.find("result")->find("segment_hex")->as_string().size() / 2;
+  const std::size_t max_bytes = full_bytes / 3 + 1;
+
+  double paged_records = 0.0;
+  std::string cursor;
+  int pages = 0;
+  for (;;) {
+    std::string request =
+        R"({"id": 6, "method": "cache", "params": {"op": "pull",)"
+        R"( "max_bytes": )" +
+        std::to_string(max_bytes);
+    if (!cursor.empty()) request += R"(, "cursor": ")" + cursor + R"(")";
+    request += "}}";
+    const Json page = parse_json(d.dispatch_line(request));
+    ASSERT_TRUE(page.find("ok")->as_bool()) << page.dump();
+    const Json* result = page.find("result");
+    paged_records += result->find("delta_records")->as_number();
+    EXPECT_LE(result->find("segment_hex")->as_string().size() / 2,
+              max_bytes);
+    ++pages;
+    ASSERT_LT(pages, 32) << "cursor walk diverged";
+    if (result->find("complete")->as_bool()) break;
+    cursor = result->find("next_cursor")->as_string();
+    EXPECT_EQ(cursor.size(), 16u);
+  }
+  EXPECT_GT(pages, 1);
+  EXPECT_EQ(paged_records, full_records);
+
+  // A malformed cursor is a 400-class envelope, not a crash.
+  const Json bad = parse_json(d.dispatch_line(
+      R"({"id": 7, "method": "cache",)"
+      R"( "params": {"op": "pull", "max_bytes": 1000, "cursor": "xyz"}})"));
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  upa::cache::global().clear();
+}
+
+TEST(AntiEntropy, ConvergedRoundShortCircuitsOnTheFingerprint) {
+  // In-process, agent and server share cache::global(), so the peer's
+  // fingerprint always matches: every round must end at step 0 --
+  // counted as converged, no digest summary shipped, nothing pulled.
+  upa::cache::ScopedEnable on(true);
+  upa::cache::global().clear();
+  upa::serve::ServerConfig config;
+  config.port = 0;
+  config.workers = 1;
+  config.capacity = 4;
+  Server server(std::move(config));
+  server.start();
+
+  upa::serve::AntiEntropyConfig ae;
+  ae.peers = {"127.0.0.1:" + std::to_string(server.port())};
+  upa::serve::AntiEntropyAgent agent(ae);
+  EXPECT_TRUE(agent.run_round(0));
+  EXPECT_TRUE(agent.run_round(0));
+  const upa::serve::AntiEntropyStats stats = agent.stats();
+  EXPECT_EQ(stats.rounds, 2u);
+  EXPECT_EQ(stats.pulls_ok, 2u);
+  EXPECT_EQ(stats.rounds_converged, 2u);
+  EXPECT_EQ(stats.records_pulled, 0u);
+  EXPECT_EQ(stats.pages_pulled, 0u);
+  server.stop();
 }
 
 // --- Server (loopback TCP) -----------------------------------------------

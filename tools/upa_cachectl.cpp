@@ -12,10 +12,11 @@
 //   gc        compact, additionally dropping records with unregistered
 //             codec tags and deleting wrong-generation segment files.
 //
-// Every verb prints one JSON object of stats to stdout. A replica may
-// be appending to its own active segment while compact/gc runs ONLY if
-// it is this process (never true here) -- run the offline verbs against
-// directories without a live writer.
+// Every verb prints one JSON object of stats to stdout. The mutating
+// verbs (index/compact/gc) take the directory's single-writer flock
+// (`.upalock`) first, so running them against a directory with a live
+// upa_served/upa_cli writer fails fast naming the holder's pid instead
+// of racing its appends. `inspect` stays lock-free and read-only.
 
 #include <algorithm>
 #include <cstdint>
@@ -26,6 +27,7 @@
 
 #include "upa/cache/compact.hpp"
 #include "upa/cache/index.hpp"
+#include "upa/cache/persist.hpp"
 #include "upa/cache/segment.hpp"
 #include "upa/cli/args.hpp"
 #include "upa/common/error.hpp"
@@ -43,12 +45,15 @@ void print_usage(std::ostream& os) {
         "\n"
         "verbs:\n"
         "  inspect  per-segment record/CRC/torn-tail counts and index\n"
-        "           freshness; read-only\n"
+        "           freshness; read-only, takes no lock\n"
         "  index    build or refresh every segment's *.upaidx sidecar\n"
         "  compact  merge segments first-wins into one compact-* file\n"
         "           (drops duplicate and CRC-corrupt records)\n"
         "  gc       compact + drop unknown-codec records and delete\n"
         "           wrong-generation segment files\n"
+        "\n"
+        "index/compact/gc take the directory's .upalock single-writer\n"
+        "lock and fail fast when a live process holds it.\n"
         "\n"
         "options:\n"
         "  --dir DIR   the cache directory (required)\n"
@@ -208,6 +213,9 @@ int main(int argc, char** argv) {
     UPA_REQUIRE(fs::is_directory(dir),
                 "--dir must name an existing directory, got '" + dir + "'");
     if (verb == "inspect") return cmd_inspect(dir);
+    // Mutating verbs exclude live writers (and each other) up front;
+    // the error names the pid holding the directory.
+    const cache::DirectoryLock lock(dir);
     if (verb == "index") return cmd_index(dir);
     return cmd_compact(dir, verb == "gc");
   } catch (const std::exception& e) {

@@ -1,0 +1,190 @@
+// upa_ctl: closed-loop admission controller for a running upa_served.
+//
+// Attaches to the daemon's telemetry `subscribe` stream, estimates the
+// offered load (lambda-hat), per-server service rate (nu-hat), and
+// measured loss online, searches the analytic M/M/i/K loss surface for
+// the smallest (workers, capacity) meeting --target-loss, and applies
+// accepted plans through the server's `reconfigure` RPC. Runs until
+// SIGINT/SIGTERM (or --duration), printing one status line per
+// --status-every interval and a final decision summary.
+//
+// See docs/modeling-guide.md ("Closed-loop control") for the estimator
+// and hysteresis math; upa_loadgen --mode control runs the same loop
+// against scripted diurnal/flash/outage workloads and gates it.
+
+#include <csignal>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "upa/cli/args.hpp"
+#include "upa/common/error.hpp"
+#include "upa/control/controller.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void on_signal(int) { g_stop_requested = 1; }
+
+void print_usage(std::ostream& os) {
+  os << "usage: upa_ctl --port N [options]\n"
+        "\n"
+        "Model-predictive admission control for a live upa_served: the\n"
+        "measured arrival/service rates drive a search of the analytic\n"
+        "M/M/i/K loss surface, and the smallest (i, K) meeting the loss\n"
+        "SLO is applied through the server's `reconfigure` RPC. Grow\n"
+        "decisions apply almost immediately; shrink proposals must stand\n"
+        "for a cooldown before they trim the pool.\n"
+        "\n"
+        "options:\n"
+        "  --host ADDR            server address     (default 127.0.0.1)\n"
+        "  --port N               server port        (required)\n"
+        "  --target-loss P        loss SLO in (0,1)  (default 0.08)\n"
+        "  --min-workers N        search floor for i (default 1)\n"
+        "  --max-workers N        search cap for i   (default 8)\n"
+        "  --max-capacity N       search cap for K   (default 64)\n"
+        "  --headroom F           plan for F*lambda-hat (default 1.3)\n"
+        "  --sizing-fraction F    plan to F*SLO      (default 0.5)\n"
+        "  --tick-ms N            telemetry tick     (default 250)\n"
+        "  --window-ms N          estimator window   (default 2000)\n"
+        "  --grow-cooldown-ms N   min gap before a grow (default 750)\n"
+        "  --shrink-cooldown-ms N shrink stability bar  (default 6000)\n"
+        "  --duration S           exit after S seconds, 0 = until signal\n"
+        "                         (default 0)\n"
+        "  --status-every S       status-line interval  (default 2)\n"
+        "  --connect-retries N    attempts to reach the server before\n"
+        "                         giving up (default 20, 250 ms apart)\n"
+        "  --help                 this text\n";
+}
+
+const std::vector<std::string> kAllowedOptions = {
+    "host",          "port",           "target-loss",
+    "min-workers",   "max-workers",    "max-capacity",
+    "headroom",      "sizing-fraction", "tick-ms",
+    "window-ms",     "grow-cooldown-ms", "shrink-cooldown-ms",
+    "duration",      "status-every",   "connect-retries",
+};
+
+void print_status(const upa::control::ControllerStats& s) {
+  std::cout << "upa_ctl: ticks=" << s.ticks << " lambda=" << s.lambda
+            << " nu=" << s.nu << " loss=" << s.loss << " i=" << s.workers
+            << " K=" << s.capacity << " applies=" << s.applies
+            << " retries=" << s.apply_retries
+            << " failures=" << s.apply_failures
+            << (s.connected ? "" : " [disconnected]") << std::endl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upa;
+
+  cli::Args args(argc, argv);
+  if (args.has("help") || args.command() == "help") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (!args.command().empty()) {
+    std::cerr << "upa_ctl: unexpected positional argument '"
+              << args.command() << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  const std::vector<std::string> unknown =
+      cli::unknown_options(args, kAllowedOptions);
+  if (!unknown.empty()) {
+    std::cerr << "upa_ctl: unknown option '--" << unknown.front()
+              << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+  if (!args.has("port")) {
+    std::cerr << "upa_ctl: --port is required\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    control::ControllerOptions options;
+    options.host = args.get("host", "127.0.0.1");
+    options.port = static_cast<std::uint16_t>(args.get_size("port", 0));
+    options.tick_interval_seconds =
+        args.get_double("tick-ms", 250.0) / 1000.0;
+    options.estimator.window_seconds =
+        args.get_double("window-ms", 2000.0) / 1000.0;
+    options.policy.target_loss = args.get_double("target-loss", 0.08);
+    options.policy.min_workers = args.get_size("min-workers", 1);
+    options.policy.max_workers = args.get_size("max-workers", 8);
+    options.policy.max_capacity = args.get_size("max-capacity", 64);
+    options.policy.lambda_headroom = args.get_double("headroom", 1.3);
+    options.policy.sizing_fraction =
+        args.get_double("sizing-fraction", 0.5);
+    options.policy.grow_cooldown_seconds =
+        args.get_double("grow-cooldown-ms", 750.0) / 1000.0;
+    options.policy.shrink_cooldown_seconds =
+        args.get_double("shrink-cooldown-ms", 6000.0) / 1000.0;
+    const double duration = args.get_double("duration", 0.0);
+    const double status_every = args.get_double("status-every", 2.0);
+    const std::size_t connect_retries =
+        args.get_size("connect-retries", 20);
+
+    control::Controller controller(std::move(options));
+
+    // The server may still be coming up (or briefly saturated): retry
+    // the attach instead of dying on the first refused connect.
+    std::size_t attempt = 0;
+    for (;;) {
+      try {
+        controller.start();
+        break;
+      } catch (const std::exception& error) {
+        if (++attempt >= connect_retries || g_stop_requested != 0) {
+          std::cerr << "upa_ctl: cannot attach after " << attempt
+                    << " attempts: " << error.what() << std::endl;
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::cout << "upa_ctl: attached to " << args.get("host", "127.0.0.1")
+              << ":" << args.get_size("port", 0) << " (target loss "
+              << args.get_double("target-loss", 0.08) << ")" << std::endl;
+
+    const auto started = std::chrono::steady_clock::now();
+    auto last_status = started;
+    while (g_stop_requested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const auto now = std::chrono::steady_clock::now();
+      const double elapsed =
+          std::chrono::duration<double>(now - started).count();
+      if (duration > 0.0 && elapsed >= duration) break;
+      if (status_every > 0.0 &&
+          std::chrono::duration<double>(now - last_status).count() >=
+              status_every) {
+        print_status(controller.stats());
+        last_status = now;
+      }
+      if (!controller.stats().connected) {
+        // The server went away (stopped or restarted): exit rather
+        // than spin on a dead stream; a supervisor can relaunch us.
+        std::cerr << "upa_ctl: telemetry stream closed" << std::endl;
+        break;
+      }
+    }
+
+    controller.stop();
+    const control::ControllerStats s = controller.stats();
+    std::cout << "upa_ctl: done." << std::endl;
+    print_status(s);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "upa_ctl: " << error.what() << std::endl;
+    return 1;
+  }
+}

@@ -19,6 +19,12 @@
 //            while replaying the loss workload, and record measured
 //            farm loss vs the perfect- and imperfect-coverage composite
 //            predictions into BENCH_farm.json (4-sigma gate).
+//   control  closed-loop dogfood: replay a diurnal/flash-crowd/outage
+//            lambda(t) against an in-process server once under upa_ctl's
+//            Controller and once at a fixed trough-sized (i, K); the
+//            controlled run must hold the loss SLO through every
+//            transient (zero transport errors) while the baseline
+//            violates it. Writes BENCH_control.json.
 
 #include <cmath>
 #include <iostream>
@@ -30,6 +36,7 @@
 #include "upa/common/bench_json.hpp"
 #include "upa/common/csv.hpp"
 #include "upa/common/error.hpp"
+#include "upa/control/scenario.hpp"
 #include "upa/dispatch/farm.hpp"
 #include "upa/inject/fault_plan.hpp"
 #include "upa/queueing/mmck.hpp"
@@ -53,6 +60,9 @@ void print_usage(std::ostream& os) {
         "            measured vs analytic loss to --out\n"
         "  farm      live N_W-server farm with kill -9 failover; writes\n"
         "            measured vs composite predictions to --out\n"
+        "  control   closed-loop controller vs fixed-(i,K) baseline over\n"
+        "            a diurnal/flash/outage lambda(t); writes per-phase\n"
+        "            loss vs SLO gates to --out\n"
         "\n"
         "options:\n"
         "  --host ADDR      server address      (default 127.0.0.1)\n"
@@ -108,6 +118,17 @@ void print_usage(std::ostream& os) {
         "  (farm overrides: --lambda 20, --nu 10, --requests 500,\n"
         "   --call-timeout 5 -- slow services keep scheduler overhead\n"
         "   negligible against the modeled service time)\n"
+        "\n"
+        "control options:\n"
+        "  --scenario NAME      full = night/morning/flash/outage/\n"
+        "                       recovery; flash = morning/flash only,\n"
+        "                       the CI-sized subset (default full)\n"
+        "  --target-loss P      the loss SLO in (0,1) (default 0.08)\n"
+        "  --duration-scale F   scales every phase duration (default 1)\n"
+        "  --max-workers N      controller search cap for i (default 8)\n"
+        "  --max-capacity N     controller search cap for K (default 64)\n"
+        "  (control overrides: --nu 12 -- ~83 ms services; the fixed\n"
+        "   baseline and the controlled run both start at i=1, K=3)\n"
         "  --help           this text\n";
 }
 
@@ -509,6 +530,107 @@ int run_farm(const upa::cli::Args& args) {
   return r.within_tolerance ? 0 : 1;
 }
 
+void print_control_pass(const std::string& label,
+                        const upa::control::ControlRunSummary& pass) {
+  for (const upa::control::ControlPhaseOutcome& p : pass.phases) {
+    std::cout << label << " " << p.name << ": lambda=" << p.lambda
+              << " nu=" << p.nu << (p.faulted ? " [faulted]" : "")
+              << " sent=" << p.requests << " rejected=" << p.rejected
+              << " loss=" << p.measured_loss << " gate=" << p.gate
+              << (p.within_gate ? " [within]" : " [OUTSIDE]")
+              << " i=" << p.workers_after << " K=" << p.capacity_after
+              << " transport=" << p.transport_errors << "\n";
+  }
+}
+
+int run_control(const upa::cli::Args& args) {
+  upa::control::ControlScenarioConfig config;
+  config.scenario = args.get("scenario", "full");
+  config.nu = args.get_double("nu", 12.0);
+  config.target_loss = args.get_double("target-loss", 0.08);
+  config.duration_scale = args.get_double("duration-scale", 1.0);
+  config.seed = args.get_size("seed", 1);
+  config.max_workers = args.get_size("max-workers", 8);
+  config.max_capacity = args.get_size("max-capacity", 64);
+  const std::string out = args.get("out", "BENCH_control.json");
+
+  std::cout << "control scenario '" << config.scenario << "':";
+  for (const upa::control::ControlPhase& p :
+       upa::control::control_phases(config)) {
+    std::cout << " " << p.name << "(lambda=" << p.lambda << ",nu=" << p.nu
+              << "," << p.duration_seconds << "s)";
+  }
+  std::cout << std::endl;
+
+  const upa::control::ControlExperimentResult r =
+      upa::control::run_control_experiment(config);
+
+  print_control_pass("controlled", r.controlled);
+  print_control_pass("baseline", r.baseline);
+  std::cout << "controller: ticks=" << r.controller.ticks
+            << " applies=" << r.controller.applies
+            << " retries=" << r.controller.apply_retries
+            << " failures=" << r.controller.apply_failures
+            << " final i=" << r.controller.workers
+            << " K=" << r.controller.capacity << "\n"
+            << "control_ok=" << (r.control_ok ? 1 : 0)
+            << " baseline_violates=" << (r.baseline_violates ? 1 : 0)
+            << std::endl;
+
+  const auto pass_sections =
+      [&out, &config](const std::string& label,
+                      const upa::control::ControlRunSummary& pass) {
+        for (const upa::control::ControlPhaseOutcome& p : pass.phases) {
+          upa::common::write_bench_json(
+              out, "control_" + label + "_" + p.name,
+              {{"lambda", p.lambda},
+               {"nu", p.nu},
+               {"faulted", p.faulted ? 1.0 : 0.0},
+               {"requests", static_cast<double>(p.requests)},
+               {"rejected", static_cast<double>(p.rejected)},
+               {"measured_loss", p.measured_loss},
+               {"gate", p.gate},
+               {"target_loss", config.target_loss},
+               {"within_gate", p.within_gate ? 1.0 : 0.0},
+               {"transport_errors",
+                static_cast<double>(p.transport_errors)},
+               {"workers_after", static_cast<double>(p.workers_after)},
+               {"capacity_after",
+                static_cast<double>(p.capacity_after)}});
+        }
+      };
+  pass_sections("controlled", r.controlled);
+  pass_sections("baseline", r.baseline);
+  upa::common::write_bench_json(
+      out, "control_summary",
+      {{"target_loss", config.target_loss},
+       {"control_ok", r.control_ok ? 1.0 : 0.0},
+       {"baseline_violates", r.baseline_violates ? 1.0 : 0.0},
+       {"controller_ticks", static_cast<double>(r.controller.ticks)},
+       {"controller_applies", static_cast<double>(r.controller.applies)},
+       {"controller_apply_retries",
+        static_cast<double>(r.controller.apply_retries)},
+       {"controller_apply_failures",
+        static_cast<double>(r.controller.apply_failures)},
+       {"controlled_transport_errors",
+        static_cast<double>(r.controlled.transport_errors)}});
+  std::cout << "wrote " << out << std::endl;
+
+  // The loop must both hold the SLO (zero transport errors included:
+  // grow/shrink under load may never kill a request) and be necessary
+  // (the trough-sized baseline breaks without it).
+  if (!r.control_ok) {
+    std::cerr << "control: controlled run failed its gates\n";
+    return 1;
+  }
+  if (!r.baseline_violates) {
+    std::cerr << "control: baseline unexpectedly held every gate -- the\n"
+                 "scenario is not stressing the controller\n";
+    return 1;
+  }
+  return 0;
+}
+
 const std::vector<std::string> kCommonOptions = {"mode", "seed"};
 
 std::vector<std::string> allowed_for_mode(const std::string& mode) {
@@ -535,6 +657,9 @@ std::vector<std::string> allowed_for_mode(const std::string& mode) {
             "kill-every", "out", "trace", "trace-csv", "warm-transfer",
             "warm-points", "warm-transfer-retries",
             "warm-transfer-interval-ms", "anti-entropy-ms"});
+  } else if (mode == "control") {
+    extend({"scenario", "nu", "target-loss", "duration-scale",
+            "max-workers", "max-capacity", "out"});
   }
   return allowed;
 }
@@ -559,9 +684,9 @@ int main(int argc, char** argv) {
   try {
     const std::string mode = args.get("mode", "");
     if (mode != "smoke" && mode != "loss" && mode != "session" &&
-        mode != "bench" && mode != "farm") {
+        mode != "bench" && mode != "farm" && mode != "control") {
       std::cerr << "upa_loadgen: --mode must be smoke | loss | session | "
-                   "bench | farm\n\n";
+                   "bench | farm | control\n\n";
       print_usage(std::cerr);
       return 2;
     }
@@ -576,6 +701,7 @@ int main(int argc, char** argv) {
     if (mode == "loss") return run_loss(args);
     if (mode == "session") return run_session(args);
     if (mode == "bench") return run_bench(args);
+    if (mode == "control") return run_control(args);
     return run_farm(args);
   } catch (const std::exception& e) {
     std::cerr << "upa_loadgen: " << e.what() << "\n";

@@ -68,7 +68,11 @@ void print_usage(std::ostream& os) {
         "methods: ping sleep steady_state mmck_metrics\n"
         "         web_farm_availability composite_availability\n"
         "         user_availability run_campaign simulate_end_to_end\n"
-        "         cache stats subscribe\n";
+        "         cache stats subscribe reconfigure\n"
+        "\n"
+        "The `reconfigure` RPC retargets --workers/--capacity at runtime\n"
+        "(drain-aware shrink; K swaps atomically at admission). upa_ctl\n"
+        "drives it as a closed loop from the telemetry stream.\n";
 }
 
 const std::vector<std::string> kAllowedOptions = {
@@ -195,7 +199,9 @@ int main(int argc, char** argv) {
       std::cout << "anti-entropy: rounds=" << as.rounds
                 << " pulls_ok=" << as.pulls_ok
                 << " pull_errors=" << as.pull_errors
-                << " records_pulled=" << as.records_pulled << std::endl;
+                << " records_pulled=" << as.records_pulled
+                << " converged=" << as.rounds_converged
+                << " pages=" << as.pages_pulled << std::endl;
     }
     server.stop();
 
